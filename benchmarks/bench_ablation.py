@@ -1,0 +1,115 @@
+"""Ablation benchmarks: what each SABRE design decision buys.
+
+DESIGN.md calls out three stacked decisions (basic NNC -> look-ahead ->
+decay) plus the reverse traversal and the |E|/W hyper-parameters.  Each
+bench isolates one and records the quality movement in ``extra_info``.
+Run::
+
+    pytest benchmarks/bench_ablation.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GreedyMapper, TrivialRouter
+from repro.bench_circuits import build_benchmark, qft
+from repro.core import HeuristicConfig, SabreLayout, SabreRouter, compile_circuit
+from repro.extensions import ABLATION_CONFIGS
+
+WORKLOAD = "qft_10"
+
+
+@pytest.mark.parametrize("config_name", ["basic", "lookahead", "decay"])
+def test_heuristic_stack(benchmark, tokyo, tokyo_distance, config_name):
+    """Equation 1 -> +look-ahead -> +decay, single traversal each so the
+    heuristic (not the restart machinery) is what's measured."""
+    circuit = build_benchmark(WORKLOAD)
+    config = ABLATION_CONFIGS[config_name]
+    router = SabreRouter(tokyo, config=config, seed=0, distance=tokyo_distance)
+    result = benchmark.pedantic(router.run, args=(circuit,), rounds=3, iterations=1)
+    benchmark.extra_info.update(
+        {"config": config_name, "swaps": result.num_swaps}
+    )
+
+
+@pytest.mark.parametrize("traversals", [1, 3, 5])
+def test_reverse_traversal_depth(benchmark, tokyo, tokyo_distance, traversals):
+    """1 traversal = g_la configuration; 3 = the paper; 5 = does more
+    bidirectional polishing keep paying?"""
+    circuit = build_benchmark(WORKLOAD)
+    search = SabreLayout(
+        tokyo,
+        num_traversals=traversals,
+        num_trials=3,
+        seed=0,
+        distance=tokyo_distance,
+    )
+    result = benchmark.pedantic(search.run, args=(circuit,), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"traversals": traversals, "swaps": result.num_swaps}
+    )
+
+
+@pytest.mark.parametrize("size", [0, 5, 20, 80])
+def test_extended_set_size_sweep(benchmark, tokyo, tokyo_distance, size):
+    """|E| sweep: the paper fixes 20 and notes 'a large E is not
+    necessary'."""
+    circuit = build_benchmark(WORKLOAD)
+    config = HeuristicConfig(mode="decay", extended_set_size=size)
+    router = SabreRouter(tokyo, config=config, seed=0, distance=tokyo_distance)
+    result = benchmark.pedantic(router.run, args=(circuit,), rounds=2, iterations=1)
+    benchmark.extra_info.update({"E": size, "swaps": result.num_swaps})
+
+
+@pytest.mark.parametrize("weight", [0.0, 0.5, 0.99])
+def test_extended_set_weight_sweep(benchmark, tokyo, tokyo_distance, weight):
+    """W sweep: 0 disables look-ahead influence, ~1 over-weights it."""
+    circuit = build_benchmark(WORKLOAD)
+    config = HeuristicConfig(mode="decay", extended_set_weight=weight)
+    router = SabreRouter(tokyo, config=config, seed=0, distance=tokyo_distance)
+    result = benchmark.pedantic(router.run, args=(circuit,), rounds=2, iterations=1)
+    benchmark.extra_info.update({"W": weight, "swaps": result.num_swaps})
+
+
+@pytest.mark.parametrize(
+    "mapper_name", ["sabre", "greedy", "trivial"]
+)
+def test_mapper_ladder(benchmark, tokyo, tokyo_distance, mapper_name):
+    """Quality ladder: trivial < greedy < SABRE on a dense workload."""
+    circuit = qft(12)
+    if mapper_name == "sabre":
+        run = lambda: compile_circuit(
+            circuit, tokyo, seed=0, num_trials=3, distance=tokyo_distance
+        )
+    elif mapper_name == "greedy":
+        run = lambda: GreedyMapper(tokyo).run(circuit)
+    else:
+        run = lambda: TrivialRouter(tokyo).run(circuit)
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info.update(
+        {"mapper": mapper_name, "swaps": result.num_swaps}
+    )
+
+
+def test_noise_aware_overhead(benchmark, tokyo):
+    """Noise-aware routing pays a small routing-quality tax to avoid a
+    bad coupler; measure both sides."""
+    from repro.extensions import NoiseAwareRouter
+    from repro.hardware import NoiseModel
+
+    circuit = build_benchmark(WORKLOAD)
+    noise = NoiseModel(edge_errors={(6, 11): 0.3})
+    router = NoiseAwareRouter(tokyo, noise)
+    result = benchmark.pedantic(
+        router.run, args=(circuit,), kwargs={"num_trials": 3}, rounds=1,
+        iterations=1,
+    )
+    bad_uses = sum(
+        1
+        for g in result.physical_circuit()
+        if g.is_two_qubit and set(g.qubits) == {6, 11}
+    )
+    benchmark.extra_info.update(
+        {"swaps": result.num_swaps, "bad_coupler_cnots": bad_uses}
+    )

@@ -1,0 +1,106 @@
+"""Component micro-benchmarks: the substrates under the mapper.
+
+Times the individual pieces whose costs the paper analyses: the O(N^3)
+Floyd-Warshall preprocessing, O(g) DAG construction, the O(N) heuristic
+evaluation, plus parser/simulator substrates.  Run::
+
+    pytest benchmarks/bench_components.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench_circuits import build_benchmark, qft
+from repro.circuits import CircuitDag, QuantumCircuit, circuit_depth
+from repro.circuits.dag import DagFrontier
+from repro.core import Layout
+from repro.hardware import floyd_warshall, bfs_distance_matrix, grid_device
+from repro.qasm import emit_qasm, parse_qasm
+from repro.verify import simulate
+
+
+def test_floyd_warshall_tokyo(benchmark, tokyo):
+    """The paper's O(N^3) preprocessing on the 20-qubit device."""
+    dist = benchmark(floyd_warshall, tokyo)
+    assert dist[0][19] > 0
+
+
+def test_floyd_warshall_100q(benchmark):
+    """NISQ-scale (hundreds of qubits) preprocessing stays tractable."""
+    device = grid_device(10, 10)
+    dist = benchmark(floyd_warshall, device)
+    assert dist[0][99] == 18
+
+
+def test_bfs_apsp_100q(benchmark):
+    device = grid_device(10, 10)
+    dist = benchmark(bfs_distance_matrix, device)
+    assert dist[0][99] == 18
+
+
+def test_dag_construction_large(benchmark):
+    """O(g) DAG build on the largest benchmark family member."""
+    circuit = build_benchmark("sym9_193")  # 34881 gates
+    dag = benchmark(CircuitDag, circuit)
+    assert len(dag) == 34881
+
+
+def test_front_layer_consumption(benchmark):
+    """Full frontier walk over a mid-size circuit."""
+    circuit = build_benchmark("rd84_142")
+    dag = CircuitDag(circuit)
+
+    def consume():
+        frontier = DagFrontier(dag)
+        frontier.drain_nonrouting()
+        while not frontier.done:
+            frontier.execute_front_gate(min(frontier.front))
+            frontier.drain_nonrouting()
+        return frontier.num_executed
+
+    executed = benchmark(consume)
+    assert executed == circuit.num_gates
+
+
+def test_extended_set_extraction(benchmark):
+    circuit = qft(16)
+    dag = CircuitDag(circuit)
+    frontier = DagFrontier(dag)
+    frontier.drain_nonrouting()
+    extended = benchmark(frontier.extended_set, 20)
+    assert len(extended) == 20
+
+
+def test_layout_swap_throughput(benchmark):
+    layout = Layout.random(20, seed=0)
+
+    def swaps():
+        for _ in range(1000):
+            layout.swap_logical(3, 11)
+        return layout
+
+    benchmark(swaps)
+
+
+def test_depth_computation_large(benchmark):
+    circuit = build_benchmark("rd84_253")  # 13658 gates
+    depth = benchmark(circuit_depth, circuit)
+    assert depth > 0
+
+
+def test_qasm_roundtrip_large(benchmark):
+    circuit = qft(16)
+    text = emit_qasm(circuit)
+
+    def roundtrip():
+        return parse_qasm(text)
+
+    parsed = benchmark(roundtrip)
+    assert parsed.num_gates == circuit.num_gates
+
+
+def test_statevector_qft10(benchmark):
+    circuit = qft(10)
+    state = benchmark(simulate, circuit)
+    assert abs(state.norm() - 1.0) < 1e-9

@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import distance_matrix, ibm_q20_tokyo
+
+
+@pytest.fixture(scope="session")
+def tokyo():
+    """The paper's evaluation device (Fig. 2)."""
+    return ibm_q20_tokyo()
+
+
+@pytest.fixture(scope="session")
+def tokyo_distance(tokyo):
+    """Distance matrix shared across benches (precomputed once)."""
+    return distance_matrix(tokyo)

@@ -1,0 +1,16 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Table II (thin wrapper over the harness).
+
+Examples:
+    python examples/run_table2.py                      # small+sim+qft
+    python examples/run_table2.py --full               # all 26 rows
+    python examples/run_table2.py --category large --trials 3
+    python examples/run_table2.py --names qft_13 rd84_142
+"""
+
+import sys
+
+from repro.analysis.table2 import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

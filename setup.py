@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments that lack the
+``wheel`` package required for PEP 660 editable installs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of SABRE: Tackling the Qubit Mapping Problem for "
+        "NISQ-Era Quantum Devices (ASPLOS 2019)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20"],
+)

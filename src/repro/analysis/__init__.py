@@ -1,0 +1,36 @@
+"""Experiment harnesses that regenerate the paper's tables and figures.
+
+- :mod:`repro.analysis.metrics` — per-result metric extraction and
+  fidelity estimates.
+- :mod:`repro.analysis.table2` — Table II: SABRE vs the A* BKA over the
+  26-benchmark suite (``python -m repro.analysis.table2``).
+- :mod:`repro.analysis.tradeoff` — Figure 8: the gate-count/depth
+  trade-off as the decay parameter sweeps
+  (``python -m repro.analysis.tradeoff``).
+- :mod:`repro.analysis.scaling` — §V-B2: runtime/search-space growth of
+  BKA vs SABRE (``python -m repro.analysis.scaling``).
+- :mod:`repro.analysis.formatting` — ASCII table/series rendering.
+"""
+
+from repro.analysis.metrics import result_metrics, fidelity_report
+from repro.analysis.formatting import format_table, format_series
+from repro.analysis.table2 import run_table2, table2_rows_to_text
+from repro.analysis.tradeoff import decay_sweep, run_figure8, TradeoffPoint
+from repro.analysis.scaling import run_scaling, ScalingRow
+from repro.analysis.compare import compare_mappers, comparison_to_text
+
+__all__ = [
+    "compare_mappers",
+    "comparison_to_text",
+    "result_metrics",
+    "fidelity_report",
+    "format_table",
+    "format_series",
+    "run_table2",
+    "table2_rows_to_text",
+    "decay_sweep",
+    "run_figure8",
+    "TradeoffPoint",
+    "run_scaling",
+    "ScalingRow",
+]

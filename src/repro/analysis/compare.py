@@ -1,0 +1,188 @@
+"""Head-to-head mapper comparison (the league table behind §V).
+
+Runs every registered mapper — SABRE, the A* BKA, the Siraichi-style
+greedy, and the trivial router — on a set of workloads and prints one
+row per (workload, mapper) with added gates, output depth, estimated
+fidelity, and runtime.  This is the quickest way to see the paper's
+quality ordering on *your* circuit.  Run as::
+
+    python -m repro.analysis.compare --benchmarks qft_10 rd84_142
+    python -m repro.analysis.compare --qasm my_circuit.qasm
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.formatting import format_table
+from repro.baselines.astar import AStarMapper
+from repro.baselines.greedy import GreedyMapper
+from repro.baselines.trivial import TrivialRouter
+from repro.bench_circuits.suites import build_benchmark
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.compiler import compile_circuit
+from repro.core.result import MappingResult
+from repro.exceptions import ReproError, SearchExhausted
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.devices import ibm_q20_tokyo
+from repro.hardware.distance import distance_matrix
+from repro.hardware.noise import IBM_Q20_TOKYO_NOISE
+
+MapperFn = Callable[[QuantumCircuit], MappingResult]
+
+
+@dataclass
+class ComparisonRow:
+    """One (workload, mapper) measurement; ``failed`` marks budget
+    exhaustion (the BKA on large instances)."""
+
+    workload: str
+    mapper: str
+    added_gates: Optional[int]
+    depth: Optional[int]
+    success_probability: Optional[float]
+    runtime_seconds: Optional[float]
+    failed: bool = False
+
+    def as_cells(self) -> List[object]:
+        if self.failed:
+            return [self.workload, self.mapper, "OOM", "-", "-", "-"]
+        return [
+            self.workload,
+            self.mapper,
+            self.added_gates,
+            self.depth,
+            f"{self.success_probability:.3e}",
+            round(self.runtime_seconds or 0.0, 3),
+        ]
+
+
+HEADERS = ["workload", "mapper", "g_add", "depth", "est. success", "t(s)"]
+
+
+def default_mappers(
+    coupling: CouplingGraph,
+    seed: int = 0,
+    sabre_trials: int = 5,
+    bka_max_nodes: int = 300_000,
+    bka_max_seconds: float = 60.0,
+) -> Dict[str, MapperFn]:
+    """The four mappers of the evaluation, ready to call."""
+    distance = distance_matrix(coupling)
+    return {
+        "sabre": lambda c: compile_circuit(
+            c, coupling, seed=seed, num_trials=sabre_trials, distance=distance
+        ),
+        "bka-astar": lambda c: AStarMapper(
+            coupling,
+            max_nodes=bka_max_nodes,
+            max_seconds=bka_max_seconds,
+            distance=distance,
+        ).run(c),
+        "greedy": lambda c: GreedyMapper(coupling).run(c),
+        "trivial": lambda c: TrivialRouter(coupling).run(c),
+    }
+
+
+def compare_mappers(
+    circuits: Sequence[QuantumCircuit],
+    coupling: Optional[CouplingGraph] = None,
+    mappers: Optional[Dict[str, MapperFn]] = None,
+    **mapper_kwargs,
+) -> List[ComparisonRow]:
+    """Run every mapper on every circuit, tolerating BKA exhaustion."""
+    coupling = coupling or ibm_q20_tokyo()
+    mappers = mappers or default_mappers(coupling, **mapper_kwargs)
+    noise = IBM_Q20_TOKYO_NOISE
+    rows: List[ComparisonRow] = []
+    for circuit in circuits:
+        for name, mapper in mappers.items():
+            try:
+                result = mapper(circuit)
+            except SearchExhausted:
+                rows.append(
+                    ComparisonRow(circuit.name, name, None, None, None, None,
+                                  failed=True)
+                )
+                continue
+            physical = result.physical_circuit()
+            rows.append(
+                ComparisonRow(
+                    workload=circuit.name,
+                    mapper=name,
+                    added_gates=result.added_gates,
+                    depth=result.routed_depth,
+                    success_probability=noise.estimated_success_probability(
+                        physical
+                    ),
+                    runtime_seconds=result.runtime_seconds,
+                )
+            )
+    return rows
+
+
+def comparison_to_text(rows: Sequence[ComparisonRow]) -> str:
+    return format_table(
+        HEADERS,
+        [row.as_cells() for row in rows],
+        title="Mapper comparison (IBM Q20 Tokyo noise model)",
+    )
+
+
+def best_mapper_per_workload(
+    rows: Sequence[ComparisonRow],
+) -> Dict[str, str]:
+    """Winner by added gates (ties broken by depth) per workload."""
+    best: Dict[str, ComparisonRow] = {}
+    for row in rows:
+        if row.failed:
+            continue
+        current = best.get(row.workload)
+        key = (row.added_gates, row.depth)
+        if current is None or key < (current.added_gates, current.depth):
+            best[row.workload] = row
+    return {workload: row.mapper for workload, row in best.items()}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Compare all mappers.")
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=["qft_10", "rd84_142"],
+        help="Table II benchmark names",
+    )
+    parser.add_argument("--qasm", nargs="*", help="additional QASM files")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--bka-max-nodes", type=int, default=300_000)
+    args = parser.parse_args(argv)
+
+    circuits: List[QuantumCircuit] = [
+        build_benchmark(name) for name in args.benchmarks
+    ]
+    for path in args.qasm or []:
+        from repro.qasm import parse_qasm_file
+
+        circuits.append(parse_qasm_file(path))
+    if not circuits:
+        raise ReproError("nothing to compare: give --benchmarks or --qasm")
+
+    rows = compare_mappers(
+        circuits,
+        seed=args.seed,
+        sabre_trials=args.trials,
+        bka_max_nodes=args.bka_max_nodes,
+    )
+    print(comparison_to_text(rows))
+    winners = best_mapper_per_workload(rows)
+    print()
+    for workload, mapper in winners.items():
+        print(f"best on {workload}: {mapper}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment tables and series.
+
+The paper's artifacts are a table (Table II) and an X-Y plot (Figure
+8); in a terminal-first reproduction both become aligned ASCII.  These
+helpers keep every harness's output consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Numeric cells are right-aligned, text cells left-aligned; ``None``
+    renders as ``-``.
+    """
+    materialised: List[List[str]] = []
+    numeric: List[bool] = [True] * len(headers)
+    for row in rows:
+        cells = []
+        for index, value in enumerate(row):
+            if value is None:
+                cells.append("-")
+            elif isinstance(value, float):
+                cells.append(f"{value:.3f}")
+            else:
+                cells.append(str(value))
+                if not isinstance(value, (int, float)):
+                    numeric[index] = False
+        materialised.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in materialised:
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(cells) for cells in materialised)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: Sequence[Sequence[float]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render an (x, y, ...) point series as labelled text lines."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for point in points:
+        coords = ", ".join(f"{v:.4f}" if isinstance(v, float) else str(v) for v in point)
+        lines.append(f"  ({coords})")
+    return "\n".join(lines)

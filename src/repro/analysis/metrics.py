@@ -1,0 +1,55 @@
+"""Metric extraction and fidelity estimates for mapping results."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.result import MappingResult
+from repro.hardware.noise import IBM_Q20_TOKYO_NOISE, NoiseModel
+
+
+def result_metrics(result: MappingResult) -> Dict[str, object]:
+    """The paper's metrics plus derived ratios, as a flat dict.
+
+    Keys match Table II nomenclature where applicable (``g_ori``,
+    ``g_add``, ``g_tot``) with depth and runtime alongside.
+    """
+    return {
+        "name": result.name,
+        "device": result.device_name,
+        "n": len(result.original_circuit.used_qubits()),
+        "g_ori": result.original_gates,
+        "g_add": result.added_gates,
+        "g_tot": result.total_gates,
+        "swaps": result.num_swaps,
+        "d_ori": result.original_depth,
+        "d_out": result.routed_depth,
+        "gate_overhead": round(result.gate_overhead_ratio(), 4),
+        "depth_overhead": round(
+            result.routed_depth / result.original_depth, 4
+        )
+        if result.original_depth
+        else 0.0,
+        "t_sec": round(result.runtime_seconds, 4),
+    }
+
+
+def fidelity_report(
+    result: MappingResult, noise: Optional[NoiseModel] = None
+) -> Dict[str, float]:
+    """Estimated success probabilities before/after routing.
+
+    "Before" pretends the device had all-to-all coupling (no SWAPs);
+    "after" uses the actual routed circuit.  The gap quantifies what the
+    mapper's overhead costs in fidelity — the paper's motivation for
+    minimising ``g`` and ``d`` (§III-A).
+    """
+    noise = noise or IBM_Q20_TOKYO_NOISE
+    routed = result.physical_circuit(decompose_swaps=True)
+    before = noise.estimated_success_probability(result.original_circuit)
+    after = noise.estimated_success_probability(routed)
+    return {
+        "success_before_routing": before,
+        "success_after_routing": after,
+        "relative_fidelity_cost": 1.0 - (after / before if before > 0 else 0.0),
+    }

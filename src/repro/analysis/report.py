@@ -1,0 +1,145 @@
+"""Markdown experiment reports (EXPERIMENTS.md generator).
+
+Turns harness outputs (Table II rows, Figure 8 series, scaling rows)
+into the paper-vs-measured markdown record.  Regenerate the full
+document with::
+
+    python -m repro.analysis.report            # full run, slow
+    python -m repro.analysis.report --fast     # reduced budgets
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.scaling import ScalingRow
+from repro.analysis.table2 import Table2Row
+from repro.analysis.tradeoff import TradeoffPoint, depth_variation
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    def render(cell: object) -> str:
+        if cell is None:
+            return "—"
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines.extend("| " + " | ".join(render(c) for c in row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def table2_markdown(rows: Sequence[Table2Row]) -> str:
+    """Paper-vs-measured markdown for Table II."""
+    headers = [
+        "benchmark", "n", "g_ori (ours)",
+        "BKA g_add (ours)", "BKA g_add (paper)",
+        "SABRE g_la (ours)", "SABRE g_la (paper)",
+        "SABRE g_op (ours)", "SABRE g_op (paper)",
+        "SABRE t s (ours)", "SABRE t s (paper)",
+    ]
+    body = []
+    for row in rows:
+        spec = row.spec
+        body.append(
+            [
+                spec.name,
+                spec.num_qubits,
+                row.gates_ours,
+                "OOM" if row.bka_added is None else row.bka_added,
+                "OOM" if spec.paper_bka_oom else spec.paper_bka_added,
+                row.sabre_lookahead_added,
+                spec.paper_sabre_lookahead,
+                row.sabre_added,
+                spec.paper_sabre_added,
+                round(row.sabre_time, 3),
+                spec.paper_sabre_time_total,
+            ]
+        )
+    wins = sum(
+        1 for r in rows if r.bka_added is not None and r.sabre_added <= r.bka_added
+    )
+    comparable = sum(1 for r in rows if r.bka_added is not None)
+    summary = (
+        f"\nSABRE matched or beat the BKA on **{wins}/{comparable}** "
+        "comparable rows; budget-exhausted (OOM) rows: "
+        f"**{sum(1 for r in rows if r.bka_added is None)}**."
+    )
+    return _md_table(headers, body) + summary
+
+
+def figure8_markdown(series: Dict[str, List[TradeoffPoint]]) -> str:
+    """Markdown for the Figure 8 decay sweep."""
+    headers = ["benchmark", "delta sweep (gates_norm, depth_norm)", "depth variation"]
+    body = []
+    for name, points in series.items():
+        sweep = "; ".join(
+            f"δ={p.delta:g}: ({p.gates_norm:.3f}, {p.depth_norm:.3f})"
+            for p in points
+        )
+        body.append([name, sweep, f"{100 * depth_variation(points):.1f}%"])
+    return _md_table(headers, body)
+
+
+def scaling_markdown(rows: Sequence[ScalingRow]) -> str:
+    """Markdown for the §V-B2 scaling sweep."""
+    headers = [
+        "benchmark", "n", "gates",
+        "SABRE t(s)", "SABRE g_add",
+        "BKA t(s)", "BKA g_add", "BKA search nodes",
+    ]
+    body = [
+        [
+            f"{r.family}_{r.num_qubits}",
+            r.num_qubits,
+            r.num_gates,
+            round(r.sabre_seconds, 3),
+            r.sabre_added,
+            "OOM" if r.bka_exhausted else round(r.bka_seconds or 0.0, 3),
+            "—" if r.bka_added is None else r.bka_added,
+            r.bka_nodes,
+        ]
+        for r in rows
+    ]
+    return _md_table(headers, body)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.analysis.scaling import run_scaling
+    from repro.analysis.table2 import run_table2
+    from repro.analysis.tradeoff import run_figure8
+
+    parser = argparse.ArgumentParser(description="Emit EXPERIMENTS-style markdown.")
+    parser.add_argument("--fast", action="store_true", help="reduced budgets")
+    args = parser.parse_args(argv)
+
+    trials = 2 if args.fast else 5
+    bka_nodes = 100_000 if args.fast else 500_000
+    categories = ["small", "sim"] if args.fast else None
+
+    rows = run_table2(
+        categories=categories,
+        num_trials=trials,
+        bka_max_nodes=bka_nodes,
+        progress=True,
+    )
+    print("## Table II\n")
+    print(table2_markdown(rows))
+    series = run_figure8(
+        names=["qft_10"] if args.fast else None, num_trials=trials
+    )
+    print("\n## Figure 8\n")
+    print(figure8_markdown(series))
+    scaling = run_scaling(sizes=(4, 8) if args.fast else (4, 6, 8, 10, 13, 16, 20))
+    print("\n## Scaling\n")
+    print(scaling_markdown(scaling))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,163 @@
+"""§V-B2 scalability experiment: BKA blows up, SABRE stays flat.
+
+The paper's scalability argument: BKA's per-layer search space is
+``O(exp(N))``, so its runtime and memory grow violently with qubit
+count on the qft/ising families, hitting the 378 GB server limit at
+qft_20 and ising_model_16, while SABRE's SWAP-based search stays
+sub-second throughout.  This harness sweeps circuit size within a
+family and reports, per size: SABRE runtime, BKA runtime, BKA expanded
+nodes, and whether BKA exhausted its budget.  Run as::
+
+    python -m repro.analysis.scaling --family qft --sizes 4 6 8 10 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.formatting import format_table
+from repro.baselines.astar import AStarMapper
+from repro.bench_circuits.ising import ising_model
+from repro.bench_circuits.qft import qft
+from repro.core.compiler import compile_circuit
+from repro.exceptions import ReproError, SearchExhausted
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.devices import ibm_q20_tokyo
+from repro.hardware.distance import distance_matrix
+
+
+@dataclass
+class ScalingRow:
+    """One size point of the scaling sweep."""
+
+    family: str
+    num_qubits: int
+    num_gates: int
+    sabre_seconds: float
+    sabre_added: int
+    bka_seconds: Optional[float]  # None = exhausted
+    bka_added: Optional[int]
+    bka_nodes: int
+    bka_exhausted: bool
+
+    def as_cells(self) -> List[object]:
+        return [
+            f"{self.family}_{self.num_qubits}",
+            self.num_qubits,
+            self.num_gates,
+            round(self.sabre_seconds, 4),
+            self.sabre_added,
+            "OOM" if self.bka_exhausted else round(self.bka_seconds or 0.0, 4),
+            "-" if self.bka_added is None else self.bka_added,
+            self.bka_nodes,
+        ]
+
+
+HEADERS = [
+    "bench",
+    "n",
+    "g",
+    "sabre t(s)",
+    "sabre g_add",
+    "bka t(s)",
+    "bka g_add",
+    "bka nodes",
+]
+
+
+def _build(family: str, size: int):
+    if family == "qft":
+        return qft(size)
+    if family == "ising":
+        return ising_model(size)
+    raise ReproError(f"unknown scaling family {family!r} (qft|ising)")
+
+
+def run_scaling(
+    family: str = "qft",
+    sizes: Sequence[int] = (4, 6, 8, 10, 12, 14, 16),
+    coupling: Optional[CouplingGraph] = None,
+    seed: int = 0,
+    sabre_trials: int = 3,
+    bka_max_nodes: int = 200_000,
+    bka_max_seconds: float = 60.0,
+) -> List[ScalingRow]:
+    """Sweep circuit sizes within a family, timing SABRE and BKA."""
+    coupling = coupling or ibm_q20_tokyo()
+    distance = distance_matrix(coupling)
+    rows: List[ScalingRow] = []
+    for size in sizes:
+        circuit = _build(family, size)
+        sabre = compile_circuit(
+            circuit,
+            coupling,
+            seed=seed,
+            num_trials=sabre_trials,
+            distance=distance,
+        )
+        mapper = AStarMapper(
+            coupling,
+            max_nodes=bka_max_nodes,
+            max_seconds=bka_max_seconds,
+            distance=distance,
+        )
+        bka_seconds: Optional[float] = None
+        bka_added: Optional[int] = None
+        bka_nodes = 0
+        exhausted = False
+        try:
+            start = time.perf_counter()
+            result = mapper.run(circuit)
+            bka_seconds = time.perf_counter() - start
+            bka_added = result.added_gates
+            bka_nodes = mapper.last_run_nodes
+        except SearchExhausted as exc:
+            exhausted = True
+            bka_nodes = exc.nodes_expanded
+        rows.append(
+            ScalingRow(
+                family=family,
+                num_qubits=size,
+                num_gates=circuit.count_gates(),
+                sabre_seconds=sabre.runtime_seconds,
+                sabre_added=sabre.added_gates,
+                bka_seconds=bka_seconds,
+                bka_added=bka_added,
+                bka_nodes=bka_nodes,
+                bka_exhausted=exhausted,
+            )
+        )
+    return rows
+
+
+def scaling_to_text(rows: Sequence[ScalingRow]) -> str:
+    title = "Scalability (paper §V-B2): BKA vs SABRE as circuit size grows"
+    return format_table(HEADERS, [row.as_cells() for row in rows], title=title)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate §V-B2 scaling data.")
+    parser.add_argument("--family", default="qft", choices=("qft", "ising"))
+    parser.add_argument(
+        "--sizes", nargs="*", type=int, default=[4, 6, 8, 10, 12, 14, 16]
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--bka-max-nodes", type=int, default=200_000)
+    parser.add_argument("--bka-max-seconds", type=float, default=60.0)
+    args = parser.parse_args(argv)
+    rows = run_scaling(
+        family=args.family,
+        sizes=args.sizes,
+        seed=args.seed,
+        bka_max_nodes=args.bka_max_nodes,
+        bka_max_seconds=args.bka_max_seconds,
+    )
+    print(scaling_to_text(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,303 @@
+"""Table II harness: SABRE vs the A* BKA over the benchmark suite.
+
+Regenerates the paper's main result table.  For every selected
+benchmark it runs:
+
+- **BKA** (Zulehner-style A*, :class:`repro.baselines.AStarMapper`)
+  under a node/time budget — budget exhaustion is reported as ``OOM``,
+  the paper's failure mode on ising_model_16 and qft_20;
+- **SABRE** with the paper's configuration (5 random restarts x 3
+  traversals, decay heuristic), reporting both ``g_la`` (best first
+  traversal = look-ahead only) and ``g_op`` (with reverse traversal);
+
+and prints our numbers next to the paper's.  Run as::
+
+    python -m repro.analysis.table2 --category small sim qft
+    python -m repro.analysis.table2 --full          # all 26 rows
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.formatting import format_table
+from repro.baselines.astar import AStarMapper
+from repro.bench_circuits.suites import TABLE_II, BenchmarkSpec
+from repro.core.compiler import compile_circuit
+from repro.core.heuristic import HeuristicConfig
+from repro.exceptions import SearchExhausted
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.devices import ibm_q20_tokyo
+from repro.hardware.distance import distance_matrix
+from repro.verify.compliance import assert_compliant
+from repro.verify.equivalence import assert_equivalent
+
+
+@dataclass
+class Table2Row:
+    """Measured numbers for one benchmark, beside the paper's."""
+
+    spec: BenchmarkSpec
+    gates_ours: int
+    bka_added: Optional[int]  # None = budget exhausted ("OOM")
+    bka_time: Optional[float]
+    sabre_lookahead_added: int
+    sabre_added: int
+    sabre_time: float
+
+    def as_cells(self) -> List[object]:
+        spec = self.spec
+        return [
+            spec.name,
+            spec.num_qubits,
+            self.gates_ours,
+            "OOM" if self.bka_added is None else self.bka_added,
+            "-" if self.bka_time is None else round(self.bka_time, 3),
+            self.sabre_lookahead_added,
+            self.sabre_added,
+            round(self.sabre_time, 3),
+            "OOM" if spec.paper_bka_oom else spec.paper_bka_added,
+            spec.paper_sabre_lookahead,
+            spec.paper_sabre_added,
+            self.delta_vs_bka(),
+        ]
+
+    def delta_vs_bka(self) -> Optional[int]:
+        """Gate reduction vs BKA (positive = SABRE wins), paper's Δg."""
+        if self.bka_added is None:
+            return None
+        return self.bka_added - self.sabre_added
+
+
+HEADERS = [
+    "name",
+    "n",
+    "g_ori",
+    "bka g_add",
+    "bka t(s)",
+    "sabre g_la",
+    "sabre g_op",
+    "sabre t(s)",
+    "paper bka",
+    "paper g_la",
+    "paper g_op",
+    "Δg",
+]
+
+
+def run_benchmark_row(
+    spec: BenchmarkSpec,
+    coupling: CouplingGraph,
+    distance: Sequence[Sequence[float]],
+    seed: int = 0,
+    num_trials: int = 5,
+    include_bka: bool = True,
+    bka_max_nodes: int = 500_000,
+    bka_max_seconds: Optional[float] = 120.0,
+    verify: bool = True,
+    config: Optional[HeuristicConfig] = None,
+) -> Table2Row:
+    """Run BKA and SABRE on one benchmark and collect the row."""
+    circuit = spec.build()
+
+    bka_added: Optional[int] = None
+    bka_time: Optional[float] = None
+    if include_bka:
+        mapper = AStarMapper(
+            coupling,
+            max_nodes=bka_max_nodes,
+            max_seconds=bka_max_seconds,
+            distance=distance,
+        )
+        try:
+            start = time.perf_counter()
+            bka_result = mapper.run(circuit)
+            bka_time = time.perf_counter() - start
+            bka_added = bka_result.added_gates
+            if verify:
+                assert_compliant(bka_result.physical_circuit(), coupling)
+                assert_equivalent(
+                    circuit,
+                    bka_result.routing.circuit,
+                    bka_result.initial_layout,
+                    bka_result.routing.swap_positions,
+                )
+        except SearchExhausted:
+            bka_added = None
+            bka_time = None
+
+    sabre = compile_circuit(
+        circuit,
+        coupling,
+        config=config,
+        seed=seed,
+        num_trials=num_trials,
+        num_traversals=3,
+        distance=distance,
+    )
+    if verify:
+        assert_compliant(sabre.physical_circuit(), coupling)
+        assert_equivalent(
+            sabre.original_circuit,
+            sabre.routing.circuit,
+            sabre.initial_layout,
+            sabre.routing.swap_positions,
+        )
+    lookahead_added = (
+        3 * sabre.first_pass_swaps if sabre.first_pass_swaps is not None else 0
+    )
+    return Table2Row(
+        spec=spec,
+        gates_ours=circuit.count_gates(),
+        bka_added=bka_added,
+        bka_time=bka_time,
+        sabre_lookahead_added=lookahead_added,
+        sabre_added=sabre.added_gates,
+        sabre_time=sabre.runtime_seconds,
+    )
+
+
+def run_table2(
+    names: Optional[Iterable[str]] = None,
+    categories: Optional[Iterable[str]] = None,
+    coupling: Optional[CouplingGraph] = None,
+    seed: int = 0,
+    num_trials: int = 5,
+    include_bka: bool = True,
+    bka_max_nodes: int = 500_000,
+    bka_max_seconds: Optional[float] = 120.0,
+    verify: bool = True,
+    progress: bool = False,
+) -> List[Table2Row]:
+    """Run the Table II experiment over a benchmark selection.
+
+    Defaults reproduce the paper: all rows, IBM Q20 Tokyo, 5 random
+    restarts.  ``names``/``categories`` filter the suite; budgets bound
+    the exponential baseline.
+    """
+    coupling = coupling or ibm_q20_tokyo()
+    distance = distance_matrix(coupling)
+    selected = [
+        spec
+        for spec in TABLE_II
+        if (names is None or spec.name in set(names))
+        and (categories is None or spec.category in set(categories))
+    ]
+    rows: List[Table2Row] = []
+    for spec in selected:
+        if progress:
+            print(f"... {spec.name}", file=sys.stderr, flush=True)
+        rows.append(
+            run_benchmark_row(
+                spec,
+                coupling,
+                distance,
+                seed=seed,
+                num_trials=num_trials,
+                include_bka=include_bka,
+                bka_max_nodes=bka_max_nodes,
+                bka_max_seconds=bka_max_seconds,
+                verify=verify,
+            )
+        )
+    return rows
+
+
+def table2_rows_to_text(rows: Sequence[Table2Row]) -> str:
+    """Render rows as the paper-style ASCII table with summary lines."""
+    table = format_table(
+        HEADERS,
+        [row.as_cells() for row in rows],
+        title="Table II — additional gates and runtime: SABRE vs BKA "
+        "(IBM Q20 Tokyo)",
+    )
+    wins = sum(
+        1
+        for row in rows
+        if row.bka_added is not None and row.sabre_added <= row.bka_added
+    )
+    comparable = sum(1 for row in rows if row.bka_added is not None)
+    ooms = sum(1 for row in rows if row.bka_added is None)
+    lines = [table, ""]
+    if comparable:
+        lines.append(
+            f"SABRE <= BKA additional gates on {wins}/{comparable} "
+            "comparable benchmarks"
+        )
+    if ooms:
+        lines.append(f"BKA exhausted its budget (paper: OOM) on {ooms} row(s)")
+    reductions = [
+        (row.bka_added - row.sabre_added) / row.bka_added
+        for row in rows
+        if row.bka_added
+    ]
+    if reductions:
+        mean = sum(reductions) / len(reductions)
+        lines.append(
+            f"mean reduction in additional gates vs BKA: {100 * mean:.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate Table II (SABRE vs BKA)."
+    )
+    parser.add_argument("--names", nargs="*", help="benchmark names to run")
+    parser.add_argument(
+        "--category",
+        nargs="*",
+        dest="categories",
+        help="categories to run (small sim qft large)",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="run all 26 benchmarks"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trials", type=int, default=5, help="SABRE random restarts (paper: 5)"
+    )
+    parser.add_argument("--no-bka", action="store_true", help="skip the A* baseline")
+    parser.add_argument(
+        "--bka-max-nodes",
+        type=int,
+        default=500_000,
+        help="A* expansion budget standing in for the 378 GB memory cap",
+    )
+    parser.add_argument(
+        "--bka-max-seconds",
+        type=float,
+        default=120.0,
+        help="A* wall-clock budget per benchmark",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true", help="skip output verification"
+    )
+    args = parser.parse_args(argv)
+
+    names = args.names or None
+    categories = args.categories or None
+    if not args.full and names is None and categories is None:
+        categories = ["small", "sim", "qft"]
+
+    rows = run_table2(
+        names=names,
+        categories=categories,
+        seed=args.seed,
+        num_trials=args.trials,
+        include_bka=not args.no_bka,
+        bka_max_nodes=args.bka_max_nodes,
+        bka_max_seconds=args.bka_max_seconds,
+        verify=not args.no_verify,
+        progress=True,
+    )
+    print(table2_rows_to_text(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

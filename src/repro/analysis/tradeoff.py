@@ -1,0 +1,166 @@
+"""Figure 8 harness: the gate-count / depth trade-off under decay.
+
+The decay effect (§IV-C3, §IV-D) biases SABRE toward non-overlapping
+SWAPs: larger ``delta`` buys shallower circuits at the cost of extra
+gates.  Figure 8 plots, for nine benchmarks, the output circuit depth
+(normalised to the original depth) against the output gate count
+(normalised to ``g_ori``) as ``delta`` sweeps — showing ~8% depth
+variation.  Run as::
+
+    python -m repro.analysis.tradeoff                # paper's 9 benchmarks
+    python -m repro.analysis.tradeoff --names qft_10 # subset
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.formatting import format_series
+from repro.bench_circuits.suites import FIGURE_8_NAMES, get_benchmark
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.depth import circuit_depth
+from repro.core.compiler import compile_circuit
+from repro.core.heuristic import HeuristicConfig
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.devices import ibm_q20_tokyo
+from repro.hardware.distance import distance_matrix
+
+#: The delta sweep used by default (0 = decay off, then increasing).
+DEFAULT_DELTAS: Sequence[float] = (0.0, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1)
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One (delta, gates, depth) measurement.
+
+    ``gates_norm``/``depth_norm`` match Figure 8's axes: total output
+    gates normalised to ``g_ori`` and output depth normalised to the
+    original circuit depth.
+    """
+
+    delta: float
+    total_gates: int
+    depth: int
+    gates_norm: float
+    depth_norm: float
+
+
+def decay_sweep(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    deltas: Sequence[float] = DEFAULT_DELTAS,
+    seed: int = 0,
+    num_trials: int = 3,
+    distance=None,
+) -> List[TradeoffPoint]:
+    """Route ``circuit`` once per ``delta`` and collect trade-off points."""
+    if distance is None:
+        distance = distance_matrix(coupling)
+    original_gates = circuit.count_gates()
+    original_depth = circuit_depth(circuit)
+    points: List[TradeoffPoint] = []
+    for delta in deltas:
+        config = HeuristicConfig(mode="decay", decay_delta=delta)
+        result = compile_circuit(
+            circuit,
+            coupling,
+            config=config,
+            seed=seed,
+            num_trials=num_trials,
+            distance=distance,
+        )
+        depth = result.routed_depth
+        points.append(
+            TradeoffPoint(
+                delta=delta,
+                total_gates=result.total_gates,
+                depth=depth,
+                gates_norm=result.total_gates / max(original_gates, 1),
+                depth_norm=depth / max(original_depth, 1),
+            )
+        )
+    return points
+
+
+def run_figure8(
+    names: Optional[Iterable[str]] = None,
+    deltas: Sequence[float] = DEFAULT_DELTAS,
+    coupling: Optional[CouplingGraph] = None,
+    seed: int = 0,
+    num_trials: int = 3,
+) -> Dict[str, List[TradeoffPoint]]:
+    """The Figure 8 experiment over the paper's nine benchmarks."""
+    coupling = coupling or ibm_q20_tokyo()
+    distance = distance_matrix(coupling)
+    series: Dict[str, List[TradeoffPoint]] = {}
+    for name in names or FIGURE_8_NAMES:
+        circuit = get_benchmark(name).build()
+        series[name] = decay_sweep(
+            circuit,
+            coupling,
+            deltas=deltas,
+            seed=seed,
+            num_trials=num_trials,
+            distance=distance,
+        )
+    return series
+
+
+def depth_variation(points: Sequence[TradeoffPoint]) -> float:
+    """Relative spread of normalised depth across the sweep.
+
+    The paper reports "about 8% variation in generated circuit depth by
+    varying the number of gates".
+    """
+    depths = [p.depth_norm for p in points]
+    low, high = min(depths), max(depths)
+    return (high - low) / high if high else 0.0
+
+
+def figure8_to_text(series: Dict[str, List[TradeoffPoint]]) -> str:
+    """Render all trade-off series plus per-benchmark depth variation."""
+    blocks: List[str] = [
+        "Figure 8 — trade-off between gates and depth in the output "
+        "circuits (delta sweep)",
+        "",
+    ]
+    for name, points in series.items():
+        rows = [
+            (p.delta, round(p.gates_norm, 4), round(p.depth_norm, 4))
+            for p in points
+        ]
+        blocks.append(
+            format_series(
+                name, rows, x_label="delta", y_label="(gates_norm, depth_norm)"
+            )
+        )
+        blocks.append(
+            f"  depth variation across sweep: {100 * depth_variation(points):.1f}%"
+        )
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate Figure 8.")
+    parser.add_argument("--names", nargs="*", help="benchmarks to sweep")
+    parser.add_argument(
+        "--deltas", nargs="*", type=float, help="decay deltas to sweep"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trials", type=int, default=3)
+    args = parser.parse_args(argv)
+    series = run_figure8(
+        names=args.names or None,
+        deltas=tuple(args.deltas) if args.deltas else DEFAULT_DELTAS,
+        seed=args.seed,
+        num_trials=args.trials,
+    )
+    print(figure8_to_text(series))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

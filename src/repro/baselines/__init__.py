@@ -1,0 +1,23 @@
+"""Baseline mappers the paper compares against (or that bound SABRE).
+
+- :mod:`repro.baselines.astar` — the Best Known Algorithm ("BKA") of
+  Table II: Zulehner, Paler, Wille (DATE 2018), layer-by-layer A* over
+  SWAP sequences.  Exponential search space; a node budget reproduces
+  the paper's "Out of Memory" rows.
+- :mod:`repro.baselines.greedy` — Siraichi et al. (CGO 2018) style
+  greedy allocation: interaction-degree initial mapping plus per-gate
+  greedy movement ("fast but oversimplified", paper §VII).
+- :mod:`repro.baselines.trivial` — identity layout + shortest-path
+  SWAP chains: the floor any serious mapper must beat.
+"""
+
+from repro.baselines.astar import AStarMapper
+from repro.baselines.greedy import GreedyMapper, interaction_degree_layout
+from repro.baselines.trivial import TrivialRouter
+
+__all__ = [
+    "AStarMapper",
+    "GreedyMapper",
+    "interaction_degree_layout",
+    "TrivialRouter",
+]

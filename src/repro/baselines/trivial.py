@@ -1,0 +1,93 @@
+"""Trivial shortest-path router — the baseline floor.
+
+Routes one two-qubit gate at a time: when a gate's qubits are not
+adjacent, SWAP the first qubit along a BFS shortest path until they
+are.  No look-ahead, no layout search.  Any mapper worth publishing
+must beat this; benchmarks use it to calibrate how much of SABRE's win
+comes from the heuristic versus from routing at all.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.core.layout import Layout
+from repro.core.result import MappingResult
+from repro.core.router import RoutingResult
+from repro.exceptions import MappingError
+from repro.hardware.coupling import CouplingGraph
+
+
+class TrivialRouter:
+    """Per-gate shortest-path SWAP insertion from a fixed layout.
+
+    Args:
+        coupling: device coupling graph (connected).
+        initial_layout: layout to start from (identity when omitted).
+    """
+
+    def __init__(
+        self,
+        coupling: CouplingGraph,
+        initial_layout: Optional[Layout] = None,
+    ) -> None:
+        coupling.require_connected()
+        self.coupling = coupling
+        self.initial_layout = initial_layout
+
+    def run(self, circuit: QuantumCircuit) -> MappingResult:
+        """Route ``circuit``; returns the same result type as SABRE."""
+        n_phys = self.coupling.num_qubits
+        if circuit.num_qubits > n_phys:
+            raise MappingError(
+                f"circuit needs {circuit.num_qubits} qubits, device has {n_phys}"
+            )
+        start = time.perf_counter()
+        layout = (self.initial_layout or Layout.trivial(n_phys)).copy()
+        initial = layout.copy()
+        out = QuantumCircuit(
+            n_phys, f"{circuit.name}_trivial", max(circuit.num_clbits, 1)
+        )
+        swap_positions: List[int] = []
+        for gate in circuit:
+            if gate.is_two_qubit:
+                self._make_adjacent(gate, layout, out, swap_positions)
+            out.append(gate.remapped(layout.l2p))
+        elapsed = time.perf_counter() - start
+        routing = RoutingResult(
+            circuit=out,
+            initial_layout=initial,
+            final_layout=layout,
+            num_swaps=len(swap_positions),
+            swap_positions=swap_positions,
+        )
+        return MappingResult(
+            name=circuit.name,
+            device_name=self.coupling.name,
+            original_circuit=circuit,
+            routing=routing,
+            initial_layout=initial,
+            final_layout=layout,
+            num_swaps=routing.num_swaps,
+            runtime_seconds=elapsed,
+        )
+
+    def _make_adjacent(
+        self,
+        gate: Gate,
+        layout: Layout,
+        out: QuantumCircuit,
+        swap_positions: List[int],
+    ) -> None:
+        """SWAP logical qubit ``a`` along a shortest path toward ``b``."""
+        a, b = gate.qubits
+        path = self.coupling.shortest_path(layout.physical(a), layout.physical(b))
+        for hop in path[1:-1]:
+            occupant = layout.logical(hop)
+            pa = layout.physical(a)
+            swap_positions.append(out.num_gates)
+            out.append(Gate("swap", (pa, hop)))
+            layout.swap_logical(a, occupant)

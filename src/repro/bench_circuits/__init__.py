@@ -1,0 +1,53 @@
+"""The paper's benchmark circuit families (Table II workloads).
+
+Four families, matching §V "Benchmarks":
+
+- ``small``: 5-qubit reversible arithmetic (RevLib) — synthesised here
+  as locality-biased Toffoli-block circuits with the paper's exact
+  qubit and gate counts.
+- ``sim``: trotterized 1D Ising-model simulation (from ScaffCC).  Our
+  generator reproduces the paper's gate counts *exactly* (10 Trotter
+  steps + initial Hadamard layer gives 480/633/786 gates for 10/13/16
+  qubits).
+- ``qft``: quantum Fourier transform in the {1q, CNOT} basis.  The full
+  textbook QFT matches the paper's qft_13 (403) and qft_20 (970) gate
+  counts exactly.
+- ``large``: big RevLib arithmetic — synthesised Toffoli-ladder
+  circuits matched to each row's (n, g) profile.
+
+:mod:`repro.bench_circuits.suites` carries the paper's reported numbers
+for every Table II row so harnesses can print paper-vs-measured.
+"""
+
+from repro.bench_circuits.ising import ising_model
+from repro.bench_circuits.qft import qft, approximate_qft
+from repro.bench_circuits.toffoli_blocks import (
+    reversible_block_circuit,
+    mct_ladder,
+)
+from repro.bench_circuits.revlib_like import revlib_like
+from repro.bench_circuits.suites import (
+    BenchmarkSpec,
+    TABLE_II,
+    FIGURE_8_NAMES,
+    get_benchmark,
+    build_benchmark,
+    suite,
+    categories,
+)
+
+__all__ = [
+    "ising_model",
+    "qft",
+    "approximate_qft",
+    "reversible_block_circuit",
+    "mct_ladder",
+    "revlib_like",
+    "BenchmarkSpec",
+    "TABLE_II",
+    "FIGURE_8_NAMES",
+    "get_benchmark",
+    "build_benchmark",
+    "suite",
+    "categories",
+]

@@ -1,0 +1,65 @@
+"""Quantum Fourier transform circuits (the paper's ``qft`` family).
+
+The textbook QFT on ``n`` qubits: for each qubit a Hadamard followed by
+controlled-phase rotations from every later qubit, lowered to the IBM
+basis (each controlled-phase becomes 2 CNOTs + 3 U1 rotations, §II-A).
+Totals are ``n + 5 * n(n-1)/2`` gates — matching Table II's qft_13
+(403) and qft_20 (970) rows exactly; the paper's qft_10/qft_16 files
+were approximate-QFT variants, available here via
+:func:`approximate_qft`.
+
+QFT is the stress case for routers: its interaction graph is the
+complete graph K_n, so no perfect initial mapping exists on any sparse
+device and SWAP quality dominates.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+
+def _controlled_phase(circ: QuantumCircuit, lam: float, control: int, target: int) -> None:
+    """CU1(lam) lowered to 2 CNOTs + 3 U1 gates (qelib1 definition)."""
+    circ.u1(lam / 2.0, control)
+    circ.cx(control, target)
+    circ.u1(-lam / 2.0, target)
+    circ.cx(control, target)
+    circ.u1(lam / 2.0, target)
+
+
+def qft(num_qubits: int, name: str = "") -> QuantumCircuit:
+    """Full QFT in the {1q, CNOT} basis (no final bit-reversal swaps,
+    matching the benchmark files used by the paper and the BKA repo)."""
+    if num_qubits < 1:
+        raise CircuitError("qft needs at least 1 qubit")
+    circ = QuantumCircuit(num_qubits, name or f"qft_{num_qubits}")
+    for i in range(num_qubits):
+        circ.h(i)
+        for j in range(i + 1, num_qubits):
+            _controlled_phase(circ, math.pi / float(2 ** (j - i)), j, i)
+    return circ
+
+
+def approximate_qft(
+    num_qubits: int, degree: int, name: str = ""
+) -> QuantumCircuit:
+    """Approximate QFT: drop rotations smaller than ``pi / 2^degree``.
+
+    Controlled-phase gates with ``j - i > degree`` contribute angles
+    below the NISQ noise floor and are omitted — the standard AQFT
+    construction (and the likely provenance of the paper's qft_10 /
+    qft_16 gate counts).
+    """
+    if num_qubits < 1:
+        raise CircuitError("approximate_qft needs at least 1 qubit")
+    if degree < 1:
+        raise CircuitError("approximate_qft degree must be >= 1")
+    circ = QuantumCircuit(num_qubits, name or f"aqft{degree}_{num_qubits}")
+    for i in range(num_qubits):
+        circ.h(i)
+        for j in range(i + 1, min(i + degree + 1, num_qubits)):
+            _controlled_phase(circ, math.pi / float(2 ** (j - i)), j, i)
+    return circ

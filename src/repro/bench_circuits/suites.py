@@ -1,0 +1,184 @@
+"""Registry of the paper's 26 Table II benchmarks with reported numbers.
+
+Every row of Table II becomes a :class:`BenchmarkSpec` carrying the
+paper's published measurements (BKA additional gates and runtime, SABRE
+look-ahead-only ``g_la``, SABRE with reverse traversal ``g_op``, and
+runtimes) next to a builder for our reproduction circuit.  Harnesses
+print paper-vs-measured side by side from this one source of truth.
+
+``None`` in the BKA columns marks the paper's "Out of Memory" rows
+(ising_model_16 and qft_20 exceeded the 378 GB server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench_circuits.ising import ising_model
+from repro.bench_circuits.qft import qft
+from repro.bench_circuits.revlib_like import revlib_like
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One Table II row.
+
+    Attributes:
+        name: benchmark id as printed in the paper.
+        category: ``small`` / ``sim`` / ``qft`` / ``large``.
+        num_qubits: logical qubit count ``n``.
+        paper_gates: ``g_ori``.
+        paper_bka_added: BKA ``g_add`` (None = Out of Memory).
+        paper_bka_time: BKA ``t_tot`` seconds (None = Out of Memory).
+        paper_sabre_lookahead: SABRE ``g_la`` (first traversal only).
+        paper_sabre_added: SABRE ``g_op`` (with reverse traversal).
+        paper_sabre_time_first: SABRE ``t_1`` seconds.
+        paper_sabre_time_total: SABRE ``t_op`` seconds (3 traversals).
+        builder: zero-argument callable producing our circuit.
+    """
+
+    name: str
+    category: str
+    num_qubits: int
+    paper_gates: int
+    paper_bka_added: Optional[int]
+    paper_bka_time: Optional[float]
+    paper_sabre_lookahead: int
+    paper_sabre_added: int
+    paper_sabre_time_first: float
+    paper_sabre_time_total: float
+    builder: Callable[[], QuantumCircuit] = None  # type: ignore[assignment]
+
+    def build(self) -> QuantumCircuit:
+        """Construct the reproduction circuit for this row."""
+        return self.builder()
+
+    @property
+    def paper_bka_oom(self) -> bool:
+        """True for the paper's 'Out of Memory' rows."""
+        return self.paper_bka_added is None
+
+
+def _rev(name: str, n: int, g: int) -> Callable[[], QuantumCircuit]:
+    return lambda: revlib_like(name, n, g)
+
+
+def _ising(n: int) -> Callable[[], QuantumCircuit]:
+    return lambda: ising_model(n)
+
+
+def _qft(n: int) -> Callable[[], QuantumCircuit]:
+    return lambda: qft(n, name=f"qft_{n}")
+
+
+#: All 26 rows of Table II, in the paper's order.
+TABLE_II: List[BenchmarkSpec] = [
+    # --- small quantum arithmetic -------------------------------------
+    BenchmarkSpec("4mod5-v1_22", "small", 5, 21, 15, 0.0, 6, 0, 0.0, 0.0,
+                  _rev("4mod5-v1_22", 5, 21)),
+    BenchmarkSpec("mod5mils_65", "small", 5, 35, 18, 0.0, 12, 0, 0.0, 0.0,
+                  _rev("mod5mils_65", 5, 35)),
+    BenchmarkSpec("alu-v0_27", "small", 5, 36, 33, 0.0, 30, 3, 0.0, 0.0,
+                  _rev("alu-v0_27", 5, 36)),
+    BenchmarkSpec("decod24-v2_43", "small", 4, 52, 27, 0.0, 9, 0, 0.0, 0.0,
+                  _rev("decod24-v2_43", 4, 52)),
+    BenchmarkSpec("4gt13_92", "small", 5, 66, 42, 0.0, 18, 0, 0.0, 0.0,
+                  _rev("4gt13_92", 5, 66)),
+    # --- quantum simulation (Ising) -----------------------------------
+    BenchmarkSpec("ising_model_10", "sim", 10, 480, 18, 1.37, 39, 0,
+                  0.003, 0.004, _ising(10)),
+    BenchmarkSpec("ising_model_13", "sim", 13, 633, 60, 42.46, 66, 0,
+                  0.005, 0.007, _ising(13)),
+    BenchmarkSpec("ising_model_16", "sim", 16, 786, None, None, 84, 0,
+                  0.008, 0.01, _ising(16)),
+    # --- quantum Fourier transform ------------------------------------
+    BenchmarkSpec("qft_10", "qft", 10, 200, 66, 0.22, 93, 54, 0.004, 0.103,
+                  _qft(10)),
+    BenchmarkSpec("qft_13", "qft", 13, 403, 177, 266.27, 204, 93,
+                  0.015, 0.036, _qft(13)),
+    BenchmarkSpec("qft_16", "qft", 16, 512, 267, 474.81, 276, 186,
+                  0.028, 0.084, _qft(16)),
+    BenchmarkSpec("qft_20", "qft", 20, 970, None, None, 429, 372,
+                  0.034, 0.102, _qft(20)),
+    # --- large quantum arithmetic -------------------------------------
+    BenchmarkSpec("rd84_142", "large", 15, 343, 138, 1.97, 243, 105,
+                  0.012, 0.035, _rev("rd84_142", 15, 343)),
+    BenchmarkSpec("adr4_197", "large", 13, 3439, 1722, 4.53, 2112, 1614,
+                  0.19, 0.49, _rev("adr4_197", 13, 3439)),
+    BenchmarkSpec("radd_250", "large", 13, 3213, 1434, 2.23, 1488, 1275,
+                  0.16, 0.48, _rev("radd_250", 13, 3213)),
+    BenchmarkSpec("z4_268", "large", 11, 3073, 1383, 1.15, 1695, 1365,
+                  0.15, 0.44, _rev("z4_268", 11, 3073)),
+    BenchmarkSpec("sym6_145", "large", 14, 3888, 1806, 0.56, 1650, 1272,
+                  0.19, 0.56, _rev("sym6_145", 14, 3888)),
+    BenchmarkSpec("misex1_241", "large", 15, 4813, 2097, 0.3, 2904, 1521,
+                  0.29, 0.89, _rev("misex1_241", 15, 4813)),
+    BenchmarkSpec("rd73_252", "large", 10, 5321, 2160, 1.19, 2391, 2133,
+                  0.31, 0.94, _rev("rd73_252", 10, 5321)),
+    BenchmarkSpec("cycle10_2_110", "large", 12, 6050, 2802, 1.31, 2622, 2622,
+                  0.44, 1.35, _rev("cycle10_2_110", 12, 6050)),
+    BenchmarkSpec("square_root_7", "large", 15, 7630, 3132, 2.81, 5049, 2598,
+                  0.63, 1.5, _rev("square_root_7", 15, 7630)),
+    BenchmarkSpec("sqn_258", "large", 10, 10223, 4737, 16.92, 5934, 4344,
+                  1.23, 3.52, _rev("sqn_258", 10, 10223)),
+    BenchmarkSpec("rd84_253", "large", 12, 13658, 6483, 15.25, 7668, 6147,
+                  1.82, 5.39, _rev("rd84_253", 12, 13658)),
+    BenchmarkSpec("co14_215", "large", 15, 17936, 9183, 18.37, 10128, 8982,
+                  3.18, 9.51, _rev("co14_215", 15, 17936)),
+    BenchmarkSpec("sym9_193", "large", 10, 34881, 17496, 72.61, 26355, 16653,
+                  11.11, 30.17, _rev("sym9_193", 10, 34881)),
+    BenchmarkSpec("9symml_195", "large", 11, 34881, 17496, 81.73, 25368, 17268,
+                  11.1, 31.42, _rev("9symml_195", 11, 34881)),
+]
+
+#: The nine benchmarks plotted in Figure 8 (decay trade-off).
+FIGURE_8_NAMES: Tuple[str, ...] = (
+    "qft_10",
+    "qft_13",
+    "qft_16",
+    "qft_20",
+    "rd84_142",
+    "radd_250",
+    "cycle10_2_110",
+    "co14_215",
+    "sym9_193",
+)
+
+_BY_NAME: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in TABLE_II}
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a Table II row by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown benchmark {name!r}; available: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def build_benchmark(name: str) -> QuantumCircuit:
+    """Construct the reproduction circuit for a Table II row."""
+    return get_benchmark(name).build()
+
+
+def suite(category: str) -> List[BenchmarkSpec]:
+    """All rows of one category (``small``/``sim``/``qft``/``large``)."""
+    rows = [spec for spec in TABLE_II if spec.category == category]
+    if not rows:
+        raise ReproError(
+            f"unknown category {category!r}; available: {sorted(categories())}"
+        )
+    return rows
+
+
+def categories() -> List[str]:
+    """Category names in table order, deduplicated."""
+    seen: List[str] = []
+    for spec in TABLE_II:
+        if spec.category not in seen:
+            seen.append(spec.category)
+    return seen

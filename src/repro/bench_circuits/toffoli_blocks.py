@@ -1,0 +1,108 @@
+"""Reversible-logic building blocks: Toffoli ladders and block circuits.
+
+RevLib circuits (the paper's ``small`` and ``large`` families) are
+reversible functions synthesised from NOT / CNOT / Toffoli gates and
+then lowered to the {1q, CNOT} basis.  After lowering, a Toffoli is the
+15-gate network of paper Fig. 1 (6 CNOTs), which fixes the structural
+statistics of the whole family: ~40-50% CNOTs, heavy qubit-pair reuse,
+and interactions concentrated on small working sets of wires.
+
+These helpers generate such structure directly, providing the synthetic
+stand-ins for the RevLib files (see DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.decompositions import toffoli_decomposition
+from repro.exceptions import CircuitError
+
+
+def mct_ladder(
+    num_qubits: int, num_rounds: int = 1, name: str = ""
+) -> QuantumCircuit:
+    """Multi-controlled-Toffoli ladder lowered to the basis.
+
+    Each round applies Toffolis along the wire ladder
+    ``(0,1->2), (1,2->3), ...`` — the canonical carry-chain shape of
+    ripple adders (adr4/radd-style arithmetic).
+    """
+    if num_qubits < 3:
+        raise CircuitError("mct_ladder needs at least 3 qubits")
+    circ = QuantumCircuit(num_qubits, name or f"mct_ladder_{num_qubits}")
+    for _ in range(num_rounds):
+        for q in range(num_qubits - 2):
+            circ.extend(toffoli_decomposition(q, q + 1, q + 2))
+    return circ
+
+
+def reversible_block_circuit(
+    num_qubits: int,
+    target_gates: int,
+    seed: int = 0,
+    window: int = 4,
+    toffoli_fraction: float = 0.5,
+    cnot_fraction: float = 0.35,
+    name: str = "",
+) -> QuantumCircuit:
+    """Random reversible-style circuit with locality-biased wiring.
+
+    Emits a stream of blocks — Toffoli (lowered to 15 gates), CNOT, or
+    a single-qubit gate — whose operands are drawn from a sliding
+    window that random-walks across the register, mimicking how
+    arithmetic circuits touch neighbouring register bits.  Stops within
+    one block of ``target_gates`` and pads with single-qubit T gates to
+    land exactly on it.
+
+    Args:
+        num_qubits: register width.
+        target_gates: exact output gate count.
+        seed: deterministic RNG seed.
+        window: working-set width for operand selection (>= 2; use 3
+            for the very sparse small-benchmark interaction graphs).
+        toffoli_fraction / cnot_fraction: block mix; the remainder are
+            single-qubit gates.
+    """
+    if num_qubits < 2:
+        raise CircuitError("reversible_block_circuit needs >= 2 qubits")
+    if target_gates < 1:
+        raise CircuitError("target_gates must be positive")
+    if window < 2:
+        raise CircuitError("window must be >= 2")
+    rng = random.Random(seed)
+    circ = QuantumCircuit(
+        num_qubits, name or f"revblock_{num_qubits}q_{target_gates}g_s{seed}"
+    )
+    window = min(window, num_qubits)
+    center = rng.randrange(num_qubits)
+    one_qubit_pool = ("x", "h", "t", "tdg")
+
+    def window_qubits(count: int) -> List[int]:
+        lo = max(0, min(center - window // 2, num_qubits - window))
+        return rng.sample(range(lo, lo + window), count)
+
+    while circ.num_gates < target_gates:
+        # Drift the working set like a carry chain moving along a register.
+        if rng.random() < 0.3:
+            center = min(max(center + rng.choice((-1, 1)), 0), num_qubits - 1)
+        remaining = target_gates - circ.num_gates
+        draw = rng.random()
+        if draw < toffoli_fraction and remaining >= 15 and window >= 3 and num_qubits >= 3:
+            c1, c2, t = window_qubits(3)
+            circ.extend(toffoli_decomposition(c1, c2, t))
+        elif draw < toffoli_fraction + cnot_fraction and remaining >= 1:
+            a, b = window_qubits(2)
+            circ.cx(a, b)
+        else:
+            circ.add_gate(rng.choice(one_qubit_pool), window_qubits(1)[0])
+    return circ
+
+
+def cnot_fraction_of(circuit: QuantumCircuit) -> float:
+    """Fraction of gates that are CNOTs (a family fingerprint)."""
+    if circuit.num_gates == 0:
+        return 0.0
+    return circuit.gate_counts().get("cx", 0) / circuit.num_gates

@@ -1,0 +1,58 @@
+"""Quantum circuit intermediate representation.
+
+This package is the circuit substrate the SABRE mapper operates on:
+
+- :mod:`repro.circuits.gates` — immutable gate objects and the standard
+  gate library (the {single-qubit, CNOT} basis used throughout the paper).
+- :mod:`repro.circuits.circuit` — the :class:`QuantumCircuit` container.
+- :mod:`repro.circuits.dag` — gate dependency DAG, front layer, and layer
+  partitioning (paper Fig. 4).
+- :mod:`repro.circuits.depth` — ASAP scheduling and circuit depth.
+- :mod:`repro.circuits.decompositions` — Toffoli and SWAP decompositions
+  (paper Fig. 1 and Fig. 3a) and basis rewriting.
+- :mod:`repro.circuits.reverse` — circuit reversal used by the reverse
+  traversal technique (paper Fig. 5).
+- :mod:`repro.circuits.random_circuits` — seeded random circuit
+  generators used by tests and benchmarks.
+"""
+
+from repro.circuits.gates import Gate, GATE_SPECS, GateSpec
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDag, DagNode
+from repro.circuits.depth import circuit_depth, schedule_asap
+from repro.circuits.reverse import reversed_circuit, inverted_circuit
+from repro.circuits.decompositions import (
+    toffoli_decomposition,
+    swap_decomposition,
+    decompose_to_cx_basis,
+)
+from repro.circuits.random_circuits import random_circuit, random_cx_circuit
+from repro.circuits.transforms import (
+    cancel_adjacent_inverses,
+    merge_rotations,
+    optimize_circuit,
+)
+from repro.circuits.visualization import draw_circuit, draw_coupling
+
+__all__ = [
+    "cancel_adjacent_inverses",
+    "merge_rotations",
+    "optimize_circuit",
+    "draw_circuit",
+    "draw_coupling",
+    "Gate",
+    "GateSpec",
+    "GATE_SPECS",
+    "QuantumCircuit",
+    "CircuitDag",
+    "DagNode",
+    "circuit_depth",
+    "schedule_asap",
+    "reversed_circuit",
+    "inverted_circuit",
+    "toffoli_decomposition",
+    "swap_decomposition",
+    "decompose_to_cx_basis",
+    "random_circuit",
+    "random_cx_circuit",
+]

@@ -1,0 +1,271 @@
+"""The :class:`QuantumCircuit` container.
+
+A circuit is an ordered list of :class:`~repro.circuits.gates.Gate`
+objects over ``num_qubits`` wires.  This mirrors the paper's circuit
+model (Section II-A): each wire is a logical qubit; the mapper's job is
+to re-home those wires onto physical qubits.
+
+The container is deliberately simple — a growable gate list with
+validation, builder methods (``circ.h(0)``, ``circ.cx(0, 1)``), and
+derived views (gate counts, two-qubit interaction list).  Depth and
+dependency structure live in :mod:`repro.circuits.depth` and
+:mod:`repro.circuits.dag`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuits.gates import Gate
+from repro.exceptions import CircuitError
+
+
+class QuantumCircuit:
+    """An ordered sequence of gates on ``num_qubits`` logical qubits.
+
+    Args:
+        num_qubits: number of wires.  Gate operands must lie in
+            ``range(num_qubits)``.
+        name: optional human-readable name (benchmark id, etc.).
+        num_clbits: size of the classical register for measurements;
+            defaults to ``num_qubits``.
+
+    Example:
+        >>> circ = QuantumCircuit(3, name="ghz")
+        >>> circ.h(0)
+        >>> circ.cx(0, 1)
+        >>> circ.cx(1, 2)
+        >>> circ.num_gates
+        3
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        name: Optional[str] = None,
+        num_clbits: Optional[int] = None,
+    ) -> None:
+        if num_qubits < 0:
+            raise CircuitError(f"num_qubits must be >= 0, got {num_qubits}")
+        self.num_qubits = num_qubits
+        self.num_clbits = num_qubits if num_clbits is None else num_clbits
+        self.name = name or "circuit"
+        self._gates: List[Gate] = []
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """The gate sequence as an immutable snapshot."""
+        return tuple(self._gates)
+
+    @property
+    def num_gates(self) -> int:
+        """Total number of operations, including directives."""
+        return len(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and self._gates == other._gates
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"num_gates={self.num_gates})"
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def append(self, gate: Gate) -> None:
+        """Append a pre-built gate, validating operand ranges."""
+        for q in gate.qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(
+                    f"gate {gate} uses qubit {q}, but circuit has "
+                    f"{self.num_qubits} qubit(s)"
+                )
+        if gate.clbit is not None and not 0 <= gate.clbit < self.num_clbits:
+            raise CircuitError(
+                f"gate {gate} uses clbit {gate.clbit}, but circuit has "
+                f"{self.num_clbits} clbit(s)"
+            )
+        self._gates.append(gate)
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        """Append every gate from ``gates`` in order."""
+        for gate in gates:
+            self.append(gate)
+
+    def add_gate(self, name: str, *qubits: int, params: Sequence[float] = ()) -> None:
+        """Append a gate by name: ``circ.add_gate('cx', 0, 1)``."""
+        self.append(Gate(name, tuple(qubits), tuple(params)))
+
+    # Builder methods for the standard library.  Generated explicitly so
+    # the public API is greppable and IDE-discoverable.
+
+    def id(self, q: int) -> None:
+        self.append(Gate("id", (q,)))
+
+    def x(self, q: int) -> None:
+        self.append(Gate("x", (q,)))
+
+    def y(self, q: int) -> None:
+        self.append(Gate("y", (q,)))
+
+    def z(self, q: int) -> None:
+        self.append(Gate("z", (q,)))
+
+    def h(self, q: int) -> None:
+        self.append(Gate("h", (q,)))
+
+    def s(self, q: int) -> None:
+        self.append(Gate("s", (q,)))
+
+    def sdg(self, q: int) -> None:
+        self.append(Gate("sdg", (q,)))
+
+    def t(self, q: int) -> None:
+        self.append(Gate("t", (q,)))
+
+    def tdg(self, q: int) -> None:
+        self.append(Gate("tdg", (q,)))
+
+    def rx(self, theta: float, q: int) -> None:
+        self.append(Gate("rx", (q,), (theta,)))
+
+    def ry(self, theta: float, q: int) -> None:
+        self.append(Gate("ry", (q,), (theta,)))
+
+    def rz(self, theta: float, q: int) -> None:
+        self.append(Gate("rz", (q,), (theta,)))
+
+    def u1(self, lam: float, q: int) -> None:
+        self.append(Gate("u1", (q,), (lam,)))
+
+    def u2(self, phi: float, lam: float, q: int) -> None:
+        self.append(Gate("u2", (q,), (phi, lam)))
+
+    def u3(self, theta: float, phi: float, lam: float, q: int) -> None:
+        self.append(Gate("u3", (q,), (theta, phi, lam)))
+
+    def cx(self, control: int, target: int) -> None:
+        self.append(Gate("cx", (control, target)))
+
+    def cz(self, a: int, b: int) -> None:
+        self.append(Gate("cz", (a, b)))
+
+    def cu1(self, lam: float, control: int, target: int) -> None:
+        self.append(Gate("cu1", (control, target), (lam,)))
+
+    def rzz(self, theta: float, a: int, b: int) -> None:
+        self.append(Gate("rzz", (a, b), (theta,)))
+
+    def swap(self, a: int, b: int) -> None:
+        self.append(Gate("swap", (a, b)))
+
+    def ccx(self, c1: int, c2: int, target: int) -> None:
+        self.append(Gate("ccx", (c1, c2, target)))
+
+    def measure(self, qubit: int, clbit: Optional[int] = None) -> None:
+        self.append(Gate("measure", (qubit,), clbit=qubit if clbit is None else clbit))
+
+    def barrier(self, *qubits: int) -> None:
+        """Append a barrier; with no arguments, spans all qubits."""
+        qs = qubits or tuple(range(self.num_qubits))
+        self.append(Gate("barrier", qs))
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def gate_counts(self) -> Dict[str, int]:
+        """Histogram of gate names, e.g. ``{'cx': 6, 'h': 2}``."""
+        return dict(Counter(g.name for g in self._gates))
+
+    def count_gates(self, include_directives: bool = False) -> int:
+        """Number of unitary gates (the paper's ``g`` metric).
+
+        Directives (measure/barrier/reset) are excluded by default since
+        the paper counts only gates.
+        """
+        if include_directives:
+            return len(self._gates)
+        return sum(1 for g in self._gates if not g.is_directive)
+
+    def two_qubit_gates(self) -> List[Gate]:
+        """All routable two-qubit gates in circuit order."""
+        return [g for g in self._gates if g.is_two_qubit]
+
+    def num_two_qubit_gates(self) -> int:
+        """Count of routable two-qubit gates."""
+        return sum(1 for g in self._gates if g.is_two_qubit)
+
+    def interaction_pairs(self) -> Counter:
+        """Multiset of unordered qubit pairs touched by two-qubit gates.
+
+        This is the "logical coupling" view the Siraichi-style baseline
+        matches against the device coupling graph.
+        """
+        pairs: Counter = Counter()
+        for g in self._gates:
+            if g.is_two_qubit:
+                a, b = g.qubits
+                pairs[(min(a, b), max(a, b))] += 1
+        return pairs
+
+    def used_qubits(self) -> List[int]:
+        """Sorted list of wires touched by at least one operation."""
+        used = set()
+        for g in self._gates:
+            used.update(g.qubits)
+        return sorted(used)
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Shallow copy (gates are immutable so sharing is safe)."""
+        new = QuantumCircuit(self.num_qubits, name or self.name, self.num_clbits)
+        new._gates = list(self._gates)
+        return new
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return a new circuit running ``self`` then ``other``."""
+        if other.num_qubits > self.num_qubits:
+            raise CircuitError(
+                f"cannot compose: other circuit has {other.num_qubits} qubits, "
+                f"self has {self.num_qubits}"
+            )
+        new = self.copy()
+        new.extend(other.gates)
+        return new
+
+    def remapped(self, mapping) -> "QuantumCircuit":
+        """Return a copy with every gate's operands sent through ``mapping``."""
+        new = QuantumCircuit(self.num_qubits, self.name, self.num_clbits)
+        for g in self._gates:
+            new.append(g.remapped(mapping))
+        return new
+
+    def without_directives(self) -> "QuantumCircuit":
+        """Copy with measure/barrier/reset removed (pure unitary part)."""
+        new = QuantumCircuit(self.num_qubits, self.name, self.num_clbits)
+        for g in self._gates:
+            if not g.is_directive:
+                new.append(g)
+        return new

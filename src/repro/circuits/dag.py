@@ -1,0 +1,243 @@
+"""Gate dependency DAG, front layer, and layering (paper Fig. 4, §IV-A).
+
+The paper represents execution constraints between two-qubit gates as a
+Directed Acyclic Graph: gate ``B`` depends on gate ``A`` when they share
+a qubit and ``A`` precedes ``B`` in the circuit.  We build the DAG over
+*all* gates (single-qubit gates and directives included) so routed
+output preserves every operation; the routing front layer then consists
+of the *two-qubit* gates whose predecessors have all executed, exactly
+as in the paper — single-qubit gates are "always executed locally" and
+flush through the frontier automatically.
+
+Three consumers:
+
+- :class:`DagFrontier` drives SABRE's main loop (Algorithm 1): it keeps
+  the front layer ``F``, auto-releases non-routable gates, and exposes
+  the look-ahead *extended set* ``E`` (§IV-D).
+- :meth:`CircuitDag.two_qubit_layers` partitions two-qubit gates into
+  independent layers for the Zulehner-style A* baseline.
+- Verification walks the DAG to check that a routed circuit is a
+  linearisation of the original partial order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.exceptions import CircuitError
+
+
+@dataclass
+class DagNode:
+    """One gate in the dependency DAG.
+
+    Attributes:
+        index: position of the gate in the source circuit (also the node id).
+        gate: the gate itself.
+        predecessors: node ids this gate depends on (deduplicated).
+        successors: node ids depending on this gate (deduplicated).
+    """
+
+    index: int
+    gate: Gate
+    predecessors: List[int] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+
+
+class CircuitDag:
+    """Dependency DAG of a circuit (paper Fig. 4).
+
+    Construction is a single ``O(g)`` pass tracking the last gate seen on
+    each wire, as described in §IV-A ("We traverse the entire quantum
+    circuit and construct a DAG ... with complexity O(g)").
+    """
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.circuit = circuit
+        self.nodes: List[DagNode] = []
+        last_on_wire: List[Optional[int]] = [None] * circuit.num_qubits
+        for index, gate in enumerate(circuit):
+            node = DagNode(index, gate)
+            preds: Set[int] = set()
+            for q in gate.qubits:
+                prev = last_on_wire[q]
+                if prev is not None:
+                    preds.add(prev)
+                last_on_wire[q] = index
+            node.predecessors = sorted(preds)
+            for p in node.predecessors:
+                self.nodes[p].successors.append(index)
+            self.nodes.append(node)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def indegree(self, index: int) -> int:
+        return len(self.nodes[index].predecessors)
+
+    def successors(self, index: int) -> List[int]:
+        return self.nodes[index].successors
+
+    def predecessors(self, index: int) -> List[int]:
+        return self.nodes[index].predecessors
+
+    def roots(self) -> List[int]:
+        """Node ids with no dependencies (indegree zero)."""
+        return [n.index for n in self.nodes if not n.predecessors]
+
+    def initial_front_layer(self) -> List[int]:
+        """Two-qubit gates executable immediately *in software*.
+
+        This matches the paper's front-layer initialisation: "all
+        vertices in the graph with 0 indegree" — restricted to two-qubit
+        gates, after virtually executing any leading single-qubit gates.
+        """
+        frontier = DagFrontier(self)
+        frontier.drain_nonrouting()
+        return sorted(frontier.front)
+
+    def two_qubit_layers(self) -> List[List[int]]:
+        """Partition two-qubit gates into independent layers (ASAP).
+
+        Layer ``k`` holds gates whose operands are all free at step ``k``
+        — the layering used by IBM's mapper and the Zulehner baseline
+        (§VII: "divides the quantum circuit into independent layers ...
+        each layer only contains non-overlapped operations").
+        Single-qubit gates and directives are ignored, as in those works.
+        """
+        layer_of_wire = [0] * self.circuit.num_qubits
+        layers: List[List[int]] = []
+        for node in self.nodes:
+            gate = node.gate
+            if not gate.is_two_qubit:
+                continue
+            a, b = gate.qubits
+            layer = max(layer_of_wire[a], layer_of_wire[b])
+            while len(layers) <= layer:
+                layers.append([])
+            layers[layer].append(node.index)
+            layer_of_wire[a] = layer + 1
+            layer_of_wire[b] = layer + 1
+        return layers
+
+    def is_linearisation(self, order: Sequence[int]) -> bool:
+        """True if ``order`` is a valid topological order of all nodes."""
+        if sorted(order) != list(range(len(self.nodes))):
+            return False
+        position = {idx: pos for pos, idx in enumerate(order)}
+        return all(
+            position[p] < position[node.index]
+            for node in self.nodes
+            for p in node.predecessors
+        )
+
+
+class DagFrontier:
+    """Mutable execution state over a :class:`CircuitDag`.
+
+    Drives the main loop of Algorithm 1.  The frontier tracks, for every
+    node, how many predecessors are still unexecuted; ready nodes are
+    classified into:
+
+    - ``front``: ready *two-qubit* gates — the paper's ``F``;
+    - a queue of ready non-routing operations (single-qubit gates,
+      measures, barriers) that the router flushes into the output
+      unconditionally via :meth:`drain_nonrouting`.
+    """
+
+    def __init__(self, dag: CircuitDag) -> None:
+        self.dag = dag
+        self._remaining = [len(n.predecessors) for n in dag.nodes]
+        self._executed = [False] * len(dag.nodes)
+        self.front: Set[int] = set()
+        self._ready_other: deque = deque()
+        self.num_executed = 0
+        for node in dag.nodes:
+            if not node.predecessors:
+                self._classify(node.index)
+
+    def _classify(self, index: int) -> None:
+        if self.dag.nodes[index].gate.is_two_qubit:
+            self.front.add(index)
+        else:
+            self._ready_other.append(index)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True when every gate has been executed."""
+        return self.num_executed == len(self.dag.nodes)
+
+    def drain_nonrouting(self) -> List[int]:
+        """Execute and return all ready non-two-qubit operations.
+
+        These never need SWAPs (single-qubit gates execute locally,
+        §IV-A), so the router emits them as soon as they are ready.
+        Draining can cascade: executing a 1q gate may release another.
+        """
+        drained: List[int] = []
+        while self._ready_other:
+            index = self._ready_other.popleft()
+            self._execute(index)
+            drained.append(index)
+        return drained
+
+    def execute_front_gate(self, index: int) -> None:
+        """Execute a two-qubit gate currently in the front layer."""
+        if index not in self.front:
+            raise CircuitError(f"node {index} is not in the front layer")
+        self.front.discard(index)
+        self._execute(index)
+
+    def _execute(self, index: int) -> None:
+        if self._executed[index]:
+            raise CircuitError(f"node {index} already executed")
+        self._executed[index] = True
+        self.num_executed += 1
+        for succ in self.dag.nodes[index].successors:
+            self._remaining[succ] -= 1
+            if self._remaining[succ] == 0:
+                self._classify(succ)
+
+    def front_gates(self) -> List[Tuple[int, Gate]]:
+        """The front layer as ``(node id, gate)`` pairs, sorted by id."""
+        return [(i, self.dag.nodes[i].gate) for i in sorted(self.front)]
+
+    def extended_set(self, size: int) -> List[Gate]:
+        """The look-ahead set ``E``: closest two-qubit successors of ``F``.
+
+        Walks the future of the DAG in virtual-execution order (a node
+        becomes visitable once all its predecessors are virtually
+        executed), collecting two-qubit gates until ``size`` are found
+        or the circuit ends.  This matches the paper's "closest
+        successors of the gates from F" (§IV-D) and the reference
+        implementation's behaviour.
+        """
+        if size <= 0:
+            return []
+        extended: List[Gate] = []
+        virtual_remaining: Dict[int, int] = {}
+        queue = deque(sorted(self.front))
+        while queue and len(extended) < size:
+            index = queue.popleft()
+            for succ in self.dag.nodes[index].successors:
+                if succ not in virtual_remaining:
+                    virtual_remaining[succ] = self._remaining[succ]
+                virtual_remaining[succ] -= 1
+                if virtual_remaining[succ] == 0:
+                    gate = self.dag.nodes[succ].gate
+                    if gate.is_two_qubit:
+                        extended.append(gate)
+                        if len(extended) >= size:
+                            break
+                    queue.append(succ)
+        return extended

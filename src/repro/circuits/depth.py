@@ -1,0 +1,83 @@
+"""Circuit depth via ASAP (as-soon-as-possible) scheduling.
+
+The paper's second quality metric is circuit depth ``d`` — the number of
+time steps needed when every gate takes one step and gates on disjoint
+qubits run concurrently (§III-B, "Metrics").  Depth matters because the
+whole computation must finish within the qubit coherence time.
+
+``schedule_asap`` assigns each gate the earliest step at which all its
+operands are free; ``circuit_depth`` is the number of occupied steps.
+Barriers synchronise their wires but occupy no step of their own;
+measures occupy a step like gates (they are real device operations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+
+def schedule_asap(gates: Sequence[Gate], num_qubits: int) -> List[int]:
+    """Return the ASAP time step of every gate (directive-aware).
+
+    Args:
+        gates: gate sequence in circuit order.
+        num_qubits: wire count (operands must be < num_qubits).
+
+    Returns:
+        A list ``slots`` with ``slots[i]`` = 0-based time step of
+        ``gates[i]``.  Barriers get the step at which all their wires
+        synchronise but advance the wires without occupying the step.
+    """
+    wire_free_at = [0] * num_qubits
+    slots: List[int] = []
+    for gate in gates:
+        if not gate.qubits:
+            slots.append(0)
+            continue
+        start = max(wire_free_at[q] for q in gate.qubits)
+        slots.append(start)
+        if gate.name == "barrier":
+            # A barrier aligns wires without consuming a time step.
+            for q in gate.qubits:
+                wire_free_at[q] = start
+        else:
+            for q in gate.qubits:
+                wire_free_at[q] = start + 1
+    return slots
+
+
+def circuit_depth(circuit: QuantumCircuit, count_directives: bool = False) -> int:
+    """ASAP depth of a circuit (the paper's ``d`` metric).
+
+    By default barriers and measures are excluded from the depth count
+    (barriers are compile-time directives; the paper's benchmarks have no
+    trailing measurement rounds).  Set ``count_directives=True`` to
+    include measure/reset steps.
+    """
+    if count_directives:
+        gates = [g for g in circuit if g.name != "barrier"]
+    else:
+        gates = [g for g in circuit if not g.is_directive]
+    if not gates:
+        return 0
+    slots = schedule_asap(gates, circuit.num_qubits)
+    return max(slots) + 1
+
+
+def layers_asap(circuit: QuantumCircuit) -> List[List[Gate]]:
+    """Group unitary gates into ASAP time-step layers.
+
+    Layer ``k`` contains the gates scheduled at step ``k``; gates within
+    a layer act on disjoint qubits and can run concurrently.
+    """
+    gates = [g for g in circuit if not g.is_directive]
+    slots = schedule_asap(gates, circuit.num_qubits)
+    if not gates:
+        return []
+    layers: List[List[Gate]] = [[] for _ in range(max(slots) + 1)]
+    for gate, slot in zip(gates, slots):
+        layers[slot].append(gate)
+    return layers

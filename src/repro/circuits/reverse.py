@@ -1,0 +1,50 @@
+"""Circuit reversal for the reverse-traversal technique (paper Fig. 5).
+
+Quantum circuits are reversible: reading the gate list backwards (and
+inverting each gate) yields a circuit whose dependency structure is the
+mirror image of the original.  The paper exploits this for initial
+mapping: "The two-qubit gates in the reverse circuit will be exactly the
+same with only the order reversed" (§IV-C2) — the *routing* problem of
+the reverse circuit is identical in shape, so a final mapping of one
+traversal is a valid, globally-informed initial mapping for the next.
+
+Two flavours:
+
+- :func:`reversed_circuit` — gate order reversed, gates kept as-is.
+  This is all the mapper needs (routing only sees qubit pairs) and is
+  what the paper describes.
+- :func:`inverted_circuit` — the true dagger (order reversed *and* each
+  gate inverted).  Composing ``circuit`` with ``inverted_circuit(circuit)``
+  is the identity, which the simulator-based tests exploit.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def reversed_circuit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Gate order reversed; directives (measure/barrier) are dropped.
+
+    Directives are not unitary and have no reverse; the paper's reverse
+    traversal only cares about two-qubit dependency order, so removing
+    them is both safe and necessary.
+    """
+    rev = QuantumCircuit(
+        circuit.num_qubits, f"{circuit.name}_reversed", circuit.num_clbits
+    )
+    for gate in reversed(circuit.gates):
+        if not gate.is_directive:
+            rev.append(gate)
+    return rev
+
+
+def inverted_circuit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """The exact inverse (dagger) circuit: reversed order, inverted gates."""
+    inv = QuantumCircuit(
+        circuit.num_qubits, f"{circuit.name}_dagger", circuit.num_clbits
+    )
+    for gate in reversed(circuit.gates):
+        if not gate.is_directive:
+            inv.append(gate.inverse())
+    return inv

@@ -1,0 +1,197 @@
+"""Peephole circuit optimization passes.
+
+Routing inserts SWAPs (3 CNOTs each) next to existing CNOTs, which
+regularly creates adjacent inverse pairs — e.g. a routed ``cx(a, b)``
+followed by a SWAP decomposition beginning ``cx(a, b)``.  These passes
+clean such redundancy without touching circuit semantics:
+
+- :func:`cancel_adjacent_inverses` — remove gate pairs ``G, G^-1`` that
+  are adjacent on *all* their wires (single pass with cascade).
+- :func:`merge_rotations` — combine same-axis rotations on a wire and
+  drop zero-angle results.
+- :func:`remove_identity_gates` — drop ``id`` gates and zero rotations.
+- :func:`optimize_circuit` — fixpoint driver over all passes.
+
+All passes preserve the unitary exactly (property-tested against the
+state-vector simulator) and never reorder gates, only delete/merge, so
+compliance of routed circuits is preserved too.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+#: Rotation families whose adjacent applications add angles.
+_MERGEABLE = {"rx", "ry", "rz", "u1", "rzz", "cu1", "cp", "crz"}
+
+#: Angle below which a rotation is treated as identity (exact zero after
+#: merging; kept tiny so no semantic drift is possible).
+_ANGLE_EPS = 1e-12
+
+
+def _is_zero_rotation(gate: Gate) -> bool:
+    return (
+        gate.name in _MERGEABLE
+        and abs(math.remainder(gate.params[0], 4.0 * math.pi)) < _ANGLE_EPS
+    )
+
+
+def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove ``G, G^-1`` pairs adjacent on every shared wire.
+
+    A pair cancels only when the second gate's operand tuple matches the
+    first's exactly and no other gate touches any of those wires in
+    between.  Cancellations cascade: removing a pair can expose another.
+    Directives (measure/barrier) act as barriers for their wires.
+    """
+    kept: List[Optional[Gate]] = []
+    # For each wire, stack of indices into `kept` of live gates touching it.
+    wire_stacks: Dict[int, List[int]] = {
+        q: [] for q in range(circuit.num_qubits)
+    }
+    for gate in circuit:
+        cancelled = False
+        if not gate.is_directive and gate.qubits:
+            tops = {
+                wire_stacks[q][-1] if wire_stacks[q] else None
+                for q in gate.qubits
+            }
+            if len(tops) == 1:
+                (top,) = tops
+                if top is not None:
+                    prev = kept[top]
+                    if (
+                        prev is not None
+                        and not prev.is_directive
+                        and prev.qubits == gate.qubits
+                        and prev.inverse() == gate
+                    ):
+                        kept[top] = None
+                        for q in gate.qubits:
+                            wire_stacks[q].pop()
+                        cancelled = True
+        if not cancelled:
+            index = len(kept)
+            kept.append(gate)
+            for q in gate.qubits:
+                wire_stacks[q].append(index)
+    out = QuantumCircuit(circuit.num_qubits, circuit.name, circuit.num_clbits)
+    for gate in kept:
+        if gate is not None:
+            out.append(gate)
+    return out
+
+
+def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse adjacent same-type rotations on identical operands.
+
+    ``rz(a) . rz(b) -> rz(a+b)`` and likewise for rx/ry/u1 and the
+    two-qubit phase family; merged gates whose total angle is zero are
+    dropped entirely.
+    """
+    kept: List[Optional[Gate]] = []
+    wire_stacks: Dict[int, List[int]] = {
+        q: [] for q in range(circuit.num_qubits)
+    }
+
+    def pop_wires(gate: Gate) -> None:
+        for q in gate.qubits:
+            wire_stacks[q].pop()
+
+    def push(gate: Gate) -> None:
+        index = len(kept)
+        kept.append(gate)
+        for q in gate.qubits:
+            wire_stacks[q].append(index)
+
+    for gate in circuit:
+        merged = False
+        if gate.name in _MERGEABLE:
+            tops = {
+                wire_stacks[q][-1] if wire_stacks[q] else None
+                for q in gate.qubits
+            }
+            if len(tops) == 1:
+                (top,) = tops
+                if top is not None:
+                    prev = kept[top]
+                    if (
+                        prev is not None
+                        and prev.name == gate.name
+                        and prev.qubits == gate.qubits
+                    ):
+                        total = prev.params[0] + gate.params[0]
+                        kept[top] = None
+                        pop_wires(gate)
+                        fused = Gate(gate.name, gate.qubits, (total,))
+                        if not _is_zero_rotation(fused):
+                            push(fused)
+                        merged = True
+        if not merged:
+            push(gate)
+    out = QuantumCircuit(circuit.num_qubits, circuit.name, circuit.num_clbits)
+    for gate in kept:
+        if gate is not None:
+            out.append(gate)
+    return out
+
+
+def remove_identity_gates(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Drop ``id`` gates and exactly-zero rotations."""
+    out = QuantumCircuit(circuit.num_qubits, circuit.name, circuit.num_clbits)
+    for gate in circuit:
+        if gate.name == "id":
+            continue
+        if _is_zero_rotation(gate):
+            continue
+        out.append(gate)
+    return out
+
+
+#: The standard pass pipeline, applied in order by :func:`optimize_circuit`.
+DEFAULT_PASSES = (
+    remove_identity_gates,
+    cancel_adjacent_inverses,
+    merge_rotations,
+)
+
+
+def optimize_circuit(
+    circuit: QuantumCircuit,
+    passes: Sequence = DEFAULT_PASSES,
+    max_iterations: int = 10,
+) -> QuantumCircuit:
+    """Run the pass pipeline to a fixpoint (bounded by ``max_iterations``).
+
+    Each full pipeline round either strictly shrinks the circuit or the
+    loop stops, so termination is guaranteed even without the bound.
+    """
+    current = circuit
+    for _ in range(max_iterations):
+        before = current.num_gates
+        for pass_fn in passes:
+            current = pass_fn(current)
+        if current.num_gates == before:
+            break
+    return current
+
+
+def optimization_summary(
+    before: QuantumCircuit, after: QuantumCircuit
+) -> Dict[str, int]:
+    """Gate/CNOT/depth deltas for reporting."""
+    from repro.circuits.depth import circuit_depth
+
+    return {
+        "gates_before": before.count_gates(),
+        "gates_after": after.count_gates(),
+        "gates_removed": before.count_gates() - after.count_gates(),
+        "cx_before": before.gate_counts().get("cx", 0),
+        "cx_after": after.gate_counts().get("cx", 0),
+        "depth_before": circuit_depth(before),
+        "depth_after": circuit_depth(after),
+    }

@@ -1,0 +1,164 @@
+"""ASCII circuit rendering (the paper's circuit diagrams, in text).
+
+``draw_circuit`` lays gates out in ASAP columns, one row per qubit —
+the textual analogue of paper Figs. 1/3/4.  Two-qubit gates draw a
+control dot and target with a vertical connector; barriers draw a
+column of ``|``.  Wide circuits can be windowed with ``max_columns``.
+
+Example output::
+
+    q0: ──H────●─────────
+               │
+    q1: ───────X────●────
+                    │
+    q2: ──X─────────X────
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.depth import schedule_asap
+from repro.circuits.gates import Gate
+
+#: Gate-name display labels (default: upper-cased name).
+_LABELS = {
+    "cx": ("●", "X"),
+    "cz": ("●", "Z"),
+    "cy": ("●", "Y"),
+    "ch": ("●", "H"),
+    "swap": ("x", "x"),
+    "measure": ("M", ""),
+}
+
+
+def _gate_label(gate: Gate) -> str:
+    if gate.params:
+        return f"{gate.name.upper()}({gate.params[0]:.3g})"
+    return gate.name.upper()
+
+
+def draw_circuit(
+    circuit: QuantumCircuit,
+    max_columns: int = 0,
+    qubit_labels: Sequence[str] = (),
+) -> str:
+    """Render ``circuit`` as ASCII art.
+
+    Args:
+        circuit: circuit to draw.
+        max_columns: truncate after this many time-step columns
+            (0 = no limit); a ``...`` marker shows truncation.
+        qubit_labels: custom wire labels (default ``q0, q1, ...``).
+    """
+    gates = list(circuit.gates)
+    if not gates:
+        labels = qubit_labels or [f"q{i}" for i in range(circuit.num_qubits)]
+        return "\n".join(f"{label}: ──" for label in labels)
+    slots = schedule_asap(gates, circuit.num_qubits)
+    num_slots = max(slots) + 1
+    truncated = bool(max_columns) and num_slots > max_columns
+    shown_slots = min(num_slots, max_columns) if max_columns else num_slots
+
+    # Bucket gates per column.
+    columns: List[List[Gate]] = [[] for _ in range(shown_slots)]
+    for gate, slot in zip(gates, slots):
+        if slot < shown_slots:
+            columns[slot].append(gate)
+
+    labels = list(qubit_labels) or [
+        f"q{i}" for i in range(circuit.num_qubits)
+    ]
+    label_width = max(len(s) for s in labels)
+
+    # Build cell text per (qubit, column); empty = wire.
+    cell_rows: List[List[str]] = [
+        ["" for _ in range(shown_slots)] for _ in range(circuit.num_qubits)
+    ]
+    connector: List[List[bool]] = [
+        [False] * shown_slots for _ in range(circuit.num_qubits)
+    ]
+    for col, col_gates in enumerate(columns):
+        for gate in col_gates:
+            if gate.name == "barrier":
+                for q in gate.qubits:
+                    cell_rows[q][col] = "|"
+            elif gate.num_qubits == 1:
+                cell_rows[gate.qubits[0]][col] = (
+                    _LABELS.get(gate.name, (None,))[0]
+                    if gate.name in _LABELS
+                    else _gate_label(gate)
+                )
+            else:
+                marks = _LABELS.get(gate.name)
+                if marks is None:
+                    base = _gate_label(gate)
+                    marks = tuple(
+                        f"{base}:{i}" for i in range(gate.num_qubits)
+                    )
+                for q, mark in zip(gate.qubits, marks):
+                    cell_rows[q][col] = mark
+                lo, hi = min(gate.qubits), max(gate.qubits)
+                for wire in range(lo + 1, hi):
+                    connector[wire][col] = True
+
+    widths = [
+        max(
+            [len(cell_rows[q][col]) for q in range(circuit.num_qubits)]
+            + [1]
+        )
+        for col in range(shown_slots)
+    ]
+
+    lines: List[str] = []
+    for q in range(circuit.num_qubits):
+        parts = [f"{labels[q]:<{label_width}}: "]
+        for col in range(shown_slots):
+            cell = cell_rows[q][col]
+            width = widths[col]
+            if cell:
+                parts.append(f"──{cell.center(width, '─')}──")
+            elif connector[q][col]:
+                parts.append(f"──{'│'.center(width, '─')}──")
+            else:
+                parts.append("─" * (width + 4))
+        if truncated:
+            parts.append(" ...")
+        lines.append("".join(parts))
+        # Inter-row connector line for vertical links.
+        if q < circuit.num_qubits - 1:
+            link_parts = [" " * (label_width + 2)]
+            for col in range(shown_slots):
+                width = widths[col]
+                spans = any(
+                    g.num_qubits >= 2
+                    and not g.is_directive
+                    and min(g.qubits) <= q < max(g.qubits)
+                    for g in columns[col]
+                )
+                mark = "│" if spans else " "
+                link_parts.append(f"  {mark.center(width)}  ")
+            lines.append("".join(link_parts).rstrip())
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def draw_coupling(coupling) -> str:
+    """Adjacency-list rendering of a coupling graph (paper Fig. 2 in
+    text form): one line per qubit with its coupled neighbours."""
+    lines = [
+        f"{coupling.name}: {coupling.num_qubits} qubits, "
+        f"{coupling.num_edges} couplings"
+    ]
+    for q in range(coupling.num_qubits):
+        neighbors = ", ".join(f"Q{n}" for n in coupling.neighbors(q))
+        lines.append(f"  Q{q:<3d} -- {neighbors}")
+    return "\n".join(lines)
+
+
+def layout_diagram(layout, num_logical: int) -> str:
+    """One-line-per-qubit view of a mapping: ``q3 -> Q17``."""
+    lines = []
+    for q in range(num_logical):
+        lines.append(f"  q{q} -> Q{layout.physical(q)}")
+    return "\n".join(lines)

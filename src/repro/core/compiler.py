@@ -1,0 +1,125 @@
+"""One-call public API: :func:`compile_circuit`.
+
+Ties the pipeline together the way the paper's evaluation ran it:
+basis decomposition -> (optional) reverse-traversal layout search ->
+SWAP-based routing -> metrics.  Everything is deterministic given
+``seed``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.decompositions import decompose_to_cx_basis
+from repro.core.bidirectional import SabreLayout
+from repro.core.heuristic import HeuristicConfig
+from repro.core.layout import Layout
+from repro.core.result import MappingResult
+from repro.core.router import SabreRouter
+from repro.exceptions import MappingError
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.distance import distance_matrix
+
+
+def _needs_decomposition(circuit: QuantumCircuit) -> bool:
+    """True when the circuit has gates the router cannot place directly
+    (3+ qubit gates) or SWAPs that would be mistaken for routing SWAPs."""
+    return any(
+        (gate.num_qubits > 2 and not gate.is_directive) or gate.name == "swap"
+        for gate in circuit
+    )
+
+
+def compile_circuit(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    config: Optional[HeuristicConfig] = None,
+    seed: int = 0,
+    num_trials: int = 5,
+    num_traversals: int = 3,
+    initial_layout: Optional[Layout] = None,
+    distance: Optional[Sequence[Sequence[float]]] = None,
+) -> MappingResult:
+    """Map ``circuit`` onto ``coupling`` with SABRE.
+
+    Args:
+        circuit: logical circuit; 3-qubit gates and explicit SWAPs are
+            decomposed into the {1q, CNOT} basis automatically.
+        coupling: device coupling graph (must be connected).
+        config: heuristic knobs; defaults to the paper's evaluation
+            configuration (|E|=20, W=0.5, delta=0.001, decay mode).
+        seed: base RNG seed (tie-breaks and random restarts).
+        num_trials: random initial mappings to try (paper: 5).
+        num_traversals: traversals per trial, odd (paper: 3 =
+            forward-backward-forward).  ``1`` disables the reverse
+            traversal (the paper's ``g_la`` configuration).
+        initial_layout: skip the layout search and route once from this
+            mapping (useful for controlled experiments).
+        distance: optional precomputed distance matrix for the device.
+
+    Returns:
+        A :class:`~repro.core.result.MappingResult`; its
+        ``physical_circuit()`` is hardware-compliant and semantically
+        equivalent to the input (up to the final qubit permutation
+        recorded in ``final_layout``).
+    """
+    coupling.require_connected()
+    if circuit.num_qubits > coupling.num_qubits:
+        raise MappingError(
+            f"circuit {circuit.name!r} needs {circuit.num_qubits} qubits; "
+            f"device {coupling.name!r} has {coupling.num_qubits}"
+        )
+    working = (
+        decompose_to_cx_basis(circuit) if _needs_decomposition(circuit) else circuit
+    )
+    if distance is None:
+        distance = distance_matrix(coupling)
+
+    start = time.perf_counter()
+    if initial_layout is not None:
+        router = SabreRouter(
+            coupling, config=config, seed=seed, distance=distance
+        )
+        routing = router.run(working, initial_layout=initial_layout)
+        elapsed = time.perf_counter() - start
+        return MappingResult(
+            name=circuit.name,
+            device_name=coupling.name,
+            original_circuit=working,
+            routing=routing,
+            initial_layout=routing.initial_layout,
+            final_layout=routing.final_layout,
+            num_swaps=routing.num_swaps,
+            runtime_seconds=elapsed,
+            first_pass_swaps=None,
+            trial_swaps=[routing.num_swaps],
+            num_trials=1,
+            num_traversals=1,
+        )
+
+    searcher = SabreLayout(
+        coupling,
+        config=config,
+        num_traversals=num_traversals,
+        num_trials=num_trials,
+        seed=seed,
+        distance=distance,
+    )
+    best = searcher.run(working)
+    elapsed = time.perf_counter() - start
+    return MappingResult(
+        name=circuit.name,
+        device_name=coupling.name,
+        original_circuit=working,
+        routing=best.routing,
+        initial_layout=best.initial_layout,
+        final_layout=best.routing.final_layout,
+        num_swaps=best.num_swaps,
+        runtime_seconds=elapsed,
+        first_pass_swaps=best.best_first_pass_swaps,
+        trial_swaps=[t.final_swaps for t in best.trials],
+        num_trials=num_trials,
+        num_traversals=num_traversals,
+    )

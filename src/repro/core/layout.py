@@ -1,0 +1,161 @@
+"""The qubit mapping ``pi`` (paper Table I).
+
+``pi`` sends logical qubits to physical qubits; ``pi^-1`` sends physical
+qubits back.  The paper's device always has at least as many physical
+qubits as the circuit has logical qubits (``n <= N``); we *pad* the
+logical side with ancilla ids ``n, n+1, ..., N-1`` so the layout is a
+full permutation of ``range(N)``.  Padding makes SWAP bookkeeping
+uniform — a SWAP with an unoccupied physical qubit is just a SWAP with
+an ancilla — and matches how production routers implement SABRE.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.exceptions import MappingError
+
+
+class Layout:
+    """A bijection between ``N`` logical slots and ``N`` physical qubits.
+
+    Logical ids ``0..n-1`` are the circuit's qubits; ids ``n..N-1`` are
+    padding ancillas.  Both directions are O(1).
+
+    Args:
+        logical_to_physical: permutation of ``range(N)``; entry ``q``
+            gives the physical home of logical qubit ``q``.
+    """
+
+    __slots__ = ("_l2p", "_p2l")
+
+    def __init__(self, logical_to_physical: Sequence[int]) -> None:
+        l2p = list(logical_to_physical)
+        n = len(l2p)
+        if sorted(l2p) != list(range(n)):
+            raise MappingError(
+                "logical_to_physical must be a permutation of "
+                f"range({n}), got {l2p}"
+            )
+        self._l2p: List[int] = l2p
+        self._p2l: List[int] = [0] * n
+        for logical, physical in enumerate(l2p):
+            self._p2l[physical] = logical
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def trivial(cls, num_physical: int) -> "Layout":
+        """The identity mapping: logical ``q`` on physical ``q``."""
+        return cls(list(range(num_physical)))
+
+    @classmethod
+    def random(cls, num_physical: int, seed: Optional[int] = None) -> "Layout":
+        """Uniformly random permutation (the paper's random start points,
+        §IV-A 'Temporary initial mapping generation')."""
+        rng = random.Random(seed)
+        perm = list(range(num_physical))
+        rng.shuffle(perm)
+        return cls(perm)
+
+    @classmethod
+    def from_dict(
+        cls, mapping: Dict[int, int], num_physical: int
+    ) -> "Layout":
+        """Build from a partial ``{logical: physical}`` dict.
+
+        Unmentioned logical slots are padded onto the remaining physical
+        qubits in ascending order.
+        """
+        used_physical = set(mapping.values())
+        if len(used_physical) != len(mapping):
+            raise MappingError("mapping sends two logical qubits to one physical")
+        for logical, physical in mapping.items():
+            if not 0 <= logical < num_physical:
+                raise MappingError(f"logical qubit {logical} out of range")
+            if not 0 <= physical < num_physical:
+                raise MappingError(f"physical qubit {physical} out of range")
+        free_physical = (p for p in range(num_physical) if p not in used_physical)
+        l2p = [
+            mapping[q] if q in mapping else next(free_physical)
+            for q in range(num_physical)
+        ]
+        return cls(l2p)
+
+    # ------------------------------------------------------------------
+    # Mapping access
+    # ------------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self._l2p)
+
+    def physical(self, logical: int) -> int:
+        """``pi(q)``: the physical home of logical qubit ``q``."""
+        return self._l2p[logical]
+
+    def logical(self, physical: int) -> int:
+        """``pi^-1(Q)``: the logical occupant of physical qubit ``Q``."""
+        return self._p2l[physical]
+
+    @property
+    def l2p(self) -> List[int]:
+        """Raw logical->physical table (mutate via :meth:`swap_*` only)."""
+        return self._l2p
+
+    @property
+    def p2l(self) -> List[int]:
+        """Raw physical->logical table."""
+        return self._p2l
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def swap_logical(self, q1: int, q2: int) -> None:
+        """Exchange the physical homes of logical qubits ``q1`` and ``q2``.
+
+        This is what a SWAP gate does to the mapping (paper Fig. 3d:
+        after SWAP q1,q2 the mapping updates to q1->Q2, q2->Q1).
+        """
+        p1, p2 = self._l2p[q1], self._l2p[q2]
+        self._l2p[q1], self._l2p[q2] = p2, p1
+        self._p2l[p1], self._p2l[p2] = q2, q1
+
+    def swap_physical(self, p1: int, p2: int) -> None:
+        """Exchange the logical occupants of physical qubits ``p1``/``p2``."""
+        self.swap_logical(self._p2l[p1], self._p2l[p2])
+
+    # ------------------------------------------------------------------
+    # Conversion / comparison
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Layout":
+        return Layout(self._l2p)
+
+    def to_dict(self, num_logical: Optional[int] = None) -> Dict[int, int]:
+        """``{logical: physical}`` for the first ``num_logical`` qubits
+        (defaults to all, padding included)."""
+        n = self.num_qubits if num_logical is None else num_logical
+        return {q: self._l2p[q] for q in range(n)}
+
+    def compose_swaps(self, swaps: Iterable) -> "Layout":
+        """Return the layout after applying a sequence of logical swaps."""
+        new = self.copy()
+        for q1, q2 in swaps:
+            new.swap_logical(q1, q2)
+        return new
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self._l2p == other._l2p
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._l2p))
+
+    def __repr__(self) -> str:
+        return f"Layout({self._l2p})"

@@ -1,0 +1,352 @@
+"""SABRE's SWAP-based heuristic search — Algorithm 1 of the paper.
+
+One traversal: scan the dependency DAG from the initial front layer to
+the end, executing every hardware-compatible gate immediately and
+inserting the best-scoring SWAP whenever the front layer is stuck.
+
+The search-space reduction that gives SABRE its exponential speedup
+(§IV-C1) lives in :meth:`SabreRouter._swap_candidates`: only SWAPs on
+physical edges touching a front-layer qubit are considered ("only the
+SWAPs that associate with at least one qubit in the front layer are the
+candidate SWAPs"), i.e. ``O(N)`` candidates instead of the ``O(exp(N))``
+mapping combinations of the A* baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDag, DagFrontier
+from repro.circuits.gates import Gate
+from repro.core.heuristic import DecayTracker, HeuristicConfig, score_layout
+from repro.core.layout import Layout
+from repro.exceptions import MappingError
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.distance import distance_matrix
+
+#: Scores within this tolerance are considered tied (random tie-break).
+_SCORE_EPSILON = 1e-9
+
+
+@dataclass
+class RoutingResult:
+    """Output of one routing traversal.
+
+    Attributes:
+        circuit: the hardware-compliant circuit on *physical* wires.
+            Inserted SWAPs appear as ``swap`` gates (decompose with
+            :meth:`physical_circuit` for the 3-CNOT expansion).
+        initial_layout: the mapping the traversal started from.
+        final_layout: the mapping after all gates executed — the input
+            to the next traversal in the bidirectional scheme.
+        num_swaps: SWAPs inserted by this traversal.
+        swap_positions: indices into ``circuit`` of the inserted SWAPs.
+        num_forced_escapes: times the livelock escape hatch fired
+            (0 in normal operation; see ``SabreRouter.stall_limit``).
+    """
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    num_swaps: int
+    swap_positions: List[int] = field(default_factory=list)
+    num_forced_escapes: int = 0
+
+    @property
+    def added_gates(self) -> int:
+        """Additional gate count under the 3-CNOT SWAP decomposition —
+        the paper's ``g_add`` metric."""
+        return 3 * self.num_swaps
+
+    def physical_circuit(self, decompose_swaps: bool = True) -> QuantumCircuit:
+        """The routed circuit, optionally with SWAPs expanded to CNOTs."""
+        if not decompose_swaps:
+            return self.circuit
+        from repro.circuits.decompositions import swap_decomposition
+
+        out = QuantumCircuit(
+            self.circuit.num_qubits, self.circuit.name, self.circuit.num_clbits
+        )
+        swap_set = set(self.swap_positions)
+        for index, gate in enumerate(self.circuit):
+            if index in swap_set:
+                out.extend(swap_decomposition(*gate.qubits))
+            else:
+                out.append(gate)
+        return out
+
+
+class SabreRouter:
+    """One-traversal SWAP-based heuristic search (Algorithm 1).
+
+    Args:
+        coupling: device coupling graph (must be connected).
+        config: heuristic configuration; defaults to the paper's.
+        seed: RNG seed for tie-breaking among equal-score SWAPs.
+        distance: precomputed distance matrix (computed when omitted;
+            pass it in when routing many circuits on one device).
+        stall_limit: consecutive SWAP insertions without executing any
+            gate before the escape hatch force-routes the closest
+            front-layer gate along a shortest path.  The paper does not
+            discuss livelock; with decay enabled it is essentially
+            unreachable, but the hatch makes termination a theorem
+            rather than an observation.  ``None`` derives a generous
+            default from the device diameter.
+    """
+
+    def __init__(
+        self,
+        coupling: CouplingGraph,
+        config: Optional[HeuristicConfig] = None,
+        seed: Optional[int] = None,
+        distance: Optional[Sequence[Sequence[float]]] = None,
+        stall_limit: Optional[int] = None,
+    ) -> None:
+        coupling.require_connected()
+        self.coupling = coupling
+        self.config = config or HeuristicConfig()
+        self.seed = seed
+        self.dist = distance if distance is not None else distance_matrix(coupling)
+        self.neighbors: List[List[int]] = [
+            coupling.neighbors(q) for q in range(coupling.num_qubits)
+        ]
+        if stall_limit is None:
+            stall_limit = max(64, 16 * coupling.diameter())
+        self.stall_limit = stall_limit
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(
+        self, circuit: QuantumCircuit, initial_layout: Optional[Layout] = None
+    ) -> RoutingResult:
+        """Route ``circuit`` onto the device from ``initial_layout``.
+
+        The circuit must already be in a <=2-qubit basis (the compiler
+        front door handles decomposition).  Returns a
+        :class:`RoutingResult`; ``result.circuit`` is guaranteed
+        hardware-compliant.
+        """
+        n_physical = self.coupling.num_qubits
+        if circuit.num_qubits > n_physical:
+            raise MappingError(
+                f"circuit has {circuit.num_qubits} logical qubits but device "
+                f"{self.coupling.name!r} has only {n_physical} physical qubits"
+            )
+        for gate in circuit:
+            if gate.num_qubits > 2 and not gate.is_directive:
+                raise MappingError(
+                    f"gate {gate} has {gate.num_qubits} qubits; decompose to "
+                    "the {1q, CNOT} basis before routing"
+                )
+
+        layout = (initial_layout or Layout.trivial(n_physical)).copy()
+        if layout.num_qubits != n_physical:
+            raise MappingError(
+                f"layout covers {layout.num_qubits} qubits, device has {n_physical}"
+            )
+        rng = random.Random(self.seed)
+        dag = CircuitDag(circuit)
+        frontier = DagFrontier(dag)
+        decay = DecayTracker(
+            n_physical, self.config.decay_delta, self.config.decay_reset_interval
+        )
+
+        out = QuantumCircuit(
+            n_physical, f"{circuit.name}_routed", max(circuit.num_clbits, 1)
+        )
+        swap_positions: List[int] = []
+        initial = layout.copy()
+        num_escapes = 0
+        stall = 0
+
+        self._emit_ready(frontier, layout, out)
+        front_gates: List[Gate] = []
+        extended: List[Gate] = []
+        front_dirty = True
+        while not frontier.done:
+            executed = self._execute_ready_front(frontier, layout, out)
+            if executed:
+                decay.reset()
+                stall = 0
+                front_dirty = True
+                continue
+            if stall >= self.stall_limit:
+                self._escape(frontier, layout, out, swap_positions)
+                num_escapes += 1
+                stall = 0
+                decay.reset()
+                front_dirty = True
+                continue
+            if front_dirty:
+                # F and E only change when a gate executes, so the lists
+                # are shared across consecutive SWAP selections.
+                front_gates = [
+                    frontier.dag.nodes[i].gate for i in sorted(frontier.front)
+                ]
+                extended = (
+                    frontier.extended_set(self.config.extended_set_size)
+                    if self.config.uses_lookahead
+                    else []
+                )
+                front_dirty = False
+            self._insert_best_swap(
+                frontier, layout, out, swap_positions, decay, rng,
+                front_gates, extended,
+            )
+            stall += 1
+
+        return RoutingResult(
+            circuit=out,
+            initial_layout=initial,
+            final_layout=layout,
+            num_swaps=len(swap_positions),
+            swap_positions=swap_positions,
+            num_forced_escapes=num_escapes,
+        )
+
+    # ------------------------------------------------------------------
+    # Main-loop pieces
+    # ------------------------------------------------------------------
+
+    def _emit_ready(
+        self, frontier: DagFrontier, layout: Layout, out: QuantumCircuit
+    ) -> None:
+        """Flush ready non-routing gates (1q, measure, barrier) to output."""
+        l2p = layout.l2p
+        for index in frontier.drain_nonrouting():
+            out.append(frontier.dag.nodes[index].gate.remapped(l2p))
+
+    def _execute_ready_front(
+        self, frontier: DagFrontier, layout: Layout, out: QuantumCircuit
+    ) -> bool:
+        """Execute every front-layer gate whose operands are coupled.
+
+        Returns True when at least one gate executed (Algorithm 1 lines
+        8-16: remove from F, append released successors, continue).
+        """
+        l2p = layout.l2p
+        ready = [
+            index
+            for index in frontier.front
+            if self.coupling.are_coupled(
+                l2p[frontier.dag.nodes[index].gate.qubits[0]],
+                l2p[frontier.dag.nodes[index].gate.qubits[1]],
+            )
+        ]
+        if not ready:
+            return False
+        for index in sorted(ready):
+            frontier.execute_front_gate(index)
+            out.append(frontier.dag.nodes[index].gate.remapped(l2p))
+        self._emit_ready(frontier, layout, out)
+        return True
+
+    def _swap_candidates(
+        self, frontier: DagFrontier, layout: Layout
+    ) -> List[Tuple[int, int]]:
+        """Physical edges adjacent to at least one front-layer qubit.
+
+        This is the §IV-C1 search-space reduction: SWAPs entirely within
+        the "low priority" qubit set cannot unblock the front layer, so
+        only edges touching ``pi(q)`` for ``q`` in a front gate qualify.
+        """
+        l2p = layout.l2p
+        candidates: Set[Tuple[int, int]] = set()
+        for index in frontier.front:
+            for q in frontier.dag.nodes[index].gate.qubits:
+                p = l2p[q]
+                for nb in self.neighbors[p]:
+                    candidates.add((p, nb) if p < nb else (nb, p))
+        return sorted(candidates)
+
+    def _insert_best_swap(
+        self,
+        frontier: DagFrontier,
+        layout: Layout,
+        out: QuantumCircuit,
+        swap_positions: List[int],
+        decay: DecayTracker,
+        rng: random.Random,
+        front_gates: List[Gate],
+        extended: List[Gate],
+    ) -> None:
+        """Score all candidate SWAPs and apply the best one (lines 17-25)."""
+        p2l = layout.p2l
+        l2p = layout.l2p
+        best_score = float("inf")
+        best: List[Tuple[int, int]] = []
+        for pa, pb in self._swap_candidates(frontier, layout):
+            qa, qb = p2l[pa], p2l[pb]
+            layout.swap_logical(qa, qb)
+            score = score_layout(front_gates, extended, l2p, self.dist, self.config)
+            layout.swap_logical(qa, qb)
+            if self.config.uses_decay:
+                score *= decay.factor(qa, qb)
+            if self.config.swap_cost_penalty:
+                # Noise-aware extension: pay for the SWAP's own edge.
+                score += self.config.swap_cost_penalty * (
+                    self.dist[pa][pb] - 1.0
+                )
+            if score < best_score - _SCORE_EPSILON:
+                best_score = score
+                best = [(qa, qb)]
+            elif score <= best_score + _SCORE_EPSILON:
+                best.append((qa, qb))
+        if not best:
+            raise MappingError(
+                "no SWAP candidates found; is the coupling graph connected?"
+            )
+        qa, qb = best[0] if len(best) == 1 else rng.choice(best)
+        self._apply_swap(qa, qb, layout, out, swap_positions)
+        decay.record_swap(qa, qb)
+
+    def _apply_swap(
+        self,
+        qa: int,
+        qb: int,
+        layout: Layout,
+        out: QuantumCircuit,
+        swap_positions: List[int],
+    ) -> None:
+        """Emit a physical SWAP gate and update the mapping."""
+        pa, pb = layout.physical(qa), layout.physical(qb)
+        swap_positions.append(out.num_gates)
+        out.append(Gate("swap", (pa, pb)))
+        layout.swap_logical(qa, qb)
+
+    def _escape(
+        self,
+        frontier: DagFrontier,
+        layout: Layout,
+        out: QuantumCircuit,
+        swap_positions: List[int],
+    ) -> int:
+        """Livelock escape: force-route the closest front gate.
+
+        Walk the shortest physical path between the gate's two homes,
+        SWAPping the first qubit along it until the pair is adjacent.
+        Guarantees the next `_execute_ready_front` succeeds for that
+        gate, so overall termination is unconditional.
+        """
+        l2p = layout.l2p
+        target = min(
+            frontier.front,
+            key=lambda i: self.dist[l2p[frontier.dag.nodes[i].gate.qubits[0]]][
+                l2p[frontier.dag.nodes[i].gate.qubits[1]]
+            ],
+        )
+        a, b = frontier.dag.nodes[target].gate.qubits
+        path = self.coupling.shortest_path(l2p[a], l2p[b])
+        swaps = 0
+        # Move logical qubit `a` along the path, leaving one edge for the
+        # gate itself (after each swap, pi(a) advances one hop).
+        for hop in path[1:-1]:
+            qb = layout.logical(hop)
+            self._apply_swap(a, qb, layout, out, swap_positions)
+            swaps += 1
+        return swaps

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subclasses are
+organised by subsystem: circuit construction, QASM parsing, hardware
+modelling, routing, and baseline search.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class CircuitError(ReproError):
+    """Invalid circuit construction or manipulation.
+
+    Raised for out-of-range qubit indices, duplicate qubit operands,
+    unknown gate names, and malformed gate parameter lists.
+    """
+
+
+class QasmError(ReproError):
+    """Error while lexing or parsing an OpenQASM 2.0 program."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class HardwareError(ReproError):
+    """Invalid hardware model (malformed coupling graph, bad qubit ids)."""
+
+
+class MappingError(ReproError):
+    """Error during qubit mapping (routing or layout search).
+
+    Raised when a circuit cannot be mapped to a device, e.g. the circuit
+    uses more logical qubits than the device has physical qubits, or the
+    coupling graph is disconnected across qubits the circuit entangles.
+    """
+
+
+class SearchExhausted(MappingError):
+    """An exhaustive baseline search exceeded its node or memory budget.
+
+    The Zulehner-style A* baseline explores an exponentially large search
+    space; on the paper's server this manifested as >378 GB memory usage
+    ("Out of Memory" rows in Table II).  We model the same failure mode
+    with a configurable expansion cap and raise this exception when the
+    cap is hit, carrying the number of expanded nodes for reporting.
+    """
+
+    def __init__(self, message: str, nodes_expanded: int = 0) -> None:
+        self.nodes_expanded = nodes_expanded
+        super().__init__(message)
+
+
+class VerificationError(ReproError):
+    """A routed circuit failed compliance or equivalence verification."""

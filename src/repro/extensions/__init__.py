@@ -1,0 +1,51 @@
+"""Extensions beyond the paper's core evaluation (its §VI future work).
+
+- :mod:`repro.extensions.directed` — CNOT-direction legalisation for
+  asymmetric devices (IBM QX2/QX4/QX5-era chips, §III-A "Other
+  Methods"): conjugate reversed CNOTs with Hadamards.
+- :mod:`repro.extensions.bridge` — the Bridge transform: execute a
+  distance-2 CNOT without changing the mapping (4 CNOTs, no SWAP).
+- :mod:`repro.extensions.noise_aware` — error-rate-weighted distance
+  matrices for variability-aware routing (§VI "More Precise Hardware
+  Modeling", Tannu & Qureshi).
+- :mod:`repro.extensions.ablation` — named heuristic configurations for
+  the ablation benches (basic vs look-ahead vs decay, |E| and W sweeps).
+"""
+
+from repro.extensions.directed import legalize_directions, direction_overhead
+from repro.extensions.bridge import bridge_gates, route_with_bridges
+from repro.extensions.noise_aware import (
+    noise_weighted_distance,
+    NoiseAwareRouter,
+)
+from repro.extensions.ablation import (
+    ABLATION_CONFIGS,
+    ablation_config,
+    extended_set_sweep_configs,
+    weight_sweep_configs,
+)
+from repro.extensions.embedding import (
+    find_perfect_layout,
+    has_perfect_layout,
+    verify_perfect_layout,
+    interaction_graph,
+    compile_with_embedding,
+)
+
+__all__ = [
+    "find_perfect_layout",
+    "has_perfect_layout",
+    "verify_perfect_layout",
+    "interaction_graph",
+    "compile_with_embedding",
+    "legalize_directions",
+    "direction_overhead",
+    "bridge_gates",
+    "route_with_bridges",
+    "noise_weighted_distance",
+    "NoiseAwareRouter",
+    "ABLATION_CONFIGS",
+    "ablation_config",
+    "extended_set_sweep_configs",
+    "weight_sweep_configs",
+]

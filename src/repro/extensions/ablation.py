@@ -1,0 +1,63 @@
+"""Named heuristic configurations for ablation studies.
+
+DESIGN.md calls out three stacked design decisions (basic NNC ->
+look-ahead -> decay) plus two hyper-parameters (|E| and W).  These
+helpers name the interesting corners so ablation benches and tests can
+sweep them declaratively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.heuristic import HeuristicConfig
+from repro.exceptions import ReproError
+
+#: The paper's stacked heuristic variants (§IV-D).
+ABLATION_CONFIGS: Dict[str, HeuristicConfig] = {
+    # Equation 1 only: front-layer nearest-neighbour cost.
+    "basic": HeuristicConfig(mode="basic"),
+    # Equation 2 without decay: adds the extended-set look-ahead.
+    "lookahead": HeuristicConfig(mode="lookahead"),
+    # Full Equation 2 with the paper's evaluation settings.
+    "decay": HeuristicConfig(mode="decay"),
+    # Decay with a deliberately aggressive delta (depth-first corner of
+    # the Figure 8 trade-off).
+    "decay_aggressive": HeuristicConfig(mode="decay", decay_delta=0.05),
+    # Look-ahead with a tiny extended set: how little look-ahead still
+    # helps (paper: "A large E is not necessary").
+    "lookahead_small_e": HeuristicConfig(mode="lookahead", extended_set_size=5),
+    # Look-ahead weighted almost like the front layer (W -> 1 limit).
+    "lookahead_heavy_w": HeuristicConfig(
+        mode="lookahead", extended_set_weight=0.9
+    ),
+}
+
+
+def ablation_config(name: str) -> HeuristicConfig:
+    """Look up a named ablation configuration."""
+    try:
+        return ABLATION_CONFIGS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown ablation config {name!r}; "
+            f"available: {sorted(ABLATION_CONFIGS)}"
+        ) from None
+
+
+def extended_set_sweep_configs(
+    sizes: Sequence[int] = (0, 5, 10, 20, 40, 80),
+) -> List[HeuristicConfig]:
+    """Configs sweeping |E| (0 disables look-ahead entirely)."""
+    return [
+        HeuristicConfig(mode="decay", extended_set_size=size) for size in sizes
+    ]
+
+
+def weight_sweep_configs(
+    weights: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.99),
+) -> List[HeuristicConfig]:
+    """Configs sweeping the extended-set weight W in [0, 1)."""
+    return [
+        HeuristicConfig(mode="decay", extended_set_weight=w) for w in weights
+    ]

@@ -1,0 +1,78 @@
+"""The Bridge transform (paper §III-A "Other Methods").
+
+A CNOT between qubits at distance 2 can execute *without* moving any
+qubit using the 4-CNOT bridge identity through the middle qubit ``m``:
+
+    CX(a, b) = CX(m, b) . CX(a, m) . CX(m, b) . CX(a, m)
+
+Compared with SWAP-then-CNOT (3 + 1 = 4 CNOTs, mapping changed), the
+bridge also costs 4 CNOTs but leaves the mapping intact — a win when
+the two qubits never interact again but a loss when they do.  The
+paper's SABRE uses SWAPs only; this extension adds a post-routing
+peephole that bridges isolated distance-2 CNOTs, plus the raw identity
+for direct use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.exceptions import HardwareError
+from repro.hardware.coupling import CouplingGraph
+
+
+def bridge_gates(a: int, middle: int, b: int) -> List[Gate]:
+    """The 4-CNOT bridge implementing CX(a, b) through ``middle``."""
+    return [
+        Gate("cx", (a, middle)),
+        Gate("cx", (middle, b)),
+        Gate("cx", (a, middle)),
+        Gate("cx", (middle, b)),
+    ]
+
+
+def _common_neighbor(
+    coupling: CouplingGraph, a: int, b: int
+) -> Optional[int]:
+    shared = set(coupling.neighbors(a)) & set(coupling.neighbors(b))
+    return min(shared) if shared else None
+
+
+def route_with_bridges(
+    circuit: QuantumCircuit, coupling: CouplingGraph
+) -> QuantumCircuit:
+    """Greedy per-gate router that prefers bridges over SWAPs.
+
+    Walks the circuit keeping the identity mapping; distance-1 CNOTs
+    pass through, distance-2 CNOTs become bridges, anything farther
+    raises (this router is an illustrative baseline for the bridge
+    trade-off, not a general mapper — compose with SABRE for that).
+
+    Raises:
+        HardwareError: when a CNOT spans distance > 2.
+    """
+    out = QuantumCircuit(
+        circuit.num_qubits, f"{circuit.name}_bridged", circuit.num_clbits
+    )
+    for gate in circuit:
+        if not gate.is_two_qubit:
+            out.append(gate)
+            continue
+        a, b = gate.qubits
+        if coupling.are_coupled(a, b):
+            out.append(gate)
+            continue
+        if gate.name != "cx":
+            raise HardwareError(
+                f"bridge transform only applies to CNOTs, got {gate}"
+            )
+        middle = _common_neighbor(coupling, a, b)
+        if middle is None:
+            raise HardwareError(
+                f"qubits {a} and {b} are farther than distance 2; "
+                "use a full router"
+            )
+        out.extend(bridge_gates(a, middle, b))
+    return out

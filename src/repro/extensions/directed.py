@@ -1,0 +1,88 @@
+"""CNOT-direction legalisation for asymmetric devices (paper §III-A).
+
+Early IBM chips (QX2/QX4/QX5) allowed CNOT in only one direction per
+coupling.  The paper targets the symmetric Q20 Tokyo and notes the
+asymmetry problem was "overcome by technology advance"; this extension
+restores support for the older chips so the mapper remains usable on
+them: a CNOT whose native direction is reversed is conjugated with
+Hadamards on both qubits,
+
+    CX(a, b) = (H ⊗ H) . CX(b, a) . (H ⊗ H),
+
+costing 4 extra single-qubit gates ("Reverse" in §III-A's terminology).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.exceptions import HardwareError
+from repro.hardware.coupling import CouplingGraph
+
+
+def legalize_directions(
+    circuit: QuantumCircuit, coupling: CouplingGraph
+) -> QuantumCircuit:
+    """Rewrite reversed CNOTs with H-conjugation for a directed device.
+
+    The input must already be *coupling*-compliant (every CNOT on a
+    coupled pair — i.e. routed); this pass only fixes directions.
+    SWAPs are expanded first when present, since a SWAP on a directed
+    edge lowers to 3 CNOTs that each need legalisation.
+
+    Raises:
+        HardwareError: if a CNOT acts on an uncoupled pair.
+    """
+    out = QuantumCircuit(
+        circuit.num_qubits, f"{circuit.name}_directed", circuit.num_clbits
+    )
+    for gate in circuit:
+        if gate.name == "swap":
+            a, b = gate.qubits
+            for cx in (
+                Gate("cx", (a, b)),
+                Gate("cx", (b, a)),
+                Gate("cx", (a, b)),
+            ):
+                _emit_cx(out, cx, coupling)
+        elif gate.name == "cx":
+            _emit_cx(out, gate, coupling)
+        else:
+            out.append(gate)
+    return out
+
+
+def _emit_cx(out: QuantumCircuit, gate: Gate, coupling: CouplingGraph) -> None:
+    control, target = gate.qubits
+    if coupling.allows_cnot(control, target):
+        out.append(gate)
+        return
+    if not coupling.are_coupled(control, target):
+        raise HardwareError(
+            f"CNOT {gate} acts on an uncoupled pair; route the circuit "
+            "before legalising directions"
+        )
+    out.h(control)
+    out.h(target)
+    out.cx(target, control)
+    out.h(control)
+    out.h(target)
+
+
+def direction_overhead(
+    circuit: QuantumCircuit, coupling: CouplingGraph
+) -> Tuple[int, int]:
+    """Count (reversed CNOTs, extra 1q gates) legalisation would add."""
+    reversed_count = 0
+    for gate in circuit:
+        if gate.name == "cx" and coupling.are_coupled(*gate.qubits):
+            if not coupling.allows_cnot(*gate.qubits):
+                reversed_count += 1
+        elif gate.name == "swap":
+            a, b = gate.qubits
+            for control, target in ((a, b), (b, a), (a, b)):
+                if not coupling.allows_cnot(control, target):
+                    reversed_count += 1
+    return reversed_count, 4 * reversed_count

@@ -1,0 +1,194 @@
+"""Perfect initial mappings via subgraph embedding (paper §V-A1).
+
+The paper explains *why* SABRE wins big on small benchmarks: "there
+often exists a physical qubit coupling subgraph that can perfectly or
+almost match logical qubit coupling in the benchmarks.  Our algorithm
+can find such matching".  This extension makes that notion exact: a
+**perfect layout** is an injective map from logical to physical qubits
+under which *every* two-qubit gate in the circuit acts on a coupled
+pair — zero SWAPs ever needed.
+
+Finding one is subgraph monomorphism (NP-hard in general); for the
+small, sparse interaction graphs where perfect layouts exist, a
+backtracking search with degree pruning and most-constrained-first
+ordering answers quickly.  A node budget keeps the search bounded on
+the dense instances (QFT's K_n) where no embedding exists.
+
+Used as an ablation reference: when :func:`find_perfect_layout`
+succeeds, SABRE's reverse traversal should also reach 0 added gates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.layout import Layout
+from repro.exceptions import MappingError
+from repro.hardware.coupling import CouplingGraph
+
+
+def interaction_graph(circuit: QuantumCircuit) -> Dict[int, Set[int]]:
+    """Adjacency sets of the circuit's logical interaction graph."""
+    adjacency: Dict[int, Set[int]] = {
+        q: set() for q in range(circuit.num_qubits)
+    }
+    for gate in circuit:
+        if gate.is_two_qubit:
+            a, b = gate.qubits
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    return adjacency
+
+
+class _EmbeddingSearch:
+    """Backtracking subgraph monomorphism with a node budget."""
+
+    def __init__(
+        self,
+        adjacency: Dict[int, Set[int]],
+        coupling: CouplingGraph,
+        max_nodes: int,
+    ) -> None:
+        self.adjacency = adjacency
+        self.coupling = coupling
+        self.max_nodes = max_nodes
+        self.nodes = 0
+        # Order logical qubits most-constrained-first (highest interaction
+        # degree), keeping connectivity: each next qubit prefers one with
+        # already-placed neighbours so pruning bites early.
+        self.order = self._variable_order()
+
+    def _variable_order(self) -> List[int]:
+        remaining = {q for q, nbrs in self.adjacency.items() if nbrs}
+        isolated = [q for q, nbrs in self.adjacency.items() if not nbrs]
+        order: List[int] = []
+        placed: Set[int] = set()
+        while remaining:
+            candidates = [
+                q for q in remaining if self.adjacency[q] & placed
+            ] or list(remaining)
+            chosen = max(
+                candidates, key=lambda q: (len(self.adjacency[q]), -q)
+            )
+            order.append(chosen)
+            placed.add(chosen)
+            remaining.discard(chosen)
+        return order + sorted(isolated)
+
+    def search(self) -> Optional[Dict[int, int]]:
+        """Return a logical->physical embedding dict, or None."""
+        return self._extend({}, set())
+
+    def _extend(
+        self, assignment: Dict[int, int], used: Set[int]
+    ) -> Optional[Dict[int, int]]:
+        if len(assignment) == len(self.order):
+            return dict(assignment)
+        self.nodes += 1
+        if self.nodes > self.max_nodes:
+            return None
+        logical = self.order[len(assignment)]
+        needed = self.adjacency[logical]
+        placed_neighbors = [q for q in needed if q in assignment]
+        if placed_neighbors:
+            # Candidates must be coupled to every already-placed neighbour.
+            candidate_sets = [
+                set(self.coupling.neighbors(assignment[q]))
+                for q in placed_neighbors
+            ]
+            candidates = set.intersection(*candidate_sets) - used
+        else:
+            candidates = set(range(self.coupling.num_qubits)) - used
+        # Degree pruning: a physical home needs at least as many couplings
+        # as the logical qubit has interactions.
+        viable = sorted(
+            p for p in candidates
+            if self.coupling.degree(p) >= len(needed)
+        )
+        for physical in viable:
+            assignment[logical] = physical
+            used.add(physical)
+            found = self._extend(assignment, used)
+            if found is not None:
+                return found
+            del assignment[logical]
+            used.discard(physical)
+        return None
+
+
+def find_perfect_layout(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    max_nodes: int = 200_000,
+) -> Optional[Layout]:
+    """Search for a zero-SWAP initial mapping.
+
+    Returns a full :class:`~repro.core.layout.Layout` (padding included)
+    when the circuit's interaction graph embeds into the device, or
+    ``None`` when no embedding exists or the node budget runs out.
+    """
+    if circuit.num_qubits > coupling.num_qubits:
+        raise MappingError(
+            f"circuit needs {circuit.num_qubits} qubits, device has "
+            f"{coupling.num_qubits}"
+        )
+    adjacency = interaction_graph(circuit)
+    search = _EmbeddingSearch(adjacency, coupling, max_nodes)
+    assignment = search.search()
+    if assignment is None:
+        return None
+    return Layout.from_dict(assignment, coupling.num_qubits)
+
+
+def has_perfect_layout(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    max_nodes: int = 200_000,
+) -> bool:
+    """True when :func:`find_perfect_layout` succeeds within budget."""
+    return find_perfect_layout(circuit, coupling, max_nodes) is not None
+
+
+def verify_perfect_layout(
+    circuit: QuantumCircuit, coupling: CouplingGraph, layout: Layout
+) -> bool:
+    """Check that every two-qubit gate is coupled under ``layout``."""
+    return all(
+        coupling.are_coupled(
+            layout.physical(gate.qubits[0]), layout.physical(gate.qubits[1])
+        )
+        for gate in circuit
+        if gate.is_two_qubit
+    )
+
+
+def compile_with_embedding(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    max_nodes: int = 200_000,
+    **compile_kwargs,
+):
+    """Compile with an exact perfect layout when one exists.
+
+    Runs the subgraph-embedding search first; on success the circuit is
+    routed from the proven zero-SWAP mapping (the result is guaranteed
+    SWAP-free), otherwise falls back to the standard SABRE pipeline.
+    This closes the rare cases where finite random restarts miss an
+    existing perfect mapping (e.g. alu-v0_27 in Table II).
+
+    Accepts the same keyword arguments as
+    :func:`repro.core.compiler.compile_circuit`.
+    """
+    from repro.core.compiler import compile_circuit
+
+    working = circuit
+    layout = find_perfect_layout(working, coupling, max_nodes=max_nodes)
+    if layout is not None:
+        compile_kwargs.pop("initial_layout", None)
+        compile_kwargs.pop("num_trials", None)
+        compile_kwargs.pop("num_traversals", None)
+        return compile_circuit(
+            working, coupling, initial_layout=layout, **compile_kwargs
+        )
+    return compile_circuit(working, coupling, **compile_kwargs)

@@ -1,0 +1,97 @@
+"""Noise-aware routing (paper §VI "More Precise Hardware Modeling").
+
+The paper's distance matrix counts SWAPs; real devices have per-coupling
+error rates that can differ by an order of magnitude (Tannu & Qureshi),
+so the cheapest path in SWAP count is not always the highest-fidelity
+path.  This extension re-weights each edge by its SWAP log-infidelity,
+
+    w(a, b) = -3 * ln(1 - e_ab)    (3 CNOTs per SWAP on edge (a, b)),
+
+runs Floyd-Warshall on those weights, and feeds the result to the
+unmodified SABRE search — the heuristic then steers qubits around bad
+couplings.  The ablation bench compares hop-count vs noise-aware
+routing under a heterogeneous noise model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.compiler import compile_circuit
+from repro.core.heuristic import HeuristicConfig
+from repro.core.result import MappingResult
+from repro.exceptions import HardwareError
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.distance import weighted_floyd_warshall
+from repro.hardware.noise import NoiseModel
+
+
+def noise_weighted_distance(
+    coupling: CouplingGraph, noise: NoiseModel
+) -> List[List[float]]:
+    """Distance matrix where edge length = SWAP log-infidelity.
+
+    Edges with the chip-average error rate get weight close to
+    ``-3 * ln(1 - e)``; noisier couplings are proportionally longer, so
+    shortest paths avoid them.  Weights are normalised so the *median*
+    edge has length 1.0 — typical distances then match hop counts
+    (keeping the heuristic's scale and the decay trade-off comparable)
+    while outlier couplings stand out proportionally to their excess
+    infidelity.
+    """
+    weights: Dict[Tuple[int, int], float] = {}
+    for a, b in coupling.edges:
+        error = noise.edge_error(a, b)
+        if error >= 1.0:
+            raise HardwareError(f"edge ({a}, {b}) has error rate >= 1")
+        weights[(a, b)] = -3.0 * math.log1p(-error)
+    ordered = sorted(weights.values())
+    median = ordered[len(ordered) // 2]
+    normalised = {edge: w / median for edge, w in weights.items()}
+    return weighted_floyd_warshall(coupling, normalised)
+
+
+class NoiseAwareRouter:
+    """SABRE with an error-weighted distance matrix.
+
+    Drop-in alternative to :func:`repro.core.compiler.compile_circuit`
+    for devices with heterogeneous coupling quality.
+    """
+
+    def __init__(
+        self,
+        coupling: CouplingGraph,
+        noise: NoiseModel,
+        config: Optional[HeuristicConfig] = None,
+        swap_cost_penalty: float = 1.0,
+    ) -> None:
+        self.coupling = coupling
+        self.noise = noise
+        if config is None:
+            config = HeuristicConfig(swap_cost_penalty=swap_cost_penalty)
+        elif config.swap_cost_penalty == 0.0:
+            from dataclasses import replace
+
+            config = replace(config, swap_cost_penalty=swap_cost_penalty)
+        self.config = config
+        self.distance = noise_weighted_distance(coupling, noise)
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        seed: int = 0,
+        num_trials: int = 5,
+        num_traversals: int = 3,
+    ) -> MappingResult:
+        """Compile with the noise-weighted metric."""
+        return compile_circuit(
+            circuit,
+            self.coupling,
+            config=self.config,
+            seed=seed,
+            num_trials=num_trials,
+            num_traversals=num_traversals,
+            distance=self.distance,
+        )

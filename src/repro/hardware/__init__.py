@@ -1,0 +1,55 @@
+"""Hardware models: coupling graphs, distances, devices, and noise.
+
+The mapper consumes a :class:`~repro.hardware.coupling.CouplingGraph`
+``G(V, E)`` (paper Table I) plus the all-pairs shortest-path distance
+matrix ``D`` computed from it (paper §IV-A).  The device zoo provides
+the IBM Q20 Tokyo model the paper evaluates on (Fig. 2) alongside other
+real and synthetic topologies for flexibility experiments.
+"""
+
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.distance import (
+    floyd_warshall,
+    bfs_distance_matrix,
+    distance_matrix,
+    weighted_floyd_warshall,
+)
+from repro.hardware.devices import (
+    ibm_q20_tokyo,
+    ibm_qx2,
+    ibm_qx4,
+    ibm_qx5,
+    line_device,
+    ring_device,
+    grid_device,
+    complete_device,
+    star_device,
+    heavy_hex_device,
+    random_device,
+    DEVICE_BUILDERS,
+    get_device,
+)
+from repro.hardware.noise import NoiseModel, IBM_Q20_TOKYO_NOISE
+
+__all__ = [
+    "CouplingGraph",
+    "floyd_warshall",
+    "bfs_distance_matrix",
+    "distance_matrix",
+    "weighted_floyd_warshall",
+    "ibm_q20_tokyo",
+    "ibm_qx2",
+    "ibm_qx4",
+    "ibm_qx5",
+    "line_device",
+    "ring_device",
+    "grid_device",
+    "complete_device",
+    "star_device",
+    "heavy_hex_device",
+    "random_device",
+    "DEVICE_BUILDERS",
+    "get_device",
+    "NoiseModel",
+    "IBM_Q20_TOKYO_NOISE",
+]

@@ -1,0 +1,197 @@
+"""Device coupling graphs (paper Table I: ``G(V, E)``).
+
+A coupling graph has one vertex per physical qubit and an edge wherever
+the hardware supports a two-qubit gate between two qubits.  The paper
+targets IBM's Q20 Tokyo, whose couplings are *symmetric* (CNOT allowed
+in both directions, §III-A); we model symmetric graphs natively and
+also carry an optional direction set so the directed-coupling extension
+(older QX2/QX4/QX5-style chips) can reuse the same class.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import HardwareError
+
+Edge = Tuple[int, int]
+
+
+class CouplingGraph:
+    """Undirected (optionally direction-annotated) coupling graph.
+
+    Args:
+        num_qubits: number of physical qubits ``N``.
+        edges: iterable of qubit pairs that support two-qubit gates.
+            Pairs are stored undirected; duplicates and reversed
+            duplicates collapse.
+        directed_edges: optional iterable of *ordered* pairs giving the
+            allowed CNOT directions.  ``None`` (the default) means fully
+            symmetric — every stored edge works both ways, as on the
+            Q20 Tokyo chip.
+        name: human-readable device name.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        edges: Iterable[Edge],
+        directed_edges: Optional[Iterable[Edge]] = None,
+        name: str = "device",
+    ) -> None:
+        if num_qubits <= 0:
+            raise HardwareError(f"num_qubits must be positive, got {num_qubits}")
+        self.num_qubits = num_qubits
+        self.name = name
+        self._adjacency: List[Set[int]] = [set() for _ in range(num_qubits)]
+        self._edges: Set[FrozenSet[int]] = set()
+        for a, b in edges:
+            self._check_qubit(a)
+            self._check_qubit(b)
+            if a == b:
+                raise HardwareError(f"self-loop edge ({a}, {b}) is not allowed")
+            self._edges.add(frozenset((a, b)))
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+        self._directed: Optional[Set[Edge]] = None
+        if directed_edges is not None:
+            self._directed = set()
+            for a, b in directed_edges:
+                if frozenset((a, b)) not in self._edges:
+                    raise HardwareError(
+                        f"directed edge ({a}, {b}) has no underlying coupling"
+                    )
+                self._directed.add((a, b))
+
+    def _check_qubit(self, q: int) -> None:
+        if not 0 <= q < self.num_qubits:
+            raise HardwareError(
+                f"qubit {q} out of range for device with {self.num_qubits} qubits"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def edges(self) -> List[Edge]:
+        """Sorted list of undirected edges as ``(low, high)`` tuples."""
+        return sorted(tuple(sorted(e)) for e in self._edges)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when CNOTs run in both directions on every edge."""
+        if self._directed is None:
+            return True
+        return all(
+            (a, b) in self._directed and (b, a) in self._directed
+            for a, b in self.edges
+        )
+
+    def neighbors(self, q: int) -> List[int]:
+        """Physical qubits directly coupled to ``q`` (sorted)."""
+        self._check_qubit(q)
+        return sorted(self._adjacency[q])
+
+    def degree(self, q: int) -> int:
+        self._check_qubit(q)
+        return len(self._adjacency[q])
+
+    def are_coupled(self, a: int, b: int) -> bool:
+        """True when a two-qubit gate may act on ``{a, b}`` (either order)."""
+        self._check_qubit(a)
+        self._check_qubit(b)
+        return b in self._adjacency[a]
+
+    def allows_cnot(self, control: int, target: int) -> bool:
+        """True when a CNOT with this exact direction is native.
+
+        On symmetric devices this equals :meth:`are_coupled`; on directed
+        devices the direction set decides (the directed-coupling
+        extension inserts H-conjugation when only the reverse exists).
+        """
+        if not self.are_coupled(control, target):
+            return False
+        if self._directed is None:
+            return True
+        return (control, target) in self._directed
+
+    # ------------------------------------------------------------------
+    # Graph algorithms
+    # ------------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """True when every qubit is reachable from qubit 0."""
+        if self.num_qubits == 1:
+            return True
+        seen = {0}
+        queue = deque([0])
+        while queue:
+            q = queue.popleft()
+            for nb in self._adjacency[q]:
+                if nb not in seen:
+                    seen.add(nb)
+                    queue.append(nb)
+        return len(seen) == self.num_qubits
+
+    def require_connected(self) -> None:
+        """Raise :class:`HardwareError` unless the graph is connected.
+
+        Routing between disconnected components is impossible, so the
+        compiler front door calls this once per device.
+        """
+        if not self.is_connected():
+            raise HardwareError(
+                f"coupling graph {self.name!r} is disconnected; "
+                "qubit routing requires a connected device"
+            )
+
+    def shortest_path(self, source: int, target: int) -> List[int]:
+        """One BFS shortest path from ``source`` to ``target`` (inclusive).
+
+        Used by the trivial router baseline and the Bridge extension.
+        """
+        self._check_qubit(source)
+        self._check_qubit(target)
+        if source == target:
+            return [source]
+        parent: Dict[int, int] = {source: source}
+        queue = deque([source])
+        while queue:
+            q = queue.popleft()
+            for nb in sorted(self._adjacency[q]):
+                if nb not in parent:
+                    parent[nb] = q
+                    if nb == target:
+                        path = [target]
+                        while path[-1] != source:
+                            path.append(parent[path[-1]])
+                        return list(reversed(path))
+                    queue.append(nb)
+        raise HardwareError(
+            f"no path between physical qubits {source} and {target}"
+        )
+
+    def diameter(self) -> int:
+        """Longest shortest-path distance (the paper's O(sqrt N) bound
+        on SWAPs per gate refers to this for 2D layouts)."""
+        from repro.hardware.distance import bfs_distance_matrix
+
+        self.require_connected()
+        matrix = bfs_distance_matrix(self)
+        return int(max(max(row) for row in matrix))
+
+    def subgraph_degree_sequence(self) -> List[int]:
+        """Sorted degree sequence; used by layout heuristics and tests."""
+        return sorted(len(adj) for adj in self._adjacency)
+
+    def __repr__(self) -> str:
+        return (
+            f"CouplingGraph(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"num_edges={self.num_edges})"
+        )

@@ -1,0 +1,218 @@
+"""Device zoo: real IBM chips and synthetic topologies.
+
+The centrepiece is :func:`ibm_q20_tokyo`, the exact 20-qubit coupling
+graph of IBM's Q20 "Tokyo" chip from paper Fig. 2 — the hardware model
+for every experiment in the paper's evaluation.  The remaining builders
+exercise the *flexibility* objective (§III-B: "Our algorithm should be
+able to deal with arbitrary symmetric coupling cases"): earlier IBM
+chips (directed couplings, used by the directed-coupling extension),
+ideal 1D/2D lattices (the models earlier heuristics were limited to),
+and random connected graphs for property-based testing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from repro.exceptions import HardwareError
+from repro.hardware.coupling import CouplingGraph
+
+Edge = Tuple[int, int]
+
+
+def ibm_q20_tokyo() -> CouplingGraph:
+    """IBM Q20 Tokyo (paper Fig. 2): 20 qubits, 43 symmetric couplings.
+
+    Laid out as a 4 x 5 grid (rows 0-4 / 5-9 / 10-14 / 15-19) with
+    nearest-neighbour links plus the twelve diagonal couplers shown in
+    the figure.  All couplings support CNOT in both directions.
+    """
+    horizontal = [
+        (0, 1), (1, 2), (2, 3), (3, 4),
+        (5, 6), (6, 7), (7, 8), (8, 9),
+        (10, 11), (11, 12), (12, 13), (13, 14),
+        (15, 16), (16, 17), (17, 18), (18, 19),
+    ]
+    vertical = [
+        (0, 5), (1, 6), (2, 7), (3, 8), (4, 9),
+        (5, 10), (6, 11), (7, 12), (8, 13), (9, 14),
+        (10, 15), (11, 16), (12, 17), (13, 18), (14, 19),
+    ]
+    diagonal = [
+        (1, 7), (2, 6), (3, 9), (4, 8),
+        (5, 11), (6, 10), (7, 13), (8, 12),
+        (11, 17), (12, 16), (13, 19), (14, 18),
+    ]
+    return CouplingGraph(
+        20, horizontal + vertical + diagonal, name="ibm_q20_tokyo"
+    )
+
+
+def ibm_qx2() -> CouplingGraph:
+    """IBM QX2 "Sparrow": 5 qubits in a bow-tie, *directed* couplings.
+
+    Control -> target directions as published; used by the
+    directed-coupling extension (§III-A "Other Methods").
+    """
+    directed = [(0, 1), (0, 2), (1, 2), (3, 2), (3, 4), (4, 2)]
+    undirected = [tuple(sorted(e)) for e in directed]
+    return CouplingGraph(5, undirected, directed_edges=directed, name="ibm_qx2")
+
+
+def ibm_qx4() -> CouplingGraph:
+    """IBM QX4 "Raven": 5-qubit bow-tie with reversed directions."""
+    directed = [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (2, 4)]
+    undirected = [tuple(sorted(e)) for e in directed]
+    return CouplingGraph(5, undirected, directed_edges=directed, name="ibm_qx4")
+
+
+def ibm_qx5() -> CouplingGraph:
+    """IBM QX5 "Albatross": 16 qubits in a 2 x 8 directed ladder."""
+    directed = [
+        (1, 0), (1, 2), (2, 3), (3, 4), (3, 14), (5, 4), (6, 5), (6, 7),
+        (6, 11), (7, 10), (8, 7), (9, 8), (9, 10), (11, 10), (12, 5),
+        (12, 11), (12, 13), (13, 4), (13, 14), (15, 0), (15, 2), (15, 14),
+    ]
+    undirected = [tuple(sorted(e)) for e in directed]
+    return CouplingGraph(16, undirected, directed_edges=directed, name="ibm_qx5")
+
+
+def line_device(num_qubits: int) -> CouplingGraph:
+    """1D nearest-neighbour chain — the classic LNN model (§VII)."""
+    if num_qubits < 1:
+        raise HardwareError("line device needs at least 1 qubit")
+    edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    return CouplingGraph(num_qubits, edges, name=f"line_{num_qubits}")
+
+
+def ring_device(num_qubits: int) -> CouplingGraph:
+    """Cycle of ``num_qubits`` qubits (used in the paper's Fig. 3 example
+    as the 4-qubit device where {Q1,Q2,Q4,Q3} form a square)."""
+    if num_qubits < 3:
+        raise HardwareError("ring device needs at least 3 qubits")
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return CouplingGraph(num_qubits, edges, name=f"ring_{num_qubits}")
+
+
+def grid_device(rows: int, cols: int) -> CouplingGraph:
+    """2D nearest-neighbour lattice — the paper's Fig. 6/7 9-qubit
+    examples use ``grid_device(3, 3)``."""
+    if rows < 1 or cols < 1:
+        raise HardwareError("grid dimensions must be positive")
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingGraph(rows * cols, edges, name=f"grid_{rows}x{cols}")
+
+
+def complete_device(num_qubits: int) -> CouplingGraph:
+    """All-to-all coupling (ion-trap-like); routing is trivially SWAP-free.
+
+    Useful as a control: any mapper must insert zero SWAPs here.
+    """
+    if num_qubits < 1:
+        raise HardwareError("complete device needs at least 1 qubit")
+    edges = [
+        (i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)
+    ]
+    return CouplingGraph(num_qubits, edges, name=f"complete_{num_qubits}")
+
+
+def star_device(num_qubits: int) -> CouplingGraph:
+    """Hub-and-spoke topology: qubit 0 couples to all others.
+
+    A worst case for SWAP parallelism — every route crosses the hub —
+    used in trade-off and ablation tests.
+    """
+    if num_qubits < 2:
+        raise HardwareError("star device needs at least 2 qubits")
+    edges = [(0, i) for i in range(1, num_qubits)]
+    return CouplingGraph(num_qubits, edges, name=f"star_{num_qubits}")
+
+
+def heavy_hex_device(distance: int = 3) -> CouplingGraph:
+    """Simplified heavy-hexagon lattice (modern IBM topology).
+
+    A ``distance x distance`` grid of unit hexagon cells approximated by
+    degree-<=3 rows of data qubits joined through bridge qubits.  Not a
+    chip-exact layout — it exists to exercise low-degree irregular
+    graphs, the regime the paper's *flexibility* objective targets.
+    """
+    if distance < 2:
+        raise HardwareError("heavy-hex distance must be >= 2")
+    rows = distance
+    row_len = 2 * distance + 1
+    edges: List[Edge] = []
+    num = 0
+    row_ids: List[List[int]] = []
+    for _ in range(rows):
+        ids = list(range(num, num + row_len))
+        num += row_len
+        row_ids.append(ids)
+        edges.extend((ids[i], ids[i + 1]) for i in range(row_len - 1))
+    bridges_per_gap = distance + 1
+    for r in range(rows - 1):
+        for k in range(bridges_per_gap):
+            col = min(2 * k, row_len - 1)
+            bridge = num
+            num += 1
+            edges.append((row_ids[r][col], bridge))
+            edges.append((bridge, row_ids[r + 1][col]))
+    return CouplingGraph(num, edges, name=f"heavy_hex_d{distance}")
+
+
+def random_device(
+    num_qubits: int, extra_edge_fraction: float = 0.3, seed: int = 0
+) -> CouplingGraph:
+    """Random connected device: a random spanning tree plus extra edges.
+
+    Deterministic in ``seed``.  ``extra_edge_fraction`` scales how many
+    non-tree edges are added (as a fraction of ``num_qubits``).
+    Guaranteed connected, which is all the router requires.
+    """
+    if num_qubits < 2:
+        raise HardwareError("random device needs at least 2 qubits")
+    rng = random.Random(seed)
+    order = list(range(num_qubits))
+    rng.shuffle(order)
+    edges = set()
+    for i in range(1, num_qubits):
+        attach = rng.choice(order[:i])
+        edges.add(tuple(sorted((order[i], attach))))
+    num_extra = int(extra_edge_fraction * num_qubits)
+    attempts = 0
+    while num_extra > 0 and attempts < 50 * num_qubits:
+        a, b = rng.sample(range(num_qubits), 2)
+        edge = tuple(sorted((a, b)))
+        attempts += 1
+        if edge not in edges:
+            edges.add(edge)
+            num_extra -= 1
+    return CouplingGraph(
+        num_qubits, sorted(edges), name=f"random_{num_qubits}_s{seed}"
+    )
+
+
+#: Named builders for CLI/benchmark lookup.
+DEVICE_BUILDERS: Dict[str, Callable[..., CouplingGraph]] = {
+    "ibm_q20_tokyo": ibm_q20_tokyo,
+    "ibm_qx2": ibm_qx2,
+    "ibm_qx4": ibm_qx4,
+    "ibm_qx5": ibm_qx5,
+}
+
+
+def get_device(name: str) -> CouplingGraph:
+    """Look up a named device (see :data:`DEVICE_BUILDERS`)."""
+    try:
+        return DEVICE_BUILDERS[name]()
+    except KeyError:
+        raise HardwareError(
+            f"unknown device {name!r}; available: {sorted(DEVICE_BUILDERS)}"
+        ) from None

@@ -1,0 +1,130 @@
+"""All-pairs shortest paths and the distance matrix ``D`` (paper §IV-A).
+
+The paper's preprocessing computes ``D`` with the Floyd-Warshall
+algorithm: "Each edge in the coupling graph has distance 1 because one
+SWAP is required to exchange the two qubits of an edge.  So that
+D[i][j] represents the minimum number of SWAPs required to move a
+logical qubit from physical qubit Qi to Qj.  The complexity of this
+step is O(N^3)".
+
+We implement Floyd-Warshall exactly as described, plus a BFS-based
+APSP (``O(N * E)``, faster on the sparse graphs real devices have) that
+must agree with it — the agreement is itself a test invariant.  The
+weighted variant supports the noise-aware routing extension, where an
+edge's length reflects its two-qubit error rate instead of 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import HardwareError
+from repro.hardware.coupling import CouplingGraph
+
+#: Distance reported between disconnected qubits.
+INFINITY = float("inf")
+
+
+def floyd_warshall(graph: CouplingGraph) -> List[List[float]]:
+    """Unit-weight Floyd-Warshall, exactly the paper's preprocessing step.
+
+    Returns an ``N x N`` matrix of floats; ``INFINITY`` marks pairs with
+    no connecting path (disconnected devices are rejected by the
+    compiler, but the matrix itself stays well-defined).
+    """
+    n = graph.num_qubits
+    dist = [[INFINITY] * n for _ in range(n)]
+    for i in range(n):
+        dist[i][i] = 0.0
+    for a, b in graph.edges:
+        dist[a][b] = 1.0
+        dist[b][a] = 1.0
+    for k in range(n):
+        dist_k = dist[k]
+        for i in range(n):
+            dist_i = dist[i]
+            via = dist_i[k]
+            if via == INFINITY:
+                continue
+            for j in range(n):
+                candidate = via + dist_k[j]
+                if candidate < dist_i[j]:
+                    dist_i[j] = candidate
+    return dist
+
+
+def bfs_distance_matrix(graph: CouplingGraph) -> List[List[float]]:
+    """APSP by one BFS per vertex; must equal :func:`floyd_warshall`.
+
+    ``O(N * (N + E))`` — preferred for large sparse devices.  Kept as an
+    independent implementation so the two can cross-check each other in
+    property tests.
+    """
+    n = graph.num_qubits
+    matrix: List[List[float]] = []
+    for source in range(n):
+        row = [INFINITY] * n
+        row[source] = 0.0
+        queue = deque([source])
+        while queue:
+            q = queue.popleft()
+            for nb in graph.neighbors(q):
+                if row[nb] == INFINITY:
+                    row[nb] = row[q] + 1.0
+                    queue.append(nb)
+        matrix.append(row)
+    return matrix
+
+
+def distance_matrix(
+    graph: CouplingGraph, method: str = "floyd-warshall"
+) -> List[List[float]]:
+    """The paper's ``D[][]``: minimum SWAPs to move a qubit from Qi to Qj.
+
+    Args:
+        graph: device coupling graph.
+        method: ``"floyd-warshall"`` (paper's choice) or ``"bfs"``.
+    """
+    if method == "floyd-warshall":
+        return floyd_warshall(graph)
+    if method == "bfs":
+        return bfs_distance_matrix(graph)
+    raise HardwareError(f"unknown distance method {method!r}")
+
+
+def weighted_floyd_warshall(
+    graph: CouplingGraph, edge_weights: Dict[Tuple[int, int], float]
+) -> List[List[float]]:
+    """Floyd-Warshall with per-edge weights (noise-aware extension).
+
+    ``edge_weights`` maps undirected edges ``(low, high)`` to positive
+    lengths — e.g. ``-3 * log(1 - error_rate)`` so that the "distance"
+    between qubits approximates the log-infidelity of SWAPping along the
+    best path.  Missing edges default to weight 1.0.
+    """
+    for (a, b), w in edge_weights.items():
+        if w <= 0:
+            raise HardwareError(
+                f"edge weight for ({a}, {b}) must be positive, got {w}"
+            )
+    n = graph.num_qubits
+    dist = [[INFINITY] * n for _ in range(n)]
+    for i in range(n):
+        dist[i][i] = 0.0
+    for a, b in graph.edges:
+        w = edge_weights.get((min(a, b), max(a, b)), 1.0)
+        dist[a][b] = w
+        dist[b][a] = w
+    for k in range(n):
+        dist_k = dist[k]
+        for i in range(n):
+            dist_i = dist[i]
+            via = dist_i[k]
+            if via == INFINITY:
+                continue
+            for j in range(n):
+                candidate = via + dist_k[j]
+                if candidate < dist_i[j]:
+                    dist_i[j] = candidate
+    return dist

@@ -1,0 +1,55 @@
+"""OpenQASM 2.0 emitter.
+
+Serialises a :class:`~repro.circuits.circuit.QuantumCircuit` back to
+QASM text.  Together with the parser this gives the round-trip property
+``parse(emit(c)) == c``, so routed circuits can be exported for any
+QASM-consuming toolchain.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.exceptions import QasmError
+
+
+def _format_param(value: float) -> str:
+    """Render a parameter with enough digits to round-trip exactly."""
+    return repr(float(value))
+
+
+def _gate_line(gate: Gate) -> str:
+    if gate.name == "measure":
+        (qubit,) = gate.qubits
+        clbit = gate.clbit if gate.clbit is not None else qubit
+        return f"measure q[{qubit}] -> c[{clbit}];"
+    if gate.name == "barrier":
+        args = ", ".join(f"q[{q}]" for q in gate.qubits)
+        return f"barrier {args};"
+    args = ", ".join(f"q[{q}]" for q in gate.qubits)
+    if gate.params:
+        params = ", ".join(_format_param(p) for p in gate.params)
+        return f"{gate.name}({params}) {args};"
+    return f"{gate.name} {args};"
+
+
+def emit_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise ``circuit`` as an OpenQASM 2.0 program."""
+    if circuit.num_qubits < 1:
+        raise QasmError("cannot emit a circuit with zero qubits")
+    lines: List[str] = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+        f"creg c[{max(circuit.num_clbits, 1)}];",
+    ]
+    lines.extend(_gate_line(gate) for gate in circuit)
+    return "\n".join(lines) + "\n"
+
+
+def write_qasm_file(circuit: QuantumCircuit, path: str) -> None:
+    """Write :func:`emit_qasm` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(emit_qasm(circuit))

@@ -1,0 +1,82 @@
+"""Tokenizer for the OpenQASM 2.0 subset.
+
+Regex-driven single-pass lexer with line/column tracking for error
+messages.  Comments (``// ...``) and whitespace are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.exceptions import QasmError
+
+#: Token kinds produced by :func:`tokenize`.
+KEYWORDS = {
+    "OPENQASM",
+    "include",
+    "qreg",
+    "creg",
+    "gate",
+    "opaque",
+    "measure",
+    "barrier",
+    "reset",
+    "if",
+    "pi",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<COMMENT>//[^\n]*)
+  | (?P<REAL>(\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<INT>\d+)
+  | (?P<ID>[a-zA-Z_][a-zA-Z0-9_]*)
+  | (?P<STRING>"[^"\n]*")
+  | (?P<ARROW>->)
+  | (?P<EQ>==)
+  | (?P<SYMBOL>[;,()\[\]{}+\-*/^])
+  | (?P<NEWLINE>\n)
+  | (?P<SKIP>[ \t\r]+)
+  | (?P<BAD>.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with source position (1-based)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a QASM program; raises :class:`QasmError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup
+        value = match.group()
+        column = match.start() - line_start + 1
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "BAD":
+            raise QasmError(f"unexpected character {value!r}", line, column)
+        if kind == "ID" and value in KEYWORDS:
+            kind = "KEYWORD"
+        tokens.append(Token(kind, value, line, column))
+    tokens.append(Token("EOF", "", line, 1))
+    return tokens

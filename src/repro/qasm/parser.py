@@ -1,0 +1,575 @@
+"""Recursive-descent parser for the OpenQASM 2.0 subset.
+
+Produces a :class:`~repro.circuits.circuit.QuantumCircuit`.  Multiple
+``qreg`` declarations are flattened into one wire space in declaration
+order (standard practice for mapping work — the device only sees wires).
+User-defined ``gate`` macros are expanded recursively at call sites, so
+the output circuit contains only library gates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import GATE_SPECS, Gate
+from repro.exceptions import QasmError
+from repro.qasm.lexer import Token, tokenize
+
+# ----------------------------------------------------------------------
+# Expression mini-AST (delayed evaluation inside gate bodies)
+# ----------------------------------------------------------------------
+
+Expr = Union[float, str, Tuple]  # number | parameter name | (op, ...)
+
+_FUNCTIONS = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+}
+
+
+def _evaluate(expr: Expr, env: Dict[str, float]) -> float:
+    """Evaluate an expression AST under a parameter environment."""
+    if isinstance(expr, (int, float)):
+        return float(expr)
+    if isinstance(expr, str):
+        if expr in env:
+            return env[expr]
+        raise QasmError(f"unbound parameter {expr!r}")
+    op = expr[0]
+    if op == "neg":
+        return -_evaluate(expr[1], env)
+    if op == "call":
+        return _FUNCTIONS[expr[1]](_evaluate(expr[2], env))
+    left = _evaluate(expr[1], env)
+    right = _evaluate(expr[2], env)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right
+    if op == "^":
+        return left**right
+    raise QasmError(f"unknown operator {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Gate macro table
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _GateDef:
+    """A user-defined (or builtin-macro) gate body."""
+
+    name: str
+    params: List[str]
+    qubits: List[str]
+    body: List[Tuple[str, List[Expr], List[Tuple[str, Optional[int]]]]]
+
+
+def _builtin_macros() -> Dict[str, _GateDef]:
+    """qelib1 gates that our registry lacks, expanded to library gates."""
+    return {
+        "u0": _GateDef("u0", ["gamma"], ["a"], [("id", [], [("a", None)])]),
+        "u": _GateDef(
+            "u",
+            ["theta", "phi", "lam"],
+            ["a"],
+            [("u3", ["theta", "phi", "lam"], [("a", None)])],
+        ),
+        "p": _GateDef("p", ["lam"], ["a"], [("u1", ["lam"], [("a", None)])]),
+        "cu3": _GateDef(
+            "cu3",
+            ["theta", "phi", "lam"],
+            ["c", "t"],
+            [
+                ("u1", [("/", ("+", "lam", "phi"), 2.0)], [("c", None)]),
+                ("u1", [("/", ("-", "lam", "phi"), 2.0)], [("t", None)]),
+                ("cx", [], [("c", None), ("t", None)]),
+                (
+                    "u3",
+                    [
+                        ("neg", ("/", "theta", 2.0)),
+                        0.0,
+                        ("neg", ("/", ("+", "phi", "lam"), 2.0)),
+                    ],
+                    [("t", None)],
+                ),
+                ("cx", [], [("c", None), ("t", None)]),
+                ("u3", [("/", "theta", 2.0), "phi", 0.0], [("t", None)]),
+            ],
+        ),
+        "crx": _GateDef(
+            "crx",
+            ["theta"],
+            ["c", "t"],
+            [
+                ("u1", [("/", math.pi, 2.0)], [("t", None)]),
+                ("cx", [], [("c", None), ("t", None)]),
+                (
+                    "u3",
+                    [("neg", ("/", "theta", 2.0)), 0.0, 0.0],
+                    [("t", None)],
+                ),
+                ("cx", [], [("c", None), ("t", None)]),
+                (
+                    "u3",
+                    [("/", "theta", 2.0), ("neg", ("/", math.pi, 2.0)), 0.0],
+                    [("t", None)],
+                ),
+            ],
+        ),
+        "cry": _GateDef(
+            "cry",
+            ["theta"],
+            ["c", "t"],
+            [
+                ("ry", [("/", "theta", 2.0)], [("t", None)]),
+                ("cx", [], [("c", None), ("t", None)]),
+                ("ry", [("neg", ("/", "theta", 2.0))], [("t", None)]),
+                ("cx", [], [("c", None), ("t", None)]),
+            ],
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], name: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.name = name
+        self.qregs: List[Tuple[str, int, int]] = []  # (name, size, offset)
+        self.cregs: List[Tuple[str, int, int]] = []
+        self.num_wires = 0
+        self.num_clbits = 0
+        self.gate_defs: Dict[str, _GateDef] = _builtin_macros()
+        self.opaque: set = set()
+        self.gates: List[Gate] = []
+
+    # -- token helpers --------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value or kind
+            raise QasmError(
+                f"expected {want!r}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> QasmError:
+        token = self.peek()
+        return QasmError(message, token.line, token.column)
+
+    # -- program --------------------------------------------------------
+
+    def parse(self) -> QuantumCircuit:
+        self._parse_header()
+        while self.peek().kind != "EOF":
+            self._parse_statement()
+        circuit = QuantumCircuit(
+            max(self.num_wires, 1), self.name, max(self.num_clbits, 1)
+        )
+        for gate in self.gates:
+            circuit.append(gate)
+        return circuit
+
+    def _parse_header(self) -> None:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value == "OPENQASM":
+            self.advance()
+            version = self.advance()
+            if version.value not in ("2.0", "2"):
+                raise QasmError(
+                    f"unsupported OpenQASM version {version.value!r}",
+                    version.line,
+                    version.column,
+                )
+            self.expect("SYMBOL", ";")
+
+    def _parse_statement(self) -> None:
+        token = self.peek()
+        if token.kind == "KEYWORD":
+            handler = {
+                "include": self._parse_include,
+                "qreg": self._parse_qreg,
+                "creg": self._parse_creg,
+                "gate": self._parse_gate_def,
+                "opaque": self._parse_opaque,
+                "measure": self._parse_measure,
+                "barrier": self._parse_barrier,
+                "reset": self._parse_reset,
+                "if": self._parse_if,
+            }.get(token.value)
+            if handler is None:
+                raise self.error(f"unexpected keyword {token.value!r}")
+            handler()
+        elif token.kind == "ID":
+            self._parse_gate_call()
+        else:
+            raise self.error(f"unexpected token {token.value!r}")
+
+    # -- declarations ---------------------------------------------------
+
+    def _parse_include(self) -> None:
+        self.advance()
+        self.expect("STRING")
+        self.expect("SYMBOL", ";")
+
+    def _parse_sized_decl(self) -> Tuple[str, int]:
+        name = self.expect("ID").value
+        self.expect("SYMBOL", "[")
+        size = int(self.expect("INT").value)
+        self.expect("SYMBOL", "]")
+        self.expect("SYMBOL", ";")
+        if size < 1:
+            raise self.error(f"register {name!r} must have positive size")
+        return name, size
+
+    def _parse_qreg(self) -> None:
+        self.advance()
+        name, size = self._parse_sized_decl()
+        if any(r[0] == name for r in self.qregs):
+            raise self.error(f"duplicate qreg {name!r}")
+        self.qregs.append((name, size, self.num_wires))
+        self.num_wires += size
+
+    def _parse_creg(self) -> None:
+        self.advance()
+        name, size = self._parse_sized_decl()
+        if any(r[0] == name for r in self.cregs):
+            raise self.error(f"duplicate creg {name!r}")
+        self.cregs.append((name, size, self.num_clbits))
+        self.num_clbits += size
+
+    def _parse_opaque(self) -> None:
+        self.advance()
+        name = self.expect("ID").value
+        self.opaque.add(name)
+        while not (
+            self.peek().kind == "SYMBOL" and self.peek().value == ";"
+        ):
+            self.advance()
+        self.advance()
+
+    def _parse_if(self) -> None:
+        raise self.error("classically-controlled gates are not supported")
+
+    def _parse_reset(self) -> None:
+        self.advance()
+        for wire in self._parse_qubit_argument():
+            self.gates.append(Gate("reset", (wire,)))
+        self.expect("SYMBOL", ";")
+
+    # -- gate definitions -------------------------------------------------
+
+    def _parse_gate_def(self) -> None:
+        self.advance()
+        name = self.expect("ID").value
+        params: List[str] = []
+        if self.peek().kind == "SYMBOL" and self.peek().value == "(":
+            self.advance()
+            if not (self.peek().kind == "SYMBOL" and self.peek().value == ")"):
+                params.append(self.expect("ID").value)
+                while self.peek().value == ",":
+                    self.advance()
+                    params.append(self.expect("ID").value)
+            self.expect("SYMBOL", ")")
+        qubits = [self.expect("ID").value]
+        while self.peek().value == ",":
+            self.advance()
+            qubits.append(self.expect("ID").value)
+        self.expect("SYMBOL", "{")
+        body: List[Tuple[str, List[Expr], List[Tuple[str, Optional[int]]]]] = []
+        while not (self.peek().kind == "SYMBOL" and self.peek().value == "}"):
+            if self.peek().kind == "KEYWORD" and self.peek().value == "barrier":
+                # Barriers inside macros are dropped (they only order the
+                # body, which is already sequential).
+                while self.peek().value != ";":
+                    self.advance()
+                self.advance()
+                continue
+            gate_name = self.expect("ID").value
+            exprs: List[Expr] = []
+            if self.peek().value == "(":
+                self.advance()
+                if self.peek().value != ")":
+                    exprs.append(self._parse_expression(params))
+                    while self.peek().value == ",":
+                        self.advance()
+                        exprs.append(self._parse_expression(params))
+                self.expect("SYMBOL", ")")
+            args: List[Tuple[str, Optional[int]]] = []
+            args.append((self.expect("ID").value, None))
+            while self.peek().value == ",":
+                self.advance()
+                args.append((self.expect("ID").value, None))
+            self.expect("SYMBOL", ";")
+            body.append((gate_name, exprs, args))
+        self.expect("SYMBOL", "}")
+        self.gate_defs[name] = _GateDef(name, params, qubits, body)
+
+    # -- gate calls -------------------------------------------------------
+
+    def _lookup_qreg(self, name: str) -> Tuple[str, int, int]:
+        for reg in self.qregs:
+            if reg[0] == name:
+                return reg
+        raise self.error(f"undeclared qreg {name!r}")
+
+    def _lookup_creg(self, name: str) -> Tuple[str, int, int]:
+        for reg in self.cregs:
+            if reg[0] == name:
+                return reg
+        raise self.error(f"undeclared creg {name!r}")
+
+    def _parse_qubit_argument(self) -> List[int]:
+        """One argument; a bare register name yields all its wires."""
+        name = self.expect("ID").value
+        reg_name, size, offset = self._lookup_qreg(name)
+        if self.peek().kind == "SYMBOL" and self.peek().value == "[":
+            self.advance()
+            index = int(self.expect("INT").value)
+            self.expect("SYMBOL", "]")
+            if index >= size:
+                raise self.error(
+                    f"index {index} out of range for qreg {reg_name}[{size}]"
+                )
+            return [offset + index]
+        return [offset + i for i in range(size)]
+
+    def _parse_clbit_argument(self) -> List[int]:
+        name = self.expect("ID").value
+        reg_name, size, offset = self._lookup_creg(name)
+        if self.peek().kind == "SYMBOL" and self.peek().value == "[":
+            self.advance()
+            index = int(self.expect("INT").value)
+            self.expect("SYMBOL", "]")
+            if index >= size:
+                raise self.error(
+                    f"index {index} out of range for creg {reg_name}[{size}]"
+                )
+            return [offset + index]
+        return [offset + i for i in range(size)]
+
+    def _parse_gate_call(self) -> None:
+        token = self.advance()
+        name = token.value.lower() if token.value in ("U", "CX") else token.value
+        if token.value == "U":
+            name = "u3"
+        elif token.value == "CX":
+            name = "cx"
+        params: List[float] = []
+        if self.peek().kind == "SYMBOL" and self.peek().value == "(":
+            self.advance()
+            if self.peek().value != ")":
+                params.append(_evaluate(self._parse_expression([]), {}))
+                while self.peek().value == ",":
+                    self.advance()
+                    params.append(_evaluate(self._parse_expression([]), {}))
+            self.expect("SYMBOL", ")")
+        args: List[List[int]] = [self._parse_qubit_argument()]
+        while self.peek().value == ",":
+            self.advance()
+            args.append(self._parse_qubit_argument())
+        self.expect("SYMBOL", ";")
+        if name in self.opaque:
+            raise QasmError(
+                f"cannot expand opaque gate {name!r}", token.line, token.column
+            )
+        for operands in self._broadcast(args, token):
+            self._emit_gate(name, params, operands, token)
+
+    def _broadcast(
+        self, args: List[List[int]], token: Token
+    ) -> List[Tuple[int, ...]]:
+        """QASM register broadcast: size-k registers iterate in lockstep,
+        single qubits repeat."""
+        sizes = {len(a) for a in args if len(a) > 1}
+        if len(sizes) > 1:
+            raise QasmError(
+                "mismatched register sizes in gate call",
+                token.line,
+                token.column,
+            )
+        width = sizes.pop() if sizes else 1
+        return [
+            tuple(a[i] if len(a) > 1 else a[0] for a in args)
+            for i in range(width)
+        ]
+
+    def _emit_gate(
+        self,
+        name: str,
+        params: Sequence[float],
+        operands: Tuple[int, ...],
+        token: Token,
+    ) -> None:
+        """Emit a library gate or recursively expand a macro."""
+        if name in GATE_SPECS and name not in self.gate_defs:
+            try:
+                self.gates.append(Gate(name, operands, tuple(params)))
+            except Exception as exc:
+                raise QasmError(str(exc), token.line, token.column) from exc
+            return
+        definition = self.gate_defs.get(name)
+        if definition is None:
+            raise QasmError(
+                f"unknown gate {name!r}", token.line, token.column
+            )
+        if len(params) != len(definition.params):
+            raise QasmError(
+                f"gate {name!r} expects {len(definition.params)} parameter(s), "
+                f"got {len(params)}",
+                token.line,
+                token.column,
+            )
+        if len(operands) != len(definition.qubits):
+            raise QasmError(
+                f"gate {name!r} expects {len(definition.qubits)} qubit(s), "
+                f"got {len(operands)}",
+                token.line,
+                token.column,
+            )
+        env = dict(zip(definition.params, params))
+        binding = dict(zip(definition.qubits, operands))
+        for sub_name, exprs, arg_names in definition.body:
+            sub_params = [_evaluate(e, env) for e in exprs]
+            try:
+                sub_operands = tuple(binding[arg] for arg, _ in arg_names)
+            except KeyError as exc:
+                raise QasmError(
+                    f"gate {name!r} body references unknown qubit {exc}",
+                    token.line,
+                    token.column,
+                ) from exc
+            self._emit_gate(sub_name, sub_params, sub_operands, token)
+
+    def _parse_measure(self) -> None:
+        self.advance()
+        qubits = self._parse_qubit_argument()
+        self.expect("ARROW")
+        clbits = self._parse_clbit_argument()
+        self.expect("SYMBOL", ";")
+        if len(qubits) != len(clbits):
+            raise self.error("measure register size mismatch")
+        for q, c in zip(qubits, clbits):
+            self.gates.append(Gate("measure", (q,), clbit=c))
+
+    def _parse_barrier(self) -> None:
+        self.advance()
+        wires: List[int] = []
+        wires.extend(self._parse_qubit_argument())
+        while self.peek().value == ",":
+            self.advance()
+            wires.extend(self._parse_qubit_argument())
+        self.expect("SYMBOL", ";")
+        self.gates.append(Gate("barrier", tuple(wires)))
+
+    # -- expressions ------------------------------------------------------
+
+    def _parse_expression(self, param_names: Sequence[str]) -> Expr:
+        return self._parse_additive(param_names)
+
+    def _parse_additive(self, names: Sequence[str]) -> Expr:
+        left = self._parse_multiplicative(names)
+        while self.peek().kind == "SYMBOL" and self.peek().value in "+-":
+            op = self.advance().value
+            right = self._parse_multiplicative(names)
+            left = (op, left, right)
+        return left
+
+    def _parse_multiplicative(self, names: Sequence[str]) -> Expr:
+        left = self._parse_unary(names)
+        while self.peek().kind == "SYMBOL" and self.peek().value in "*/":
+            op = self.advance().value
+            right = self._parse_unary(names)
+            left = (op, left, right)
+        return left
+
+    def _parse_unary(self, names: Sequence[str]) -> Expr:
+        token = self.peek()
+        if token.kind == "SYMBOL" and token.value == "-":
+            self.advance()
+            return ("neg", self._parse_unary(names))
+        if token.kind == "SYMBOL" and token.value == "+":
+            self.advance()
+            return self._parse_unary(names)
+        return self._parse_power(names)
+
+    def _parse_power(self, names: Sequence[str]) -> Expr:
+        left = self._parse_atom(names)
+        if self.peek().kind == "SYMBOL" and self.peek().value == "^":
+            self.advance()
+            right = self._parse_unary(names)
+            return ("^", left, right)
+        return left
+
+    def _parse_atom(self, names: Sequence[str]) -> Expr:
+        token = self.advance()
+        if token.kind in ("REAL", "INT"):
+            return float(token.value)
+        if token.kind == "KEYWORD" and token.value == "pi":
+            return math.pi
+        if token.kind == "ID":
+            if token.value in _FUNCTIONS:
+                self.expect("SYMBOL", "(")
+                inner = self._parse_expression(names)
+                self.expect("SYMBOL", ")")
+                return ("call", token.value, inner)
+            if token.value in names:
+                return token.value
+            raise QasmError(
+                f"unknown identifier {token.value!r} in expression",
+                token.line,
+                token.column,
+            )
+        if token.kind == "SYMBOL" and token.value == "(":
+            inner = self._parse_expression(names)
+            self.expect("SYMBOL", ")")
+            return inner
+        raise QasmError(
+            f"unexpected token {token.value!r} in expression",
+            token.line,
+            token.column,
+        )
+
+
+def parse_qasm(source: str, name: str = "qasm_circuit") -> QuantumCircuit:
+    """Parse OpenQASM 2.0 source text into a circuit."""
+    return _Parser(tokenize(source), name).parse()
+
+
+def parse_qasm_file(path: str) -> QuantumCircuit:
+    """Parse a ``.qasm`` file; the circuit is named after the file stem."""
+    import os
+
+    with open(path) as handle:
+        source = handle.read()
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return parse_qasm(source, name=stem)

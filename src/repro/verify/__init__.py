@@ -1,0 +1,46 @@
+"""Verification of routed circuits.
+
+Routing must preserve semantics while making every two-qubit gate
+hardware-executable.  Three independent checks:
+
+- :mod:`repro.verify.compliance` — every two-qubit gate of the output
+  acts on a coupled physical pair (the constraint the mapper exists to
+  satisfy, paper §III-A).
+- :mod:`repro.verify.equivalence` — structural equivalence: replaying
+  the routed circuit through its evolving layout recovers exactly the
+  original logical circuit (as a partial order of gates).
+- :mod:`repro.verify.statevector` — a dense numpy state-vector
+  simulator providing unitary-level equivalence for small circuits.
+"""
+
+from repro.verify.compliance import (
+    compliance_violations,
+    is_hardware_compliant,
+    assert_compliant,
+)
+from repro.verify.equivalence import (
+    extract_logical_circuit,
+    wires_signature,
+    structurally_equivalent,
+    assert_equivalent,
+)
+from repro.verify.statevector import (
+    Statevector,
+    simulate,
+    statevector_equivalent,
+    routed_statevector_equivalent,
+)
+
+__all__ = [
+    "compliance_violations",
+    "is_hardware_compliant",
+    "assert_compliant",
+    "extract_logical_circuit",
+    "wires_signature",
+    "structurally_equivalent",
+    "assert_equivalent",
+    "Statevector",
+    "simulate",
+    "statevector_equivalent",
+    "routed_statevector_equivalent",
+]

@@ -1,0 +1,77 @@
+"""Hardware-compliance checking (the mapper's defining constraint).
+
+A circuit is hardware-compliant for a device when every two-qubit gate
+acts on a physically coupled pair (paper §III-A: "two-qubit gates can
+only be applied to limited logical qubit pairs, whose corresponding
+physical qubit pairs support direct coupling").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.exceptions import VerificationError
+from repro.hardware.coupling import CouplingGraph
+
+
+def compliance_violations(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    check_direction: bool = False,
+) -> List[Tuple[int, Gate]]:
+    """All gates violating the device's coupling constraints.
+
+    Args:
+        circuit: circuit on *physical* wires.
+        coupling: the device.
+        check_direction: additionally require native CNOT direction
+            (meaningful only for directed devices like IBM QX5; the
+            paper's Q20 Tokyo is fully symmetric).
+
+    Returns:
+        ``(position, gate)`` pairs, empty when compliant.  Gates with
+        three or more qubits are always violations (NISQ hardware has no
+        native 3-qubit gates).
+    """
+    violations: List[Tuple[int, Gate]] = []
+    for position, gate in enumerate(circuit):
+        if gate.is_directive:
+            continue
+        if gate.num_qubits == 1:
+            continue
+        if gate.num_qubits > 2:
+            violations.append((position, gate))
+            continue
+        a, b = gate.qubits
+        if not coupling.are_coupled(a, b):
+            violations.append((position, gate))
+        elif check_direction and gate.name == "cx" and not coupling.allows_cnot(a, b):
+            violations.append((position, gate))
+    return violations
+
+
+def is_hardware_compliant(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    check_direction: bool = False,
+) -> bool:
+    """True when :func:`compliance_violations` finds nothing."""
+    return not compliance_violations(circuit, coupling, check_direction)
+
+
+def assert_compliant(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    check_direction: bool = False,
+) -> None:
+    """Raise :class:`VerificationError` listing any violations."""
+    violations = compliance_violations(circuit, coupling, check_direction)
+    if violations:
+        shown = ", ".join(f"#{pos}:{gate}" for pos, gate in violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        raise VerificationError(
+            f"circuit {circuit.name!r} has {len(violations)} coupling "
+            f"violation(s) on device {coupling.name!r}: {shown}{more}"
+        )

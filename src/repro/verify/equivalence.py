@@ -1,0 +1,131 @@
+"""Structural equivalence of routed and original circuits.
+
+Replaying the routed circuit while tracking the evolving layout should
+recover the original logical circuit exactly — same gates, same
+per-qubit order.  Two circuits whose per-wire gate sequences agree are
+equal as Mazurkiewicz traces (each can be turned into the other by
+swapping adjacent gates on disjoint qubits), hence implement the same
+unitary.  This gives an exact equivalence check that scales to the
+paper's largest benchmarks (35k gates), unlike simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.layout import Layout
+from repro.exceptions import VerificationError
+
+#: A gate's identity for trace comparison: name, params, logical operands.
+GateKey = Tuple[str, Tuple[float, ...], Tuple[int, ...]]
+
+
+def extract_logical_circuit(
+    routed: QuantumCircuit,
+    initial_layout: Layout,
+    num_logical: int,
+    swap_positions: Optional[Sequence[int]] = None,
+) -> QuantumCircuit:
+    """Undo the routing: map a physical circuit back to logical wires.
+
+    Walks the routed circuit with the layout that was current at each
+    gate.  Router-inserted SWAPs (identified by ``swap_positions`` or,
+    if omitted, by gate name ``swap``) update the layout and are
+    dropped; every other gate is translated back to the logical qubits
+    occupying its physical operands.
+
+    Args:
+        routed: circuit on physical wires (SWAPs *not* decomposed).
+        initial_layout: mapping in force before the first gate.
+        num_logical: wire count of the original circuit.
+        swap_positions: positions of router-inserted SWAPs; pass this
+            when the original circuit itself contained SWAP gates.
+
+    Raises:
+        VerificationError: when a non-inserted gate touches a physical
+            qubit holding a padding ancilla (impossible for a correct
+            routing).
+    """
+    layout = initial_layout.copy()
+    swap_set = None if swap_positions is None else set(swap_positions)
+    logical = QuantumCircuit(
+        num_logical, f"{routed.name}_extracted", routed.num_clbits
+    )
+    p2l = layout.p2l
+    for position, gate in enumerate(routed):
+        inserted = (
+            gate.name == "swap"
+            if swap_set is None
+            else position in swap_set
+        )
+        if inserted:
+            layout.swap_physical(*gate.qubits)
+            continue
+        operands = tuple(p2l[p] for p in gate.qubits)
+        for q in operands:
+            if q >= num_logical:
+                raise VerificationError(
+                    f"routed gate #{position} ({gate}) acts on padding "
+                    f"ancilla {q}; routing is corrupt"
+                )
+        logical.append(gate.remapped(p2l))
+    return logical
+
+
+def wires_signature(circuit: QuantumCircuit) -> Dict[int, List[GateKey]]:
+    """Per-wire sequence of gate identities (the trace-monoid signature).
+
+    Directives are included — a routed circuit must preserve measures
+    and barriers too.
+    """
+    signature: Dict[int, List[GateKey]] = {
+        q: [] for q in range(circuit.num_qubits)
+    }
+    for gate in circuit:
+        key: GateKey = (gate.name, gate.params, gate.qubits)
+        for q in gate.qubits:
+            signature[q].append(key)
+    return signature
+
+
+def structurally_equivalent(a: QuantumCircuit, b: QuantumCircuit) -> bool:
+    """True when the circuits are equal up to commuting disjoint gates."""
+    if a.num_qubits != b.num_qubits:
+        return False
+    return wires_signature(a) == wires_signature(b)
+
+
+def assert_equivalent(
+    original: QuantumCircuit,
+    routed: QuantumCircuit,
+    initial_layout: Layout,
+    swap_positions: Optional[Sequence[int]] = None,
+) -> None:
+    """Verify that ``routed`` implements ``original`` exactly.
+
+    Extracts the logical circuit back out of the routed one and compares
+    per-wire signatures, reporting the first divergent wire on failure.
+    """
+    extracted = extract_logical_circuit(
+        routed, initial_layout, original.num_qubits, swap_positions
+    )
+    sig_original = wires_signature(original)
+    sig_extracted = wires_signature(extracted)
+    if sig_original == sig_extracted:
+        return
+    for wire in range(original.num_qubits):
+        seq_o = sig_original.get(wire, [])
+        seq_e = sig_extracted.get(wire, [])
+        if seq_o != seq_e:
+            for i, (go, ge) in enumerate(zip(seq_o, seq_e)):
+                if go != ge:
+                    raise VerificationError(
+                        f"wire {wire} diverges at gate {i}: "
+                        f"original {go} vs routed {ge}"
+                    )
+            raise VerificationError(
+                f"wire {wire} length mismatch: original has {len(seq_o)} "
+                f"gate(s), routed has {len(seq_e)}"
+            )
+    raise VerificationError("circuits differ (unlocalised signature mismatch)")

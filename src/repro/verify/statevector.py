@@ -1,0 +1,276 @@
+"""Dense state-vector simulator (numpy) for unitary-level checks.
+
+A minimal but exact simulator: the state of ``n`` qubits is a rank-``n``
+complex tensor with one axis per qubit.  Applying a ``k``-qubit gate is
+a tensor contraction over the operand axes — ``O(2^n)`` work per gate,
+comfortably fast up to ~14 qubits, which covers the paper's worked
+examples and the small benchmark family.
+
+Used by tests to prove, independently of the structural checker, that
+``routed circuit = original circuit`` up to the qubit permutation the
+router reports.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.core.layout import Layout
+from repro.exceptions import VerificationError
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+#: Cap beyond which simulation is refused (2^20 doubles is fine; the
+#: tensors above that get slow and pointless for verification).
+MAX_SIMULATED_QUBITS = 20
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return np.array(
+        [
+            [cos, -cmath.exp(1j * lam) * sin],
+            [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+        ],
+        dtype=complex,
+    )
+
+
+def _controlled(u: np.ndarray) -> np.ndarray:
+    """4x4 controlled-U with the first operand as control."""
+    out = np.eye(4, dtype=complex)
+    out[2:, 2:] = u
+    return out
+
+
+def gate_matrix(gate: Gate) -> np.ndarray:
+    """Unitary matrix of ``gate`` in (first operand = most significant)
+    bit order.  Raises for directives, which have no unitary."""
+    name, p = gate.name, gate.params
+    if name == "id":
+        return np.eye(2, dtype=complex)
+    if name == "x":
+        return np.array([[0, 1], [1, 0]], dtype=complex)
+    if name == "y":
+        return np.array([[0, -1j], [1j, 0]], dtype=complex)
+    if name == "z":
+        return np.diag([1, -1]).astype(complex)
+    if name == "h":
+        return np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]], dtype=complex)
+    if name == "s":
+        return np.diag([1, 1j]).astype(complex)
+    if name == "sdg":
+        return np.diag([1, -1j]).astype(complex)
+    if name == "t":
+        return np.diag([1, cmath.exp(1j * math.pi / 4)]).astype(complex)
+    if name == "tdg":
+        return np.diag([1, cmath.exp(-1j * math.pi / 4)]).astype(complex)
+    if name == "sx":
+        return 0.5 * np.array(
+            [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex
+        )
+    if name == "sxdg":
+        return 0.5 * np.array(
+            [[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]], dtype=complex
+        )
+    if name == "rx":
+        return _u3(p[0], -math.pi / 2, math.pi / 2)
+    if name == "ry":
+        return _u3(p[0], 0.0, 0.0)
+    if name == "rz":
+        return np.diag(
+            [cmath.exp(-0.5j * p[0]), cmath.exp(0.5j * p[0])]
+        ).astype(complex)
+    if name == "u1":
+        return np.diag([1, cmath.exp(1j * p[0])]).astype(complex)
+    if name == "u2":
+        return _u3(math.pi / 2, p[0], p[1])
+    if name == "u3":
+        return _u3(p[0], p[1], p[2])
+    if name == "cx":
+        return _controlled(gate_matrix(Gate("x", (0,))))
+    if name == "cy":
+        return _controlled(gate_matrix(Gate("y", (0,))))
+    if name == "cz":
+        return _controlled(gate_matrix(Gate("z", (0,))))
+    if name == "ch":
+        return _controlled(gate_matrix(Gate("h", (0,))))
+    if name == "crz":
+        return _controlled(gate_matrix(Gate("rz", (0,), p)))
+    if name in ("cu1", "cp"):
+        return _controlled(gate_matrix(Gate("u1", (0,), p)))
+    if name == "rzz":
+        phase = cmath.exp(0.5j * p[0])
+        return np.diag([1 / phase, phase, phase, 1 / phase]).astype(complex)
+    if name == "swap":
+        m = np.zeros((4, 4), dtype=complex)
+        m[0, 0] = m[3, 3] = 1
+        m[1, 2] = m[2, 1] = 1
+        return m
+    if name == "ccx":
+        m = np.eye(8, dtype=complex)
+        m[6, 6] = m[7, 7] = 0
+        m[6, 7] = m[7, 6] = 1
+        return m
+    if name == "cswap":
+        m = np.eye(8, dtype=complex)
+        m[5, 5] = m[6, 6] = 0
+        m[5, 6] = m[6, 5] = 1
+        return m
+    raise VerificationError(f"gate {name!r} has no matrix (directive?)")
+
+
+class Statevector:
+    """State of ``num_qubits`` qubits as a rank-n tensor.
+
+    Axis ``q`` of the tensor indexes qubit ``q``; basis label bit order
+    in :meth:`probabilities` puts qubit 0 as the most significant bit
+    (matching the paper's |q1 q2 ...> circuit-diagram convention).
+    """
+
+    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None) -> None:
+        if num_qubits < 1:
+            raise VerificationError("statevector needs at least 1 qubit")
+        if num_qubits > MAX_SIMULATED_QUBITS:
+            raise VerificationError(
+                f"refusing to simulate {num_qubits} qubits "
+                f"(limit {MAX_SIMULATED_QUBITS})"
+            )
+        self.num_qubits = num_qubits
+        if data is None:
+            tensor = np.zeros((2,) * num_qubits, dtype=complex)
+            tensor[(0,) * num_qubits] = 1.0
+            self.tensor = tensor
+        else:
+            tensor = np.asarray(data, dtype=complex)
+            if tensor.size != 2**num_qubits:
+                raise VerificationError(
+                    f"data has {tensor.size} amplitudes, expected {2**num_qubits}"
+                )
+            self.tensor = tensor.reshape((2,) * num_qubits)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def random(cls, num_qubits: int, seed: int = 0) -> "Statevector":
+        """Haar-ish random normalised state (Gaussian amplitudes)."""
+        rng = np.random.default_rng(seed)
+        amps = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+        amps /= np.linalg.norm(amps)
+        return cls(num_qubits, amps)
+
+    def copy(self) -> "Statevector":
+        return Statevector(self.num_qubits, self.tensor.copy())
+
+    def apply_gate(self, gate: Gate) -> None:
+        """Apply a unitary gate in place (directives are ignored)."""
+        if gate.is_directive:
+            return
+        k = gate.num_qubits
+        matrix = gate_matrix(gate).reshape((2,) * (2 * k))
+        axes = list(gate.qubits)
+        # Contract matrix input indices against the operand axes, then
+        # move the fresh output indices back to the operand positions.
+        self.tensor = np.tensordot(
+            matrix, self.tensor, axes=(list(range(k, 2 * k)), axes)
+        )
+        self.tensor = np.moveaxis(self.tensor, list(range(k)), axes)
+
+    def apply_circuit(self, circuit: QuantumCircuit) -> "Statevector":
+        """Apply every unitary gate of ``circuit`` in order; returns self."""
+        if circuit.num_qubits != self.num_qubits:
+            raise VerificationError(
+                f"circuit has {circuit.num_qubits} qubits, state has "
+                f"{self.num_qubits}"
+            )
+        for gate in circuit:
+            self.apply_gate(gate)
+        return self
+
+    def permuted(self, logical_of_position: Sequence[int]) -> "Statevector":
+        """Reorder qubit axes: new axis ``i`` holds old axis
+        ``logical_of_position[i]``."""
+        perm = list(logical_of_position)
+        if sorted(perm) != list(range(self.num_qubits)):
+            raise VerificationError(f"{perm} is not a qubit permutation")
+        return Statevector(
+            self.num_qubits, np.moveaxis(self.tensor, perm, range(self.num_qubits))
+        )
+
+    def amplitudes(self) -> np.ndarray:
+        """Flat amplitude vector, qubit 0 most significant."""
+        return self.tensor.reshape(-1)
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.amplitudes()) ** 2
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.amplitudes()))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """``|<self|other>|^2`` — 1.0 iff equal up to global phase."""
+        overlap = np.vdot(self.amplitudes(), other.amplitudes())
+        return float(abs(overlap) ** 2)
+
+
+def simulate(circuit: QuantumCircuit) -> Statevector:
+    """Run ``circuit`` on |0...0> and return the final state."""
+    return Statevector(circuit.num_qubits).apply_circuit(circuit)
+
+
+def statevector_equivalent(
+    a: QuantumCircuit, b: QuantumCircuit, tolerance: float = 1e-9
+) -> bool:
+    """Equality of the two circuits' action on a random state.
+
+    A single Haar-random input state distinguishes two different
+    unitaries with probability 1, making this a cheap and very strong
+    equivalence probe.  Global phase is ignored.
+    """
+    if a.num_qubits != b.num_qubits:
+        return False
+    probe = Statevector.random(a.num_qubits, seed=20190417)
+    out_a = probe.copy().apply_circuit(a)
+    out_b = probe.copy().apply_circuit(b)
+    return out_a.fidelity(out_b) > 1.0 - tolerance
+
+
+def routed_statevector_equivalent(
+    original: QuantumCircuit,
+    routed: QuantumCircuit,
+    initial_layout: Layout,
+    final_layout: Layout,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Full physical-level check that routing preserved semantics.
+
+    Simulates the original on the *device-sized* register placed by
+    ``initial_layout`` and the routed circuit directly, then compares
+    after undoing the output permutation recorded in ``final_layout``.
+    SWAPs may be decomposed or not — they are ordinary gates here.
+    """
+    n_phys = routed.num_qubits
+    # Original circuit lifted to physical wires under the initial layout.
+    lifted = QuantumCircuit(n_phys, original.name, original.num_clbits)
+    for gate in original:
+        if not gate.is_directive:
+            lifted.append(gate.remapped(initial_layout.l2p))
+    out_original = simulate(lifted)
+    out_routed = simulate(routed.without_directives())
+    # After routing, logical qubit q ended on physical final_layout.l2p[q];
+    # move each axis back where the lifted original expects it.
+    # Lifted original has logical q on initial_layout.l2p[q]; routed output
+    # has logical q on final_layout.l2p[q].  Build the physical->physical
+    # permutation sending final homes to initial homes.
+    perm = list(range(n_phys))
+    for q in range(n_phys):
+        perm[initial_layout.physical(q)] = final_layout.physical(q)
+    aligned = out_routed.permuted(perm)
+    return out_original.fidelity(aligned) > 1.0 - tolerance

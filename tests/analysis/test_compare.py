@@ -1,0 +1,98 @@
+"""Unit tests for the mapper comparison harness."""
+
+import pytest
+
+from repro.analysis.compare import (
+    ComparisonRow,
+    best_mapper_per_workload,
+    compare_mappers,
+    comparison_to_text,
+    main,
+)
+from repro.bench_circuits import qft
+from repro.circuits import random_circuit
+from repro.hardware import ibm_q20_tokyo
+
+
+@pytest.fixture(scope="module")
+def tokyo():
+    return ibm_q20_tokyo()
+
+
+class TestCompareMappers:
+    def test_all_four_mappers_run(self, tokyo):
+        circ = random_circuit(6, 30, seed=0, two_qubit_fraction=0.6)
+        rows = compare_mappers([circ], coupling=tokyo, sabre_trials=2)
+        assert {r.mapper for r in rows} == {
+            "sabre",
+            "bka-astar",
+            "greedy",
+            "trivial",
+        }
+
+    def test_quality_ordering(self, tokyo):
+        """SABRE must beat the trivial floor on a dense workload."""
+        rows = compare_mappers([qft(10)], coupling=tokyo, sabre_trials=3)
+        by_mapper = {r.mapper: r for r in rows}
+        assert by_mapper["sabre"].added_gates <= by_mapper["trivial"].added_gates
+        assert by_mapper["sabre"].added_gates <= by_mapper["greedy"].added_gates
+
+    def test_bka_exhaustion_tolerated(self, tokyo):
+        from repro.bench_circuits import ising_model
+
+        rows = compare_mappers(
+            [ising_model(16)],
+            coupling=tokyo,
+            sabre_trials=1,
+            bka_max_nodes=5_000,
+            bka_max_seconds=5.0,
+        )
+        bka = [r for r in rows if r.mapper == "bka-astar"][0]
+        assert bka.failed
+        sabre = [r for r in rows if r.mapper == "sabre"][0]
+        assert not sabre.failed
+
+    def test_fidelity_reported(self, tokyo):
+        rows = compare_mappers(
+            [random_circuit(5, 20, seed=1, two_qubit_fraction=0.5)],
+            coupling=tokyo,
+            sabre_trials=1,
+        )
+        for row in rows:
+            if not row.failed:
+                assert 0 < row.success_probability <= 1
+
+
+class TestReporting:
+    def test_text_table(self):
+        rows = [
+            ComparisonRow("w", "sabre", 9, 20, 0.5, 0.1),
+            ComparisonRow("w", "bka-astar", None, None, None, None, failed=True),
+        ]
+        text = comparison_to_text(rows)
+        assert "sabre" in text
+        assert "OOM" in text
+
+    def test_best_mapper_selection(self):
+        rows = [
+            ComparisonRow("w", "sabre", 9, 20, 0.5, 0.1),
+            ComparisonRow("w", "trivial", 30, 40, 0.2, 0.01),
+            ComparisonRow("w", "bka-astar", None, None, None, None, failed=True),
+        ]
+        assert best_mapper_per_workload(rows) == {"w": "sabre"}
+
+    def test_main_entry(self, capsys):
+        code = main(
+            [
+                "--benchmarks",
+                "4mod5-v1_22",
+                "--trials",
+                "1",
+                "--bka-max-nodes",
+                "50000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Mapper comparison" in out
+        assert "best on 4mod5-v1_22" in out

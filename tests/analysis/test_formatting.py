@@ -1,0 +1,51 @@
+"""Unit tests for ASCII table/series rendering."""
+
+from repro.analysis import format_series, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in lines[3]
+
+    def test_title_underlined(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_none_renders_dash(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_floats_rounded(self):
+        text = format_table(["a"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_numeric_right_aligned(self):
+        text = format_table(["val"], [[1], [100]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_text_left_aligned(self):
+        text = format_table(["name", "v"], [["ab", 1], ["abcdef", 2]])
+        rows = text.splitlines()[2:]
+        assert rows[0].startswith("ab ")
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatSeries:
+    def test_points_listed(self):
+        text = format_series("s1", [(0.1, 1.0), (0.2, 2.0)])
+        assert "s1" in text
+        assert "(0.1000, 1.0000)" in text
+
+    def test_labels_included(self):
+        text = format_series("s", [(1.0, 2.0)], x_label="delta", y_label="d")
+        assert "delta -> d" in text

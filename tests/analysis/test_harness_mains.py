@@ -1,0 +1,78 @@
+"""Contract tests for the experiment harness entry points.
+
+Each ``python -m repro.analysis.*`` main must accept its documented
+flags and print the expected artifact — these are the commands
+EXPERIMENTS.md tells readers to run.
+"""
+
+import pytest
+
+from repro.analysis import scaling, table2, tradeoff
+
+
+class TestTable2Main:
+    def test_names_subset_without_bka(self, capsys):
+        code = table2.main(
+            ["--names", "4mod5-v1_22", "--trials", "1", "--no-bka"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "4mod5-v1_22" in out
+
+    def test_category_flag(self, capsys):
+        code = table2.main(
+            [
+                "--category",
+                "small",
+                "--trials",
+                "1",
+                "--no-bka",
+                "--no-verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 9  # 5 rows + header + summary
+
+    def test_bka_budget_flags(self, capsys):
+        code = table2.main(
+            [
+                "--names",
+                "decod24-v2_43",
+                "--trials",
+                "1",
+                "--bka-max-nodes",
+                "50000",
+                "--bka-max-seconds",
+                "10",
+            ]
+        )
+        assert code == 0
+
+
+class TestTradeoffMain:
+    def test_subset_run(self, capsys):
+        code = tradeoff.main(
+            ["--names", "qft_10", "--deltas", "0.0", "0.01", "--trials", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "qft_10" in out
+        assert "depth variation" in out
+
+
+class TestScalingMain:
+    def test_qft_sweep(self, capsys):
+        code = scaling.main(
+            ["--family", "qft", "--sizes", "4", "6", "--bka-max-nodes", "50000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scalability" in out
+        assert "qft_4" in out and "qft_6" in out
+
+    def test_bad_family_rejected(self):
+        with pytest.raises(SystemExit):
+            scaling.main(["--family", "grover"])

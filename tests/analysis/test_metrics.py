@@ -1,0 +1,60 @@
+"""Unit tests for metric extraction and fidelity reporting."""
+
+import pytest
+
+from repro.analysis import fidelity_report, result_metrics
+from repro.circuits import random_circuit
+from repro.core import compile_circuit
+from repro.hardware import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def sample_result(tokyo):
+    circ = random_circuit(8, 60, seed=0, two_qubit_fraction=0.7)
+    return compile_circuit(circ, tokyo, seed=0, num_trials=2)
+
+
+# tokyo fixture is function-scope free (session), but module fixture needs it;
+# redefine locally to avoid scope mismatch.
+@pytest.fixture(scope="module")
+def tokyo():
+    from repro.hardware import ibm_q20_tokyo
+
+    return ibm_q20_tokyo()
+
+
+class TestResultMetrics:
+    def test_table2_keys_present(self, sample_result):
+        metrics = result_metrics(sample_result)
+        for key in ("name", "n", "g_ori", "g_add", "g_tot", "d_ori", "d_out"):
+            assert key in metrics
+
+    def test_gate_arithmetic(self, sample_result):
+        metrics = result_metrics(sample_result)
+        assert metrics["g_tot"] == metrics["g_ori"] + metrics["g_add"]
+        assert metrics["g_add"] == 3 * metrics["swaps"]
+
+    def test_overheads_consistent(self, sample_result):
+        metrics = result_metrics(sample_result)
+        assert metrics["gate_overhead"] == pytest.approx(
+            metrics["g_add"] / metrics["g_ori"], abs=1e-3
+        )
+        assert metrics["depth_overhead"] >= 1.0 or metrics["g_add"] == 0
+
+
+class TestFidelityReport:
+    def test_routing_costs_fidelity(self, sample_result):
+        report = fidelity_report(sample_result)
+        assert 0 < report["success_after_routing"]
+        assert (
+            report["success_after_routing"] <= report["success_before_routing"]
+        )
+        assert 0 <= report["relative_fidelity_cost"] < 1
+
+    def test_custom_noise_model(self, sample_result):
+        pessimistic = NoiseModel(two_qubit_error=0.2)
+        default = fidelity_report(sample_result)
+        worse = fidelity_report(sample_result, pessimistic)
+        assert (
+            worse["success_after_routing"] < default["success_after_routing"]
+        )

@@ -1,0 +1,71 @@
+"""Unit tests for the markdown report generator."""
+
+from repro.analysis.report import (
+    figure8_markdown,
+    scaling_markdown,
+    table2_markdown,
+)
+from repro.analysis.scaling import ScalingRow
+from repro.analysis.table2 import Table2Row
+from repro.analysis.tradeoff import TradeoffPoint
+from repro.bench_circuits import get_benchmark
+
+
+def _sample_row(name="4mod5-v1_22", bka=30):
+    return Table2Row(
+        spec=get_benchmark(name),
+        gates_ours=21,
+        bka_added=bka,
+        bka_time=0.1,
+        sabre_lookahead_added=9,
+        sabre_added=0,
+        sabre_time=0.01,
+    )
+
+
+class TestTable2Markdown:
+    def test_header_and_row(self):
+        text = table2_markdown([_sample_row()])
+        assert text.startswith("| benchmark |")
+        assert "| 4mod5-v1_22 |" in text
+
+    def test_oom_rendered(self):
+        row = Table2Row(
+            spec=get_benchmark("ising_model_16"),
+            gates_ours=786,
+            bka_added=None,
+            bka_time=None,
+            sabre_lookahead_added=78,
+            sabre_added=6,
+            sabre_time=0.1,
+        )
+        text = table2_markdown([row])
+        assert "OOM" in text
+
+    def test_summary_line(self):
+        text = table2_markdown([_sample_row()])
+        assert "1/1" in text
+
+
+class TestFigure8Markdown:
+    def test_series_rendered(self):
+        points = [
+            TradeoffPoint(0.0, 280, 140, 1.19, 2.05),
+            TradeoffPoint(0.01, 268, 145, 1.14, 2.10),
+        ]
+        text = figure8_markdown({"qft_10": points})
+        assert "qft_10" in text
+        assert "δ=0:" in text
+        assert "%" in text
+
+
+class TestScalingMarkdown:
+    def test_rows_rendered(self):
+        rows = [
+            ScalingRow("qft", 4, 34, 0.01, 3, 0.002, 9, 155, False),
+            ScalingRow("qft", 16, 616, 0.2, 150, None, None, 600_000, True),
+        ]
+        text = scaling_markdown(rows)
+        assert "qft_4" in text
+        assert "OOM" in text
+        assert "600000" in text

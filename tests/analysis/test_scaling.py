@@ -1,0 +1,66 @@
+"""Unit tests for the scalability harness (§V-B2)."""
+
+import pytest
+
+from repro.analysis.scaling import run_scaling, scaling_to_text
+from repro.exceptions import ReproError
+from repro.hardware import ibm_q20_tokyo
+
+
+@pytest.fixture(scope="module")
+def tokyo():
+    return ibm_q20_tokyo()
+
+
+class TestRunScaling:
+    def test_rows_per_size(self, tokyo):
+        rows = run_scaling(
+            family="qft",
+            sizes=(4, 6),
+            coupling=tokyo,
+            sabre_trials=1,
+            bka_max_nodes=100_000,
+            bka_max_seconds=20.0,
+        )
+        assert [r.num_qubits for r in rows] == [4, 6]
+        assert all(r.sabre_seconds > 0 for r in rows)
+
+    def test_bka_exhaustion_reported(self, tokyo):
+        rows = run_scaling(
+            family="ising",
+            sizes=(16,),
+            coupling=tokyo,
+            sabre_trials=1,
+            bka_max_nodes=5_000,
+            bka_max_seconds=5.0,
+        )
+        assert rows[0].bka_exhausted
+        assert rows[0].bka_nodes > 0
+
+    def test_unknown_family_rejected(self, tokyo):
+        with pytest.raises(ReproError, match="unknown scaling family"):
+            run_scaling(family="shor", sizes=(4,), coupling=tokyo)
+
+    def test_text_rendering(self, tokyo):
+        rows = run_scaling(
+            family="qft",
+            sizes=(4,),
+            coupling=tokyo,
+            sabre_trials=1,
+            bka_max_nodes=50_000,
+        )
+        text = scaling_to_text(rows)
+        assert "Scalability" in text
+        assert "qft_4" in text
+
+    def test_sabre_stays_fast_while_bka_grows(self, tokyo):
+        """The §V-B2 shape: BKA effort grows much faster than SABRE's."""
+        rows = run_scaling(
+            family="qft",
+            sizes=(4, 8),
+            coupling=tokyo,
+            sabre_trials=1,
+            bka_max_nodes=500_000,
+            bka_max_seconds=30.0,
+        )
+        assert rows[1].bka_nodes > 5 * max(rows[0].bka_nodes, 1)

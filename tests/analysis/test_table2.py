@@ -1,0 +1,120 @@
+"""Unit tests for the Table II harness."""
+
+import pytest
+
+from repro.analysis.table2 import (
+    HEADERS,
+    Table2Row,
+    run_benchmark_row,
+    run_table2,
+    table2_rows_to_text,
+)
+from repro.bench_circuits import get_benchmark
+from repro.hardware import distance_matrix, ibm_q20_tokyo
+
+
+@pytest.fixture(scope="module")
+def tokyo():
+    return ibm_q20_tokyo()
+
+
+@pytest.fixture(scope="module")
+def dist(tokyo):
+    return distance_matrix(tokyo)
+
+
+class TestRunBenchmarkRow:
+    def test_small_row(self, tokyo, dist):
+        row = run_benchmark_row(
+            get_benchmark("4mod5-v1_22"),
+            tokyo,
+            dist,
+            num_trials=3,
+            bka_max_nodes=100_000,
+        )
+        assert row.gates_ours == 21
+        assert row.sabre_added % 3 == 0
+        assert row.bka_added is not None
+
+    def test_row_without_bka(self, tokyo, dist):
+        row = run_benchmark_row(
+            get_benchmark("mod5mils_65"),
+            tokyo,
+            dist,
+            num_trials=2,
+            include_bka=False,
+        )
+        assert row.bka_added is None
+        assert row.bka_time is None
+
+    def test_oom_row_reported_not_raised(self, tokyo, dist):
+        """Budget exhaustion must become an 'OOM' cell, not a crash."""
+        row = run_benchmark_row(
+            get_benchmark("ising_model_16"),
+            tokyo,
+            dist,
+            num_trials=1,
+            bka_max_nodes=5_000,
+            bka_max_seconds=5.0,
+        )
+        assert row.bka_added is None
+        assert row.delta_vs_bka() is None
+
+    def test_delta_vs_bka(self, tokyo, dist):
+        spec = get_benchmark("4mod5-v1_22")
+        row = Table2Row(
+            spec=spec,
+            gates_ours=21,
+            bka_added=30,
+            bka_time=0.1,
+            sabre_lookahead_added=9,
+            sabre_added=0,
+            sabre_time=0.01,
+        )
+        assert row.delta_vs_bka() == 30
+        assert len(row.as_cells()) == len(HEADERS)
+
+
+class TestRunTable2:
+    def test_category_filter(self, tokyo):
+        rows = run_table2(
+            categories=["small"],
+            coupling=tokyo,
+            num_trials=2,
+            bka_max_nodes=100_000,
+        )
+        assert len(rows) == 5
+        assert all(r.spec.category == "small" for r in rows)
+
+    def test_name_filter(self, tokyo):
+        rows = run_table2(
+            names=["qft_10"],
+            coupling=tokyo,
+            num_trials=1,
+            include_bka=False,
+        )
+        assert len(rows) == 1
+        assert rows[0].spec.name == "qft_10"
+
+    def test_text_rendering(self, tokyo):
+        rows = run_table2(
+            names=["4mod5-v1_22", "decod24-v2_43"],
+            coupling=tokyo,
+            num_trials=2,
+            bka_max_nodes=100_000,
+        )
+        text = table2_rows_to_text(rows)
+        assert "Table II" in text
+        assert "4mod5-v1_22" in text
+        assert "SABRE <= BKA" in text
+
+    def test_oom_summary_line(self, tokyo):
+        rows = run_table2(
+            names=["ising_model_16"],
+            coupling=tokyo,
+            num_trials=1,
+            bka_max_nodes=5_000,
+            bka_max_seconds=5.0,
+        )
+        text = table2_rows_to_text(rows)
+        assert "OOM" in text

@@ -1,0 +1,79 @@
+"""Unit tests for the Figure 8 trade-off harness."""
+
+import pytest
+
+from repro.analysis.tradeoff import (
+    TradeoffPoint,
+    decay_sweep,
+    depth_variation,
+    figure8_to_text,
+    run_figure8,
+)
+from repro.bench_circuits import qft
+from repro.hardware import ibm_q20_tokyo
+
+
+@pytest.fixture(scope="module")
+def tokyo():
+    return ibm_q20_tokyo()
+
+
+class TestDecaySweep:
+    def test_point_per_delta(self, tokyo):
+        points = decay_sweep(
+            qft(6), tokyo, deltas=(0.0, 0.01), seed=0, num_trials=2
+        )
+        assert [p.delta for p in points] == [0.0, 0.01]
+
+    def test_normalisation(self, tokyo):
+        circ = qft(6)
+        points = decay_sweep(circ, tokyo, deltas=(0.001,), seed=0, num_trials=2)
+        p = points[0]
+        assert p.gates_norm == pytest.approx(
+            p.total_gates / circ.count_gates()
+        )
+        assert p.gates_norm >= 1.0  # routing never removes gates
+
+    def test_depth_recorded(self, tokyo):
+        points = decay_sweep(qft(6), tokyo, deltas=(0.01,), seed=0, num_trials=2)
+        assert points[0].depth > 0
+
+
+class TestDepthVariation:
+    def test_zero_for_constant_series(self):
+        points = [
+            TradeoffPoint(0.0, 10, 5, 1.0, 2.0),
+            TradeoffPoint(0.1, 12, 5, 1.2, 2.0),
+        ]
+        assert depth_variation(points) == 0.0
+
+    def test_spread_computed(self):
+        points = [
+            TradeoffPoint(0.0, 10, 8, 1.0, 2.0),
+            TradeoffPoint(0.1, 12, 10, 1.2, 2.5),
+        ]
+        assert depth_variation(points) == pytest.approx(0.2)
+
+
+class TestRunFigure8:
+    def test_subset_run(self, tokyo):
+        series = run_figure8(
+            names=["qft_10"],
+            deltas=(0.0, 0.01),
+            coupling=tokyo,
+            num_trials=1,
+        )
+        assert set(series) == {"qft_10"}
+        assert len(series["qft_10"]) == 2
+
+    def test_text_output(self, tokyo):
+        series = run_figure8(
+            names=["qft_10"],
+            deltas=(0.0, 0.01),
+            coupling=tokyo,
+            num_trials=1,
+        )
+        text = figure8_to_text(series)
+        assert "Figure 8" in text
+        assert "qft_10" in text
+        assert "depth variation" in text

@@ -1,0 +1,144 @@
+"""Unit tests for the Zulehner-style A* baseline (BKA)."""
+
+import pytest
+
+from repro.baselines import AStarMapper
+from repro.baselines.astar import first_layer_layout
+from repro.bench_circuits import ising_model, qft
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.exceptions import SearchExhausted
+from repro.hardware import grid_device, line_device
+from repro.verify import assert_compliant, assert_equivalent
+
+
+class TestFirstLayerLayout:
+    def test_first_layer_pairs_adjacent(self, tokyo):
+        circ = QuantumCircuit(6)
+        circ.cx(0, 1)
+        circ.cx(2, 3)
+        circ.cx(4, 5)
+        layout = first_layer_layout(circ, tokyo)
+        for a, b in [(0, 1), (2, 3), (4, 5)]:
+            assert tokyo.are_coupled(layout.physical(a), layout.physical(b))
+
+    def test_empty_circuit_gets_identity_fill(self, tokyo):
+        layout = first_layer_layout(QuantumCircuit(4), tokyo)
+        assert sorted(layout.l2p) == list(range(20))
+
+
+class TestMatchings:
+    def test_single_edge(self):
+        sets = list(AStarMapper._matchings([(0, 1)]))
+        assert sets == [((0, 1),)]
+
+    def test_disjoint_edges_combinations(self):
+        sets = {frozenset(m) for m in AStarMapper._matchings([(0, 1), (2, 3)])}
+        assert sets == {
+            frozenset({(0, 1)}),
+            frozenset({(2, 3)}),
+            frozenset({(0, 1), (2, 3)}),
+        }
+
+    def test_overlapping_edges_never_combined(self):
+        sets = list(AStarMapper._matchings([(0, 1), (1, 2)]))
+        assert all(len(m) == 1 for m in sets)
+        assert len(sets) == 2
+
+    def test_matching_count_grows_exponentially(self):
+        """The §IV-C1 blowup: matchings of a path graph follow a
+        Fibonacci-like recurrence."""
+        path = [(i, i + 1) for i in range(10)]
+        count = sum(1 for _ in AStarMapper._matchings(path))
+        longer = [(i, i + 1) for i in range(14)]
+        count_longer = sum(1 for _ in AStarMapper._matchings(longer))
+        assert count_longer > 2 * count
+
+
+class TestAStarRouting:
+    def test_compliant_and_equivalent(self, grid3x3):
+        circ = random_circuit(6, 30, seed=1, two_qubit_fraction=0.6)
+        result = AStarMapper(grid3x3, max_nodes=200_000).run(circ)
+        assert_compliant(result.physical_circuit(), grid3x3)
+        assert_equivalent(
+            circ,
+            result.routing.circuit,
+            result.initial_layout,
+            result.routing.swap_positions,
+        )
+
+    def test_already_satisfied_layer_needs_no_swaps(self, line5):
+        circ = QuantumCircuit(5)
+        circ.cx(0, 1)
+        circ.cx(2, 3)
+        result = AStarMapper(line5).run(circ)
+        assert result.num_swaps == 0
+
+    def test_single_swap_layer(self, line5):
+        from repro.core import Layout
+
+        circ = QuantumCircuit(3)
+        circ.cx(0, 2)
+        result = AStarMapper(line5, lookahead=False).run(
+            circ, initial_layout=Layout.trivial(5)
+        )
+        assert result.num_swaps == 1
+
+    def test_first_layer_layout_presatisfies_first_gates(self, line5):
+        circ = QuantumCircuit(3)
+        circ.cx(0, 2)
+        result = AStarMapper(line5, lookahead=False).run(circ)
+        assert result.num_swaps == 0
+
+    def test_admissible_no_worse_than_default(self, grid3x3):
+        circ = random_circuit(6, 24, seed=5, two_qubit_fraction=0.7)
+        default = AStarMapper(grid3x3, max_nodes=400_000).run(circ)
+        optimal = AStarMapper(
+            grid3x3, admissible=True, max_nodes=400_000
+        ).run(circ)
+        assert optimal.num_swaps <= default.num_swaps
+
+    def test_single_swap_mode_works(self, grid3x3):
+        circ = random_circuit(6, 30, seed=2, two_qubit_fraction=0.6)
+        result = AStarMapper(grid3x3, concurrent=False).run(circ)
+        assert_compliant(result.physical_circuit(), grid3x3)
+
+    def test_deterministic(self, grid3x3):
+        circ = random_circuit(6, 30, seed=3, two_qubit_fraction=0.6)
+        a = AStarMapper(grid3x3).run(circ)
+        b = AStarMapper(grid3x3).run(circ)
+        assert a.routing.circuit == b.routing.circuit
+
+
+class TestSearchExhaustion:
+    def test_node_budget_raises(self, tokyo):
+        """ising_model_16 must exhaust a laptop-scale budget — the
+        paper's 'Out of Memory' row."""
+        mapper = AStarMapper(tokyo, max_nodes=50_000)
+        with pytest.raises(SearchExhausted) as excinfo:
+            mapper.run(ising_model(16))
+        assert excinfo.value.nodes_expanded >= 50_000
+
+    def test_time_budget_raises(self, tokyo):
+        mapper = AStarMapper(tokyo, max_nodes=10**9, max_seconds=0.2)
+        with pytest.raises(SearchExhausted, match="time budget"):
+            mapper.run(qft(16))
+
+    def test_small_circuit_within_budget(self, tokyo):
+        mapper = AStarMapper(tokyo, max_nodes=200_000)
+        result = mapper.run(qft(6))
+        assert result.num_swaps > 0
+
+    def test_nodes_tracked(self, tokyo):
+        mapper = AStarMapper(tokyo, max_nodes=200_000)
+        mapper.run(qft(6))
+        assert mapper.last_run_nodes > 0
+
+    def test_exponential_node_growth(self, tokyo):
+        """§V-B2: search effort grows explosively with circuit width."""
+        nodes = []
+        for n in (4, 6, 8):
+            mapper = AStarMapper(tokyo, max_nodes=500_000)
+            mapper.run(qft(n))
+            nodes.append(mapper.last_run_nodes)
+        assert nodes[1] > 2 * nodes[0]
+        assert nodes[2] > 2 * nodes[1]

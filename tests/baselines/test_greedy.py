@@ -1,0 +1,61 @@
+"""Unit tests for the Siraichi-style greedy mapper."""
+
+from repro.baselines import GreedyMapper, TrivialRouter, interaction_degree_layout
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.verify import assert_compliant, assert_equivalent
+
+
+class TestInteractionDegreeLayout:
+    def test_layout_is_valid(self, tokyo):
+        circ = random_circuit(8, 50, seed=1, two_qubit_fraction=0.7)
+        layout = interaction_degree_layout(circ, tokyo)
+        assert sorted(layout.l2p) == list(range(20))
+
+    def test_busiest_qubit_on_high_degree_physical(self, tokyo):
+        circ = QuantumCircuit(5)
+        # qubit 0 interacts with everyone (star) - max interaction degree
+        for q in range(1, 5):
+            circ.cx(0, q)
+        layout = interaction_degree_layout(circ, tokyo)
+        home_degree = tokyo.degree(layout.physical(0))
+        max_degree = max(tokyo.degree(p) for p in range(20))
+        assert home_degree == max_degree
+
+    def test_partners_placed_adjacent_when_possible(self, tokyo):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        layout = interaction_degree_layout(circ, tokyo)
+        assert tokyo.are_coupled(layout.physical(0), layout.physical(1))
+
+    def test_empty_circuit_layout(self, tokyo):
+        layout = interaction_degree_layout(QuantumCircuit(3), tokyo)
+        assert sorted(layout.l2p) == list(range(20))
+
+
+class TestGreedyMapper:
+    def test_output_verified(self, tokyo):
+        circ = random_circuit(8, 60, seed=3, two_qubit_fraction=0.7)
+        result = GreedyMapper(tokyo).run(circ)
+        assert_compliant(result.physical_circuit(), tokyo)
+        assert_equivalent(
+            circ,
+            result.routing.circuit,
+            result.initial_layout,
+            result.routing.swap_positions,
+        )
+
+    def test_greedy_layout_beats_identity_on_star_workload(self, tokyo):
+        """The interaction-degree layout should help a hub-heavy
+        workload versus a random/trivial placement."""
+        circ = QuantumCircuit(6)
+        for _ in range(10):
+            for q in range(1, 6):
+                circ.cx(0, q)
+        greedy = GreedyMapper(tokyo).run(circ)
+        trivial = TrivialRouter(tokyo).run(circ)
+        assert greedy.num_swaps <= trivial.num_swaps
+
+    def test_runtime_recorded(self, tokyo):
+        circ = random_circuit(6, 30, seed=4, two_qubit_fraction=0.5)
+        result = GreedyMapper(tokyo).run(circ)
+        assert result.runtime_seconds > 0

@@ -1,0 +1,68 @@
+"""Unit tests for the trivial shortest-path router."""
+
+from repro.baselines import TrivialRouter
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.core import Layout
+from repro.verify import assert_compliant, assert_equivalent
+
+
+class TestTrivialRouter:
+    def test_compliant_circuit_untouched(self, line5):
+        circ = QuantumCircuit(5)
+        circ.cx(0, 1)
+        circ.cx(1, 2)
+        result = TrivialRouter(line5).run(circ)
+        assert result.num_swaps == 0
+
+    def test_distance_d_needs_d_minus_1_swaps(self, line5):
+        circ = QuantumCircuit(5)
+        circ.cx(0, 4)
+        result = TrivialRouter(line5).run(circ)
+        assert result.num_swaps == 3
+
+    def test_output_verified(self, line5):
+        circ = random_circuit(5, 50, seed=2, two_qubit_fraction=0.8)
+        result = TrivialRouter(line5).run(circ)
+        assert_compliant(result.physical_circuit(), line5)
+        assert_equivalent(
+            circ,
+            result.routing.circuit,
+            result.initial_layout,
+            result.routing.swap_positions,
+        )
+
+    def test_custom_initial_layout(self, line5):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        layout = Layout([0, 4, 1, 2, 3])
+        result = TrivialRouter(line5, initial_layout=layout).run(circ)
+        assert result.initial_layout == layout
+        assert result.num_swaps == 3
+
+    def test_one_qubit_gates_pass_through(self, line5):
+        circ = QuantumCircuit(3)
+        circ.h(0)
+        circ.measure(2)
+        result = TrivialRouter(line5).run(circ)
+        assert result.routing.circuit.num_gates == 2
+
+    def test_repeated_gate_swaps_once(self, line5):
+        """After routing the first CNOT the pair stays adjacent."""
+        circ = QuantumCircuit(5)
+        circ.cx(0, 4)
+        circ.cx(0, 4)
+        result = TrivialRouter(line5).run(circ)
+        assert result.num_swaps == 3
+
+    def test_sabre_beats_trivial_on_average(self, tokyo):
+        """Sanity: the heuristic mapper should beat the floor."""
+        from repro.core import compile_circuit
+
+        sabre_total = trivial_total = 0
+        for seed in range(5):
+            circ = random_circuit(10, 80, seed=seed, two_qubit_fraction=0.8)
+            sabre_total += compile_circuit(
+                circ, tokyo, seed=0, num_trials=3
+            ).num_swaps
+            trivial_total += TrivialRouter(tokyo).run(circ).num_swaps
+        assert sabre_total < trivial_total

@@ -1,0 +1,58 @@
+"""Unit tests for the Ising-model benchmark generator."""
+
+import pytest
+
+from repro.bench_circuits import ising_model
+from repro.exceptions import CircuitError
+
+
+class TestIsingStructure:
+    def test_paper_gate_counts(self):
+        """The Table II g_ori column: 480 / 633 / 786."""
+        assert ising_model(10).num_gates == 480
+        assert ising_model(13).num_gates == 633
+        assert ising_model(16).num_gates == 786
+
+    def test_name(self):
+        assert ising_model(10).name == "ising_model_10"
+
+    def test_interactions_nearest_neighbour_only(self):
+        circ = ising_model(12)
+        for (a, b), _ in circ.interaction_pairs().items():
+            assert b - a == 1
+
+    def test_cnot_count(self):
+        # 2 CNOTs per ZZ edge per step
+        circ = ising_model(8, steps=4)
+        assert circ.gate_counts()["cx"] == 2 * 7 * 4
+
+    def test_initial_hadamard_layer(self):
+        circ = ising_model(6)
+        assert all(circ[q].name == "h" for q in range(6))
+
+    def test_custom_steps(self):
+        n = 9
+        circ = ising_model(n, steps=3)
+        assert circ.num_gates == n + 3 * (3 * (n - 1) + 2 * n)
+
+    def test_minimum_size(self):
+        with pytest.raises(CircuitError):
+            ising_model(1)
+
+    def test_minimum_steps(self):
+        with pytest.raises(CircuitError):
+            ising_model(5, steps=0)
+
+    def test_deterministic(self):
+        assert ising_model(10) == ising_model(10)
+
+
+class TestIsingMapping:
+    def test_perfect_mapping_exists_on_tokyo(self, tokyo):
+        """§V-A1: 'the optimal solution is trivial since the ising model
+        ... only considers nearby coupling energy' — SABRE must find a
+        0-SWAP mapping for the 10-qubit chain."""
+        from repro.core import compile_circuit
+
+        result = compile_circuit(ising_model(10), tokyo, seed=0)
+        assert result.added_gates == 0

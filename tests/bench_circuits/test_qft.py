@@ -1,0 +1,86 @@
+"""Unit tests for the QFT benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.bench_circuits import approximate_qft, qft
+from repro.exceptions import CircuitError
+from repro.verify import simulate
+
+
+class TestQftStructure:
+    def test_paper_gate_counts(self):
+        """Full QFT matches the paper's qft_13 and qft_20 rows exactly."""
+        assert qft(13).num_gates == 403
+        assert qft(20).num_gates == 970
+
+    def test_gate_count_formula(self):
+        for n in (2, 5, 8):
+            assert qft(n).num_gates == n + 5 * n * (n - 1) // 2
+
+    def test_complete_interaction_graph(self):
+        n = 6
+        pairs = qft(n).interaction_pairs()
+        assert len(pairs) == n * (n - 1) // 2
+
+    def test_cnot_fraction(self):
+        counts = qft(10).gate_counts()
+        assert counts["cx"] == 2 * 45
+
+    def test_single_qubit_qft(self):
+        circ = qft(1)
+        assert circ.gate_counts() == {"h": 1}
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            qft(0)
+
+
+class TestQftSemantics:
+    def test_qft_matrix_small(self):
+        """QFT on |x> produces the Fourier kernel amplitudes."""
+        n = 3
+        dim = 2**n
+        circ = qft(n)
+        state = simulate(circ)
+        amps = state.amplitudes()
+        # |0...0> input: uniform superposition with zero phase
+        assert np.allclose(amps, np.full(dim, 1 / np.sqrt(dim)), atol=1e-9)
+
+    def test_qft_nontrivial_input_phases(self):
+        """Without the final bit-reversal swaps (as in the benchmark
+        files), QFT|x> lands in bit-reversed output order."""
+        n = 3
+        from repro.circuits import QuantumCircuit
+
+        prep = QuantumCircuit(n)
+        prep.x(n - 1)  # |001> = integer 1 (qubit 0 most significant)
+        full = prep.compose(qft(n))
+        amps = simulate(full).amplitudes()
+        dim = 2**n
+
+        def bit_reverse(value: int) -> int:
+            return int(format(value, f"0{n}b")[::-1], 2)
+
+        expected = np.array(
+            [np.exp(2j * np.pi * bit_reverse(k) / dim) for k in range(dim)]
+        ) / np.sqrt(dim)
+        assert np.allclose(amps, expected, atol=1e-9)
+
+
+class TestApproximateQft:
+    def test_fewer_gates_than_full(self):
+        assert approximate_qft(10, 4).num_gates < qft(10).num_gates
+
+    def test_degree_caps_interaction_range(self):
+        circ = approximate_qft(8, 2)
+        for (a, b), _ in circ.interaction_pairs().items():
+            assert abs(a - b) <= 2
+
+    def test_full_degree_equals_qft(self):
+        n = 6
+        assert approximate_qft(n, n - 1).num_gates == qft(n).num_gates
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(CircuitError):
+            approximate_qft(5, 0)

@@ -1,0 +1,64 @@
+"""Unit tests for reversible block circuit generators."""
+
+import pytest
+
+from repro.bench_circuits import mct_ladder, reversible_block_circuit
+from repro.bench_circuits.toffoli_blocks import cnot_fraction_of
+from repro.exceptions import CircuitError
+
+
+class TestMctLadder:
+    def test_round_gate_count(self):
+        circ = mct_ladder(5, num_rounds=2)
+        assert circ.num_gates == 2 * 3 * 15  # (n-2) toffolis x 15 gates
+
+    def test_basis_only(self):
+        circ = mct_ladder(4)
+        assert all(g.num_qubits <= 2 for g in circ)
+
+    def test_min_size(self):
+        with pytest.raises(CircuitError):
+            mct_ladder(2)
+
+
+class TestReversibleBlockCircuit:
+    def test_exact_gate_count(self):
+        for target in (21, 100, 343, 1000):
+            circ = reversible_block_circuit(8, target, seed=1)
+            assert circ.num_gates == target
+
+    def test_deterministic(self):
+        a = reversible_block_circuit(6, 200, seed=7)
+        b = reversible_block_circuit(6, 200, seed=7)
+        assert a == b
+
+    def test_seed_changes_circuit(self):
+        a = reversible_block_circuit(6, 200, seed=7)
+        b = reversible_block_circuit(6, 200, seed=8)
+        assert a != b
+
+    def test_cnot_fraction_in_revlib_band(self):
+        """Lowered reversible logic sits around 40-55% CNOTs."""
+        circ = reversible_block_circuit(10, 5000, seed=0)
+        assert 0.35 <= cnot_fraction_of(circ) <= 0.60
+
+    def test_window_bounds_interactions(self):
+        circ = reversible_block_circuit(12, 2000, seed=3, window=3)
+        for (a, b), _ in circ.interaction_pairs().items():
+            assert abs(a - b) <= 2
+
+    def test_basis_only(self):
+        circ = reversible_block_circuit(8, 500, seed=2)
+        assert all(g.num_qubits <= 2 for g in circ)
+
+    def test_invalid_args(self):
+        with pytest.raises(CircuitError):
+            reversible_block_circuit(1, 10)
+        with pytest.raises(CircuitError):
+            reversible_block_circuit(4, 0)
+        with pytest.raises(CircuitError):
+            reversible_block_circuit(4, 10, window=1)
+
+    def test_small_targets_pad_with_1q(self):
+        circ = reversible_block_circuit(4, 5, seed=0)
+        assert circ.num_gates == 5

@@ -1,0 +1,164 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.exceptions import CircuitError
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        circ = QuantumCircuit(3)
+        assert circ.num_qubits == 3
+        assert circ.num_gates == 0
+        assert len(circ) == 0
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(-1)
+
+    def test_default_clbits_match_qubits(self):
+        assert QuantumCircuit(4).num_clbits == 4
+
+    def test_explicit_clbits(self):
+        assert QuantumCircuit(4, num_clbits=2).num_clbits == 2
+
+    def test_builder_methods(self):
+        circ = QuantumCircuit(3)
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.rz(0.3, 2)
+        circ.ccx(0, 1, 2)
+        circ.measure(1)
+        assert [g.name for g in circ] == ["h", "cx", "rz", "ccx", "measure"]
+
+    def test_add_gate_by_name(self):
+        circ = QuantumCircuit(2)
+        circ.add_gate("cx", 0, 1)
+        circ.add_gate("rz", 1, params=[0.5])
+        assert circ[0] == Gate("cx", (0, 1))
+        assert circ[1].params == (0.5,)
+
+    def test_out_of_range_operand_rejected(self):
+        circ = QuantumCircuit(2)
+        with pytest.raises(CircuitError, match="uses qubit 2"):
+            circ.cx(0, 2)
+
+    def test_out_of_range_clbit_rejected(self):
+        circ = QuantumCircuit(2, num_clbits=1)
+        with pytest.raises(CircuitError, match="clbit"):
+            circ.measure(0, clbit=5)
+
+    def test_barrier_defaults_to_all_qubits(self):
+        circ = QuantumCircuit(3)
+        circ.barrier()
+        assert circ[0].qubits == (0, 1, 2)
+
+    def test_extend(self):
+        circ = QuantumCircuit(2)
+        circ.extend([Gate("h", (0,)), Gate("cx", (0, 1))])
+        assert circ.num_gates == 2
+
+
+class TestViews:
+    def _sample(self):
+        circ = QuantumCircuit(4, name="sample")
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.cx(2, 3)
+        circ.cx(0, 1)
+        circ.t(2)
+        circ.measure(3)
+        return circ
+
+    def test_gate_counts(self):
+        counts = self._sample().gate_counts()
+        assert counts == {"h": 1, "cx": 3, "t": 1, "measure": 1}
+
+    def test_count_gates_excludes_directives(self):
+        circ = self._sample()
+        assert circ.count_gates() == 5
+        assert circ.count_gates(include_directives=True) == 6
+
+    def test_two_qubit_gates(self):
+        gates = self._sample().two_qubit_gates()
+        assert len(gates) == 3
+        assert all(g.name == "cx" for g in gates)
+
+    def test_num_two_qubit_gates(self):
+        assert self._sample().num_two_qubit_gates() == 3
+
+    def test_interaction_pairs_multiset(self):
+        pairs = self._sample().interaction_pairs()
+        assert pairs[(0, 1)] == 2
+        assert pairs[(2, 3)] == 1
+
+    def test_used_qubits(self):
+        circ = QuantumCircuit(6)
+        circ.cx(1, 4)
+        assert circ.used_qubits() == [1, 4]
+
+    def test_gates_snapshot_is_immutable_view(self):
+        circ = self._sample()
+        snapshot = circ.gates
+        circ.h(0)
+        assert len(snapshot) == 6
+        assert circ.num_gates == 7
+
+
+class TestTransforms:
+    def test_copy_is_independent(self):
+        circ = QuantumCircuit(2, name="orig")
+        circ.h(0)
+        clone = circ.copy()
+        clone.x(1)
+        assert circ.num_gates == 1
+        assert clone.num_gates == 2
+        assert clone.name == "orig"
+
+    def test_compose_order(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        combined = a.compose(b)
+        assert [g.name for g in combined] == ["h", "cx"]
+
+    def test_compose_wider_other_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).compose(QuantumCircuit(3))
+
+    def test_remapped(self):
+        circ = QuantumCircuit(3)
+        circ.cx(0, 2)
+        remapped = circ.remapped([2, 1, 0])
+        assert remapped[0].qubits == (2, 0)
+
+    def test_without_directives(self):
+        circ = QuantumCircuit(2)
+        circ.h(0)
+        circ.barrier()
+        circ.measure(0)
+        pure = circ.without_directives()
+        assert pure.num_gates == 1
+        assert pure[0].name == "h"
+
+    def test_equality(self):
+        a = QuantumCircuit(2)
+        a.cx(0, 1)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        assert a == b
+        b.h(0)
+        assert a != b
+
+    def test_equality_respects_width(self):
+        a = QuantumCircuit(2)
+        b = QuantumCircuit(3)
+        assert a != b
+
+    def test_repr_mentions_name_and_size(self):
+        circ = QuantumCircuit(2, name="zed")
+        text = repr(circ)
+        assert "zed" in text and "num_qubits=2" in text

@@ -1,0 +1,242 @@
+"""Unit tests for the dependency DAG, frontier, and layering."""
+
+import pytest
+
+from repro.circuits import CircuitDag, QuantumCircuit
+from repro.circuits.dag import DagFrontier
+from repro.exceptions import CircuitError
+
+
+def paper_figure4_circuit() -> QuantumCircuit:
+    """The Fig. 4 example: 6 qubits, 2q gates g1..g8 plus 1q gates.
+
+    Gate wiring follows the paper's figure (0-indexed qubits):
+    g1=(q2,q3)->(1,2), g2=(q6,q4)... we reproduce the *dependency
+    shape*: two independent roots, then chained dependencies.
+    """
+    circ = QuantumCircuit(6, name="fig4")
+    circ.h(0)
+    circ.cx(1, 2)   # g1 (root)
+    circ.cx(3, 5)   # g2 (root)
+    circ.cx(1, 3)   # g3 depends on g1, g2
+    circ.cx(0, 2)   # g4 depends on g1 (via q2) and the leading h
+    circ.cx(3, 4)   # g5 depends on g3
+    return circ
+
+
+class TestDagConstruction:
+    def test_node_count(self):
+        circ = paper_figure4_circuit()
+        assert len(CircuitDag(circ)) == circ.num_gates
+
+    def test_roots(self):
+        dag = CircuitDag(paper_figure4_circuit())
+        # the leading h and both root CNOTs have no predecessors
+        assert dag.roots() == [0, 1, 2]
+
+    def test_dependency_edges(self):
+        dag = CircuitDag(paper_figure4_circuit())
+        # g3 (index 3) depends on g1 (1) and g2 (2)
+        assert dag.predecessors(3) == [1, 2]
+        # g5 (index 5) depends on g3 only
+        assert dag.predecessors(5) == [3]
+
+    def test_successors_mirror_predecessors(self):
+        dag = CircuitDag(paper_figure4_circuit())
+        for node in dag.nodes:
+            for pred in node.predecessors:
+                assert node.index in dag.successors(pred)
+
+    def test_shared_two_qubits_single_edge(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        circ.cx(1, 0)
+        dag = CircuitDag(circ)
+        assert dag.predecessors(1) == [0]
+
+    def test_indegree(self):
+        dag = CircuitDag(paper_figure4_circuit())
+        assert dag.indegree(0) == 0
+        assert dag.indegree(3) == 2
+
+
+class TestFrontLayer:
+    def test_paper_figure4_front_layer(self):
+        dag = CircuitDag(paper_figure4_circuit())
+        # After the leading h executes, g1 and g2 are the front layer.
+        assert dag.initial_front_layer() == [1, 2]
+
+    def test_front_layer_skips_blocked_gates(self):
+        circ = QuantumCircuit(3)
+        circ.cx(0, 1)
+        circ.cx(1, 2)
+        assert CircuitDag(circ).initial_front_layer() == [0]
+
+    def test_front_layer_empty_for_one_qubit_circuit(self):
+        circ = QuantumCircuit(2)
+        circ.h(0)
+        circ.t(1)
+        assert CircuitDag(circ).initial_front_layer() == []
+
+
+class TestDagFrontier:
+    def test_drain_cascades_through_1q_chains(self):
+        circ = QuantumCircuit(2)
+        circ.h(0)
+        circ.t(0)
+        circ.cx(0, 1)
+        frontier = DagFrontier(CircuitDag(circ))
+        drained = frontier.drain_nonrouting()
+        assert drained == [0, 1]
+        assert frontier.front == {2}
+
+    def test_execute_front_gate_releases_successors(self):
+        circ = QuantumCircuit(3)
+        circ.cx(0, 1)
+        circ.cx(1, 2)
+        frontier = DagFrontier(CircuitDag(circ))
+        frontier.drain_nonrouting()
+        frontier.execute_front_gate(0)
+        assert frontier.front == {1}
+
+    def test_execute_non_front_gate_rejected(self):
+        circ = QuantumCircuit(3)
+        circ.cx(0, 1)
+        circ.cx(1, 2)
+        frontier = DagFrontier(CircuitDag(circ))
+        with pytest.raises(CircuitError, match="not in the front layer"):
+            frontier.execute_front_gate(1)
+
+    def test_double_execute_rejected(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        frontier = DagFrontier(CircuitDag(circ))
+        frontier.execute_front_gate(0)
+        with pytest.raises(CircuitError, match="already executed"):
+            frontier._execute(0)
+
+    def test_done_after_all_gates(self):
+        circ = paper_figure4_circuit()
+        frontier = DagFrontier(CircuitDag(circ))
+        frontier.drain_nonrouting()
+        while not frontier.done:
+            index = min(frontier.front)
+            frontier.execute_front_gate(index)
+            frontier.drain_nonrouting()
+        assert frontier.num_executed == circ.num_gates
+
+    def test_front_gates_sorted(self):
+        dag = CircuitDag(paper_figure4_circuit())
+        frontier = DagFrontier(dag)
+        frontier.drain_nonrouting()
+        indices = [i for i, _ in frontier.front_gates()]
+        assert indices == sorted(indices)
+
+
+class TestExtendedSet:
+    def test_extended_set_returns_closest_successors(self):
+        circ = QuantumCircuit(4)
+        circ.cx(0, 1)   # front
+        circ.cx(2, 3)   # front
+        circ.cx(1, 2)   # depth 1
+        circ.cx(0, 3)   # depth 2 (depends on both earlier)
+        frontier = DagFrontier(CircuitDag(circ))
+        extended = frontier.extended_set(1)
+        assert [g.qubits for g in extended] == [(1, 2)]
+
+    def test_extended_set_size_limit(self):
+        circ = QuantumCircuit(2)
+        for _ in range(10):
+            circ.cx(0, 1)
+        frontier = DagFrontier(CircuitDag(circ))
+        assert len(frontier.extended_set(4)) == 4
+
+    def test_extended_set_zero_size(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        frontier = DagFrontier(CircuitDag(circ))
+        assert frontier.extended_set(0) == []
+
+    def test_extended_set_skips_1q_gates(self):
+        circ = QuantumCircuit(3)
+        circ.cx(0, 1)
+        circ.h(1)
+        circ.t(1)
+        circ.cx(1, 2)
+        frontier = DagFrontier(CircuitDag(circ))
+        extended = frontier.extended_set(5)
+        assert [g.qubits for g in extended] == [(1, 2)]
+
+    def test_extended_set_excludes_front_layer_itself(self):
+        circ = QuantumCircuit(4)
+        circ.cx(0, 1)
+        circ.cx(2, 3)
+        frontier = DagFrontier(CircuitDag(circ))
+        assert frontier.extended_set(10) == []
+
+
+class TestLayers:
+    def test_two_qubit_layers_disjoint(self):
+        circ = QuantumCircuit(4)
+        circ.cx(0, 1)
+        circ.cx(2, 3)
+        circ.cx(1, 2)
+        layers = CircuitDag(circ).two_qubit_layers()
+        assert layers == [[0, 1], [2]]
+
+    def test_layers_ignore_1q_gates(self):
+        circ = QuantumCircuit(3)
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.t(1)
+        circ.cx(1, 2)
+        layers = CircuitDag(circ).two_qubit_layers()
+        assert layers == [[1], [3]]
+
+    def test_layers_cover_all_two_qubit_gates(self):
+        from repro.circuits import random_circuit
+
+        circ = random_circuit(6, 60, seed=3, two_qubit_fraction=0.6)
+        layers = CircuitDag(circ).two_qubit_layers()
+        flattened = sorted(i for layer in layers for i in layer)
+        expected = sorted(
+            i for i, g in enumerate(circ) if g.is_two_qubit
+        )
+        assert flattened == expected
+
+    def test_layer_gates_share_no_qubits(self):
+        from repro.circuits import random_circuit
+
+        circ = random_circuit(8, 80, seed=5, two_qubit_fraction=0.8)
+        dag = CircuitDag(circ)
+        for layer in dag.two_qubit_layers():
+            seen = set()
+            for index in layer:
+                qubits = set(circ[index].qubits)
+                assert not qubits & seen
+                seen |= qubits
+
+
+class TestLinearisation:
+    def test_circuit_order_is_linearisation(self):
+        dag = CircuitDag(paper_figure4_circuit())
+        assert dag.is_linearisation(range(len(dag)))
+
+    def test_swapped_dependent_gates_rejected(self):
+        circ = QuantumCircuit(3)
+        circ.cx(0, 1)
+        circ.cx(1, 2)
+        dag = CircuitDag(circ)
+        assert not dag.is_linearisation([1, 0])
+
+    def test_swapped_independent_gates_accepted(self):
+        circ = QuantumCircuit(4)
+        circ.cx(0, 1)
+        circ.cx(2, 3)
+        dag = CircuitDag(circ)
+        assert dag.is_linearisation([1, 0])
+
+    def test_wrong_node_set_rejected(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        assert not CircuitDag(circ).is_linearisation([0, 0])

@@ -1,0 +1,101 @@
+"""Unit tests for ASAP scheduling and circuit depth."""
+
+from repro.circuits import QuantumCircuit, circuit_depth, schedule_asap
+from repro.circuits.depth import layers_asap
+from repro.circuits.gates import Gate
+
+
+class TestScheduleAsap:
+    def test_sequential_on_one_wire(self):
+        gates = [Gate("h", (0,)), Gate("t", (0,)), Gate("x", (0,))]
+        assert schedule_asap(gates, 1) == [0, 1, 2]
+
+    def test_parallel_on_disjoint_wires(self):
+        gates = [Gate("h", (0,)), Gate("h", (1,)), Gate("h", (2,))]
+        assert schedule_asap(gates, 3) == [0, 0, 0]
+
+    def test_two_qubit_gate_synchronises(self):
+        gates = [Gate("h", (0,)), Gate("cx", (0, 1)), Gate("t", (1,))]
+        assert schedule_asap(gates, 2) == [0, 1, 2]
+
+    def test_barrier_aligns_without_consuming_step(self):
+        gates = [
+            Gate("h", (0,)),
+            Gate("barrier", (0, 1)),
+            Gate("t", (1,)),
+        ]
+        slots = schedule_asap(gates, 2)
+        # t starts when the barrier releases: step 1 (h occupied step 0)
+        assert slots == [0, 1, 1]
+
+
+class TestCircuitDepth:
+    def test_empty_circuit_depth_zero(self):
+        assert circuit_depth(QuantumCircuit(3)) == 0
+
+    def test_single_layer(self):
+        circ = QuantumCircuit(4)
+        for q in range(4):
+            circ.h(q)
+        assert circuit_depth(circ) == 1
+
+    def test_paper_figure3_original_depth(self):
+        """The Fig. 3 original circuit has depth 5."""
+        circ = QuantumCircuit(4)
+        for a, b in [(0, 1), (2, 3), (1, 3), (1, 2), (2, 3), (0, 3)]:
+            circ.cx(a, b)
+        assert circuit_depth(circ) == 5
+
+    def test_directives_excluded_by_default(self):
+        circ = QuantumCircuit(2)
+        circ.h(0)
+        circ.measure(0)
+        circ.measure(1)
+        assert circuit_depth(circ) == 1
+        assert circuit_depth(circ, count_directives=True) == 2
+
+    def test_swap_counts_as_one_step(self):
+        circ = QuantumCircuit(2)
+        circ.swap(0, 1)
+        assert circuit_depth(circ) == 1
+
+    def test_depth_monotone_under_append(self):
+        circ = QuantumCircuit(3)
+        last = 0
+        import random
+
+        rng = random.Random(0)
+        for _ in range(30):
+            a, b = rng.sample(range(3), 2)
+            circ.cx(a, b)
+            depth = circuit_depth(circ)
+            assert depth >= last
+            last = depth
+
+
+class TestLayersAsap:
+    def test_layers_match_depth(self):
+        circ = QuantumCircuit(4)
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.cx(2, 3)
+        circ.cx(1, 2)
+        layers = layers_asap(circ)
+        assert len(layers) == circuit_depth(circ)
+
+    def test_gates_within_layer_disjoint(self):
+        from repro.circuits import random_circuit
+
+        circ = random_circuit(6, 50, seed=9, two_qubit_fraction=0.5)
+        for layer in layers_asap(circ):
+            used = set()
+            for gate in layer:
+                assert not set(gate.qubits) & used
+                used |= set(gate.qubits)
+
+    def test_all_gates_present(self):
+        from repro.circuits import random_circuit
+
+        circ = random_circuit(5, 40, seed=2)
+        layers = layers_asap(circ)
+        assert sum(len(layer) for layer in layers) == circ.num_gates

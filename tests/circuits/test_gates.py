@@ -1,0 +1,139 @@
+"""Unit tests for the gate library."""
+
+import math
+
+import pytest
+
+from repro.circuits.gates import GATE_SPECS, Gate
+from repro.exceptions import CircuitError
+
+
+class TestGateConstruction:
+    def test_simple_gate(self):
+        gate = Gate("h", (0,))
+        assert gate.name == "h"
+        assert gate.qubits == (0,)
+        assert gate.params == ()
+
+    def test_two_qubit_gate(self):
+        gate = Gate("cx", (1, 4))
+        assert gate.num_qubits == 2
+        assert gate.is_two_qubit
+
+    def test_parameterised_gate(self):
+        gate = Gate("rz", (2,), (0.5,))
+        assert gate.params == (0.5,)
+
+    def test_qubits_coerced_to_tuple(self):
+        gate = Gate("cx", [0, 1])
+        assert gate.qubits == (0, 1)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(CircuitError, match="unknown gate"):
+            Gate("frobnicate", (0,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CircuitError, match="expects 2 qubit"):
+            Gate("cx", (0,))
+
+    def test_duplicate_operands_rejected(self):
+        with pytest.raises(CircuitError, match="duplicate"):
+            Gate("cx", (3, 3))
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(CircuitError, match="parameter"):
+            Gate("rz", (0,))
+
+    def test_non_numeric_param_rejected(self):
+        with pytest.raises(CircuitError, match="not a real number"):
+            Gate("rz", (0,), ("pi",))
+
+    def test_barrier_is_variadic(self):
+        assert Gate("barrier", (0, 1, 2)).num_qubits == 3
+        assert Gate("barrier", (5,)).num_qubits == 1
+
+    def test_empty_barrier_rejected(self):
+        with pytest.raises(CircuitError, match="barrier"):
+            Gate("barrier", ())
+
+    def test_gates_hashable_and_equal(self):
+        a = Gate("cx", (0, 1))
+        b = Gate("cx", (0, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Gate("cx", (1, 0))
+
+
+class TestGateProperties:
+    def test_directives_flagged(self):
+        assert Gate("measure", (0,)).is_directive
+        assert Gate("barrier", (0,)).is_directive
+        assert Gate("reset", (0,)).is_directive
+        assert not Gate("cx", (0, 1)).is_directive
+
+    def test_directives_not_routable(self):
+        assert not Gate("measure", (0,)).is_two_qubit
+
+    def test_three_qubit_not_routable_two_qubit(self):
+        assert not Gate("ccx", (0, 1, 2)).is_two_qubit
+
+    def test_spec_lookup(self):
+        assert Gate("t", (0,)).spec is GATE_SPECS["t"]
+
+    def test_str_rendering(self):
+        assert str(Gate("cx", (0, 1))) == "cx 0, 1"
+        assert str(Gate("rz", (2,), (0.5,))) == "rz(0.5) 2"
+
+
+class TestGateInverse:
+    @pytest.mark.parametrize("name", ["x", "y", "z", "h", "cx", "cz", "swap", "ccx"])
+    def test_self_inverse(self, name):
+        spec = GATE_SPECS[name]
+        gate = Gate(name, tuple(range(spec.num_qubits)))
+        assert gate.inverse() == gate
+
+    @pytest.mark.parametrize(
+        "name,inverse", [("s", "sdg"), ("sdg", "s"), ("t", "tdg"), ("tdg", "t")]
+    )
+    def test_named_inverses(self, name, inverse):
+        assert Gate(name, (0,)).inverse().name == inverse
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz", "u1"])
+    def test_rotation_inverse_negates(self, name):
+        gate = Gate(name, (0,), (0.7,))
+        assert gate.inverse().params == (-0.7,)
+
+    def test_u3_inverse(self):
+        gate = Gate("u3", (0,), (0.1, 0.2, 0.3))
+        inv = gate.inverse()
+        assert inv.name == "u3"
+        assert inv.params == (-0.1, -0.3, -0.2)
+
+    def test_u2_inverse_is_u3(self):
+        inv = Gate("u2", (0,), (0.2, 0.3)).inverse()
+        assert inv.name == "u3"
+        assert inv.params == pytest.approx((-math.pi / 2, -0.3, -0.2))
+
+    def test_double_inverse_identity_for_rotations(self):
+        gate = Gate("rz", (1,), (1.25,))
+        assert gate.inverse().inverse() == gate
+
+    def test_directive_inverse_is_itself(self):
+        gate = Gate("measure", (0,))
+        assert gate.inverse() is gate
+
+
+class TestGateRemap:
+    def test_remap_with_list(self):
+        gate = Gate("cx", (0, 1))
+        assert gate.remapped([5, 7]).qubits == (5, 7)
+
+    def test_remap_with_dict(self):
+        gate = Gate("cx", (0, 2))
+        assert gate.remapped({0: 9, 2: 4}).qubits == (9, 4)
+
+    def test_remap_preserves_params_and_clbit(self):
+        gate = Gate("measure", (1,), clbit=3)
+        remapped = gate.remapped([2, 6])
+        assert remapped.qubits == (6,)
+        assert remapped.clbit == 3

@@ -1,0 +1,83 @@
+"""Unit tests for the random circuit generators."""
+
+import pytest
+
+from repro.circuits.random_circuits import (
+    random_circuit,
+    random_clustered_circuit,
+    random_cx_circuit,
+)
+from repro.exceptions import CircuitError
+
+
+class TestRandomCircuit:
+    def test_deterministic_for_seed(self):
+        assert random_circuit(5, 30, seed=4) == random_circuit(5, 30, seed=4)
+
+    def test_different_seeds_differ(self):
+        assert random_circuit(5, 30, seed=1) != random_circuit(5, 30, seed=2)
+
+    def test_exact_gate_count(self):
+        assert random_circuit(4, 25, seed=0).num_gates == 25
+
+    def test_two_qubit_fraction_zero(self):
+        circ = random_circuit(4, 30, seed=0, two_qubit_fraction=0.0)
+        assert circ.num_two_qubit_gates() == 0
+
+    def test_two_qubit_fraction_one(self):
+        circ = random_circuit(4, 30, seed=0, two_qubit_fraction=1.0)
+        assert circ.num_two_qubit_gates() == 30
+
+    def test_single_qubit_circuit_allowed_without_2q(self):
+        circ = random_circuit(1, 10, seed=0, two_qubit_fraction=0.0)
+        assert circ.num_qubits == 1
+
+    def test_single_qubit_with_2q_rejected(self):
+        with pytest.raises(CircuitError):
+            random_circuit(1, 10, seed=0, two_qubit_fraction=0.5)
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            random_circuit(0, 5)
+
+    def test_custom_gate_pool(self):
+        circ = random_circuit(
+            3, 20, seed=0, two_qubit_fraction=0.0, one_qubit_gates=("h",)
+        )
+        assert set(circ.gate_counts()) == {"h"}
+
+
+class TestRandomCxCircuit:
+    def test_all_cnots(self):
+        circ = random_cx_circuit(5, 40, seed=1)
+        assert circ.gate_counts() == {"cx": 40}
+
+    def test_operands_in_range(self):
+        circ = random_cx_circuit(6, 100, seed=2)
+        for gate in circ:
+            assert all(0 <= q < 6 for q in gate.qubits)
+
+
+class TestClusteredCircuit:
+    def test_exact_gate_count(self):
+        circ = random_clustered_circuit(12, 60, seed=0)
+        assert circ.num_gates == 60
+
+    def test_locality_dominates(self):
+        circ = random_clustered_circuit(
+            12, 300, seed=0, cluster_size=4, cross_cluster_fraction=0.1
+        )
+        within = 0
+        for gate in circ:
+            a, b = gate.qubits
+            if a // 4 == b // 4:
+                within += 1
+        assert within / circ.num_gates > 0.8
+
+    def test_tiny_cluster_rejected(self):
+        with pytest.raises(CircuitError):
+            random_clustered_circuit(8, 10, cluster_size=1)
+
+    def test_too_few_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            random_clustered_circuit(1, 10, cluster_size=4)

@@ -1,0 +1,68 @@
+"""Unit tests for circuit reversal (paper Fig. 5)."""
+
+from repro.circuits import (
+    QuantumCircuit,
+    inverted_circuit,
+    random_circuit,
+    reversed_circuit,
+)
+from repro.verify import Statevector
+
+
+class TestReversedCircuit:
+    def test_order_reversed_gates_identical(self):
+        """Paper §IV-C2: 'The two-qubit gates in the reverse circuit will
+        be exactly the same with only the order reversed.'"""
+        circ = QuantumCircuit(3)
+        circ.cx(0, 1)
+        circ.cx(1, 2)
+        circ.cx(0, 2)
+        rev = reversed_circuit(circ)
+        assert [g.qubits for g in rev] == [(0, 2), (1, 2), (0, 1)]
+        assert [g.name for g in rev] == ["cx", "cx", "cx"]
+
+    def test_double_reverse_is_identity(self):
+        circ = random_circuit(4, 30, seed=1)
+        assert reversed_circuit(reversed_circuit(circ)) == circ.without_directives()
+
+    def test_directives_dropped(self):
+        circ = QuantumCircuit(2)
+        circ.h(0)
+        circ.barrier()
+        circ.measure(0)
+        rev = reversed_circuit(circ)
+        assert [g.name for g in rev] == ["h"]
+
+    def test_name_annotated(self):
+        circ = QuantumCircuit(2, name="foo")
+        assert reversed_circuit(circ).name == "foo_reversed"
+
+    def test_same_interaction_multiset(self):
+        circ = random_circuit(5, 50, seed=7, two_qubit_fraction=0.8)
+        assert (
+            reversed_circuit(circ).interaction_pairs()
+            == circ.interaction_pairs()
+        )
+
+
+class TestInvertedCircuit:
+    def test_compose_with_inverse_is_identity(self):
+        circ = random_circuit(4, 40, seed=3)
+        identity = circ.compose(inverted_circuit(circ))
+        probe = Statevector.random(4, seed=11)
+        out = probe.copy().apply_circuit(identity)
+        assert probe.fidelity(out) > 1 - 1e-9
+
+    def test_inverse_of_inverse_restores_names(self):
+        circ = QuantumCircuit(2)
+        circ.t(0)
+        circ.s(1)
+        circ.cx(0, 1)
+        double = inverted_circuit(inverted_circuit(circ))
+        assert [g.name for g in double] == ["t", "s", "cx"]
+
+    def test_rotation_angles_negated(self):
+        circ = QuantumCircuit(1)
+        circ.rz(0.5, 0)
+        inv = inverted_circuit(circ)
+        assert inv[0].params == (-0.5,)

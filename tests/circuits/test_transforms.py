@@ -1,0 +1,197 @@
+"""Unit tests for peephole optimization passes."""
+
+import math
+
+import pytest
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.circuits.transforms import (
+    cancel_adjacent_inverses,
+    merge_rotations,
+    optimization_summary,
+    optimize_circuit,
+    remove_identity_gates,
+)
+from repro.verify import statevector_equivalent
+
+
+class TestCancelAdjacentInverses:
+    def test_hh_cancels(self):
+        circ = QuantumCircuit(1)
+        circ.h(0)
+        circ.h(0)
+        assert cancel_adjacent_inverses(circ).num_gates == 0
+
+    def test_cxcx_cancels(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        circ.cx(0, 1)
+        assert cancel_adjacent_inverses(circ).num_gates == 0
+
+    def test_t_tdg_cancels(self):
+        circ = QuantumCircuit(1)
+        circ.t(0)
+        circ.tdg(0)
+        assert cancel_adjacent_inverses(circ).num_gates == 0
+
+    def test_reversed_cx_does_not_cancel(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        circ.cx(1, 0)
+        assert cancel_adjacent_inverses(circ).num_gates == 2
+
+    def test_interposed_gate_blocks(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        circ.t(1)
+        circ.cx(0, 1)
+        assert cancel_adjacent_inverses(circ).num_gates == 3
+
+    def test_gate_on_other_wire_does_not_block(self):
+        circ = QuantumCircuit(3)
+        circ.cx(0, 1)
+        circ.t(2)
+        circ.cx(0, 1)
+        out = cancel_adjacent_inverses(circ)
+        assert [g.name for g in out] == ["t"]
+
+    def test_cascading_cancellation(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        circ.h(0)
+        circ.h(0)
+        circ.cx(0, 1)
+        assert cancel_adjacent_inverses(circ).num_gates == 0
+
+    def test_barrier_blocks_cancellation(self):
+        circ = QuantumCircuit(1)
+        circ.h(0)
+        circ.barrier(0)
+        circ.h(0)
+        assert cancel_adjacent_inverses(circ).num_gates == 3
+
+    def test_rotation_pair_cancels(self):
+        circ = QuantumCircuit(1)
+        circ.rz(0.5, 0)
+        circ.rz(-0.5, 0)
+        assert cancel_adjacent_inverses(circ).num_gates == 0
+
+    def test_semantics_preserved(self):
+        circ = random_circuit(4, 40, seed=3)
+        out = cancel_adjacent_inverses(circ)
+        assert statevector_equivalent(circ, out)
+
+
+class TestMergeRotations:
+    def test_same_axis_merges(self):
+        circ = QuantumCircuit(1)
+        circ.rz(0.3, 0)
+        circ.rz(0.4, 0)
+        out = merge_rotations(circ)
+        assert out.num_gates == 1
+        assert out[0].params[0] == pytest.approx(0.7)
+
+    def test_zero_sum_dropped(self):
+        circ = QuantumCircuit(1)
+        circ.rx(1.0, 0)
+        circ.rx(-1.0, 0)
+        assert merge_rotations(circ).num_gates == 0
+
+    def test_different_axes_not_merged(self):
+        circ = QuantumCircuit(1)
+        circ.rz(0.3, 0)
+        circ.rx(0.3, 0)
+        assert merge_rotations(circ).num_gates == 2
+
+    def test_two_qubit_phase_merges(self):
+        circ = QuantumCircuit(2)
+        circ.rzz(0.2, 0, 1)
+        circ.rzz(0.3, 0, 1)
+        out = merge_rotations(circ)
+        assert out.num_gates == 1
+        assert out[0].params[0] == pytest.approx(0.5)
+
+    def test_triple_merges_to_one(self):
+        circ = QuantumCircuit(1)
+        for _ in range(3):
+            circ.u1(0.25, 0)
+        out = merge_rotations(circ)
+        assert out.num_gates == 1
+        assert out[0].params[0] == pytest.approx(0.75)
+
+    def test_semantics_preserved(self):
+        circ = QuantumCircuit(2)
+        circ.rz(0.3, 0)
+        circ.rz(0.9, 0)
+        circ.h(1)
+        circ.rzz(0.1, 0, 1)
+        circ.rzz(0.2, 0, 1)
+        assert statevector_equivalent(circ, merge_rotations(circ))
+
+
+class TestRemoveIdentity:
+    def test_id_removed(self):
+        circ = QuantumCircuit(1)
+        circ.id(0)
+        circ.h(0)
+        out = remove_identity_gates(circ)
+        assert [g.name for g in out] == ["h"]
+
+    def test_zero_rotation_removed(self):
+        circ = QuantumCircuit(1)
+        circ.rz(0.0, 0)
+        assert remove_identity_gates(circ).num_gates == 0
+
+    def test_nonzero_rotation_kept(self):
+        circ = QuantumCircuit(1)
+        circ.rz(1e-6, 0)
+        assert remove_identity_gates(circ).num_gates == 1
+
+
+class TestOptimizeCircuit:
+    def test_fixpoint_idempotent(self):
+        circ = random_circuit(4, 50, seed=7)
+        once = optimize_circuit(circ)
+        twice = optimize_circuit(once)
+        assert once == twice
+
+    def test_combined_example(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        circ.rz(0.4, 1)
+        circ.rz(-0.4, 1)
+        circ.cx(0, 1)
+        circ.id(0)
+        assert optimize_circuit(circ).num_gates == 0
+
+    def test_routed_circuit_shrinks(self, tokyo):
+        """Post-routing cleanup finds real savings: the SWAP's first
+        CNOT cancels against the gate it was inserted after."""
+        from repro.core import compile_circuit
+
+        circ = random_circuit(8, 60, seed=2, two_qubit_fraction=0.9)
+        result = compile_circuit(circ, tokyo, seed=0, num_trials=2)
+        physical = result.physical_circuit()
+        optimized = optimize_circuit(physical)
+        assert optimized.count_gates() <= physical.count_gates()
+        assert statevector_equivalent(
+            physical.without_directives(), optimized.without_directives()
+        )
+
+    def test_summary_fields(self):
+        circ = QuantumCircuit(1)
+        circ.h(0)
+        circ.h(0)
+        out = optimize_circuit(circ)
+        summary = optimization_summary(circ, out)
+        assert summary["gates_before"] == 2
+        assert summary["gates_after"] == 0
+        assert summary["gates_removed"] == 2
+
+    def test_property_random_circuits_equivalent(self):
+        for seed in range(6):
+            circ = random_circuit(5, 40, seed=seed)
+            out = optimize_circuit(circ)
+            assert out.num_gates <= circ.num_gates
+            if out.num_gates:
+                assert statevector_equivalent(circ, out)

@@ -1,0 +1,111 @@
+"""Unit tests for ASCII circuit rendering."""
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.visualization import (
+    draw_circuit,
+    draw_coupling,
+    layout_diagram,
+)
+from repro.core import Layout
+
+
+class TestDrawCircuit:
+    def test_empty_circuit(self):
+        text = draw_circuit(QuantumCircuit(2))
+        lines = text.splitlines()
+        assert lines[0].startswith("q0:")
+        assert lines[1].startswith("q1:")
+
+    def test_one_qubit_gate_label(self):
+        circ = QuantumCircuit(1)
+        circ.h(0)
+        assert "H" in draw_circuit(circ)
+
+    def test_parameter_shown(self):
+        circ = QuantumCircuit(1)
+        circ.rz(0.5, 0)
+        assert "RZ(0.5)" in draw_circuit(circ)
+
+    def test_cx_control_target_symbols(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        text = draw_circuit(circ)
+        q0_line = text.splitlines()[0]
+        assert "●" in q0_line
+        assert "X" in text.splitlines()[2]
+
+    def test_vertical_connector_spans_middle_wire(self):
+        circ = QuantumCircuit(3)
+        circ.cx(0, 2)
+        text = draw_circuit(circ)
+        middle = text.splitlines()[2]  # q1's wire row
+        assert "│" in middle
+
+    def test_sequential_gates_in_separate_columns(self):
+        circ = QuantumCircuit(1)
+        circ.h(0)
+        circ.t(0)
+        line = draw_circuit(circ).splitlines()[0]
+        assert line.index("H") < line.index("T")
+
+    def test_parallel_gates_same_column(self):
+        circ = QuantumCircuit(2)
+        circ.h(0)
+        circ.x(1)
+        lines = draw_circuit(circ).splitlines()
+        assert abs(lines[0].index("H") - lines[2].index("X")) <= 1
+
+    def test_barrier_rendered(self):
+        circ = QuantumCircuit(2)
+        circ.barrier()
+        assert "|" in draw_circuit(circ)
+
+    def test_max_columns_truncates(self):
+        circ = QuantumCircuit(1)
+        for _ in range(10):
+            circ.h(0)
+        text = draw_circuit(circ, max_columns=3)
+        assert "..." in text
+        assert text.count("H") == 3
+
+    def test_custom_labels(self):
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        text = draw_circuit(circ, qubit_labels=["alice", "bob"])
+        assert text.splitlines()[0].startswith("alice")
+
+    def test_swap_rendered(self):
+        circ = QuantumCircuit(2)
+        circ.swap(0, 1)
+        assert draw_circuit(circ).count("x") >= 2
+
+    def test_all_wires_same_length(self):
+        circ = QuantumCircuit(3)
+        circ.h(0)
+        circ.cx(1, 2)
+        circ.t(2)
+        wire_lines = draw_circuit(circ).splitlines()[::2]
+        assert len({len(line) for line in wire_lines}) == 1
+
+
+class TestDrawCoupling:
+    def test_header_and_rows(self, tokyo):
+        text = draw_coupling(tokyo)
+        lines = text.splitlines()
+        assert "ibm_q20_tokyo" in lines[0]
+        assert "43 couplings" in lines[0]
+        assert len(lines) == 21
+
+    def test_neighbors_listed(self, tokyo):
+        text = draw_coupling(tokyo)
+        q0_line = text.splitlines()[1]
+        assert "Q1" in q0_line and "Q5" in q0_line
+
+
+class TestLayoutDiagram:
+    def test_rows(self):
+        layout = Layout([2, 0, 1])
+        text = layout_diagram(layout, 2)
+        assert "q0 -> Q2" in text
+        assert "q1 -> Q0" in text
+        assert "q2" not in text

@@ -1,0 +1,103 @@
+"""Unit tests for the reverse-traversal layout search (paper §IV-C2)."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.core import SabreLayout
+from repro.exceptions import MappingError
+from repro.hardware import grid_device
+from repro.verify import assert_compliant, assert_equivalent
+
+
+class TestConfiguration:
+    def test_even_traversals_rejected(self, grid3x3):
+        with pytest.raises(MappingError, match="odd"):
+            SabreLayout(grid3x3, num_traversals=2)
+
+    def test_zero_trials_rejected(self, grid3x3):
+        with pytest.raises(MappingError, match="num_trials"):
+            SabreLayout(grid3x3, num_trials=0)
+
+    def test_single_traversal_allowed(self, grid3x3):
+        circ = random_circuit(9, 30, seed=0, two_qubit_fraction=0.5)
+        result = SabreLayout(grid3x3, num_traversals=1, num_trials=2).run(circ)
+        assert result.num_swaps >= 0
+
+
+class TestSearchBehaviour:
+    def test_trials_recorded(self, grid3x3):
+        circ = random_circuit(9, 40, seed=1, two_qubit_fraction=0.6)
+        search = SabreLayout(grid3x3, num_trials=4, seed=0)
+        result = search.run(circ)
+        assert len(result.trials) == 4
+        assert all(t.final_swaps >= 0 for t in result.trials)
+
+    def test_best_trial_selected(self, grid3x3):
+        """The kept routing is at least as good as every trial's final
+        pass (it may beat them: any forward pass is a candidate)."""
+        circ = random_circuit(9, 40, seed=1, two_qubit_fraction=0.6)
+        result = SabreLayout(grid3x3, num_trials=4, seed=0).run(circ)
+        best_final = min(t.final_swaps for t in result.trials)
+        assert result.num_swaps <= best_final
+
+    def test_never_worse_than_first_pass(self, grid3x3):
+        """g_op <= g_la by construction (Table II monotonicity)."""
+        for seed in range(4):
+            circ = random_circuit(9, 50, seed=seed, two_qubit_fraction=0.7)
+            result = SabreLayout(grid3x3, num_trials=3, seed=0).run(circ)
+            assert result.num_swaps <= result.best_first_pass_swaps
+
+    def test_first_pass_metric_exposed(self, grid3x3):
+        circ = random_circuit(9, 40, seed=2, two_qubit_fraction=0.6)
+        result = SabreLayout(grid3x3, num_trials=3, seed=0).run(circ)
+        assert result.best_first_pass_swaps == min(
+            t.first_pass_swaps for t in result.trials
+        )
+
+    def test_reverse_traversal_improves_on_average(self, grid3x3):
+        """The headline §IV-C2 claim: the updated initial mapping beats
+        the random one that the first traversal used."""
+        improved = regressed = 0
+        for seed in range(6):
+            circ = random_circuit(9, 60, seed=seed, two_qubit_fraction=0.7)
+            result = SabreLayout(grid3x3, num_trials=3, seed=0).run(circ)
+            for trial in result.trials:
+                if trial.final_swaps < trial.first_pass_swaps:
+                    improved += 1
+                elif trial.final_swaps > trial.first_pass_swaps:
+                    regressed += 1
+        assert improved > regressed
+
+    def test_output_verified(self, grid3x3):
+        circ = random_circuit(9, 50, seed=3, two_qubit_fraction=0.6)
+        result = SabreLayout(grid3x3, num_trials=3, seed=0).run(circ)
+        assert_compliant(result.routing.physical_circuit(), grid3x3)
+        assert_equivalent(
+            circ,
+            result.routing.circuit,
+            result.initial_layout,
+            result.routing.swap_positions,
+        )
+
+    def test_deterministic(self, grid3x3):
+        circ = random_circuit(9, 40, seed=4, two_qubit_fraction=0.6)
+        a = SabreLayout(grid3x3, num_trials=3, seed=7).run(circ)
+        b = SabreLayout(grid3x3, num_trials=3, seed=7).run(circ)
+        assert a.routing.circuit == b.routing.circuit
+
+    def test_initial_layout_is_last_forward_start(self, grid3x3):
+        """The reported initial layout must be the one the emitted
+        (final forward) traversal actually started from."""
+        circ = random_circuit(9, 30, seed=5, two_qubit_fraction=0.5)
+        result = SabreLayout(grid3x3, num_trials=2, seed=0).run(circ)
+        assert result.initial_layout == result.routing.initial_layout
+
+    def test_perfect_mapping_found_for_embeddable_circuit(self, grid3x3):
+        """A circuit whose interaction graph is a grid path embeds
+        perfectly; the search should find a 0-SWAP mapping."""
+        circ = QuantumCircuit(6)
+        for _ in range(3):
+            for a, b in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]:
+                circ.cx(a, b)
+        result = SabreLayout(grid3x3, num_trials=5, seed=0).run(circ)
+        assert result.num_swaps == 0

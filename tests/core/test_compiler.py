@@ -1,0 +1,118 @@
+"""Unit tests for the compile_circuit front door."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.core import Layout, compile_circuit
+from repro.exceptions import MappingError
+from repro.hardware import CouplingGraph, grid_device
+from repro.verify import assert_compliant, assert_equivalent
+
+
+class TestFrontDoor:
+    def test_full_pipeline(self, tokyo, random6):
+        result = compile_circuit(random6, tokyo, seed=0, num_trials=2)
+        assert result.device_name == "ibm_q20_tokyo"
+        assert result.total_gates == result.original_gates + result.added_gates
+        assert_compliant(result.physical_circuit(), tokyo)
+
+    def test_disconnected_device_rejected(self):
+        from repro.exceptions import HardwareError
+
+        device = CouplingGraph(4, [(0, 1), (2, 3)])
+        circ = QuantumCircuit(2)
+        with pytest.raises(HardwareError, match="disconnected"):
+            compile_circuit(circ, device)
+
+    def test_oversized_circuit_rejected(self, grid3x3):
+        with pytest.raises(MappingError, match="needs"):
+            compile_circuit(QuantumCircuit(10), grid3x3)
+
+    def test_three_qubit_gates_auto_decomposed(self, grid3x3):
+        circ = QuantumCircuit(3)
+        circ.ccx(0, 1, 2)
+        result = compile_circuit(circ, grid3x3, seed=0, num_trials=2)
+        assert result.original_gates == 15  # Fig. 1 decomposition
+        assert_compliant(result.physical_circuit(), grid3x3)
+
+    def test_input_swaps_auto_decomposed(self, grid3x3):
+        circ = QuantumCircuit(3)
+        circ.swap(0, 2)
+        result = compile_circuit(circ, grid3x3, seed=0, num_trials=2)
+        # no raw swap gates in the working circuit
+        assert "swap" not in result.original_circuit.gate_counts()
+
+    def test_fixed_initial_layout_path(self, grid3x3):
+        circ = QuantumCircuit(4)
+        circ.cx(0, 3)
+        result = compile_circuit(
+            circ, grid3x3, initial_layout=Layout.trivial(9), seed=0
+        )
+        assert result.num_trials == 1
+        assert result.num_traversals == 1
+        assert result.first_pass_swaps is None
+        assert result.initial_layout == Layout.trivial(9)
+
+    def test_trial_swaps_recorded(self, grid3x3):
+        circ = random_circuit(9, 40, seed=0, two_qubit_fraction=0.6)
+        result = compile_circuit(circ, grid3x3, seed=0, num_trials=3)
+        assert len(result.trial_swaps) == 3
+        assert result.num_swaps <= min(result.trial_swaps)
+
+    def test_runtime_positive(self, grid3x3):
+        circ = random_circuit(9, 30, seed=1, two_qubit_fraction=0.5)
+        result = compile_circuit(circ, grid3x3, seed=0, num_trials=2)
+        assert result.runtime_seconds > 0
+
+    def test_precomputed_distance_accepted(self, tokyo, tokyo_distance):
+        circ = random_circuit(6, 30, seed=2, two_qubit_fraction=0.5)
+        a = compile_circuit(circ, tokyo, seed=0, num_trials=2)
+        b = compile_circuit(
+            circ, tokyo, seed=0, num_trials=2, distance=tokyo_distance
+        )
+        assert a.num_swaps == b.num_swaps
+
+    def test_equivalence_end_to_end(self, grid3x3):
+        circ = QuantumCircuit(5)
+        circ.h(0)
+        circ.ccx(0, 1, 2)
+        circ.swap(1, 3)
+        circ.cx(3, 4)
+        circ.measure(4)
+        result = compile_circuit(circ, grid3x3, seed=0, num_trials=2)
+        assert_equivalent(
+            result.original_circuit,
+            result.routing.circuit,
+            result.initial_layout,
+            result.routing.swap_positions,
+        )
+
+
+class TestMappingResultMetrics:
+    def test_as_row_keys(self, grid3x3):
+        circ = random_circuit(9, 30, seed=3, two_qubit_fraction=0.5)
+        row = compile_circuit(circ, grid3x3, seed=0, num_trials=2).as_row()
+        assert {"name", "n", "g_ori", "g_add", "g_tot", "d_out"} <= set(row)
+
+    def test_overhead_ratio(self, grid3x3):
+        circ = random_circuit(9, 30, seed=4, two_qubit_fraction=0.8)
+        result = compile_circuit(circ, grid3x3, seed=0, num_trials=2)
+        assert result.gate_overhead_ratio() == pytest.approx(
+            result.added_gates / result.original_gates
+        )
+
+    def test_summary_mentions_key_numbers(self, grid3x3):
+        circ = random_circuit(9, 30, seed=5, two_qubit_fraction=0.5)
+        result = compile_circuit(circ, grid3x3, seed=0, num_trials=2)
+        text = result.summary()
+        assert str(result.num_swaps) in text
+        assert "g_la" in text
+
+    def test_routed_depth_uses_decomposed_swaps(self, grid3x3):
+        circ = QuantumCircuit(4)
+        circ.cx(0, 3)
+        result = compile_circuit(
+            circ, grid3x3, initial_layout=Layout.trivial(9), seed=0
+        )
+        if result.num_swaps:
+            assert result.routed_depth >= result.routed_depth_swaps_atomic

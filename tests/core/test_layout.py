@@ -1,0 +1,128 @@
+"""Unit tests for Layout (the mapping pi, paper Table I)."""
+
+import pytest
+
+from repro.core import Layout
+from repro.exceptions import MappingError
+
+
+class TestConstruction:
+    def test_trivial(self):
+        layout = Layout.trivial(4)
+        assert layout.l2p == [0, 1, 2, 3]
+        assert layout.p2l == [0, 1, 2, 3]
+
+    def test_explicit_permutation(self):
+        layout = Layout([2, 0, 1])
+        assert layout.physical(0) == 2
+        assert layout.logical(2) == 0
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(MappingError):
+            Layout([0, 0, 1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(MappingError):
+            Layout([0, 1, 5])
+
+    def test_random_is_permutation(self):
+        layout = Layout.random(10, seed=3)
+        assert sorted(layout.l2p) == list(range(10))
+
+    def test_random_deterministic(self):
+        assert Layout.random(8, seed=1) == Layout.random(8, seed=1)
+
+    def test_random_seeds_differ(self):
+        assert Layout.random(8, seed=1) != Layout.random(8, seed=2)
+
+    def test_from_dict_partial(self):
+        layout = Layout.from_dict({0: 3, 1: 1}, 4)
+        assert layout.physical(0) == 3
+        assert layout.physical(1) == 1
+        # padding fills remaining physical slots in order
+        assert sorted(layout.l2p) == [0, 1, 2, 3]
+
+    def test_from_dict_conflict_rejected(self):
+        with pytest.raises(MappingError):
+            Layout.from_dict({0: 1, 1: 1}, 3)
+
+    def test_from_dict_range_checked(self):
+        with pytest.raises(MappingError):
+            Layout.from_dict({0: 9}, 3)
+        with pytest.raises(MappingError):
+            Layout.from_dict({7: 0}, 3)
+
+
+class TestMappingAccess:
+    def test_inverse_consistency(self):
+        layout = Layout([3, 1, 0, 2])
+        for q in range(4):
+            assert layout.logical(layout.physical(q)) == q
+        for p in range(4):
+            assert layout.physical(layout.logical(p)) == p
+
+    def test_to_dict_full(self):
+        layout = Layout([1, 0])
+        assert layout.to_dict() == {0: 1, 1: 0}
+
+    def test_to_dict_truncated(self):
+        layout = Layout([2, 0, 1])
+        assert layout.to_dict(num_logical=1) == {0: 2}
+
+
+class TestSwaps:
+    def test_swap_logical_paper_fig3(self):
+        """Fig. 3d: after SWAP q1,q2 the mapping updates to
+        q1->Q2, q2->Q1 (0-indexed here)."""
+        layout = Layout.trivial(4)
+        layout.swap_logical(0, 1)
+        assert layout.physical(0) == 1
+        assert layout.physical(1) == 0
+        assert layout.physical(2) == 2
+
+    def test_swap_physical(self):
+        layout = Layout.trivial(4)
+        layout.swap_physical(2, 3)
+        assert layout.logical(2) == 3
+        assert layout.logical(3) == 2
+
+    def test_swap_is_involution(self):
+        layout = Layout.random(6, seed=0)
+        reference = layout.copy()
+        layout.swap_logical(1, 4)
+        layout.swap_logical(1, 4)
+        assert layout == reference
+
+    def test_compose_swaps_pure(self):
+        layout = Layout.trivial(4)
+        composed = layout.compose_swaps([(0, 1), (1, 2)])
+        assert layout == Layout.trivial(4)  # original untouched
+        assert composed.physical(0) == 1
+        assert composed.physical(1) == 2
+        assert composed.physical(2) == 0
+
+    def test_swaps_keep_bijection(self):
+        import random
+
+        layout = Layout.random(10, seed=4)
+        rng = random.Random(0)
+        for _ in range(100):
+            a, b = rng.sample(range(10), 2)
+            layout.swap_logical(a, b)
+            assert sorted(layout.l2p) == list(range(10))
+            assert all(layout.p2l[layout.l2p[q]] == q for q in range(10))
+
+
+class TestEquality:
+    def test_copy_independent(self):
+        layout = Layout.trivial(3)
+        clone = layout.copy()
+        clone.swap_logical(0, 1)
+        assert layout != clone
+
+    def test_hashable(self):
+        seen = {Layout.trivial(3), Layout([1, 0, 2])}
+        assert Layout.trivial(3) in seen
+
+    def test_repr(self):
+        assert "Layout" in repr(Layout.trivial(2))

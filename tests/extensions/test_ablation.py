@@ -1,0 +1,54 @@
+"""Unit tests for ablation configurations."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.extensions import (
+    ABLATION_CONFIGS,
+    ablation_config,
+    extended_set_sweep_configs,
+    weight_sweep_configs,
+)
+
+
+class TestAblationConfigs:
+    def test_expected_names(self):
+        assert {"basic", "lookahead", "decay"} <= set(ABLATION_CONFIGS)
+
+    def test_lookup(self):
+        assert ablation_config("basic").mode == "basic"
+        assert ablation_config("decay").uses_decay
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError, match="unknown ablation config"):
+            ablation_config("turbo")
+
+    def test_aggressive_decay_larger_delta(self):
+        assert (
+            ablation_config("decay_aggressive").decay_delta
+            > ablation_config("decay").decay_delta
+        )
+
+    def test_all_configs_routable(self, grid3x3):
+        from repro.circuits import random_circuit
+        from repro.core import SabreRouter
+        from repro.verify import assert_compliant
+
+        circ = random_circuit(9, 30, seed=0, two_qubit_fraction=0.6)
+        for name, config in ABLATION_CONFIGS.items():
+            result = SabreRouter(grid3x3, config=config, seed=0).run(circ)
+            assert_compliant(result.physical_circuit(), grid3x3)
+
+
+class TestSweepBuilders:
+    def test_extended_set_sweep(self):
+        configs = extended_set_sweep_configs((0, 10, 20))
+        assert [c.extended_set_size for c in configs] == [0, 10, 20]
+
+    def test_weight_sweep(self):
+        configs = weight_sweep_configs((0.0, 0.5))
+        assert [c.extended_set_weight for c in configs] == [0.0, 0.5]
+
+    def test_sweeps_use_decay_mode(self):
+        assert all(c.mode == "decay" for c in extended_set_sweep_configs())
+        assert all(c.mode == "decay" for c in weight_sweep_configs())

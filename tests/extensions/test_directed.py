@@ -1,0 +1,89 @@
+"""Unit tests for directed-coupling legalisation."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import HardwareError
+from repro.extensions import direction_overhead, legalize_directions
+from repro.hardware import ibm_qx2, ibm_qx4, ibm_qx5
+from repro.verify import is_hardware_compliant, statevector_equivalent
+
+
+class TestLegalizeDirections:
+    def test_native_direction_untouched(self):
+        dev = ibm_qx2()
+        circ = QuantumCircuit(5)
+        circ.cx(0, 1)
+        out = legalize_directions(circ, dev)
+        assert out.gates == circ.gates
+
+    def test_reversed_direction_conjugated(self):
+        dev = ibm_qx2()
+        circ = QuantumCircuit(5)
+        circ.cx(1, 0)
+        out = legalize_directions(circ, dev)
+        assert [g.name for g in out] == ["h", "h", "cx", "h", "h"]
+        assert out[2].qubits == (0, 1)
+
+    def test_semantics_preserved(self):
+        dev = ibm_qx4()
+        circ = QuantumCircuit(5)
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.cx(2, 0)
+        circ.t(2)
+        out = legalize_directions(circ, dev)
+        assert statevector_equivalent(circ, out)
+        assert is_hardware_compliant(out, dev, check_direction=True)
+
+    def test_swap_expanded_and_legalised(self):
+        dev = ibm_qx2()
+        circ = QuantumCircuit(5)
+        circ.swap(0, 1)
+        out = legalize_directions(circ, dev)
+        assert is_hardware_compliant(out, dev, check_direction=True)
+        assert statevector_equivalent(circ, out)
+
+    def test_uncoupled_pair_rejected(self):
+        dev = ibm_qx2()
+        circ = QuantumCircuit(5)
+        circ.cx(0, 4)
+        with pytest.raises(HardwareError, match="uncoupled"):
+            legalize_directions(circ, dev)
+
+    def test_qx5_full_pipeline(self):
+        """Route with SABRE, then legalise for the directed QX5."""
+        from repro.core import compile_circuit
+        from repro.circuits import random_circuit
+
+        dev = ibm_qx5()
+        circ = random_circuit(8, 40, seed=1, two_qubit_fraction=0.6)
+        result = compile_circuit(circ, dev, seed=0, num_trials=2)
+        legal = legalize_directions(
+            result.physical_circuit(decompose_swaps=False), dev
+        )
+        assert is_hardware_compliant(legal, dev, check_direction=True)
+
+
+class TestDirectionOverhead:
+    def test_zero_for_native(self):
+        dev = ibm_qx2()
+        circ = QuantumCircuit(5)
+        circ.cx(0, 1)
+        assert direction_overhead(circ, dev) == (0, 0)
+
+    def test_counts_reversed(self):
+        dev = ibm_qx2()
+        circ = QuantumCircuit(5)
+        circ.cx(1, 0)
+        circ.cx(0, 2)
+        assert direction_overhead(circ, dev) == (1, 4)
+
+    def test_swap_counts_reversed_components(self):
+        dev = ibm_qx2()
+        circ = QuantumCircuit(5)
+        circ.swap(0, 1)
+        reversed_count, extra = direction_overhead(circ, dev)
+        # a SWAP's 3 CNOTs alternate direction: at least one is reversed
+        assert reversed_count >= 1
+        assert extra == 4 * reversed_count

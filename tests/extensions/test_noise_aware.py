@@ -1,0 +1,73 @@
+"""Unit tests for noise-aware routing."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.exceptions import HardwareError
+from repro.extensions import NoiseAwareRouter, noise_weighted_distance
+from repro.hardware import NoiseModel, distance_matrix, grid_device, line_device
+from repro.verify import assert_compliant
+
+
+class TestNoiseWeightedDistance:
+    def test_uniform_noise_matches_hops(self, line5):
+        noise = NoiseModel()
+        weighted = noise_weighted_distance(line5, noise)
+        hops = distance_matrix(line5)
+        for i in range(5):
+            for j in range(5):
+                assert weighted[i][j] == pytest.approx(hops[i][j])
+
+    def test_bad_edge_lengthened(self):
+        device = grid_device(2, 2)  # square 0-1 / 0-2 / 1-3 / 2-3
+        noise = NoiseModel(edge_errors={(0, 1): 0.3})
+        weighted = noise_weighted_distance(device, noise)
+        hops = distance_matrix(device)
+        assert weighted[0][1] > hops[0][1]
+        # the detour 0-2-3-1 becomes competitive
+        assert weighted[0][1] <= weighted[0][2] + weighted[2][3] + weighted[3][1]
+
+    def test_error_rate_one_rejected(self, line5):
+        noise = NoiseModel(edge_errors={(0, 1): 1.0})
+        with pytest.raises(HardwareError):
+            noise_weighted_distance(line5, noise)
+
+
+class TestNoiseAwareRouter:
+    def test_output_compliant(self, tokyo):
+        noise = NoiseModel(edge_errors={(6, 11): 0.2})
+        router = NoiseAwareRouter(tokyo, noise)
+        circ = random_circuit(8, 50, seed=0, two_qubit_fraction=0.7)
+        result = router.run(circ, num_trials=2)
+        assert_compliant(result.physical_circuit(), tokyo)
+
+    def test_avoids_bad_coupler(self, tokyo):
+        """With a catastrophic edge, the noise-aware route should touch
+        it no more often than the hop-count route does."""
+        from repro.core import compile_circuit
+
+        bad_edge = (6, 11)
+        noise = NoiseModel(edge_errors={bad_edge: 0.4})
+
+        def uses(result):
+            return sum(
+                1
+                for g in result.physical_circuit()
+                if g.is_two_qubit and set(g.qubits) == set(bad_edge)
+            )
+
+        total_plain = total_aware = 0
+        for seed in range(4):
+            circ = random_circuit(10, 60, seed=seed, two_qubit_fraction=0.8)
+            total_plain += uses(compile_circuit(circ, tokyo, seed=0, num_trials=2))
+            total_aware += uses(
+                NoiseAwareRouter(tokyo, noise).run(circ, seed=0, num_trials=2)
+            )
+        assert total_aware <= total_plain
+
+    def test_deterministic(self, tokyo):
+        noise = NoiseModel(edge_errors={(0, 1): 0.1})
+        circ = random_circuit(6, 30, seed=3, two_qubit_fraction=0.6)
+        a = NoiseAwareRouter(tokyo, noise).run(circ, seed=1, num_trials=2)
+        b = NoiseAwareRouter(tokyo, noise).run(circ, seed=1, num_trials=2)
+        assert a.num_swaps == b.num_swaps

@@ -1,0 +1,130 @@
+"""Unit tests for CouplingGraph."""
+
+import pytest
+
+from repro.exceptions import HardwareError
+from repro.hardware import CouplingGraph
+
+
+class TestConstruction:
+    def test_basic(self):
+        graph = CouplingGraph(3, [(0, 1), (1, 2)])
+        assert graph.num_qubits == 3
+        assert graph.num_edges == 2
+
+    def test_duplicate_and_reversed_edges_collapse(self):
+        graph = CouplingGraph(2, [(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(HardwareError, match="self-loop"):
+            CouplingGraph(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(HardwareError, match="out of range"):
+            CouplingGraph(2, [(0, 5)])
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(HardwareError):
+            CouplingGraph(0, [])
+
+    def test_directed_edge_requires_coupling(self):
+        with pytest.raises(HardwareError, match="no underlying coupling"):
+            CouplingGraph(3, [(0, 1)], directed_edges=[(1, 2)])
+
+
+class TestQueries:
+    def _square(self):
+        return CouplingGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)], name="sq")
+
+    def test_edges_sorted_normalised(self):
+        graph = CouplingGraph(3, [(2, 1), (1, 0)])
+        assert graph.edges == [(0, 1), (1, 2)]
+
+    def test_neighbors(self):
+        assert self._square().neighbors(0) == [1, 3]
+
+    def test_degree(self):
+        assert self._square().degree(2) == 2
+
+    def test_are_coupled_symmetric(self):
+        graph = self._square()
+        assert graph.are_coupled(0, 1)
+        assert graph.are_coupled(1, 0)
+        assert not graph.are_coupled(0, 2)
+
+    def test_allows_cnot_symmetric_default(self):
+        graph = self._square()
+        assert graph.allows_cnot(0, 1)
+        assert graph.allows_cnot(1, 0)
+
+    def test_allows_cnot_directed(self):
+        graph = CouplingGraph(2, [(0, 1)], directed_edges=[(0, 1)])
+        assert graph.allows_cnot(0, 1)
+        assert not graph.allows_cnot(1, 0)
+
+    def test_is_symmetric_flag(self):
+        assert self._square().is_symmetric
+        directed = CouplingGraph(2, [(0, 1)], directed_edges=[(0, 1)])
+        assert not directed.is_symmetric
+        both = CouplingGraph(2, [(0, 1)], directed_edges=[(0, 1), (1, 0)])
+        assert both.is_symmetric
+
+    def test_degree_sequence(self):
+        assert self._square().subgraph_degree_sequence() == [2, 2, 2, 2]
+
+    def test_repr(self):
+        assert "sq" in repr(self._square())
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert CouplingGraph(3, [(0, 1), (1, 2)]).is_connected()
+
+    def test_disconnected(self):
+        assert not CouplingGraph(4, [(0, 1), (2, 3)]).is_connected()
+
+    def test_single_qubit_connected(self):
+        assert CouplingGraph(1, []).is_connected()
+
+    def test_require_connected_raises(self):
+        graph = CouplingGraph(4, [(0, 1), (2, 3)])
+        with pytest.raises(HardwareError, match="disconnected"):
+            graph.require_connected()
+
+    def test_diameter_line(self):
+        graph = CouplingGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert graph.diameter() == 3
+
+    def test_diameter_complete(self):
+        graph = CouplingGraph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert graph.diameter() == 1
+
+
+class TestShortestPath:
+    def test_trivial_path(self):
+        graph = CouplingGraph(2, [(0, 1)])
+        assert graph.shortest_path(0, 0) == [0]
+
+    def test_line_path(self):
+        graph = CouplingGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert graph.shortest_path(0, 3) == [0, 1, 2, 3]
+
+    def test_path_endpoints(self):
+        graph = CouplingGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        path = graph.shortest_path(1, 4)
+        assert path[0] == 1 and path[-1] == 4
+        assert len(path) == 3  # via 0
+
+    def test_path_uses_edges(self):
+        from repro.hardware import random_device
+
+        graph = random_device(12, seed=3)
+        path = graph.shortest_path(0, 11)
+        for a, b in zip(path, path[1:]):
+            assert graph.are_coupled(a, b)
+
+    def test_no_path_raises(self):
+        graph = CouplingGraph(4, [(0, 1), (2, 3)])
+        with pytest.raises(HardwareError, match="no path"):
+            graph.shortest_path(0, 3)

@@ -1,0 +1,169 @@
+"""Unit tests for the device zoo (paper Fig. 2 and synthetic topologies)."""
+
+import pytest
+
+from repro.exceptions import HardwareError
+from repro.hardware import (
+    DEVICE_BUILDERS,
+    complete_device,
+    get_device,
+    grid_device,
+    heavy_hex_device,
+    ibm_q20_tokyo,
+    ibm_qx2,
+    ibm_qx4,
+    ibm_qx5,
+    line_device,
+    random_device,
+    ring_device,
+    star_device,
+)
+
+
+class TestTokyo:
+    """The paper's Fig. 2 device."""
+
+    def test_twenty_qubits(self, tokyo):
+        assert tokyo.num_qubits == 20
+
+    def test_forty_three_couplings(self, tokyo):
+        assert tokyo.num_edges == 43
+
+    def test_symmetric(self, tokyo):
+        assert tokyo.is_symmetric
+
+    def test_connected(self, tokyo):
+        assert tokyo.is_connected()
+
+    def test_figure2_examples(self, tokyo):
+        """'Q0 is connected to Q1 and Q5 ... Q0 is not directly
+        connected with Q6' (§II-B)."""
+        assert tokyo.are_coupled(0, 1)
+        assert tokyo.are_coupled(0, 5)
+        assert not tokyo.are_coupled(0, 6)
+
+    def test_grid_rows_coupled(self, tokyo):
+        for row_start in (0, 5, 10, 15):
+            for offset in range(4):
+                assert tokyo.are_coupled(row_start + offset, row_start + offset + 1)
+
+    def test_diagonals_present(self, tokyo):
+        for a, b in [(1, 7), (2, 6), (11, 17), (14, 18)]:
+            assert tokyo.are_coupled(a, b)
+
+    def test_diameter_four(self, tokyo):
+        assert tokyo.diameter() == 4
+
+    def test_contains_k4(self, tokyo):
+        """{1, 2, 6, 7} is fully connected — why small dense circuits
+        can embed perfectly (§V-A1)."""
+        quad = [1, 2, 6, 7]
+        for i, a in enumerate(quad):
+            for b in quad[i + 1:]:
+                assert tokyo.are_coupled(a, b)
+
+
+class TestDirectedChips:
+    def test_qx2(self):
+        dev = ibm_qx2()
+        assert dev.num_qubits == 5
+        assert not dev.is_symmetric
+        assert dev.allows_cnot(0, 1)
+        assert not dev.allows_cnot(1, 0)
+
+    def test_qx4(self):
+        dev = ibm_qx4()
+        assert dev.num_qubits == 5
+        assert dev.allows_cnot(1, 0)
+        assert not dev.allows_cnot(0, 1)
+
+    def test_qx5(self):
+        dev = ibm_qx5()
+        assert dev.num_qubits == 16
+        assert dev.is_connected()
+        assert not dev.is_symmetric
+
+
+class TestSyntheticTopologies:
+    def test_line(self):
+        dev = line_device(5)
+        assert dev.num_edges == 4
+        assert dev.diameter() == 4
+
+    def test_line_single_qubit(self):
+        assert line_device(1).num_edges == 0
+
+    def test_ring(self):
+        dev = ring_device(6)
+        assert dev.num_edges == 6
+        assert dev.diameter() == 3
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(HardwareError):
+            ring_device(2)
+
+    def test_grid(self):
+        dev = grid_device(3, 4)
+        assert dev.num_qubits == 12
+        assert dev.num_edges == 3 * 3 + 2 * 4  # horiz + vert
+
+    def test_grid_bad_dims(self):
+        with pytest.raises(HardwareError):
+            grid_device(0, 3)
+
+    def test_complete(self):
+        dev = complete_device(6)
+        assert dev.num_edges == 15
+        assert dev.diameter() == 1
+
+    def test_star(self):
+        dev = star_device(7)
+        assert dev.degree(0) == 6
+        assert dev.diameter() == 2
+
+    def test_heavy_hex_connected_low_degree(self):
+        dev = heavy_hex_device(3)
+        assert dev.is_connected()
+        assert max(dev.degree(q) for q in range(dev.num_qubits)) <= 4
+
+    def test_heavy_hex_min_distance(self):
+        with pytest.raises(HardwareError):
+            heavy_hex_device(1)
+
+
+class TestRandomDevice:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_always_connected(self, seed):
+        assert random_device(15, seed=seed).is_connected()
+
+    def test_deterministic(self):
+        a = random_device(10, seed=5)
+        b = random_device(10, seed=5)
+        assert a.edges == b.edges
+
+    def test_extra_edges_added(self):
+        sparse = random_device(20, extra_edge_fraction=0.0, seed=0)
+        dense = random_device(20, extra_edge_fraction=1.0, seed=0)
+        assert sparse.num_edges == 19  # spanning tree only
+        assert dense.num_edges > sparse.num_edges
+
+    def test_too_small_rejected(self):
+        with pytest.raises(HardwareError):
+            random_device(1)
+
+
+class TestRegistry:
+    def test_builders_complete(self):
+        assert set(DEVICE_BUILDERS) == {
+            "ibm_q20_tokyo",
+            "ibm_qx2",
+            "ibm_qx4",
+            "ibm_qx5",
+        }
+
+    def test_get_device(self):
+        assert get_device("ibm_q20_tokyo").num_qubits == 20
+
+    def test_get_device_unknown(self):
+        with pytest.raises(HardwareError, match="unknown device"):
+            get_device("ibm_q1000")

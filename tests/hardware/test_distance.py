@@ -1,0 +1,112 @@
+"""Unit tests for distance matrices (the paper's D[][], §IV-A)."""
+
+import pytest
+
+from repro.exceptions import HardwareError
+from repro.hardware import (
+    CouplingGraph,
+    bfs_distance_matrix,
+    distance_matrix,
+    floyd_warshall,
+    weighted_floyd_warshall,
+)
+from repro.hardware.distance import INFINITY
+from repro.hardware.devices import grid_device, line_device, random_device
+
+
+class TestFloydWarshall:
+    def test_line_distances(self):
+        dist = floyd_warshall(line_device(4))
+        assert dist[0][3] == 3
+        assert dist[3][0] == 3
+        assert dist[1][2] == 1
+
+    def test_diagonal_zero(self):
+        dist = floyd_warshall(grid_device(3, 3))
+        assert all(dist[i][i] == 0 for i in range(9))
+
+    def test_grid_manhattan(self):
+        dist = floyd_warshall(grid_device(3, 3))
+        # corner to corner on a 3x3 grid = 4 hops
+        assert dist[0][8] == 4
+
+    def test_disconnected_infinity(self):
+        graph = CouplingGraph(3, [(0, 1)])
+        dist = floyd_warshall(graph)
+        assert dist[0][2] == INFINITY
+
+    def test_edge_distance_one(self):
+        """'Each edge in the coupling graph has distance 1' (§IV-A)."""
+        graph = grid_device(2, 3)
+        dist = floyd_warshall(graph)
+        for a, b in graph.edges:
+            assert dist[a][b] == 1
+
+
+class TestBfsAgreement:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bfs_equals_floyd_warshall_random(self, seed):
+        graph = random_device(14, seed=seed)
+        assert bfs_distance_matrix(graph) == floyd_warshall(graph)
+
+    def test_bfs_equals_floyd_warshall_tokyo(self, tokyo):
+        assert bfs_distance_matrix(tokyo) == floyd_warshall(tokyo)
+
+    def test_distance_matrix_method_selector(self, tokyo):
+        assert distance_matrix(tokyo, "bfs") == distance_matrix(
+            tokyo, "floyd-warshall"
+        )
+
+    def test_unknown_method_rejected(self, tokyo):
+        with pytest.raises(HardwareError, match="unknown distance method"):
+            distance_matrix(tokyo, "dijkstra")
+
+
+class TestTokyoDistances:
+    def test_symmetry(self, tokyo_distance):
+        n = len(tokyo_distance)
+        for i in range(n):
+            for j in range(n):
+                assert tokyo_distance[i][j] == tokyo_distance[j][i]
+
+    def test_triangle_inequality(self, tokyo_distance):
+        n = len(tokyo_distance)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert (
+                        tokyo_distance[i][j]
+                        <= tokyo_distance[i][k] + tokyo_distance[k][j]
+                    )
+
+    def test_diameter_matches_graph(self, tokyo, tokyo_distance):
+        assert max(max(row) for row in tokyo_distance) == tokyo.diameter()
+
+
+class TestWeightedDistances:
+    def test_defaults_to_unit_weights(self):
+        graph = line_device(4)
+        assert weighted_floyd_warshall(graph, {}) == floyd_warshall(graph)
+
+    def test_heavy_edge_avoided(self):
+        # square: direct edge (0,1) weight 10, path 0-3-2-1 weight 3
+        graph = CouplingGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        dist = weighted_floyd_warshall(graph, {(0, 1): 10.0})
+        assert dist[0][1] == 3.0
+
+    def test_nonpositive_weight_rejected(self):
+        graph = line_device(3)
+        with pytest.raises(HardwareError, match="positive"):
+            weighted_floyd_warshall(graph, {(0, 1): 0.0})
+
+    def test_weighted_triangle_inequality(self):
+        graph = random_device(10, seed=1)
+        weights = {
+            edge: 1.0 + (hash(edge) % 5) / 2.0 for edge in graph.edges
+        }
+        dist = weighted_floyd_warshall(graph, weights)
+        n = graph.num_qubits
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert dist[i][j] <= dist[i][k] + dist[k][j] + 1e-12

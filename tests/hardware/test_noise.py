@@ -1,0 +1,117 @@
+"""Unit tests for the noise model (paper Fig. 2 parameters)."""
+
+import math
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import HardwareError
+from repro.hardware import IBM_Q20_TOKYO_NOISE, NoiseModel
+
+
+class TestConstruction:
+    def test_paper_defaults(self):
+        noise = IBM_Q20_TOKYO_NOISE
+        assert noise.single_qubit_error == pytest.approx(4.43e-3)
+        assert noise.two_qubit_error == pytest.approx(3.00e-2)
+        assert noise.measurement_error == pytest.approx(8.74e-2)
+        assert noise.t1_us == pytest.approx(87.29)
+        assert noise.t2_us == pytest.approx(54.43)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(HardwareError):
+            NoiseModel(two_qubit_error=1.5)
+
+    def test_edge_error_override(self):
+        noise = NoiseModel(edge_errors={(0, 1): 0.2})
+        assert noise.edge_error(0, 1) == 0.2
+        assert noise.edge_error(1, 0) == 0.2  # order-insensitive
+        assert noise.edge_error(2, 3) == noise.two_qubit_error
+
+
+class TestGateSuccess:
+    def test_empty_circuit_perfect(self):
+        assert IBM_Q20_TOKYO_NOISE.gate_success_probability(QuantumCircuit(2)) == 1.0
+
+    def test_single_gate(self):
+        circ = QuantumCircuit(1)
+        circ.h(0)
+        expected = 1 - IBM_Q20_TOKYO_NOISE.single_qubit_error
+        assert IBM_Q20_TOKYO_NOISE.gate_success_probability(circ) == pytest.approx(
+            expected
+        )
+
+    def test_cnot_worse_than_1q(self):
+        noise = IBM_Q20_TOKYO_NOISE
+        one = QuantumCircuit(2)
+        one.h(0)
+        two = QuantumCircuit(2)
+        two.cx(0, 1)
+        assert noise.gate_success_probability(two) < noise.gate_success_probability(
+            one
+        )
+
+    def test_multiplicative(self):
+        noise = IBM_Q20_TOKYO_NOISE
+        circ = QuantumCircuit(2)
+        circ.cx(0, 1)
+        circ.cx(0, 1)
+        single = 1 - noise.two_qubit_error
+        assert noise.gate_success_probability(circ) == pytest.approx(single**2)
+
+    def test_measurement_counted(self):
+        noise = IBM_Q20_TOKYO_NOISE
+        circ = QuantumCircuit(1)
+        circ.measure(0)
+        assert noise.gate_success_probability(circ) == pytest.approx(
+            1 - noise.measurement_error
+        )
+
+    def test_barrier_free(self):
+        noise = IBM_Q20_TOKYO_NOISE
+        circ = QuantumCircuit(2)
+        circ.barrier()
+        assert noise.gate_success_probability(circ) == 1.0
+
+    def test_ccx_counted_as_decomposition(self):
+        noise = IBM_Q20_TOKYO_NOISE
+        circ = QuantumCircuit(3)
+        circ.ccx(0, 1, 2)
+        expected = (1 - noise.two_qubit_error) ** 6 * (
+            1 - noise.single_qubit_error
+        ) ** 9
+        assert noise.gate_success_probability(circ) == pytest.approx(expected)
+
+
+class TestDecoherence:
+    def test_deeper_circuit_decays_more(self):
+        noise = IBM_Q20_TOKYO_NOISE
+        shallow = QuantumCircuit(2)
+        shallow.cx(0, 1)
+        deep = QuantumCircuit(2)
+        for _ in range(50):
+            deep.cx(0, 1)
+        assert noise.decoherence_factor(deep) < noise.decoherence_factor(shallow)
+
+    def test_combined_estimate_bounded(self):
+        noise = IBM_Q20_TOKYO_NOISE
+        circ = QuantumCircuit(3)
+        for _ in range(20):
+            circ.cx(0, 1)
+            circ.cx(1, 2)
+        p = noise.estimated_success_probability(circ)
+        assert 0.0 < p < 1.0
+
+    def test_swap_overhead_costs_fidelity(self):
+        """The paper's motivation: added SWAPs reduce fidelity."""
+        noise = IBM_Q20_TOKYO_NOISE
+        base = QuantumCircuit(3)
+        base.cx(0, 1)
+        with_swap = QuantumCircuit(3)
+        with_swap.cx(0, 2)
+        with_swap.cx(2, 0)
+        with_swap.cx(0, 2)  # a SWAP's 3 CNOTs
+        with_swap.cx(0, 1)
+        assert noise.estimated_success_probability(
+            with_swap
+        ) < noise.estimated_success_probability(base)

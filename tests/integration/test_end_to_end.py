@@ -1,0 +1,147 @@
+"""End-to-end integration: every mapper x several devices x workloads.
+
+The invariants that define a correct mapper, checked across the whole
+matrix: hardware compliance, structural equivalence, gate-count
+conservation, and (small cases) state-vector equivalence.
+"""
+
+import pytest
+
+from repro.baselines import AStarMapper, GreedyMapper, TrivialRouter
+from repro.bench_circuits import ising_model, qft
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.core import compile_circuit
+from repro.hardware import (
+    grid_device,
+    heavy_hex_device,
+    ibm_q20_tokyo,
+    line_device,
+    random_device,
+    ring_device,
+)
+from repro.qasm import emit_qasm, parse_qasm
+from repro.verify import (
+    assert_compliant,
+    assert_equivalent,
+    routed_statevector_equivalent,
+)
+
+DEVICES = [
+    ibm_q20_tokyo(),
+    grid_device(4, 4),
+    line_device(12),
+    ring_device(12),
+    heavy_hex_device(2),
+    random_device(14, seed=9),
+]
+
+
+def _verify(result, device, check_statevector=False):
+    assert_compliant(result.physical_circuit(), device)
+    assert_equivalent(
+        result.original_circuit,
+        result.routing.circuit,
+        result.initial_layout,
+        result.routing.swap_positions,
+    )
+    # gate conservation: total = original + 3 * swaps
+    physical = result.physical_circuit(decompose_swaps=True)
+    assert physical.count_gates() == (
+        result.original_circuit.count_gates() + 3 * result.num_swaps
+    )
+    if check_statevector and result.routing.circuit.num_qubits <= 14:
+        assert routed_statevector_equivalent(
+            result.original_circuit,
+            result.routing.circuit,
+            result.initial_layout,
+            result.final_layout,
+        )
+
+
+class TestSabreAcrossDevices:
+    @pytest.mark.parametrize("device", DEVICES, ids=lambda d: d.name)
+    def test_random_workload(self, device):
+        circ = random_circuit(
+            min(10, device.num_qubits), 60, seed=1, two_qubit_fraction=0.7
+        )
+        result = compile_circuit(circ, device, seed=0, num_trials=2)
+        _verify(result, device, check_statevector=device.num_qubits <= 14)
+
+    @pytest.mark.parametrize("device", DEVICES, ids=lambda d: d.name)
+    def test_qft_workload(self, device):
+        n = min(8, device.num_qubits)
+        result = compile_circuit(qft(n), device, seed=0, num_trials=2)
+        _verify(result, device)
+
+
+class TestAllMappersAgree:
+    """Every mapper must produce a valid (if differently sized) result."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda d, c: compile_circuit(c, d, seed=0, num_trials=2),
+            lambda d, c: AStarMapper(d, max_nodes=400_000).run(c),
+            lambda d, c: GreedyMapper(d).run(c),
+            lambda d, c: TrivialRouter(d).run(c),
+        ],
+        ids=["sabre", "astar", "greedy", "trivial"],
+    )
+    def test_mapper_validity(self, make):
+        device = ibm_q20_tokyo()
+        circ = random_circuit(8, 50, seed=4, two_qubit_fraction=0.6)
+        result = make(device, circ)
+        _verify(result, device, check_statevector=False)
+
+
+class TestPipelineWithQasm:
+    def test_qasm_in_qasm_out(self, tokyo):
+        source = "\n".join(
+            [
+                "OPENQASM 2.0;",
+                'include "qelib1.inc";',
+                "qreg q[5]; creg c[5];",
+                "h q[0];",
+                "ccx q[0], q[2], q[4];",
+                "cx q[1], q[3];",
+                "cx q[0], q[4];",
+                "measure q -> c;",
+            ]
+        )
+        circ = parse_qasm(source, name="e2e")
+        result = compile_circuit(circ, tokyo, seed=0, num_trials=2)
+        text = emit_qasm(result.physical_circuit())
+        reparsed = parse_qasm(text)
+        assert_compliant(reparsed, tokyo)
+        assert reparsed.gate_counts() == result.physical_circuit().gate_counts()
+
+
+class TestIsingAcrossLineLikeDevices:
+    """A chain workload embeds perfectly wherever a Hamiltonian path
+    exists (line, ring, grid, tokyo)."""
+
+    @pytest.mark.parametrize(
+        "device",
+        [line_device(10), ring_device(10), grid_device(3, 4), ibm_q20_tokyo()],
+        ids=lambda d: d.name,
+    )
+    def test_zero_swap_embedding(self, device):
+        result = compile_circuit(
+            ising_model(10), device, seed=0, num_trials=5
+        )
+        assert result.num_swaps == 0
+
+
+class TestRepeatedCompilationStability:
+    def test_same_seed_same_result(self, tokyo):
+        circ = random_circuit(9, 70, seed=6, two_qubit_fraction=0.7)
+        first = compile_circuit(circ, tokyo, seed=5, num_trials=3)
+        second = compile_circuit(circ, tokyo, seed=5, num_trials=3)
+        assert first.num_swaps == second.num_swaps
+        assert first.routing.circuit == second.routing.circuit
+
+    def test_more_trials_never_worse(self, tokyo):
+        circ = random_circuit(9, 70, seed=7, two_qubit_fraction=0.7)
+        few = compile_circuit(circ, tokyo, seed=0, num_trials=1)
+        many = compile_circuit(circ, tokyo, seed=0, num_trials=5)
+        assert many.num_swaps <= few.num_swaps

@@ -1,0 +1,150 @@
+"""Integration tests for the paper's headline evaluation claims (§V).
+
+Each test pins one sentence of the evaluation section to a measurable
+assertion on our reproduction.  These are the "shape" checks: who wins,
+by roughly what factor, where the baseline falls over.
+"""
+
+import pytest
+
+from repro.baselines import AStarMapper
+from repro.bench_circuits import build_benchmark, ising_model, qft, suite
+from repro.core import compile_circuit
+from repro.exceptions import SearchExhausted
+from repro.hardware import distance_matrix, ibm_q20_tokyo
+
+
+@pytest.fixture(scope="module")
+def tokyo():
+    return ibm_q20_tokyo()
+
+
+@pytest.fixture(scope="module")
+def dist(tokyo):
+    return distance_matrix(tokyo)
+
+
+class TestSmallBenchmarkClaims:
+    """§V-A1: 'SABRE ... is able to find a good initial qubit mapping
+    with no or very few additional SWAPs required.'"""
+
+    @pytest.mark.parametrize(
+        "name,paper_added",
+        [
+            ("4mod5-v1_22", 0),
+            ("mod5mils_65", 0),
+            ("alu-v0_27", 3),
+            ("decod24-v2_43", 0),
+            ("4gt13_92", 0),
+        ],
+    )
+    def test_small_benchmarks_nearly_swap_free(
+        self, tokyo, dist, name, paper_added
+    ):
+        result = compile_circuit(
+            build_benchmark(name), tokyo, seed=0, distance=dist
+        )
+        assert result.added_gates <= max(paper_added, 3)
+
+    def test_reverse_traversal_improves_small(self, tokyo, dist):
+        """g_op <= g_la on every small benchmark (Table II columns)."""
+        for spec in suite("small"):
+            result = compile_circuit(
+                spec.build(), tokyo, seed=0, distance=dist
+            )
+            assert result.num_swaps <= result.first_pass_swaps
+
+
+class TestIsingClaims:
+    """§V-A1: 'Although the number of qubits and the number of gates are
+    much larger ... SABRE can still find the optimal solution.'"""
+
+    @pytest.mark.parametrize("n", [10, 13])
+    def test_ising_optimal_zero_swaps(self, tokyo, dist, n):
+        result = compile_circuit(ising_model(n), tokyo, seed=0, distance=dist)
+        assert result.added_gates == 0
+
+    def test_ising16_near_optimal(self, tokyo, dist):
+        """The 16-qubit chain still embeds (a Hamiltonian path exists);
+        allow a small slack since restarts are finite."""
+        result = compile_circuit(
+            ising_model(16), tokyo, seed=0, num_trials=10, distance=dist
+        )
+        assert result.added_gates <= 9
+
+
+class TestBkaComparisonClaims:
+    """§V-A2 and Table II: SABRE matches or beats the BKA."""
+
+    @pytest.mark.parametrize("name", ["qft_10", "qft_13", "rd84_142"])
+    def test_sabre_beats_bka(self, tokyo, dist, name):
+        circ = build_benchmark(name)
+        sabre = compile_circuit(circ, tokyo, seed=0, distance=dist)
+        bka = AStarMapper(
+            tokyo, max_nodes=600_000, max_seconds=60.0, distance=dist
+        ).run(circ)
+        assert sabre.added_gates <= bka.added_gates
+
+    def test_bka_oom_rows(self, tokyo, dist):
+        """Table II: BKA exhausts resources on ising_model_16 while
+        SABRE finishes fast."""
+        mapper = AStarMapper(
+            tokyo, max_nodes=300_000, max_seconds=30.0, distance=dist
+        )
+        with pytest.raises(SearchExhausted):
+            mapper.run(ising_model(16))
+        sabre = compile_circuit(
+            ising_model(16), tokyo, seed=0, num_trials=2, distance=dist
+        )
+        assert sabre.runtime_seconds < 5.0
+
+
+class TestScalabilityClaims:
+    """§V-B2: BKA's effort explodes with n; SABRE's stays flat."""
+
+    def test_bka_node_growth_superlinear(self, tokyo, dist):
+        nodes = []
+        for n in (4, 6, 8, 10):
+            mapper = AStarMapper(
+                tokyo, max_nodes=700_000, max_seconds=60.0, distance=dist
+            )
+            mapper.run(qft(n))
+            nodes.append(mapper.last_run_nodes)
+        growth = [b / max(a, 1) for a, b in zip(nodes, nodes[1:])]
+        assert all(g > 1.5 for g in growth)
+        assert nodes[-1] > 20 * nodes[0]
+
+    def test_sabre_runtime_stays_subsecond_per_trial(self, tokyo, dist):
+        for n in (10, 16, 20):
+            result = compile_circuit(
+                qft(n), tokyo, seed=0, num_trials=1, distance=dist
+            )
+            assert result.runtime_seconds < 2.0
+
+
+class TestLargeBenchmarkClaims:
+    """§V-A2: reverse traversal cuts ~10% of additional gates on large
+    circuits (g_op < g_la)."""
+
+    @pytest.mark.parametrize("name", ["rd84_142", "z4_268"])
+    def test_reverse_traversal_helps_large(self, tokyo, dist, name):
+        result = compile_circuit(
+            build_benchmark(name), tokyo, seed=0, distance=dist
+        )
+        assert result.num_swaps <= result.first_pass_swaps
+
+    @pytest.mark.slow
+    def test_medium_large_benchmark_end_to_end(self, tokyo, dist):
+        from repro.verify import assert_compliant, assert_equivalent
+
+        result = compile_circuit(
+            build_benchmark("adr4_197"), tokyo, seed=0, num_trials=2,
+            distance=dist,
+        )
+        assert_compliant(result.physical_circuit(), tokyo)
+        assert_equivalent(
+            result.original_circuit,
+            result.routing.circuit,
+            result.initial_layout,
+            result.routing.swap_positions,
+        )

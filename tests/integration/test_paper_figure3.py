@@ -1,0 +1,93 @@
+"""Integration test: the paper's Figure 3 worked example, end to end.
+
+A 4-qubit device with couplings {Q1Q2, Q2Q4, Q4Q3, Q3Q1} (a square), a
+6-CNOT circuit, and the identity initial mapping.  The paper shows one
+SWAP (q1, q2) after the third CNOT suffices, growing the circuit from
+6 gates / depth 5 to 9 gates / depth 8.
+"""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, circuit_depth
+from repro.core import Layout, SabreRouter
+from repro.hardware import CouplingGraph
+from repro.verify import (
+    assert_compliant,
+    assert_equivalent,
+    routed_statevector_equivalent,
+)
+
+
+@pytest.fixture(scope="module")
+def square_device():
+    """Fig. 3b, 0-indexed: edges Q0-Q1, Q1-Q3, Q3-Q2, Q2-Q0."""
+    return CouplingGraph(4, [(0, 1), (1, 3), (3, 2), (2, 0)], name="fig3b")
+
+
+@pytest.fixture(scope="module")
+def figure3_circuit():
+    """Fig. 3c, 0-indexed logical qubits."""
+    circ = QuantumCircuit(4, name="fig3c")
+    for a, b in [(0, 1), (2, 3), (1, 3), (1, 2), (2, 3), (0, 3)]:
+        circ.cx(a, b)
+    return circ
+
+
+class TestFigure3:
+    def test_original_metrics(self, figure3_circuit):
+        assert figure3_circuit.num_gates == 6
+        assert circuit_depth(figure3_circuit) == 5
+
+    def test_first_three_gates_execute_under_identity(
+        self, square_device, figure3_circuit
+    ):
+        for gate in figure3_circuit.gates[:3]:
+            assert square_device.are_coupled(*gate.qubits)
+
+    def test_fourth_and_sixth_gates_blocked(self, square_device, figure3_circuit):
+        """The paper marks CNOT(q2,q3) and CNOT(q1,q4) as not executable
+        (0-indexed: (1,2) and (0,3))."""
+        assert not square_device.are_coupled(1, 2)
+        assert not square_device.are_coupled(0, 3)
+
+    def test_single_swap_solution_found(self, square_device, figure3_circuit):
+        router = SabreRouter(square_device, seed=0)
+        result = router.run(figure3_circuit, initial_layout=Layout.trivial(4))
+        assert result.num_swaps == 1
+
+    def test_routed_metrics_match_paper(self, square_device, figure3_circuit):
+        """'the number of gates increases from 6 to 9 and the circuit
+        depth increased from 5 to 8' (§III-A)."""
+        router = SabreRouter(square_device, seed=0)
+        result = router.run(figure3_circuit, initial_layout=Layout.trivial(4))
+        physical = result.physical_circuit(decompose_swaps=True)
+        assert physical.count_gates() == 9
+        assert circuit_depth(physical) == 8
+
+    def test_routed_output_verified(self, square_device, figure3_circuit):
+        router = SabreRouter(square_device, seed=0)
+        result = router.run(figure3_circuit, initial_layout=Layout.trivial(4))
+        assert_compliant(result.physical_circuit(), square_device)
+        assert_equivalent(
+            figure3_circuit,
+            result.circuit,
+            result.initial_layout,
+            result.swap_positions,
+        )
+        assert routed_statevector_equivalent(
+            figure3_circuit,
+            result.circuit,
+            result.initial_layout,
+            result.final_layout,
+        )
+
+    def test_updated_mapping_matches_paper(self, square_device, figure3_circuit):
+        """Fig. 3d: after the SWAP the mapping is q1->Q2, q2->Q1 (i.e.
+        logical 0 and 1 exchanged homes)."""
+        router = SabreRouter(square_device, seed=0)
+        result = router.run(figure3_circuit, initial_layout=Layout.trivial(4))
+        swapped = {
+            q for q in range(4)
+            if result.final_layout.physical(q) != Layout.trivial(4).physical(q)
+        }
+        assert len(swapped) == 2

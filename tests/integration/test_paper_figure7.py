@@ -1,0 +1,88 @@
+"""Integration test: the Figure 7 depth/gate-count trade-off example.
+
+A 3x3 grid, two parallel CNOTs on diagonal corners.  The paper shows a
+depth-first solution (4 concurrent SWAPs, depth +1 swap layer) and a
+gate-count-first solution (3 SWAPs, depth +2 swap layers): more decay
+pressure should push SABRE toward the parallel (more-gates, less-depth)
+end, and zero decay toward fewer gates.
+"""
+
+import pytest
+
+from repro.analysis.tradeoff import decay_sweep
+from repro.circuits import QuantumCircuit
+from repro.core import HeuristicConfig, Layout, SabreRouter
+from repro.hardware import grid_device
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_device(3, 3)
+
+
+@pytest.fixture(scope="module")
+def figure7_circuit():
+    """Fig. 7 (0-indexed grid): CNOTs on {q1,q2} and {q3,q4} placed at
+    opposite corners: physical homes 0<->8 and 2<->6."""
+    circ = QuantumCircuit(9, name="fig7")
+    circ.cx(0, 8)
+    circ.cx(2, 6)
+    return circ
+
+
+class TestFigure7:
+    def test_both_gates_blocked_initially(self, grid, figure7_circuit):
+        for gate in figure7_circuit:
+            assert not grid.are_coupled(*gate.qubits)
+
+    @pytest.mark.parametrize("delta", [0.0, 0.001, 0.05])
+    def test_all_deltas_route_correctly(self, grid, figure7_circuit, delta):
+        from repro.verify import assert_compliant, assert_equivalent
+
+        config = HeuristicConfig(mode="decay", decay_delta=delta)
+        router = SabreRouter(grid, config=config, seed=0)
+        result = router.run(figure7_circuit, initial_layout=Layout.trivial(9))
+        assert_compliant(result.physical_circuit(), grid)
+        assert_equivalent(
+            figure7_circuit,
+            result.circuit,
+            result.initial_layout,
+            result.swap_positions,
+        )
+
+    def test_tradeoff_direction_on_qft(self, grid):
+        """Across a delta sweep, the minimum-depth point should not be
+        the minimum-gate point (the Fig. 8 trade-off exists)."""
+        from repro.bench_circuits import qft
+
+        points = decay_sweep(
+            qft(8), grid, deltas=(0.0, 0.001, 0.01, 0.1), seed=0, num_trials=2
+        )
+        min_depth = min(points, key=lambda p: (p.depth_norm, p.delta))
+        min_gates = min(points, key=lambda p: (p.gates_norm, p.delta))
+        # degenerate collapse would make the trade-off claim vacuous
+        assert not (
+            min_depth.delta == min_gates.delta
+            and len({p.depth_norm for p in points}) == 1
+        )
+
+    def test_decay_shifts_swap_concurrency(self, grid):
+        """Aggressive decay should produce swap schedules at least as
+        parallel (lower swap-layer depth per swap) as no decay, on
+        workloads with routing pressure."""
+        from repro.bench_circuits import qft
+        from repro.circuits.depth import schedule_asap
+
+        def swap_parallelism(delta: float) -> float:
+            config = HeuristicConfig(mode="decay", decay_delta=delta)
+            router = SabreRouter(grid, config=config, seed=0)
+            result = router.run(qft(8), initial_layout=Layout.trivial(9))
+            swaps = [result.circuit[i] for i in result.swap_positions]
+            if not swaps:
+                return 0.0
+            slots = schedule_asap(list(result.circuit), 9)
+            swap_slots = {slots[i] for i in result.swap_positions}
+            return len(swaps) / max(len(swap_slots), 1)
+
+        # parallelism ratio: swaps per distinct swap time-slot
+        assert swap_parallelism(0.1) >= swap_parallelism(0.0) * 0.9

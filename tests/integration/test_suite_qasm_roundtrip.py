@@ -1,0 +1,47 @@
+"""Integration: every Table II workload survives the QASM round-trip.
+
+This pins down the full interchange path a downstream user relies on:
+generator -> emit QASM -> parse QASM -> identical circuit, for all 26
+benchmark circuits (including the 34,881-gate giants).
+"""
+
+import pytest
+
+from repro.bench_circuits import TABLE_II
+from repro.qasm import emit_qasm, parse_qasm
+
+_SMALL_ENOUGH = [s for s in TABLE_II if s.paper_gates <= 7000]
+_GIANTS = [s for s in TABLE_II if s.paper_gates > 7000]
+
+
+@pytest.mark.parametrize(
+    "spec", _SMALL_ENOUGH, ids=[s.name for s in _SMALL_ENOUGH]
+)
+def test_benchmark_roundtrip(spec):
+    circuit = spec.build()
+    reparsed = parse_qasm(emit_qasm(circuit), name=circuit.name)
+    assert reparsed.num_qubits == circuit.num_qubits
+    assert reparsed.gates == circuit.gates
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("spec", _GIANTS, ids=[s.name for s in _GIANTS])
+def test_giant_benchmark_roundtrip(spec):
+    circuit = spec.build()
+    reparsed = parse_qasm(emit_qasm(circuit), name=circuit.name)
+    assert reparsed.gates == circuit.gates
+
+
+def test_roundtrip_of_routed_benchmark(tokyo):
+    """Emit -> parse the *routed* output of a mid-size benchmark."""
+    from repro.bench_circuits import build_benchmark
+    from repro.core import compile_circuit
+    from repro.verify import is_hardware_compliant
+
+    result = compile_circuit(
+        build_benchmark("rd84_142"), tokyo, seed=0, num_trials=2
+    )
+    physical = result.physical_circuit()
+    reparsed = parse_qasm(emit_qasm(physical))
+    assert reparsed.gates == physical.gates
+    assert is_hardware_compliant(reparsed, tokyo)

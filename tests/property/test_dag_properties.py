@@ -1,0 +1,113 @@
+"""Property-based tests: DAG construction and frontier invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import CircuitDag, QuantumCircuit
+from repro.circuits.dag import DagFrontier
+
+circuit_specs = st.tuples(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+def build_circuit(spec):
+    n, gates, seed = spec
+    import random
+
+    rng = random.Random(seed)
+    circ = QuantumCircuit(n)
+    for _ in range(gates):
+        roll = rng.random()
+        if roll < 0.55 and n >= 2:
+            a, b = rng.sample(range(n), 2)
+            circ.cx(a, b)
+        elif roll < 0.9:
+            circ.add_gate(rng.choice(["h", "t", "x"]), rng.randrange(n))
+        else:
+            circ.measure(rng.randrange(n))
+    return circ
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=circuit_specs)
+def test_edges_respect_circuit_order(spec):
+    """Every DAG edge points forward in circuit order."""
+    circ = build_circuit(spec)
+    dag = CircuitDag(circ)
+    for node in dag.nodes:
+        for pred in node.predecessors:
+            assert pred < node.index
+        for succ in node.successors:
+            assert succ > node.index
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=circuit_specs)
+def test_dependencies_share_qubits(spec):
+    circ = build_circuit(spec)
+    dag = CircuitDag(circ)
+    for node in dag.nodes:
+        for pred in node.predecessors:
+            assert set(node.gate.qubits) & set(dag.nodes[pred].gate.qubits)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=circuit_specs)
+def test_frontier_executes_every_gate_exactly_once(spec):
+    """Greedy frontier consumption is a valid full linearisation."""
+    circ = build_circuit(spec)
+    dag = CircuitDag(circ)
+    frontier = DagFrontier(dag)
+    order = list(frontier.drain_nonrouting())
+    while not frontier.done:
+        index = min(frontier.front)
+        frontier.execute_front_gate(index)
+        order.append(index)
+        order.extend(frontier.drain_nonrouting())
+    assert dag.is_linearisation(order)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=circuit_specs)
+def test_front_layer_gates_are_independent(spec):
+    """No two front-layer gates share a qubit (they are concurrently
+    executable by definition)."""
+    circ = build_circuit(spec)
+    frontier = DagFrontier(CircuitDag(circ))
+    frontier.drain_nonrouting()
+    used = set()
+    for _, gate in frontier.front_gates():
+        assert not set(gate.qubits) & used
+        used |= set(gate.qubits)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=circuit_specs, size=st.integers(0, 30))
+def test_extended_set_bounded_and_unexecuted(spec, size):
+    circ = build_circuit(spec)
+    frontier = DagFrontier(CircuitDag(circ))
+    frontier.drain_nonrouting()
+    extended = frontier.extended_set(size)
+    assert len(extended) <= size
+    assert all(g.is_two_qubit for g in extended)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=circuit_specs)
+def test_two_qubit_layers_form_partition(spec):
+    circ = build_circuit(spec)
+    dag = CircuitDag(circ)
+    layers = dag.two_qubit_layers()
+    flat = [i for layer in layers for i in layer]
+    expected = [i for i, g in enumerate(circ) if g.is_two_qubit]
+    assert sorted(flat) == expected
+    # within a layer: disjoint qubits
+    for layer in layers:
+        used = set()
+        for index in layer:
+            qs = set(circ[index].qubits)
+            assert not qs & used
+            used |= qs

@@ -1,0 +1,92 @@
+"""Property-based tests: the distance matrix is a graph metric."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    bfs_distance_matrix,
+    floyd_warshall,
+    random_device,
+    weighted_floyd_warshall,
+)
+
+devices = st.tuples(
+    st.integers(min_value=2, max_value=16),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(spec=devices)
+def test_metric_axioms(spec):
+    dev = random_device(spec[0], seed=spec[1])
+    dist = floyd_warshall(dev)
+    n = dev.num_qubits
+    for i in range(n):
+        assert dist[i][i] == 0
+        for j in range(n):
+            # symmetry
+            assert dist[i][j] == dist[j][i]
+            # positivity
+            if i != j:
+                assert dist[i][j] >= 1
+    # triangle inequality
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                assert dist[i][j] <= dist[i][k] + dist[k][j]
+
+
+@settings(max_examples=50, deadline=None)
+@given(spec=devices)
+def test_bfs_and_floyd_warshall_agree(spec):
+    """Two independent APSP implementations must agree everywhere."""
+    dev = random_device(spec[0], seed=spec[1])
+    assert bfs_distance_matrix(dev) == floyd_warshall(dev)
+
+
+@settings(max_examples=50, deadline=None)
+@given(spec=devices)
+def test_edges_have_distance_one(spec):
+    dev = random_device(spec[0], seed=spec[1])
+    dist = floyd_warshall(dev)
+    for a, b in dev.edges:
+        assert dist[a][b] == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(spec=devices)
+def test_distance_bounded_by_diameter(spec):
+    dev = random_device(spec[0], seed=spec[1])
+    dist = floyd_warshall(dev)
+    diameter = dev.diameter()
+    n = dev.num_qubits
+    assert all(dist[i][j] <= diameter for i in range(n) for j in range(n))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    spec=devices,
+    weight_seed=st.integers(min_value=0, max_value=100),
+)
+def test_weighted_distances_lower_bounded_by_cheapest_edge(spec, weight_seed):
+    import random
+
+    dev = random_device(spec[0], seed=spec[1])
+    rng = random.Random(weight_seed)
+    weights = {edge: rng.uniform(0.5, 3.0) for edge in dev.edges}
+    dist = weighted_floyd_warshall(dev, weights)
+    cheapest = min(weights.values())
+    n = dev.num_qubits
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                assert dist[i][j] >= cheapest - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=devices)
+def test_unit_weights_match_hops(spec):
+    dev = random_device(spec[0], seed=spec[1])
+    unit = {edge: 1.0 for edge in dev.edges}
+    assert weighted_floyd_warshall(dev, unit) == floyd_warshall(dev)

@@ -1,0 +1,77 @@
+"""Property-based tests: Layout stays a bijection under any swap script."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Layout
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=24),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_random_layout_is_bijection(n, seed):
+    layout = Layout.random(n, seed=seed)
+    assert sorted(layout.l2p) == list(range(n))
+    assert sorted(layout.p2l) == list(range(n))
+    for q in range(n):
+        assert layout.logical(layout.physical(q)) == q
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    swaps=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        max_size=50,
+    ),
+)
+def test_swap_scripts_preserve_bijection(n, swaps):
+    layout = Layout.trivial(n)
+    for a, b in swaps:
+        a %= n
+        b %= n
+        if a != b:
+            layout.swap_logical(a, b)
+    assert sorted(layout.l2p) == list(range(n))
+    for p in range(n):
+        assert layout.physical(layout.logical(p)) == p
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    swaps=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=30
+    ),
+)
+def test_swap_script_inverts(n, swaps):
+    """Applying a swap script then its reverse restores the layout."""
+    filtered = [(a % n, b % n) for a, b in swaps if a % n != b % n]
+    layout = Layout.random(n, seed=1)
+    reference = layout.copy()
+    for a, b in filtered:
+        layout.swap_logical(a, b)
+    for a, b in reversed(filtered):
+        layout.swap_logical(a, b)
+    assert layout == reference
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_swap_logical_equals_swap_physical(n, seed):
+    """swap_logical(a, b) == swap_physical(pi(a), pi(b))."""
+    import random
+
+    rng = random.Random(seed)
+    a, b = rng.sample(range(n), 2)
+    via_logical = Layout.random(n, seed=seed)
+    via_physical = via_logical.copy()
+    pa, pb = via_logical.physical(a), via_logical.physical(b)
+    via_logical.swap_logical(a, b)
+    via_physical.swap_physical(pa, pb)
+    assert via_logical == via_physical

@@ -1,0 +1,138 @@
+"""Property-based tests: routing invariants on random circuits/devices.
+
+For ANY circuit and ANY connected device, a correct mapper must emit a
+hardware-compliant, semantically equivalent circuit whose size is the
+original plus exactly 3 gates per SWAP.  hypothesis explores the space.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import TrivialRouter
+from repro.circuits import QuantumCircuit
+from repro.core import HeuristicConfig, Layout, SabreRouter
+from repro.hardware import random_device
+from repro.verify import (
+    assert_compliant,
+    assert_equivalent,
+    routed_statevector_equivalent,
+)
+
+# Reusable strategy: a random circuit description (sizes kept modest so
+# hypothesis can run many examples quickly).
+circuit_specs = st.tuples(
+    st.integers(min_value=2, max_value=8),    # logical qubits
+    st.integers(min_value=0, max_value=40),   # gate count
+    st.integers(min_value=0, max_value=10_000),  # circuit seed
+)
+device_specs = st.tuples(
+    st.integers(min_value=8, max_value=14),   # physical qubits
+    st.integers(min_value=0, max_value=10_000),  # device seed
+)
+
+
+def build_circuit(spec):
+    n, gates, seed = spec
+    import random
+
+    rng = random.Random(seed)
+    circ = QuantumCircuit(n, name=f"prop_{seed}")
+    for _ in range(gates):
+        if n >= 2 and rng.random() < 0.6:
+            a, b = rng.sample(range(n), 2)
+            circ.cx(a, b)
+        else:
+            circ.add_gate(rng.choice(["h", "t", "x", "s"]), rng.randrange(n))
+    return circ
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(circuit=circuit_specs, device=device_specs)
+def test_sabre_routing_invariants(circuit, device):
+    circ = build_circuit(circuit)
+    dev = random_device(device[0], seed=device[1])
+    router = SabreRouter(dev, seed=0)
+    result = router.run(circ)
+    # 1. compliance
+    assert_compliant(result.physical_circuit(), dev)
+    # 2. structural equivalence
+    assert_equivalent(
+        circ, result.circuit, result.initial_layout, result.swap_positions
+    )
+    # 3. gate conservation
+    physical = result.physical_circuit(decompose_swaps=True)
+    assert physical.count_gates() == circ.count_gates() + 3 * result.num_swaps
+    # 4. layout book-keeping
+    layout = result.initial_layout.copy()
+    for pos in result.swap_positions:
+        layout.swap_physical(*result.circuit[pos].qubits)
+    assert layout == result.final_layout
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    circuit=st.tuples(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=25),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    device_seed=st.integers(min_value=0, max_value=1000),
+)
+def test_sabre_statevector_equivalence(circuit, device_seed):
+    """Unitary-level equivalence on simulable sizes."""
+    circ = build_circuit(circuit)
+    dev = random_device(8, seed=device_seed)
+    result = SabreRouter(dev, seed=0).run(circ)
+    assert routed_statevector_equivalent(
+        circ, result.circuit, result.initial_layout, result.final_layout
+    )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    circuit=circuit_specs,
+    device=device_specs,
+    mode=st.sampled_from(["basic", "lookahead", "decay"]),
+    delta=st.floats(min_value=0.0, max_value=0.2),
+)
+def test_all_heuristic_modes_route_correctly(circuit, device, mode, delta):
+    circ = build_circuit(circuit)
+    dev = random_device(device[0], seed=device[1])
+    config = HeuristicConfig(mode=mode, decay_delta=delta)
+    result = SabreRouter(dev, config=config, seed=0).run(circ)
+    assert_compliant(result.physical_circuit(), dev)
+    assert_equivalent(
+        circ, result.circuit, result.initial_layout, result.swap_positions
+    )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(circuit=circuit_specs, device=device_specs)
+def test_trivial_router_invariants(circuit, device):
+    """The baseline router obeys the same contract."""
+    circ = build_circuit(circuit)
+    dev = random_device(device[0], seed=device[1])
+    result = TrivialRouter(dev).run(circ)
+    assert_compliant(result.physical_circuit(), dev)
+    assert_equivalent(
+        circ,
+        result.routing.circuit,
+        result.initial_layout,
+        result.routing.swap_positions,
+    )
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    circuit=circuit_specs,
+    device=device_specs,
+    layout_seed=st.integers(min_value=0, max_value=100),
+)
+def test_any_initial_layout_routes(circuit, device, layout_seed):
+    """Routing succeeds from any starting permutation."""
+    circ = build_circuit(circuit)
+    dev = random_device(device[0], seed=device[1])
+    layout = Layout.random(dev.num_qubits, seed=layout_seed)
+    result = SabreRouter(dev, seed=0).run(circ, initial_layout=layout)
+    assert result.initial_layout == layout
+    assert_compliant(result.physical_circuit(), dev)

@@ -1,0 +1,80 @@
+"""Property-based tests: simulator unitarity and composition laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, inverted_circuit
+from repro.circuits.gates import GATE_SPECS
+from repro.verify import Statevector
+
+_UNITARY_GATES = sorted(
+    name for name, spec in GATE_SPECS.items() if not spec.directive
+)
+
+
+@st.composite
+def unitary_circuits(draw, max_qubits=5, max_gates=20):
+    n = draw(st.integers(min_value=2, max_value=max_qubits))
+    circ = QuantumCircuit(n)
+    for _ in range(draw(st.integers(0, max_gates))):
+        name = draw(st.sampled_from(_UNITARY_GATES))
+        spec = GATE_SPECS[name]
+        if spec.num_qubits > n:
+            continue
+        qubits = tuple(
+            draw(
+                st.lists(
+                    st.integers(0, n - 1),
+                    min_size=spec.num_qubits,
+                    max_size=spec.num_qubits,
+                    unique=True,
+                )
+            )
+        )
+        params = tuple(
+            draw(st.floats(-6.0, 6.0, allow_nan=False, allow_infinity=False))
+            for _ in range(spec.num_params)
+        )
+        circ.add_gate(name, *qubits, params=params)
+    return circ
+
+
+@settings(max_examples=60, deadline=None)
+@given(circ=unitary_circuits(), seed=st.integers(0, 1000))
+def test_norm_preserved(circ, seed):
+    """Unitary evolution preserves the 2-norm."""
+    state = Statevector.random(circ.num_qubits, seed=seed)
+    state.apply_circuit(circ)
+    assert abs(state.norm() - 1.0) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(circ=unitary_circuits(max_gates=12), seed=st.integers(0, 1000))
+def test_inverse_undoes_circuit(circ, seed):
+    """U_dagger U = I on a random state."""
+    probe = Statevector.random(circ.num_qubits, seed=seed)
+    evolved = probe.copy().apply_circuit(circ).apply_circuit(
+        inverted_circuit(circ)
+    )
+    assert probe.fidelity(evolved) > 1 - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=unitary_circuits(max_gates=8),
+    seed=st.integers(0, 1000),
+)
+def test_composition_associates(a, seed):
+    """Applying c then c equals applying compose(c, c)."""
+    probe = Statevector.random(a.num_qubits, seed=seed)
+    stepwise = probe.copy().apply_circuit(a).apply_circuit(a)
+    composed = probe.copy().apply_circuit(a.compose(a))
+    assert stepwise.fidelity(composed) > 1 - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(circ=unitary_circuits(max_gates=10), seed=st.integers(0, 1000))
+def test_fidelity_symmetric(circ, seed):
+    a = Statevector.random(circ.num_qubits, seed=seed)
+    b = a.copy().apply_circuit(circ)
+    assert abs(a.fidelity(b) - b.fidelity(a)) < 1e-12

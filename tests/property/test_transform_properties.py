@@ -1,0 +1,99 @@
+"""Property-based tests: optimization passes preserve semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.transforms import (
+    cancel_adjacent_inverses,
+    merge_rotations,
+    optimize_circuit,
+)
+from repro.verify import Statevector
+
+_GATES_1Q = ("h", "x", "t", "tdg", "s", "sdg", "z")
+
+
+@st.composite
+def cancellable_circuits(draw):
+    """Circuits biased toward adjacent inverse pairs and rotations."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    circ = QuantumCircuit(n)
+    for _ in range(draw(st.integers(0, 25))):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            name = draw(st.sampled_from(_GATES_1Q))
+            q = draw(st.integers(0, n - 1))
+            circ.add_gate(name, q)
+            if draw(st.booleans()):  # often append the inverse right away
+                from repro.circuits.gates import Gate
+
+                circ.append(Gate(name, (q,)).inverse())
+        elif kind == 1:
+            a, b = draw(
+                st.lists(
+                    st.integers(0, n - 1), min_size=2, max_size=2, unique=True
+                )
+            )
+            circ.cx(a, b)
+            if draw(st.booleans()):
+                circ.cx(a, b)
+        elif kind == 2:
+            q = draw(st.integers(0, n - 1))
+            angle = draw(
+                st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False)
+            )
+            circ.rz(angle, q)
+            if draw(st.booleans()):
+                circ.rz(-angle, q)
+        else:
+            q = draw(st.integers(0, n - 1))
+            circ.add_gate(draw(st.sampled_from(_GATES_1Q)), q)
+    return circ
+
+
+def _equivalent(a: QuantumCircuit, b: QuantumCircuit) -> bool:
+    probe = Statevector.random(a.num_qubits, seed=99)
+    out_a = probe.copy().apply_circuit(a)
+    out_b = probe.copy().apply_circuit(b)
+    return out_a.fidelity(out_b) > 1 - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(circ=cancellable_circuits())
+def test_cancel_preserves_unitary(circ):
+    out = cancel_adjacent_inverses(circ)
+    assert out.num_gates <= circ.num_gates
+    assert _equivalent(circ, out)
+
+
+@settings(max_examples=60, deadline=None)
+@given(circ=cancellable_circuits())
+def test_merge_preserves_unitary(circ):
+    out = merge_rotations(circ)
+    assert out.num_gates <= circ.num_gates
+    assert _equivalent(circ, out)
+
+
+@settings(max_examples=40, deadline=None)
+@given(circ=cancellable_circuits())
+def test_optimize_fixpoint_and_equivalence(circ):
+    out = optimize_circuit(circ)
+    assert _equivalent(circ, out)
+    assert optimize_circuit(out) == out
+
+
+@settings(max_examples=40, deadline=None)
+@given(circ=cancellable_circuits())
+def test_optimize_never_reorders_surviving_gates(circ):
+    """Optimization only deletes/merges; surviving unmerged gates keep
+    their relative order (checked per wire, ignoring merged rotations)."""
+    out = cancel_adjacent_inverses(circ)
+    # Surviving gates must appear in the original as a subsequence.
+    original = list(circ.gates)
+    position = 0
+    for gate in out:
+        while position < len(original) and original[position] != gate:
+            position += 1
+        assert position < len(original)
+        position += 1

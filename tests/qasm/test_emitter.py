@@ -1,0 +1,79 @@
+"""Unit tests for the QASM emitter."""
+
+import os
+import tempfile
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import QasmError
+from repro.qasm import emit_qasm, parse_qasm, write_qasm_file
+
+
+class TestEmit:
+    def test_header_present(self):
+        text = emit_qasm(QuantumCircuit(2))
+        lines = text.splitlines()
+        assert lines[0] == "OPENQASM 2.0;"
+        assert lines[1] == 'include "qelib1.inc";'
+        assert "qreg q[2];" in lines
+        assert "creg c[2];" in lines
+
+    def test_gate_lines(self):
+        circ = QuantumCircuit(3)
+        circ.h(0)
+        circ.cx(0, 2)
+        circ.rz(0.5, 1)
+        text = emit_qasm(circ)
+        assert "h q[0];" in text
+        assert "cx q[0], q[2];" in text
+        assert "rz(0.5) q[1];" in text
+
+    def test_measure_line(self):
+        circ = QuantumCircuit(2)
+        circ.measure(1, clbit=0)
+        assert "measure q[1] -> c[0];" in emit_qasm(circ)
+
+    def test_barrier_line(self):
+        circ = QuantumCircuit(3)
+        circ.barrier(0, 2)
+        assert "barrier q[0], q[2];" in emit_qasm(circ)
+
+    def test_zero_qubit_circuit_rejected(self):
+        with pytest.raises(QasmError):
+            emit_qasm(QuantumCircuit(0))
+
+    def test_params_roundtrip_exactly(self):
+        circ = QuantumCircuit(1)
+        circ.rz(0.1 + 0.2, 0)  # 0.30000000000000004
+        reparsed = parse_qasm(emit_qasm(circ))
+        assert reparsed[0].params == circ[0].params
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        circ = QuantumCircuit(4, name="rt")
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.swap(1, 2)
+        circ.u3(0.1, 0.2, 0.3, 3)
+        circ.barrier()
+        circ.measure(0)
+        reparsed = parse_qasm(emit_qasm(circ))
+        assert reparsed.num_qubits == circ.num_qubits
+        assert reparsed.gates == circ.gates
+
+    def test_file_roundtrip(self):
+        circ = QuantumCircuit(2, name="file_rt")
+        circ.h(0)
+        circ.cx(0, 1)
+        path = os.path.join(tempfile.gettempdir(), "repro_test_rt.qasm")
+        try:
+            write_qasm_file(circ, path)
+            from repro.qasm import parse_qasm_file
+
+            reparsed = parse_qasm_file(path)
+            assert reparsed.gates == circ.gates
+            assert reparsed.name == "repro_test_rt"
+        finally:
+            os.unlink(path)

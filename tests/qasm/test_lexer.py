@@ -1,0 +1,84 @@
+"""Unit tests for the QASM lexer."""
+
+import pytest
+
+from repro.exceptions import QasmError
+from repro.qasm import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]  # drop EOF
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestTokenKinds:
+    def test_keywords_recognised(self):
+        assert kinds("OPENQASM qreg creg gate measure barrier pi") == [
+            "KEYWORD"
+        ] * 7
+
+    def test_identifiers(self):
+        assert kinds("foo q_1 Bar2") == ["ID"] * 3
+
+    def test_integers_and_reals(self):
+        assert kinds("42 3.14 .5 2. 1e-3 2.5E+4") == [
+            "INT",
+            "REAL",
+            "REAL",
+            "REAL",
+            "REAL",
+            "REAL",
+        ]
+
+    def test_symbols(self):
+        assert kinds("; , ( ) [ ] { } + - * / ^") == ["SYMBOL"] * 13
+
+    def test_arrow(self):
+        assert kinds("q -> c") == ["ID", "ARROW", "ID"]
+
+    def test_string(self):
+        assert kinds('"qelib1.inc"') == ["STRING"]
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestSkipping:
+    def test_comments_skipped(self):
+        assert values("h q; // apply hadamard\nx q;") == [
+            "h",
+            "q",
+            ";",
+            "x",
+            "q",
+            ";",
+        ]
+
+    def test_whitespace_skipped(self):
+        assert kinds("  h\t q  ") == ["ID", "ID"]
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("h q;\nx r;")
+        x_token = [t for t in tokens if t.value == "x"][0]
+        assert x_token.line == 2
+        assert x_token.column == 1
+
+    def test_column_tracking(self):
+        tokens = tokenize("cx q, r;")
+        comma = [t for t in tokens if t.value == ","][0]
+        assert comma.column == 5
+
+
+class TestErrors:
+    def test_bad_character(self):
+        with pytest.raises(QasmError, match="unexpected character"):
+            tokenize("h q; @")
+
+    def test_error_carries_position(self):
+        with pytest.raises(QasmError, match="line 2"):
+            tokenize("h q;\n  #")

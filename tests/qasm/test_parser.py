@@ -1,0 +1,197 @@
+"""Unit tests for the QASM parser."""
+
+import math
+
+import pytest
+
+from repro.exceptions import QasmError
+from repro.qasm import parse_qasm
+from repro.verify import statevector_equivalent
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestDeclarations:
+    def test_single_qreg(self):
+        circ = parse_qasm(HEADER + "qreg q[4];")
+        assert circ.num_qubits == 4
+
+    def test_multiple_qregs_flattened(self):
+        circ = parse_qasm(HEADER + "qreg a[2]; qreg b[3]; cx a[1], b[0];")
+        assert circ.num_qubits == 5
+        assert circ[0].qubits == (1, 2)  # b starts at offset 2
+
+    def test_creg(self):
+        circ = parse_qasm(HEADER + "qreg q[2]; creg c[2]; measure q[1] -> c[0];")
+        assert circ[0].name == "measure"
+        assert circ[0].clbit == 0
+
+    def test_duplicate_qreg_rejected(self):
+        with pytest.raises(QasmError, match="duplicate"):
+            parse_qasm(HEADER + "qreg q[2]; qreg q[3];")
+
+    def test_zero_size_register_rejected(self):
+        with pytest.raises(QasmError, match="positive size"):
+            parse_qasm(HEADER + "qreg q[0];")
+
+    def test_missing_version_ok(self):
+        circ = parse_qasm('include "qelib1.inc";\nqreg q[1];\nh q[0];')
+        assert circ.num_gates == 1
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(QasmError, match="version"):
+            parse_qasm("OPENQASM 3.0;\nqreg q[1];")
+
+
+class TestGateCalls:
+    def test_standard_gates(self):
+        src = HEADER + "qreg q[2];\nh q[0];\ncx q[0], q[1];\ntdg q[1];\n"
+        circ = parse_qasm(src)
+        assert [g.name for g in circ] == ["h", "cx", "tdg"]
+
+    def test_builtin_U_and_CX(self):
+        src = HEADER + "qreg q[2];\nU(0.1, 0.2, 0.3) q[0];\nCX q[0], q[1];"
+        circ = parse_qasm(src)
+        assert circ[0].name == "u3"
+        assert circ[0].params == pytest.approx((0.1, 0.2, 0.3))
+        assert circ[1].name == "cx"
+
+    def test_parameter_expressions(self):
+        src = HEADER + "qreg q[1];\nu1(pi/2) q[0];\nu1(-pi/4 + 1) q[0];\nu1(2*pi^2) q[0];"
+        circ = parse_qasm(src)
+        assert circ[0].params[0] == pytest.approx(math.pi / 2)
+        assert circ[1].params[0] == pytest.approx(1 - math.pi / 4)
+        assert circ[2].params[0] == pytest.approx(2 * math.pi**2)
+
+    def test_function_calls_in_params(self):
+        src = HEADER + "qreg q[1];\nrz(sin(pi/2)) q[0];\nrz(sqrt(4)) q[0];"
+        circ = parse_qasm(src)
+        assert circ[0].params[0] == pytest.approx(1.0)
+        assert circ[1].params[0] == pytest.approx(2.0)
+
+    def test_register_broadcast_1q(self):
+        circ = parse_qasm(HEADER + "qreg q[3];\nh q;")
+        assert circ.gate_counts() == {"h": 3}
+
+    def test_register_broadcast_mixed(self):
+        circ = parse_qasm(HEADER + "qreg q[3]; qreg a[1];\ncx q, a[0];")
+        assert [g.qubits for g in circ] == [(0, 3), (1, 3), (2, 3)]
+
+    def test_mismatched_broadcast_rejected(self):
+        with pytest.raises(QasmError, match="mismatched register sizes"):
+            parse_qasm(HEADER + "qreg q[3]; qreg r[2];\ncx q, r;")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(QasmError, match="out of range"):
+            parse_qasm(HEADER + "qreg q[2];\nh q[5];")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmError, match="unknown gate"):
+            parse_qasm(HEADER + "qreg q[1];\nwibble q[0];")
+
+    def test_undeclared_register_rejected(self):
+        with pytest.raises(QasmError, match="undeclared qreg"):
+            parse_qasm(HEADER + "qreg q[1];\nh r[0];")
+
+    def test_duplicate_operand_error_carries_position(self):
+        with pytest.raises(QasmError, match="line 4"):
+            parse_qasm(HEADER + "qreg q[2];\ncx q[0], q[0];")
+
+
+class TestMeasureBarrierReset:
+    def test_measure_register_broadcast(self):
+        circ = parse_qasm(
+            HEADER + "qreg q[3]; creg c[3];\nmeasure q -> c;"
+        )
+        assert circ.gate_counts() == {"measure": 3}
+        assert [g.clbit for g in circ] == [0, 1, 2]
+
+    def test_measure_size_mismatch(self):
+        with pytest.raises(QasmError, match="size mismatch"):
+            parse_qasm(HEADER + "qreg q[3]; creg c[2];\nmeasure q -> c;")
+
+    def test_barrier_multiple_args(self):
+        circ = parse_qasm(HEADER + "qreg q[4];\nbarrier q[0], q[2];")
+        assert circ[0].qubits == (0, 2)
+
+    def test_barrier_register(self):
+        circ = parse_qasm(HEADER + "qreg q[3];\nbarrier q;")
+        assert circ[0].qubits == (0, 1, 2)
+
+    def test_reset(self):
+        circ = parse_qasm(HEADER + "qreg q[2];\nreset q[1];")
+        assert circ[0].name == "reset"
+
+    def test_if_rejected(self):
+        with pytest.raises(QasmError, match="not supported"):
+            parse_qasm(
+                HEADER + "qreg q[1]; creg c[1];\nif (c==1) x q[0];"
+            )
+
+
+class TestGateDefinitions:
+    def test_user_macro_expanded(self):
+        src = HEADER + (
+            "qreg q[2];\n"
+            "gate entangle a, b { h a; cx a, b; }\n"
+            "entangle q[0], q[1];"
+        )
+        circ = parse_qasm(src)
+        assert [g.name for g in circ] == ["h", "cx"]
+
+    def test_parameterised_macro(self):
+        src = HEADER + (
+            "qreg q[1];\n"
+            "gate tilt(theta) a { rz(theta/2) a; }\n"
+            "tilt(pi) q[0];"
+        )
+        circ = parse_qasm(src)
+        assert circ[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_nested_macros(self):
+        src = HEADER + (
+            "qreg q[2];\n"
+            "gate inner a { h a; }\n"
+            "gate outer a, b { inner a; cx a, b; inner b; }\n"
+            "outer q[0], q[1];"
+        )
+        circ = parse_qasm(src)
+        assert [g.name for g in circ] == ["h", "cx", "h"]
+
+    def test_builtin_cu3_macro(self):
+        src = HEADER + "qreg q[2];\ncu3(0.3, 0.2, 0.1) q[0], q[1];"
+        circ = parse_qasm(src)
+        assert circ.num_gates == 6  # qelib1 cu3 expansion
+
+    def test_macro_wrong_arity(self):
+        src = HEADER + (
+            "qreg q[2];\ngate g2 a, b { cx a, b; }\ng2 q[0];"
+        )
+        with pytest.raises(QasmError, match="expects 2 qubit"):
+            parse_qasm(src)
+
+    def test_macro_wrong_params(self):
+        src = HEADER + (
+            "qreg q[1];\ngate rot(t) a { rz(t) a; }\nrot q[0];"
+        )
+        with pytest.raises(QasmError, match="parameter"):
+            parse_qasm(src)
+
+    def test_opaque_call_rejected(self):
+        src = HEADER + "qreg q[1];\nopaque mystery a;\nmystery q[0];"
+        with pytest.raises(QasmError, match="opaque"):
+            parse_qasm(src)
+
+    def test_macro_semantics_match_inline(self):
+        src_macro = HEADER + (
+            "qreg q[2];\n"
+            "gate br a, b { cx a, b; cx b, a; }\n"
+            "h q[0];\nbr q[0], q[1];"
+        )
+        src_inline = HEADER + (
+            "qreg q[2];\nh q[0];\ncx q[0], q[1];\ncx q[1], q[0];"
+        )
+        assert statevector_equivalent(
+            parse_qasm(src_macro).without_directives(),
+            parse_qasm(src_inline).without_directives(),
+        )

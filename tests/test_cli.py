@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.hardware import ibm_q20_tokyo
+from repro.qasm import parse_qasm_file
+from repro.verify import is_hardware_compliant
+
+QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+h q[0];
+cx q[0], q[4];
+cx q[1], q[3];
+ccx q[0], q[2], q[4];
+measure q -> c;
+"""
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    path = tmp_path / "input.qasm"
+    path.write_text(QASM)
+    return str(path)
+
+
+class TestMapCommand:
+    def test_map_to_file(self, qasm_file, tmp_path, capsys):
+        out = str(tmp_path / "mapped.qasm")
+        code = main(["map", qasm_file, "-o", out, "--trials", "2"])
+        assert code == 0
+        assert os.path.exists(out)
+        mapped = parse_qasm_file(out)
+        assert is_hardware_compliant(mapped, ibm_q20_tokyo())
+
+    def test_map_to_stdout(self, qasm_file, capsys):
+        code = main(["map", qasm_file, "--trials", "1"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "OPENQASM 2.0;" in captured.out
+        assert "circuit" in captured.err  # summary on stderr
+
+    def test_map_keep_swaps(self, qasm_file, capsys):
+        code = main(["map", qasm_file, "--trials", "1", "--keep-swaps"])
+        assert code == 0
+
+    def test_map_with_optimize(self, qasm_file, capsys):
+        code = main(["map", qasm_file, "--trials", "1", "--optimize"])
+        assert code == 0
+        assert "post-optimize" in capsys.readouterr().err
+
+    def test_map_heuristic_flags(self, qasm_file, capsys):
+        code = main(
+            [
+                "map",
+                qasm_file,
+                "--trials",
+                "1",
+                "--heuristic",
+                "lookahead",
+                "--delta",
+                "0.01",
+                "--extended-set",
+                "10",
+                "--weight",
+                "0.3",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_device_rejected(self, qasm_file):
+        with pytest.raises(SystemExit):
+            main(["map", qasm_file, "--device", "ibm_q1000"])
+
+
+class TestOtherCommands:
+    def test_devices_listing(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "ibm_q20_tokyo" in out
+        assert "symmetric" in out
+        assert "directed" in out
+
+    def test_draw_circuit(self, qasm_file, capsys):
+        assert main(["draw", qasm_file]) == 0
+        out = capsys.readouterr().out
+        assert "q0" in out and "●" in out
+
+    def test_draw_device(self, capsys):
+        assert main(["draw", "--device", "ibm_qx2"]) == 0
+        assert "ibm_qx2" in capsys.readouterr().out
+
+    def test_draw_without_input_fails(self, capsys):
+        assert main(["draw"]) == 2
+
+    def test_forwarded_scaling_command(self, capsys):
+        code = main(
+            [
+                "scaling",
+                "--family",
+                "qft",
+                "--sizes",
+                "4",
+                "--bka-max-nodes",
+                "20000",
+            ]
+        )
+        assert code == 0
+        assert "Scalability" in capsys.readouterr().out
+
+    def test_forwarded_fig8_command(self, capsys):
+        code = main(
+            ["fig8", "--names", "qft_10", "--deltas", "0.0", "--trials", "1"]
+        )
+        assert code == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

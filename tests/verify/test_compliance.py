@@ -1,0 +1,99 @@
+"""Unit tests for the hardware-compliance checker."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import VerificationError
+from repro.hardware import ibm_qx2, line_device
+from repro.verify import (
+    assert_compliant,
+    compliance_violations,
+    is_hardware_compliant,
+)
+
+
+class TestCompliance:
+    def test_compliant_circuit(self, line5):
+        circ = QuantumCircuit(5)
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.cx(3, 4)
+        assert is_hardware_compliant(circ, line5)
+        assert compliance_violations(circ, line5) == []
+
+    def test_uncoupled_gate_flagged(self, line5):
+        circ = QuantumCircuit(5)
+        circ.cx(0, 4)
+        violations = compliance_violations(circ, line5)
+        assert len(violations) == 1
+        assert violations[0][0] == 0
+        assert violations[0][1].qubits == (0, 4)
+
+    def test_one_qubit_gates_always_ok(self, line5):
+        circ = QuantumCircuit(5)
+        for q in range(5):
+            circ.h(q)
+        assert is_hardware_compliant(circ, line5)
+
+    def test_directives_always_ok(self, line5):
+        circ = QuantumCircuit(5)
+        circ.barrier()
+        circ.measure(0)
+        assert is_hardware_compliant(circ, line5)
+
+    def test_three_qubit_gate_always_violation(self, line5):
+        circ = QuantumCircuit(3)
+        circ.ccx(0, 1, 2)
+        assert not is_hardware_compliant(circ, line5)
+
+    def test_violation_positions_reported(self, line5):
+        circ = QuantumCircuit(5)
+        circ.cx(0, 1)   # ok
+        circ.cx(0, 2)   # bad
+        circ.cx(1, 4)   # bad
+        positions = [pos for pos, _ in compliance_violations(circ, line5)]
+        assert positions == [1, 2]
+
+    def test_assert_compliant_passes(self, line5):
+        circ = QuantumCircuit(5)
+        circ.cx(1, 2)
+        assert_compliant(circ, line5)  # no raise
+
+    def test_assert_compliant_raises_with_details(self, line5):
+        circ = QuantumCircuit(5)
+        circ.cx(0, 3)
+        with pytest.raises(VerificationError, match="coupling violation"):
+            assert_compliant(circ, line5)
+
+    def test_assert_compliant_truncates_long_lists(self, line5):
+        circ = QuantumCircuit(5)
+        for _ in range(10):
+            circ.cx(0, 3)
+        with pytest.raises(VerificationError, match=r"\+5 more"):
+            assert_compliant(circ, line5)
+
+
+class TestDirectionCompliance:
+    def test_direction_ignored_by_default(self):
+        dev = ibm_qx2()
+        circ = QuantumCircuit(5)
+        circ.cx(1, 0)  # reversed direction
+        assert is_hardware_compliant(circ, dev)
+
+    def test_direction_checked_when_asked(self):
+        dev = ibm_qx2()
+        circ = QuantumCircuit(5)
+        circ.cx(1, 0)
+        assert not is_hardware_compliant(circ, dev, check_direction=True)
+
+    def test_native_direction_accepted(self):
+        dev = ibm_qx2()
+        circ = QuantumCircuit(5)
+        circ.cx(0, 1)
+        assert is_hardware_compliant(circ, dev, check_direction=True)
+
+    def test_direction_check_ignores_non_cx(self):
+        dev = ibm_qx2()
+        circ = QuantumCircuit(5)
+        circ.cz(1, 0)
+        assert is_hardware_compliant(circ, dev, check_direction=True)

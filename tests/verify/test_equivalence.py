@@ -1,0 +1,140 @@
+"""Unit tests for structural equivalence checking."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.core import Layout
+from repro.exceptions import VerificationError
+from repro.verify import (
+    assert_equivalent,
+    extract_logical_circuit,
+    structurally_equivalent,
+    wires_signature,
+)
+
+
+class TestWiresSignature:
+    def test_signature_shape(self):
+        circ = QuantumCircuit(3)
+        circ.h(0)
+        circ.cx(0, 1)
+        sig = wires_signature(circ)
+        assert len(sig[0]) == 2
+        assert len(sig[1]) == 1
+        assert sig[2] == []
+
+    def test_directives_included(self):
+        circ = QuantumCircuit(2)
+        circ.measure(0)
+        assert len(wires_signature(circ)[0]) == 1
+
+
+class TestStructuralEquivalence:
+    def test_identical_circuits(self):
+        a = QuantumCircuit(2)
+        a.cx(0, 1)
+        assert structurally_equivalent(a, a.copy())
+
+    def test_commuting_disjoint_gates_equal(self):
+        a = QuantumCircuit(4)
+        a.cx(0, 1)
+        a.cx(2, 3)
+        b = QuantumCircuit(4)
+        b.cx(2, 3)
+        b.cx(0, 1)
+        assert structurally_equivalent(a, b)
+
+    def test_reordered_dependent_gates_not_equal(self):
+        a = QuantumCircuit(3)
+        a.cx(0, 1)
+        a.cx(1, 2)
+        b = QuantumCircuit(3)
+        b.cx(1, 2)
+        b.cx(0, 1)
+        assert not structurally_equivalent(a, b)
+
+    def test_different_width_not_equal(self):
+        assert not structurally_equivalent(QuantumCircuit(2), QuantumCircuit(3))
+
+    def test_param_mismatch_not_equal(self):
+        a = QuantumCircuit(1)
+        a.rz(0.5, 0)
+        b = QuantumCircuit(1)
+        b.rz(0.6, 0)
+        assert not structurally_equivalent(a, b)
+
+
+class TestExtractLogicalCircuit:
+    def test_identity_layout_no_swaps(self):
+        routed = QuantumCircuit(4)
+        routed.cx(0, 1)
+        logical = extract_logical_circuit(routed, Layout.trivial(4), 2)
+        assert logical[0].qubits == (0, 1)
+
+    def test_swaps_update_mapping_and_vanish(self):
+        routed = QuantumCircuit(3)
+        routed.append(Gate("swap", (0, 1)))
+        routed.cx(1, 2)  # after the swap, physical 1 holds logical 0
+        logical = extract_logical_circuit(routed, Layout.trivial(3), 3)
+        assert logical.num_gates == 1
+        assert logical[0].qubits == (0, 2)
+
+    def test_nontrivial_initial_layout(self):
+        routed = QuantumCircuit(3)
+        routed.cx(2, 0)
+        layout = Layout([2, 0, 1])  # logical 0 on physical 2, 2 on 1
+        logical = extract_logical_circuit(routed, layout, 3)
+        assert logical[0].qubits == (0, 1)
+
+    def test_gate_on_padding_ancilla_rejected(self):
+        routed = QuantumCircuit(4)
+        routed.cx(3, 0)  # physical 3 holds padding (only 2 logical)
+        with pytest.raises(VerificationError, match="padding ancilla"):
+            extract_logical_circuit(routed, Layout.trivial(4), 2)
+
+    def test_explicit_swap_positions(self):
+        """When the original contains real SWAP gates, positions
+        disambiguate inserted ones."""
+        routed = QuantumCircuit(2)
+        routed.append(Gate("swap", (0, 1)))  # real gate, NOT inserted
+        logical = extract_logical_circuit(
+            routed, Layout.trivial(2), 2, swap_positions=[]
+        )
+        assert logical.num_gates == 1
+        assert logical[0].name == "swap"
+
+
+class TestAssertEquivalent:
+    def test_valid_routing_passes(self):
+        original = QuantumCircuit(3)
+        original.cx(0, 2)
+        routed = QuantumCircuit(3)
+        routed.append(Gate("swap", (0, 1)))
+        routed.cx(1, 2)
+        assert_equivalent(original, routed, Layout.trivial(3))
+
+    def test_missing_gate_detected(self):
+        original = QuantumCircuit(2)
+        original.cx(0, 1)
+        original.cx(0, 1)
+        routed = QuantumCircuit(2)
+        routed.cx(0, 1)
+        with pytest.raises(VerificationError, match="length mismatch"):
+            assert_equivalent(original, routed, Layout.trivial(2))
+
+    def test_wrong_gate_detected(self):
+        original = QuantumCircuit(2)
+        original.cx(0, 1)
+        routed = QuantumCircuit(2)
+        routed.cx(1, 0)
+        with pytest.raises(VerificationError, match="diverges"):
+            assert_equivalent(original, routed, Layout.trivial(2))
+
+    def test_divergence_reports_wire(self):
+        original = QuantumCircuit(2)
+        original.t(0)
+        routed = QuantumCircuit(2)
+        routed.s(0)
+        with pytest.raises(VerificationError, match="wire 0"):
+            assert_equivalent(original, routed, Layout.trivial(2))

@@ -1,0 +1,206 @@
+"""Unit tests for the state-vector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.gates import GATE_SPECS, Gate
+from repro.core import Layout
+from repro.exceptions import VerificationError
+from repro.verify import (
+    Statevector,
+    routed_statevector_equivalent,
+    simulate,
+    statevector_equivalent,
+)
+from repro.verify.statevector import gate_matrix
+
+
+class TestStatevectorBasics:
+    def test_initial_state_all_zero(self):
+        state = Statevector(2)
+        amps = state.amplitudes()
+        assert amps[0] == 1.0
+        assert np.allclose(amps[1:], 0.0)
+
+    def test_too_many_qubits_refused(self):
+        with pytest.raises(VerificationError, match="refusing"):
+            Statevector(25)
+
+    def test_zero_qubits_refused(self):
+        with pytest.raises(VerificationError):
+            Statevector(0)
+
+    def test_explicit_data_normalised_shape(self):
+        state = Statevector(1, [0.0, 1.0])
+        assert state.amplitudes()[1] == 1.0
+
+    def test_wrong_data_size_rejected(self):
+        with pytest.raises(VerificationError, match="amplitudes"):
+            Statevector(2, [1.0, 0.0])
+
+    def test_random_state_normalised(self):
+        state = Statevector.random(4, seed=0)
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_random_deterministic(self):
+        a = Statevector.random(3, seed=5)
+        b = Statevector.random(3, seed=5)
+        assert a.fidelity(b) == pytest.approx(1.0)
+
+
+class TestGateApplication:
+    def test_x_flips(self):
+        circ = QuantumCircuit(1)
+        circ.x(0)
+        assert simulate(circ).probabilities()[1] == pytest.approx(1.0)
+
+    def test_h_superposition(self):
+        circ = QuantumCircuit(1)
+        circ.h(0)
+        probs = simulate(circ).probabilities()
+        assert probs == pytest.approx([0.5, 0.5])
+
+    def test_bell_state(self):
+        circ = QuantumCircuit(2)
+        circ.h(0)
+        circ.cx(0, 1)
+        probs = simulate(circ).probabilities()
+        assert probs == pytest.approx([0.5, 0.0, 0.0, 0.5])
+
+    def test_qubit0_most_significant(self):
+        circ = QuantumCircuit(2)
+        circ.x(0)  # |10>
+        probs = simulate(circ).probabilities()
+        assert probs[2] == pytest.approx(1.0)
+
+    def test_cx_control_target_order(self):
+        circ = QuantumCircuit(2)
+        circ.x(1)       # set target... |01>
+        circ.cx(1, 0)   # control=1 fires, flips qubit 0 -> |11>
+        probs = simulate(circ).probabilities()
+        assert probs[3] == pytest.approx(1.0)
+
+    def test_directives_ignored(self):
+        circ = QuantumCircuit(1)
+        circ.h(0)
+        circ.barrier()
+        circ.measure(0)
+        assert simulate(circ).norm() == pytest.approx(1.0)
+
+    def test_swap_gate(self):
+        circ = QuantumCircuit(2)
+        circ.x(0)
+        circ.swap(0, 1)
+        probs = simulate(circ).probabilities()
+        assert probs[1] == pytest.approx(1.0)  # |01>
+
+    def test_toffoli_truth_table(self):
+        circ = QuantumCircuit(3)
+        circ.x(0)
+        circ.x(1)
+        circ.ccx(0, 1, 2)
+        probs = simulate(circ).probabilities()
+        assert probs[0b111] == pytest.approx(1.0)
+
+    def test_width_mismatch_rejected(self):
+        state = Statevector(2)
+        with pytest.raises(VerificationError):
+            state.apply_circuit(QuantumCircuit(3))
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            n
+            for n, spec in GATE_SPECS.items()
+            if not spec.directive
+        ],
+    )
+    def test_all_matrices_unitary(self, name):
+        spec = GATE_SPECS[name]
+        params = tuple(0.3 * (i + 1) for i in range(spec.num_params))
+        gate = Gate(name, tuple(range(spec.num_qubits)), params)
+        matrix = gate_matrix(gate)
+        identity = matrix @ matrix.conj().T
+        assert np.allclose(identity, np.eye(matrix.shape[0]), atol=1e-12)
+
+    def test_directive_has_no_matrix(self):
+        with pytest.raises(VerificationError):
+            gate_matrix(Gate("measure", (0,)))
+
+    def test_inverse_matrices_multiply_to_identity(self):
+        for name in ("s", "t", "rz", "u3", "u2", "crz"):
+            spec = GATE_SPECS[name]
+            params = tuple(0.4 for _ in range(spec.num_params))
+            gate = Gate(name, tuple(range(spec.num_qubits)), params)
+            product = gate_matrix(gate) @ gate_matrix(gate.inverse())
+            assert np.allclose(
+                product, np.eye(product.shape[0]), atol=1e-12
+            ), name
+
+
+class TestEquivalenceProbes:
+    def test_equal_circuits_equivalent(self):
+        circ = QuantumCircuit(3)
+        circ.h(0)
+        circ.cx(0, 2)
+        assert statevector_equivalent(circ, circ.copy())
+
+    def test_global_phase_ignored(self):
+        a = QuantumCircuit(1)
+        a.z(0)
+        b = QuantumCircuit(1)
+        b.u1(math.pi, 0)  # Z up to global phase
+        assert statevector_equivalent(a, b)
+
+    def test_different_circuits_rejected(self):
+        a = QuantumCircuit(2)
+        a.cx(0, 1)
+        b = QuantumCircuit(2)
+        b.cx(1, 0)
+        assert not statevector_equivalent(a, b)
+
+    def test_width_mismatch(self):
+        assert not statevector_equivalent(QuantumCircuit(1), QuantumCircuit(2))
+
+    def test_permuted_axes(self):
+        circ = QuantumCircuit(2)
+        circ.x(0)
+        state = simulate(circ)           # |10>
+        swapped = state.permuted([1, 0])  # -> |01>
+        assert swapped.probabilities()[1] == pytest.approx(1.0)
+
+    def test_permuted_rejects_non_permutation(self):
+        with pytest.raises(VerificationError):
+            Statevector(2).permuted([0, 0])
+
+
+class TestRoutedEquivalence:
+    def test_hand_routed_example(self):
+        original = QuantumCircuit(3)
+        original.h(0)
+        original.cx(0, 2)
+        routed = QuantumCircuit(3)
+        routed.h(0)
+        routed.append(Gate("swap", (0, 1)))
+        routed.cx(1, 2)
+        initial = Layout.trivial(3)
+        final = initial.compose_swaps([(0, 1)])
+        assert routed_statevector_equivalent(original, routed, initial, final)
+
+    def test_wrong_final_layout_detected(self):
+        original = QuantumCircuit(3)
+        original.h(0)
+        original.cx(0, 2)
+        routed = QuantumCircuit(3)
+        routed.h(0)
+        routed.append(Gate("swap", (0, 1)))
+        routed.cx(1, 2)
+        initial = Layout.trivial(3)
+        assert not routed_statevector_equivalent(
+            original, routed, initial, initial
+        )
