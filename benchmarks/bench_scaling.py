@@ -11,6 +11,8 @@ Run::
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.baselines import AStarMapper
@@ -21,6 +23,19 @@ from repro.exceptions import SearchExhausted
 QFT_SIZES = [4, 8, 12, 16, 20]
 BKA_SIZES = [4, 6, 8, 10]  # beyond this the budget wall dominates
 
+#: Trial-engine knobs, same contract as bench_table2: unset keeps the
+#: paper's single-trial scaling configuration.
+BENCH_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "0")) or None
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def _sabre_kwargs(num_trials):
+    kwargs = {"seed": 0, "num_trials": BENCH_TRIALS or num_trials}
+    if BENCH_JOBS > 1:
+        kwargs["executor"] = "process"
+        kwargs["jobs"] = BENCH_JOBS
+    return kwargs
+
 
 @pytest.mark.parametrize("n", QFT_SIZES)
 def test_sabre_scaling_qft(benchmark, tokyo, tokyo_distance, n):
@@ -28,7 +43,7 @@ def test_sabre_scaling_qft(benchmark, tokyo, tokyo_distance, n):
     result = benchmark.pedantic(
         compile_circuit,
         args=(circuit, tokyo),
-        kwargs={"seed": 0, "num_trials": 1, "distance": tokyo_distance},
+        kwargs={**_sabre_kwargs(1), "distance": tokyo_distance},
         rounds=2,
         iterations=1,
     )
@@ -87,11 +102,10 @@ def test_sabre_handles_bka_oom_rows_fast(benchmark, tokyo, tokyo_distance):
 
     def run_both():
         a = compile_circuit(
-            ising_model(16), tokyo, seed=0, num_trials=1,
-            distance=tokyo_distance,
+            ising_model(16), tokyo, distance=tokyo_distance, **_sabre_kwargs(1)
         )
         b = compile_circuit(
-            qft(20), tokyo, seed=0, num_trials=1, distance=tokyo_distance
+            qft(20), tokyo, distance=tokyo_distance, **_sabre_kwargs(1)
         )
         return a, b
 

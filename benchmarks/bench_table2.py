@@ -9,9 +9,17 @@ pytest-benchmark report doubles as the reproduction table.  Run::
 
 The full 26-row table (including multi-minute BKA runs) is regenerated
 by ``python -m repro.analysis.table2 --full``.
+
+The SABRE rows honour the trial engine's environment knobs so the same
+harness measures other configurations without edits::
+
+    REPRO_BENCH_TRIALS=8 REPRO_BENCH_JOBS=4 \
+        pytest benchmarks/bench_table2.py --benchmark-only
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -27,6 +35,31 @@ QFT = [s.name for s in suite("qft")]
 # Large rows that keep bench wall-time reasonable; the biggest rows are
 # exercised by the analysis harness instead.
 LARGE_SUBSET = ["rd84_142", "adr4_197", "z4_268", "sym6_145"]
+
+#: Engine knobs (paper defaults when unset): trial count, process-pool
+#: width (>1 switches to the engine's process executor), and objective.
+BENCH_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "0")) or None
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+BENCH_OBJECTIVE = os.environ.get("REPRO_BENCH_OBJECTIVE", "g_add")
+
+
+#: Quality assertions below are calibrated for the paper's trial
+#: counts; an env override measures a different configuration, so only
+#: the configuration-independent invariants are asserted then.
+CALIBRATED = BENCH_TRIALS is None and BENCH_OBJECTIVE == "g_add"
+
+
+def _sabre_kwargs(num_trials):
+    """compile_circuit kwargs for one SABRE bench row, env overrides in."""
+    kwargs = {
+        "seed": 0,
+        "num_trials": BENCH_TRIALS or num_trials,
+        "objective": BENCH_OBJECTIVE,
+    }
+    if BENCH_JOBS > 1:
+        kwargs["executor"] = "process"
+        kwargs["jobs"] = BENCH_JOBS
+    return kwargs
 
 
 def _record(benchmark, spec, result):
@@ -52,14 +85,15 @@ def test_sabre_small(benchmark, tokyo, tokyo_distance, name):
     result = benchmark.pedantic(
         compile_circuit,
         args=(circuit, tokyo),
-        kwargs={"seed": 0, "num_trials": 5, "distance": tokyo_distance},
+        kwargs={**_sabre_kwargs(5), "distance": tokyo_distance},
         rounds=3,
         iterations=1,
     )
     _record(benchmark, spec, result)
     assert_compliant(result.physical_circuit(), tokyo)
     # Paper §V-A1: no or very few additional gates on the small suite.
-    assert result.added_gates <= max(spec.paper_sabre_added, 3)
+    if CALIBRATED:
+        assert result.added_gates <= max(spec.paper_sabre_added, 3)
 
 
 @pytest.mark.parametrize("name", SIM)
@@ -71,12 +105,13 @@ def test_sabre_ising(benchmark, tokyo, tokyo_distance, name):
     result = benchmark.pedantic(
         compile_circuit,
         args=(circuit, tokyo),
-        kwargs={"seed": 0, "num_trials": 5, "distance": tokyo_distance},
+        kwargs={**_sabre_kwargs(5), "distance": tokyo_distance},
         rounds=2,
         iterations=1,
     )
     _record(benchmark, spec, result)
-    assert result.added_gates <= 9
+    if CALIBRATED:
+        assert result.added_gates <= 9
 
 
 @pytest.mark.parametrize("name", QFT)
@@ -87,7 +122,7 @@ def test_sabre_qft(benchmark, tokyo, tokyo_distance, name):
     result = benchmark.pedantic(
         compile_circuit,
         args=(circuit, tokyo),
-        kwargs={"seed": 0, "num_trials": 5, "distance": tokyo_distance},
+        kwargs={**_sabre_kwargs(5), "distance": tokyo_distance},
         rounds=2,
         iterations=1,
     )
@@ -105,7 +140,7 @@ def test_sabre_large(benchmark, tokyo, tokyo_distance, name):
     result = benchmark.pedantic(
         compile_circuit,
         args=(circuit, tokyo),
-        kwargs={"seed": 0, "num_trials": 3, "distance": tokyo_distance},
+        kwargs={**_sabre_kwargs(3), "distance": tokyo_distance},
         rounds=1,
         iterations=1,
     )

@@ -59,6 +59,31 @@ def main() -> None:
     for line in qasm.splitlines()[:8]:
         print(" ", line)
 
+    # ------------------------------------------------------------------
+    # Multi-trial engine: best-of-K seeded compilations.
+    # ------------------------------------------------------------------
+    # SABRE's quality is seed-dependent; running more independently
+    # seeded trials and keeping the best is the production configuration
+    # (CLI: `python -m repro map circuit.qasm --trials 8 --jobs 4`).
+    # executor="process" fans the trials across worker processes; with
+    # objective= the winner can optimise depth instead of g_add.
+    best = compile_circuit(
+        circuit, device, seed=0, num_trials=8, executor="serial"
+    )
+    print(
+        f"\nbest-of-8 trials: g_add {result.added_gates} -> "
+        f"{best.added_gates} (per-trial swaps: {best.trial_swaps})"
+    )
+
+    # Whole-suite batching: compile_many fans (circuit, seed) jobs
+    # across processes and reports per-circuit winners with timing.
+    from repro import compile_many
+
+    batch = compile_many(
+        [circuit, build_demo_circuit()], device, num_trials=4, jobs=2
+    )
+    print("\n".join(batch.summary_lines()))
+
 
 if __name__ == "__main__":
     main()

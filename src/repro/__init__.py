@@ -22,6 +22,12 @@ Q20 Tokyo of paper Fig. 2), an A*-search baseline (Zulehner et al., the
 paper's comparison point), a state-vector simulator for equivalence
 checking, the paper's benchmark circuit families, and harnesses that
 regenerate Table II and Figure 8.
+
+Beyond the paper, :mod:`repro.engine` adds a production-style
+multi-trial engine: best-of-K seeded trials (serial or process-pool via
+``compile_circuit(..., num_trials=8, executor="process", jobs=4)``),
+whole-suite batching (:func:`compile_many`), and a fingerprint-keyed
+cache that computes each device's distance matrix once per process.
 """
 
 from repro.circuits import (
@@ -52,6 +58,14 @@ from repro.hardware import (
     grid_device,
     random_device,
 )
+from repro.engine import (
+    BatchReport,
+    CircuitReport,
+    TrialsOutcome,
+    compile_many,
+    get_distance_matrix,
+    run_trials,
+)
 from repro.exceptions import (
     ReproError,
     CircuitError,
@@ -79,6 +93,12 @@ __all__ = [
     "SabreLayout",
     "MappingResult",
     "compile_circuit",
+    "BatchReport",
+    "CircuitReport",
+    "TrialsOutcome",
+    "compile_many",
+    "get_distance_matrix",
+    "run_trials",
     "CouplingGraph",
     "NoiseModel",
     "distance_matrix",

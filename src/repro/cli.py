@@ -13,6 +13,10 @@ Commands:
 Example::
 
     python -m repro map circuit.qasm --device ibm_q20_tokyo -o mapped.qasm
+
+``map`` fronts the multi-trial engine (:mod:`repro.engine`): ``--trials``
+sets the best-of-K seed pool, ``--jobs`` fans trials across worker
+processes, and ``--objective`` picks the winner metric.
 """
 
 from __future__ import annotations
@@ -43,6 +47,9 @@ def _cmd_map(args: argparse.Namespace) -> int:
         extended_set_size=args.extended_set,
         extended_set_weight=args.weight,
     )
+    # compile_circuit upgrades executor=None to the serial engine when a
+    # non-default objective needs it; the CLI only decides pool width.
+    executor = "process" if args.jobs > 1 else None
     result = compile_circuit(
         circuit,
         device,
@@ -50,6 +57,9 @@ def _cmd_map(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_trials=args.trials,
         num_traversals=args.traversals,
+        objective=args.objective,
+        executor=executor,
+        jobs=args.jobs,
     )
     physical = result.physical_circuit(decompose_swaps=not args.keep_swaps)
     if args.optimize:
@@ -109,7 +119,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     map_p.add_argument("-o", "--output", help="output QASM path (default stdout)")
     map_p.add_argument("--seed", type=int, default=0)
-    map_p.add_argument("--trials", type=int, default=5)
+    map_p.add_argument(
+        "--trials",
+        type=int,
+        default=5,
+        help="independently seeded compilation trials; best kept",
+    )
+    map_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the trials (>1 enables the process "
+        "pool executor of repro.engine)",
+    )
+    map_p.add_argument(
+        "--objective",
+        default="g_add",
+        choices=("g_add", "depth", "weighted"),
+        help="trial-winner selection metric (default: paper's g_add)",
+    )
     map_p.add_argument("--traversals", type=int, default=3)
     map_p.add_argument(
         "--heuristic", default="decay", choices=("basic", "lookahead", "decay")

@@ -126,7 +126,15 @@ class SabreLayout:
             for traversal in range(self.num_traversals):
                 forward = traversal % 2 == 0
                 target = circuit if forward else reverse
-                result = self.router.run(target, initial_layout=layout)
+                # Per-trial tie-break seed: restarts previously shared
+                # the router's base seed, so every trial replayed the
+                # same tie-break sequence and differed only in its
+                # initial mapping — and concurrent trials would have
+                # raced on one stream.  Seeding each run by the trial
+                # keeps trials statistically independent.
+                result = self.router.run(
+                    target, initial_layout=layout, seed=trial_seed
+                )
                 layout = result.final_layout
                 if traversal == 0:
                     first_pass_swaps = result.num_swaps

@@ -4,6 +4,20 @@ Ties the pipeline together the way the paper's evaluation ran it:
 basis decomposition -> (optional) reverse-traversal layout search ->
 SWAP-based routing -> metrics.  Everything is deterministic given
 ``seed``.
+
+Two execution paths share this front door:
+
+- the **direct path** (``executor=None``): the paper's configuration —
+  one :class:`~repro.core.bidirectional.SabreLayout` search whose
+  random restarts run in-process;
+- the **engine path** (``executor="serial"``/``"process"``): each trial
+  is an independent fully seeded compilation dispatched through
+  :mod:`repro.engine.trials`, ranked by a configurable ``objective``.
+  ``"process"`` fans trials across a worker pool.
+
+Either way the device's distance matrix is resolved through the engine
+cache (:mod:`repro.engine.cache`), so repeated calls against one device
+pay the O(N^3) Floyd-Warshall preprocessing once per process.
 """
 
 from __future__ import annotations
@@ -20,7 +34,6 @@ from repro.core.result import MappingResult
 from repro.core.router import SabreRouter
 from repro.exceptions import MappingError
 from repro.hardware.coupling import CouplingGraph
-from repro.hardware.distance import distance_matrix
 
 
 def _needs_decomposition(circuit: QuantumCircuit) -> bool:
@@ -41,6 +54,9 @@ def compile_circuit(
     num_traversals: int = 3,
     initial_layout: Optional[Layout] = None,
     distance: Optional[Sequence[Sequence[float]]] = None,
+    objective: str = "g_add",
+    executor: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> MappingResult:
     """Map ``circuit`` onto ``coupling`` with SABRE.
 
@@ -57,7 +73,15 @@ def compile_circuit(
             traversal (the paper's ``g_la`` configuration).
         initial_layout: skip the layout search and route once from this
             mapping (useful for controlled experiments).
-        distance: optional precomputed distance matrix for the device.
+        distance: optional precomputed distance matrix for the device
+            (resolved through the engine cache when omitted).
+        objective: winner-selection metric for the engine path —
+            ``"g_add"`` (paper default), ``"depth"``, or ``"weighted"``.
+        executor: ``None`` (direct in-process search), ``"serial"``
+            (engine path, in-process), or ``"process"`` (engine path,
+            trials fanned across a worker pool).  A non-default
+            ``objective`` implies at least the serial engine path.
+        jobs: worker count for ``executor="process"``.
 
     Returns:
         A :class:`~repro.core.result.MappingResult`; its
@@ -75,7 +99,9 @@ def compile_circuit(
         decompose_to_cx_basis(circuit) if _needs_decomposition(circuit) else circuit
     )
     if distance is None:
-        distance = distance_matrix(coupling)
+        from repro.engine.cache import get_distance_matrix
+
+        distance = get_distance_matrix(coupling)
 
     start = time.perf_counter()
     if initial_layout is not None:
@@ -99,6 +125,26 @@ def compile_circuit(
             num_traversals=1,
         )
 
+    if executor is None and objective != "g_add" and num_trials > 1:
+        # A non-default objective needs the engine's winner selection;
+        # the direct path only ranks by (swaps, depth).
+        executor = "serial"
+    if executor is not None:
+        return _compile_via_engine(
+            circuit,
+            working,
+            coupling,
+            config=config,
+            seed=seed,
+            num_trials=num_trials,
+            num_traversals=num_traversals,
+            distance=distance,
+            objective=objective,
+            executor=executor,
+            jobs=jobs,
+            start=start,
+        )
+
     searcher = SabreLayout(
         coupling,
         config=config,
@@ -120,6 +166,52 @@ def compile_circuit(
         runtime_seconds=elapsed,
         first_pass_swaps=best.best_first_pass_swaps,
         trial_swaps=[t.final_swaps for t in best.trials],
+        num_trials=num_trials,
+        num_traversals=num_traversals,
+    )
+
+
+def _compile_via_engine(
+    circuit: QuantumCircuit,
+    working: QuantumCircuit,
+    coupling: CouplingGraph,
+    config: Optional[HeuristicConfig],
+    seed: int,
+    num_trials: int,
+    num_traversals: int,
+    distance: Sequence[Sequence[float]],
+    objective: str,
+    executor: str,
+    jobs: Optional[int],
+    start: float,
+) -> MappingResult:
+    """Best-of-K independently seeded trials via :mod:`repro.engine`."""
+    from dataclasses import replace
+
+    from repro.engine.trials import run_trials
+
+    outcome = run_trials(
+        working,
+        coupling,
+        seeds=[seed + t for t in range(num_trials)],
+        config=config,
+        num_traversals=num_traversals,
+        objective=objective,
+        executor=executor,
+        jobs=jobs,
+        distance=distance,
+    )
+    winner = outcome.best_result
+    return replace(
+        winner,
+        name=circuit.name,
+        runtime_seconds=time.perf_counter() - start,
+        first_pass_swaps=min(
+            (t.result.first_pass_swaps for t in outcome.trials
+             if t.result.first_pass_swaps is not None),
+            default=winner.first_pass_swaps,
+        ),
+        trial_swaps=outcome.trial_swaps,
         num_trials=num_trials,
         num_traversals=num_traversals,
     )

@@ -122,7 +122,10 @@ class SabreRouter:
     # ------------------------------------------------------------------
 
     def run(
-        self, circuit: QuantumCircuit, initial_layout: Optional[Layout] = None
+        self,
+        circuit: QuantumCircuit,
+        initial_layout: Optional[Layout] = None,
+        seed: Optional[int] = None,
     ) -> RoutingResult:
         """Route ``circuit`` onto the device from ``initial_layout``.
 
@@ -130,6 +133,12 @@ class SabreRouter:
         front door handles decomposition).  Returns a
         :class:`RoutingResult`; ``result.circuit`` is guaranteed
         hardware-compliant.
+
+        ``seed`` overrides the constructor's tie-break seed for this
+        run only.  Every run builds a private ``random.Random`` from
+        the effective seed — no RNG state is shared between runs, so
+        concurrent trials routing through one router instance stay
+        independent and deterministic.
         """
         n_physical = self.coupling.num_qubits
         if circuit.num_qubits > n_physical:
@@ -149,7 +158,7 @@ class SabreRouter:
             raise MappingError(
                 f"layout covers {layout.num_qubits} qubits, device has {n_physical}"
             )
-        rng = random.Random(self.seed)
+        rng = random.Random(self.seed if seed is None else seed)
         dag = CircuitDag(circuit)
         frontier = DagFrontier(dag)
         decay = DecayTracker(

@@ -1,0 +1,63 @@
+"""Multi-trial, batch-capable compilation engine.
+
+The paper evaluates SABRE one circuit and one seed at a time; a
+production mapping service runs *many* seeded trials per circuit (the
+result quality is seed-dependent), compiles whole suites at once, and
+must not recompute per-device preprocessing on every call.  This
+package supplies those three layers:
+
+- :mod:`repro.engine.cache` — process-local memoisation of distance
+  matrices and device objects, keyed on a structural fingerprint of the
+  coupling graph.
+- :mod:`repro.engine.trials` — best-of-K seeded trials with a
+  configurable objective, under a serial or process-pool executor.
+- :mod:`repro.engine.batch` — ``compile_many``: fan a whole suite's
+  (circuit, seed) jobs across workers and reduce to per-circuit
+  winners.
+
+``repro.core.compiler.compile_circuit`` fronts the trial engine via its
+``executor``/``objective``/``jobs`` options; the CLI exposes them as
+``--trials``, ``--jobs``, and ``--objective``.
+"""
+
+from repro.engine.cache import (
+    CacheInfo,
+    DeviceCache,
+    GLOBAL_CACHE,
+    cache_info,
+    clear_cache,
+    coupling_fingerprint,
+    get_cached_device,
+    get_distance_matrix,
+)
+from repro.engine.trials import (
+    EXECUTORS,
+    OBJECTIVES,
+    TrialResult,
+    TrialsOutcome,
+    objective_value,
+    run_trials,
+    select_winner,
+)
+from repro.engine.batch import BatchReport, CircuitReport, compile_many
+
+__all__ = [
+    "CacheInfo",
+    "DeviceCache",
+    "GLOBAL_CACHE",
+    "cache_info",
+    "clear_cache",
+    "coupling_fingerprint",
+    "get_cached_device",
+    "get_distance_matrix",
+    "EXECUTORS",
+    "OBJECTIVES",
+    "TrialResult",
+    "TrialsOutcome",
+    "objective_value",
+    "run_trials",
+    "select_winner",
+    "BatchReport",
+    "CircuitReport",
+    "compile_many",
+]

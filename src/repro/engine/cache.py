@@ -1,0 +1,224 @@
+"""Memoised device-derived data: distance matrices and device objects.
+
+The paper's preprocessing step — the Floyd-Warshall all-pairs distance
+matrix ``D`` — costs ``O(N^3)`` per device.  A production service
+compiling millions of circuits against a handful of devices must not
+pay that cost per call, so the engine keys every derived artefact on a
+*structural fingerprint* of the coupling graph (qubit count, undirected
+edge set, direction set, edge weights, and APSP method) and computes it
+at most once per process.
+
+Safety properties:
+
+- **Thread-safe**: all cache state is guarded by a lock, so concurrent
+  compilation threads share one computation per device.
+- **Process-safe by construction**: worker processes each hold their
+  own cache instance, and the batch/trial executors compute the matrix
+  once in the parent and ship it to workers as an argument, so a pool
+  run performs the Floyd-Warshall exactly once (see
+  :mod:`repro.engine.batch`).
+- **Poison-proof**: matrices are stored as immutable tuples and
+  returned as fresh mutable copies; mutating a returned matrix can
+  never corrupt later reads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.devices import DEVICE_BUILDERS, get_device
+from repro.hardware.distance import (
+    bfs_distance_matrix,
+    distance_matrix,
+    weighted_floyd_warshall,
+)
+
+#: Cache key: (num_qubits, undirected edges, directed edges or None,
+#: sorted edge-weight items or None, APSP method).
+Fingerprint = Tuple[object, ...]
+
+Matrix = List[List[float]]
+
+
+def coupling_fingerprint(
+    coupling: CouplingGraph,
+    edge_weights: Optional[Dict[Tuple[int, int], float]] = None,
+    method: str = "floyd-warshall",
+) -> Fingerprint:
+    """Structural identity of a device for cache keying.
+
+    Two :class:`CouplingGraph` instances with the same qubit count,
+    edge set, and direction set fingerprint identically regardless of
+    object identity or ``name``, so a device rebuilt per request still
+    hits the cache.  Weighted (noise-aware) matrices key on the weight
+    table too, so unit and weighted matrices never collide.  Weight
+    keys are fingerprinted verbatim — ``weighted_floyd_warshall`` only
+    honours ``(low, high)`` keys, so a reversed key changes the
+    computed matrix and must change the fingerprint with it.
+    """
+    directed = getattr(coupling, "_directed", None)
+    weights_key = (
+        None
+        if edge_weights is None
+        else tuple(sorted((tuple(e), w) for e, w in edge_weights.items()))
+    )
+    return (
+        coupling.num_qubits,
+        tuple(coupling.edges),
+        None if directed is None else tuple(sorted(directed)),
+        weights_key,
+        method,
+    )
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Counters snapshot (``lru_cache``-style)."""
+
+    hits: int
+    misses: int
+    entries: int
+
+
+class DeviceCache:
+    """Process-local memo for distance matrices and named devices.
+
+    One instance (the module-level :data:`GLOBAL_CACHE`) backs the
+    whole engine; tests may construct private instances to assert
+    hit/miss behaviour in isolation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._matrices: Dict[Fingerprint, Tuple[Tuple[float, ...], ...]] = {}
+        self._devices: Dict[str, CouplingGraph] = {}
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Distance matrices
+    # ------------------------------------------------------------------
+
+    def distance_matrix(
+        self,
+        coupling: CouplingGraph,
+        edge_weights: Optional[Dict[Tuple[int, int], float]] = None,
+        method: str = "floyd-warshall",
+    ) -> Matrix:
+        """The device's ``D[][]``, computed at most once per fingerprint.
+
+        Returns a *fresh* list-of-lists copy on every call (hit or
+        miss); callers may mutate their copy freely.
+        """
+        key = coupling_fingerprint(coupling, edge_weights, method)
+        with self._lock:
+            frozen = self._matrices.get(key)
+            if frozen is not None:
+                self._hits += 1
+                return [list(row) for row in frozen]
+        # Compute outside the lock: Floyd-Warshall on a big device is
+        # exactly the work we must not serialise other devices behind.
+        computed = self._compute(coupling, edge_weights, method)
+        frozen = tuple(tuple(row) for row in computed)
+        with self._lock:
+            if key not in self._matrices:
+                self._matrices[key] = frozen
+                self._misses += 1
+            else:
+                # Lost a race with another thread; count as hit, keep
+                # the first-stored matrix (both are identical anyway).
+                self._hits += 1
+            return [list(row) for row in self._matrices[key]]
+
+    @staticmethod
+    def _compute(
+        coupling: CouplingGraph,
+        edge_weights: Optional[Dict[Tuple[int, int], float]],
+        method: str,
+    ) -> Matrix:
+        if edge_weights is not None:
+            return weighted_floyd_warshall(coupling, edge_weights)
+        if method == "bfs":
+            return bfs_distance_matrix(coupling)
+        return distance_matrix(coupling, method=method)
+
+    # ------------------------------------------------------------------
+    # Device objects
+    # ------------------------------------------------------------------
+
+    def device(
+        self, name: str, builder: Optional[Callable[[], CouplingGraph]] = None
+    ) -> CouplingGraph:
+        """A shared :class:`CouplingGraph` for a named device.
+
+        ``CouplingGraph`` exposes no mutating API, so handing every
+        caller the same instance is safe and keeps fingerprints (and
+        therefore downstream identity-keyed structures) stable.
+        """
+        with self._lock:
+            cached = self._devices.get(name)
+            if cached is not None:
+                self._hits += 1
+                return cached
+        built = builder() if builder is not None else get_device(name)
+        with self._lock:
+            if name not in self._devices:
+                self._devices[name] = built
+                self._misses += 1
+            else:
+                self._hits += 1
+            return self._devices[name]
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+
+    def cache_info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._matrices) + len(self._devices),
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._matrices.clear()
+            self._devices.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+#: Shared per-process cache used by the compiler front door and the
+#: trial/batch executors.
+GLOBAL_CACHE = DeviceCache()
+
+
+def get_distance_matrix(
+    coupling: CouplingGraph,
+    edge_weights: Optional[Dict[Tuple[int, int], float]] = None,
+    method: str = "floyd-warshall",
+) -> Matrix:
+    """Module-level convenience wrapper over :data:`GLOBAL_CACHE`."""
+    return GLOBAL_CACHE.distance_matrix(coupling, edge_weights, method)
+
+
+def get_cached_device(name: str) -> CouplingGraph:
+    """Named device lookup through the shared cache."""
+    if name not in DEVICE_BUILDERS:
+        # Delegate the error path (and its message) to the zoo.
+        return get_device(name)
+    return GLOBAL_CACHE.device(name)
+
+
+def cache_info() -> CacheInfo:
+    """Hit/miss counters of the shared cache."""
+    return GLOBAL_CACHE.cache_info()
+
+
+def clear_cache() -> None:
+    """Drop all shared cache entries and reset counters (test hook)."""
+    GLOBAL_CACHE.clear()

@@ -1,0 +1,232 @@
+"""Best-of-K seeded compilation trials (serial or process-parallel).
+
+SABRE's output quality is seed-dependent: the initial mapping is random
+and equal-score SWAPs tie-break randomly (paper §IV-A, §IV-C2).
+Production routers therefore run many independently seeded trials and
+keep the best — this module is that engine.  Each trial is a full
+bidirectional-traversal compilation from its own seed (initial mapping
+*and* tie-break stream), so trials are statistically independent and
+embarrassingly parallel.
+
+Determinism contract: given the same circuit, device, seed list,
+objective, and configuration, :func:`run_trials` returns the same
+winner under every executor.  Ties on the objective resolve to the
+earliest seed in the list.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.heuristic import HeuristicConfig
+from repro.core.result import MappingResult
+from repro.engine.cache import get_distance_matrix
+from repro.exceptions import ReproError
+from repro.hardware.coupling import CouplingGraph
+
+#: Executor names accepted by :func:`run_trials` / ``compile_many``.
+EXECUTORS = ("serial", "process")
+
+#: Depth weight of the ``weighted`` objective: ``g_add + W * d_out``.
+DEFAULT_DEPTH_WEIGHT = 0.5
+
+
+def _objective_g_add(result: MappingResult) -> float:
+    return float(result.added_gates)
+
+
+def _objective_depth(result: MappingResult) -> float:
+    return float(result.routed_depth)
+
+
+def _objective_weighted(result: MappingResult) -> float:
+    return float(result.added_gates) + DEFAULT_DEPTH_WEIGHT * float(
+        result.routed_depth
+    )
+
+
+#: Winner-selection objectives (lower is better).
+OBJECTIVES: Dict[str, Callable[[MappingResult], float]] = {
+    "g_add": _objective_g_add,
+    "depth": _objective_depth,
+    "weighted": _objective_weighted,
+}
+
+
+def objective_value(result: MappingResult, objective: str) -> float:
+    """Score ``result`` under a named objective (lower is better)."""
+    try:
+        return OBJECTIVES[objective](result)
+    except KeyError:
+        raise ReproError(
+            f"unknown objective {objective!r}; available: {sorted(OBJECTIVES)}"
+        ) from None
+
+
+@dataclass
+class TrialResult:
+    """One seeded compilation and its objective score."""
+
+    seed: int
+    result: MappingResult
+    value: float
+
+
+@dataclass
+class TrialsOutcome:
+    """Everything :func:`run_trials` produces.
+
+    Attributes:
+        trials: per-seed results, in seed-list order.
+        winner_index: index into ``trials`` of the selected winner.
+        objective: the objective name that ranked them.
+    """
+
+    trials: List[TrialResult]
+    winner_index: int
+    objective: str
+
+    @property
+    def winner(self) -> TrialResult:
+        return self.trials[self.winner_index]
+
+    @property
+    def best_result(self) -> MappingResult:
+        return self.winner.result
+
+    @property
+    def trial_swaps(self) -> List[int]:
+        return [t.result.num_swaps for t in self.trials]
+
+
+def select_winner(trials: Sequence[TrialResult]) -> int:
+    """Index of the best trial: lowest objective value, earliest seed
+    on ties.  Pure and total — the single source of truth every
+    executor funnels through, which is what makes serial and process
+    runs agree."""
+    if not trials:
+        raise ReproError("select_winner needs at least one trial")
+    best = 0
+    for index in range(1, len(trials)):
+        if trials[index].value < trials[best].value:
+            best = index
+    return best
+
+
+def _run_one_trial(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    config: Optional[HeuristicConfig],
+    seed: int,
+    num_traversals: int,
+    distance: Sequence[Sequence[float]],
+) -> MappingResult:
+    """One fully seeded compilation (module-level so pools can pickle it).
+
+    ``num_trials=1`` with ``executor=None`` keeps this on the direct
+    :class:`~repro.core.bidirectional.SabreLayout` path; the trial seed
+    drives both the random initial mapping and the router's tie-break
+    stream (see ``SabreLayout``'s per-trial seeding).
+    """
+    from repro.core.compiler import compile_circuit
+
+    return compile_circuit(
+        circuit,
+        coupling,
+        config=config,
+        seed=seed,
+        num_trials=1,
+        num_traversals=num_traversals,
+        distance=distance,
+        executor=None,
+    )
+
+
+def _worker(
+    payload: Tuple[
+        QuantumCircuit,
+        CouplingGraph,
+        Optional[HeuristicConfig],
+        int,
+        int,
+        Sequence[Sequence[float]],
+    ],
+) -> MappingResult:
+    """Process-pool entry point: unpack one trial job and run it."""
+    return _run_one_trial(*payload)
+
+
+def run_trials(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    seeds: Sequence[int],
+    config: Optional[HeuristicConfig] = None,
+    num_traversals: int = 3,
+    objective: str = "g_add",
+    executor: str = "serial",
+    jobs: Optional[int] = None,
+    distance: Optional[Sequence[Sequence[float]]] = None,
+) -> TrialsOutcome:
+    """Run one compilation per seed and rank them by ``objective``.
+
+    Args:
+        circuit: logical circuit (decomposition handled downstream).
+        coupling: target device.
+        seeds: one trial per entry; order defines the tie-break.
+        config: heuristic knobs (paper defaults when omitted).
+        num_traversals: traversals per trial (odd; paper uses 3).
+        objective: ``"g_add"`` (paper metric), ``"depth"``, or
+            ``"weighted"`` (``g_add + 0.5 * d_out``).
+        executor: ``"serial"`` or ``"process"``
+            (:class:`~concurrent.futures.ProcessPoolExecutor`).
+        jobs: worker count for the process executor (default: as many
+            as trials, capped at the machine's core count).
+        distance: precomputed distance matrix.  Computed once through
+            the engine cache when omitted and shipped to every worker,
+            so a pool run never repeats the Floyd-Warshall step.
+
+    Returns:
+        :class:`TrialsOutcome`; ``outcome.best_result`` is the winning
+        :class:`~repro.core.result.MappingResult`.
+    """
+    if not seeds:
+        raise ReproError("run_trials needs at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ReproError(f"trial seeds must be distinct, got {list(seeds)}")
+    if executor not in EXECUTORS:
+        raise ReproError(
+            f"unknown executor {executor!r}; available: {list(EXECUTORS)}"
+        )
+    objective_fn = OBJECTIVES.get(objective)
+    if objective_fn is None:
+        raise ReproError(
+            f"unknown objective {objective!r}; available: {sorted(OBJECTIVES)}"
+        )
+    if distance is None:
+        distance = get_distance_matrix(coupling)
+
+    payloads = [
+        (circuit, coupling, config, seed, num_traversals, distance)
+        for seed in seeds
+    ]
+    if executor == "process" and len(seeds) > 1:
+        import os
+
+        max_workers = (
+            jobs if jobs and jobs > 0 else min(len(seeds), os.cpu_count() or 1)
+        )
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(_worker, payloads))
+    else:
+        results = [_run_one_trial(*p) for p in payloads]
+
+    trials = [
+        TrialResult(seed=seed, result=result, value=objective_fn(result))
+        for seed, result in zip(seeds, results)
+    ]
+    return TrialsOutcome(
+        trials=trials, winner_index=select_winner(trials), objective=objective
+    )

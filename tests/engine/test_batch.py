@@ -1,0 +1,105 @@
+"""Tests for suite-level batch compilation (repro.engine.batch)."""
+
+import pytest
+
+from repro.bench_circuits import suite
+from repro.circuits import random_circuit
+from repro.core import compile_circuit
+from repro.engine import GLOBAL_CACHE, compile_many
+from repro.exceptions import ReproError
+from repro.hardware import grid_device
+
+
+@pytest.fixture
+def small_suite_circuits():
+    """The Table II 'small' category (5 circuits, 4-5 qubits each)."""
+    return [spec.build() for spec in suite("small")]
+
+
+class TestCompileMany:
+    def test_reports_in_input_order(self, grid3x3):
+        circuits = [
+            random_circuit(6, 15, seed=s, two_qubit_fraction=0.5)
+            for s in range(3)
+        ]
+        report = compile_many(circuits, grid3x3, num_trials=2, jobs=1)
+        assert [r.name for r in report.reports] == [c.name for c in circuits]
+        assert report.device_name == grid3x3.name
+        assert report.wall_seconds > 0
+
+    def test_winner_fields_consistent(self, grid3x3):
+        circuits = [random_circuit(6, 20, seed=1, two_qubit_fraction=0.6)]
+        report = compile_many(circuits, grid3x3, num_trials=3, jobs=1)
+        row = report.reports[0]
+        assert row.added_gates == 3 * row.num_swaps
+        assert row.added_gates == min(3 * s for s in row.trial_swaps)
+        assert len(row.trial_swaps) == 3
+        assert row.result is not None
+        assert row.result.added_gates == row.added_gates
+
+    def test_serial_and_pooled_batches_agree(self, grid3x3):
+        circuits = [
+            random_circuit(7, 25, seed=s, two_qubit_fraction=0.6)
+            for s in range(3)
+        ]
+        serial = compile_many(circuits, grid3x3, num_trials=3, jobs=1)
+        pooled = compile_many(circuits, grid3x3, num_trials=3, jobs=3)
+        for a, b in zip(serial.reports, pooled.reports):
+            assert a.added_gates == b.added_gates
+            assert a.winning_seed == b.winning_seed
+            assert a.trial_swaps == b.trial_swaps
+
+    def test_keep_results_flag(self, grid3x3):
+        circuits = [random_circuit(5, 10, seed=0, two_qubit_fraction=0.5)]
+        slim = compile_many(
+            circuits, grid3x3, num_trials=1, jobs=1, keep_results=False
+        )
+        assert slim.reports[0].result is None
+
+    def test_validation(self, grid3x3):
+        circuits = [random_circuit(4, 5, seed=0)]
+        with pytest.raises(ReproError, match="num_trials"):
+            compile_many(circuits, grid3x3, num_trials=0)
+        with pytest.raises(ReproError, match="jobs"):
+            compile_many(circuits, grid3x3, jobs=0)
+        with pytest.raises(ReproError, match="objective"):
+            compile_many(circuits, grid3x3, objective="speed")
+
+    def test_total_added_gates(self, grid3x3):
+        circuits = [
+            random_circuit(6, 15, seed=s, two_qubit_fraction=0.5)
+            for s in range(2)
+        ]
+        report = compile_many(circuits, grid3x3, num_trials=2, jobs=1)
+        assert report.total_added_gates == sum(
+            r.added_gates for r in report.reports
+        )
+        assert len(report.summary_lines()) == 1 + len(circuits)
+
+
+class TestAcceptance:
+    """ISSUE acceptance: jobs=4 x trials=8 on the Table-2 small suite."""
+
+    def test_small_suite_beats_single_trial_baseline(
+        self, tokyo, small_suite_circuits
+    ):
+        """Best-of-8 quality dominates the single-trial seed baseline on
+        every circuit, and the O(N^3) distance matrix is computed at
+        most once per device for the whole batch."""
+        GLOBAL_CACHE.clear()
+        report = compile_many(
+            small_suite_circuits, tokyo, num_trials=8, seed=0, jobs=4
+        )
+        info = GLOBAL_CACHE.cache_info()
+        assert info.misses == 1, (
+            "distance matrix must be computed exactly once per device "
+            f"per batch run, saw {info.misses} misses"
+        )
+        for circuit, row in zip(small_suite_circuits, report.reports):
+            baseline = compile_circuit(circuit, tokyo, seed=0, num_trials=1)
+            assert row.added_gates <= baseline.added_gates, (
+                f"{row.name}: best-of-8 g_add {row.added_gates} worse "
+                f"than single-trial baseline {baseline.added_gates}"
+            )
+        # The baselines above were all cache hits, not recomputations.
+        assert GLOBAL_CACHE.cache_info().misses == 1

