@@ -1,0 +1,336 @@
+"""Router-core perf benchmark: fast delta scorer vs reference scorer.
+
+Times one routing traversal (``SabreRouter.run``) per case under both
+scorer implementations, asserts the routed circuits are *identical*
+(the differential guarantee), and emits a machine-readable
+``BENCH_router.json`` so the perf trajectory has data points and CI can
+gate on regressions.
+
+Three ways to run it:
+
+- standalone full sweep (the numbers quoted in the README)::
+
+      PYTHONPATH=src python benchmarks/bench_router_perf.py
+
+- seconds-long CI smoke check with the regression gate::
+
+      PYTHONPATH=src python benchmarks/bench_router_perf.py --smoke \
+          --check-regression benchmarks/BENCH_router_baseline.json
+
+- pytest-benchmark harness (opt-in, like every ``bench_*.py`` here)::
+
+      pytest benchmarks/bench_router_perf.py --benchmark-only
+
+The regression gate compares *speedup ratios* (fast vs reference on the
+same machine, same process), not absolute wall-clock, so it is stable
+across runner hardware: a >25% drop in any case's speedup against the
+checked-in baseline fails the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import pytest
+
+from repro.bench_circuits import qft
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.core import HeuristicConfig, Layout, SabreRouter
+from repro.hardware import CouplingGraph, grid_device, ibm_q20_tokyo
+
+#: Allowed relative drop in a case's speedup before the gate fails.
+REGRESSION_TOLERANCE = 0.25
+
+#: Layout seed shared by every case (fixed => deterministic swaps).
+LAYOUT_SEED = 9
+
+#: Router tie-break seed.
+ROUTER_SEED = 0
+
+
+@dataclass(frozen=True)
+class Case:
+    """One benchmark case: a circuit routed on a device, N times."""
+
+    name: str
+    device_builder: Callable[[], CouplingGraph]
+    circuit_builder: Callable[[], QuantumCircuit]
+    repeats: int
+    #: Cases tagged deep form the "deep-circuit scaling bench" — the
+    #: regime the delta scorer exists for (large device, long circuit).
+    deep: bool = False
+
+
+def _rand(n: int, gates: int) -> Callable[[], QuantumCircuit]:
+    return lambda: random_circuit(n, gates, seed=6, two_qubit_fraction=0.8)
+
+
+#: Full sweep: small-device cases (where per-step overhead dominates and
+#: the win is modest) up the scaling curve to the deep cases (where the
+#: O(|F|+|E|) -> O(deg) reduction shows its asymptotics).
+FULL_CASES = [
+    Case("qft20_tokyo", ibm_q20_tokyo, lambda: qft(20), repeats=3),
+    Case("rand2000_tokyo", ibm_q20_tokyo, _rand(20, 2000), repeats=3),
+    Case("rand3000_grid7x7", lambda: grid_device(7, 7), _rand(49, 3000), repeats=2),
+    Case(
+        "rand5000_grid10x10",
+        lambda: grid_device(10, 10),
+        _rand(100, 5000),
+        repeats=2,
+    ),
+    Case(
+        "rand8000_grid12x12",
+        lambda: grid_device(12, 12),
+        _rand(144, 8000),
+        repeats=1,
+        deep=True,
+    ),
+    Case(
+        "rand12000_grid14x14",
+        lambda: grid_device(14, 14),
+        _rand(196, 12000),
+        repeats=1,
+        deep=True,
+    ),
+]
+
+#: Smoke sweep: seconds-long, still deep enough that the speedup ratio
+#: is stable on shared CI runners.
+SMOKE_CASES = [
+    Case("rand1200_grid6x6", lambda: grid_device(6, 6), _rand(36, 1200), repeats=3),
+    Case(
+        "rand2500_grid9x9",
+        lambda: grid_device(9, 9),
+        _rand(81, 2500),
+        repeats=2,
+        deep=True,
+    ),
+]
+
+
+def _time_router(
+    device: CouplingGraph,
+    circuit: QuantumCircuit,
+    scorer: str,
+    layout: Layout,
+    repeats: int,
+):
+    """Best-of-``repeats`` wall-clock for one traversal; returns
+    ``(seconds, result)``."""
+    router = SabreRouter(
+        device, config=HeuristicConfig(scorer=scorer), seed=ROUTER_SEED
+    )
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = router.run(circuit, initial_layout=layout)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_case(case: Case) -> dict:
+    """Measure one case under both scorers and check identity."""
+    device = case.device_builder()
+    circuit = case.circuit_builder()
+    layout = Layout.random(device.num_qubits, seed=LAYOUT_SEED)
+    ref_seconds, ref = _time_router(
+        device, circuit, "reference", layout, case.repeats
+    )
+    fast_seconds, fast = _time_router(
+        device, circuit, "fast", layout, case.repeats
+    )
+    assert ref is not None and fast is not None
+    identical = (
+        fast.circuit == ref.circuit
+        and fast.swap_positions == ref.swap_positions
+        and fast.final_layout == ref.final_layout
+    )
+    return {
+        "name": case.name,
+        "device": device.name,
+        "num_qubits": device.num_qubits,
+        "num_gates": circuit.num_gates,
+        "deep": case.deep,
+        "reference_seconds": round(ref_seconds, 6),
+        "fast_seconds": round(fast_seconds, 6),
+        "speedup": round(ref_seconds / fast_seconds, 3),
+        "num_swaps": fast.num_swaps,
+        "identical": identical,
+    }
+
+
+def run_suite(cases: Sequence[Case], smoke: bool) -> dict:
+    """Run every case and assemble the BENCH_router.json payload."""
+    results = []
+    for case in cases:
+        row = run_case(case)
+        results.append(row)
+        print(
+            f"  {row['name']:22s} ref={row['reference_seconds'] * 1000:9.1f}ms"
+            f"  fast={row['fast_seconds'] * 1000:8.1f}ms"
+            f"  speedup=x{row['speedup']:<5.2f}"
+            f"  identical={row['identical']}"
+        )
+    speedups = [row["speedup"] for row in results]
+    deep = [row for row in results if row["deep"]]
+    summary = {
+        "geomean_speedup": round(
+            math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 3
+        ),
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+        "deep_min_speedup": min(row["speedup"] for row in deep) if deep else None,
+        "all_identical": all(row["identical"] for row in results),
+    }
+    return {
+        "schema": 1,
+        "bench": "router_perf",
+        "smoke": smoke,
+        "layout_seed": LAYOUT_SEED,
+        "router_seed": ROUTER_SEED,
+        "cases": results,
+        "summary": summary,
+    }
+
+
+def check_regression(report: dict, baseline_path: str) -> List[str]:
+    """Compare per-case speedups against a checked-in baseline.
+
+    Returns a list of failure messages (empty = pass).  Ratios are
+    machine-relative, so the gate transfers across hardware; the
+    tolerance absorbs runner noise.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base_cases = {row["name"]: row for row in baseline["cases"]}
+    failures = []
+    compared = 0
+    for row in report["cases"]:
+        if not row["identical"]:
+            failures.append(
+                f"{row['name']}: fast and reference scorers diverged"
+            )
+        base = base_cases.get(row["name"])
+        if base is None:
+            continue
+        compared += 1
+        floor = base["speedup"] * (1.0 - REGRESSION_TOLERANCE)
+        if row["speedup"] < floor:
+            failures.append(
+                f"{row['name']}: speedup x{row['speedup']:.2f} fell below "
+                f"x{floor:.2f} (baseline x{base['speedup']:.2f} - "
+                f"{REGRESSION_TOLERANCE:.0%})"
+            )
+    if compared == 0:
+        # A renamed case or a smoke/full baseline mismatch must not turn
+        # the gate into a vacuous pass.
+        failures.append(
+            f"no benchmark case matched the baseline {baseline_path} "
+            f"(baseline names: {sorted(base_cases)})"
+        )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark harness (opt-in)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scorer", ["fast", "reference"])
+def test_router_scorers_qft20(benchmark, tokyo, scorer):
+    circuit = qft(20)
+    layout = Layout.random(tokyo.num_qubits, seed=LAYOUT_SEED)
+    router = SabreRouter(
+        tokyo, config=HeuristicConfig(scorer=scorer), seed=ROUTER_SEED
+    )
+    result = benchmark.pedantic(
+        router.run,
+        args=(circuit,),
+        kwargs={"initial_layout": layout},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info.update({"scorer": scorer, "swaps": result.num_swaps})
+
+
+@pytest.mark.parametrize("scorer", ["fast", "reference"])
+def test_router_scorers_deep_grid(benchmark, scorer):
+    device = grid_device(10, 10)
+    circuit = random_circuit(100, 5000, seed=6, two_qubit_fraction=0.8)
+    layout = Layout.random(device.num_qubits, seed=LAYOUT_SEED)
+    router = SabreRouter(
+        device, config=HeuristicConfig(scorer=scorer), seed=ROUTER_SEED
+    )
+    result = benchmark.pedantic(
+        router.run,
+        args=(circuit,),
+        kwargs={"initial_layout": layout},
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info.update({"scorer": scorer, "swaps": result.num_swaps})
+
+
+# ----------------------------------------------------------------------
+# Standalone harness
+# ----------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-long CI sweep (two cases) instead of the full curve",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_router.json",
+        help="where to write the machine-readable report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check-regression",
+        metavar="BASELINE",
+        default=None,
+        help="compare speedups against a baseline BENCH_router.json; exit "
+        f"non-zero on a >{REGRESSION_TOLERANCE:.0%} drop or a scorer mismatch",
+    )
+    args = parser.parse_args(argv)
+
+    cases = SMOKE_CASES if args.smoke else FULL_CASES
+    label = "smoke" if args.smoke else "full"
+    print(f"router perf ({label}): fast delta scorer vs reference scorer")
+    report = run_suite(cases, smoke=args.smoke)
+    summary = report["summary"]
+    print(
+        f"  geomean speedup x{summary['geomean_speedup']:.2f}, "
+        f"deep-case min x{summary['deep_min_speedup']:.2f}, "
+        f"all identical: {summary['all_identical']}"
+    )
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"  wrote {args.output}")
+
+    if not summary["all_identical"]:
+        print("FAIL: fast and reference scorers routed differently", file=sys.stderr)
+        return 1
+    if args.check_regression:
+        failures = check_regression(report, args.check_regression)
+        if failures:
+            for message in failures:
+                print(f"REGRESSION: {message}", file=sys.stderr)
+            return 1
+        print(f"  regression gate ok (vs {args.check_regression})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,7 @@ from repro.circuits import (
 from repro.core import (
     Layout,
     HeuristicConfig,
+    FlatDistance,
     SabreRouter,
     SabreLayout,
     MappingResult,
@@ -89,6 +90,7 @@ __all__ = [
     "random_circuit",
     "Layout",
     "HeuristicConfig",
+    "FlatDistance",
     "SabreRouter",
     "SabreLayout",
     "MappingResult",

@@ -226,16 +226,21 @@ class DagFrontier:
             return []
         extended: List[Gate] = []
         virtual_remaining: Dict[int, int] = {}
+        vr_get = virtual_remaining.get
+        remaining = self._remaining
+        nodes = self.dag.nodes
         queue = deque(sorted(self.front))
         while queue and len(extended) < size:
             index = queue.popleft()
-            for succ in self.dag.nodes[index].successors:
-                if succ not in virtual_remaining:
-                    virtual_remaining[succ] = self._remaining[succ]
-                virtual_remaining[succ] -= 1
-                if virtual_remaining[succ] == 0:
-                    gate = self.dag.nodes[succ].gate
-                    if gate.is_two_qubit:
+            for succ in nodes[index].successors:
+                rem = vr_get(succ)
+                if rem is None:
+                    rem = remaining[succ]
+                rem -= 1
+                virtual_remaining[succ] = rem
+                if rem == 0:
+                    gate = nodes[succ].gate
+                    if len(gate.qubits) == 2 and not gate.is_directive:
                         extended.append(gate)
                         if len(extended) >= size:
                             break

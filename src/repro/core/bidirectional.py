@@ -20,13 +20,14 @@ best of 5 random restarts (§V "Algorithm Configuration").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.reverse import reversed_circuit
 from repro.core.heuristic import HeuristicConfig
 from repro.core.layout import Layout
 from repro.core.router import RoutingResult, SabreRouter
+from repro.core.scoring import FlatDistance
 from repro.exceptions import MappingError
 from repro.hardware.coupling import CouplingGraph
 
@@ -78,7 +79,10 @@ class SabreLayout:
             final (output) traversal runs forward.  The paper uses 3.
         num_trials: number of random initial mappings; best kept.
         seed: base RNG seed; trial ``t`` uses ``seed + t``.
-        distance: optional shared distance matrix.
+        distance: optional shared distance matrix — nested rows or a
+            :class:`~repro.core.scoring.FlatDistance` (the compiler
+            front door passes the cached flattened form; every
+            traversal of every trial then shares one buffer).
     """
 
     def __init__(
@@ -88,7 +92,9 @@ class SabreLayout:
         num_traversals: int = 3,
         num_trials: int = 5,
         seed: int = 0,
-        distance: Optional[Sequence[Sequence[float]]] = None,
+        distance: Optional[
+            Union[FlatDistance, Sequence[Sequence[float]]]
+        ] = None,
     ) -> None:
         if num_traversals < 1 or num_traversals % 2 == 0:
             raise MappingError(

@@ -23,7 +23,7 @@ pay the O(N^3) Floyd-Warshall preprocessing once per process.
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.decompositions import decompose_to_cx_basis
@@ -32,6 +32,7 @@ from repro.core.heuristic import HeuristicConfig
 from repro.core.layout import Layout
 from repro.core.result import MappingResult
 from repro.core.router import SabreRouter
+from repro.core.scoring import FlatDistance
 from repro.exceptions import MappingError
 from repro.hardware.coupling import CouplingGraph
 
@@ -53,7 +54,7 @@ def compile_circuit(
     num_trials: int = 5,
     num_traversals: int = 3,
     initial_layout: Optional[Layout] = None,
-    distance: Optional[Sequence[Sequence[float]]] = None,
+    distance: Optional[Union[FlatDistance, Sequence[Sequence[float]]]] = None,
     objective: str = "g_add",
     executor: Optional[str] = None,
     jobs: Optional[int] = None,
@@ -99,9 +100,9 @@ def compile_circuit(
         decompose_to_cx_basis(circuit) if _needs_decomposition(circuit) else circuit
     )
     if distance is None:
-        from repro.engine.cache import get_distance_matrix
+        from repro.engine.cache import get_flat_distance_matrix
 
-        distance = get_distance_matrix(coupling)
+        distance = get_flat_distance_matrix(coupling)
 
     start = time.perf_counter()
     if initial_layout is not None:
@@ -179,7 +180,7 @@ def _compile_via_engine(
     seed: int,
     num_trials: int,
     num_traversals: int,
-    distance: Sequence[Sequence[float]],
+    distance: Union[FlatDistance, Sequence[Sequence[float]]],
     objective: str,
     executor: str,
     jobs: Optional[int],

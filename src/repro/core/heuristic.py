@@ -15,6 +15,7 @@ Three stacked designs, selectable via :class:`HeuristicConfig.mode`:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -23,6 +24,12 @@ from repro.exceptions import MappingError
 
 #: Valid heuristic modes, weakest to strongest.
 MODES = ("basic", "lookahead", "decay")
+
+#: Concrete scorer implementations (see :func:`resolve_scorer`).
+SCORERS = ("fast", "reference")
+
+#: Environment knob consulted when ``HeuristicConfig.scorer == "auto"``.
+SCORER_ENV_VAR = "REPRO_SCORER"
 
 
 @dataclass(frozen=True)
@@ -47,6 +54,14 @@ class HeuristicConfig:
             the term vanishes; with a noise-weighted matrix it makes
             the router pay for executing 3 CNOTs on a noisy coupler
             (see :mod:`repro.extensions.noise_aware`).
+        scorer: candidate-SWAP scoring implementation.  ``"fast"`` is
+            the flat-array delta scorer (:mod:`repro.core.scoring`,
+            ``O(deg)`` per candidate); ``"reference"`` recomputes the
+            full Eq. 2 sum per candidate exactly as written in the
+            paper.  Both produce identical routed circuits (the
+            differential suite enforces it).  The default ``"auto"``
+            reads the ``REPRO_SCORER`` environment variable and falls
+            back to ``"fast"``.
     """
 
     mode: str = "decay"
@@ -55,6 +70,7 @@ class HeuristicConfig:
     decay_delta: float = 0.001
     decay_reset_interval: int = 5
     swap_cost_penalty: float = 0.0
+    scorer: str = "auto"
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -73,6 +89,11 @@ class HeuristicConfig:
             raise MappingError("decay_reset_interval must be >= 1")
         if self.swap_cost_penalty < 0.0:
             raise MappingError("swap_cost_penalty must be >= 0")
+        if self.scorer not in ("auto",) + SCORERS:
+            raise MappingError(
+                f"unknown scorer {self.scorer!r}; choose from "
+                f"{('auto',) + SCORERS}"
+            )
 
     @property
     def uses_lookahead(self) -> bool:
@@ -81,6 +102,23 @@ class HeuristicConfig:
     @property
     def uses_decay(self) -> bool:
         return self.mode == "decay"
+
+
+def resolve_scorer(value: str) -> str:
+    """Resolve a scorer name to a concrete implementation.
+
+    ``"auto"`` consults the ``REPRO_SCORER`` environment variable
+    (read at resolution time, so tests and profiling sessions can flip
+    it per process) and defaults to ``"fast"``.
+    """
+    if value == "auto":
+        value = os.environ.get(SCORER_ENV_VAR, "").strip().lower() or "fast"
+    if value not in SCORERS:
+        raise MappingError(
+            f"unknown scorer {value!r}; choose from {SCORERS} "
+            f"(or 'auto' / ${SCORER_ENV_VAR})"
+        )
+    return value
 
 
 class DecayTracker:

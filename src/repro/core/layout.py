@@ -134,7 +134,13 @@ class Layout:
     # ------------------------------------------------------------------
 
     def copy(self) -> "Layout":
-        return Layout(self._l2p)
+        # The tables are a valid permutation pair by construction, so
+        # skip __init__'s O(N log N) validation — the router copies
+        # layouts on every traversal and the check was pure overhead.
+        new = Layout.__new__(Layout)
+        new._l2p = self._l2p[:]
+        new._p2l = self._p2l[:]
+        return new
 
     def to_dict(self, num_logical: Optional[int] = None) -> Dict[int, int]:
         """``{logical: physical}`` for the first ``num_logical`` qubits

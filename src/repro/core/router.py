@@ -10,19 +10,39 @@ physical edges touching a front-layer qubit are considered ("only the
 SWAPs that associate with at least one qubit in the front layer are the
 candidate SWAPs"), i.e. ``O(N)`` candidates instead of the ``O(exp(N))``
 mapping combinations of the A* baseline.
+
+Candidate scoring has two interchangeable implementations (selected via
+:attr:`HeuristicConfig.scorer` or the ``REPRO_SCORER`` environment
+variable, default ``fast``):
+
+- ``fast`` — the flat-array delta scorer of :mod:`repro.core.scoring`:
+  per-step base sums over ``F``/``E`` plus an ``O(deg)`` adjustment of
+  only the terms touching the two swapped qubits.
+- ``reference`` — the paper-literal path: temporarily apply the SWAP and
+  recompute the full Eq. 2 sum (:func:`repro.core.heuristic.score_layout`).
+
+Both walk the same sorted candidate list and therefore produce identical
+winner sets, identical tie-breaks, and identical routed circuits for
+identical seeds — the differential test suite enforces this.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import CircuitDag, DagFrontier
 from repro.circuits.gates import Gate
-from repro.core.heuristic import DecayTracker, HeuristicConfig, score_layout
+from repro.core.heuristic import (
+    DecayTracker,
+    HeuristicConfig,
+    resolve_scorer,
+    score_layout,
+)
 from repro.core.layout import Layout
+from repro.core.scoring import FlatDistance, RouterState
 from repro.exceptions import MappingError
 from repro.hardware.coupling import CouplingGraph
 from repro.hardware.distance import distance_matrix
@@ -54,6 +74,10 @@ class RoutingResult:
     num_swaps: int
     swap_positions: List[int] = field(default_factory=list)
     num_forced_escapes: int = 0
+    #: Memoised 3-CNOT expansion (built on first physical_circuit call).
+    _decomposed: Optional[QuantumCircuit] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def added_gates(self) -> int:
@@ -62,21 +86,37 @@ class RoutingResult:
         return 3 * self.num_swaps
 
     def physical_circuit(self, decompose_swaps: bool = True) -> QuantumCircuit:
-        """The routed circuit, optionally with SWAPs expanded to CNOTs."""
+        """The routed circuit, optionally with SWAPs expanded to CNOTs.
+
+        The decomposed form is memoised — metrics, verifiers, and report
+        code all call this repeatedly, and re-walking the whole circuit
+        per call was pure waste.  Callers must treat the returned
+        circuit as read-only (every in-repo consumer does).
+        """
         if not decompose_swaps:
             return self.circuit
-        from repro.circuits.decompositions import swap_decomposition
+        if self._decomposed is None:
+            from repro.circuits.decompositions import swap_decomposition
 
-        out = QuantumCircuit(
-            self.circuit.num_qubits, self.circuit.name, self.circuit.num_clbits
-        )
-        swap_set = set(self.swap_positions)
-        for index, gate in enumerate(self.circuit):
-            if index in swap_set:
-                out.extend(swap_decomposition(*gate.qubits))
-            else:
-                out.append(gate)
-        return out
+            out = QuantumCircuit(
+                self.circuit.num_qubits, self.circuit.name, self.circuit.num_clbits
+            )
+            swap_set = set(self.swap_positions)
+            for index, gate in enumerate(self.circuit):
+                if index in swap_set:
+                    out.extend(swap_decomposition(*gate.qubits))
+                else:
+                    out.append(gate)
+            self._decomposed = out
+        return self._decomposed
+
+    def __getstate__(self):
+        # Drop the memo from pickles: process-pool trials ship results
+        # back to the parent, and the decomposed copy would roughly
+        # double the payload for a cache that rebuilds on demand.
+        state = self.__dict__.copy()
+        state["_decomposed"] = None
+        return state
 
 
 class SabreRouter:
@@ -86,8 +126,13 @@ class SabreRouter:
         coupling: device coupling graph (must be connected).
         config: heuristic configuration; defaults to the paper's.
         seed: RNG seed for tie-breaking among equal-score SWAPs.
-        distance: precomputed distance matrix (computed when omitted;
-            pass it in when routing many circuits on one device).
+        distance: precomputed distance matrix — either a nested
+            ``N x N`` sequence or a :class:`~repro.core.scoring.FlatDistance`
+            (computed when omitted; pass it in when routing many
+            circuits on one device).  When omitted it is computed with
+            the BFS APSP (``O(N·E)``), which agrees with the paper's
+            Floyd-Warshall on every unit-weight graph (a test
+            invariant) and is much cheaper on sparse devices.
         stall_limit: consecutive SWAP insertions without executing any
             gate before the escape hatch force-routes the closest
             front-layer gate along a shortest path.  The paper does not
@@ -102,20 +147,59 @@ class SabreRouter:
         coupling: CouplingGraph,
         config: Optional[HeuristicConfig] = None,
         seed: Optional[int] = None,
-        distance: Optional[Sequence[Sequence[float]]] = None,
+        distance: Optional[
+            Union[FlatDistance, Sequence[Sequence[float]]]
+        ] = None,
         stall_limit: Optional[int] = None,
     ) -> None:
         coupling.require_connected()
         self.coupling = coupling
         self.config = config or HeuristicConfig()
         self.seed = seed
-        self.dist = distance if distance is not None else distance_matrix(coupling)
+        if distance is None:
+            distance = distance_matrix(coupling, method="bfs")
+        self.flat_dist = FlatDistance.from_matrix(distance)
+        if self.flat_dist.n != coupling.num_qubits:
+            raise MappingError(
+                f"distance matrix is {self.flat_dist.n}x{self.flat_dist.n}, "
+                f"device has {coupling.num_qubits} qubits"
+            )
+        # The nested view is only needed by the reference scorer and
+        # external readers; the `dist` property rebuilds it lazily from
+        # the flat buffer, so the fast path never pays the O(N^2) copy.
+        self._dist_nested: Optional[List[List[float]]] = None
+        self.scorer = resolve_scorer(self.config.scorer)
+        if self.scorer == "fast" and not self.flat_dist.symmetric:
+            # The delta scorer skips gates between the two swapped
+            # qubits, which is only exact for symmetric matrices (all
+            # in-repo matrices are).  Fall back rather than mis-score.
+            self.scorer = "reference"
         self.neighbors: List[List[int]] = [
             coupling.neighbors(q) for q in range(coupling.num_qubits)
         ]
+        #: Adjacency as sets for the O(1) executability test in the
+        #: main loop (bypasses CouplingGraph's bounds-checked API).
+        self._adjacency: List[Set[int]] = [set(nbs) for nbs in self.neighbors]
         if stall_limit is None:
             stall_limit = max(64, 16 * coupling.diameter())
         self.stall_limit = stall_limit
+        #: Test seam: when set, called once per SWAP selection with the
+        #: list of best-scoring (qa, qb) pairs *before* the tie-break.
+        self.on_winner_set: Optional[
+            Callable[[List[Tuple[int, int]]], None]
+        ] = None
+
+    @property
+    def dist(self) -> List[List[float]]:
+        """Nested list-of-lists view of the distance matrix.
+
+        Kept for the reference scorer and external consumers; the hot
+        paths use :attr:`flat_dist` directly.  Materialised lazily when
+        the router was constructed from a :class:`FlatDistance`.
+        """
+        if self._dist_nested is None:
+            self._dist_nested = self.flat_dist.to_matrix()
+        return self._dist_nested
 
     # ------------------------------------------------------------------
     # Public API
@@ -135,10 +219,10 @@ class SabreRouter:
         hardware-compliant.
 
         ``seed`` overrides the constructor's tie-break seed for this
-        run only.  Every run builds a private ``random.Random`` from
-        the effective seed — no RNG state is shared between runs, so
-        concurrent trials routing through one router instance stay
-        independent and deterministic.
+        run only.  Every run builds a private ``random.Random`` and a
+        private :class:`~repro.core.scoring.RouterState` — no mutable
+        state is shared between runs, so concurrent trials routing
+        through one router instance stay independent and deterministic.
         """
         n_physical = self.coupling.num_qubits
         if circuit.num_qubits > n_physical:
@@ -164,6 +248,15 @@ class SabreRouter:
         decay = DecayTracker(
             n_physical, self.config.decay_delta, self.config.decay_reset_interval
         )
+        # The reference path regenerates candidates from scratch and
+        # rescores in full, so it gets no state to maintain — keeping
+        # its timings an honest baseline.
+        fast = self.scorer == "fast"
+        state = (
+            RouterState(self.flat_dist, self.neighbors, self.config)
+            if fast
+            else None
+        )
 
         out = QuantumCircuit(
             n_physical, f"{circuit.name}_routed", max(circuit.num_clbits, 1)
@@ -185,15 +278,17 @@ class SabreRouter:
                 front_dirty = True
                 continue
             if stall >= self.stall_limit:
-                self._escape(frontier, layout, out, swap_positions)
+                self._escape(frontier, layout, out, swap_positions, state)
                 num_escapes += 1
                 stall = 0
                 decay.reset()
                 front_dirty = True
                 continue
             if front_dirty:
-                # F and E only change when a gate executes, so the lists
-                # are shared across consecutive SWAP selections.
+                # F and E only change when a gate executes, so the pair
+                # lists, per-qubit term indices, and candidate edge set
+                # are shared across consecutive SWAP selections; SWAPs
+                # in between update the candidate set incrementally.
                 front_gates = [
                     frontier.dag.nodes[i].gate for i in sorted(frontier.front)
                 ]
@@ -202,10 +297,12 @@ class SabreRouter:
                     if self.config.uses_lookahead
                     else []
                 )
+                if fast:
+                    state.set_front(front_gates, extended, layout.l2p)
                 front_dirty = False
             self._insert_best_swap(
                 frontier, layout, out, swap_positions, decay, rng,
-                front_gates, extended,
+                front_gates, extended, state,
             )
             stall += 1
 
@@ -239,13 +336,13 @@ class SabreRouter:
         8-16: remove from F, append released successors, continue).
         """
         l2p = layout.l2p
+        adjacency = self._adjacency
+        nodes = frontier.dag.nodes
         ready = [
             index
             for index in frontier.front
-            if self.coupling.are_coupled(
-                l2p[frontier.dag.nodes[index].gate.qubits[0]],
-                l2p[frontier.dag.nodes[index].gate.qubits[1]],
-            )
+            if l2p[nodes[index].gate.qubits[1]]
+            in adjacency[l2p[nodes[index].gate.qubits[0]]]
         ]
         if not ready:
             return False
@@ -263,6 +360,10 @@ class SabreRouter:
         This is the §IV-C1 search-space reduction: SWAPs entirely within
         the "low priority" qubit set cannot unblock the front layer, so
         only edges touching ``pi(q)`` for ``q`` in a front gate qualify.
+
+        From-scratch reference implementation; the main loop maintains
+        the same set incrementally in its :class:`RouterState` (the
+        candidate-cache tests assert both always agree).
         """
         l2p = layout.l2p
         candidates: Set[Tuple[int, int]] = set()
@@ -283,35 +384,110 @@ class SabreRouter:
         rng: random.Random,
         front_gates: List[Gate],
         extended: List[Gate],
+        state: Optional[RouterState],
     ) -> None:
         """Score all candidate SWAPs and apply the best one (lines 17-25)."""
         p2l = layout.p2l
         l2p = layout.l2p
+        config = self.config
+        uses_decay = config.uses_decay
+        penalty = config.swap_cost_penalty
         best_score = float("inf")
         best: List[Tuple[int, int]] = []
-        for pa, pb in self._swap_candidates(frontier, layout):
-            qa, qb = p2l[pa], p2l[pb]
-            layout.swap_logical(qa, qb)
-            score = score_layout(front_gates, extended, l2p, self.dist, self.config)
-            layout.swap_logical(qa, qb)
-            if self.config.uses_decay:
-                score *= decay.factor(qa, qb)
-            if self.config.swap_cost_penalty:
-                # Noise-aware extension: pay for the SWAP's own edge.
-                score += self.config.swap_cost_penalty * (
-                    self.dist[pa][pb] - 1.0
-                )
-            if score < best_score - _SCORE_EPSILON:
-                best_score = score
-                best = [(qa, qb)]
-            elif score <= best_score + _SCORE_EPSILON:
-                best.append((qa, qb))
+        if state is not None:
+            buf = state.buf
+            n = state.n
+            # Inlined RouterState.swap_score: this loop runs a hundred
+            # thousand times per deep traversal, so every attribute
+            # lookup and method call stripped here is measurable.
+            state.begin_step(l2p)
+            partner_f = state.partner_f
+            partners_e = state.partners_e
+            sum_f = state.sum_f
+            sum_e = state.sum_e
+            len_f = len(state.front_pairs)
+            len_e = len(state.ext_pairs)
+            weight = config.extended_set_weight
+            basic = config.mode == "basic"
+            decay_values = decay.values
+            # When neither swapped qubit touches E, the extended term is
+            # the same constant for every such candidate (delta_e == 0.0
+            # keeps the float arithmetic identical to the general form).
+            ext_const = weight * (sum_e + 0.0) / len_e if len_e else 0.0
+            for pa, pb in state.candidates():
+                qa = p2l[pa]
+                qb = p2l[pb]
+                row_a = pa * n
+                row_b = pb * n
+                delta = 0.0
+                other = partner_f[qa]
+                if other >= 0 and other != qb:
+                    po = l2p[other]
+                    delta += buf[row_b + po] - buf[row_a + po]
+                other = partner_f[qb]
+                if other >= 0 and other != qa:
+                    po = l2p[other]
+                    delta += buf[row_a + po] - buf[row_b + po]
+                if basic:
+                    score = sum_f + delta
+                else:
+                    score = (sum_f + delta) / len_f
+                    if len_e:
+                        pe_a = partners_e[qa]
+                        pe_b = partners_e[qb]
+                        if pe_a or pe_b:
+                            delta = 0.0
+                            for other in pe_a:
+                                if other != qb:
+                                    po = l2p[other]
+                                    delta += buf[row_b + po] - buf[row_a + po]
+                            for other in pe_b:
+                                if other != qa:
+                                    po = l2p[other]
+                                    delta += buf[row_a + po] - buf[row_b + po]
+                            score += weight * (sum_e + delta) / len_e
+                        else:
+                            score += ext_const
+                if uses_decay:
+                    da = decay_values[qa]
+                    db = decay_values[qb]
+                    score *= da if da >= db else db
+                if penalty:
+                    # Noise-aware extension: pay for the SWAP's own edge.
+                    score += penalty * (buf[pa * n + pb] - 1.0)
+                if score < best_score - _SCORE_EPSILON:
+                    best_score = score
+                    best = [(qa, qb)]
+                elif score <= best_score + _SCORE_EPSILON:
+                    best.append((qa, qb))
+        else:
+            # Reference path: the seed implementation, preserved verbatim
+            # — from-scratch candidate generation plus a full Eq. 2
+            # rescoring per candidate.  This is the bench baseline and
+            # the differential-testing oracle.
+            dist = self.dist
+            for pa, pb in self._swap_candidates(frontier, layout):
+                qa, qb = p2l[pa], p2l[pb]
+                layout.swap_logical(qa, qb)
+                score = score_layout(front_gates, extended, l2p, dist, config)
+                layout.swap_logical(qa, qb)
+                if uses_decay:
+                    score *= decay.factor(qa, qb)
+                if penalty:
+                    score += penalty * (dist[pa][pb] - 1.0)
+                if score < best_score - _SCORE_EPSILON:
+                    best_score = score
+                    best = [(qa, qb)]
+                elif score <= best_score + _SCORE_EPSILON:
+                    best.append((qa, qb))
         if not best:
             raise MappingError(
                 "no SWAP candidates found; is the coupling graph connected?"
             )
+        if self.on_winner_set is not None:
+            self.on_winner_set(best)
         qa, qb = best[0] if len(best) == 1 else rng.choice(best)
-        self._apply_swap(qa, qb, layout, out, swap_positions)
+        self._apply_swap(qa, qb, layout, out, swap_positions, state)
         decay.record_swap(qa, qb)
 
     def _apply_swap(
@@ -321,12 +497,16 @@ class SabreRouter:
         layout: Layout,
         out: QuantumCircuit,
         swap_positions: List[int],
+        state: Optional[RouterState],
     ) -> None:
-        """Emit a physical SWAP gate and update the mapping."""
-        pa, pb = layout.physical(qa), layout.physical(qb)
+        """Emit a physical SWAP gate and update mapping + router state."""
+        l2p = layout.l2p
+        pa, pb = l2p[qa], l2p[qb]
         swap_positions.append(out.num_gates)
         out.append(Gate("swap", (pa, pb)))
         layout.swap_logical(qa, qb)
+        if state is not None:
+            state.on_swap_applied(qa, qb, pa, pb)
 
     def _escape(
         self,
@@ -334,6 +514,7 @@ class SabreRouter:
         layout: Layout,
         out: QuantumCircuit,
         swap_positions: List[int],
+        state: Optional[RouterState],
     ) -> int:
         """Livelock escape: force-route the closest front gate.
 
@@ -343,10 +524,13 @@ class SabreRouter:
         gate, so overall termination is unconditional.
         """
         l2p = layout.l2p
+        buf = self.flat_dist.buf
+        n = self.flat_dist.n
         target = min(
             frontier.front,
-            key=lambda i: self.dist[l2p[frontier.dag.nodes[i].gate.qubits[0]]][
-                l2p[frontier.dag.nodes[i].gate.qubits[1]]
+            key=lambda i: buf[
+                l2p[frontier.dag.nodes[i].gate.qubits[0]] * n
+                + l2p[frontier.dag.nodes[i].gate.qubits[1]]
             ],
         )
         a, b = frontier.dag.nodes[target].gate.qubits
@@ -356,6 +540,6 @@ class SabreRouter:
         # gate itself (after each swap, pi(a) advances one hop).
         for hop in path[1:-1]:
             qb = layout.logical(hop)
-            self._apply_swap(a, qb, layout, out, swap_positions)
+            self._apply_swap(a, qb, layout, out, swap_positions, state)
             swaps += 1
         return swaps

@@ -1,0 +1,352 @@
+"""Flat-array router state and O(deg) delta scoring for SABRE's hot loop.
+
+The reference scorer (:func:`repro.core.heuristic.score_layout`) rescores
+the *entire* front layer ``F`` and extended set ``E`` for every candidate
+SWAP, making each search step ``O(|candidates| * (|F| + |E|))`` over a
+list-of-lists distance matrix.  A SWAP only moves two qubits, though, so
+every Eq. 2 term not touching those two qubits is unchanged.  This module
+exploits that:
+
+- :class:`FlatDistance` flattens ``D[][]`` into one contiguous 1-D
+  ``array('d')`` buffer (``D[a][b] == buf[a * n + b]``), removing a level
+  of pointer chasing from every distance lookup and making the matrix
+  cheap to cache, copy, and ship to worker processes.
+- :class:`RouterState` holds the per-traversal mutable state: the front
+  and extended gate pairs, a per-qubit -> gate-term index, per-step base
+  sums for ``F`` and ``E``, and the candidate SWAP edge set (maintained
+  incrementally as the layout changes).  A candidate SWAP on physical
+  edge ``(pa, pb)`` is then scored in ``O(deg_F + deg_E)`` — the handful
+  of terms whose qubits actually move — instead of ``O(|F| + |E|)``.
+
+Exactness: a gate *between* the two swapped qubits keeps its distance
+(``D`` is symmetric for every matrix this project produces), so its term
+is skipped entirely.  All remaining terms are adjusted by the difference
+of two matrix entries.  Sums therefore agree with the reference scorer
+up to float-addition ordering, which the differential suite
+(``tests/core/test_differential.py``) pins down to identical winner sets
+and identical routed circuits.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, insort
+from itertools import chain
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.circuits.gates import Gate
+from repro.core.heuristic import HeuristicConfig
+from repro.exceptions import MappingError
+
+#: Shared empty tuple so ``partners.get(q, _NO_PARTNERS)`` never allocates.
+_NO_PARTNERS: Tuple[int, ...] = ()
+
+
+class FlatDistance:
+    """A distance matrix flattened into a single 1-D ``array('d')``.
+
+    ``buf[a * n + b]`` is ``D[a][b]``.  Instances are picklable (workers
+    in the trial/batch engine receive them directly) and cheap to copy.
+
+    Attributes:
+        n: matrix dimension (number of physical qubits).
+        buf: the flat row-major buffer, length ``n * n``.
+        symmetric: True when ``D[a][b] == D[b][a]`` everywhere.  Every
+            matrix built by :mod:`repro.hardware.distance` is symmetric;
+            the flag exists so the fast scorer can refuse (fall back to
+            the reference scorer) on exotic asymmetric inputs.
+    """
+
+    __slots__ = ("n", "buf", "symmetric")
+
+    def __init__(self, n: int, buf: array, symmetric: Optional[bool] = None):
+        if len(buf) != n * n:
+            raise MappingError(
+                f"flat distance buffer has {len(buf)} entries, expected {n * n}"
+            )
+        self.n = n
+        self.buf = buf
+        if symmetric is None:
+            symmetric = all(
+                buf[i * n + j] == buf[j * n + i]
+                for i in range(n)
+                for j in range(i + 1, n)
+            )
+        self.symmetric = symmetric
+
+    @classmethod
+    def from_matrix(cls, rows: Sequence[Sequence[float]]) -> "FlatDistance":
+        """Flatten a nested ``N x N`` matrix (validates row lengths)."""
+        if isinstance(rows, FlatDistance):
+            return rows
+        n = len(rows)
+        if any(len(row) != n for row in rows):
+            raise MappingError("distance matrix must be square")
+        return cls(n, array("d", chain.from_iterable(rows)))
+
+    def row(self, i: int) -> List[float]:
+        """Row ``i`` as a fresh list (rarely needed; not a hot path)."""
+        return list(self.buf[i * self.n : (i + 1) * self.n])
+
+    def to_matrix(self) -> List[List[float]]:
+        """Rebuild the nested list-of-lists view (fresh, mutable)."""
+        return [self.row(i) for i in range(self.n)]
+
+    def copy(self) -> "FlatDistance":
+        return FlatDistance(self.n, array("d", self.buf), self.symmetric)
+
+    def __getstate__(self):
+        return (self.n, self.buf.tobytes(), self.symmetric)
+
+    def __setstate__(self, state):
+        n, raw, symmetric = state
+        buf = array("d")
+        buf.frombytes(raw)
+        self.n = n
+        self.buf = buf
+        self.symmetric = symmetric
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlatDistance):
+            return NotImplemented
+        return self.n == other.n and self.buf == other.buf
+
+    def __repr__(self) -> str:
+        return f"FlatDistance(n={self.n}, symmetric={self.symmetric})"
+
+
+class RouterState:
+    """Per-traversal routing state: term indices, base sums, candidates.
+
+    One instance per :meth:`SabreRouter.run` call (never shared across
+    concurrent runs).  The router drives it through four events:
+
+    - :meth:`set_front` whenever a gate executed (``F``/``E`` changed);
+    - :meth:`begin_step` before scoring a step's candidates;
+    - :meth:`swap_score` once per candidate SWAP;
+    - :meth:`on_swap_applied` after a SWAP mutates the layout (keeps
+      the candidate edge set in sync without a from-scratch rebuild).
+    """
+
+    __slots__ = (
+        "n",
+        "buf",
+        "neighbors",
+        "config",
+        "front_pairs",
+        "ext_pairs",
+        "partner_f",
+        "partners_e",
+        "front_qubits",
+        "front_homes",
+        "cand_set",
+        "cand_list",
+        "sum_f",
+        "sum_e",
+        "_weight",
+    )
+
+    def __init__(
+        self,
+        flat: FlatDistance,
+        neighbors: Sequence[Sequence[int]],
+        config: HeuristicConfig,
+    ) -> None:
+        self.n = flat.n
+        # A plain list of (pre-boxed) floats: array('d') would box a
+        # fresh float object on every read, and this buffer is read a
+        # few hundred thousand times per deep traversal.
+        self.buf: List[float] = flat.buf.tolist()
+        self.neighbors = neighbors
+        self.config = config
+        self._weight = config.extended_set_weight
+        self.front_pairs: List[Tuple[int, int]] = []
+        self.ext_pairs: List[Tuple[int, int]] = []
+        # Per-qubit gate-term indices as flat lists (index = logical
+        # qubit): list indexing beats dict lookups in the candidate
+        # loop.  Front gates are vertex-disjoint (two ready gates can
+        # never share a qubit), so each qubit has at most ONE front
+        # partner — a scalar with -1 for "none", no inner loop needed.
+        # Extended-set gates can repeat qubits, so those stay lists
+        # (untouched qubits share one immutable empty tuple).
+        self.partner_f: List[int] = [-1] * self.n
+        self.partners_e: List[Sequence[int]] = [_NO_PARTNERS] * self.n
+        self.front_qubits: Set[int] = set()
+        self.front_homes: Set[int] = set()
+        self.cand_set: Set[Tuple[int, int]] = set()
+        self.cand_list: List[Tuple[int, int]] = []
+        self.sum_f = 0.0
+        self.sum_e = 0.0
+
+    # ------------------------------------------------------------------
+    # Front-layer events
+    # ------------------------------------------------------------------
+
+    def set_front(
+        self,
+        front_gates: Sequence[Gate],
+        extended_gates: Sequence[Gate],
+        l2p: Sequence[int],
+    ) -> None:
+        """Rebuild pair lists, per-qubit term indices, and candidates.
+
+        Called only when a gate executed (the front layer changed) —
+        consecutive SWAP selections reuse everything built here.
+        """
+        self.front_pairs = [gate.qubits for gate in front_gates]
+        self.ext_pairs = [gate.qubits for gate in extended_gates]
+        partner_f: List[int] = [-1] * self.n
+        front_qubits: Set[int] = set()
+        for a, b in self.front_pairs:
+            if partner_f[a] != -1 or partner_f[b] != -1:
+                raise MappingError(
+                    "front layer gates must be vertex-disjoint; got a qubit "
+                    "in two ready gates"
+                )
+            partner_f[a] = b
+            partner_f[b] = a
+            front_qubits.add(a)
+            front_qubits.add(b)
+        self.partner_f = partner_f
+        partners_e: List[Sequence[int]] = [_NO_PARTNERS] * self.n
+        ext_touched: Set[int] = set()
+        for a, b in self.ext_pairs:
+            if a in ext_touched:
+                partners_e[a].append(b)  # type: ignore[union-attr]
+            else:
+                partners_e[a] = [b]
+                ext_touched.add(a)
+            if b in ext_touched:
+                partners_e[b].append(a)  # type: ignore[union-attr]
+            else:
+                partners_e[b] = [a]
+                ext_touched.add(b)
+        self.partners_e = partners_e
+        self.front_qubits = front_qubits
+        self.rebuild_candidates(l2p)
+
+    def rebuild_candidates(self, l2p: Sequence[int]) -> None:
+        """From-scratch candidate edge set: edges touching a front home.
+
+        This is the §IV-C1 search-space reduction; incremental updates
+        (:meth:`on_swap_applied`) must always agree with this rebuild —
+        the invariant the candidate-cache tests pin down.
+        """
+        homes = {l2p[q] for q in self.front_qubits}
+        self.front_homes = homes
+        cand: Set[Tuple[int, int]] = set()
+        neighbors = self.neighbors
+        for p in homes:
+            for nb in neighbors[p]:
+                cand.add((p, nb) if p < nb else (nb, p))
+        self.cand_set = cand
+        self.cand_list = sorted(cand)
+
+    def candidates(self) -> List[Tuple[int, int]]:
+        """Sorted candidate edges — deterministic iteration order, so
+        tie-break sets (and hence ``rng.choice``) match the reference
+        from-scratch path exactly.  Maintained incrementally (a sorted
+        list kept in lock-step with :attr:`cand_set`), so no per-step
+        sort.  Callers iterate only; they must not mutate the list."""
+        return self.cand_list
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+
+    def begin_step(self, l2p: Sequence[int]) -> None:
+        """Recompute the step's base sums over ``F`` and ``E``.
+
+        Once per SWAP selection (``O(|F| + |E|)``), in the same gate
+        order as the reference scorer so float rounding tracks it as
+        closely as possible.  Recomputing per step (rather than carrying
+        sums across steps) keeps errors from accumulating over long
+        SWAP chains.
+        """
+        buf = self.buf
+        n = self.n
+        total = 0.0
+        for a, b in self.front_pairs:
+            total += buf[l2p[a] * n + l2p[b]]
+        self.sum_f = total
+        total = 0.0
+        for a, b in self.ext_pairs:
+            total += buf[l2p[a] * n + l2p[b]]
+        self.sum_e = total
+
+    def swap_score(
+        self, qa: int, qb: int, pa: int, pb: int, l2p: Sequence[int]
+    ) -> float:
+        """Distance part of the heuristic after SWAPping ``qa <-> qb``.
+
+        ``pa``/``pb`` are the current homes of ``qa``/``qb``.  Only the
+        terms whose gates touch the swapped qubits are adjusted; gates
+        between ``qa`` and ``qb`` themselves keep their (symmetric)
+        distance and are skipped.  Decay and the SWAP-cost penalty are
+        applied by the router — they depend on the SWAP, not the layout.
+        """
+        buf = self.buf
+        n = self.n
+        row_a = pa * n
+        row_b = pb * n
+        delta_f = 0.0
+        other = self.partner_f[qa]
+        if other >= 0 and other != qb:
+            po = l2p[other]
+            delta_f += buf[row_b + po] - buf[row_a + po]
+        other = self.partner_f[qb]
+        if other >= 0 and other != qa:
+            po = l2p[other]
+            delta_f += buf[row_a + po] - buf[row_b + po]
+        if self.config.mode == "basic":
+            return self.sum_f + delta_f
+        score = (self.sum_f + delta_f) / len(self.front_pairs)
+        if self.ext_pairs:
+            delta_e = 0.0
+            for other in self.partners_e[qa]:
+                if other != qb:
+                    po = l2p[other]
+                    delta_e += buf[row_b + po] - buf[row_a + po]
+            for other in self.partners_e[qb]:
+                if other != qa:
+                    po = l2p[other]
+                    delta_e += buf[row_a + po] - buf[row_b + po]
+            score += self._weight * (self.sum_e + delta_e) / len(self.ext_pairs)
+        return score
+
+    # ------------------------------------------------------------------
+    # Layout events
+    # ------------------------------------------------------------------
+
+    def on_swap_applied(self, qa: int, qb: int, pa: int, pb: int) -> None:
+        """Incrementally maintain the candidate set after a SWAP.
+
+        ``pa``/``pb`` are the homes of ``qa``/``qb`` *before* the swap.
+        At most one front-layer home moves (front qubits occupy distinct
+        homes), so the update touches only the two endpoints' edges —
+        ``O(deg)`` instead of rebuilding from every front qubit.
+        """
+        a_front = qa in self.front_qubits
+        b_front = qb in self.front_qubits
+        if a_front == b_front:
+            # Both in the front layer: their homes trade places and the
+            # union of incident edges is unchanged.  Neither in the
+            # front layer: no front home moved.
+            return
+        moved_from, moved_to = (pa, pb) if a_front else (pb, pa)
+        homes = self.front_homes
+        homes.discard(moved_from)
+        homes.add(moved_to)
+        cand = self.cand_set
+        cand_list = self.cand_list
+        for nb in self.neighbors[moved_from]:
+            if nb not in homes:
+                edge = (moved_from, nb) if moved_from < nb else (nb, moved_from)
+                if edge in cand:
+                    cand.discard(edge)
+                    del cand_list[bisect_left(cand_list, edge)]
+        for nb in self.neighbors[moved_to]:
+            edge = (moved_to, nb) if moved_to < nb else (nb, moved_to)
+            if edge not in cand:
+                cand.add(edge)
+                insort(cand_list, edge)

@@ -29,6 +29,7 @@ from repro.engine.cache import (
     coupling_fingerprint,
     get_cached_device,
     get_distance_matrix,
+    get_flat_distance_matrix,
 )
 from repro.engine.trials import (
     EXECUTORS,
@@ -50,6 +51,7 @@ __all__ = [
     "coupling_fingerprint",
     "get_cached_device",
     "get_distance_matrix",
+    "get_flat_distance_matrix",
     "EXECUTORS",
     "OBJECTIVES",
     "TrialResult",

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.heuristic import HeuristicConfig
 from repro.core.result import MappingResult
-from repro.engine.cache import get_distance_matrix
+from repro.engine.cache import get_flat_distance_matrix
 from repro.engine.trials import (
     OBJECTIVES,
     TrialResult,
@@ -179,7 +179,7 @@ def compile_many(
             f"unknown objective {objective!r}; available: {sorted(OBJECTIVES)}"
         )
     start = time.perf_counter()
-    distance = get_distance_matrix(coupling)
+    distance = get_flat_distance_matrix(coupling)
     seeds = [seed + t for t in range(num_trials)]
     payloads = [
         (circuit, coupling, config, s, num_traversals, distance)

@@ -17,17 +17,20 @@ Safety properties:
   once in the parent and ship it to workers as an argument, so a pool
   run performs the Floyd-Warshall exactly once (see
   :mod:`repro.engine.batch`).
-- **Poison-proof**: matrices are stored as immutable tuples and
-  returned as fresh mutable copies; mutating a returned matrix can
-  never corrupt later reads.
+- **Poison-proof**: matrices are stored once, flattened to immutable
+  bytes, and returned as fresh mutable copies (nested lists or
+  :class:`FlatDistance` buffers); mutating a returned matrix can never
+  corrupt later reads.
 """
 
 from __future__ import annotations
 
 import threading
+from array import array
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.scoring import FlatDistance
 from repro.hardware.coupling import CouplingGraph
 from repro.hardware.devices import DEVICE_BUILDERS, get_device
 from repro.hardware.distance import (
@@ -93,7 +96,11 @@ class DeviceCache:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._matrices: Dict[Fingerprint, Tuple[Tuple[float, ...], ...]] = {}
+        #: Single matrix store, flattened: (n, raw float64 bytes,
+        #: symmetric flag).  The nested list-of-lists form is derived
+        #: from it on demand, so both access paths share one compute
+        #: and one copy per fingerprint.
+        self._flat: Dict[Fingerprint, Tuple[int, bytes, bool]] = {}
         self._devices: Dict[str, CouplingGraph] = {}
         self._hits = 0
         self._misses = 0
@@ -111,27 +118,56 @@ class DeviceCache:
         """The device's ``D[][]``, computed at most once per fingerprint.
 
         Returns a *fresh* list-of-lists copy on every call (hit or
-        miss); callers may mutate their copy freely.
+        miss); callers may mutate their copy freely.  Backed by the
+        same flattened store as :meth:`flat_distance_matrix`, so
+        fetching both forms still computes the APSP only once.
+        """
+        return self.flat_distance_matrix(
+            coupling, edge_weights, method
+        ).to_matrix()
+
+    def flat_distance_matrix(
+        self,
+        coupling: CouplingGraph,
+        edge_weights: Optional[Dict[Tuple[int, int], float]] = None,
+        method: str = "floyd-warshall",
+    ) -> FlatDistance:
+        """The device's ``D`` as a :class:`FlatDistance`, cached once.
+
+        This is what the router core consumes directly: a 1-D
+        ``array('d')`` buffer.  Stored as immutable bytes; every call
+        (hit or miss) returns a fresh buffer, so mutating a returned
+        instance can never corrupt later reads.
         """
         key = coupling_fingerprint(coupling, edge_weights, method)
         with self._lock:
-            frozen = self._matrices.get(key)
+            frozen = self._flat.get(key)
             if frozen is not None:
                 self._hits += 1
-                return [list(row) for row in frozen]
+                return self._thaw_flat(frozen)
         # Compute outside the lock: Floyd-Warshall on a big device is
         # exactly the work we must not serialise other devices behind.
-        computed = self._compute(coupling, edge_weights, method)
-        frozen = tuple(tuple(row) for row in computed)
+        # (A rare concurrent first fetch may duplicate the compute; the
+        # first store wins and the loser counts as a hit, matching the
+        # pre-existing nested-store behaviour.)
+        flat = FlatDistance.from_matrix(
+            self._compute(coupling, edge_weights, method)
+        )
+        frozen = (flat.n, flat.buf.tobytes(), flat.symmetric)
         with self._lock:
-            if key not in self._matrices:
-                self._matrices[key] = frozen
+            if key not in self._flat:
+                self._flat[key] = frozen
                 self._misses += 1
             else:
-                # Lost a race with another thread; count as hit, keep
-                # the first-stored matrix (both are identical anyway).
                 self._hits += 1
-            return [list(row) for row in self._matrices[key]]
+            return self._thaw_flat(self._flat[key])
+
+    @staticmethod
+    def _thaw_flat(frozen: Tuple[int, bytes, bool]) -> FlatDistance:
+        n, raw, symmetric = frozen
+        buf = array("d")
+        buf.frombytes(raw)
+        return FlatDistance(n, buf, symmetric)
 
     @staticmethod
     def _compute(
@@ -181,12 +217,12 @@ class DeviceCache:
             return CacheInfo(
                 hits=self._hits,
                 misses=self._misses,
-                entries=len(self._matrices) + len(self._devices),
+                entries=len(self._flat) + len(self._devices),
             )
 
     def clear(self) -> None:
         with self._lock:
-            self._matrices.clear()
+            self._flat.clear()
             self._devices.clear()
             self._hits = 0
             self._misses = 0
@@ -204,6 +240,20 @@ def get_distance_matrix(
 ) -> Matrix:
     """Module-level convenience wrapper over :data:`GLOBAL_CACHE`."""
     return GLOBAL_CACHE.distance_matrix(coupling, edge_weights, method)
+
+
+def get_flat_distance_matrix(
+    coupling: CouplingGraph,
+    edge_weights: Optional[Dict[Tuple[int, int], float]] = None,
+    method: str = "floyd-warshall",
+) -> FlatDistance:
+    """Flattened-matrix wrapper over :data:`GLOBAL_CACHE`.
+
+    The compiler front door and the trial/batch executors fetch this
+    form: the router consumes it without re-flattening, and its compact
+    single-buffer pickle keeps worker-pool dispatch cheap.
+    """
+    return GLOBAL_CACHE.flat_distance_matrix(coupling, edge_weights, method)
 
 
 def get_cached_device(name: str) -> CouplingGraph:

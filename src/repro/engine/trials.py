@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.heuristic import HeuristicConfig
 from repro.core.result import MappingResult
-from repro.engine.cache import get_distance_matrix
+from repro.engine.cache import get_flat_distance_matrix
 from repro.exceptions import ReproError
 from repro.hardware.coupling import CouplingGraph
 
@@ -206,7 +206,10 @@ def run_trials(
             f"unknown objective {objective!r}; available: {sorted(OBJECTIVES)}"
         )
     if distance is None:
-        distance = get_distance_matrix(coupling)
+        # Flattened form: the router consumes it as-is, and its single
+        # contiguous buffer pickles far smaller than a list-of-lists
+        # when trials fan out across a process pool.
+        distance = get_flat_distance_matrix(coupling)
 
     payloads = [
         (circuit, coupling, config, seed, num_traversals, distance)

@@ -9,9 +9,11 @@ step is O(N^3)".
 
 We implement Floyd-Warshall exactly as described, plus a BFS-based
 APSP (``O(N * E)``, faster on the sparse graphs real devices have) that
-must agree with it — the agreement is itself a test invariant.  The
-weighted variant supports the noise-aware routing extension, where an
-edge's length reflects its two-qubit error rate instead of 1.
+must agree with it — the agreement is itself a test invariant, and it
+is what lets :class:`~repro.core.router.SabreRouter` default to the BFS
+matrix when no precomputed matrix is passed.  The weighted variant
+supports the noise-aware routing extension, where an edge's length
+reflects its two-qubit error rate instead of 1.
 """
 
 from __future__ import annotations

@@ -1,0 +1,201 @@
+"""Differential suite: fast delta scorer vs reference scorer.
+
+The fast path (flat-array delta scoring, incremental candidate cache)
+must be *observationally identical* to the paper-literal reference
+path: same per-step winner sets, same tie-break draws, and therefore
+bit-for-bit identical routed circuits for identical seeds — across all
+heuristic modes, the noise-aware penalty path, and the livelock escape
+hatch.
+"""
+
+import pytest
+
+from repro.circuits import random_circuit
+from repro.core import (
+    HeuristicConfig,
+    Layout,
+    SabreLayout,
+    SabreRouter,
+    compile_circuit,
+)
+from repro.core.heuristic import SCORER_ENV_VAR, resolve_scorer
+from repro.exceptions import MappingError
+from repro.extensions.noise_aware import noise_weighted_distance
+from repro.hardware import (
+    NoiseModel,
+    grid_device,
+    line_device,
+    ring_device,
+)
+
+MODES = ["basic", "lookahead", "decay"]
+
+
+def _run_both(device, circuit, mode="decay", seed=0, layout_seed=1, **cfg):
+    layout = Layout.random(device.num_qubits, seed=layout_seed)
+    results = {}
+    for scorer in ("fast", "reference"):
+        router = SabreRouter(
+            device,
+            config=HeuristicConfig(mode=mode, scorer=scorer, **cfg),
+            seed=seed,
+        )
+        results[scorer] = router.run(circuit, initial_layout=layout)
+    return results["fast"], results["reference"]
+
+
+def _assert_identical(fast, reference):
+    assert fast.circuit == reference.circuit
+    assert fast.swap_positions == reference.swap_positions
+    assert fast.initial_layout == reference.initial_layout
+    assert fast.final_layout == reference.final_layout
+    assert fast.num_forced_escapes == reference.num_forced_escapes
+
+
+class TestIdenticalRouting:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("seed", [0, 7, 13])
+    def test_all_modes_tokyo(self, tokyo, mode, seed):
+        circuit = random_circuit(20, 150, seed=seed, two_qubit_fraction=0.8)
+        _assert_identical(*_run_both(tokyo, circuit, mode=mode, seed=seed))
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_all_modes_grid(self, mode):
+        device = grid_device(5, 5)
+        circuit = random_circuit(25, 200, seed=3, two_qubit_fraction=0.7)
+        _assert_identical(*_run_both(device, circuit, mode=mode))
+
+    @pytest.mark.parametrize("device_builder", [
+        lambda: line_device(8),
+        lambda: ring_device(8),
+        lambda: grid_device(3, 4),
+    ])
+    def test_small_topologies(self, device_builder):
+        device = device_builder()
+        circuit = random_circuit(
+            device.num_qubits, 120, seed=5, two_qubit_fraction=0.9
+        )
+        _assert_identical(*_run_both(device, circuit))
+
+    def test_noise_aware_penalty_path(self, tokyo):
+        """Weighted (non-integer) distance matrix + swap_cost_penalty."""
+        noise = NoiseModel(edge_errors={(0, 1): 0.2, (5, 6): 0.1, (11, 12): 0.15})
+        distance = noise_weighted_distance(tokyo, noise)
+        circuit = random_circuit(20, 150, seed=11, two_qubit_fraction=0.8)
+        layout = Layout.random(20, seed=2)
+        results = {}
+        for scorer in ("fast", "reference"):
+            router = SabreRouter(
+                tokyo,
+                config=HeuristicConfig(scorer=scorer, swap_cost_penalty=1.0),
+                seed=4,
+                distance=distance,
+            )
+            results[scorer] = router.run(circuit, initial_layout=layout)
+        _assert_identical(results["fast"], results["reference"])
+
+    def test_escape_hatch_path(self):
+        """Pathological stall_limit forces the escape hatch in both."""
+        device = ring_device(8)
+        circuit = random_circuit(8, 80, seed=0, two_qubit_fraction=1.0)
+        layout = Layout.random(8, seed=6)
+        results = {}
+        for scorer in ("fast", "reference"):
+            router = SabreRouter(
+                device,
+                config=HeuristicConfig(mode="basic", scorer=scorer),
+                seed=0,
+                stall_limit=2,
+            )
+            results[scorer] = router.run(circuit, initial_layout=layout)
+        assert results["fast"].num_forced_escapes > 0
+        _assert_identical(results["fast"], results["reference"])
+
+    def test_bidirectional_search_identical(self, tokyo):
+        circuit = random_circuit(16, 100, seed=9, two_qubit_fraction=0.7)
+        outputs = {}
+        for scorer in ("fast", "reference"):
+            searcher = SabreLayout(
+                tokyo, config=HeuristicConfig(scorer=scorer), seed=0
+            )
+            outputs[scorer] = searcher.run(circuit)
+        assert outputs["fast"].routing.circuit == outputs["reference"].routing.circuit
+        assert outputs["fast"].initial_layout == outputs["reference"].initial_layout
+
+    def test_compile_circuit_identical(self, tokyo):
+        circuit = random_circuit(12, 80, seed=21, two_qubit_fraction=0.7)
+        results = {
+            scorer: compile_circuit(
+                circuit,
+                tokyo,
+                config=HeuristicConfig(scorer=scorer),
+                seed=0,
+                num_trials=2,
+            )
+            for scorer in ("fast", "reference")
+        }
+        assert (
+            results["fast"].routing.circuit == results["reference"].routing.circuit
+        )
+        assert results["fast"].num_swaps == results["reference"].num_swaps
+
+
+class TestWinnerSets:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_per_step_winner_sets_identical(self, tokyo, mode):
+        """Stronger than end-to-end equality: the full pre-tie-break
+        best-candidate set of every search step must match."""
+        circuit = random_circuit(20, 120, seed=17, two_qubit_fraction=0.8)
+        layout = Layout.random(20, seed=3)
+        traces = {}
+        for scorer in ("fast", "reference"):
+            router = SabreRouter(
+                tokyo, config=HeuristicConfig(mode=mode, scorer=scorer), seed=0
+            )
+            steps = []
+            router.on_winner_set = lambda best, steps=steps: steps.append(
+                list(best)
+            )
+            router.run(circuit, initial_layout=layout)
+            traces[scorer] = steps
+        assert traces["fast"] == traces["reference"]
+        assert len(traces["fast"]) > 0
+
+
+class TestScorerSelection:
+    def test_env_knob_reference(self, monkeypatch, line5):
+        monkeypatch.setenv(SCORER_ENV_VAR, "reference")
+        router = SabreRouter(line5, config=HeuristicConfig(scorer="auto"))
+        assert router.scorer == "reference"
+
+    def test_env_knob_default_fast(self, monkeypatch, line5):
+        monkeypatch.delenv(SCORER_ENV_VAR, raising=False)
+        router = SabreRouter(line5)
+        assert router.scorer == "fast"
+
+    def test_explicit_config_beats_env(self, monkeypatch, line5):
+        monkeypatch.setenv(SCORER_ENV_VAR, "reference")
+        router = SabreRouter(line5, config=HeuristicConfig(scorer="fast"))
+        assert router.scorer == "fast"
+
+    def test_invalid_scorer_rejected(self):
+        with pytest.raises(MappingError, match="scorer"):
+            HeuristicConfig(scorer="warp")
+
+    def test_invalid_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(SCORER_ENV_VAR, "warp")
+        with pytest.raises(MappingError, match="scorer"):
+            resolve_scorer("auto")
+
+    def test_asymmetric_matrix_falls_back(self, line5):
+        """The delta scorer assumes D symmetric; asymmetric input must
+        silently use the reference scorer instead of mis-scoring."""
+        asym = [[0.0] * 5 for _ in range(5)]
+        for i in range(5):
+            for j in range(5):
+                if i != j:
+                    asym[i][j] = abs(i - j) + (0.25 if i > j else 0.0)
+        router = SabreRouter(
+            line5, config=HeuristicConfig(scorer="fast"), distance=asym
+        )
+        assert router.scorer == "reference"

@@ -191,6 +191,65 @@ class TestHeuristicModes:
         )
 
 
+class TestDefaultDistance:
+    def test_bfs_default_equals_floyd_warshall(self, grid3x3):
+        """With no matrix passed the router computes BFS APSP, which the
+        FW/BFS agreement invariant guarantees is the paper's matrix."""
+        from repro.hardware.distance import floyd_warshall
+
+        router = SabreRouter(grid3x3, seed=0)
+        assert router.dist == floyd_warshall(grid3x3)
+
+    def test_flat_distance_accepted(self, line5):
+        from repro.core import FlatDistance
+        from repro.hardware.distance import floyd_warshall
+
+        nested = floyd_warshall(line5)
+        flat = FlatDistance.from_matrix(nested)
+        circ = QuantumCircuit(5)
+        circ.cx(0, 4)
+        a = SabreRouter(line5, seed=0, distance=flat).run(circ)
+        b = SabreRouter(line5, seed=0, distance=nested).run(circ)
+        assert a.circuit == b.circuit
+        assert SabreRouter(line5, distance=flat).dist == nested
+
+    def test_wrong_size_matrix_rejected(self, line5):
+        with pytest.raises(MappingError, match="device has"):
+            SabreRouter(line5, distance=[[0.0, 1.0], [1.0, 0.0]])
+
+
+class TestPhysicalCircuitMemo:
+    def test_memoized_and_correct(self, line5):
+        circ = QuantumCircuit(5)
+        circ.cx(0, 4)
+        result = SabreRouter(line5, seed=0).run(circ)
+        first = result.physical_circuit()
+        assert first is result.physical_circuit()  # memoised
+        assert "swap" not in first.gate_counts()
+        assert first.count_gates() == 1 + result.added_gates
+
+    def test_memo_excluded_from_pickle(self, line5):
+        """Pool workers ship results back through pickle; the memo must
+        not double the payload."""
+        import pickle
+
+        circ = QuantumCircuit(5)
+        circ.cx(0, 4)
+        result = SabreRouter(line5, seed=0).run(circ)
+        decomposed = result.physical_circuit()
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone._decomposed is None
+        assert clone.physical_circuit() == decomposed
+
+    def test_undecomposed_form_not_cached(self, line5):
+        circ = QuantumCircuit(5)
+        circ.cx(0, 4)
+        result = SabreRouter(line5, seed=0).run(circ)
+        assert result.physical_circuit(decompose_swaps=False) is result.circuit
+        # Asking for the raw form must not poison the decomposed cache.
+        assert "swap" not in result.physical_circuit().gate_counts()
+
+
 class TestInitialLayouts:
     def test_initial_layout_respected(self, line5):
         circ = QuantumCircuit(2)

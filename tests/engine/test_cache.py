@@ -121,6 +121,60 @@ class TestDistanceMatrixCaching:
         assert info == type(info)(hits=0, misses=0, entries=0)
 
 
+class TestFlatMatrixCaching:
+    def test_flat_equals_nested(self):
+        cache = DeviceCache()
+        device = ibm_q20_tokyo()
+        flat = cache.flat_distance_matrix(device)
+        assert flat.to_matrix() == floyd_warshall(device)
+        assert flat.symmetric
+
+    def test_computed_once_per_fingerprint(self):
+        cache = DeviceCache()
+        device = grid_device(3, 3)
+        for _ in range(4):
+            cache.flat_distance_matrix(device)
+        info = cache.cache_info()
+        assert info.misses == 1
+        assert info.hits == 3
+
+    def test_flat_and_nested_share_one_store(self):
+        """Both access forms are backed by one flattened store: fetching
+        nested then flat computes the APSP exactly once."""
+        cache = DeviceCache()
+        device = grid_device(3, 3)
+        nested = cache.distance_matrix(device)
+        flat = cache.flat_distance_matrix(device)
+        assert flat.to_matrix() == nested
+        info = cache.cache_info()
+        assert info.misses == 1
+        assert info.hits == 1
+
+    def test_mutation_cannot_poison_flat_cache(self):
+        cache = DeviceCache()
+        device = grid_device(3, 3)
+        stolen = cache.flat_distance_matrix(device)
+        stolen.buf[0] = 999.0
+        clean = cache.flat_distance_matrix(device)
+        assert clean.to_matrix() == floyd_warshall(device)
+
+    def test_weighted_flat_matrix(self):
+        cache = DeviceCache()
+        device = line_device(4)
+        weights = {(0, 1): 2.0, (1, 2): 0.5}
+        flat = cache.flat_distance_matrix(device, edge_weights=weights)
+        assert flat.to_matrix() == weighted_floyd_warshall(device, weights)
+
+    def test_clear_resets_flat_store(self):
+        cache = DeviceCache()
+        device = grid_device(3, 3)
+        cache.flat_distance_matrix(device)
+        cache.clear()
+        assert cache.cache_info().entries == 0
+        cache.flat_distance_matrix(device)
+        assert cache.cache_info().misses == 1
+
+
 class TestFingerprint:
     def test_name_does_not_matter(self):
         a = grid_device(3, 3)

@@ -1,0 +1,71 @@
+"""Property tests: delta scorer == reference scorer, step by step."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import random_circuit
+from repro.core import HeuristicConfig, Layout, SabreRouter
+from repro.hardware import grid_device, ring_device
+
+
+def _winner_trace(device, circuit, layout, mode, scorer, seed):
+    router = SabreRouter(
+        device, config=HeuristicConfig(mode=mode, scorer=scorer), seed=seed
+    )
+    steps = []
+    router.on_winner_set = lambda best: steps.append(list(best))
+    result = router.run(circuit, initial_layout=layout)
+    return steps, result
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    circuit_seed=st.integers(min_value=0, max_value=10_000),
+    layout_seed=st.integers(min_value=0, max_value=10_000),
+    tie_seed=st.integers(min_value=0, max_value=10_000),
+    mode=st.sampled_from(["basic", "lookahead", "decay"]),
+)
+def test_winner_sets_and_circuits_identical(
+    circuit_seed, layout_seed, tie_seed, mode
+):
+    """For any circuit/layout/tie-break seed and any heuristic mode, the
+    fast scorer's per-step winner sets — the complete set of best-scoring
+    SWAPs *before* the random tie-break — equal the reference scorer's,
+    and the routed circuits are bit-for-bit identical."""
+    device = grid_device(3, 3)
+    circuit = random_circuit(9, 40, seed=circuit_seed, two_qubit_fraction=0.8)
+    layout = Layout.random(9, seed=layout_seed)
+    fast_steps, fast = _winner_trace(
+        device, circuit, layout, mode, "fast", tie_seed
+    )
+    ref_steps, ref = _winner_trace(
+        device, circuit, layout, mode, "reference", tie_seed
+    )
+    assert fast_steps == ref_steps
+    assert fast.circuit == ref.circuit
+    assert fast.final_layout == ref.final_layout
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    circuit_seed=st.integers(min_value=0, max_value=10_000),
+    stall_limit=st.integers(min_value=1, max_value=4),
+)
+def test_escape_hatch_identical(circuit_seed, stall_limit):
+    """The forced-escape path must also be scorer-independent."""
+    device = ring_device(6)
+    circuit = random_circuit(6, 30, seed=circuit_seed, two_qubit_fraction=1.0)
+    layout = Layout.trivial(6)
+    results = {}
+    for scorer in ("fast", "reference"):
+        router = SabreRouter(
+            device,
+            config=HeuristicConfig(mode="basic", scorer=scorer),
+            seed=0,
+            stall_limit=stall_limit,
+        )
+        results[scorer] = router.run(circuit, initial_layout=layout)
+    assert results["fast"].circuit == results["reference"].circuit
+    assert (
+        results["fast"].num_forced_escapes
+        == results["reference"].num_forced_escapes
+    )
