@@ -1,10 +1,21 @@
-"""Router-core perf benchmark: fast delta scorer vs reference scorer.
+"""Router perf benchmark: per-step scorer AND end-to-end layout sweeps.
 
-Times one routing traversal (``SabreRouter.run``) per case under both
-scorer implementations, asserts the routed circuits are *identical*
-(the differential guarantee), and emits a machine-readable
-``BENCH_router.json`` so the perf trajectory has data points and CI can
-gate on regressions.
+Two benchmark families, one report (``BENCH_router.json``):
+
+- **Scorer cases** — one routing traversal (``SabreRouter.run``) per
+  case under the fast delta scorer vs the paper-literal reference
+  scorer (the PR-2 win, still gated).
+- **Layout cases** — a full ``SabreLayout`` trial sweep (bidirectional
+  traversals x random restarts, the way users actually compile) under
+  the compile-once shared-IR path vs the frozen pre-IR baseline
+  (:class:`repro.core.legacy.LegacySabreLayout`), which re-lowers a
+  fresh object DAG on every traversal.  The case mix follows the
+  paper's benchmark families (QFT, Ising, reversible/Toffoli blocks)
+  plus one adversarial dense-random stress case where the shared
+  scoring loop dominates and the IR win is smallest.
+
+Every case asserts the two paths' routed circuits are *byte-identical*
+(the differential guarantee) before timing means anything.
 
 Three ways to run it:
 
@@ -21,10 +32,10 @@ Three ways to run it:
 
       pytest benchmarks/bench_router_perf.py --benchmark-only
 
-The regression gate compares *speedup ratios* (fast vs reference on the
+The regression gate compares *speedup ratios* (two code paths on the
 same machine, same process), not absolute wall-clock, so it is stable
-across runner hardware: a >25% drop in any case's speedup against the
-checked-in baseline fails the run.
+across runner hardware: a >25% drop in any case's speedup (scorer or
+layout) against the checked-in baseline fails the run.
 """
 
 from __future__ import annotations
@@ -39,9 +50,16 @@ from typing import Callable, List, Optional, Sequence
 
 import pytest
 
-from repro.bench_circuits import qft
+from repro.bench_circuits import approximate_qft, ising_model, mct_ladder, qft
 from repro.circuits import QuantumCircuit, random_circuit
-from repro.core import HeuristicConfig, Layout, SabreRouter
+from repro.core import (
+    HeuristicConfig,
+    Layout,
+    LegacySabreLayout,
+    SabreLayout,
+    SabreRouter,
+)
+from repro.engine.cache import clear_cache
 from repro.hardware import CouplingGraph, grid_device, ibm_q20_tokyo
 
 #: Allowed relative drop in a case's speedup before the gate fails.
@@ -114,6 +132,54 @@ SMOKE_CASES = [
 ]
 
 
+@dataclass(frozen=True)
+class LayoutCase:
+    """One end-to-end case: a full ``SabreLayout`` trial sweep.
+
+    ``num_trials x num_traversals`` routing passes over one circuit —
+    the repetition the compile-once IR amortises.
+    """
+
+    name: str
+    device_builder: Callable[[], CouplingGraph]
+    circuit_builder: Callable[[], QuantumCircuit]
+    num_trials: int = 5
+    num_traversals: int = 3
+    repeats: int = 2
+
+
+#: End-to-end sweep, paper benchmark families + one dense-random
+#: stress case (where the shared scoring loop dominates and the
+#: shared-IR win is smallest — kept honest on purpose).
+FULL_LAYOUT_CASES = [
+    LayoutCase("layout_qft20_tokyo", ibm_q20_tokyo, lambda: qft(20)),
+    LayoutCase(
+        "layout_aqft20_tokyo", ibm_q20_tokyo, lambda: approximate_qft(20, 4)
+    ),
+    LayoutCase(
+        "layout_ising20x12_tokyo", ibm_q20_tokyo, lambda: ising_model(20, 12)
+    ),
+    LayoutCase(
+        "layout_ising49x6_grid7x7",
+        lambda: grid_device(7, 7),
+        lambda: ising_model(49, 6),
+    ),
+    LayoutCase("layout_mct16_tokyo", ibm_q20_tokyo, lambda: mct_ladder(16, 3)),
+    LayoutCase(
+        "layout_qft30_grid7x7", lambda: grid_device(7, 7), lambda: qft(30)
+    ),
+    LayoutCase("layout_rand600_tokyo", ibm_q20_tokyo, _rand(20, 600)),
+]
+
+#: Layout smoke cases: one structured, one stress, both sub-second.
+SMOKE_LAYOUT_CASES = [
+    LayoutCase("layout_qft16_tokyo", ibm_q20_tokyo, lambda: qft(16)),
+    LayoutCase(
+        "layout_ising20x8_tokyo", ibm_q20_tokyo, lambda: ising_model(20, 8)
+    ),
+]
+
+
 def _time_router(
     device: CouplingGraph,
     circuit: QuantumCircuit,
@@ -166,36 +232,104 @@ def run_case(case: Case) -> dict:
     }
 
 
-def run_suite(cases: Sequence[Case], smoke: bool) -> dict:
+def run_layout_case(case: LayoutCase) -> dict:
+    """Measure one end-to-end trial sweep under both code paths.
+
+    Best-of-``repeats`` wall clock; the engine cache is cleared before
+    every timed run so each measurement includes the (cold) lowering —
+    precisely the cost the shared-IR path amortises across its
+    ``num_trials x num_traversals`` passes.
+    """
+    device = case.device_builder()
+    circuit = case.circuit_builder()
+    timings = {}
+    outputs = {}
+    for label, cls in (("legacy", LegacySabreLayout), ("shared_ir", SabreLayout)):
+        best = math.inf
+        for _ in range(case.repeats):
+            clear_cache()
+            searcher = cls(
+                device,
+                num_trials=case.num_trials,
+                num_traversals=case.num_traversals,
+                seed=ROUTER_SEED,
+            )
+            start = time.perf_counter()
+            outputs[label] = searcher.run(circuit)
+            best = min(best, time.perf_counter() - start)
+        timings[label] = best
+    new, old = outputs["shared_ir"], outputs["legacy"]
+    identical = (
+        new.routing.circuit == old.routing.circuit
+        and new.initial_layout == old.initial_layout
+        and new.best_trial_index == old.best_trial_index
+    )
+    return {
+        "name": case.name,
+        "device": device.name,
+        "num_qubits": device.num_qubits,
+        "num_gates": circuit.num_gates,
+        "num_trials": case.num_trials,
+        "num_traversals": case.num_traversals,
+        "legacy_seconds": round(timings["legacy"], 6),
+        "shared_ir_seconds": round(timings["shared_ir"], 6),
+        "speedup": round(timings["legacy"] / timings["shared_ir"], 3),
+        "num_swaps": new.num_swaps,
+        "identical": identical,
+    }
+
+
+def _geomean(values: Sequence[float]) -> float:
+    return round(math.exp(sum(math.log(v) for v in values) / len(values)), 3)
+
+
+def run_suite(
+    cases: Sequence[Case], layout_cases: Sequence[LayoutCase], smoke: bool
+) -> dict:
     """Run every case and assemble the BENCH_router.json payload."""
     results = []
     for case in cases:
         row = run_case(case)
         results.append(row)
         print(
-            f"  {row['name']:22s} ref={row['reference_seconds'] * 1000:9.1f}ms"
+            f"  {row['name']:26s} ref={row['reference_seconds'] * 1000:9.1f}ms"
             f"  fast={row['fast_seconds'] * 1000:8.1f}ms"
             f"  speedup=x{row['speedup']:<5.2f}"
             f"  identical={row['identical']}"
         )
+    print("layout sweeps: shared-IR vs legacy per-run-DAG")
+    layout_results = []
+    for layout_case in layout_cases:
+        row = run_layout_case(layout_case)
+        layout_results.append(row)
+        print(
+            f"  {row['name']:26s} old={row['legacy_seconds'] * 1000:9.1f}ms"
+            f"  new={row['shared_ir_seconds'] * 1000:8.1f}ms"
+            f"  speedup=x{row['speedup']:<5.2f}"
+            f"  identical={row['identical']}"
+        )
     speedups = [row["speedup"] for row in results]
+    layout_speedups = [row["speedup"] for row in layout_results]
     deep = [row for row in results if row["deep"]]
     summary = {
-        "geomean_speedup": round(
-            math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 3
-        ),
+        "geomean_speedup": _geomean(speedups),
         "min_speedup": min(speedups),
         "max_speedup": max(speedups),
         "deep_min_speedup": min(row["speedup"] for row in deep) if deep else None,
-        "all_identical": all(row["identical"] for row in results),
+        "geomean_layout_speedup": _geomean(layout_speedups),
+        "min_layout_speedup": min(layout_speedups),
+        "all_identical": all(
+            row["identical"] for row in results + layout_results
+        ),
     }
     return {
-        "schema": 1,
+        "schema": 2,
         "bench": "router_perf",
         "smoke": smoke,
         "layout_seed": LAYOUT_SEED,
         "router_seed": ROUTER_SEED,
         "cases": results,
+        "layout_cases": layout_results,
         "summary": summary,
     }
 
@@ -203,37 +337,39 @@ def run_suite(cases: Sequence[Case], smoke: bool) -> dict:
 def check_regression(report: dict, baseline_path: str) -> List[str]:
     """Compare per-case speedups against a checked-in baseline.
 
-    Returns a list of failure messages (empty = pass).  Ratios are
-    machine-relative, so the gate transfers across hardware; the
-    tolerance absorbs runner noise.
+    Covers both families: scorer cases (fast vs reference) and layout
+    cases (shared-IR vs legacy).  Returns a list of failure messages
+    (empty = pass).  Ratios are machine-relative, so the gate transfers
+    across hardware; the tolerance absorbs runner noise.
     """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
-    base_cases = {row["name"]: row for row in baseline["cases"]}
     failures = []
     compared = 0
-    for row in report["cases"]:
-        if not row["identical"]:
-            failures.append(
-                f"{row['name']}: fast and reference scorers diverged"
-            )
-        base = base_cases.get(row["name"])
-        if base is None:
-            continue
-        compared += 1
-        floor = base["speedup"] * (1.0 - REGRESSION_TOLERANCE)
-        if row["speedup"] < floor:
-            failures.append(
-                f"{row['name']}: speedup x{row['speedup']:.2f} fell below "
-                f"x{floor:.2f} (baseline x{base['speedup']:.2f} - "
-                f"{REGRESSION_TOLERANCE:.0%})"
-            )
+    for kind, diverged in (
+        ("cases", "fast and reference scorers diverged"),
+        ("layout_cases", "shared-IR and legacy layout sweeps diverged"),
+    ):
+        base_cases = {row["name"]: row for row in baseline.get(kind, [])}
+        for row in report.get(kind, []):
+            if not row["identical"]:
+                failures.append(f"{row['name']}: {diverged}")
+            base = base_cases.get(row["name"])
+            if base is None:
+                continue
+            compared += 1
+            floor = base["speedup"] * (1.0 - REGRESSION_TOLERANCE)
+            if row["speedup"] < floor:
+                failures.append(
+                    f"{row['name']}: speedup x{row['speedup']:.2f} fell below "
+                    f"x{floor:.2f} (baseline x{base['speedup']:.2f} - "
+                    f"{REGRESSION_TOLERANCE:.0%})"
+                )
     if compared == 0:
         # A renamed case or a smoke/full baseline mismatch must not turn
         # the gate into a vacuous pass.
         failures.append(
-            f"no benchmark case matched the baseline {baseline_path} "
-            f"(baseline names: {sorted(base_cases)})"
+            f"no benchmark case matched the baseline {baseline_path}"
         )
     return failures
 
@@ -258,6 +394,20 @@ def test_router_scorers_qft20(benchmark, tokyo, scorer):
         iterations=1,
     )
     benchmark.extra_info.update({"scorer": scorer, "swaps": result.num_swaps})
+
+
+@pytest.mark.parametrize("path", ["shared_ir", "legacy"])
+def test_layout_sweep_qft16(benchmark, tokyo, path):
+    circuit = qft(16)
+    cls = SabreLayout if path == "shared_ir" else LegacySabreLayout
+    searcher = cls(tokyo, num_trials=5, num_traversals=3, seed=ROUTER_SEED)
+
+    def sweep():
+        clear_cache()
+        return searcher.run(circuit)
+
+    result = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    benchmark.extra_info.update({"path": path, "swaps": result.num_swaps})
 
 
 @pytest.mark.parametrize("scorer", ["fast", "reference"])
@@ -305,13 +455,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     cases = SMOKE_CASES if args.smoke else FULL_CASES
+    layout_cases = SMOKE_LAYOUT_CASES if args.smoke else FULL_LAYOUT_CASES
     label = "smoke" if args.smoke else "full"
     print(f"router perf ({label}): fast delta scorer vs reference scorer")
-    report = run_suite(cases, smoke=args.smoke)
+    report = run_suite(cases, layout_cases, smoke=args.smoke)
     summary = report["summary"]
     print(
-        f"  geomean speedup x{summary['geomean_speedup']:.2f}, "
-        f"deep-case min x{summary['deep_min_speedup']:.2f}, "
+        f"  scorer geomean x{summary['geomean_speedup']:.2f} "
+        f"(deep-case min x{summary['deep_min_speedup']:.2f}), "
+        f"layout geomean x{summary['geomean_layout_speedup']:.2f}, "
         f"all identical: {summary['all_identical']}"
     )
     with open(args.output, "w") as fh:
@@ -320,7 +472,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"  wrote {args.output}")
 
     if not summary["all_identical"]:
-        print("FAIL: fast and reference scorers routed differently", file=sys.stderr)
+        print("FAIL: benchmark code paths routed differently", file=sys.stderr)
         return 1
     if args.check_regression:
         failures = check_regression(report, args.check_regression)

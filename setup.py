@@ -16,6 +16,8 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.9",
+    # 3.10 floor: Gate is a dataclass(slots=True), a 3.10+ construct
+    # (CI tests 3.10-3.12).
+    python_requires=">=3.10",
     install_requires=["numpy>=1.20"],
 )

@@ -34,6 +34,8 @@ from repro.circuits import (
     Gate,
     QuantumCircuit,
     CircuitDag,
+    FlatDag,
+    FrontierState,
     circuit_depth,
     reversed_circuit,
     inverted_circuit,
@@ -83,6 +85,8 @@ __all__ = [
     "Gate",
     "QuantumCircuit",
     "CircuitDag",
+    "FlatDag",
+    "FrontierState",
     "circuit_depth",
     "reversed_circuit",
     "inverted_circuit",

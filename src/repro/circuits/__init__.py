@@ -7,6 +7,9 @@ This package is the circuit substrate the SABRE mapper operates on:
 - :mod:`repro.circuits.circuit` — the :class:`QuantumCircuit` container.
 - :mod:`repro.circuits.dag` — gate dependency DAG, front layer, and layer
   partitioning (paper Fig. 4).
+- :mod:`repro.circuits.flatdag` — the compile-once flat CSR lowering of
+  that DAG plus the resettable routing frontier (the router's hot-path
+  IR, built once per circuit and shared across all trials/traversals).
 - :mod:`repro.circuits.depth` — ASAP scheduling and circuit depth.
 - :mod:`repro.circuits.decompositions` — Toffoli and SWAP decompositions
   (paper Fig. 1 and Fig. 3a) and basis rewriting.
@@ -19,6 +22,7 @@ This package is the circuit substrate the SABRE mapper operates on:
 from repro.circuits.gates import Gate, GATE_SPECS, GateSpec
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import CircuitDag, DagNode
+from repro.circuits.flatdag import FlatDag, FrontierState
 from repro.circuits.depth import circuit_depth, schedule_asap
 from repro.circuits.reverse import reversed_circuit, inverted_circuit
 from repro.circuits.decompositions import (
@@ -46,6 +50,8 @@ __all__ = [
     "QuantumCircuit",
     "CircuitDag",
     "DagNode",
+    "FlatDag",
+    "FrontierState",
     "circuit_depth",
     "schedule_asap",
     "reversed_circuit",

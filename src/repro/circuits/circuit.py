@@ -114,6 +114,17 @@ class QuantumCircuit:
         for gate in gates:
             self.append(gate)
 
+    def append_unchecked(self, gate: Gate) -> None:
+        """Append without operand-range validation.
+
+        For producers that guarantee validity by construction — the
+        router emits gates whose operands come from a layout table over
+        ``range(num_qubits)``, so re-checking every output op of every
+        traversal was pure overhead.  Everyone else should use
+        :meth:`append`.
+        """
+        self._gates.append(gate)
+
     def add_gate(self, name: str, *qubits: int, params: Sequence[float] = ()) -> None:
         """Append a gate by name: ``circ.add_gate('cx', 0, 1)``."""
         self.append(Gate(name, tuple(qubits), tuple(params)))

@@ -158,6 +158,10 @@ class DagFrontier:
         self._remaining = [len(n.predecessors) for n in dag.nodes]
         self._executed = [False] * len(dag.nodes)
         self.front: Set[int] = set()
+        #: Cached ascending view of ``front``; rebuilt lazily after the
+        #: front changes, so repeated reads between changes never
+        #: re-sort (deterministic tie-break order preserved).
+        self._front_sorted: Optional[List[int]] = None
         self._ready_other: deque = deque()
         self.num_executed = 0
         for node in dag.nodes:
@@ -167,6 +171,7 @@ class DagFrontier:
     def _classify(self, index: int) -> None:
         if self.dag.nodes[index].gate.is_two_qubit:
             self.front.add(index)
+            self._front_sorted = None
         else:
             self._ready_other.append(index)
 
@@ -196,6 +201,7 @@ class DagFrontier:
         if index not in self.front:
             raise CircuitError(f"node {index} is not in the front layer")
         self.front.discard(index)
+        self._front_sorted = None
         self._execute(index)
 
     def _execute(self, index: int) -> None:
@@ -208,9 +214,16 @@ class DagFrontier:
             if self._remaining[succ] == 0:
                 self._classify(succ)
 
+    def front_list(self) -> List[int]:
+        """The front layer's node ids, ascending — cached between
+        front changes.  Callers must not mutate the returned list."""
+        if self._front_sorted is None:
+            self._front_sorted = sorted(self.front)
+        return self._front_sorted
+
     def front_gates(self) -> List[Tuple[int, Gate]]:
         """The front layer as ``(node id, gate)`` pairs, sorted by id."""
-        return [(i, self.dag.nodes[i].gate) for i in sorted(self.front)]
+        return [(i, self.dag.nodes[i].gate) for i in self.front_list()]
 
     def extended_set(self, size: int) -> List[Gate]:
         """The look-ahead set ``E``: closest two-qubit successors of ``F``.
@@ -229,7 +242,7 @@ class DagFrontier:
         vr_get = virtual_remaining.get
         remaining = self._remaining
         nodes = self.dag.nodes
-        queue = deque(sorted(self.front))
+        queue = deque(self.front_list())
         while queue and len(extended) < size:
             index = queue.popleft()
             for succ in nodes[index].successors:

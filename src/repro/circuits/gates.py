@@ -91,7 +91,7 @@ GATE_SPECS: Dict[str, GateSpec] = _build_specs()
 _NEGATE_PARAMS_ON_INVERSE = {"rx", "ry", "rz", "u1", "crz", "cu1", "cp", "rzz"}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Gate:
     """A single circuit operation: ``name`` applied to ``qubits``.
 
@@ -100,7 +100,10 @@ class Gate:
     ``Gate('cx', (control, target))``.
 
     Instances are immutable and hashable; two gates compare equal when
-    name, operands, and parameters all match.
+    name, operands, and parameters all match.  Slotted: a routed
+    deep-circuit workload holds millions of gates, and slot storage
+    both shrinks them and speeds every ``gate.qubits`` read in the
+    mapper's loops.
     """
 
     name: str
@@ -208,3 +211,55 @@ class Gate:
             ps = ", ".join(f"{p:g}" for p in self.params)
             return f"{self.name}({ps}) {args}"
         return f"{self.name} {args}"
+
+
+def swap_gate(pa: int, pb: int) -> Gate:
+    """Unvalidated ``Gate("swap", (pa, pb))`` for the router's
+    SWAP-insertion path.
+
+    The router inserts one of these per search step with operands taken
+    from a layout table (distinct by bijectivity, in range by
+    construction), so the dataclass validation pass is provably
+    redundant there.  Everyone else should construct :class:`Gate`
+    normally.
+    """
+    gate = object.__new__(Gate)
+    object.__setattr__(gate, "name", "swap")
+    object.__setattr__(gate, "qubits", (pa, pb))
+    object.__setattr__(gate, "params", ())
+    object.__setattr__(gate, "clbit", None)
+    return gate
+
+
+def remap_gate(gate: Gate, mapping) -> Gate:
+    """Allocation-light :meth:`Gate.remapped` for the router's emit path.
+
+    Two differences from ``remapped()``, both safe only because the
+    router maps through a *permutation* (a :class:`~repro.core.layout.Layout`
+    table), which preserves operand distinctness and arity:
+
+    - when the mapping is the identity on this gate's operands, the
+      original (immutable) gate is returned unchanged — no allocation
+      at all, the common case once qubits have settled;
+    - otherwise the copy is built without re-running ``__post_init__``
+      validation (spec lookup, arity/duplicate checks), which the
+      source gate already passed and the permutation cannot break.
+
+    Every output op of every traversal funnels through here, so the
+    saved allocations are measured in the millions per layout sweep.
+    """
+    qubits = gate.qubits
+    if len(qubits) == 2:
+        mapped = (mapping[qubits[0]], mapping[qubits[1]])
+    elif len(qubits) == 1:
+        mapped = (mapping[qubits[0]],)
+    else:
+        mapped = tuple(mapping[q] for q in qubits)
+    if mapped == qubits:
+        return gate
+    new = object.__new__(Gate)
+    object.__setattr__(new, "name", gate.name)
+    object.__setattr__(new, "qubits", mapped)
+    object.__setattr__(new, "params", gate.params)
+    object.__setattr__(new, "clbit", gate.clbit)
+    return new

@@ -19,10 +19,13 @@ from repro.core.heuristic import HeuristicConfig, DecayTracker, resolve_scorer
 from repro.core.scoring import FlatDistance, RouterState
 from repro.core.router import SabreRouter, RoutingResult
 from repro.core.bidirectional import SabreLayout
+from repro.core.legacy import LegacyDagRouter, LegacySabreLayout
 from repro.core.compiler import compile_circuit
 from repro.core.result import MappingResult
 
 __all__ = [
+    "LegacyDagRouter",
+    "LegacySabreLayout",
     "Layout",
     "HeuristicConfig",
     "DecayTracker",

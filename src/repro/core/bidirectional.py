@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.reverse import reversed_circuit
+from repro.circuits.flatdag import FrontierState
 from repro.core.heuristic import HeuristicConfig
 from repro.core.layout import Layout
 from repro.core.router import RoutingResult, SabreRouter
@@ -117,10 +117,21 @@ class SabreLayout:
 
         Best = fewest SWAPs in the final forward traversal, depth as the
         tie-break (both paper metrics, in that priority).
+
+        The circuit is lowered into its compile-once flat IR exactly
+        once per direction (through the engine cache, so a repeat
+        compilation of the same circuit pays nothing at all) and every
+        one of the ``num_trials x num_traversals`` routing passes
+        shares those two read-only IRs plus one resettable frontier per
+        direction — re-lowering and per-pass allocation both left the
+        trial loop.
         """
         from repro.circuits.depth import circuit_depth
+        from repro.engine.cache import get_flat_dag
 
-        reverse = reversed_circuit(circuit)
+        forward_ir = get_flat_dag(circuit)
+        reverse_ir = get_flat_dag(circuit, direction="reverse")
+        frontiers = (FrontierState(forward_ir), FrontierState(reverse_ir))
         best: Optional[BidirectionalResult] = None
         best_key = None
         trials: List[TrialRecord] = []
@@ -131,7 +142,6 @@ class SabreLayout:
             result: Optional[RoutingResult] = None
             for traversal in range(self.num_traversals):
                 forward = traversal % 2 == 0
-                target = circuit if forward else reverse
                 # Per-trial tie-break seed: restarts previously shared
                 # the router's base seed, so every trial replayed the
                 # same tie-break sequence and differed only in its
@@ -139,7 +149,10 @@ class SabreLayout:
                 # raced on one stream.  Seeding each run by the trial
                 # keeps trials statistically independent.
                 result = self.router.run(
-                    target, initial_layout=layout, seed=trial_seed
+                    forward_ir if forward else reverse_ir,
+                    initial_layout=layout,
+                    seed=trial_seed,
+                    frontier=frontiers[0] if forward else frontiers[1],
                 )
                 layout = result.final_layout
                 if traversal == 0:

@@ -17,7 +17,11 @@ Two execution paths share this front door:
 
 Either way the device's distance matrix is resolved through the engine
 cache (:mod:`repro.engine.cache`), so repeated calls against one device
-pay the O(N^3) Floyd-Warshall preprocessing once per process.
+pay the O(N^3) Floyd-Warshall preprocessing once per process — and the
+circuit is lowered into its compile-once flat IR
+(:class:`~repro.circuits.flatdag.FlatDag`) through the same cache, so
+repeated trials/traversals/calls against one circuit lower it once per
+direction per process.
 """
 
 from __future__ import annotations
@@ -106,10 +110,14 @@ def compile_circuit(
 
     start = time.perf_counter()
     if initial_layout is not None:
+        from repro.engine.cache import get_flat_dag
+
         router = SabreRouter(
             coupling, config=config, seed=seed, distance=distance
         )
-        routing = router.run(working, initial_layout=initial_layout)
+        routing = router.run(
+            get_flat_dag(working), initial_layout=initial_layout
+        )
         elapsed = time.perf_counter() - start
         return MappingResult(
             name=circuit.name,

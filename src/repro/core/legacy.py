@@ -1,0 +1,413 @@
+"""Frozen pre-IR routing path: per-run object-DAG lowering.
+
+Before the compile-once flat IR (:mod:`repro.circuits.flatdag`), every
+:meth:`SabreRouter.run` call re-lowered its circuit into a fresh
+:class:`~repro.circuits.dag.CircuitDag` of Python node objects, walked
+a :class:`~repro.circuits.dag.DagFrontier` (dict/deque-backed extended
+set, per-iteration front re-sort), and emitted output through
+validated ``Gate.remapped`` copies.  This module preserves that loop
+**verbatim** for two jobs:
+
+- **Differential oracle** — the shared-IR/reset path must route
+  byte-identical circuits to per-run-DAG construction for every
+  heuristic mode and scorer; ``tests/core/test_flatdag_differential.py``
+  pins the two paths against each other.
+- **Perf baseline** — ``benchmarks/bench_router_perf.py`` times
+  end-to-end :class:`LegacySabreLayout` trial sweeps against the
+  shared-IR :class:`~repro.core.bidirectional.SabreLayout` so the
+  speedup the IR buys is measured where users feel it.
+
+Like the ``reference`` scorer, this code is deliberately *not* kept
+fast — it is kept *faithful*.  The one behavioural deviation from the
+pre-IR code: the livelock escape's closest-gate selection iterates the
+front in ascending node order (the old code iterated a set, whose
+order on distance ties was an accident of hashing), so both paths
+break escape ties identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDag, DagFrontier
+from repro.circuits.gates import Gate
+from repro.circuits.reverse import reversed_circuit
+from repro.core.bidirectional import (
+    BidirectionalResult,
+    SabreLayout,
+    TrialRecord,
+)
+from repro.core.heuristic import DecayTracker, score_layout
+from repro.core.layout import Layout
+from repro.core.router import _SCORE_EPSILON, RoutingResult, SabreRouter
+from repro.core.scoring import RouterState
+from repro.exceptions import MappingError
+
+
+class LegacyDagRouter(SabreRouter):
+    """The pre-IR :class:`SabreRouter`: lower-per-run, object frontier.
+
+    Scoring internals (``RouterState``, candidate maintenance, decay,
+    tie-breaking) are shared with the production router, so any output
+    difference between the two isolates the IR/frontier rework.
+    """
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        initial_layout: Optional[Layout] = None,
+        seed: Optional[int] = None,
+        frontier: None = None,
+    ) -> RoutingResult:
+        """Pre-IR traversal: fresh ``CircuitDag`` + ``DagFrontier``."""
+        if frontier is not None:
+            raise MappingError(
+                "LegacyDagRouter re-lowers per run; it takes no frontier"
+            )
+        n_physical = self.coupling.num_qubits
+        if circuit.num_qubits > n_physical:
+            raise MappingError(
+                f"circuit has {circuit.num_qubits} logical qubits but device "
+                f"{self.coupling.name!r} has only {n_physical} physical qubits"
+            )
+        for gate in circuit:
+            if gate.num_qubits > 2 and not gate.is_directive:
+                raise MappingError(
+                    f"gate {gate} has {gate.num_qubits} qubits; decompose to "
+                    "the {1q, CNOT} basis before routing"
+                )
+
+        layout = (initial_layout or Layout.trivial(n_physical)).copy()
+        if layout.num_qubits != n_physical:
+            raise MappingError(
+                f"layout covers {layout.num_qubits} qubits, device has {n_physical}"
+            )
+        rng = random.Random(self.seed if seed is None else seed)
+        dag = CircuitDag(circuit)
+        dag_frontier = DagFrontier(dag)
+        decay = DecayTracker(
+            n_physical, self.config.decay_delta, self.config.decay_reset_interval
+        )
+        fast = self.scorer == "fast"
+        state = (
+            RouterState(self.flat_dist, self.neighbors, self.config)
+            if fast
+            else None
+        )
+
+        out = QuantumCircuit(
+            n_physical, f"{circuit.name}_routed", max(circuit.num_clbits, 1)
+        )
+        swap_positions: List[int] = []
+        initial = layout.copy()
+        num_escapes = 0
+        stall = 0
+
+        self._dag_emit_ready(dag_frontier, layout, out)
+        front_gates: List[Gate] = []
+        extended: List[Gate] = []
+        front_dirty = True
+        while not dag_frontier.done:
+            executed = self._dag_execute_ready_front(dag_frontier, layout, out)
+            if executed:
+                decay.reset()
+                stall = 0
+                front_dirty = True
+                continue
+            if stall >= self.stall_limit:
+                self._dag_escape(dag_frontier, layout, out, swap_positions, state)
+                num_escapes += 1
+                stall = 0
+                decay.reset()
+                front_dirty = True
+                continue
+            if front_dirty:
+                front_gates = [
+                    dag_frontier.dag.nodes[i].gate
+                    for i in sorted(dag_frontier.front)
+                ]
+                extended = (
+                    dag_frontier.extended_set(self.config.extended_set_size)
+                    if self.config.uses_lookahead
+                    else []
+                )
+                if fast:
+                    state.set_front(
+                        [gate.qubits for gate in front_gates],
+                        [gate.qubits for gate in extended],
+                        layout.l2p,
+                    )
+                front_dirty = False
+            self._dag_insert_best_swap(
+                dag_frontier, layout, out, swap_positions, decay, rng,
+                front_gates, extended, state,
+            )
+            stall += 1
+
+        return RoutingResult(
+            circuit=out,
+            initial_layout=initial,
+            final_layout=layout,
+            num_swaps=len(swap_positions),
+            swap_positions=swap_positions,
+            num_forced_escapes=num_escapes,
+        )
+
+    # ------------------------------------------------------------------
+    # Pre-IR main-loop pieces (object-DAG walkers)
+    # ------------------------------------------------------------------
+
+    def _dag_emit_ready(
+        self, frontier: DagFrontier, layout: Layout, out: QuantumCircuit
+    ) -> None:
+        l2p = layout.l2p
+        for index in frontier.drain_nonrouting():
+            out.append(frontier.dag.nodes[index].gate.remapped(l2p))
+
+    def _dag_execute_ready_front(
+        self, frontier: DagFrontier, layout: Layout, out: QuantumCircuit
+    ) -> bool:
+        l2p = layout.l2p
+        adjacency = self._adjacency
+        nodes = frontier.dag.nodes
+        ready = [
+            index
+            for index in frontier.front
+            if l2p[nodes[index].gate.qubits[1]]
+            in adjacency[l2p[nodes[index].gate.qubits[0]]]
+        ]
+        if not ready:
+            return False
+        for index in sorted(ready):
+            frontier.execute_front_gate(index)
+            out.append(frontier.dag.nodes[index].gate.remapped(l2p))
+        self._dag_emit_ready(frontier, layout, out)
+        return True
+
+    def _dag_swap_candidates(
+        self, frontier: DagFrontier, layout: Layout
+    ) -> List[Tuple[int, int]]:
+        l2p = layout.l2p
+        candidates = set()
+        for index in frontier.front:
+            for q in frontier.dag.nodes[index].gate.qubits:
+                p = l2p[q]
+                for nb in self.neighbors[p]:
+                    candidates.add((p, nb) if p < nb else (nb, p))
+        return sorted(candidates)
+
+    def _dag_insert_best_swap(
+        self,
+        frontier: DagFrontier,
+        layout: Layout,
+        out: QuantumCircuit,
+        swap_positions: List[int],
+        decay: DecayTracker,
+        rng: random.Random,
+        front_gates: List[Gate],
+        extended: List[Gate],
+        state: Optional[RouterState],
+    ) -> None:
+        p2l = layout.p2l
+        l2p = layout.l2p
+        config = self.config
+        uses_decay = config.uses_decay
+        penalty = config.swap_cost_penalty
+        best_score = float("inf")
+        best: List[Tuple[int, int]] = []
+        if state is not None:
+            buf = state.buf
+            n = state.n
+            state.begin_step(l2p)
+            partner_f = state.partner_f
+            partners_e = state.partners_e
+            sum_f = state.sum_f
+            sum_e = state.sum_e
+            len_f = len(state.front_pairs)
+            len_e = len(state.ext_pairs)
+            weight = config.extended_set_weight
+            basic = config.mode == "basic"
+            decay_values = decay.values
+            ext_const = weight * (sum_e + 0.0) / len_e if len_e else 0.0
+            for pa, pb in state.candidates():
+                qa = p2l[pa]
+                qb = p2l[pb]
+                row_a = pa * n
+                row_b = pb * n
+                delta = 0.0
+                other = partner_f[qa]
+                if other >= 0 and other != qb:
+                    po = l2p[other]
+                    delta += buf[row_b + po] - buf[row_a + po]
+                other = partner_f[qb]
+                if other >= 0 and other != qa:
+                    po = l2p[other]
+                    delta += buf[row_a + po] - buf[row_b + po]
+                if basic:
+                    score = sum_f + delta
+                else:
+                    score = (sum_f + delta) / len_f
+                    if len_e:
+                        pe_a = partners_e[qa]
+                        pe_b = partners_e[qb]
+                        if pe_a or pe_b:
+                            delta = 0.0
+                            for other in pe_a:
+                                if other != qb:
+                                    po = l2p[other]
+                                    delta += buf[row_b + po] - buf[row_a + po]
+                            for other in pe_b:
+                                if other != qa:
+                                    po = l2p[other]
+                                    delta += buf[row_a + po] - buf[row_b + po]
+                            score += weight * (sum_e + delta) / len_e
+                        else:
+                            score += ext_const
+                if uses_decay:
+                    da = decay_values[qa]
+                    db = decay_values[qb]
+                    score *= da if da >= db else db
+                if penalty:
+                    score += penalty * (buf[pa * n + pb] - 1.0)
+                if score < best_score - _SCORE_EPSILON:
+                    best_score = score
+                    best = [(qa, qb)]
+                elif score <= best_score + _SCORE_EPSILON:
+                    best.append((qa, qb))
+        else:
+            dist = self.dist
+            for pa, pb in self._dag_swap_candidates(frontier, layout):
+                qa, qb = p2l[pa], p2l[pb]
+                layout.swap_logical(qa, qb)
+                score = score_layout(front_gates, extended, l2p, dist, config)
+                layout.swap_logical(qa, qb)
+                if uses_decay:
+                    score *= decay.factor(qa, qb)
+                if penalty:
+                    score += penalty * (dist[pa][pb] - 1.0)
+                if score < best_score - _SCORE_EPSILON:
+                    best_score = score
+                    best = [(qa, qb)]
+                elif score <= best_score + _SCORE_EPSILON:
+                    best.append((qa, qb))
+        if not best:
+            raise MappingError(
+                "no SWAP candidates found; is the coupling graph connected?"
+            )
+        if self.on_winner_set is not None:
+            self.on_winner_set(best)
+        qa, qb = best[0] if len(best) == 1 else rng.choice(best)
+        self._dag_apply_swap(qa, qb, layout, out, swap_positions, state)
+        decay.record_swap(qa, qb)
+
+    def _dag_apply_swap(
+        self,
+        qa: int,
+        qb: int,
+        layout: Layout,
+        out: QuantumCircuit,
+        swap_positions: List[int],
+        state: Optional[RouterState],
+    ) -> None:
+        l2p = layout.l2p
+        pa, pb = l2p[qa], l2p[qb]
+        swap_positions.append(out.num_gates)
+        out.append(Gate("swap", (pa, pb)))
+        layout.swap_logical(qa, qb)
+        if state is not None:
+            state.on_swap_applied(qa, qb, pa, pb)
+
+    def _dag_escape(
+        self,
+        frontier: DagFrontier,
+        layout: Layout,
+        out: QuantumCircuit,
+        swap_positions: List[int],
+        state: Optional[RouterState],
+    ) -> int:
+        l2p = layout.l2p
+        buf = self.flat_dist.buf
+        n = self.flat_dist.n
+        nodes = frontier.dag.nodes
+        # Ascending iteration so distance ties resolve exactly like the
+        # flat path's sorted front list (see module docstring).
+        target = min(
+            sorted(frontier.front),
+            key=lambda i: buf[
+                l2p[nodes[i].gate.qubits[0]] * n
+                + l2p[nodes[i].gate.qubits[1]]
+            ],
+        )
+        a, b = nodes[target].gate.qubits
+        path = self.coupling.shortest_path(l2p[a], l2p[b])
+        swaps = 0
+        for hop in path[1:-1]:
+            qb = layout.logical(hop)
+            self._dag_apply_swap(a, qb, layout, out, swap_positions, state)
+            swaps += 1
+        return swaps
+
+
+class LegacySabreLayout(SabreLayout):
+    """The pre-IR :class:`SabreLayout`: every traversal re-lowers.
+
+    Same search, seeds, and winner selection as the production class —
+    only the per-pass circuit representation differs — so output must
+    be byte-identical and any wall-clock gap is the compile-once win.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.router = LegacyDagRouter(
+            self.coupling,
+            config=self.config,
+            seed=self.seed,
+            distance=self.router.flat_dist,
+        )
+
+    def run(self, circuit: QuantumCircuit) -> BidirectionalResult:
+        """Pre-IR search loop: per-traversal circuit handoff."""
+        from repro.circuits.depth import circuit_depth
+
+        reverse = reversed_circuit(circuit)
+        best: Optional[BidirectionalResult] = None
+        best_key = None
+        trials: List[TrialRecord] = []
+        for trial in range(self.num_trials):
+            trial_seed = self.seed + trial
+            layout = Layout.random(self.coupling.num_qubits, seed=trial_seed)
+            first_pass_swaps = 0
+            result: Optional[RoutingResult] = None
+            for traversal in range(self.num_traversals):
+                forward = traversal % 2 == 0
+                result = self.router.run(
+                    circuit if forward else reverse,
+                    initial_layout=layout,
+                    seed=trial_seed,
+                )
+                layout = result.final_layout
+                if traversal == 0:
+                    first_pass_swaps = result.num_swaps
+                if not forward:
+                    continue
+                key = (result.num_swaps, circuit_depth(result.circuit))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = BidirectionalResult(
+                        routing=result,
+                        initial_layout=result.initial_layout,
+                        best_trial_index=trial,
+                    )
+            assert result is not None
+            trials.append(
+                TrialRecord(
+                    seed=trial_seed,
+                    first_pass_swaps=first_pass_swaps,
+                    final_swaps=result.num_swaps,
+                )
+            )
+        assert best is not None
+        best.trials = trials
+        return best

@@ -24,6 +24,17 @@ variable, default ``fast``):
 Both walk the same sorted candidate list and therefore produce identical
 winner sets, identical tie-breaks, and identical routed circuits for
 identical seeds — the differential test suite enforces this.
+
+The traversal itself runs over the compile-once flat IR of
+:mod:`repro.circuits.flatdag`: :meth:`SabreRouter.run` accepts either a
+:class:`~repro.circuits.circuit.QuantumCircuit` (lowered on the spot —
+the thin-wrapper entry point) or a prebuilt shared
+:class:`~repro.circuits.flatdag.FlatDag`, plus an optional reusable
+:class:`~repro.circuits.flatdag.FrontierState` so repeated traversals
+of one circuit (the bidirectional search, best-of-K trials) never
+re-lower or reallocate per pass.  The pre-PR per-run object-DAG loop is
+preserved verbatim in :mod:`repro.core.legacy` as the differential and
+perf baseline.
 """
 
 from __future__ import annotations
@@ -33,8 +44,8 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.dag import CircuitDag, DagFrontier
-from repro.circuits.gates import Gate
+from repro.circuits.flatdag import FlatDag, FrontierState
+from repro.circuits.gates import Gate, remap_gate, swap_gate
 from repro.core.heuristic import (
     DecayTracker,
     HeuristicConfig,
@@ -45,7 +56,7 @@ from repro.core.layout import Layout
 from repro.core.scoring import FlatDistance, RouterState
 from repro.exceptions import MappingError
 from repro.hardware.coupling import CouplingGraph
-from repro.hardware.distance import distance_matrix
+from repro.hardware.distance import bfs_flat_distance
 
 #: Scores within this tolerance are considered tied (random tie-break).
 _SCORE_EPSILON = 1e-9
@@ -157,7 +168,9 @@ class SabreRouter:
         self.config = config or HeuristicConfig()
         self.seed = seed
         if distance is None:
-            distance = distance_matrix(coupling, method="bfs")
+            # Built directly in flat row-major form — no nested
+            # list-of-lists detour for the default path.
+            distance = bfs_flat_distance(coupling)
         self.flat_dist = FlatDistance.from_matrix(distance)
         if self.flat_dist.n != coupling.num_qubits:
             raise MappingError(
@@ -177,6 +190,9 @@ class SabreRouter:
         self.neighbors: List[List[int]] = [
             coupling.neighbors(q) for q in range(coupling.num_qubits)
         ]
+        #: Listified distance buffer shared (read-only) by every run's
+        #: RouterState, so repeated runs skip the O(N^2) conversion.
+        self._buf_list: List[float] = self.flat_dist.buf.tolist()
         #: Adjacency as sets for the O(1) executability test in the
         #: main loop (bypasses CouplingGraph's bounds-checked API).
         self._adjacency: List[Set[int]] = [set(nbs) for nbs in self.neighbors]
@@ -207,35 +223,45 @@ class SabreRouter:
 
     def run(
         self,
-        circuit: QuantumCircuit,
+        circuit: Union[QuantumCircuit, FlatDag],
         initial_layout: Optional[Layout] = None,
         seed: Optional[int] = None,
+        frontier: Optional[FrontierState] = None,
     ) -> RoutingResult:
         """Route ``circuit`` onto the device from ``initial_layout``.
 
-        The circuit must already be in a <=2-qubit basis (the compiler
-        front door handles decomposition).  Returns a
-        :class:`RoutingResult`; ``result.circuit`` is guaranteed
-        hardware-compliant.
+        ``circuit`` is either a :class:`QuantumCircuit` (lowered to a
+        fresh :class:`~repro.circuits.flatdag.FlatDag` on the spot) or
+        a prebuilt — typically cached and shared — IR.  The circuit
+        must already be in a <=2-qubit basis (the compiler front door
+        handles decomposition).  Returns a :class:`RoutingResult`;
+        ``result.circuit`` is guaranteed hardware-compliant.
 
         ``seed`` overrides the constructor's tie-break seed for this
-        run only.  Every run builds a private ``random.Random`` and a
-        private :class:`~repro.core.scoring.RouterState` — no mutable
-        state is shared between runs, so concurrent trials routing
-        through one router instance stay independent and deterministic.
+        run only.  ``frontier`` is an optional reusable
+        :class:`~repro.circuits.flatdag.FrontierState` built over the
+        same IR; it is reset (O(n) array refill, no reallocation) at
+        the start of the run — the layout search passes one per
+        traversal direction.  When omitted, every run builds a private
+        frontier, RNG, and :class:`~repro.core.scoring.RouterState` —
+        no mutable state is shared between runs, so concurrent trials
+        routing through one router instance stay independent and
+        deterministic.
         """
+        ir = circuit if isinstance(circuit, FlatDag) else FlatDag.from_circuit(circuit)
         n_physical = self.coupling.num_qubits
-        if circuit.num_qubits > n_physical:
+        if ir.num_qubits > n_physical:
             raise MappingError(
-                f"circuit has {circuit.num_qubits} logical qubits but device "
+                f"circuit has {ir.num_qubits} logical qubits but device "
                 f"{self.coupling.name!r} has only {n_physical} physical qubits"
             )
-        for gate in circuit:
-            if gate.num_qubits > 2 and not gate.is_directive:
-                raise MappingError(
-                    f"gate {gate} has {gate.num_qubits} qubits; decompose to "
-                    "the {1q, CNOT} basis before routing"
-                )
+        if not ir.routable:
+            for gate in ir.gates:
+                if gate.num_qubits > 2 and not gate.is_directive:
+                    raise MappingError(
+                        f"gate {gate} has {gate.num_qubits} qubits; decompose to "
+                        "the {1q, CNOT} basis before routing"
+                    )
 
         layout = (initial_layout or Layout.trivial(n_physical)).copy()
         if layout.num_qubits != n_physical:
@@ -243,8 +269,15 @@ class SabreRouter:
                 f"layout covers {layout.num_qubits} qubits, device has {n_physical}"
             )
         rng = random.Random(self.seed if seed is None else seed)
-        dag = CircuitDag(circuit)
-        frontier = DagFrontier(dag)
+        if frontier is None:
+            frontier = FrontierState(ir)
+        else:
+            if frontier.dag is not ir:
+                raise MappingError(
+                    "frontier was built over a different circuit IR; "
+                    "build one FrontierState per FlatDag and reuse it"
+                )
+            frontier.reset()
         decay = DecayTracker(
             n_physical, self.config.decay_delta, self.config.decay_reset_interval
         )
@@ -253,26 +286,54 @@ class SabreRouter:
         # its timings an honest baseline.
         fast = self.scorer == "fast"
         state = (
-            RouterState(self.flat_dist, self.neighbors, self.config)
+            RouterState(
+                self.flat_dist, self.neighbors, self.config, buf=self._buf_list
+            )
             if fast
             else None
         )
 
         out = QuantumCircuit(
-            n_physical, f"{circuit.name}_routed", max(circuit.num_clbits, 1)
+            n_physical, f"{ir.name}_routed", max(ir.num_clbits, 1)
         )
         swap_positions: List[int] = []
         initial = layout.copy()
         num_escapes = 0
         stall = 0
 
-        self._emit_ready(frontier, layout, out)
+        # Hot-loop locals: every name bound here is read thousands of
+        # times per traversal; ``l2p`` is the layout's live table (the
+        # list object survives swaps, only its entries change).
+        l2p = layout.l2p
+        emit = out.append_unchecked
+        gates = ir.gates
+        pairs = ir.pairs
+        qubit_a = ir.qubit_a
+        qubit_b = ir.qubit_b
+        adjacency = self._adjacency
+        uses_lookahead = self.config.uses_lookahead
+        ext_size = self.config.extended_set_size
+
+        self._emit_ready(frontier, l2p, emit)
+        front_nodes: List[int] = []
+        ext_nodes: List[int] = []
         front_gates: List[Gate] = []
         extended: List[Gate] = []
         front_dirty = True
         while not frontier.done:
-            executed = self._execute_ready_front(frontier, layout, out)
-            if executed:
+            # Execute every front-layer gate whose operands are coupled
+            # (Algorithm 1 lines 8-16).  The cached ascending front
+            # list makes the ready scan allocation- and sort-free.
+            ready = [
+                index
+                for index in frontier.front_list()
+                if l2p[qubit_b[index]] in adjacency[l2p[qubit_a[index]]]
+            ]
+            if ready:
+                frontier.execute_front_batch(ready)
+                for index in ready:
+                    emit(remap_gate(gates[index], l2p))
+                self._emit_ready(frontier, l2p, emit)
                 decay.reset()
                 stall = 0
                 front_dirty = True
@@ -289,16 +350,19 @@ class SabreRouter:
                 # lists, per-qubit term indices, and candidate edge set
                 # are shared across consecutive SWAP selections; SWAPs
                 # in between update the candidate set incrementally.
-                front_gates = [
-                    frontier.dag.nodes[i].gate for i in sorted(frontier.front)
-                ]
-                extended = (
-                    frontier.extended_set(self.config.extended_set_size)
-                    if self.config.uses_lookahead
-                    else []
+                front_nodes = frontier.front_list()
+                ext_nodes = (
+                    frontier.extended_nodes(ext_size) if uses_lookahead else []
                 )
                 if fast:
-                    state.set_front(front_gates, extended, layout.l2p)
+                    state.set_front(
+                        [pairs[i] for i in front_nodes],
+                        [pairs[i] for i in ext_nodes],
+                        l2p,
+                    )
+                else:
+                    front_gates = [gates[i] for i in front_nodes]
+                    extended = [gates[i] for i in ext_nodes]
                 front_dirty = False
             self._insert_best_swap(
                 frontier, layout, out, swap_positions, decay, rng,
@@ -320,40 +384,15 @@ class SabreRouter:
     # ------------------------------------------------------------------
 
     def _emit_ready(
-        self, frontier: DagFrontier, layout: Layout, out: QuantumCircuit
+        self, frontier: FrontierState, l2p: Sequence[int], emit
     ) -> None:
         """Flush ready non-routing gates (1q, measure, barrier) to output."""
-        l2p = layout.l2p
+        gates = frontier.dag.gates
         for index in frontier.drain_nonrouting():
-            out.append(frontier.dag.nodes[index].gate.remapped(l2p))
-
-    def _execute_ready_front(
-        self, frontier: DagFrontier, layout: Layout, out: QuantumCircuit
-    ) -> bool:
-        """Execute every front-layer gate whose operands are coupled.
-
-        Returns True when at least one gate executed (Algorithm 1 lines
-        8-16: remove from F, append released successors, continue).
-        """
-        l2p = layout.l2p
-        adjacency = self._adjacency
-        nodes = frontier.dag.nodes
-        ready = [
-            index
-            for index in frontier.front
-            if l2p[nodes[index].gate.qubits[1]]
-            in adjacency[l2p[nodes[index].gate.qubits[0]]]
-        ]
-        if not ready:
-            return False
-        for index in sorted(ready):
-            frontier.execute_front_gate(index)
-            out.append(frontier.dag.nodes[index].gate.remapped(l2p))
-        self._emit_ready(frontier, layout, out)
-        return True
+            emit(remap_gate(gates[index], l2p))
 
     def _swap_candidates(
-        self, frontier: DagFrontier, layout: Layout
+        self, frontier: FrontierState, layout: Layout
     ) -> List[Tuple[int, int]]:
         """Physical edges adjacent to at least one front-layer qubit.
 
@@ -366,9 +405,11 @@ class SabreRouter:
         candidate-cache tests assert both always agree).
         """
         l2p = layout.l2p
+        qubit_a = frontier.dag.qubit_a
+        qubit_b = frontier.dag.qubit_b
         candidates: Set[Tuple[int, int]] = set()
         for index in frontier.front:
-            for q in frontier.dag.nodes[index].gate.qubits:
+            for q in (qubit_a[index], qubit_b[index]):
                 p = l2p[q]
                 for nb in self.neighbors[p]:
                     candidates.add((p, nb) if p < nb else (nb, p))
@@ -376,7 +417,7 @@ class SabreRouter:
 
     def _insert_best_swap(
         self,
-        frontier: DagFrontier,
+        frontier: FrontierState,
         layout: Layout,
         out: QuantumCircuit,
         swap_positions: List[int],
@@ -503,14 +544,14 @@ class SabreRouter:
         l2p = layout.l2p
         pa, pb = l2p[qa], l2p[qb]
         swap_positions.append(out.num_gates)
-        out.append(Gate("swap", (pa, pb)))
+        out.append_unchecked(swap_gate(pa, pb))
         layout.swap_logical(qa, qb)
         if state is not None:
             state.on_swap_applied(qa, qb, pa, pb)
 
     def _escape(
         self,
-        frontier: DagFrontier,
+        frontier: FrontierState,
         layout: Layout,
         out: QuantumCircuit,
         swap_positions: List[int],
@@ -520,20 +561,21 @@ class SabreRouter:
 
         Walk the shortest physical path between the gate's two homes,
         SWAPping the first qubit along it until the pair is adjacent.
-        Guarantees the next `_execute_ready_front` succeeds for that
-        gate, so overall termination is unconditional.
+        Guarantees the next ready-front scan succeeds for that gate, so
+        overall termination is unconditional.  Distance ties resolve to
+        the lowest node id (the front list is ascending).
         """
         l2p = layout.l2p
         buf = self.flat_dist.buf
         n = self.flat_dist.n
+        qubit_a = frontier.dag.qubit_a
+        qubit_b = frontier.dag.qubit_b
         target = min(
-            frontier.front,
-            key=lambda i: buf[
-                l2p[frontier.dag.nodes[i].gate.qubits[0]] * n
-                + l2p[frontier.dag.nodes[i].gate.qubits[1]]
-            ],
+            frontier.front_list(),
+            key=lambda i: buf[l2p[qubit_a[i]] * n + l2p[qubit_b[i]]],
         )
-        a, b = frontier.dag.nodes[target].gate.qubits
+        a = qubit_a[target]
+        b = qubit_b[target]
         path = self.coupling.shortest_path(l2p[a], l2p[b])
         swaps = 0
         # Move logical qubit `a` along the path, leaving one edge for the

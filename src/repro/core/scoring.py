@@ -34,7 +34,6 @@ from bisect import bisect_left, insort
 from itertools import chain
 from typing import List, Optional, Sequence, Set, Tuple
 
-from repro.circuits.gates import Gate
 from repro.core.heuristic import HeuristicConfig
 from repro.exceptions import MappingError
 
@@ -144,6 +143,8 @@ class RouterState:
         "sum_f",
         "sum_e",
         "_weight",
+        "_prev_f",
+        "_prev_e",
     )
 
     def __init__(
@@ -151,12 +152,16 @@ class RouterState:
         flat: FlatDistance,
         neighbors: Sequence[Sequence[int]],
         config: HeuristicConfig,
+        buf: Optional[List[float]] = None,
     ) -> None:
         self.n = flat.n
         # A plain list of (pre-boxed) floats: array('d') would box a
         # fresh float object on every read, and this buffer is read a
-        # few hundred thousand times per deep traversal.
-        self.buf: List[float] = flat.buf.tolist()
+        # few hundred thousand times per deep traversal.  Callers that
+        # route many times against one device pass the listified buffer
+        # in (it is read-only here), hoisting the O(N^2) conversion out
+        # of the per-run path.
+        self.buf: List[float] = flat.buf.tolist() if buf is None else buf
         self.neighbors = neighbors
         self.config = config
         self._weight = config.extended_set_weight
@@ -171,6 +176,10 @@ class RouterState:
         # (untouched qubits share one immutable empty tuple).
         self.partner_f: List[int] = [-1] * self.n
         self.partners_e: List[Sequence[int]] = [_NO_PARTNERS] * self.n
+        #: Qubits whose table entries the *current* front installed —
+        #: what the next set_front must undo (persistent-table scheme).
+        self._prev_f: List[int] = []
+        self._prev_e: List[int] = []
         self.front_qubits: Set[int] = set()
         self.front_homes: Set[int] = set()
         self.cand_set: Set[Tuple[int, int]] = set()
@@ -184,46 +193,105 @@ class RouterState:
 
     def set_front(
         self,
-        front_gates: Sequence[Gate],
-        extended_gates: Sequence[Gate],
+        front_pairs: Sequence[Tuple[int, int]],
+        ext_pairs: Sequence[Tuple[int, int]],
         l2p: Sequence[int],
     ) -> None:
         """Rebuild pair lists, per-qubit term indices, and candidates.
 
-        Called only when a gate executed (the front layer changed) —
-        consecutive SWAP selections reuse everything built here.
+        Takes the front layer ``F`` and extended set ``E`` as plain
+        logical-qubit pairs (a gate's ``.qubits`` tuple, or the shared
+        ``pairs[i]`` tuples of a :class:`~repro.circuits.flatdag.FlatDag`)
+        so gate objects never enter the scoring state.  Called only
+        when a gate executed (the front layer changed) — consecutive
+        SWAP selections reuse everything built here.
+
+        The per-qubit tables are *persistent*: entries touched by the
+        previous front are undone (``_prev_f``/``_prev_e``) instead of
+        reallocating two n-sized tables per refresh — a refresh happens
+        for every executed gate, and the tables only ever have
+        ``O(|F| + |E|)`` live entries.
         """
-        self.front_pairs = [gate.qubits for gate in front_gates]
-        self.ext_pairs = [gate.qubits for gate in extended_gates]
-        partner_f: List[int] = [-1] * self.n
+        # Undo the previous front/extended entries, then install the
+        # new ones.  Net cost per refresh: O(|F_prev| + |F_new|).
+        partner_f = self.partner_f
+        for q in self._prev_f:
+            partner_f[q] = -1
+        partners_e = self.partners_e
+        for q in self._prev_e:
+            partners_e[q] = _NO_PARTNERS
+        self.front_pairs = front_pairs = list(front_pairs)
+        self.ext_pairs = ext_pairs = list(ext_pairs)
         front_qubits: Set[int] = set()
-        for a, b in self.front_pairs:
+        prev_f: List[int] = []
+        for a, b in front_pairs:
             if partner_f[a] != -1 or partner_f[b] != -1:
+                # Leave the tables coherent before failing.
+                for q in prev_f:
+                    partner_f[q] = -1
+                self._prev_f = []
+                self._prev_e = []
                 raise MappingError(
                     "front layer gates must be vertex-disjoint; got a qubit "
                     "in two ready gates"
                 )
             partner_f[a] = b
             partner_f[b] = a
+            prev_f.append(a)
+            prev_f.append(b)
             front_qubits.add(a)
             front_qubits.add(b)
-        self.partner_f = partner_f
-        partners_e: List[Sequence[int]] = [_NO_PARTNERS] * self.n
-        ext_touched: Set[int] = set()
-        for a, b in self.ext_pairs:
-            if a in ext_touched:
-                partners_e[a].append(b)  # type: ignore[union-attr]
-            else:
+        self._prev_f = prev_f
+        prev_e: List[int] = []
+        for a, b in ext_pairs:
+            pe = partners_e[a]
+            if pe is _NO_PARTNERS:
                 partners_e[a] = [b]
-                ext_touched.add(a)
-            if b in ext_touched:
-                partners_e[b].append(a)  # type: ignore[union-attr]
+                prev_e.append(a)
             else:
+                pe.append(b)  # type: ignore[union-attr]
+            pe = partners_e[b]
+            if pe is _NO_PARTNERS:
                 partners_e[b] = [a]
-                ext_touched.add(b)
-        self.partners_e = partners_e
+                prev_e.append(b)
+            else:
+                pe.append(a)  # type: ignore[union-attr]
+        self._prev_e = prev_e
+        old_qubits = self.front_qubits
         self.front_qubits = front_qubits
-        self.rebuild_candidates(l2p)
+        # Candidate maintenance by front diff: qubits that left the
+        # front take their homes' edges out (unless another front home
+        # keeps an edge alive), qubits that entered bring theirs in.
+        # A refresh typically swaps a handful of qubits while the
+        # from-scratch rebuild walks every front home; the rebuild
+        # stays available as the oracle this must always agree with
+        # (distinct logical qubits occupy distinct homes, so removed
+        # and added home sets never overlap).
+        homes = self.front_homes
+        cand = self.cand_set
+        cand_list = self.cand_list
+        neighbors = self.neighbors
+        removed = old_qubits - front_qubits
+        added = front_qubits - old_qubits
+        removed_homes = [l2p[q] for q in removed]
+        added_homes = [l2p[q] for q in added]
+        for h in removed_homes:
+            homes.discard(h)
+        for h in added_homes:
+            homes.add(h)
+        for h in removed_homes:
+            for nb in neighbors[h]:
+                if nb not in homes:
+                    edge = (h, nb) if h < nb else (nb, h)
+                    if edge in cand:
+                        cand.discard(edge)
+                        del cand_list[bisect_left(cand_list, edge)]
+        for h in added_homes:
+            for nb in neighbors[h]:
+                edge = (h, nb) if h < nb else (nb, h)
+                if edge not in cand:
+                    cand.add(edge)
+                    insort(cand_list, edge)
 
     def rebuild_candidates(self, l2p: Sequence[int]) -> None:
         """From-scratch candidate edge set: edges touching a front home.

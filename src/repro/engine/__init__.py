@@ -7,8 +7,10 @@ must not recompute per-device preprocessing on every call.  This
 package supplies those three layers:
 
 - :mod:`repro.engine.cache` — process-local memoisation of distance
-  matrices and device objects, keyed on a structural fingerprint of the
-  coupling graph.
+  matrices and device objects (keyed on a structural fingerprint of
+  the coupling graph) and of compile-once circuit IRs
+  (:class:`~repro.circuits.flatdag.FlatDag`, keyed on the circuit's
+  gate-content fingerprint) so repeated trials never re-lower.
 - :mod:`repro.engine.trials` — best-of-K seeded trials with a
   configurable objective, under a serial or process-pool executor.
 - :mod:`repro.engine.batch` — ``compile_many``: fan a whole suite's
@@ -25,10 +27,12 @@ from repro.engine.cache import (
     DeviceCache,
     GLOBAL_CACHE,
     cache_info,
+    circuit_fingerprint,
     clear_cache,
     coupling_fingerprint,
     get_cached_device,
     get_distance_matrix,
+    get_flat_dag,
     get_flat_distance_matrix,
 )
 from repro.engine.trials import (
@@ -47,10 +51,12 @@ __all__ = [
     "DeviceCache",
     "GLOBAL_CACHE",
     "cache_info",
+    "circuit_fingerprint",
     "clear_cache",
     "coupling_fingerprint",
     "get_cached_device",
     "get_distance_matrix",
+    "get_flat_dag",
     "get_flat_distance_matrix",
     "EXECUTORS",
     "OBJECTIVES",

@@ -10,7 +10,11 @@ millisecond-long circuits.
 
 The device's distance matrix is resolved once in the parent through the
 engine cache and shipped to every job, so a batch run pays the
-O(N^3) Floyd-Warshall preprocessing exactly once per device.
+O(N^3) Floyd-Warshall preprocessing exactly once per device.  Each
+circuit's compile-once flat IR is likewise resolved through the
+per-process engine cache inside the trial (see
+:func:`repro.engine.cache.get_flat_dag`), so no worker lowers the same
+circuit twice regardless of how many of its trials it picks up.
 """
 
 from __future__ import annotations

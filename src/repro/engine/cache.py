@@ -1,12 +1,15 @@
-"""Memoised device-derived data: distance matrices and device objects.
+"""Memoised derived data: distance matrices, devices, and circuit IRs.
 
 The paper's preprocessing step — the Floyd-Warshall all-pairs distance
-matrix ``D`` — costs ``O(N^3)`` per device.  A production service
-compiling millions of circuits against a handful of devices must not
-pay that cost per call, so the engine keys every derived artefact on a
-*structural fingerprint* of the coupling graph (qubit count, undirected
-edge set, direction set, edge weights, and APSP method) and computes it
-at most once per process.
+matrix ``D`` — costs ``O(N^3)`` per device, and every routing pass
+needs the circuit lowered into a dependency DAG (``O(g)`` with a Python
+object per gate when done naively).  A production service compiling
+millions of circuits against a handful of devices must not pay those
+costs per call, so the engine keys every derived artefact on a
+*structural fingerprint* — of the coupling graph (qubit count,
+undirected edge set, direction set, edge weights, APSP method) for
+device data, of the gate list for circuit IRs — and computes each at
+most once per process.
 
 Safety properties:
 
@@ -16,25 +19,33 @@ Safety properties:
   own cache instance, and the batch/trial executors compute the matrix
   once in the parent and ship it to workers as an argument, so a pool
   run performs the Floyd-Warshall exactly once (see
-  :mod:`repro.engine.batch`).
+  :mod:`repro.engine.batch`).  Circuit IRs are lowered at most once per
+  worker (and shared outright under a fork start method).
 - **Poison-proof**: matrices are stored once, flattened to immutable
   bytes, and returned as fresh mutable copies (nested lists or
   :class:`FlatDistance` buffers); mutating a returned matrix can never
-  corrupt later reads.
+  corrupt later reads.  Circuit IRs (:class:`FlatDag`) carry no
+  mutating API at all, so — like device objects — every caller shares
+  one instance per fingerprint.
 """
 
 from __future__ import annotations
 
 import threading
 from array import array
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.flatdag import FlatDag
+from repro.circuits.reverse import reversed_circuit
 from repro.core.scoring import FlatDistance
+from repro.exceptions import ReproError
 from repro.hardware.coupling import CouplingGraph
 from repro.hardware.devices import DEVICE_BUILDERS, get_device
 from repro.hardware.distance import (
-    bfs_distance_matrix,
+    bfs_flat_distance,
     distance_matrix,
     weighted_floyd_warshall,
 )
@@ -77,6 +88,28 @@ def coupling_fingerprint(
     )
 
 
+def circuit_fingerprint(circuit: QuantumCircuit) -> Fingerprint:
+    """Content identity of a circuit for IR cache keying.
+
+    Keyed on the gate sequence itself (gates are immutable, hashable
+    value objects), not object identity — a circuit rebuilt per request
+    or mutated after a previous fetch fingerprints to the state it is
+    in *now*, so stale IRs are unreachable by construction.  Hashing is
+    ``O(g)``, roughly two orders of magnitude cheaper than re-lowering.
+
+    The name is part of the key: the IR carries it into routed-output
+    naming (``<name>_routed``), so two gate-identical circuits with
+    different names must not share an IR or the second would inherit
+    the first's name downstream.
+    """
+    return (
+        circuit.name,
+        circuit.num_qubits,
+        circuit.num_clbits,
+        circuit.gates,
+    )
+
+
 @dataclass(frozen=True)
 class CacheInfo:
     """Counters snapshot (``lru_cache``-style)."""
@@ -94,6 +127,11 @@ class DeviceCache:
     hit/miss behaviour in isolation.
     """
 
+    #: LRU bound for the circuit-IR store.  Device matrices are few
+    #: (one per device) and stay unbounded; circuits are open-ended, so
+    #: the IR store evicts least-recently-used entries beyond this.
+    MAX_DAG_ENTRIES = 64
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         #: Single matrix store, flattened: (n, raw float64 bytes,
@@ -102,6 +140,10 @@ class DeviceCache:
         #: and one copy per fingerprint.
         self._flat: Dict[Fingerprint, Tuple[int, bytes, bool]] = {}
         self._devices: Dict[str, CouplingGraph] = {}
+        #: Circuit IRs keyed by (circuit fingerprint, direction), LRU.
+        self._dags: "OrderedDict[Tuple[Fingerprint, str], FlatDag]" = (
+            OrderedDict()
+        )
         self._hits = 0
         self._misses = 0
 
@@ -174,12 +216,64 @@ class DeviceCache:
         coupling: CouplingGraph,
         edge_weights: Optional[Dict[Tuple[int, int], float]],
         method: str,
-    ) -> Matrix:
+    ):
         if edge_weights is not None:
             return weighted_floyd_warshall(coupling, edge_weights)
         if method == "bfs":
-            return bfs_distance_matrix(coupling)
+            # Built directly as a FlatDistance (from_matrix is a no-op
+            # on it), skipping the nested-rows detour entirely.
+            return bfs_flat_distance(coupling)
         return distance_matrix(coupling, method=method)
+
+    # ------------------------------------------------------------------
+    # Circuit IRs
+    # ------------------------------------------------------------------
+
+    def flat_dag(
+        self, circuit: QuantumCircuit, direction: str = "forward"
+    ) -> FlatDag:
+        """The circuit's compile-once IR, lowered at most once per content.
+
+        ``direction="reverse"`` lowers the reversed circuit (gate order
+        flipped, directives dropped — what the bidirectional search's
+        backward traversals route), cached under the *forward* content
+        fingerprint so forward and reverse IRs of one circuit share a
+        single hashing pass per direction.
+
+        Unlike matrices, the returned :class:`FlatDag` is the shared
+        cached instance: it is immutable (flat arrays plus immutable
+        gate handles, no mutating API), so all trials, traversals, and
+        threads read one object — that sharing is the point.
+        """
+        if direction not in ("forward", "reverse"):
+            raise ReproError(
+                f"unknown IR direction {direction!r}; "
+                "choose 'forward' or 'reverse'"
+            )
+        key = (circuit_fingerprint(circuit), direction)
+        with self._lock:
+            cached = self._dags.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._dags.move_to_end(key)
+                return cached
+        # Lower outside the lock — O(g) work other threads need not
+        # queue behind.  A rare concurrent first fetch may duplicate
+        # the lowering; the first store wins and the loser counts as a
+        # hit, matching the matrix-store behaviour.
+        source = circuit if direction == "forward" else reversed_circuit(circuit)
+        built = FlatDag.from_circuit(source)
+        with self._lock:
+            cached = self._dags.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._dags.move_to_end(key)
+                return cached
+            self._dags[key] = built
+            self._misses += 1
+            while len(self._dags) > self.MAX_DAG_ENTRIES:
+                self._dags.popitem(last=False)
+            return built
 
     # ------------------------------------------------------------------
     # Device objects
@@ -217,13 +311,14 @@ class DeviceCache:
             return CacheInfo(
                 hits=self._hits,
                 misses=self._misses,
-                entries=len(self._flat) + len(self._devices),
+                entries=len(self._flat) + len(self._devices) + len(self._dags),
             )
 
     def clear(self) -> None:
         with self._lock:
             self._flat.clear()
             self._devices.clear()
+            self._dags.clear()
             self._hits = 0
             self._misses = 0
 
@@ -254,6 +349,19 @@ def get_flat_distance_matrix(
     single-buffer pickle keeps worker-pool dispatch cheap.
     """
     return GLOBAL_CACHE.flat_distance_matrix(coupling, edge_weights, method)
+
+
+def get_flat_dag(
+    circuit: QuantumCircuit, direction: str = "forward"
+) -> FlatDag:
+    """Compile-once circuit IR through :data:`GLOBAL_CACHE`.
+
+    The layout search and compiler front door fetch both directions
+    here, so a trial sweep — and any repeat compilation of the same
+    circuit in this process — lowers the circuit exactly once per
+    direction.
+    """
+    return GLOBAL_CACHE.flat_dag(circuit, direction)
 
 
 def get_cached_device(name: str) -> CouplingGraph:

@@ -12,6 +12,13 @@ Determinism contract: given the same circuit, device, seed list,
 objective, and configuration, :func:`run_trials` returns the same
 winner under every executor.  Ties on the objective resolve to the
 earliest seed in the list.
+
+Amortisation: every trial resolves the device's distance matrix *and*
+the circuit's compile-once flat IR (forward + reverse
+:class:`~repro.circuits.flatdag.FlatDag`) through the engine cache, so
+a best-of-K run lowers the circuit once per process — serial trials
+share one IR outright, and each pool worker lowers at most once no
+matter how many trials it executes.
 """
 
 from __future__ import annotations

@@ -11,6 +11,7 @@ from repro.hardware.coupling import CouplingGraph
 from repro.hardware.distance import (
     floyd_warshall,
     bfs_distance_matrix,
+    bfs_flat_distance,
     distance_matrix,
     weighted_floyd_warshall,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "CouplingGraph",
     "floyd_warshall",
     "bfs_distance_matrix",
+    "bfs_flat_distance",
     "distance_matrix",
     "weighted_floyd_warshall",
     "ibm_q20_tokyo",

@@ -18,14 +18,20 @@ reflects its two-qubit error rate instead of 1.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, List, Optional, Tuple
+from array import array
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.exceptions import HardwareError
 from repro.hardware.coupling import CouplingGraph
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (type only)
+    from repro.core.scoring import FlatDistance
+
 #: Distance reported between disconnected qubits.
 INFINITY = float("inf")
+
+#: Template for flat buffers (multiplied out to n*n in one allocation).
+_INF_TEMPLATE = array("d", [INFINITY])
 
 
 def floyd_warshall(graph: CouplingGraph) -> List[List[float]]:
@@ -62,21 +68,63 @@ def bfs_distance_matrix(graph: CouplingGraph) -> List[List[float]]:
     ``O(N * (N + E))`` — preferred for large sparse devices.  Kept as an
     independent implementation so the two can cross-check each other in
     property tests.
+
+    Level-synchronous frontier-list implementation: two plain lists are
+    swapped per distance level instead of running a deque (with its
+    per-element popleft overhead) and re-materialising the sorted
+    neighbor list of every vertex once per source.
     """
     n = graph.num_qubits
+    adjacency = [graph.neighbors(q) for q in range(n)]
     matrix: List[List[float]] = []
     for source in range(n):
         row = [INFINITY] * n
         row[source] = 0.0
-        queue = deque([source])
-        while queue:
-            q = queue.popleft()
-            for nb in graph.neighbors(q):
-                if row[nb] == INFINITY:
-                    row[nb] = row[q] + 1.0
-                    queue.append(nb)
+        frontier = [source]
+        level = 0.0
+        while frontier:
+            level += 1.0
+            nxt: List[int] = []
+            for q in frontier:
+                for nb in adjacency[q]:
+                    if row[nb] == INFINITY:
+                        row[nb] = level
+                        nxt.append(nb)
+            frontier = nxt
         matrix.append(row)
     return matrix
+
+
+def bfs_flat_distance(graph: CouplingGraph) -> "FlatDistance":
+    """BFS APSP written straight into one flat row-major buffer.
+
+    Produces the :class:`~repro.core.scoring.FlatDistance` the router
+    consumes without ever materialising the nested list-of-lists form —
+    on a large device the per-row lists and the ``from_matrix`` re-copy
+    were a measurable cold-start tax.  Always agrees with
+    :func:`bfs_distance_matrix` entry-for-entry (a test invariant), and
+    is marked symmetric by construction (unit-weight undirected BFS).
+    """
+    from repro.core.scoring import FlatDistance
+
+    n = graph.num_qubits
+    adjacency = [graph.neighbors(q) for q in range(n)]
+    buf = _INF_TEMPLATE * (n * n)
+    for source in range(n):
+        base = source * n
+        buf[base + source] = 0.0
+        frontier = [source]
+        level = 0.0
+        while frontier:
+            level += 1.0
+            nxt: List[int] = []
+            for q in frontier:
+                for nb in adjacency[q]:
+                    if buf[base + nb] == INFINITY:
+                        buf[base + nb] = level
+                        nxt.append(nb)
+            frontier = nxt
+    return FlatDistance(n, buf, symmetric=True)
 
 
 def distance_matrix(

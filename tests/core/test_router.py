@@ -3,7 +3,7 @@
 import pytest
 
 from repro.circuits import QuantumCircuit, random_circuit
-from repro.circuits.dag import CircuitDag, DagFrontier
+from repro.circuits.flatdag import FlatDag, FrontierState
 from repro.core import HeuristicConfig, Layout, SabreRouter
 from repro.exceptions import MappingError
 from repro.hardware import grid_device, line_device, ring_device
@@ -135,7 +135,7 @@ class TestSwapCandidates:
         circ = QuantumCircuit(9)
         circ.cx(0, 8)  # corners of the grid
         router = SabreRouter(grid3x3, seed=0)
-        frontier = DagFrontier(CircuitDag(circ))
+        frontier = FrontierState(FlatDag.from_circuit(circ))
         frontier.drain_nonrouting()
         candidates = router._swap_candidates(frontier, Layout.trivial(9))
         # edges incident to 0 or 8 only
@@ -146,7 +146,7 @@ class TestSwapCandidates:
         circ.cx(0, 8)
         circ.cx(2, 6)
         router = SabreRouter(grid3x3, seed=0)
-        frontier = DagFrontier(CircuitDag(circ))
+        frontier = FrontierState(FlatDag.from_circuit(circ))
         frontier.drain_nonrouting()
         candidates = router._swap_candidates(frontier, Layout.trivial(9))
         assert len(candidates) == 8

@@ -71,7 +71,11 @@ def _state_for(device, circuit, layout, config):
         if config.uses_lookahead
         else []
     )
-    state.set_front(front_gates, extended, layout.l2p)
+    state.set_front(
+        [g.qubits for g in front_gates],
+        [g.qubits for g in extended],
+        layout.l2p,
+    )
     return state, front_gates, extended, frontier
 
 
@@ -116,11 +120,9 @@ class TestDeltaScoring:
         flat = FlatDistance.from_matrix(distance_matrix(tokyo))
         neighbors = [tokyo.neighbors(q) for q in range(tokyo.num_qubits)]
         state = RouterState(flat, neighbors, HeuristicConfig())
-        from repro.circuits.gates import Gate
-
-        gates = [Gate("cx", (0, 1)), Gate("cx", (1, 2))]
+        pairs = [(0, 1), (1, 2)]
         with pytest.raises(MappingError, match="vertex-disjoint"):
-            state.set_front(gates, [], Layout.trivial(tokyo.num_qubits).l2p)
+            state.set_front(pairs, [], Layout.trivial(tokyo.num_qubits).l2p)
 
 
 class TestIncrementalCandidates:
@@ -151,10 +153,12 @@ class TestIncrementalCandidates:
             assert state.cand_list == sorted(fresh_cands)
 
     def test_matches_router_swap_candidates(self, grid3x3):
+        from repro.circuits.flatdag import FlatDag, FrontierState
+
         circuit = QuantumCircuit(9)
         circuit.cx(0, 8)
         router = SabreRouter(grid3x3, seed=0)
-        frontier = DagFrontier(CircuitDag(circuit))
+        frontier = FrontierState(FlatDag.from_circuit(circuit))
         frontier.drain_nonrouting()
         layout = Layout.trivial(9)
         state, _, _, _ = _state_for(

@@ -101,5 +101,10 @@ class TestAcceptance:
                 f"{row.name}: best-of-8 g_add {row.added_gates} worse "
                 f"than single-trial baseline {baseline.added_gates}"
             )
-        # The baselines above were all cache hits, not recomputations.
-        assert GLOBAL_CACHE.cache_info().misses == 1
+        # The baselines above hit the cached matrix (no recomputation);
+        # each unique circuit additionally lowered its compile-once IR
+        # exactly once per direction (forward + reverse) in-parent.
+        assert (
+            GLOBAL_CACHE.cache_info().misses
+            == 1 + 2 * len(small_suite_circuits)
+        )

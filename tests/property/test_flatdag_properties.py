@@ -1,0 +1,102 @@
+"""Property-based tests: compile-once IR vs object DAG, reset-reuse.
+
+For ANY circuit, the flat IR must mirror the object DAG's structure,
+the resettable frontier must replay the object frontier move-for-move,
+and routing through one shared (reset) IR/frontier must be
+byte-identical to per-run construction — on both the shared-IR router
+and the frozen legacy path.  hypothesis explores the space.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import CircuitDag, QuantumCircuit
+from repro.circuits.dag import DagFrontier
+from repro.circuits.flatdag import FlatDag, FrontierState
+from repro.core import Layout, LegacyDagRouter, SabreRouter
+from repro.hardware import random_device
+
+circuit_specs = st.tuples(
+    st.integers(min_value=2, max_value=8),       # logical qubits
+    st.integers(min_value=0, max_value=40),      # gate count
+    st.integers(min_value=0, max_value=10_000),  # circuit seed
+)
+device_specs = st.tuples(
+    st.integers(min_value=8, max_value=14),      # physical qubits
+    st.integers(min_value=0, max_value=10_000),  # device seed
+)
+
+
+def build_circuit(spec):
+    n, gates, seed = spec
+    rng = random.Random(seed)
+    circ = QuantumCircuit(n, name=f"prop_{seed}")
+    for _ in range(gates):
+        roll = rng.random()
+        if n >= 2 and roll < 0.6:
+            a, b = rng.sample(range(n), 2)
+            circ.cx(a, b)
+        elif roll < 0.9:
+            circ.add_gate(rng.choice(["h", "t", "x", "s"]), rng.randrange(n))
+        else:
+            circ.measure(rng.randrange(n))
+    return circ
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(circuit=circuit_specs)
+def test_flatdag_structure_matches_object_dag(circuit):
+    circ = build_circuit(circuit)
+    flat = FlatDag.from_circuit(circ)
+    obj = CircuitDag(circ)
+    assert flat.num_nodes == len(obj)
+    for i in range(flat.num_nodes):
+        assert flat.successors(i) == obj.successors(i)
+        assert flat.predecessors(i) == obj.predecessors(i)
+        assert list(flat.succs[i]) == obj.successors(i)
+    assert list(flat.roots) == obj.roots()
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(circuit=circuit_specs, choice_seed=st.integers(min_value=0, max_value=999))
+def test_frontier_replays_object_frontier(circuit, choice_seed):
+    """Co-execute both frontiers with identical random choices; every
+    observable (drain order, front layer, extended set) must agree."""
+    circ = build_circuit(circuit)
+    obj = DagFrontier(CircuitDag(circ))
+    flat = FrontierState(FlatDag.from_circuit(circ))
+    rng = random.Random(choice_seed)
+    while True:
+        assert obj.drain_nonrouting() == flat.drain_nonrouting()
+        assert sorted(obj.front) == flat.front_list()
+        assert obj.done == flat.done
+        if flat.done:
+            break
+        size = rng.randrange(0, 8)
+        assert [g.qubits for g in obj.extended_set(size)] == [
+            flat.dag.pairs[i] for i in flat.extended_nodes(size)
+        ]
+        pick = rng.choice(flat.front_list())
+        obj.execute_front_gate(pick)
+        flat.execute_front_gate(pick)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(circuit=circuit_specs, device=device_specs)
+def test_route_reset_route_is_identical(circuit, device):
+    """route -> reset -> route again through one frontier == two fresh
+    runs, and both equal the legacy per-run-DAG path."""
+    circ = build_circuit(circuit)
+    dev = random_device(device[0], seed=device[1])
+    layout = Layout.random(dev.num_qubits, seed=3)
+    router = SabreRouter(dev, seed=0)
+    ir = FlatDag.from_circuit(circ)
+    frontier = FrontierState(ir)
+    first = router.run(ir, initial_layout=layout, frontier=frontier)
+    second = router.run(ir, initial_layout=layout, frontier=frontier)
+    legacy = LegacyDagRouter(dev, seed=0).run(circ, initial_layout=layout)
+    assert first.circuit == second.circuit == legacy.circuit
+    assert first.swap_positions == second.swap_positions == legacy.swap_positions
+    assert first.final_layout == second.final_layout == legacy.final_layout
