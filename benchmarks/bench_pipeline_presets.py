@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Pipeline-preset smoke: run every named preset on a small circuit.
+
+The CI quick tier runs this with ``--smoke`` as the pipeline layer's
+liveness check: each preset must compile end-to-end, produce a
+hardware-compliant output, and report a per-pass timing breakdown.
+Without ``--smoke`` it additionally times each preset on a
+routing-heavy Table II circuit, giving a feel for what each extra pass
+costs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_pipeline_presets.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench_circuits import build_benchmark
+from repro.circuits import random_circuit
+from repro.hardware import NoiseModel, ibm_q20_tokyo, line_device
+from repro.hardware.devices import ibm_qx5
+from repro.pipeline import Pipeline, compose_pipeline, preset_names
+from repro.verify import is_hardware_compliant
+
+#: Heterogeneous noise so the noise-aware preset exercises real
+#: re-weighting (uniform errors normalise back to hop counts).
+SMOKE_NOISE = NoiseModel(edge_errors={(0, 1): 0.12, (5, 6): 0.08})
+
+
+def run_preset(name: str, circuit, device, noise) -> float:
+    kwargs = {"noise": noise} if name == "noise_aware" else {}
+    result = Pipeline(name).run(circuit, device, seed=0, **kwargs)
+    assert is_hardware_compliant(
+        result.physical_circuit(), device
+    ), f"preset {name} emitted a non-compliant circuit"
+    timings = result.properties.pass_timings
+    assert timings, f"preset {name} recorded no pass timings"
+    return sum(seconds for _, seconds in timings)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small circuit only (seconds-long CI liveness check)",
+    )
+    args = parser.parse_args(argv)
+
+    tokyo = ibm_q20_tokyo()
+    # A* explodes combinatorially on wide devices; give the baseline
+    # presets a narrow line so the sweep stays bounded.
+    line6 = line_device(6)
+    small = random_circuit(6, 30, seed=7, two_qubit_fraction=0.6)
+    circuits = [("rand6x30", small)]
+    if not args.smoke:
+        circuits.append(("rd84_142", build_benchmark("rd84_142")))
+
+    for label, circuit in circuits:
+        print(f"pipeline presets on {label}:")
+        for name in preset_names():
+            if name.startswith("baseline_"):
+                # Baselines always sweep the small circuit on the line
+                # (A* on wide devices explodes; greedy/trivial follow
+                # for comparability).
+                total = run_preset(name, small, line6, SMOKE_NOISE)
+            else:
+                total = run_preset(name, circuit, tokyo, SMOKE_NOISE)
+            print(f"  {name:20s} {total * 1e3:9.2f} ms  ok")
+
+    # The three-extension composition on a directed device — the
+    # scenario the pipeline architecture exists for.
+    composed = compose_pipeline(
+        "paper_default", noise_aware=True, bridge=True, legalize_directions=True
+    )
+    result = composed.run(
+        random_circuit(8, 40, seed=3, two_qubit_fraction=0.6),
+        ibm_qx5(),
+        seed=0,
+        noise=SMOKE_NOISE,
+    )
+    assert is_hardware_compliant(
+        result.physical_circuit(), ibm_qx5(), check_direction=True
+    )
+    print(f"composed {composed.name}: ok "
+          f"(swaps={result.num_swaps}, "
+          f"bridges={result.properties.get('bridge.bridged_cx', 0)}, "
+          f"reversed_cx={result.properties.get('directed.reversed_cx', 0)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,61 +1,109 @@
 #!/usr/bin/env python
-"""Advanced pipeline: embedding-seeded mapping plus peephole cleanup.
+"""Advanced pipeline: compose passes instead of hand-rolling glue.
 
-Chains the extension passes around the core mapper:
+Demonstrates the declarative :class:`repro.pipeline.Pipeline` surface:
 
-1. try to *prove* a zero-SWAP initial mapping exists (subgraph
-   embedding, paper §V-A1's "perfect match" made exact);
-2. route with SABRE (seeded by the embedding when found);
-3. peephole-optimize the routed circuit (SWAP decompositions often
-   cancel against neighbouring CNOTs);
-4. report gates/depth/fidelity at each stage.
+1. the ``best_effort`` preset — *prove* a zero-SWAP mapping exists
+   (subgraph embedding, paper §V-A1's "perfect match" made exact) and
+   short-circuit the layout search when it does;
+2. a three-extension composition — noise-aware distances + bridge
+   peephole + CNOT-direction legalisation — on a directed device,
+   with compliance verified inside the pipeline;
+3. a custom pass list: the paper's flow with a user-defined analysis
+   pass that records the routed circuit's estimated success
+   probability into the PropertySet;
+4. per-pass timing breakdowns from each run's PropertySet.
 
 Run:  python examples/advanced_pipeline.py
 """
 
-from repro import compile_circuit, ibm_q20_tokyo
+from repro import AnalysisPass, Pipeline, compose_pipeline, ibm_q20_tokyo
 from repro.bench_circuits import build_benchmark, qft
-from repro.circuits import circuit_depth, optimize_circuit
-from repro.circuits.transforms import optimization_summary
-from repro.extensions import compile_with_embedding, has_perfect_layout
-from repro.hardware.noise import IBM_Q20_TOKYO_NOISE
+from repro.circuits import circuit_depth
+from repro.hardware.devices import ibm_qx5
+from repro.hardware.noise import IBM_Q20_TOKYO_NOISE, NoiseModel
+from repro.pipeline import (
+    CollectMetrics,
+    ComplianceCheck,
+    DecomposeToBasis,
+    ResolveDistance,
+    SabreLayoutPass,
+    SabreRoutePass,
+)
 
 
-def stage_report(label: str, circuit) -> None:
-    probability = IBM_Q20_TOKYO_NOISE.estimated_success_probability(circuit)
-    print(
-        f"  {label:22s} {circuit.count_gates():5d} gates  "
-        f"depth {circuit_depth(circuit):4d}  est. success {probability:.3e}"
+class EstimateFidelity(AnalysisPass):
+    """Custom pass: record the routed output's estimated success
+    probability (paper Fig. 2's error model) in the PropertySet."""
+
+    def __init__(self, noise: NoiseModel) -> None:
+        self.noise = noise
+
+    def run(self, context) -> None:
+        routed = context.output_circuit()
+        context.properties["fidelity.estimated_success"] = (
+            self.noise.estimated_success_probability(routed)
+        )
+
+
+def report(label: str, result) -> None:
+    routed = result.physical_circuit()
+    success = result.properties.get(
+        "fidelity.estimated_success",
+        IBM_Q20_TOKYO_NOISE.estimated_success_probability(routed),
     )
-
-
-def run_pipeline(circuit, device) -> None:
-    print(f"=== {circuit.name} ({circuit.num_qubits} qubits) ===")
-    embeddable = has_perfect_layout(circuit, device)
-    print(f"  perfect embedding exists: {embeddable}")
-
-    plain = compile_circuit(circuit, device, seed=0)
-    seeded = compile_with_embedding(circuit, device, seed=0)
-    best = seeded if seeded.added_gates <= plain.added_gates else plain
     print(
-        f"  SABRE swaps: {plain.num_swaps}, embedding-seeded swaps: "
-        f"{seeded.num_swaps}"
+        f"  {label:28s} {routed.count_gates():5d} gates  "
+        f"depth {circuit_depth(routed):4d}  swaps {result.num_swaps:3d}  "
+        f"est. success {success:.3e}"
     )
-
-    routed = best.physical_circuit()
-    optimized = optimize_circuit(routed)
-    stage_report("original", circuit)
-    stage_report("routed", routed)
-    stage_report("routed+optimized", optimized)
-    summary = optimization_summary(routed, optimized)
-    print(f"  peephole removed {summary['gates_removed']} gates\n")
 
 
 def main() -> None:
-    device = ibm_q20_tokyo()
-    run_pipeline(build_benchmark("alu-v0_27"), device)   # embeds perfectly
-    run_pipeline(build_benchmark("ising_model_10"), device)
-    run_pipeline(qft(10), device)                        # cannot embed
+    tokyo = ibm_q20_tokyo()
+
+    print("=== best_effort preset: embedding shortcut when provable ===")
+    for circuit in (build_benchmark("alu-v0_27"), qft(10)):
+        result = Pipeline("best_effort").run(circuit, tokyo, seed=0)
+        embedded = result.properties["embedding.perfect"]
+        print(f"{circuit.name}: perfect embedding exists: {embedded}")
+        report(circuit.name, result)
+
+    print("\n=== three extensions composed on a directed device ===")
+    composed = compose_pipeline(
+        "paper_default", noise_aware=True, bridge=True, legalize_directions=True
+    )
+    noise = NoiseModel(edge_errors={(0, 1): 0.12, (6, 7): 0.09})
+    result = composed.run(
+        build_benchmark("ising_model_10"), ibm_qx5(), seed=0, noise=noise
+    )
+    print(f"pipeline: {composed.name}")
+    report("ising_model_10 on qx5", result)
+    print(
+        f"  bridges: {result.properties['bridge.bridged_cx']}, "
+        f"reversed CNOTs fixed: {result.properties['directed.reversed_cx']}, "
+        f"direction-checked: "
+        f"{result.properties['compliance.checked_direction']}"
+    )
+
+    print("\n=== custom pass list with a user-defined analysis pass ===")
+    custom = Pipeline(
+        [
+            DecomposeToBasis(),
+            ResolveDistance(),
+            SabreLayoutPass(),
+            SabreRoutePass(),
+            ComplianceCheck(),
+            EstimateFidelity(IBM_Q20_TOKYO_NOISE),
+            CollectMetrics(),
+        ],
+        name="paper_default+fidelity",
+    )
+    result = custom.run(build_benchmark("ising_model_10"), tokyo, seed=0)
+    report("ising_model_10 on tokyo", result)
+
+    print("\nper-pass timing of the custom run:")
+    print(result.properties.timing_report())
 
 
 if __name__ == "__main__":

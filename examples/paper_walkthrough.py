@@ -14,7 +14,13 @@ Run:  python examples/paper_walkthrough.py
 """
 
 from repro import QuantumCircuit, Layout, SabreRouter, ring_device, grid_device
-from repro.circuits import CircuitDag, circuit_depth, toffoli_decomposition
+from repro.circuits import (
+    CircuitDag,
+    FlatDag,
+    FrontierState,
+    circuit_depth,
+    toffoli_decomposition,
+)
 from repro.circuits.dag import DagFrontier
 from repro.verify import Statevector, simulate
 
@@ -89,8 +95,7 @@ def figure6_swap_candidates() -> None:
     circ.cx(2, 7)   # front layer
     circ.cx(1, 6)   # behind the front layer
     router = SabreRouter(device, seed=0)
-    dag = CircuitDag(circ)
-    frontier = DagFrontier(dag)
+    frontier = FrontierState(FlatDag.from_circuit(circ))
     frontier.drain_nonrouting()
     layout = Layout.trivial(9)
     candidates = router._swap_candidates(frontier, layout)

@@ -69,6 +69,16 @@ from repro.engine import (
     get_distance_matrix,
     run_trials,
 )
+from repro.pipeline import (
+    AnalysisPass,
+    CompilationContext,
+    Pass,
+    Pipeline,
+    PropertySet,
+    TransformPass,
+    compose_pipeline,
+    preset_names,
+)
 from repro.exceptions import (
     ReproError,
     CircuitError,
@@ -105,6 +115,14 @@ __all__ = [
     "compile_many",
     "get_distance_matrix",
     "run_trials",
+    "AnalysisPass",
+    "CompilationContext",
+    "Pass",
+    "Pipeline",
+    "PropertySet",
+    "TransformPass",
+    "compose_pipeline",
+    "preset_names",
     "CouplingGraph",
     "NoiseModel",
     "distance_matrix",

@@ -11,12 +11,27 @@
   SWAP chains: the floor any serious mapper must beat.
 """
 
+from typing import Callable, Dict
+
 from repro.baselines.astar import AStarMapper
 from repro.baselines.greedy import GreedyMapper, interaction_degree_layout
 from repro.baselines.trivial import TrivialRouter
 
+#: Uniform constructor surface for the pipeline's ``BaselineRoutePass``:
+#: each factory takes the coupling graph (plus mapper-specific keyword
+#: overrides) and returns an object with ``run(circuit) -> MappingResult``.
+#: This is what makes every baseline a drop-in routing stage — swap the
+#: name in a preset and the rest of the pipeline (decomposition,
+#: verification, metrics) is unchanged.
+BASELINE_MAPPERS: Dict[str, Callable[..., object]] = {
+    "trivial": lambda coupling, **kw: TrivialRouter(coupling, **kw),
+    "greedy": lambda coupling, **kw: GreedyMapper(coupling, **kw),
+    "astar": lambda coupling, **kw: AStarMapper(coupling, **kw),
+}
+
 __all__ = [
     "AStarMapper",
+    "BASELINE_MAPPERS",
     "GreedyMapper",
     "interaction_degree_layout",
     "TrivialRouter",

@@ -52,6 +52,10 @@ class QuantumCircuit:
         self.num_clbits = num_qubits if num_clbits is None else num_clbits
         self.name = name or "circuit"
         self._gates: List[Gate] = []
+        #: Bumped on every append; lets derived-fact caches (e.g. the
+        #: compiler's needs-decomposition predicate) validate in O(1)
+        #: instead of rescanning the gate list per call.
+        self._mutations = 0
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -108,6 +112,7 @@ class QuantumCircuit:
                 f"{self.num_clbits} clbit(s)"
             )
         self._gates.append(gate)
+        self._mutations += 1
 
     def extend(self, gates: Iterable[Gate]) -> None:
         """Append every gate from ``gates`` in order."""
@@ -124,6 +129,7 @@ class QuantumCircuit:
         :meth:`append`.
         """
         self._gates.append(gate)
+        self._mutations += 1
 
     def add_gate(self, name: str, *qubits: int, params: Sequence[float] = ()) -> None:
         """Append a gate by name: ``circ.add_gate('cx', 0, 1)``."""

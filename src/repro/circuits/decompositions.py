@@ -25,6 +25,26 @@ from repro.circuits.gates import Gate
 from repro.exceptions import CircuitError
 
 
+def needs_cx_decomposition(circuit: QuantumCircuit) -> bool:
+    """True when the circuit has gates the router cannot place directly
+    (3+ qubit gates) or SWAPs that would be mistaken for routing SWAPs.
+
+    The answer is cached on the circuit instance, keyed by its mutation
+    counter: the scan runs once per circuit content, not once per
+    compile call — a best-of-K trial sweep previously rescanned the
+    full gate list on every trial.
+    """
+    cached = circuit.__dict__.get("_needs_cx_decomposition")
+    if cached is not None and cached[0] == circuit._mutations:
+        return cached[1]
+    value = any(
+        (gate.num_qubits > 2 and not gate.is_directive) or gate.name == "swap"
+        for gate in circuit
+    )
+    circuit.__dict__["_needs_cx_decomposition"] = (circuit._mutations, value)
+    return value
+
+
 def swap_decomposition(a: int, b: int) -> List[Gate]:
     """SWAP(a, b) as three alternating CNOTs (paper Fig. 3a)."""
     return [Gate("cx", (a, b)), Gate("cx", (b, a)), Gate("cx", (a, b))]

@@ -14,9 +14,14 @@ Example::
 
     python -m repro map circuit.qasm --device ibm_q20_tokyo -o mapped.qasm
 
-``map`` fronts the multi-trial engine (:mod:`repro.engine`): ``--trials``
-sets the best-of-K seed pool, ``--jobs`` fans trials across worker
-processes, and ``--objective`` picks the winner metric.
+``map`` fronts the pass-pipeline compiler (:mod:`repro.pipeline`) and
+the multi-trial engine (:mod:`repro.engine`): ``--pipeline`` selects a
+named preset, ``--noise-aware`` / ``--bridge`` /
+``--legalize-directions`` compose extension passes onto it,
+``--trials`` sets the best-of-K seed pool, ``--jobs`` fans trials
+across worker processes, ``--objective`` picks the winner metric, and
+``--verbose`` prints the per-pass timing breakdown recorded in the
+result's property set.
 """
 
 from __future__ import annotations
@@ -32,10 +37,35 @@ from repro.analysis import tradeoff as tradeoff_mod
 from repro.circuits.depth import circuit_depth
 from repro.circuits.transforms import optimize_circuit
 from repro.circuits.visualization import draw_circuit, draw_coupling
-from repro.core.compiler import compile_circuit
 from repro.core.heuristic import HeuristicConfig
 from repro.hardware.devices import DEVICE_BUILDERS, get_device
+from repro.hardware.noise import IBM_Q20_TOKYO_NOISE, NoiseModel
+from repro.pipeline import (
+    NoiseAwareDistance,
+    Pipeline,
+    compose_pipeline,
+    preset_names,
+)
 from repro.qasm import parse_qasm_file, write_qasm_file
+
+
+def load_noise_profile(path: str) -> NoiseModel:
+    """Build a :class:`NoiseModel` from a JSON profile.
+
+    Format: any :class:`NoiseModel` field, with ``edge_errors`` keyed
+    by ``"a,b"`` qubit-pair strings::
+
+        {"two_qubit_error": 0.03, "edge_errors": {"0,1": 0.12, "5,6": 0.08}}
+    """
+    import json
+
+    with open(path) as handle:
+        raw = json.load(handle)
+    edge_errors = {}
+    for key, rate in raw.pop("edge_errors", {}).items():
+        a, b = (int(q) for q in key.split(","))
+        edge_errors[(min(a, b), max(a, b))] = float(rate)
+    return NoiseModel(edge_errors=edge_errors, **raw)
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
@@ -46,11 +76,33 @@ def _cmd_map(args: argparse.Namespace) -> int:
         decay_delta=args.delta,
         extended_set_size=args.extended_set,
         extended_set_weight=args.weight,
+        scorer=args.scorer,
     )
-    # compile_circuit upgrades executor=None to the serial engine when a
+    # Extension flags compose passes onto the chosen preset; a bare
+    # --pipeline <preset> runs the preset verbatim.
+    if args.noise_aware or args.bridge or args.legalize_directions:
+        pipeline = compose_pipeline(
+            args.pipeline,
+            noise_aware=args.noise_aware,
+            bridge=args.bridge,
+            legalize_directions=args.legalize_directions,
+        )
+    else:
+        pipeline = Pipeline(args.pipeline)
+    # Any pipeline containing the noise-aware pass (composed via
+    # --noise-aware or baked into the preset) needs a model: the
+    # profile file when given, else the chip-average defaults.
+    noise = None
+    if any(isinstance(p, NoiseAwareDistance) for p in pipeline.passes):
+        noise = (
+            load_noise_profile(args.noise_profile)
+            if args.noise_profile
+            else IBM_Q20_TOKYO_NOISE
+        )
+    # The pipeline upgrades executor=None to the serial engine when a
     # non-default objective needs it; the CLI only decides pool width.
     executor = "process" if args.jobs > 1 else None
-    result = compile_circuit(
+    result = pipeline.run(
         circuit,
         device,
         config=config,
@@ -60,11 +112,15 @@ def _cmd_map(args: argparse.Namespace) -> int:
         objective=args.objective,
         executor=executor,
         jobs=args.jobs,
+        noise=noise,
     )
     physical = result.physical_circuit(decompose_swaps=not args.keep_swaps)
     if args.optimize:
         physical = optimize_circuit(physical)
     print(result.summary(), file=sys.stderr)
+    if args.verbose:
+        print(f"pipeline     : {pipeline.name}", file=sys.stderr)
+        print(result.properties.timing_report(), file=sys.stderr)
     if args.optimize:
         print(
             f"post-optimize  : {physical.count_gates()} gates, depth "
@@ -120,10 +176,46 @@ def build_parser() -> argparse.ArgumentParser:
     map_p.add_argument("-o", "--output", help="output QASM path (default stdout)")
     map_p.add_argument("--seed", type=int, default=0)
     map_p.add_argument(
+        "--pipeline",
+        default="paper_default",
+        choices=preset_names(),
+        help="pass-pipeline preset to execute (default: the paper's flow)",
+    )
+    map_p.add_argument(
+        "--noise-aware",
+        action="store_true",
+        help="compose the noise-weighted distance pass onto the pipeline "
+        "(supply --noise-profile for per-edge rates; without one the "
+        "chip-average model normalises back to hop counts and only the "
+        "SWAP-cost penalty changes)",
+    )
+    map_p.add_argument(
+        "--noise-profile",
+        help="JSON noise profile, e.g. "
+        '{"two_qubit_error": 0.03, "edge_errors": {"0,1": 0.12}}',
+    )
+    map_p.add_argument(
+        "--bridge",
+        action="store_true",
+        help="compose the post-routing SWAP+CNOT -> bridge peephole",
+    )
+    map_p.add_argument(
+        "--legalize-directions",
+        action="store_true",
+        help="compose CNOT-direction legalisation (directed devices)",
+    )
+    map_p.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print the per-pass timing breakdown to stderr",
+    )
+    map_p.add_argument(
         "--trials",
         type=int,
-        default=5,
-        help="independently seeded compilation trials; best kept",
+        default=None,
+        help="independently seeded compilation trials; best kept "
+        "(default: the pipeline preset's, paper: 5)",
     )
     map_p.add_argument(
         "--jobs",
@@ -138,9 +230,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("g_add", "depth", "weighted"),
         help="trial-winner selection metric (default: paper's g_add)",
     )
-    map_p.add_argument("--traversals", type=int, default=3)
+    map_p.add_argument("--traversals", type=int, default=None)
     map_p.add_argument(
         "--heuristic", default="decay", choices=("basic", "lookahead", "decay")
+    )
+    map_p.add_argument(
+        "--scorer",
+        default="auto",
+        choices=("auto", "fast", "reference"),
+        help="candidate-SWAP scoring implementation (auto reads "
+        "$REPRO_SCORER, defaulting to the fast delta scorer)",
     )
     map_p.add_argument("--delta", type=float, default=0.001)
     map_p.add_argument("--extended-set", type=int, default=20)

@@ -1,7 +1,8 @@
 """One-call public API: :func:`compile_circuit`.
 
-Ties the pipeline together the way the paper's evaluation ran it:
-basis decomposition -> (optional) reverse-traversal layout search ->
+Executes the ``paper_default`` pass pipeline
+(:mod:`repro.pipeline`) the way the paper's evaluation ran it: basis
+decomposition -> (optional) reverse-traversal layout search ->
 SWAP-based routing -> metrics.  Everything is deterministic given
 ``seed``.
 
@@ -11,7 +12,7 @@ Two execution paths share this front door:
   one :class:`~repro.core.bidirectional.SabreLayout` search whose
   random restarts run in-process;
 - the **engine path** (``executor="serial"``/``"process"``): each trial
-  is an independent fully seeded compilation dispatched through
+  is an independent fully seeded pipeline execution dispatched through
   :mod:`repro.engine.trials`, ranked by a configurable ``objective``.
   ``"process"`` fans trials across a worker pool.
 
@@ -22,32 +23,31 @@ circuit is lowered into its compile-once flat IR
 (:class:`~repro.circuits.flatdag.FlatDag`) through the same cache, so
 repeated trials/traversals/calls against one circuit lower it once per
 direction per process.
+
+Other scenarios — noise-aware distances, directed-coupling
+legalisation, bridge rewrites, baseline routers — are other pipelines:
+pass ``pipeline="noise_aware"`` (or any name from
+:func:`repro.pipeline.presets.preset_names`), or build a custom one
+with :func:`repro.pipeline.compose_pipeline` / an explicit pass list.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Sequence, Union
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.decompositions import decompose_to_cx_basis
-from repro.core.bidirectional import SabreLayout
+from repro.circuits.decompositions import needs_cx_decomposition
 from repro.core.heuristic import HeuristicConfig
 from repro.core.layout import Layout
 from repro.core.result import MappingResult
-from repro.core.router import SabreRouter
 from repro.core.scoring import FlatDistance
-from repro.exceptions import MappingError
 from repro.hardware.coupling import CouplingGraph
 
 
 def _needs_decomposition(circuit: QuantumCircuit) -> bool:
-    """True when the circuit has gates the router cannot place directly
-    (3+ qubit gates) or SWAPs that would be mistaken for routing SWAPs."""
-    return any(
-        (gate.num_qubits > 2 and not gate.is_directive) or gate.name == "swap"
-        for gate in circuit
-    )
+    """Back-compat alias for :func:`needs_cx_decomposition` (which
+    memoises the answer on the circuit instance)."""
+    return needs_cx_decomposition(circuit)
 
 
 def compile_circuit(
@@ -55,13 +55,14 @@ def compile_circuit(
     coupling: CouplingGraph,
     config: Optional[HeuristicConfig] = None,
     seed: int = 0,
-    num_trials: int = 5,
-    num_traversals: int = 3,
+    num_trials: Optional[int] = None,
+    num_traversals: Optional[int] = None,
     initial_layout: Optional[Layout] = None,
     distance: Optional[Union[FlatDistance, Sequence[Sequence[float]]]] = None,
     objective: str = "g_add",
     executor: Optional[str] = None,
     jobs: Optional[int] = None,
+    pipeline: str = "paper_default",
 ) -> MappingResult:
     """Map ``circuit`` onto ``coupling`` with SABRE.
 
@@ -72,10 +73,12 @@ def compile_circuit(
         config: heuristic knobs; defaults to the paper's evaluation
             configuration (|E|=20, W=0.5, delta=0.001, decay mode).
         seed: base RNG seed (tie-breaks and random restarts).
-        num_trials: random initial mappings to try (paper: 5).
-        num_traversals: traversals per trial, odd (paper: 3 =
-            forward-backward-forward).  ``1`` disables the reverse
-            traversal (the paper's ``g_la`` configuration).
+        num_trials: random initial mappings to try; ``None`` defers to
+            the pipeline preset's default (paper: 5).
+        num_traversals: traversals per trial, odd; ``None`` defers to
+            the preset's default (paper: 3 = forward-backward-forward).
+            ``1`` disables the reverse traversal (the paper's ``g_la``
+            configuration).
         initial_layout: skip the layout search and route once from this
             mapping (useful for controlled experiments).
         distance: optional precomputed distance matrix for the device
@@ -87,140 +90,28 @@ def compile_circuit(
             trials fanned across a worker pool).  A non-default
             ``objective`` implies at least the serial engine path.
         jobs: worker count for ``executor="process"``.
+        pipeline: named pass-pipeline preset to execute
+            (default: the paper's flow).
 
     Returns:
         A :class:`~repro.core.result.MappingResult`; its
         ``physical_circuit()`` is hardware-compliant and semantically
         equivalent to the input (up to the final qubit permutation
-        recorded in ``final_layout``).
+        recorded in ``final_layout``), and its ``properties`` carry the
+        pipeline's per-pass timings and derived metrics.
     """
-    coupling.require_connected()
-    if circuit.num_qubits > coupling.num_qubits:
-        raise MappingError(
-            f"circuit {circuit.name!r} needs {circuit.num_qubits} qubits; "
-            f"device {coupling.name!r} has {coupling.num_qubits}"
-        )
-    working = (
-        decompose_to_cx_basis(circuit) if _needs_decomposition(circuit) else circuit
-    )
-    if distance is None:
-        from repro.engine.cache import get_flat_distance_matrix
+    from repro.pipeline.runner import get_pipeline
 
-        distance = get_flat_distance_matrix(coupling)
-
-    start = time.perf_counter()
-    if initial_layout is not None:
-        from repro.engine.cache import get_flat_dag
-
-        router = SabreRouter(
-            coupling, config=config, seed=seed, distance=distance
-        )
-        routing = router.run(
-            get_flat_dag(working), initial_layout=initial_layout
-        )
-        elapsed = time.perf_counter() - start
-        return MappingResult(
-            name=circuit.name,
-            device_name=coupling.name,
-            original_circuit=working,
-            routing=routing,
-            initial_layout=routing.initial_layout,
-            final_layout=routing.final_layout,
-            num_swaps=routing.num_swaps,
-            runtime_seconds=elapsed,
-            first_pass_swaps=None,
-            trial_swaps=[routing.num_swaps],
-            num_trials=1,
-            num_traversals=1,
-        )
-
-    if executor is None and objective != "g_add" and num_trials > 1:
-        # A non-default objective needs the engine's winner selection;
-        # the direct path only ranks by (swaps, depth).
-        executor = "serial"
-    if executor is not None:
-        return _compile_via_engine(
-            circuit,
-            working,
-            coupling,
-            config=config,
-            seed=seed,
-            num_trials=num_trials,
-            num_traversals=num_traversals,
-            distance=distance,
-            objective=objective,
-            executor=executor,
-            jobs=jobs,
-            start=start,
-        )
-
-    searcher = SabreLayout(
+    return get_pipeline(pipeline).run(
+        circuit,
         coupling,
         config=config,
-        num_traversals=num_traversals,
-        num_trials=num_trials,
         seed=seed,
-        distance=distance,
-    )
-    best = searcher.run(working)
-    elapsed = time.perf_counter() - start
-    return MappingResult(
-        name=circuit.name,
-        device_name=coupling.name,
-        original_circuit=working,
-        routing=best.routing,
-        initial_layout=best.initial_layout,
-        final_layout=best.routing.final_layout,
-        num_swaps=best.num_swaps,
-        runtime_seconds=elapsed,
-        first_pass_swaps=best.best_first_pass_swaps,
-        trial_swaps=[t.final_swaps for t in best.trials],
         num_trials=num_trials,
         num_traversals=num_traversals,
-    )
-
-
-def _compile_via_engine(
-    circuit: QuantumCircuit,
-    working: QuantumCircuit,
-    coupling: CouplingGraph,
-    config: Optional[HeuristicConfig],
-    seed: int,
-    num_trials: int,
-    num_traversals: int,
-    distance: Union[FlatDistance, Sequence[Sequence[float]]],
-    objective: str,
-    executor: str,
-    jobs: Optional[int],
-    start: float,
-) -> MappingResult:
-    """Best-of-K independently seeded trials via :mod:`repro.engine`."""
-    from dataclasses import replace
-
-    from repro.engine.trials import run_trials
-
-    outcome = run_trials(
-        working,
-        coupling,
-        seeds=[seed + t for t in range(num_trials)],
-        config=config,
-        num_traversals=num_traversals,
+        initial_layout=initial_layout,
+        distance=distance,
         objective=objective,
         executor=executor,
         jobs=jobs,
-        distance=distance,
-    )
-    winner = outcome.best_result
-    return replace(
-        winner,
-        name=circuit.name,
-        runtime_seconds=time.perf_counter() - start,
-        first_pass_swaps=min(
-            (t.result.first_pass_swaps for t in outcome.trials
-             if t.result.first_pass_swaps is not None),
-            default=winner.first_pass_swaps,
-        ),
-        trial_swaps=outcome.trial_swaps,
-        num_trials=num_trials,
-        num_traversals=num_traversals,
     )

@@ -32,6 +32,12 @@ class MappingResult:
             ``None`` when a fixed initial layout was supplied.
         trial_swaps: final swap count of each random restart.
         num_trials / num_traversals: search configuration actually used.
+        final_circuit: post-pass output when a pipeline rewrote the
+            routed circuit after routing (direction legalisation);
+            ``None`` means derive the output from ``routing``.
+        properties: the pipeline run's property set — per-pass timings,
+            verification verdicts, rewrite statistics, objective
+            overrides (see :class:`repro.pipeline.context.PropertySet`).
     """
 
     name: str
@@ -46,6 +52,8 @@ class MappingResult:
     trial_swaps: List[int] = field(default_factory=list)
     num_trials: int = 1
     num_traversals: int = 1
+    final_circuit: Optional[QuantumCircuit] = None
+    properties: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Paper metrics
@@ -73,7 +81,7 @@ class MappingResult:
     @property
     def routed_depth(self) -> int:
         """Depth of the output with SWAPs decomposed into 3 CNOTs."""
-        return circuit_depth(self.routing.physical_circuit(decompose_swaps=True))
+        return circuit_depth(self.physical_circuit(decompose_swaps=True))
 
     @property
     def routed_depth_swaps_atomic(self) -> int:
@@ -81,7 +89,14 @@ class MappingResult:
         return circuit_depth(self.routing.circuit)
 
     def physical_circuit(self, decompose_swaps: bool = True) -> QuantumCircuit:
-        """The hardware-compliant output circuit."""
+        """The hardware-compliant output circuit.
+
+        When a post-routing pipeline pass produced a rewritten output
+        (``final_circuit``), that circuit is returned as-is — it is
+        already fully expanded (no ``swap`` gates remain to decompose).
+        """
+        if self.final_circuit is not None:
+            return self.final_circuit
         return self.routing.physical_circuit(decompose_swaps=decompose_swaps)
 
     def gate_overhead_ratio(self) -> float:

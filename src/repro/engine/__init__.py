@@ -38,6 +38,7 @@ from repro.engine.cache import (
 from repro.engine.trials import (
     EXECUTORS,
     OBJECTIVES,
+    PROPERTY_OBJECTIVE_PREFIX,
     TrialResult,
     TrialsOutcome,
     objective_value,
@@ -60,6 +61,7 @@ __all__ = [
     "get_flat_distance_matrix",
     "EXECUTORS",
     "OBJECTIVES",
+    "PROPERTY_OBJECTIVE_PREFIX",
     "TrialResult",
     "TrialsOutcome",
     "objective_value",

@@ -150,6 +150,7 @@ def compile_many(
     config: Optional[HeuristicConfig] = None,
     num_traversals: int = 3,
     keep_results: bool = True,
+    pipeline: str = "paper_default",
 ) -> BatchReport:
     """Compile every circuit best-of-``num_trials`` across ``jobs`` workers.
 
@@ -162,12 +163,17 @@ def compile_many(
         jobs: ``1`` compiles in-process; ``>1`` fans trial jobs across a
             :class:`~concurrent.futures.ProcessPoolExecutor`.
         objective: winner-selection metric (see
-            :data:`repro.engine.trials.OBJECTIVES`).
+            :data:`repro.engine.trials.OBJECTIVES`).  Only the metric
+            objectives are supported here: pooled batch workers ship
+            slim :class:`TrialMetrics` back, not full results with
+            property sets, so ``property:`` objectives are rejected.
         config: heuristic knobs shared by every trial.
         num_traversals: traversals per trial (odd).
         keep_results: attach each winner's full
             :class:`~repro.core.result.MappingResult` to its report
             (disable to shed memory on very large suites).
+        pipeline: pass-pipeline preset each trial executes (shipped to
+            workers by name, like every other payload field).
 
     Returns:
         :class:`BatchReport` with one :class:`CircuitReport` per input
@@ -186,7 +192,7 @@ def compile_many(
     distance = get_flat_distance_matrix(coupling)
     seeds = [seed + t for t in range(num_trials)]
     payloads = [
-        (circuit, coupling, config, s, num_traversals, distance)
+        (circuit, coupling, config, s, num_traversals, distance, pipeline)
         for circuit in circuits
         for s in seeds
     ]

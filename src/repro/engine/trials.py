@@ -62,9 +62,37 @@ OBJECTIVES: Dict[str, Callable[[MappingResult], float]] = {
     "weighted": _objective_weighted,
 }
 
+#: Objective-name prefix that scores trials straight from the pipeline
+#: PropertySet: ``"property:fidelity.estimated_success"`` ranks by that
+#: recorded value (lower is better) — how a custom pass teaches the
+#: engine a new winner-selection criterion without touching this module.
+PROPERTY_OBJECTIVE_PREFIX = "property:"
+
 
 def objective_value(result: MappingResult, objective: str) -> float:
-    """Score ``result`` under a named objective (lower is better)."""
+    """Score ``result`` under a named objective (lower is better).
+
+    Two PropertySet hooks extend the built-in metrics:
+
+    - ``"property:<key>"`` objectives read the named property directly
+      (it must have been recorded by the trial's pipeline);
+    - for built-in names, a recorded ``"objective.<name>"`` entry
+      overrides the metric function.
+    """
+    properties = getattr(result, "properties", None)
+    if objective.startswith(PROPERTY_OBJECTIVE_PREFIX):
+        key = objective[len(PROPERTY_OBJECTIVE_PREFIX):]
+        if properties is None or key not in properties:
+            raise ReproError(
+                f"objective {objective!r} needs the trial's pipeline to "
+                f"record property {key!r} (e.g. via a custom analysis "
+                "pass); it was not found on this result"
+            )
+        return float(properties[key])
+    if properties:
+        override = properties.get(f"objective.{objective}")
+        if override is not None:
+            return float(override)
     try:
         return OBJECTIVES[objective](result)
     except KeyError:
@@ -130,17 +158,20 @@ def _run_one_trial(
     seed: int,
     num_traversals: int,
     distance: Sequence[Sequence[float]],
+    pipeline: str = "paper_default",
 ) -> MappingResult:
-    """One fully seeded compilation (module-level so pools can pickle it).
+    """One fully seeded trial: a single-trial pipeline execution
+    (module-level so pools can pickle its arguments — pipelines travel
+    as preset names, not objects).
 
     ``num_trials=1`` with ``executor=None`` keeps this on the direct
     :class:`~repro.core.bidirectional.SabreLayout` path; the trial seed
     drives both the random initial mapping and the router's tie-break
     stream (see ``SabreLayout``'s per-trial seeding).
     """
-    from repro.core.compiler import compile_circuit
+    from repro.pipeline.runner import get_pipeline
 
-    return compile_circuit(
+    return get_pipeline(pipeline).run(
         circuit,
         coupling,
         config=config,
@@ -160,6 +191,7 @@ def _worker(
         int,
         int,
         Sequence[Sequence[float]],
+        str,
     ],
 ) -> MappingResult:
     """Process-pool entry point: unpack one trial job and run it."""
@@ -176,6 +208,7 @@ def run_trials(
     executor: str = "serial",
     jobs: Optional[int] = None,
     distance: Optional[Sequence[Sequence[float]]] = None,
+    pipeline: str = "paper_default",
 ) -> TrialsOutcome:
     """Run one compilation per seed and rank them by ``objective``.
 
@@ -185,8 +218,10 @@ def run_trials(
         seeds: one trial per entry; order defines the tie-break.
         config: heuristic knobs (paper defaults when omitted).
         num_traversals: traversals per trial (odd; paper uses 3).
-        objective: ``"g_add"`` (paper metric), ``"depth"``, or
-            ``"weighted"`` (``g_add + 0.5 * d_out``).
+        objective: ``"g_add"`` (paper metric), ``"depth"``,
+            ``"weighted"`` (``g_add + 0.5 * d_out``), or
+            ``"property:<key>"`` to rank by a value the trial pipeline
+            recorded in its PropertySet.
         executor: ``"serial"`` or ``"process"``
             (:class:`~concurrent.futures.ProcessPoolExecutor`).
         jobs: worker count for the process executor (default: as many
@@ -194,6 +229,9 @@ def run_trials(
         distance: precomputed distance matrix.  Computed once through
             the engine cache when omitted and shipped to every worker,
             so a pool run never repeats the Floyd-Warshall step.
+        pipeline: pass-pipeline preset each trial executes (shipped to
+            workers by *name*; see
+            :func:`repro.pipeline.presets.preset_names`).
 
     Returns:
         :class:`TrialsOutcome`; ``outcome.best_result`` is the winning
@@ -207,10 +245,13 @@ def run_trials(
         raise ReproError(
             f"unknown executor {executor!r}; available: {list(EXECUTORS)}"
         )
-    objective_fn = OBJECTIVES.get(objective)
-    if objective_fn is None:
+    if (
+        objective not in OBJECTIVES
+        and not objective.startswith(PROPERTY_OBJECTIVE_PREFIX)
+    ):
         raise ReproError(
-            f"unknown objective {objective!r}; available: {sorted(OBJECTIVES)}"
+            f"unknown objective {objective!r}; available: "
+            f"{sorted(OBJECTIVES)} or '{PROPERTY_OBJECTIVE_PREFIX}<key>'"
         )
     if distance is None:
         # Flattened form: the router consumes it as-is, and its single
@@ -219,7 +260,7 @@ def run_trials(
         distance = get_flat_distance_matrix(coupling)
 
     payloads = [
-        (circuit, coupling, config, seed, num_traversals, distance)
+        (circuit, coupling, config, seed, num_traversals, distance, pipeline)
         for seed in seeds
     ]
     if executor == "process" and len(seeds) > 1:
@@ -234,7 +275,9 @@ def run_trials(
         results = [_run_one_trial(*p) for p in payloads]
 
     trials = [
-        TrialResult(seed=seed, result=result, value=objective_fn(result))
+        TrialResult(
+            seed=seed, result=result, value=objective_value(result, objective)
+        )
         for seed, result in zip(seeds, results)
     ]
     return TrialsOutcome(

@@ -10,17 +10,28 @@
   Modeling", Tannu & Qureshi).
 - :mod:`repro.extensions.ablation` — named heuristic configurations for
   the ablation benches (basic vs look-ahead vs decay, |E| and W sweeps).
+
+Each extension is also a pass in the composable pipeline
+(:mod:`repro.pipeline.passes`): ``LegalizeDirections``,
+``BridgeRewrite``, ``NoiseAwareDistance``, ``PerfectEmbedding``.  The
+modules here keep the underlying transforms and the historical one-call
+wrappers (now thin shims over pipeline presets); combine extensions
+with :func:`repro.pipeline.compose_pipeline` instead of hand-rolled
+glue.
 """
 
 from repro.extensions.directed import legalize_directions, direction_overhead
 from repro.extensions.bridge import bridge_gates, route_with_bridges
 from repro.extensions.noise_aware import (
+    noise_aware_config,
+    noise_edge_weights,
     noise_weighted_distance,
     NoiseAwareRouter,
 )
 from repro.extensions.ablation import (
     ABLATION_CONFIGS,
     ablation_config,
+    ablation_pipeline,
     extended_set_sweep_configs,
     weight_sweep_configs,
 )
@@ -42,10 +53,13 @@ __all__ = [
     "direction_overhead",
     "bridge_gates",
     "route_with_bridges",
+    "noise_aware_config",
+    "noise_edge_weights",
     "noise_weighted_distance",
     "NoiseAwareRouter",
     "ABLATION_CONFIGS",
     "ablation_config",
+    "ablation_pipeline",
     "extended_set_sweep_configs",
     "weight_sweep_configs",
 ]

@@ -45,6 +45,25 @@ def ablation_config(name: str) -> HeuristicConfig:
         ) from None
 
 
+def ablation_pipeline(name: str):
+    """The paper's flow pinned to a named ablation configuration.
+
+    Sweeping heuristic variants then reads declaratively::
+
+        for name in ABLATION_CONFIGS:
+            result = ablation_pipeline(name).run(circuit, device, seed=0)
+
+    (an explicit ``config=`` in ``run`` still wins over the pin).
+    """
+    from repro.pipeline import Pipeline
+
+    return Pipeline(
+        "paper_default",
+        name=f"ablation[{name}]",
+        defaults={"config": ablation_config(name)},
+    )
+
+
 def extended_set_sweep_configs(
     sizes: Sequence[int] = (0, 5, 10, 20, 40, 80),
 ) -> List[HeuristicConfig]:

@@ -166,29 +166,36 @@ def verify_perfect_layout(
 def compile_with_embedding(
     circuit: QuantumCircuit,
     coupling: CouplingGraph,
-    max_nodes: int = 200_000,
+    max_nodes: Optional[int] = None,
     **compile_kwargs,
 ):
     """Compile with an exact perfect layout when one exists.
 
-    Runs the subgraph-embedding search first; on success the circuit is
-    routed from the proven zero-SWAP mapping (the result is guaranteed
-    SWAP-free), otherwise falls back to the standard SABRE pipeline.
-    This closes the rare cases where finite random restarts miss an
-    existing perfect mapping (e.g. alu-v0_27 in Table II).
+    Executes the ``best_effort`` pipeline preset: the subgraph-embedding
+    search runs as the ``PerfectEmbedding`` analysis pass; on success
+    the circuit is routed once from the proven zero-SWAP mapping (the
+    result is guaranteed SWAP-free), otherwise the pipeline falls
+    through to the standard SABRE search.  This closes the rare cases
+    where finite random restarts miss an existing perfect mapping
+    (e.g. alu-v0_27 in Table II).
 
-    Accepts the same keyword arguments as
-    :func:`repro.core.compiler.compile_circuit`.
+    Args:
+        max_nodes: embedding-search node budget; ``None`` uses the
+            preset's default.
+        **compile_kwargs: forwarded to
+            :meth:`repro.pipeline.Pipeline.run` (same surface as
+            :func:`repro.core.compiler.compile_circuit`).
     """
-    from repro.core.compiler import compile_circuit
+    from repro.pipeline import PerfectEmbedding, Pipeline, get_preset
 
-    working = circuit
-    layout = find_perfect_layout(working, coupling, max_nodes=max_nodes)
-    if layout is not None:
-        compile_kwargs.pop("initial_layout", None)
-        compile_kwargs.pop("num_trials", None)
-        compile_kwargs.pop("num_traversals", None)
-        return compile_circuit(
-            working, coupling, initial_layout=layout, **compile_kwargs
-        )
-    return compile_circuit(working, coupling, **compile_kwargs)
+    if max_nodes is None:
+        return Pipeline("best_effort").run(circuit, coupling, **compile_kwargs)
+    factory, defaults, _ = get_preset("best_effort")
+    passes = [
+        PerfectEmbedding(max_nodes=max_nodes)
+        if isinstance(p, PerfectEmbedding)
+        else p
+        for p in factory()
+    ]
+    custom = Pipeline(passes, name="best_effort", defaults=defaults)
+    return custom.run(circuit, coupling, **compile_kwargs)

@@ -11,6 +11,14 @@ runs Floyd-Warshall on those weights, and feeds the result to the
 unmodified SABRE search — the heuristic then steers qubits around bad
 couplings.  The ablation bench compares hop-count vs noise-aware
 routing under a heterogeneous noise model.
+
+In the pass-pipeline architecture this lives as the
+``NoiseAwareDistance`` analysis pass
+(:mod:`repro.pipeline.passes`), which resolves the weighted matrix
+through the engine cache so repeated compiles against one (device,
+noise model) pair pay the weighted Floyd-Warshall once per process.
+:class:`NoiseAwareRouter` remains as the one-call wrapper and now
+executes the ``noise_aware`` pipeline preset.
 """
 
 from __future__ import annotations
@@ -19,7 +27,6 @@ import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.core.compiler import compile_circuit
 from repro.core.heuristic import HeuristicConfig
 from repro.core.result import MappingResult
 from repro.exceptions import HardwareError
@@ -28,10 +35,10 @@ from repro.hardware.distance import weighted_floyd_warshall
 from repro.hardware.noise import NoiseModel
 
 
-def noise_weighted_distance(
+def noise_edge_weights(
     coupling: CouplingGraph, noise: NoiseModel
-) -> List[List[float]]:
-    """Distance matrix where edge length = SWAP log-infidelity.
+) -> Dict[Tuple[int, int], float]:
+    """Per-edge SWAP log-infidelity weights, median-normalised.
 
     Edges with the chip-average error rate get weight close to
     ``-3 * ln(1 - e)``; noisier couplings are proportionally longer, so
@@ -40,6 +47,10 @@ def noise_weighted_distance(
     (keeping the heuristic's scale and the decay trade-off comparable)
     while outlier couplings stand out proportionally to their excess
     infidelity.
+
+    Keys are the coupling's undirected ``(low, high)`` edges, the form
+    both :func:`repro.hardware.distance.weighted_floyd_warshall` and the
+    engine cache's weighted fingerprint expect.
     """
     weights: Dict[Tuple[int, int], float] = {}
     for a, b in coupling.edges:
@@ -49,15 +60,49 @@ def noise_weighted_distance(
         weights[(a, b)] = -3.0 * math.log1p(-error)
     ordered = sorted(weights.values())
     median = ordered[len(ordered) // 2]
-    normalised = {edge: w / median for edge, w in weights.items()}
-    return weighted_floyd_warshall(coupling, normalised)
+    return {edge: w / median for edge, w in weights.items()}
+
+
+def noise_weighted_distance(
+    coupling: CouplingGraph, noise: NoiseModel
+) -> List[List[float]]:
+    """Distance matrix where edge length = SWAP log-infidelity.
+
+    See :func:`noise_edge_weights` for the weighting scheme.  Callers
+    wanting memoisation should go through
+    :func:`repro.engine.cache.get_flat_distance_matrix` with these
+    weights instead (the ``NoiseAwareDistance`` pass does).
+    """
+    return weighted_floyd_warshall(coupling, noise_edge_weights(coupling, noise))
+
+
+def noise_aware_config(
+    config: Optional[HeuristicConfig], swap_cost_penalty: float = 1.0
+) -> HeuristicConfig:
+    """Heuristic config with the SWAP-cost penalty enabled.
+
+    With a weighted matrix the router should also pay for executing the
+    3 CNOTs of the SWAP itself on a noisy coupler; a zero penalty in the
+    caller's config (the paper default) is upgraded to ``penalty``.
+    """
+    if config is None:
+        return HeuristicConfig(swap_cost_penalty=swap_cost_penalty)
+    if config.swap_cost_penalty == 0.0:
+        from dataclasses import replace
+
+        return replace(config, swap_cost_penalty=swap_cost_penalty)
+    return config
 
 
 class NoiseAwareRouter:
     """SABRE with an error-weighted distance matrix.
 
     Drop-in alternative to :func:`repro.core.compiler.compile_circuit`
-    for devices with heterogeneous coupling quality.
+    for devices with heterogeneous coupling quality.  Internally this is
+    the ``noise_aware`` pipeline preset
+    (:func:`repro.pipeline.presets.get_preset`); compose the
+    ``NoiseAwareDistance`` pass directly for anything fancier (directed
+    devices, bridge rewrites, custom post-passes).
     """
 
     def __init__(
@@ -69,14 +114,20 @@ class NoiseAwareRouter:
     ) -> None:
         self.coupling = coupling
         self.noise = noise
-        if config is None:
-            config = HeuristicConfig(swap_cost_penalty=swap_cost_penalty)
-        elif config.swap_cost_penalty == 0.0:
-            from dataclasses import replace
+        self.config = noise_aware_config(config, swap_cost_penalty)
+        self._distance: Optional[List[List[float]]] = None
 
-            config = replace(config, swap_cost_penalty=swap_cost_penalty)
-        self.config = config
-        self.distance = noise_weighted_distance(coupling, noise)
+    @property
+    def distance(self) -> List[List[float]]:
+        """The noise-weighted matrix, computed on first access.
+
+        ``run`` resolves the same matrix through the engine cache; this
+        attribute exists for callers inspecting the weights and must
+        not force an O(N^3) weighted Floyd-Warshall per construction.
+        """
+        if self._distance is None:
+            self._distance = noise_weighted_distance(self.coupling, self.noise)
+        return self._distance
 
     def run(
         self,
@@ -86,12 +137,14 @@ class NoiseAwareRouter:
         num_traversals: int = 3,
     ) -> MappingResult:
         """Compile with the noise-weighted metric."""
-        return compile_circuit(
+        from repro.pipeline import Pipeline
+
+        return Pipeline("noise_aware").run(
             circuit,
             self.coupling,
             config=self.config,
             seed=seed,
             num_trials=num_trials,
             num_traversals=num_traversals,
-            distance=self.distance,
+            noise=self.noise,
         )

@@ -1,0 +1,75 @@
+"""Composable pass-pipeline compiler.
+
+The paper evaluates SABRE as one fixed flow (decompose -> reverse-
+traversal layout -> SWAP routing); a production mapper must *combine*
+scenarios — noise-aware distances, directed-coupling legalisation,
+bridge rewrites, embedding shortcuts, baseline comparisons — per
+request.  This package is that composition surface, in the style of
+Qiskit's transpiler pass manager:
+
+- :class:`~repro.pipeline.base.Pass` — the unit of composition
+  (:class:`AnalysisPass` derives facts, :class:`TransformPass` rewrites
+  program state);
+- :class:`~repro.pipeline.context.CompilationContext` — the shared
+  state the layers used to thread by hand (circuit + memoized IRs,
+  coupling graph, distance matrix, layout, heuristic config, seeds)
+  plus a :class:`~repro.pipeline.context.PropertySet` of per-pass
+  timings and derived metrics;
+- :class:`~repro.pipeline.runner.Pipeline` — the runner, constructible
+  from a preset name or an explicit pass list;
+- :mod:`~repro.pipeline.presets` — named scenarios (``paper_default``,
+  ``fast``, ``best_effort``, ``noise_aware``, ``directed_device``,
+  ``bridge``, ``baseline_*``) and :func:`compose_pipeline` for ad-hoc
+  combinations.
+
+``compile_circuit`` executes ``paper_default``, every engine trial
+executes a pipeline, and the CLI selects one with ``--pipeline``.
+"""
+
+from repro.pipeline.base import AnalysisPass, Pass, TransformPass
+from repro.pipeline.context import CompilationContext, PropertySet
+from repro.pipeline.passes import (
+    BaselineRoutePass,
+    BridgeRewrite,
+    CollectMetrics,
+    ComplianceCheck,
+    DecomposeToBasis,
+    LegalizeDirections,
+    NoiseAwareDistance,
+    PerfectEmbedding,
+    ResolveDistance,
+    SabreLayoutPass,
+    SabreRoutePass,
+)
+from repro.pipeline.presets import (
+    PRESETS,
+    compose_pipeline,
+    get_preset,
+    preset_names,
+)
+from repro.pipeline.runner import Pipeline, get_pipeline
+
+__all__ = [
+    "AnalysisPass",
+    "BaselineRoutePass",
+    "BridgeRewrite",
+    "CollectMetrics",
+    "CompilationContext",
+    "ComplianceCheck",
+    "DecomposeToBasis",
+    "LegalizeDirections",
+    "NoiseAwareDistance",
+    "PRESETS",
+    "Pass",
+    "PerfectEmbedding",
+    "Pipeline",
+    "PropertySet",
+    "ResolveDistance",
+    "SabreLayoutPass",
+    "SabreRoutePass",
+    "TransformPass",
+    "compose_pipeline",
+    "get_pipeline",
+    "get_preset",
+    "preset_names",
+]

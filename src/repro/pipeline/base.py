@@ -1,0 +1,64 @@
+"""The ``Pass`` protocol: the unit of composition of the compiler.
+
+A pass is a small, reusable stage that reads and/or extends a shared
+:class:`~repro.pipeline.context.CompilationContext`.  Two kinds exist,
+mirroring the classic pass-manager split (Qiskit's transpiler, LLVM):
+
+- **analysis passes** derive facts — a distance matrix, a perfect
+  layout, a verification verdict — and record them on the context or
+  its :class:`~repro.pipeline.context.PropertySet`.  They must *not*
+  replace the working circuit, the routing, or the final physical
+  circuit; the :class:`~repro.pipeline.runner.Pipeline` runner enforces
+  this invariant after every analysis pass.
+- **transform passes** rewrite the program state: decompose to the CX
+  basis, search a layout and route, legalise CNOT directions, bridge
+  distance-2 CNOTs.
+
+Passes hold only immutable configuration on ``self`` (everything
+mutable lives on the context), so one pass instance can be shared by
+every pipeline and every thread — preset pipelines are process-wide
+singletons for exactly this reason.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.pipeline.context import CompilationContext
+
+
+class Pass:
+    """Base class for pipeline passes.
+
+    Subclasses implement :meth:`run` and may override :attr:`name`
+    (defaults to the class name) — the name keys the per-pass timing
+    entries in the context's :class:`PropertySet`.
+    """
+
+    #: True for analysis passes (see module docstring); the runner
+    #: checks that analysis passes leave the program state untouched.
+    is_analysis = False
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def run(self, context: "CompilationContext") -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        kind = "analysis" if self.is_analysis else "transform"
+        return f"<{self.name} ({kind} pass)>"
+
+
+class AnalysisPass(Pass):
+    """A pass that derives facts without rewriting the program state."""
+
+    is_analysis = True
+
+
+class TransformPass(Pass):
+    """A pass that rewrites the working circuit, routing, or output."""
+
+    is_analysis = False

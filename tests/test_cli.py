@@ -72,6 +72,64 @@ class TestMapCommand:
         )
         assert code == 0
 
+    def test_map_bare_noise_aware_preset(self, qasm_file, capsys):
+        # The preset must be usable without the --noise-aware flag: the
+        # CLI supplies the chip-average model whenever the resolved
+        # pipeline contains the noise-aware pass.
+        code = main(
+            ["map", qasm_file, "--pipeline", "noise_aware", "--trials", "1"]
+        )
+        assert code == 0
+
+    def test_map_pipeline_flags_and_verbose(self, qasm_file, tmp_path, capsys):
+        out = str(tmp_path / "mapped.qasm")
+        code = main(
+            [
+                "map",
+                qasm_file,
+                "--device",
+                "ibm_qx5",
+                "--pipeline",
+                "directed_device",
+                "--bridge",
+                "--trials",
+                "1",
+                "--verbose",
+                "-o",
+                out,
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "pass timings:" in err
+        assert "BridgeRewrite" in err
+        from repro.hardware.devices import ibm_qx5
+
+        mapped = parse_qasm_file(out)
+        assert is_hardware_compliant(mapped, ibm_qx5(), check_direction=True)
+
+    def test_map_noise_profile(self, qasm_file, tmp_path, capsys):
+        profile = tmp_path / "noise.json"
+        profile.write_text(
+            '{"two_qubit_error": 0.03, "edge_errors": {"0,1": 0.2, "5,6": 0.1}}'
+        )
+        code = main(
+            [
+                "map",
+                qasm_file,
+                "--noise-aware",
+                "--noise-profile",
+                str(profile),
+                "--trials",
+                "1",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_pipeline_rejected(self, qasm_file):
+        with pytest.raises(SystemExit):
+            main(["map", qasm_file, "--pipeline", "bogus"])
+
     def test_unknown_device_rejected(self, qasm_file):
         with pytest.raises(SystemExit):
             main(["map", qasm_file, "--device", "ibm_q1000"])
