@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.core.result import MappingResult
 from repro.hardware.noise import IBM_Q20_TOKYO_NOISE, NoiseModel
@@ -32,6 +32,31 @@ def result_metrics(result: MappingResult) -> Dict[str, object]:
         else 0.0,
         "t_sec": round(result.runtime_seconds, 4),
     }
+
+
+def json_safe_properties(
+    properties: Optional[Mapping[str, object]],
+) -> Dict[str, object]:
+    """A pipeline PropertySet reduced to JSON-serialisable entries.
+
+    The serving layer ships a result's property set over the wire, but
+    passes may record arbitrary Python objects (layouts, circuits).
+    This keeps scalar facts (verification verdicts, rewrite statistics,
+    objective overrides) and normalises ``pass_timings`` to
+    ``[[pass_name, seconds], ...]``; everything else is dropped rather
+    than half-heartedly stringified.
+    """
+    if not properties:
+        return {}
+    safe: Dict[str, object] = {}
+    for key, value in properties.items():
+        if key == "pass_timings":
+            safe[key] = [
+                [name, float(seconds)] for name, seconds in value
+            ]
+        elif isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+    return safe
 
 
 def fidelity_report(

@@ -16,8 +16,9 @@ disjoint edges) among the couplings that touch a layer qubit, so the
 branching factor — and with it the open set — grows exponentially with
 the number of active qubits.  On the paper's server this exhausted
 378 GB of memory for ising_model_16 and qft_20 ("Out of Memory" in
-Table II); we reproduce the same failure mode with a per-layer node
-budget that raises :class:`~repro.exceptions.SearchExhausted`.
+Table II); we reproduce the same failure mode with a memory guard — a
+per-layer node budget (plus an optional time budget) that raises
+:class:`~repro.exceptions.SearchExhausted` when tripped.
 
 ``concurrent=False`` selects a cheaper single-SWAP-per-expansion
 variant (no combinatorial blowup) used as a fast well-behaved baseline
@@ -275,7 +276,8 @@ class AStarMapper:
             and time.perf_counter() > self._deadline
         ):
             raise SearchExhausted(
-                f"A* exceeded its time budget ({self.max_seconds} s)",
+                f"A* memory guard: exceeded the time budget "
+                f"({self.max_seconds} s)",
                 nodes_expanded=self.last_run_nodes + nodes,
             )
 
@@ -319,9 +321,9 @@ class AStarMapper:
                 if nodes >= self.max_nodes:
                     self.last_run_nodes += nodes
                     raise SearchExhausted(
-                        f"A* exceeded its per-layer node budget "
-                        f"({self.max_nodes}) — the Table II 'Out of "
-                        "Memory' regime",
+                        f"A* memory guard: exceeded the per-layer node "
+                        f"budget ({self.max_nodes}) — the Table II "
+                        "'Out of Memory' regime",
                         nodes_expanded=self.last_run_nodes,
                     )
                 self._check_time(nodes)

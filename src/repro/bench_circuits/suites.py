@@ -7,7 +7,10 @@ runtimes) next to a builder for our reproduction circuit.  Harnesses
 print paper-vs-measured side by side from this one source of truth.
 
 ``None`` in the BKA columns marks the paper's "Out of Memory" rows
-(ising_model_16 and qft_20 exceeded the 378 GB server).
+(ising_model_16 and qft_20 exhausted the 378 GB of memory on the
+paper's evaluation server; our A* baseline models that failure mode
+with the memory guard described in
+:class:`repro.exceptions.SearchExhausted`).
 """
 
 from __future__ import annotations

@@ -4,7 +4,12 @@ Commands:
 
 - ``map`` — compile an OpenQASM 2.0 file for a device and write the
   hardware-compliant QASM (the end-user workflow).
-- ``devices`` — list built-in devices with their key properties.
+- ``serve`` — run the compilation service (:mod:`repro.service`): an
+  HTTP JSON API with a persistent result store and request coalescing.
+- ``submit`` — POST a QASM file to a running service and print/write
+  the routed output.
+- ``devices`` — list built-in devices with their key properties (the
+  same catalog the service's ``GET /devices`` returns).
 - ``draw`` — render a QASM circuit as ASCII art.
 - ``table2`` / ``fig8`` / ``scaling`` — forward to the experiment
   harnesses (same flags as their ``python -m repro.analysis.*`` entry
@@ -38,7 +43,7 @@ from repro.circuits.depth import circuit_depth
 from repro.circuits.transforms import optimize_circuit
 from repro.circuits.visualization import draw_circuit, draw_coupling
 from repro.core.heuristic import HeuristicConfig
-from repro.hardware.devices import DEVICE_BUILDERS, get_device
+from repro.hardware.devices import DEVICE_BUILDERS, device_catalog, get_device
 from repro.hardware.noise import IBM_Q20_TOKYO_NOISE, NoiseModel
 from repro.pipeline import (
     NoiseAwareDistance,
@@ -137,15 +142,93 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_devices(_args: argparse.Namespace) -> int:
-    for name in sorted(DEVICE_BUILDERS):
-        device = get_device(name)
-        symmetric = "symmetric" if device.is_symmetric else "directed"
+def _cmd_devices(args: argparse.Namespace) -> int:
+    # Same code path as the service's GET /devices (device_catalog), so
+    # the CLI listing and the HTTP listing can never disagree.
+    catalog = device_catalog()
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(catalog, indent=1))
+        return 0
+    for row in catalog:
+        direction = "directed" if row["directed"] else "symmetric"
         print(
-            f"{name:16s} {device.num_qubits:3d} qubits  "
-            f"{device.num_edges:3d} couplings  diameter "
-            f"{device.diameter()}  {symmetric}"
+            f"{row['name']:16s} {row['qubits']:3d} qubits  "
+            f"{row['edges']:3d} couplings  diameter "
+            f"{row['diameter']}  {direction}"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine.cache import cache_stats
+    from repro.service import build_server, serve_url, shutdown_service
+    from repro.service.store import ResultStore
+
+    store = ResultStore(
+        root=args.store_dir or None, max_memory_entries=args.memory_entries
+    )
+    server = build_server(
+        host=args.host,
+        port=args.port,
+        store=store,
+        workers=args.workers,
+        verbose=args.verbose,
+    )
+    tier = args.store_dir if args.store_dir else "memory-only"
+    print(
+        f"repro service on {serve_url(server)} "
+        f"(workers={args.workers}, store={tier})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if args.verbose:
+            print(f"store        : {store.stats()}", file=sys.stderr)
+            print(f"engine cache : {cache_stats()}", file=sys.stderr)
+        shutdown_service(server)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    with open(args.input) as handle:
+        qasm = handle.read()
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        reply = client.compile(
+            qasm,
+            device=args.device,
+            pipeline=args.pipeline,
+            seed=args.seed,
+            trials=args.trials,
+            traversals=args.traversals,
+            objective=args.objective,
+        )
+    except ServiceClientError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    result = reply["result"]
+    metrics = result["metrics"]
+    source = "store" if reply.get("cached") else "compiled"
+    print(
+        f"job {reply['id']} [{source}]  g_ori={metrics['g_ori']} "
+        f"g_add={metrics['g_add']} d_out={metrics['d_out']} "
+        f"t={result['compile_seconds']:.4f}s",
+        file=sys.stderr,
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(result["routed_qasm"])
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(result["routed_qasm"])
     return 0
 
 
@@ -257,7 +340,74 @@ def build_parser() -> argparse.ArgumentParser:
     map_p.set_defaults(handler=_cmd_map)
 
     dev_p = sub.add_parser("devices", help="list built-in devices")
+    dev_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry as JSON (same payload as GET /devices)",
+    )
     dev_p.set_defaults(handler=_cmd_devices)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the compilation service (HTTP JSON API)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=8711,
+        help="TCP port (0 binds a free ephemeral port, printed at startup)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="compilation worker threads (request-level concurrency)",
+    )
+    serve_p.add_argument(
+        "--store-dir",
+        default=".repro-store",
+        help="persistent result-store directory; pass '' for memory-only",
+    )
+    serve_p.add_argument(
+        "--memory-entries",
+        type=int,
+        default=128,
+        help="LRU bound of the in-memory store tier",
+    )
+    serve_p.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="log requests and print store/engine-cache stats on shutdown",
+    )
+    serve_p.set_defaults(handler=_cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit", help="POST a QASM file to a running repro service"
+    )
+    submit_p.add_argument("input", help="input OpenQASM 2.0 file")
+    submit_p.add_argument(
+        "--url", default="http://127.0.0.1:8711", help="service base URL"
+    )
+    submit_p.add_argument(
+        "--device", default="ibm_q20_tokyo", choices=sorted(DEVICE_BUILDERS)
+    )
+    submit_p.add_argument(
+        "--pipeline", default="paper_default", choices=preset_names()
+    )
+    submit_p.add_argument("--seed", type=int, default=0)
+    submit_p.add_argument("--trials", type=int, default=None)
+    submit_p.add_argument("--traversals", type=int, default=None)
+    submit_p.add_argument(
+        "--objective",
+        default="g_add",
+        choices=("g_add", "depth", "weighted"),
+    )
+    submit_p.add_argument(
+        "-o", "--output", help="routed QASM path (default stdout)"
+    )
+    submit_p.add_argument("--timeout", type=float, default=120.0)
+    submit_p.set_defaults(handler=_cmd_submit)
 
     draw_p = sub.add_parser("draw", help="draw a circuit or device")
     draw_p.add_argument("input", nargs="?", help="QASM file to draw")

@@ -27,6 +27,7 @@ from repro.engine.cache import (
     DeviceCache,
     GLOBAL_CACHE,
     cache_info,
+    cache_stats,
     circuit_fingerprint,
     clear_cache,
     coupling_fingerprint,
@@ -52,6 +53,7 @@ __all__ = [
     "DeviceCache",
     "GLOBAL_CACHE",
     "cache_info",
+    "cache_stats",
     "circuit_fingerprint",
     "clear_cache",
     "coupling_fingerprint",

@@ -314,6 +314,25 @@ class DeviceCache:
                 entries=len(self._flat) + len(self._devices) + len(self._dags),
             )
 
+    def stats(self) -> Dict[str, int]:
+        """Counters plus per-store entry counts, as a JSON-safe dict.
+
+        The serving layer surfaces this on ``GET /stats`` and in the
+        ``repro serve --verbose`` banner; unlike :meth:`cache_info` it
+        breaks the entry count down by store so operators can see what
+        the process is actually holding (matrices are per-device and
+        small in number, circuit IRs are the LRU-bounded open set).
+        """
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "matrix_entries": len(self._flat),
+                "device_entries": len(self._devices),
+                "dag_entries": len(self._dags),
+                "entries": len(self._flat) + len(self._devices) + len(self._dags),
+            }
+
     def clear(self) -> None:
         with self._lock:
             self._flat.clear()
@@ -375,6 +394,11 @@ def get_cached_device(name: str) -> CouplingGraph:
 def cache_info() -> CacheInfo:
     """Hit/miss counters of the shared cache."""
     return GLOBAL_CACHE.cache_info()
+
+
+def cache_stats() -> Dict[str, int]:
+    """Per-store counter breakdown of the shared cache (JSON-safe)."""
+    return GLOBAL_CACHE.stats()
 
 
 def clear_cache() -> None:

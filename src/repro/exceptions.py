@@ -48,11 +48,15 @@ class MappingError(ReproError):
 class SearchExhausted(MappingError):
     """An exhaustive baseline search exceeded its node or memory budget.
 
-    The Zulehner-style A* baseline explores an exponentially large search
-    space; on the paper's server this manifested as >378 GB memory usage
-    ("Out of Memory" rows in Table II).  We model the same failure mode
-    with a configurable expansion cap and raise this exception when the
-    cap is hit, carrying the number of expanded nodes for reporting.
+    The Zulehner-style A* baseline explores an exponentially large
+    search space; on the paper's evaluation server this exhausted more
+    than 378 GB of memory (the "Out of Memory" rows in Table II).  Our
+    A* baseline models the same failure mode with a *memory guard*: a
+    configurable node-expansion cap (plus an optional time budget) that
+    raises this exception when tripped, carrying the number of expanded
+    nodes for reporting.  Messages raised by
+    :class:`repro.baselines.astar.AStarMapper` name the guard
+    explicitly so logs read consistently with this docstring.
     """
 
     def __init__(self, message: str, nodes_expanded: int = 0) -> None:

@@ -13,7 +13,7 @@ and random connected graphs for property-based testing.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import HardwareError
 from repro.hardware.coupling import CouplingGraph
@@ -216,3 +216,37 @@ def get_device(name: str) -> CouplingGraph:
         raise HardwareError(
             f"unknown device {name!r}; available: {sorted(DEVICE_BUILDERS)}"
         ) from None
+
+
+#: Lazily built catalog rows — the registry is static, and diameter()
+#: runs an all-pairs BFS per device, so a polled GET /devices must not
+#: rebuild every chip per request.  ``None`` until first use; built
+#: into a local and assigned in one step so concurrent first callers
+#: (the service runs on ThreadingHTTPServer) can at worst duplicate
+#: the build, never corrupt or partially expose it.
+_CATALOG: Optional[List[Dict[str, object]]] = None
+
+
+def device_catalog() -> List[Dict[str, object]]:
+    """Structured listing of the registry, one JSON-safe row per device.
+
+    The single source of truth behind both ``repro devices`` (CLI) and
+    the service's ``GET /devices`` endpoint, so the two surfaces can
+    never drift apart.  Built once per process; returns fresh row
+    copies so callers may annotate them freely.
+    """
+    global _CATALOG
+    if _CATALOG is None:
+        _CATALOG = [
+            {
+                "name": name,
+                "qubits": device.num_qubits,
+                "edges": device.num_edges,
+                "directed": not device.is_symmetric,
+                "diameter": device.diameter(),
+            }
+            for name, device in (
+                (n, get_device(n)) for n in sorted(DEVICE_BUILDERS)
+            )
+        ]
+    return [dict(row) for row in _CATALOG]

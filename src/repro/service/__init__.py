@@ -1,0 +1,65 @@
+"""Compilation-as-a-service: store, scheduler, HTTP server, client.
+
+The serving tier the ROADMAP's production goal calls for, built
+entirely on the standard library:
+
+- :mod:`repro.service.request` — content-addressed
+  :class:`CompileRequest` (fingerprinted on the parsed gate list,
+  device structure, pipeline preset + config, and search knobs) and
+  the single :func:`execute_request` compile path.
+- :mod:`repro.service.store` — :class:`ResultStore`, a memory-LRU over
+  on-disk JSON/QASM persistent tier with atomic writes and counters.
+- :mod:`repro.service.scheduler` — :class:`CoalescingScheduler`:
+  store-first answering, in-flight dedup of identical requests, a
+  bounded priority worker pool, batch submission.
+- :mod:`repro.service.server` — ``ThreadingHTTPServer`` JSON API
+  (``POST /compile``, ``POST /batch``, ``GET /jobs/<id>``,
+  ``GET /devices``, ``GET /healthz``, ``GET /stats``).
+- :mod:`repro.service.client` — :class:`ServiceClient` and helpers for
+  the CLI (``repro serve`` / ``repro submit``), examples, benchmarks,
+  and CI.
+
+Quickstart::
+
+    from repro.service import build_server, start_in_thread, serve_url
+    from repro.service import ServiceClient, shutdown_service
+
+    server = build_server(port=0)          # free ephemeral port
+    start_in_thread(server)
+    client = ServiceClient(serve_url(server))
+    reply = client.compile(qasm_text, device="ibm_q20_tokyo")
+    print(reply["result"]["metrics"])      # g_ori / g_add / d_out ...
+    shutdown_service(server)
+"""
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceClientError,
+    find_free_port,
+)
+from repro.service.request import CompileRequest, RequestError, execute_request
+from repro.service.scheduler import CoalescingScheduler, Job
+from repro.service.server import (
+    build_server,
+    serve_url,
+    shutdown_service,
+    start_in_thread,
+)
+from repro.service.store import ResultStore, StoredResult
+
+__all__ = [
+    "CompileRequest",
+    "RequestError",
+    "execute_request",
+    "ResultStore",
+    "StoredResult",
+    "CoalescingScheduler",
+    "Job",
+    "build_server",
+    "start_in_thread",
+    "shutdown_service",
+    "serve_url",
+    "ServiceClient",
+    "ServiceClientError",
+    "find_free_port",
+]

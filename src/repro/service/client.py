@@ -1,0 +1,178 @@
+"""Stdlib HTTP client for the compilation service.
+
+``ServiceClient`` wraps :mod:`urllib.request` so examples, benchmarks,
+the ``repro submit`` CLI, and CI smoke steps can drive a running server
+without any dependency beyond the standard library.  Error contract:
+non-2xx responses raise :class:`ServiceClientError` carrying the HTTP
+status and the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.exceptions import ReproError
+
+
+class ServiceClientError(ReproError):
+    """A request the server rejected (or could not be reached)."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+def find_free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (for tests/benchmarks/CI)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+class ServiceClient:
+    """Typed wrapper over the service's JSON endpoints.
+
+    Args:
+        base_url: e.g. ``"http://127.0.0.1:8711"`` (no trailing slash
+            needed).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+                message = body.get("error") or json.dumps(body)
+            except Exception:  # noqa: BLE001 — best-effort body decode
+                message = exc.reason
+            raise ServiceClientError(
+                f"{method} {path} -> {exc.code}: {message}", status=exc.code
+            ) from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceClientError(
+                f"{method} {path} failed: {exc}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def compile(
+        self,
+        qasm: str,
+        device: str = "ibm_q20_tokyo",
+        pipeline: str = "paper_default",
+        seed: int = 0,
+        trials: Optional[int] = None,
+        traversals: Optional[int] = None,
+        objective: str = "g_add",
+        config: Optional[Dict[str, object]] = None,
+        wait: bool = True,
+        priority: int = 0,
+    ) -> Dict[str, object]:
+        """``POST /compile``; returns the finished job snapshot (or the
+        202 acknowledgement when ``wait=False``)."""
+        payload: Dict[str, object] = {
+            "qasm": qasm,
+            "device": device,
+            "pipeline": pipeline,
+            "seed": seed,
+            "objective": objective,
+            "wait": wait,
+            "priority": priority,
+        }
+        if trials is not None:
+            payload["trials"] = trials
+        if traversals is not None:
+            payload["traversals"] = traversals
+        if config:
+            payload["config"] = config
+        return self._request("POST", "/compile", payload)
+
+    def batch(
+        self,
+        requests: List[Dict[str, object]],
+        wait: bool = True,
+        priority: int = 0,
+    ) -> Dict[str, object]:
+        """``POST /batch`` with raw request dicts."""
+        return self._request(
+            "POST",
+            "/batch",
+            {"requests": requests, "wait": wait, "priority": priority},
+        )
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def devices(self) -> List[Dict[str, object]]:
+        return self._request("GET", "/devices")["devices"]
+
+    def healthz(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/stats")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def wait_until_healthy(self, timeout: float = 15.0) -> Dict[str, object]:
+        """Poll ``/healthz`` until the server answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[ServiceClientError] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except ServiceClientError as exc:
+                last_error = exc
+                time.sleep(0.05)
+        raise ServiceClientError(
+            f"server at {self.base_url} not healthy within {timeout}s "
+            f"(last error: {last_error})"
+        )
+
+    def wait_for_job(
+        self, job_id: str, timeout: float = 120.0
+    ) -> Dict[str, object]:
+        """Poll ``GET /jobs/<id>`` until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            snapshot = self.job(job_id)
+            if snapshot.get("state") in ("done", "failed"):
+                return snapshot
+            time.sleep(0.05)
+        raise ServiceClientError(
+            f"job {job_id} did not finish within {timeout}s"
+        )

@@ -1,0 +1,348 @@
+"""Coalescing scheduler: dedup identical work onto one computation.
+
+The serving tier's traffic is dominated by *repeats*: benchmark suites
+re-submit the same circuits, VQA loops re-compile near-identical
+ansätze, and concurrent clients race each other with the same request.
+The scheduler exploits that shape twice:
+
+- a **store check at submission** answers anything already compiled
+  (this process or a previous one) without queueing at all;
+- an **in-flight table** keyed by request fingerprint merges concurrent
+  identical submissions onto one :class:`Job` — N racing clients cost
+  exactly one pipeline execution, and all N wake when it finishes.
+
+Everything else runs on a bounded pool of worker threads draining a
+priority queue (higher priority first, FIFO within a priority).  Each
+worker executes :func:`repro.service.request.execute_request`, which
+drives the same pass-pipeline/trial-engine path as ``compile_circuit``
+and the CLI — the scheduler adds no second compile implementation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.service.request import CompileRequest, execute_request
+from repro.service.store import ResultStore, StoredResult
+
+#: Job lifecycle states (strings so snapshots are JSON-native).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Completed/failed jobs retained for ``GET /jobs/<id>`` lookups.
+MAX_FINISHED_JOBS = 512
+
+
+@dataclass
+class Job:
+    """One scheduled (or store-answered) compilation.
+
+    A job is shared by every submission that coalesced onto it; its
+    ``event`` fires once, when the single underlying computation (or
+    store lookup) resolves.
+    """
+
+    id: str
+    key: str
+    request: CompileRequest
+    #: The request's circuit, parsed once at submission and reused by
+    #: the worker (fingerprinting already had to parse it).
+    circuit: Optional[object] = None
+    priority: int = 0
+    state: str = QUEUED
+    cached: bool = False
+    coalesced: int = 0
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    result: Optional[StoredResult] = None
+    event: threading.Event = field(default_factory=threading.Event)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job resolves; True unless the wait timed out."""
+        return self.event.wait(timeout)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe view served by ``GET /jobs/<id>``."""
+        snap: Dict[str, object] = {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "priority": self.priority,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "request": self.request.summary(),
+        }
+        if self.error is not None:
+            snap["error"] = self.error
+        if self.state == DONE and self.result is not None:
+            snap["result"] = self.result.to_payload()
+        return snap
+
+
+class CoalescingScheduler:
+    """Bounded worker pool with store-backed request coalescing.
+
+    Args:
+        store: the result store consulted before queueing and written
+            after every execution.
+        workers: worker-thread count (request-level concurrency).
+        compile_fn: the request executor, called as
+            ``compile_fn(request, circuit=..., key=...)`` with the
+            circuit and fingerprint already resolved at submission (so
+            the worker never re-parses or re-hashes); overridable so
+            tests can inject slow or counting stand-ins.  Production
+            uses :func:`repro.service.request.execute_request`.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 2,
+        compile_fn: Callable[..., StoredResult] = execute_request,
+    ) -> None:
+        if workers < 1:
+            raise ReproError("CoalescingScheduler needs workers >= 1")
+        self.store = store if store is not None else ResultStore()
+        self.compile_fn = compile_fn
+        self.workers = workers
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+        self._job_ids = itertools.count(1)
+        self._inflight: Dict[str, Job] = {}
+        self._jobs: Dict[str, Job] = {}
+        self._finished_order: List[str] = []
+        self._shutdown = False
+        # Counters
+        self._submitted = 0
+        self._store_answered = 0
+        self._coalesced = 0
+        self._executions = 0
+        self._completed = 0
+        self._failed = 0
+        self._store_put_failures = 0
+        #: Per-preset pass-timing aggregation harvested from each
+        #: executed result's PropertySet: preset -> pass -> [calls, sec].
+        self._pass_timings: Dict[str, Dict[str, List[float]]] = {}
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-compile-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, request: CompileRequest, priority: int = 0) -> Job:
+        """Submit one request; returns its (possibly shared) job.
+
+        Resolution order: persistent store (job completes immediately,
+        ``cached=True``), then the in-flight table (returns the already
+        scheduled job), then a fresh queue entry.  QASM parse errors
+        surface here, synchronously — a request that cannot be
+        fingerprinted is rejected before it can occupy a worker.
+        """
+        if self._shutdown:
+            raise ReproError("scheduler is shut down")
+        # Parse once: the fingerprint needs the gate list anyway, and
+        # the worker reuses the parsed circuit via the job.
+        circuit = request.parsed_circuit()
+        key = request.fingerprint(circuit)
+        with self._lock:
+            self._submitted += 1
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                inflight.coalesced += 1
+                self._coalesced += 1
+                return inflight
+        entry = self.store.get(key)
+        with self._lock:
+            if entry is not None:
+                self._store_answered += 1
+                job = self._new_job(key, request, priority)
+                job.cached = True
+                job.result = entry
+                self._finish(job, DONE)
+                return job
+            # Re-check the in-flight table: a racing submit may have
+            # queued this key while we were probing the store.
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                inflight.coalesced += 1
+                self._coalesced += 1
+                return inflight
+            # Re-check shutdown under the lock: after the workers have
+            # drained and exited, an enqueued job would hang its
+            # waiters forever.
+            if self._shutdown:
+                raise ReproError("scheduler is shut down")
+            job = self._new_job(key, request, priority)
+            job.circuit = circuit
+            self._inflight[key] = job
+            heapq.heappush(self._heap, (-priority, next(self._seq), job))
+            self._not_empty.notify()
+            return job
+
+    def submit_batch(
+        self,
+        requests: Sequence[CompileRequest],
+        priority: int = 0,
+        priorities: Optional[Sequence[int]] = None,
+    ) -> List[Job]:
+        """Submit many requests; duplicates inside the batch coalesce
+        exactly like concurrent clients do (same in-flight table).
+        ``priorities`` overrides the batch-wide ``priority`` per item.
+        """
+        if priorities is None:
+            priorities = [priority] * len(requests)
+        if len(priorities) != len(requests):
+            raise ReproError(
+                "submit_batch needs one priority per request "
+                f"(got {len(priorities)} for {len(requests)})"
+            )
+        return [
+            self.submit(request, item_priority)
+            for request, item_priority in zip(requests, priorities)
+        ]
+
+    def _new_job(self, key: str, request: CompileRequest, priority: int) -> Job:
+        job = Job(
+            id=f"job-{next(self._job_ids):06d}",
+            key=key,
+            request=request,
+            priority=priority,
+        )
+        self._jobs[job.id] = job
+        return job
+
+    # ------------------------------------------------------------------
+    # Lookup / waiting
+    # ------------------------------------------------------------------
+
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job: Job, timeout: Optional[float] = None) -> Job:
+        """Block until ``job`` resolves; raises on timeout."""
+        if not job.wait(timeout):
+            raise ReproError(
+                f"timed out after {timeout}s waiting for {job.id}"
+            )
+        return job
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            with self._not_empty:
+                while not self._heap and not self._shutdown:
+                    self._not_empty.wait()
+                if self._shutdown and not self._heap:
+                    return
+                _, _, job = heapq.heappop(self._heap)
+                job.state = RUNNING
+                job.started_at = time.time()
+            try:
+                result = self.compile_fn(
+                    job.request, circuit=job.circuit, key=job.key
+                )
+            except BaseException as exc:  # noqa: BLE001 — job carries it
+                with self._lock:
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    self._inflight.pop(job.key, None)
+                    self._finish(job, FAILED)
+                continue
+            try:
+                self.store.put(result)
+            except OSError:
+                # The compile succeeded; a full or read-only store must
+                # degrade to serving uncached results, not fail jobs.
+                with self._lock:
+                    self._store_put_failures += 1
+            with self._lock:
+                self._executions += 1
+                self._harvest_timings(job.request.pipeline, result)
+                job.result = result
+                self._inflight.pop(job.key, None)
+                self._finish(job, DONE)
+
+    def _finish(self, job: Job, state: str) -> None:
+        """Terminal transition + finished-job retention; lock held."""
+        job.state = state
+        job.finished_at = time.time()
+        if state == DONE:
+            self._completed += 1
+        else:
+            self._failed += 1
+        self._finished_order.append(job.id)
+        while len(self._finished_order) > MAX_FINISHED_JOBS:
+            self._jobs.pop(self._finished_order.pop(0), None)
+        job.event.set()
+
+    def _harvest_timings(self, preset: str, result: StoredResult) -> None:
+        per_pass = self._pass_timings.setdefault(preset, {})
+        for name, seconds in result.properties.get("pass_timings", []):
+            bucket = per_pass.setdefault(name, [0, 0.0])
+            bucket[0] += 1
+            bucket[1] += float(seconds)
+
+    # ------------------------------------------------------------------
+    # Introspection / shutdown
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot for ``GET /stats``."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "submitted": self._submitted,
+                "store_answered": self._store_answered,
+                "coalesced": self._coalesced,
+                "executions": self._executions,
+                "completed": self._completed,
+                "failed": self._failed,
+                "store_put_failures": self._store_put_failures,
+                "queue_depth": len(self._heap),
+                "inflight": len(self._inflight),
+                "pass_timings": {
+                    preset: {
+                        name: {"calls": calls, "seconds": round(sec, 6)}
+                        for name, (calls, sec) in sorted(per_pass.items())
+                    }
+                    for preset, per_pass in sorted(self._pass_timings.items())
+                },
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; drain the queue, then stop the workers."""
+        with self._not_empty:
+            self._shutdown = True
+            self._not_empty.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30)

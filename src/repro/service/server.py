@@ -1,0 +1,345 @@
+"""Stdlib-only HTTP JSON front-end of the compilation service.
+
+A :class:`ThreadingHTTPServer` (one thread per connection, no external
+dependencies) over the coalescing scheduler and the persistent result
+store.  Endpoints:
+
+- ``POST /compile`` — one request (see
+  :meth:`~repro.service.request.CompileRequest.from_payload` for the
+  body schema).  Synchronous by default: the response carries the
+  routed QASM, metrics, and property set.  ``"wait": false`` switches
+  to fire-and-forget: a 202 with the job id, to be polled via
+  ``GET /jobs/<id>``.
+- ``POST /batch`` — ``{"requests": [...], "wait": bool}``; duplicates
+  inside the batch coalesce onto one computation.
+- ``GET /jobs/<id>`` — job state snapshot (result attached when done).
+- ``GET /devices`` — the device registry, via the same
+  :func:`~repro.hardware.devices.device_catalog` the CLI prints.
+- ``GET /healthz`` — liveness (also reports uptime and queue depth).
+- ``GET /stats`` — store counters, scheduler counters (including
+  per-preset pass timings aggregated from result PropertySets), and
+  the engine cache's :func:`~repro.engine.cache.cache_stats`.
+
+Error contract: malformed bodies, unknown devices/presets/objectives,
+and QASM parse errors are 400s with ``{"error": ...}``; unknown job ids
+and paths are 404s; a failed compilation surfaces as a 500 carrying the
+job snapshot.  The server never leaks a traceback over the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.cache import cache_stats
+from repro.exceptions import ReproError
+from repro.hardware.devices import device_catalog
+from repro.service.request import CompileRequest
+from repro.service.scheduler import CoalescingScheduler, Job
+from repro.service.store import ResultStore
+
+#: Largest request body accepted, in bytes (a Table II-scale QASM file
+#: is tens of KB; this guards the server against accidental uploads).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Default bound on requests per ``POST /batch`` call.
+MAX_BATCH_REQUESTS = 256
+
+
+class ServiceState:
+    """Everything the request handlers share."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        scheduler: CoalescingScheduler,
+        verbose: bool = False,
+    ) -> None:
+        self.store = store
+        self.scheduler = scheduler
+        self.verbose = verbose
+        self.started_at = time.time()
+        self.requests_served = 0
+        self._lock = threading.Lock()
+
+    def count_request(self) -> None:
+        with self._lock:
+            self.requests_served += 1
+
+    def uptime(self) -> float:
+        return time.time() - self.started_at
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Route table + JSON plumbing; all state lives on ``server.state``."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def state(self) -> ServiceState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.state.verbose:
+            import sys
+
+            print(
+                f"[{self.log_date_time_string()}] {format % args}",
+                file=sys.stderr,
+            )
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> object:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            # Body size unknowable, so the connection cannot be resynced
+            # for keep-alive — close it after the error response.
+            self.close_connection = True
+            raise ReproError(
+                "Content-Length header is not an integer"
+            ) from None
+        if length <= 0:
+            raise ReproError("request needs a JSON body")
+        if length > MAX_BODY_BYTES:
+            # Drain the in-flight body (bounded) before erroring, or a
+            # keep-alive client still writing it would hit a broken
+            # pipe and never see the 400.
+            self._drain_body(length)
+            raise ReproError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ReproError(f"request body is not valid JSON: {exc}") from exc
+
+    def _drain_body(self, length: int) -> None:
+        """Discard a declared body we refuse to process.
+
+        Reads at most ``4 * MAX_BODY_BYTES``; anything larger gets the
+        connection closed after the response instead (we won't stream
+        gigabytes to /dev/null on an attacker's say-so).
+        """
+        cap = 4 * MAX_BODY_BYTES
+        remaining = min(length, cap)
+        while remaining > 0:
+            chunk = self.rfile.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+        if length > cap:
+            self.close_connection = True
+
+    def _discard_request_body(self) -> None:
+        """Consume a body we will never look at (e.g. POST to an
+        unknown path), keeping the keep-alive connection in sync —
+        unread body bytes would be parsed as the next request line."""
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True
+            return
+        if length > 0:
+            self._drain_body(length)
+
+    @staticmethod
+    def _coerce_priority(value: object) -> int:
+        try:
+            return int(value or 0)
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"field 'priority' must be an integer, got {value!r}"
+            ) from None
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self.state.count_request()
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_seconds": round(self.state.uptime(), 3),
+                    "queue_depth": self.state.scheduler.stats()["queue_depth"],
+                },
+            )
+        elif path == "/devices":
+            self._send_json(200, {"devices": device_catalog()})
+        elif path == "/stats":
+            self._send_json(200, self._stats_payload())
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            job = self.state.scheduler.job(job_id)
+            if job is None:
+                self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            else:
+                self._send_json(200, job.snapshot())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        self.state.count_request()
+        path = self.path.split("?", 1)[0].rstrip("/")
+        try:
+            if path == "/compile":
+                self._handle_compile()
+            elif path == "/batch":
+                self._handle_batch()
+            else:
+                self._discard_request_body()
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except ReproError as exc:
+            # Bad request bodies, unknown devices/presets, QASM parse
+            # errors: the client's fault, with the library's message.
+            self._send_json(400, {"error": str(exc)})
+
+    # -- handlers ------------------------------------------------------
+
+    def _handle_compile(self) -> None:
+        payload = self._read_json_body()
+        wait = True
+        priority = 0
+        if isinstance(payload, dict):
+            wait = bool(payload.pop("wait", True))
+            priority = self._coerce_priority(payload.pop("priority", 0))
+        request = CompileRequest.from_payload(payload)
+        job = self.state.scheduler.submit(request, priority=priority)
+        if not wait:
+            self._send_json(202, {"job_id": job.id, "state": job.state})
+            return
+        job.wait()
+        status, body = self._job_response(job)
+        self._send_json(status, body)
+
+    def _handle_batch(self) -> None:
+        payload = self._read_json_body()
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("requests"), list
+        ):
+            raise ReproError(
+                "batch body must be {'requests': [...], 'wait': bool}"
+            )
+        raw_requests = payload["requests"]
+        if not raw_requests:
+            raise ReproError("batch needs at least one request")
+        if len(raw_requests) > MAX_BATCH_REQUESTS:
+            raise ReproError(
+                f"batch of {len(raw_requests)} exceeds the "
+                f"{MAX_BATCH_REQUESTS}-request limit"
+            )
+        wait = bool(payload.get("wait", True))
+        priority = self._coerce_priority(payload.get("priority", 0))
+        requests = [CompileRequest.from_payload(r) for r in raw_requests]
+        # Per-request priority overrides the batch-wide default.
+        priorities = [
+            self._coerce_priority(r.get("priority", priority))
+            if isinstance(r, dict)
+            else priority
+            for r in raw_requests
+        ]
+        jobs = self.state.scheduler.submit_batch(
+            requests, priority=priority, priorities=priorities
+        )
+        if not wait:
+            self._send_json(
+                202,
+                {"jobs": [{"job_id": j.id, "state": j.state} for j in jobs]},
+            )
+            return
+        for job in jobs:
+            job.wait()
+        results = []
+        for job in jobs:
+            _, body = self._job_response(job)
+            results.append(body)
+        failed = sum(1 for job in jobs if job.state == "failed")
+        self._send_json(
+            200 if failed == 0 else 500,
+            {"results": results, "failed": failed},
+        )
+
+    def _job_response(self, job: Job) -> Tuple[int, Dict[str, object]]:
+        """(status, body) for a *finished* job."""
+        snapshot = job.snapshot()
+        if job.state == "failed":
+            return 500, snapshot
+        return 200, snapshot
+
+    def _stats_payload(self) -> Dict[str, object]:
+        return {
+            "uptime_seconds": round(self.state.uptime(), 3),
+            "requests_served": self.state.requests_served,
+            "store": self.state.store.stats(),
+            "scheduler": self.state.scheduler.stats(),
+            "engine_cache": cache_stats(),
+        }
+
+
+def build_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    store: Optional[ResultStore] = None,
+    scheduler: Optional[CoalescingScheduler] = None,
+    workers: int = 2,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Construct (but do not start) a service instance.
+
+    ``port=0`` binds a free ephemeral port — read the actual one from
+    ``server.server_address``.  The caller owns the lifecycle:
+    ``serve_forever()`` to run, ``shutdown_service`` to stop cleanly.
+    """
+    store = store if store is not None else ResultStore()
+    scheduler = (
+        scheduler
+        if scheduler is not None
+        else CoalescingScheduler(store=store, workers=workers)
+    )
+    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server.daemon_threads = True
+    server.state = ServiceState(  # type: ignore[attr-defined]
+        store=store, scheduler=scheduler, verbose=verbose
+    )
+    return server
+
+
+def start_in_thread(server: ThreadingHTTPServer) -> threading.Thread:
+    """Run ``server`` on a daemon thread (tests, benchmarks, examples)."""
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        name="repro-service",
+        daemon=True,
+    )
+    thread.start()
+    return thread
+
+
+def shutdown_service(server: ThreadingHTTPServer) -> None:
+    """Stop the listener and drain the scheduler's worker pool."""
+    server.shutdown()
+    server.server_close()
+    server.state.scheduler.shutdown()  # type: ignore[attr-defined]
+
+
+def serve_url(server: ThreadingHTTPServer) -> str:
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"

@@ -1,0 +1,258 @@
+"""Content-addressed persistent store for compiled artifacts.
+
+Two tiers, one key space (the request fingerprint from
+:meth:`repro.service.request.CompileRequest.fingerprint`):
+
+- an **in-memory LRU tier** answering the hot repeated-request path in
+  microseconds, bounded by entry count;
+- an **on-disk tier** that survives process restarts, holding one
+  ``<key>.json`` metadata document and one ``<key>.qasm`` artifact per
+  result, sharded two hex characters deep so a million entries don't
+  land in one directory.
+
+Writes are atomic (tempfile in the target directory + ``os.replace``),
+so a crashed or concurrent writer can never leave a half-written entry
+a reader would see; the QASM artifact is replaced *before* the JSON
+document, so a visible metadata document always points at a complete
+artifact.  Disk hits are promoted into the memory tier.  All counters
+(memory/disk hits, misses, evictions, puts) are served by
+:meth:`ResultStore.stats` and surfaced on ``GET /stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+from repro.exceptions import ReproError
+
+#: Schema tag written into every metadata document; bumped if the
+#: on-disk layout ever changes incompatibly.
+STORE_VERSION = 1
+
+
+@dataclass
+class StoredResult:
+    """One compiled artifact plus the metadata the service serves.
+
+    Attributes:
+        key: request fingerprint (sha256 hex) — the content address.
+        routed_qasm: the hardware-compliant output circuit.
+        metrics: Table II-style metrics dict (g_ori/g_add/d_out/...).
+        properties: JSON-safe pipeline property set (pass timings,
+            verification verdicts, rewrite statistics).
+        request: echo of the request parameters (minus the QASM body).
+        compile_seconds: wall-clock cost of the producing compilation.
+        created_at: UNIX timestamp of the producing compilation.
+    """
+
+    key: str
+    routed_qasm: str
+    metrics: Dict[str, object] = field(default_factory=dict)
+    properties: Dict[str, object] = field(default_factory=dict)
+    request: Dict[str, object] = field(default_factory=dict)
+    compile_seconds: float = 0.0
+    created_at: float = 0.0
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe dict, QASM artifact included (the wire form)."""
+        return asdict(self)
+
+
+class ResultStore:
+    """Two-tier (memory LRU over disk) content-addressed result store.
+
+    Args:
+        root: directory of the persistent tier; ``None`` disables disk
+            entirely (memory-only store, used by throwaway servers and
+            tests that don't exercise persistence).
+        max_memory_entries: LRU bound of the in-memory tier.
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        max_memory_entries: int = 128,
+    ) -> None:
+        if max_memory_entries < 1:
+            raise ReproError("ResultStore needs max_memory_entries >= 1")
+        self.root = root
+        self.max_memory_entries = max_memory_entries
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[str, StoredResult]" = OrderedDict()
+        self._memory_hits = 0
+        self._disk_hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._puts = 0
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def _paths(self, key: str) -> Optional[Dict[str, str]]:
+        if self.root is None:
+            return None
+        shard = os.path.join(self.root, key[:2])
+        return {
+            "shard": shard,
+            "json": os.path.join(shard, f"{key}.json"),
+            "qasm": os.path.join(shard, f"{key}.qasm"),
+        }
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[StoredResult]:
+        """Look ``key`` up: memory first, then disk (with promotion)."""
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory_hits += 1
+                self._memory.move_to_end(key)
+                return entry
+        entry = self._read_disk(key)
+        with self._lock:
+            if entry is not None:
+                self._disk_hits += 1
+                self._remember(key, entry)
+            else:
+                self._misses += 1
+        return entry
+
+    def contains(self, key: str) -> bool:
+        """Presence check that never touches the hit/miss counters."""
+        with self._lock:
+            if key in self._memory:
+                return True
+        paths = self._paths(key)
+        return paths is not None and os.path.exists(paths["json"])
+
+    def _read_disk(self, key: str) -> Optional[StoredResult]:
+        paths = self._paths(key)
+        if paths is None:
+            return None
+        try:
+            with open(paths["json"], encoding="utf-8") as handle:
+                document = json.load(handle)
+            with open(paths["qasm"], encoding="utf-8") as handle:
+                qasm = handle.read()
+        except (OSError, json.JSONDecodeError):
+            return None
+        if document.get("store_version") != STORE_VERSION:
+            return None
+        return StoredResult(
+            key=key,
+            routed_qasm=qasm,
+            metrics=document.get("metrics", {}),
+            properties=document.get("properties", {}),
+            request=document.get("request", {}),
+            compile_seconds=document.get("compile_seconds", 0.0),
+            created_at=document.get("created_at", 0.0),
+        )
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def put(self, entry: StoredResult) -> None:
+        """Insert ``entry`` under its own key into both tiers."""
+        if not entry.key:
+            raise ReproError("StoredResult must carry a non-empty key")
+        self._write_disk(entry)
+        with self._lock:
+            self._puts += 1
+            self._remember(entry.key, entry)
+
+    def _remember(self, key: str, entry: StoredResult) -> None:
+        """Memory-tier insert + LRU eviction; caller holds the lock."""
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self._evictions += 1
+
+    def _write_disk(self, entry: StoredResult) -> None:
+        paths = self._paths(entry.key)
+        if paths is None:
+            return
+        os.makedirs(paths["shard"], exist_ok=True)
+        document = entry.to_payload()
+        document.pop("routed_qasm")  # lives in the sibling .qasm artifact
+        document["store_version"] = STORE_VERSION
+        # Artifact first, metadata second: a reader that can see the
+        # JSON document is guaranteed a complete QASM file beside it.
+        self._atomic_write(paths["shard"], paths["qasm"], entry.routed_qasm)
+        self._atomic_write(
+            paths["shard"], paths["json"], json.dumps(document, indent=1)
+        )
+
+    @staticmethod
+    def _atomic_write(directory: str, path: str, text: str) -> None:
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot for ``GET /stats`` and the serve banner.
+
+        The disk-entry count walks the persistent tier, so it runs
+        *outside* the lock — a monitoring poll must never stall reads
+        and writes behind O(entries) directory I/O.
+        """
+        with self._lock:
+            snapshot = {
+                "memory_hits": self._memory_hits,
+                "disk_hits": self._disk_hits,
+                "hits": self._memory_hits + self._disk_hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "puts": self._puts,
+                "memory_entries": len(self._memory),
+                "persistent": self.root is not None,
+                "root": self.root,
+            }
+        snapshot["disk_entries"] = self._count_disk_entries()
+        return snapshot
+
+    def _count_disk_entries(self) -> int:
+        if self.root is None:
+            return 0
+        count = 0
+        try:
+            with os.scandir(self.root) as shards:
+                for shard in shards:
+                    if not shard.is_dir():
+                        continue
+                    with os.scandir(shard.path) as entries:
+                        count += sum(
+                            1 for e in entries if e.name.endswith(".json")
+                        )
+        except OSError:
+            return 0
+        return count
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier only (persistence-path test hook)."""
+        with self._lock:
+            self._memory.clear()

@@ -58,3 +58,52 @@ class TestFidelityReport:
         assert (
             worse["success_after_routing"] < default["success_after_routing"]
         )
+
+
+class TestJsonSafeProperties:
+    def test_keeps_scalars_drops_objects(self):
+        from repro.analysis.metrics import json_safe_properties
+
+        properties = {
+            "pipeline.name": "paper_default",
+            "compliance.checked_direction": False,
+            "bridge.swaps_removed": 2,
+            "objective.g_add": 12.0,
+            "layout_object": object(),  # must be dropped, not stringified
+            "maybe": None,
+        }
+        safe = json_safe_properties(properties)
+        assert safe == {
+            "pipeline.name": "paper_default",
+            "compliance.checked_direction": False,
+            "bridge.swaps_removed": 2,
+            "objective.g_add": 12.0,
+            "maybe": None,
+        }
+
+    def test_normalises_pass_timings(self):
+        import json
+
+        from repro.analysis.metrics import json_safe_properties
+
+        safe = json_safe_properties(
+            {"pass_timings": [("SabreRoutePass", 0.25), ("CollectMetrics", 0.01)]}
+        )
+        assert safe["pass_timings"] == [
+            ["SabreRoutePass", 0.25],
+            ["CollectMetrics", 0.01],
+        ]
+        json.dumps(safe)  # round-trippable by construction
+
+    def test_empty_and_none(self):
+        from repro.analysis.metrics import json_safe_properties
+
+        assert json_safe_properties(None) == {}
+        assert json_safe_properties({}) == {}
+
+    def test_real_pipeline_properties_serialise(self, sample_result):
+        import json
+
+        from repro.analysis.metrics import json_safe_properties
+
+        json.dumps(json_safe_properties(getattr(sample_result, "properties", {})))

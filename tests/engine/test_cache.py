@@ -233,3 +233,56 @@ class TestThreadSafety:
         # stored and the ledger stays consistent.
         assert info.entries == 1
         assert info.hits + info.misses == 4
+
+
+class TestStats:
+    """The per-store breakdown the serving layer surfaces on /stats."""
+
+    def test_breakdown_tracks_each_store(self):
+        from repro.circuits import random_circuit
+
+        cache = DeviceCache()
+        stats = cache.stats()
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "matrix_entries": 0,
+            "device_entries": 0,
+            "dag_entries": 0,
+            "entries": 0,
+        }
+        cache.distance_matrix(line_device(4))
+        cache.device("ibm_q20_tokyo")
+        cache.flat_dag(random_circuit(3, 5, seed=1))
+        stats = cache.stats()
+        assert stats["matrix_entries"] == 1
+        assert stats["device_entries"] == 1
+        assert stats["dag_entries"] == 1
+        assert stats["entries"] == 3
+        assert stats["misses"] == 3
+        cache.distance_matrix(line_device(4))
+        assert cache.stats()["hits"] == 1
+
+    def test_matches_cache_info_totals(self):
+        cache = DeviceCache()
+        cache.distance_matrix(grid_device(2, 3))
+        cache.distance_matrix(grid_device(2, 3))
+        info = cache.cache_info()
+        stats = cache.stats()
+        assert (info.hits, info.misses, info.entries) == (
+            stats["hits"],
+            stats["misses"],
+            stats["entries"],
+        )
+
+    def test_module_level_wrapper(self):
+        from repro.engine.cache import cache_stats
+
+        assert set(cache_stats()) == {
+            "hits",
+            "misses",
+            "matrix_entries",
+            "device_entries",
+            "dag_entries",
+            "entries",
+        }

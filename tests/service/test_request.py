@@ -1,0 +1,156 @@
+"""CompileRequest validation and content-address fingerprinting."""
+
+import pytest
+
+from repro.exceptions import QasmError, ReproError
+from repro.service.request import (
+    CompileRequest,
+    RequestError,
+    execute_request,
+)
+
+QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0], q[3];
+cx q[1], q[2];
+measure q -> c;
+"""
+
+# Gate-identical program: different whitespace, comments, register
+# names, and an explicit 2-arg measure list instead of the broadcast.
+QASM_RESTYLED = """OPENQASM 2.0;
+include "qelib1.inc";
+// restyled but identical
+qreg wires[4];
+creg bits[4];
+h    wires[0];
+cx wires[0] , wires[3];
+cx wires[1], wires[2];
+measure wires[0] -> bits[0];
+measure wires[1] -> bits[1];
+measure wires[2] -> bits[2];
+measure wires[3] -> bits[3];
+"""
+
+
+class TestValidation:
+    def test_minimal_payload(self):
+        request = CompileRequest.from_payload({"qasm": QASM})
+        assert request.device == "ibm_q20_tokyo"
+        assert request.pipeline == "paper_default"
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(RequestError, match="JSON object"):
+            CompileRequest.from_payload([1, 2])
+
+    def test_rejects_missing_qasm(self):
+        with pytest.raises(RequestError, match="qasm"):
+            CompileRequest.from_payload({"device": "ibm_q20_tokyo"})
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(RequestError, match="trialz"):
+            CompileRequest.from_payload({"qasm": QASM, "trialz": 3})
+
+    def test_rejects_unknown_preset(self):
+        with pytest.raises(ReproError, match="unknown pipeline preset"):
+            CompileRequest.from_payload({"qasm": QASM, "pipeline": "nope"})
+
+    def test_rejects_unknown_objective(self):
+        with pytest.raises(RequestError, match="objective"):
+            CompileRequest.from_payload({"qasm": QASM, "objective": "nope"})
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(RequestError, match="trials"):
+            CompileRequest.from_payload({"qasm": QASM, "trials": 0})
+        with pytest.raises(RequestError, match="integer"):
+            CompileRequest.from_payload({"qasm": QASM, "trials": "five"})
+
+    def test_rejects_unknown_config_field(self):
+        with pytest.raises(RequestError, match="config field"):
+            CompileRequest.from_payload(
+                {"qasm": QASM, "config": {"bogus": 1}}
+            )
+
+    def test_rejects_bad_heuristic_mode(self):
+        with pytest.raises(RequestError, match="heuristic mode"):
+            CompileRequest.from_payload(
+                {"qasm": QASM, "config": {"mode": "psychic"}}
+            )
+
+    def test_config_round_trips_via_summary(self):
+        request = CompileRequest.from_payload(
+            {"qasm": QASM, "config": {"mode": "basic", "decay_delta": 0.01}}
+        )
+        assert request.summary()["config"] == {
+            "mode": "basic",
+            "decay_delta": 0.01,
+        }
+        assert request.heuristic_config().mode == "basic"
+
+    def test_bad_qasm_surfaces_at_fingerprint(self):
+        request = CompileRequest.from_payload({"qasm": "not a program"})
+        with pytest.raises(QasmError):
+            request.fingerprint()
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = CompileRequest.from_payload({"qasm": QASM})
+        assert a.fingerprint() == a.fingerprint()
+
+    def test_textual_restyling_coalesces(self):
+        # Same gate list through parsing => same content address, even
+        # though the QASM bytes differ wildly.
+        a = CompileRequest.from_payload({"qasm": QASM})
+        b = CompileRequest.from_payload({"qasm": QASM_RESTYLED})
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 7},
+            {"trials": 2},
+            {"traversals": 1},
+            {"objective": "depth"},
+            {"pipeline": "fast"},
+            {"device": "ibm_qx5"},
+            {"config": {"mode": "basic"}},
+        ],
+    )
+    def test_any_knob_changes_the_key(self, override):
+        base = CompileRequest.from_payload({"qasm": QASM})
+        other = CompileRequest.from_payload({"qasm": QASM, **override})
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_gate_change_changes_the_key(self):
+        base = CompileRequest.from_payload({"qasm": QASM})
+        changed = CompileRequest.from_payload(
+            {"qasm": QASM.replace("h q[0];", "x q[0];")}
+        )
+        assert base.fingerprint() != changed.fingerprint()
+
+
+class TestExecuteRequest:
+    def test_produces_compliant_stored_result(self):
+        from repro.hardware import ibm_q20_tokyo
+        from repro.qasm import parse_qasm
+        from repro.verify import is_hardware_compliant
+
+        request = CompileRequest.from_payload({"qasm": QASM, "trials": 2})
+        entry = execute_request(request)
+        assert entry.key == request.fingerprint()
+        routed = parse_qasm(entry.routed_qasm)
+        assert is_hardware_compliant(routed, ibm_q20_tokyo())
+        assert entry.metrics["g_tot"] == entry.metrics["g_ori"] + entry.metrics["g_add"]
+        assert entry.properties["pass_timings"]
+        assert entry.request["trials"] == 2
+
+    def test_deterministic_output(self):
+        request = CompileRequest.from_payload({"qasm": QASM, "trials": 2})
+        assert (
+            execute_request(request).routed_qasm
+            == execute_request(request).routed_qasm
+        )

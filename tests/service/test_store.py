@@ -1,0 +1,170 @@
+"""ResultStore: two-tier lookup, persistence, LRU, atomicity, counters."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.service.store import ResultStore, StoredResult
+
+
+def entry(key: str, qasm: str = "OPENQASM 2.0;\n") -> StoredResult:
+    return StoredResult(
+        key=key,
+        routed_qasm=qasm,
+        metrics={"g_add": 3},
+        properties={"pass_timings": [["SabreRoutePass", 0.001]]},
+        request={"device": "ibm_q20_tokyo"},
+        compile_seconds=0.5,
+        created_at=123.0,
+    )
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        store = ResultStore()
+        assert store.get("k" * 64) is None
+        store.put(entry("k" * 64))
+        got = store.get("k" * 64)
+        assert got is not None and got.metrics == {"g_add": 3}
+        stats = store.stats()
+        assert stats["memory_hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["puts"] == 1
+        assert not stats["persistent"]
+
+    def test_lru_eviction(self):
+        store = ResultStore(max_memory_entries=2)
+        store.put(entry("a"))
+        store.put(entry("b"))
+        assert store.get("a") is not None  # refresh 'a'; 'b' is now LRU
+        store.put(entry("c"))  # evicts 'b'
+        assert store.get("b") is None
+        assert store.get("a") is not None
+        assert store.get("c") is not None
+        assert store.stats()["evictions"] == 1
+        assert store.stats()["memory_entries"] == 2
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ReproError, match="key"):
+            ResultStore().put(entry(""))
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ReproError, match="max_memory_entries"):
+            ResultStore(max_memory_entries=0)
+
+    def test_contains_does_not_count(self):
+        store = ResultStore()
+        store.put(entry("a"))
+        assert store.contains("a")
+        assert not store.contains("b")
+        stats = store.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+
+class TestDiskTier:
+    def test_survives_process_restart(self, tmp_path):
+        root = str(tmp_path / "store")
+        first = ResultStore(root=root)
+        first.put(entry("deadbeef", qasm="OPENQASM 2.0;\n// routed\n"))
+        # A brand-new instance (fresh process in real life) reads it back.
+        second = ResultStore(root=root)
+        got = second.get("deadbeef")
+        assert got is not None
+        assert got.routed_qasm == "OPENQASM 2.0;\n// routed\n"
+        assert got.metrics == {"g_add": 3}
+        assert got.request == {"device": "ibm_q20_tokyo"}
+        stats = second.stats()
+        assert stats["disk_hits"] == 1 and stats["memory_hits"] == 0
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        root = str(tmp_path / "store")
+        ResultStore(root=root).put(entry("cafe"))
+        store = ResultStore(root=root)
+        store.get("cafe")
+        store.get("cafe")
+        stats = store.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["memory_hits"] == 1
+
+    def test_clear_memory_falls_back_to_disk(self, tmp_path):
+        store = ResultStore(root=str(tmp_path / "store"))
+        store.put(entry("beef"))
+        store.clear_memory()
+        assert store.get("beef") is not None
+        assert store.stats()["disk_hits"] == 1
+
+    def test_sharded_layout_and_artifact_pair(self, tmp_path):
+        root = tmp_path / "store"
+        ResultStore(root=str(root)).put(entry("abcd1234"))
+        shard = root / "ab"
+        assert (shard / "abcd1234.json").exists()
+        assert (shard / "abcd1234.qasm").exists()
+        document = json.loads((shard / "abcd1234.json").read_text())
+        assert "routed_qasm" not in document  # artifact lives beside it
+        assert document["store_version"] == 1
+
+    def test_no_tmp_droppings(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(root=str(root))
+        for i in range(5):
+            store.put(entry(f"k{i}"))
+        leftovers = [
+            name
+            for _, _, files in os.walk(root)
+            for name in files
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_corrupt_json_reads_as_miss(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(root=str(root))
+        store.put(entry("feed"))
+        (root / "fe" / "feed.json").write_text("{ truncated")
+        store.clear_memory()
+        assert store.get("feed") is None
+
+    def test_version_mismatch_reads_as_miss(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(root=str(root))
+        store.put(entry("f00d"))
+        path = root / "f0" / "f00d.json"
+        document = json.loads(path.read_text())
+        document["store_version"] = 999
+        path.write_text(json.dumps(document))
+        store.clear_memory()
+        assert store.get("f00d") is None
+
+    def test_disk_entry_count(self, tmp_path):
+        store = ResultStore(root=str(tmp_path / "store"))
+        for i in range(3):
+            store.put(entry(f"key{i}"))
+        assert store.stats()["disk_entries"] == 3
+
+
+class TestConcurrency:
+    def test_parallel_put_get_is_consistent(self, tmp_path):
+        store = ResultStore(root=str(tmp_path / "store"), max_memory_entries=8)
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for i in range(25):
+                    key = f"w{worker % 4}i{i % 6}"
+                    store.put(entry(key, qasm=f"// {key}\n"))
+                    got = store.get(key)
+                    assert got is None or got.routed_qasm == f"// {key}\n"
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []

@@ -180,3 +180,80 @@ class TestOtherCommands:
     def test_no_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestDevicesCommand:
+    def test_listing_columns(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        # name, qubits, couplings, diameter, directedness — per device.
+        assert "ibm_q20_tokyo" in out and "symmetric" in out
+        assert "ibm_qx5" in out and "directed" in out
+        assert "43 couplings" in out  # Tokyo's edge count
+
+    def test_json_matches_service_catalog(self, capsys):
+        import json
+
+        from repro.hardware.devices import device_catalog
+
+        assert main(["devices", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == device_catalog()
+
+
+class TestServeAndSubmit:
+    """`repro submit` against an in-process service instance."""
+
+    @pytest.fixture()
+    def running_service(self, tmp_path):
+        from repro.service import (
+            ResultStore,
+            build_server,
+            serve_url,
+            shutdown_service,
+            start_in_thread,
+        )
+
+        store = ResultStore(root=str(tmp_path / "store"))
+        server = build_server(port=0, store=store, workers=1)
+        start_in_thread(server)
+        try:
+            yield serve_url(server), store
+        finally:
+            shutdown_service(server)
+
+    def test_submit_writes_compliant_output(
+        self, qasm_file, tmp_path, running_service, capsys
+    ):
+        url, _ = running_service
+        out = str(tmp_path / "routed.qasm")
+        code = main(
+            ["submit", qasm_file, "--url", url, "--trials", "2", "-o", out]
+        )
+        assert code == 0
+        routed = parse_qasm_file(out)
+        assert is_hardware_compliant(routed, ibm_q20_tokyo())
+        assert "[compiled]" in capsys.readouterr().err
+
+    def test_resubmit_hits_the_store(
+        self, qasm_file, running_service, capsys
+    ):
+        url, store = running_service
+        assert main(["submit", qasm_file, "--url", url, "--trials", "2"]) == 0
+        capsys.readouterr()
+        assert main(["submit", qasm_file, "--url", url, "--trials", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "[store]" in captured.err
+        assert "OPENQASM 2.0;" in captured.out
+        assert store.stats()["hits"] >= 1
+
+    def test_submit_against_dead_server_fails_cleanly(
+        self, qasm_file, capsys
+    ):
+        from repro.service.client import find_free_port
+
+        url = f"http://127.0.0.1:{find_free_port()}"
+        code = main(
+            ["submit", qasm_file, "--url", url, "--timeout", "2"]
+        )
+        assert code == 1
+        assert "submit failed" in capsys.readouterr().err
