@@ -1,23 +1,28 @@
 #!/usr/bin/env python
-"""Service smoke + latency benchmark: cold vs warm request latency.
+"""Service benchmark: cold/warm latency gate + traffic replay.
 
-Launches the real ``python -m repro serve`` CLI as a subprocess on a
-free port with a persistent store, then drives it over HTTP with the
-stdlib client, asserting the serving tier's contract end-to-end:
+Two parts, both driving the real ``python -m repro serve`` CLI as a
+subprocess on a free port with a persistent store:
 
-- ``GET /healthz`` answers (the server came up);
-- a cold ``POST /compile`` returns 200 with hardware-compliant routed
-  QASM and runs exactly one pipeline execution;
-- an identical warm ``POST /compile`` is answered from the store
-  (``cached`` flag + store hit counters, zero new executions) and is
-  **an order of magnitude faster**: the regression gate fails the run
-  when warm latency exceeds ``MAX_WARM_RATIO`` (10%) of cold latency;
-- a second server process over the same store directory answers the
-  same request from *disk* without any recompilation (persistence).
+**Latency gate** (the original smoke): ``GET /healthz`` answers; a cold
+``POST /compile`` returns hardware-compliant routed QASM with exactly
+one pipeline execution; the identical warm request is answered from the
+store and must cost < ``MAX_WARM_RATIO`` (10%) of the cold latency; a
+second server over the same store directory answers from *disk* with
+zero recompiles.
+
+**Traffic replay**: a mixed hot/cold request stream over a corpus drawn
+from the paper's benchmark suites (``repro.bench_circuits``) plus
+random circuits, replayed by T concurrent client threads against the
+thread tier and the process-worker tier.  Reports p50/p95/p99 request
+latency, throughput, and the coalescing/store counters for each tier.
+The process tier's ≥2x multicore headline needs >1 core — the report
+records ``cpu_count`` so single-core CI numbers aren't misread.
 
 Run:  PYTHONPATH=src python benchmarks/bench_service.py [--smoke]
-CI runs ``--smoke``; the default adds a routing-heavy circuit so the
-cold/warm gap reflects Table II-scale work.
+CI runs ``--smoke`` (small corpus, short stream); the default adds the
+sim/qft suites and a Table II-scale random circuit, and writes
+``BENCH_service.json``.
 """
 
 from __future__ import annotations
@@ -25,12 +30,16 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import queue
+import random
 import subprocess
 import sys
 import tempfile
+import threading
 import time
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.bench_circuits import build_benchmark, suite
 from repro.hardware import get_device
 from repro.qasm import emit_qasm, parse_qasm
 from repro.service.client import ServiceClient, find_free_port
@@ -38,6 +47,10 @@ from repro.verify import is_hardware_compliant
 
 #: Warm (store-hit) latency must be below this fraction of cold latency.
 MAX_WARM_RATIO = 0.10
+
+#: Fraction of replayed requests that repeat an already-seen request
+#: (hot traffic: store hits and coalescing) vs. fresh fingerprints.
+HOT_FRACTION = 0.6
 
 
 def build_qasm(num_qubits: int, num_gates: int, seed: int) -> str:
@@ -51,19 +64,27 @@ def build_qasm(num_qubits: int, num_gates: int, seed: int) -> str:
     return emit_qasm(circuit)
 
 
-def launch_server(port: int, store_dir: str) -> subprocess.Popen:
+def launch_server(
+    port: int,
+    store_dir: str,
+    workers: int = 2,
+    execution: Optional[str] = None,
+) -> subprocess.Popen:
     env = dict(os.environ)
     repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     src = os.path.join(repo, "src")
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", str(port),
+        "--store-dir", store_dir,
+        "--workers", str(workers),
+    ]
+    if execution is not None:
+        argv += ["--execution", execution]
     return subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve",
-            "--port", str(port),
-            "--store-dir", store_dir,
-            "--workers", "2",
-        ],
+        argv,
         env=env,
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
@@ -80,6 +101,11 @@ def check(condition: bool, message: str) -> None:
     if not condition:
         print(f"FAIL: {message}", file=sys.stderr)
         raise SystemExit(1)
+
+
+# ----------------------------------------------------------------------
+# Part 1: cold/warm latency gate (original smoke, unchanged contract)
+# ----------------------------------------------------------------------
 
 
 def run_case(
@@ -170,12 +196,194 @@ def run_case(
     )
 
 
+# ----------------------------------------------------------------------
+# Part 2: traffic replay (mixed hot/cold streams, thread vs process)
+# ----------------------------------------------------------------------
+
+
+def build_corpus(smoke: bool) -> List[Tuple[str, str]]:
+    """(label, qasm) pairs spanning the paper's benchmark families —
+    reversible-logic, simulation, QFT — plus random circuits, so the
+    replay mixes short and routing-heavy compiles like real traffic."""
+    corpus: List[Tuple[str, str]] = []
+    names = [s.name for s in suite("small")][: 2 if smoke else 4]
+    if not smoke:
+        names += [s.name for s in suite("sim")][:2]
+        names += [s.name for s in suite("qft")][:1]
+    for name in names:
+        corpus.append((name, emit_qasm(build_benchmark(name))))
+    corpus.append(("rand8x60", build_qasm(8, 60, seed=3)))
+    if not smoke:
+        corpus.append(("rand16x200", build_qasm(16, 200, seed=7)))
+    return corpus
+
+
+def build_stream(
+    corpus: List[Tuple[str, str]], total: int, rng: random.Random
+) -> List[Tuple[str, str, int]]:
+    """A (label, qasm, seed) request stream: HOT_FRACTION of requests
+    re-use seed 0 (identical fingerprints -> store hits / coalescing);
+    the rest get unique seeds (guaranteed cold compiles)."""
+    stream: List[Tuple[str, str, int]] = []
+    cold_seed = 1000
+    for _ in range(total):
+        label, qasm = corpus[rng.randrange(len(corpus))]
+        if rng.random() < HOT_FRACTION:
+            stream.append((label, qasm, 0))
+        else:
+            stream.append((label, qasm, cold_seed))
+            cold_seed += 1
+    return stream
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+def replay(
+    execution: str,
+    stream: List[Tuple[str, str, int]],
+    num_clients: int,
+    trials: int,
+) -> Dict[str, object]:
+    """Replay ``stream`` with ``num_clients`` concurrent threads against
+    a fresh server on the given execution tier; return the latency and
+    counter report."""
+    port = find_free_port()
+    with tempfile.TemporaryDirectory(prefix="repro-replay-store-") as root:
+        process = launch_server(port, root, workers=2, execution=execution)
+        try:
+            base = f"http://127.0.0.1:{port}"
+            ServiceClient(base, timeout=600).wait_until_healthy(timeout=30)
+
+            work: "queue.Queue" = queue.Queue()
+            for item in stream:
+                work.put(item)
+            latencies: List[float] = []
+            cached_count = [0]
+            errors: List[str] = []
+            lock = threading.Lock()
+
+            def drive() -> None:
+                client = ServiceClient(base, timeout=600)
+                while True:
+                    try:
+                        label, qasm, seed = work.get_nowait()
+                    except queue.Empty:
+                        return
+                    started = time.perf_counter()
+                    try:
+                        reply = client.compile(
+                            qasm, seed=seed, trials=trials
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        with lock:
+                            errors.append(f"{label}/{seed}: {exc}")
+                        continue
+                    elapsed = time.perf_counter() - started
+                    with lock:
+                        latencies.append(elapsed)
+                        if reply.get("cached"):
+                            cached_count[0] += 1
+
+            started = time.perf_counter()
+            threads = [
+                threading.Thread(target=drive, name=f"replay-{i}")
+                for i in range(num_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - started
+            stats = ServiceClient(base, timeout=60).stats()
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+    check(errors == [], f"{execution} replay errors: {errors[:3]}")
+    check(
+        len(latencies) == len(stream),
+        f"{execution} replay answered {len(latencies)}/{len(stream)}",
+    )
+    ordered = sorted(latencies)
+    scheduler = stats["scheduler"]
+    check(
+        scheduler["execution"] == execution,
+        f"server ran {scheduler['execution']}, expected {execution}",
+    )
+    unique = len({(q, s) for _, q, s in stream})
+    check(
+        scheduler["executions"] <= unique,
+        f"{execution}: {scheduler['executions']} executions for "
+        f"{unique} unique requests — store/coalescing dedup broken",
+    )
+    return {
+        "requests": len(stream),
+        "clients": num_clients,
+        "wall_seconds": round(wall, 3),
+        "throughput_rps": round(len(stream) / wall, 2) if wall else 0.0,
+        "p50_ms": round(percentile(ordered, 0.50) * 1e3, 2),
+        "p95_ms": round(percentile(ordered, 0.95) * 1e3, 2),
+        "p99_ms": round(percentile(ordered, 0.99) * 1e3, 2),
+        "cached_replies": cached_count[0],
+        "executions": scheduler["executions"],
+        "coalesced": scheduler["coalesced"],
+        "store_answered": scheduler["store_answered"],
+        "worker_crashes": scheduler["worker_crashes"],
+    }
+
+
+def run_replay(smoke: bool, report: dict) -> None:
+    corpus = build_corpus(smoke)
+    total = 24 if smoke else 72
+    num_clients = 4 if smoke else 6
+    trials = 1 if smoke else 2
+    stream = build_stream(corpus, total, random.Random(42))
+    hot = sum(1 for _, _, seed in stream if seed == 0)
+    print(
+        f"traffic replay: {total} requests ({hot} hot / {total - hot} cold) "
+        f"over {len(corpus)} circuits, {num_clients} clients, "
+        f"cpu_count={os.cpu_count()}:"
+    )
+    tiers: Dict[str, object] = {}
+    for execution in ("thread", "process"):
+        row = replay(execution, stream, num_clients, trials)
+        tiers[execution] = row
+        print(
+            f"  {execution:8s} {row['throughput_rps']:6.2f} req/s   "
+            f"p50 {row['p50_ms']:7.2f} ms   p95 {row['p95_ms']:8.2f} ms   "
+            f"p99 {row['p99_ms']:8.2f} ms   "
+            f"executions {row['executions']}   ok"
+        )
+    report["replay"] = {
+        "cpu_count": os.cpu_count(),
+        "hot_fraction": HOT_FRACTION,
+        "corpus": [label for label, _ in corpus],
+        "tiers": tiers,
+        "note": (
+            "process-tier throughput gains over thread-tier require "
+            "multiple cores; cpu_count above says how many this host had"
+        ),
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="small circuit only (seconds-long CI step)",
+        help="small corpus + short stream (seconds-long CI step)",
+    )
+    parser.add_argument(
+        "--skip-replay",
+        action="store_true",
+        help="latency gate only (the pre-replay behaviour)",
     )
     parser.add_argument("--output", help="write the JSON report here")
     args = parser.parse_args(argv)
@@ -190,6 +398,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         run_case(
             "rand20x600", build_qasm(20, 600, seed=5), trials=10, report=report
         )
+    if not args.skip_replay:
+        run_replay(args.smoke, report)
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(report, handle, indent=1)

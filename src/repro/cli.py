@@ -164,10 +164,12 @@ def _cmd_devices(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.engine.cache import cache_stats
     from repro.service import build_server, serve_url, shutdown_service
-    from repro.service.store import ResultStore
+    from repro.service.store import ShardedResultStore
 
-    store = ResultStore(
-        root=args.store_dir or None, max_memory_entries=args.memory_entries
+    store = ShardedResultStore(
+        root=args.store_dir or None,
+        max_memory_entries=args.memory_entries,
+        num_shards=args.store_shards,
     )
     server = build_server(
         host=args.host,
@@ -175,11 +177,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=store,
         workers=args.workers,
         verbose=args.verbose,
+        execution=args.execution,
+        mp_start_method=args.mp_start_method,
+        max_queue_depth=args.queue_limit or None,  # 0 -> unbounded
+        default_timeout=args.timeout,
     )
     tier = args.store_dir if args.store_dir else "memory-only"
     print(
         f"repro service on {serve_url(server)} "
-        f"(workers={args.workers}, store={tier})",
+        f"(workers={args.workers} [{args.execution}], store={tier}, "
+        f"queue-limit={args.queue_limit})",
         file=sys.stderr,
         flush=True,
     )
@@ -361,7 +368,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=2,
-        help="compilation worker threads (request-level concurrency)",
+        help="compilation workers (request-level concurrency; one "
+        "worker process each under --execution process)",
+    )
+    serve_p.add_argument(
+        "--execution",
+        choices=("process", "thread"),
+        default="process",
+        help="worker tier: 'process' (default) compiles outside the "
+        "GIL, one process per worker; 'thread' stays in-process",
+    )
+    serve_p.add_argument(
+        "--mp-start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for the process tier "
+        "(default: $REPRO_MP_START_METHOD, then platform default)",
+    )
+    serve_p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="admission bound on queued compiles; a full queue answers "
+        "429 + Retry-After (pass 0 for unbounded)",
+    )
+    serve_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds, queue wait + "
+        "execution (requests may carry their own 'timeout')",
     )
     serve_p.add_argument(
         "--store-dir",
@@ -373,6 +409,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=128,
         help="LRU bound of the in-memory store tier",
+    )
+    serve_p.add_argument(
+        "--store-shards",
+        type=int,
+        default=8,
+        help="result-store shard count (fingerprint-prefix sharding)",
     )
     serve_p.add_argument(
         "-v",

@@ -8,13 +8,21 @@ entirely on the standard library:
   device structure, pipeline preset + config, and search knobs) and
   the single :func:`execute_request` compile path.
 - :mod:`repro.service.store` — :class:`ResultStore`, a memory-LRU over
-  on-disk JSON/QASM persistent tier with atomic writes and counters.
+  on-disk JSON/QASM persistent tier with atomic writes and counters,
+  and :class:`ShardedResultStore`, N of them sharded by fingerprint
+  prefix so concurrent dispatchers don't contend on one lock.
+- :mod:`repro.service.workers` — :class:`WorkerLane`, the
+  process-backed execution tier (one worker process per dispatcher:
+  true multicore parallelism, crash isolation, hard timeouts,
+  cancellation).
 - :mod:`repro.service.scheduler` — :class:`CoalescingScheduler`:
-  store-first answering, in-flight dedup of identical requests, a
-  bounded priority worker pool, batch submission.
+  store-first answering, in-flight dedup of identical requests (with
+  priority escalation), a bounded priority dispatcher fleet over the
+  thread or process tier, admission backpressure, batch submission.
 - :mod:`repro.service.server` — ``ThreadingHTTPServer`` JSON API
-  (``POST /compile``, ``POST /batch``, ``GET /jobs/<id>``,
-  ``GET /devices``, ``GET /healthz``, ``GET /stats``).
+  (``POST /compile``, ``POST /batch``, ``GET`` / ``DELETE``
+  ``/jobs/<id>``, ``GET /devices``, ``GET /healthz``,
+  ``GET /stats``; 429 + ``Retry-After`` under backpressure).
 - :mod:`repro.service.client` — :class:`ServiceClient` and helpers for
   the CLI (``repro serve`` / ``repro submit``), examples, benchmarks,
   and CI.
@@ -45,16 +53,27 @@ from repro.service.server import (
     shutdown_service,
     start_in_thread,
 )
-from repro.service.store import ResultStore, StoredResult
+from repro.service.store import ResultStore, ShardedResultStore, StoredResult
+from repro.service.workers import (
+    JobTimeout,
+    QueueFullError,
+    WorkerCrashed,
+    WorkerLane,
+)
 
 __all__ = [
     "CompileRequest",
     "RequestError",
     "execute_request",
     "ResultStore",
+    "ShardedResultStore",
     "StoredResult",
     "CoalescingScheduler",
     "Job",
+    "WorkerLane",
+    "WorkerCrashed",
+    "JobTimeout",
+    "QueueFullError",
     "build_server",
     "start_in_thread",
     "shutdown_service",

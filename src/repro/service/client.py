@@ -20,10 +20,21 @@ from repro.exceptions import ReproError
 
 
 class ServiceClientError(ReproError):
-    """A request the server rejected (or could not be reached)."""
+    """A request the server rejected (or could not be reached).
 
-    def __init__(self, message: str, status: int = 0) -> None:
+    ``retry_after`` carries the server's ``Retry-After`` header
+    (seconds) on 429 responses, ``None`` otherwise — polling helpers
+    honour it instead of their own backoff schedule.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        retry_after: Optional[float] = None,
+    ) -> None:
         self.status = status
+        self.retry_after = retry_after
         super().__init__(message)
 
 
@@ -75,8 +86,17 @@ class ServiceClient:
                 message = body.get("error") or json.dumps(body)
             except Exception:  # noqa: BLE001 — best-effort body decode
                 message = exc.reason
+            retry_after = None
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
             raise ServiceClientError(
-                f"{method} {path} -> {exc.code}: {message}", status=exc.code
+                f"{method} {path} -> {exc.code}: {message}",
+                status=exc.code,
+                retry_after=retry_after,
             ) from None
         except (urllib.error.URLError, OSError) as exc:
             raise ServiceClientError(
@@ -135,6 +155,12 @@ class ServiceClient:
     def job(self, job_id: str) -> Dict[str, object]:
         return self._request("GET", f"/jobs/{job_id}")
 
+    def cancel_job(self, job_id: str) -> Dict[str, object]:
+        """``DELETE /jobs/<id>``; returns the job snapshot with a
+        ``cancelled`` flag.  Raises with status 409 when the job was
+        already finished or could not be interrupted."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
     def devices(self) -> List[Dict[str, object]]:
         return self._request("GET", "/devices")["devices"]
 
@@ -148,16 +174,43 @@ class ServiceClient:
     # Helpers
     # ------------------------------------------------------------------
 
+    #: Backoff schedule shared by the polling helpers: start fast (a
+    #: healthy server or a short compile answers in tens of ms), double
+    #: each round, never exceed the cap — long compiles get a handful
+    #: of requests per second-scale interval instead of a fixed-50ms
+    #: hammering that scales with compile time.
+    POLL_INITIAL_INTERVAL = 0.025
+    POLL_MAX_INTERVAL = 2.0
+
+    def _backoff_sleep(
+        self,
+        interval: float,
+        deadline: float,
+        retry_after: Optional[float] = None,
+    ) -> float:
+        """Sleep for one backoff round (never past ``deadline``) and
+        return the next interval.  A server-provided ``Retry-After``
+        overrides the local schedule — the server knows its queue."""
+        delay = retry_after if retry_after is not None else interval
+        remaining = deadline - time.monotonic()
+        if remaining > 0:
+            time.sleep(min(delay, remaining))
+        return min(interval * 2, self.POLL_MAX_INTERVAL)
+
     def wait_until_healthy(self, timeout: float = 15.0) -> Dict[str, object]:
-        """Poll ``/healthz`` until the server answers (startup races)."""
+        """Poll ``/healthz`` until the server answers (startup races),
+        with capped exponential backoff; honours ``Retry-After``."""
         deadline = time.monotonic() + timeout
+        interval = self.POLL_INITIAL_INTERVAL
         last_error: Optional[ServiceClientError] = None
         while time.monotonic() < deadline:
             try:
                 return self.healthz()
             except ServiceClientError as exc:
                 last_error = exc
-                time.sleep(0.05)
+                interval = self._backoff_sleep(
+                    interval, deadline, exc.retry_after
+                )
         raise ServiceClientError(
             f"server at {self.base_url} not healthy within {timeout}s "
             f"(last error: {last_error})"
@@ -166,13 +219,26 @@ class ServiceClient:
     def wait_for_job(
         self, job_id: str, timeout: float = 120.0
     ) -> Dict[str, object]:
-        """Poll ``GET /jobs/<id>`` until the job reaches a terminal state."""
+        """Poll ``GET /jobs/<id>`` until the job reaches a terminal
+        state, with capped exponential backoff (a long compile costs
+        O(log) polls up front then one request per
+        ``POLL_MAX_INTERVAL``, not twenty per second); a 429'd poll
+        waits the server's ``Retry-After`` before retrying."""
         deadline = time.monotonic() + timeout
+        interval = self.POLL_INITIAL_INTERVAL
         while time.monotonic() < deadline:
-            snapshot = self.job(job_id)
-            if snapshot.get("state") in ("done", "failed"):
+            try:
+                snapshot = self.job(job_id)
+            except ServiceClientError as exc:
+                if exc.status != 429:
+                    raise
+                interval = self._backoff_sleep(
+                    interval, deadline, exc.retry_after
+                )
+                continue
+            if snapshot.get("state") in ("done", "failed", "cancelled"):
                 return snapshot
-            time.sleep(0.05)
+            interval = self._backoff_sleep(interval, deadline)
         raise ServiceClientError(
             f"job {job_id} did not finish within {timeout}s"
         )

@@ -94,9 +94,12 @@ class CompileRequest:
             raise RequestError(
                 f"request body must be a JSON object, got {type(payload).__name__}"
             )
+        # ``priority`` and ``timeout`` are scheduling knobs consumed by
+        # the HTTP layer (they never reach the fingerprint); accepted
+        # here so batch items carrying them validate cleanly.
         known = {
             "qasm", "device", "pipeline", "seed", "trials", "traversals",
-            "objective", "config", "priority",
+            "objective", "config", "priority", "timeout",
         }
         unknown = sorted(set(payload) - known)
         if unknown:

@@ -9,19 +9,40 @@ The scheduler exploits that shape twice:
   (this process or a previous one) without queueing at all;
 - an **in-flight table** keyed by request fingerprint merges concurrent
   identical submissions onto one :class:`Job` — N racing clients cost
-  exactly one pipeline execution, and all N wake when it finishes.
+  exactly one pipeline execution, and all N wake when it finishes.  A
+  coalescing submission *escalates* the shared job to the highest
+  priority any of its waiters asked for, so a high-priority client is
+  never stuck behind the low priority of whoever asked first.
 
-Everything else runs on a bounded pool of worker threads draining a
+Everything else is a bounded set of dispatcher threads draining a
 priority queue (higher priority first, FIFO within a priority).  Each
-worker executes :func:`repro.service.request.execute_request`, which
-drives the same pass-pipeline/trial-engine path as ``compile_circuit``
-and the CLI — the scheduler adds no second compile implementation.
+dispatcher executes :func:`repro.service.request.execute_request` —
+the same pass-pipeline/trial-engine path as ``compile_circuit`` and
+the CLI; the scheduler adds no second compile implementation — on one
+of two tiers:
+
+- ``execution="process"`` (the production fleet): each dispatcher owns
+  a :class:`~repro.service.workers.WorkerLane`, a single-process
+  executor, so N workers are N truly parallel compiles instead of N
+  GIL-serialized threads.  Lanes give the scheduler hard per-request
+  timeouts, cancellation of *running* jobs, and crash isolation (a
+  dead worker process fails its own job only; the lane rebuilds).
+- ``execution="thread"`` (in-process tier): compiles run on the
+  dispatcher thread itself — zero process overhead, used by tests
+  that inject unpicklable ``compile_fn`` stand-ins and by embedders
+  that want a lightweight in-process server.
+
+Production backpressure: ``max_queue_depth`` bounds admission — a full
+queue rejects with :class:`~repro.service.workers.QueueFullError`
+(mapped to HTTP 429 + ``Retry-After`` by the server) instead of
+queueing unboundedly.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
@@ -30,15 +51,38 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.exceptions import ReproError
 from repro.service.request import CompileRequest, execute_request
 from repro.service.store import ResultStore, StoredResult
+from repro.service.workers import (
+    JobTimeout,
+    QueueFullError,
+    WorkerCrashed,
+    WorkerLane,
+    resolve_mp_context,
+)
 
 #: Job lifecycle states (strings so snapshots are JSON-native).
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Execution tiers (see module docstring).
+EXECUTION_MODES = ("thread", "process")
 
 #: Completed/failed jobs retained for ``GET /jobs/<id>`` lookups.
 MAX_FINISHED_JOBS = 512
+
+#: ``Retry-After`` estimates are clamped into this range (seconds).
+MIN_RETRY_AFTER = 1.0
+MAX_RETRY_AFTER = 120.0
+
+# Heap entries are ``[neg_priority, seq, job, alive]`` — lists, not
+# tuples, so a priority escalation can mark the old entry dead in
+# place (index ``_ENTRY_ALIVE``) and push a replacement instead of
+# rebuilding the heap.  ``seq`` is unique, so comparison never reaches
+# the job object.
+_ENTRY_JOB = 2
+_ENTRY_ALIVE = 3
 
 
 @dataclass
@@ -64,8 +108,21 @@ class Job:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     error: Optional[str] = None
+    #: Machine-readable failure class: ``"timeout"``, ``"crash"``,
+    #: ``"shutdown"``, or ``"error"`` (plain compile exception).
+    error_kind: Optional[str] = None
     result: Optional[StoredResult] = None
+    #: Effective timeout (seconds) and its monotonic deadline; the
+    #: deadline covers queue wait *and* execution, and coalescing
+    #: keeps the most generous waiter's deadline.
+    timeout_seconds: Optional[float] = None
+    deadline: Optional[float] = None
+    cancel_requested: bool = False
     event: threading.Event = field(default_factory=threading.Event)
+    #: Scheduler internals: the live heap entry while queued, and the
+    #: lane executing the job while running (process tier only).
+    entry: Optional[list] = field(default=None, repr=False)
+    lane: Optional[WorkerLane] = field(default=None, repr=False)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job resolves; True unless the wait timed out."""
@@ -73,7 +130,7 @@ class Job:
 
     @property
     def finished(self) -> bool:
-        return self.state in (DONE, FAILED)
+        return self.state in (DONE, FAILED, CANCELLED)
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-safe view served by ``GET /jobs/<id>``."""
@@ -89,26 +146,47 @@ class Job:
             "finished_at": self.finished_at,
             "request": self.request.summary(),
         }
+        if self.timeout_seconds is not None:
+            snap["timeout_seconds"] = self.timeout_seconds
         if self.error is not None:
             snap["error"] = self.error
+        if self.error_kind is not None:
+            snap["error_kind"] = self.error_kind
         if self.state == DONE and self.result is not None:
             snap["result"] = self.result.to_payload()
         return snap
 
 
 class CoalescingScheduler:
-    """Bounded worker pool with store-backed request coalescing.
+    """Bounded dispatcher fleet with store-backed request coalescing.
 
     Args:
         store: the result store consulted before queueing and written
             after every execution.
-        workers: worker-thread count (request-level concurrency).
+        workers: dispatcher count (request-level concurrency; on the
+            process tier, also the worker-process count).
         compile_fn: the request executor, called as
             ``compile_fn(request, circuit=..., key=...)`` with the
             circuit and fingerprint already resolved at submission (so
             the worker never re-parses or re-hashes); overridable so
             tests can inject slow or counting stand-ins.  Production
-            uses :func:`repro.service.request.execute_request`.
+            uses :func:`repro.service.request.execute_request`.  On the
+            process tier it must be picklable (module-level).
+        execution: ``"process"`` runs each compile in the dispatcher's
+            private worker process; ``"thread"`` runs it on the
+            dispatcher thread (see module docstring).
+        mp_start_method: multiprocessing start method for the process
+            tier (``fork``/``spawn``/``forkserver``); defaults to the
+            ``REPRO_MP_START_METHOD`` env var, then the platform
+            default.
+        max_queue_depth: bound on *queued* (not running) jobs; a full
+            queue rejects submissions with :class:`QueueFullError`.
+            ``None`` means unbounded (embedded/test use).
+        default_timeout: per-job deadline in seconds applied when a
+            submission doesn't carry its own; ``None`` disables.
+        join_timeout: total seconds ``shutdown(wait=True)`` spends
+            joining dispatchers before declaring them hung and failing
+            their jobs.
     """
 
     def __init__(
@@ -116,21 +194,39 @@ class CoalescingScheduler:
         store: Optional[ResultStore] = None,
         workers: int = 2,
         compile_fn: Callable[..., StoredResult] = execute_request,
+        execution: str = "thread",
+        mp_start_method: Optional[str] = None,
+        max_queue_depth: Optional[int] = None,
+        default_timeout: Optional[float] = None,
+        join_timeout: float = 30.0,
     ) -> None:
         if workers < 1:
             raise ReproError("CoalescingScheduler needs workers >= 1")
+        if execution not in EXECUTION_MODES:
+            raise ReproError(
+                f"unknown execution mode {execution!r}; "
+                f"available: {list(EXECUTION_MODES)}"
+            )
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ReproError("max_queue_depth must be >= 1 (or None)")
         self.store = store if store is not None else ResultStore()
         self.compile_fn = compile_fn
         self.workers = workers
+        self.execution = execution
+        self.max_queue_depth = max_queue_depth
+        self.default_timeout = default_timeout
+        self.join_timeout = join_timeout
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
-        self._heap: List[tuple] = []
+        self._heap: List[list] = []
+        self._queued = 0  # live (non-stale) heap entries
         self._seq = itertools.count()
         self._job_ids = itertools.count(1)
         self._inflight: Dict[str, Job] = {}
         self._jobs: Dict[str, Job] = {}
         self._finished_order: List[str] = []
         self._shutdown = False
+        self._unjoined: List[str] = []
         # Counters
         self._submitted = 0
         self._store_answered = 0
@@ -138,15 +234,31 @@ class CoalescingScheduler:
         self._executions = 0
         self._completed = 0
         self._failed = 0
+        self._cancelled = 0
+        self._timeouts = 0
+        self._worker_crashes = 0
+        self._rejected = 0
         self._store_put_failures = 0
+        #: EWMA of execution wall time, feeding Retry-After estimates.
+        self._avg_exec_seconds: Optional[float] = None
         #: Per-preset pass-timing aggregation harvested from each
         #: executed result's PropertySet: preset -> pass -> [calls, sec].
         self._pass_timings: Dict[str, Dict[str, List[float]]] = {}
+        if execution == "process":
+            context = resolve_mp_context(mp_start_method)
+            self._lanes: List[Optional[WorkerLane]] = [
+                WorkerLane(compile_fn, context) for _ in range(workers)
+            ]
+        else:
+            self._lanes = [None] * workers
         self._threads = [
             threading.Thread(
-                target=self._worker, name=f"repro-compile-{i}", daemon=True
+                target=self._worker,
+                args=(lane,),
+                name=f"repro-compile-{i}",
+                daemon=True,
             )
-            for i in range(workers)
+            for i, lane in enumerate(self._lanes)
         ]
         for thread in self._threads:
             thread.start()
@@ -155,13 +267,22 @@ class CoalescingScheduler:
     # Submission
     # ------------------------------------------------------------------
 
-    def submit(self, request: CompileRequest, priority: int = 0) -> Job:
+    def submit(
+        self,
+        request: CompileRequest,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Job:
         """Submit one request; returns its (possibly shared) job.
 
         Resolution order: persistent store (job completes immediately,
         ``cached=True``), then the in-flight table (returns the already
-        scheduled job), then a fresh queue entry.  QASM parse errors
-        surface here, synchronously — a request that cannot be
+        scheduled job, escalated to ``max`` of the waiters' priorities
+        and the most generous of their deadlines), then a fresh queue
+        entry — admitted only while the queue is below
+        ``max_queue_depth`` (:class:`QueueFullError` otherwise, which
+        the HTTP layer maps to 429 + ``Retry-After``).  QASM parse
+        errors surface here, synchronously — a request that cannot be
         fingerprinted is rejected before it can occupy a worker.
         """
         if self._shutdown:
@@ -170,12 +291,12 @@ class CoalescingScheduler:
         # the worker reuses the parsed circuit via the job.
         circuit = request.parsed_circuit()
         key = request.fingerprint(circuit)
+        effective_timeout = timeout if timeout is not None else self.default_timeout
         with self._lock:
             self._submitted += 1
             inflight = self._inflight.get(key)
             if inflight is not None:
-                inflight.coalesced += 1
-                self._coalesced += 1
+                self._coalesce_onto(inflight, priority, effective_timeout)
                 return inflight
         entry = self.store.get(key)
         with self._lock:
@@ -190,18 +311,34 @@ class CoalescingScheduler:
             # queued this key while we were probing the store.
             inflight = self._inflight.get(key)
             if inflight is not None:
-                inflight.coalesced += 1
-                self._coalesced += 1
+                self._coalesce_onto(inflight, priority, effective_timeout)
                 return inflight
             # Re-check shutdown under the lock: after the workers have
             # drained and exited, an enqueued job would hang its
             # waiters forever.
             if self._shutdown:
                 raise ReproError("scheduler is shut down")
+            if (
+                self.max_queue_depth is not None
+                and self._queued >= self.max_queue_depth
+            ):
+                self._rejected += 1
+                retry_after = self._retry_after_estimate()
+                raise QueueFullError(
+                    f"compile queue is full ({self._queued} queued, "
+                    f"limit {self.max_queue_depth}); retry in "
+                    f"~{retry_after:.0f}s",
+                    retry_after=retry_after,
+                )
             job = self._new_job(key, request, priority)
             job.circuit = circuit
+            job.timeout_seconds = effective_timeout
+            if effective_timeout is not None:
+                job.deadline = time.monotonic() + effective_timeout
             self._inflight[key] = job
-            heapq.heappush(self._heap, (-priority, next(self._seq), job))
+            job.entry = [-priority, next(self._seq), job, True]
+            heapq.heappush(self._heap, job.entry)
+            self._queued += 1
             self._not_empty.notify()
             return job
 
@@ -210,10 +347,13 @@ class CoalescingScheduler:
         requests: Sequence[CompileRequest],
         priority: int = 0,
         priorities: Optional[Sequence[int]] = None,
+        timeout: Optional[float] = None,
+        timeouts: Optional[Sequence[Optional[float]]] = None,
     ) -> List[Job]:
         """Submit many requests; duplicates inside the batch coalesce
         exactly like concurrent clients do (same in-flight table).
-        ``priorities`` overrides the batch-wide ``priority`` per item.
+        ``priorities`` / ``timeouts`` override the batch-wide
+        ``priority`` / ``timeout`` per item.
         """
         if priorities is None:
             priorities = [priority] * len(requests)
@@ -222,10 +362,47 @@ class CoalescingScheduler:
                 "submit_batch needs one priority per request "
                 f"(got {len(priorities)} for {len(requests)})"
             )
+        if timeouts is None:
+            timeouts = [timeout] * len(requests)
+        if len(timeouts) != len(requests):
+            raise ReproError(
+                "submit_batch needs one timeout per request "
+                f"(got {len(timeouts)} for {len(requests)})"
+            )
         return [
-            self.submit(request, item_priority)
-            for request, item_priority in zip(requests, priorities)
+            self.submit(request, item_priority, timeout=item_timeout)
+            for request, item_priority, item_timeout in zip(
+                requests, priorities, timeouts
+            )
         ]
+
+    def _coalesce_onto(
+        self, job: Job, priority: int, timeout: Optional[float]
+    ) -> None:
+        """Merge one more waiter onto ``job``; lock held.
+
+        Escalates the queued entry to the max of its waiters'
+        priorities — without this, a priority-10 request coalesced onto
+        a queued priority-0 job would wait at priority 0 (the
+        inversion this re-push fixes) — and keeps the most generous
+        waiter's deadline (``timeout=None`` waiters remove it).
+        """
+        job.coalesced += 1
+        self._coalesced += 1
+        if priority > job.priority:
+            job.priority = priority
+            if job.state == QUEUED and job.entry is not None:
+                job.entry[_ENTRY_ALIVE] = False
+                job.entry = [-priority, next(self._seq), job, True]
+                heapq.heappush(self._heap, job.entry)
+        if timeout is None:
+            job.deadline = None
+            job.timeout_seconds = None
+        elif job.deadline is not None:
+            deadline = time.monotonic() + timeout
+            if deadline > job.deadline:
+                job.deadline = deadline
+                job.timeout_seconds = timeout
 
     def _new_job(self, key: str, request: CompileRequest, priority: int) -> Job:
         job = Job(
@@ -237,8 +414,18 @@ class CoalescingScheduler:
         self._jobs[job.id] = job
         return job
 
+    def _retry_after_estimate(self) -> float:
+        """Seconds a 429'd client should wait; lock held.
+
+        Queue drain time at the recent average execution cost, spread
+        across the worker fleet, clamped to a sane range.
+        """
+        per_job = self._avg_exec_seconds or MIN_RETRY_AFTER
+        estimate = (self._queued / max(self.workers, 1)) * per_job
+        return min(max(estimate, MIN_RETRY_AFTER), MAX_RETRY_AFTER)
+
     # ------------------------------------------------------------------
-    # Lookup / waiting
+    # Lookup / waiting / cancellation
     # ------------------------------------------------------------------
 
     def job(self, job_id: str) -> Optional[Job]:
@@ -253,29 +440,123 @@ class CoalescingScheduler:
             )
         return job
 
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel a job (``DELETE /jobs/<id>``); returns it, or ``None``
+        for an unknown id.
+
+        A *queued* job cancels immediately (every coalesced waiter
+        wakes with state ``cancelled`` — the job is shared, so is its
+        cancellation).  A *running* job on the process tier has its
+        worker process terminated; the dispatcher then resolves it as
+        cancelled and the lane rebuilds.  A running thread-tier job
+        cannot be interrupted, and a finished job is past cancelling —
+        both return unchanged (callers inspect ``job.state``).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.finished:
+                return job
+            if job.state == QUEUED:
+                if job.entry is not None:
+                    job.entry[_ENTRY_ALIVE] = False
+                    job.entry = None
+                    self._queued -= 1
+                self._inflight.pop(job.key, None)
+                job.error = "cancelled while queued"
+                job.error_kind = "cancelled"
+                self._finish(job, CANCELLED)
+                return job
+            # RUNNING
+            lane = job.lane
+            if lane is None:
+                return job  # thread tier: uninterruptible, still running
+            job.cancel_requested = True
+        # Kill outside the lock: the dispatcher blocked on this lane's
+        # future observes the broken pool and resolves the job.
+        lane.kill()
+        return job
+
     # ------------------------------------------------------------------
-    # Worker loop
+    # Dispatcher loop
     # ------------------------------------------------------------------
 
-    def _worker(self) -> None:
-        while True:
-            with self._not_empty:
+    def _next_job(self, lane: Optional[WorkerLane]) -> Optional[Job]:
+        """Block for the next runnable job; ``None`` means shut down.
+
+        Skips stale heap entries (escalated duplicates, cancelled or
+        shutdown-failed jobs) and fails queue-waiters whose deadline
+        already passed before a worker could get to them.
+        """
+        with self._not_empty:
+            while True:
                 while not self._heap and not self._shutdown:
                     self._not_empty.wait()
-                if self._shutdown and not self._heap:
-                    return
-                _, _, job = heapq.heappop(self._heap)
+                if not self._heap and self._shutdown:
+                    return None
+                entry = heapq.heappop(self._heap)
+                job = entry[_ENTRY_JOB]
+                if not entry[_ENTRY_ALIVE] or job.state != QUEUED:
+                    continue
+                self._queued -= 1
+                job.entry = None
+                if (
+                    job.deadline is not None
+                    and time.monotonic() >= job.deadline
+                ):
+                    self._inflight.pop(job.key, None)
+                    self._timeouts += 1
+                    job.error = (
+                        f"timed out after {job.timeout_seconds}s waiting "
+                        "in the queue"
+                    )
+                    job.error_kind = "timeout"
+                    self._finish(job, FAILED)
+                    continue
                 job.state = RUNNING
                 job.started_at = time.time()
+                job.lane = lane
+                return job
+
+    def _worker(self, lane: Optional[WorkerLane]) -> None:
+        while True:
+            job = self._next_job(lane)
+            if job is None:
+                return
+            remaining = None
+            if job.deadline is not None:
+                remaining = max(job.deadline - time.monotonic(), 0.001)
+            started = time.perf_counter()
             try:
-                result = self.compile_fn(
-                    job.request, circuit=job.circuit, key=job.key
-                )
+                if lane is not None:
+                    result = lane.run(
+                        job.request, job.circuit, job.key, timeout=remaining
+                    )
+                else:
+                    result = self.compile_fn(
+                        job.request, circuit=job.circuit, key=job.key
+                    )
             except BaseException as exc:  # noqa: BLE001 — job carries it
                 with self._lock:
-                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.lane = None
                     self._inflight.pop(job.key, None)
-                    self._finish(job, FAILED)
+                    if job.cancel_requested:
+                        job.error = "cancelled while running"
+                        job.error_kind = "cancelled"
+                        self._finish(job, CANCELLED)
+                    elif isinstance(exc, JobTimeout):
+                        self._timeouts += 1
+                        job.error = f"{type(exc).__name__}: {exc}"
+                        job.error_kind = "timeout"
+                        self._finish(job, FAILED)
+                    elif isinstance(exc, WorkerCrashed):
+                        self._worker_crashes += 1
+                        job.error = f"{type(exc).__name__}: {exc}"
+                        job.error_kind = "crash"
+                        self._finish(job, FAILED)
+                    else:
+                        job.error = f"{type(exc).__name__}: {exc}"
+                        job.error_kind = "error"
+                        self._finish(job, FAILED)
                 continue
             try:
                 self.store.put(result)
@@ -284,19 +565,35 @@ class CoalescingScheduler:
                 # degrade to serving uncached results, not fail jobs.
                 with self._lock:
                     self._store_put_failures += 1
+            duration = time.perf_counter() - started
             with self._lock:
                 self._executions += 1
+                if self._avg_exec_seconds is None:
+                    self._avg_exec_seconds = duration
+                else:
+                    self._avg_exec_seconds = (
+                        0.8 * self._avg_exec_seconds + 0.2 * duration
+                    )
                 self._harvest_timings(job.request.pipeline, result)
+                job.lane = None
                 job.result = result
                 self._inflight.pop(job.key, None)
                 self._finish(job, DONE)
 
     def _finish(self, job: Job, state: str) -> None:
-        """Terminal transition + finished-job retention; lock held."""
+        """Terminal transition + finished-job retention; lock held.
+
+        Idempotent: a job can race shutdown's pending-sweep against a
+        slow worker's own completion — first transition wins.
+        """
+        if job.finished:
+            return
         job.state = state
         job.finished_at = time.time()
         if state == DONE:
             self._completed += 1
+        elif state == CANCELLED:
+            self._cancelled += 1
         else:
             self._failed += 1
         self._finished_order.append(job.id)
@@ -320,15 +617,30 @@ class CoalescingScheduler:
         with self._lock:
             return {
                 "workers": self.workers,
+                "execution": self.execution,
                 "submitted": self._submitted,
                 "store_answered": self._store_answered,
                 "coalesced": self._coalesced,
                 "executions": self._executions,
                 "completed": self._completed,
                 "failed": self._failed,
+                "cancelled": self._cancelled,
+                "timeouts": self._timeouts,
+                "worker_crashes": self._worker_crashes,
+                "rejected": self._rejected,
                 "store_put_failures": self._store_put_failures,
-                "queue_depth": len(self._heap),
+                "queue_depth": self._queued,
+                "max_queue_depth": self.max_queue_depth,
                 "inflight": len(self._inflight),
+                "lane_restarts": sum(
+                    lane.restarts for lane in self._lanes if lane is not None
+                ),
+                "avg_exec_seconds": (
+                    round(self._avg_exec_seconds, 6)
+                    if self._avg_exec_seconds is not None
+                    else None
+                ),
+                "shutdown_unjoined": list(self._unjoined),
                 "pass_timings": {
                     preset: {
                         name: {"calls": calls, "seconds": round(sec, 6)}
@@ -338,11 +650,68 @@ class CoalescingScheduler:
                 },
             }
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work; drain the queue, then stop the workers."""
+    def shutdown(self, wait: bool = True) -> List[str]:
+        """Stop accepting work; drain the queue, then stop the workers.
+
+        With ``wait=True`` the dispatchers get ``join_timeout`` seconds
+        *total* to drain and exit.  Any dispatcher still alive after
+        that is hung (a wedged worker process, a stuck compile) — its
+        lane's process is terminated to unblock it, and every job that
+        still hasn't resolved is failed with a shutdown error so no
+        waiter blocks forever on a scheduler that no longer exists.
+        Returns the names of dispatchers that could not be joined
+        (also reported in ``stats()["shutdown_unjoined"]``).
+        """
         with self._not_empty:
             self._shutdown = True
             self._not_empty.notify_all()
+        unjoined: List[str] = []
         if wait:
+            deadline = time.monotonic() + self.join_timeout
             for thread in self._threads:
-                thread.join(timeout=30)
+                thread.join(timeout=max(0.0, deadline - time.monotonic()))
+                if thread.is_alive():
+                    unjoined.append(thread.name)
+            if unjoined and self.execution == "process":
+                # A dispatcher blocked on a hung worker process: kill
+                # the process so the future breaks, then re-join.
+                for thread, lane in zip(self._threads, self._lanes):
+                    if thread.is_alive() and lane is not None:
+                        lane.kill()
+                unjoined = []
+                for thread in self._threads:
+                    if thread.is_alive():
+                        thread.join(timeout=2.0)
+                    if thread.is_alive():
+                        unjoined.append(thread.name)
+            with self._lock:
+                pending = [
+                    job for job in self._jobs.values() if not job.finished
+                ]
+                for job in pending:
+                    if job.entry is not None:
+                        job.entry[_ENTRY_ALIVE] = False
+                        job.entry = None
+                    job.error = (
+                        "scheduler shut down before the job could run"
+                        if job.state == QUEUED
+                        else "scheduler shut down while the job was "
+                        "running (worker unresponsive)"
+                    )
+                    job.error_kind = "shutdown"
+                    self._finish(job, FAILED)
+                self._heap.clear()
+                self._queued = 0
+                self._inflight.clear()
+                self._unjoined = list(unjoined)
+            if unjoined:
+                print(
+                    f"warning: {len(unjoined)} scheduler dispatcher(s) "
+                    f"failed to join within {self.join_timeout}s: "
+                    f"{', '.join(unjoined)}",
+                    file=sys.stderr,
+                )
+        for lane in self._lanes:
+            if lane is not None:
+                lane.shutdown()
+        return unjoined

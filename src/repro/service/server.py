@@ -13,6 +13,9 @@ store.  Endpoints:
 - ``POST /batch`` — ``{"requests": [...], "wait": bool}``; duplicates
   inside the batch coalesce onto one computation.
 - ``GET /jobs/<id>`` — job state snapshot (result attached when done).
+- ``DELETE /jobs/<id>`` — cancel a job: queued jobs cancel
+  immediately; running jobs on the process tier have their worker
+  process terminated (the lane rebuilds).
 - ``GET /devices`` — the device registry, via the same
   :func:`~repro.hardware.devices.device_catalog` the CLI prints.
 - ``GET /healthz`` — liveness (also reports uptime and queue depth).
@@ -20,10 +23,19 @@ store.  Endpoints:
   per-preset pass timings aggregated from result PropertySets), and
   the engine cache's :func:`~repro.engine.cache.cache_stats`.
 
+Backpressure contract: when the scheduler's admission queue is full,
+``POST /compile`` / ``POST /batch`` return **429** with a
+``Retry-After`` header (seconds, estimated from queue depth and recent
+execution times) and the same value in the JSON body — the queue never
+grows unboundedly.  Compile bodies accept ``"timeout"`` (seconds,
+covering queue wait + execution); a job that exceeds it fails with
+``error_kind: "timeout"`` and surfaces as **504**.
+
 Error contract: malformed bodies, unknown devices/presets/objectives,
 and QASM parse errors are 400s with ``{"error": ...}``; unknown job ids
-and paths are 404s; a failed compilation surfaces as a 500 carrying the
-job snapshot.  The server never leaks a traceback over the wire.
+and paths are 404s; a failed compilation surfaces as a 500 (timeouts:
+504) carrying the job snapshot; a cancelled job surfaces as 409.  The
+server never leaks a traceback over the wire.
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ from repro.hardware.devices import device_catalog
 from repro.service.request import CompileRequest
 from repro.service.scheduler import CoalescingScheduler, Job
 from repro.service.store import ResultStore
+from repro.service.workers import QueueFullError
 
 #: Largest request body accepted, in bytes (a Table II-scale QASM file
 #: is tens of KB; this guards the server against accidental uploads).
@@ -94,11 +107,18 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 file=sys.stderr,
             )
 
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -167,6 +187,20 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 f"field 'priority' must be an integer, got {value!r}"
             ) from None
 
+    @staticmethod
+    def _coerce_timeout(value: object) -> Optional[float]:
+        if value is None:
+            return None
+        try:
+            timeout = float(value)
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"field 'timeout' must be a number of seconds, got {value!r}"
+            ) from None
+        if timeout <= 0:
+            raise ReproError("field 'timeout' must be > 0 seconds")
+        return timeout
+
     # -- routes --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
@@ -206,10 +240,45 @@ class ServiceHandler(BaseHTTPRequestHandler):
             else:
                 self._discard_request_body()
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except QueueFullError as exc:
+            # Backpressure: the admission queue is at capacity.  The
+            # client backs off for Retry-After seconds instead of the
+            # server queueing unboundedly.
+            retry_after = max(1, int(round(exc.retry_after)))
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after": retry_after},
+                headers={"Retry-After": str(retry_after)},
+            )
         except ReproError as exc:
             # Bad request bodies, unknown devices/presets, QASM parse
             # errors: the client's fault, with the library's message.
             self._send_json(400, {"error": str(exc)})
+
+    def do_DELETE(self) -> None:  # noqa: N802 — http.server API
+        self.state.count_request()
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if not path.startswith("/jobs/"):
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        job_id = path[len("/jobs/"):]
+        job = self.state.scheduler.cancel(job_id)
+        if job is None:
+            self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            return
+        if job.state == "running" and job.cancel_requested:
+            # Process-tier kill in flight: give the dispatcher a moment
+            # to observe the broken lane and resolve the job.
+            job.wait(5)
+        snapshot = job.snapshot()
+        cancelled = job.state == "cancelled"
+        status = 200 if cancelled else 409
+        snapshot["cancelled"] = cancelled
+        if not cancelled and "error" not in snapshot:
+            snapshot["error"] = (
+                f"job is {job.state} and could not be cancelled"
+            )
+        self._send_json(status, snapshot)
 
     # -- handlers ------------------------------------------------------
 
@@ -217,11 +286,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
         payload = self._read_json_body()
         wait = True
         priority = 0
+        timeout = None
         if isinstance(payload, dict):
             wait = bool(payload.pop("wait", True))
             priority = self._coerce_priority(payload.pop("priority", 0))
+            timeout = self._coerce_timeout(payload.pop("timeout", None))
         request = CompileRequest.from_payload(payload)
-        job = self.state.scheduler.submit(request, priority=priority)
+        job = self.state.scheduler.submit(
+            request, priority=priority, timeout=timeout
+        )
         if not wait:
             self._send_json(202, {"job_id": job.id, "state": job.state})
             return
@@ -247,16 +320,27 @@ class ServiceHandler(BaseHTTPRequestHandler):
             )
         wait = bool(payload.get("wait", True))
         priority = self._coerce_priority(payload.get("priority", 0))
+        timeout = self._coerce_timeout(payload.get("timeout"))
         requests = [CompileRequest.from_payload(r) for r in raw_requests]
-        # Per-request priority overrides the batch-wide default.
+        # Per-request priority/timeout override the batch-wide default.
         priorities = [
             self._coerce_priority(r.get("priority", priority))
             if isinstance(r, dict)
             else priority
             for r in raw_requests
         ]
+        timeouts = [
+            self._coerce_timeout(r.get("timeout", timeout))
+            if isinstance(r, dict)
+            else timeout
+            for r in raw_requests
+        ]
         jobs = self.state.scheduler.submit_batch(
-            requests, priority=priority, priorities=priorities
+            requests,
+            priority=priority,
+            priorities=priorities,
+            timeout=timeout,
+            timeouts=timeouts,
         )
         if not wait:
             self._send_json(
@@ -279,8 +363,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def _job_response(self, job: Job) -> Tuple[int, Dict[str, object]]:
         """(status, body) for a *finished* job."""
         snapshot = job.snapshot()
+        if job.state == "cancelled":
+            return 409, snapshot
         if job.state == "failed":
-            return 500, snapshot
+            return 504 if job.error_kind == "timeout" else 500, snapshot
         return 200, snapshot
 
     def _stats_payload(self) -> Dict[str, object]:
@@ -300,18 +386,36 @@ def build_server(
     scheduler: Optional[CoalescingScheduler] = None,
     workers: int = 2,
     verbose: bool = False,
+    execution: str = "thread",
+    mp_start_method: Optional[str] = None,
+    max_queue_depth: Optional[int] = None,
+    default_timeout: Optional[float] = None,
 ) -> ThreadingHTTPServer:
     """Construct (but do not start) a service instance.
 
     ``port=0`` binds a free ephemeral port — read the actual one from
     ``server.server_address``.  The caller owns the lifecycle:
     ``serve_forever()`` to run, ``shutdown_service`` to stop cleanly.
+
+    ``execution="process"`` routes compiles to the process-worker
+    fleet (the production tier; ``repro serve`` defaults to it);
+    ``"thread"`` keeps them in-process.  ``max_queue_depth`` and
+    ``default_timeout`` configure backpressure and per-request
+    deadlines; both pass straight to :class:`CoalescingScheduler` and
+    are ignored when a pre-built ``scheduler`` is supplied.
     """
     store = store if store is not None else ResultStore()
     scheduler = (
         scheduler
         if scheduler is not None
-        else CoalescingScheduler(store=store, workers=workers)
+        else CoalescingScheduler(
+            store=store,
+            workers=workers,
+            execution=execution,
+            mp_start_method=mp_start_method,
+            max_queue_depth=max_queue_depth,
+            default_timeout=default_timeout,
+        )
     )
     server = ThreadingHTTPServer((host, port), ServiceHandler)
     server.daemon_threads = True

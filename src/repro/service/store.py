@@ -25,6 +25,7 @@ import json
 import os
 import tempfile
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional
@@ -256,3 +257,92 @@ class ResultStore:
         """Drop the memory tier only (persistence-path test hook)."""
         with self._lock:
             self._memory.clear()
+
+
+class ShardedResultStore:
+    """N independent :class:`ResultStore` shards behind one interface.
+
+    Under the process-worker fleet every dispatcher finishes compiles
+    concurrently, and a single store lock serializes their ``put``/
+    ``get`` traffic.  Sharding by fingerprint prefix gives each slice
+    of the key space its own lock (and its own LRU), so concurrent
+    dispatchers only contend when they touch the same shard.
+
+    All shards share one ``root`` directory and the *same* on-disk
+    layout as a plain :class:`ResultStore` (the key fully determines
+    its path) — a store written sharded reads back unsharded and vice
+    versa, so restarts and shard-count changes never strand entries.
+
+    Args:
+        root: persistent-tier directory (``None`` = memory only).
+        max_memory_entries: total LRU bound, split across shards.
+        num_shards: shard count (a small power of two is plenty).
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        max_memory_entries: int = 128,
+        num_shards: int = 8,
+    ) -> None:
+        if num_shards < 1:
+            raise ReproError("ShardedResultStore needs num_shards >= 1")
+        if max_memory_entries < 1:
+            raise ReproError("ShardedResultStore needs max_memory_entries >= 1")
+        self.root = root
+        self.num_shards = num_shards
+        self.max_memory_entries = max_memory_entries
+        per_shard = max(1, -(-max_memory_entries // num_shards))
+        self._shards = [
+            ResultStore(root=root, max_memory_entries=per_shard)
+            for _ in range(num_shards)
+        ]
+
+    def _shard(self, key: str) -> ResultStore:
+        """Shard owning ``key``: its leading fingerprint hex, with a
+        stable fallback for non-hex keys (tests, foreign key spaces)."""
+        try:
+            index = int(key[:8], 16)
+        except (ValueError, IndexError):
+            index = zlib.crc32(key.encode("utf-8"))
+        return self._shards[index % self.num_shards]
+
+    def get(self, key: str) -> Optional[StoredResult]:
+        return self._shard(key).get(key)
+
+    def contains(self, key: str) -> bool:
+        return self._shard(key).contains(key)
+
+    def put(self, entry: StoredResult) -> None:
+        self._shard(entry.key).put(entry)
+
+    def clear_memory(self) -> None:
+        for shard in self._shards:
+            shard.clear_memory()
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregated counters, same shape as :meth:`ResultStore.stats`
+        plus ``shards``; the disk walk runs once (all shards share the
+        tree), not once per shard."""
+        totals = {
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "puts": 0,
+            "memory_entries": 0,
+        }
+        for shard in self._shards:
+            with shard._lock:
+                totals["memory_hits"] += shard._memory_hits
+                totals["disk_hits"] += shard._disk_hits
+                totals["misses"] += shard._misses
+                totals["evictions"] += shard._evictions
+                totals["puts"] += shard._puts
+                totals["memory_entries"] += len(shard._memory)
+        totals["hits"] = totals["memory_hits"] + totals["disk_hits"]
+        totals["persistent"] = self.root is not None
+        totals["root"] = self.root
+        totals["shards"] = self.num_shards
+        totals["disk_entries"] = self._shards[0]._count_disk_entries()
+        return totals

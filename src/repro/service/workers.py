@@ -1,0 +1,202 @@
+"""Process-backed worker lanes: the service's execution tier.
+
+The PR 5 scheduler ran compiles on its own worker *threads*, so under
+concurrent non-identical load the server was GIL-serialized —
+effectively single-core no matter how many workers it advertised.
+This module gives each scheduler dispatcher a :class:`WorkerLane`: a
+single-process :class:`~concurrent.futures.ProcessPoolExecutor` that
+executes :func:`repro.service.request.execute_request` outside the
+server's GIL.  N dispatchers × one lane each = N truly parallel
+compiles on a multicore host.
+
+One process per lane (rather than one shared N-process pool) buys the
+properties a serving tier needs and a shared pool cannot give:
+
+- **failure isolation** — a worker process that dies (OOM kill,
+  segfault in an extension, ``os._exit``) breaks *its own* lane's pool
+  only; the job it was running fails, the lane rebuilds, and sibling
+  lanes never notice.  A shared ``ProcessPoolExecutor`` marks itself
+  broken and fails every queued future on the first crash.
+- **enforceable timeouts and cancellation** — a lane can terminate its
+  process to stop a runaway or cancelled compile immediately; a shared
+  pool cannot kill one worker without poisoning the rest.
+
+The pickling discipline is the trial engine's
+(:mod:`repro.engine.trials` / :mod:`repro.engine.batch`): requests
+travel as plain dataclasses of primitives, circuits as the already
+parsed :class:`~repro.circuits.circuit.QuantumCircuit`, pipelines by
+*preset name*, and results come back as the JSON-native
+:class:`~repro.service.store.StoredResult` — no live objects, locks,
+or sockets ever cross the process boundary.  Each worker process warms
+its own engine cache (device matrices, compile-once flat IR), so a
+lane lowers any given circuit/device at most once regardless of how
+many jobs it executes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Optional
+
+from repro.exceptions import ReproError
+
+#: Environment knob selecting the multiprocessing start method for the
+#: worker tier (``fork`` / ``spawn`` / ``forkserver``).  CI runs the
+#: service test module under both ``fork`` and ``spawn`` through this.
+MP_START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+
+class WorkerCrashed(ReproError):
+    """The lane's worker process died mid-job (not a Python exception
+    inside the compile — those travel back normally)."""
+
+
+class JobTimeout(ReproError):
+    """The job exceeded its deadline; the lane's process was recycled."""
+
+
+class QueueFullError(ReproError):
+    """Admission rejected: the scheduler's queue is at capacity.
+
+    Carries ``retry_after`` (seconds, an estimate from queue depth and
+    recent execution times) for the HTTP layer's ``Retry-After``
+    header on the 429 response.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+def resolve_mp_context(
+    start_method: Optional[str] = None,
+) -> multiprocessing.context.BaseContext:
+    """The multiprocessing context the worker tier should use.
+
+    Explicit argument first, then :data:`MP_START_METHOD_ENV`, then the
+    platform default (``fork`` on Linux).  Unknown names raise the
+    stdlib's ``ValueError`` listing the valid methods.
+    """
+    method = start_method or os.environ.get(MP_START_METHOD_ENV) or None
+    return multiprocessing.get_context(method)
+
+
+def _execute_in_process(compile_fn: Callable, request, circuit, key):
+    """Worker-process entry point (module-level so it pickles).
+
+    ``compile_fn`` travels by reference (production:
+    :func:`repro.service.request.execute_request`); the request,
+    circuit, and fingerprint are the exact payload the thread tier
+    hands its in-process executor.
+    """
+    return compile_fn(request, circuit=circuit, key=key)
+
+
+class WorkerLane:
+    """One dispatcher's private single-process executor.
+
+    The pool is built lazily (first job) and rebuilt after any crash,
+    timeout, or kill — a lane is never left broken.  ``kill`` is safe
+    to call from another thread while ``run`` blocks on the future:
+    terminating the process breaks the pool, ``run`` observes
+    :class:`BrokenProcessPool`, and the *caller* classifies it as a
+    cancellation (it asked) or a crash (it didn't).
+    """
+
+    def __init__(
+        self,
+        compile_fn: Callable,
+        mp_context: Optional[multiprocessing.context.BaseContext] = None,
+    ) -> None:
+        self.compile_fn = compile_fn
+        self.mp_context = (
+            mp_context if mp_context is not None else resolve_mp_context()
+        )
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Lifetime count of pool rebuilds after crash/timeout/kill.
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, request, circuit, key, timeout: Optional[float] = None):
+        """Execute one job in the lane's process; block for the result.
+
+        Raises :class:`JobTimeout` after ``timeout`` seconds (the
+        worker process is terminated and the pool rebuilt lazily) and
+        :class:`WorkerCrashed` if the process dies.  Exceptions raised
+        *inside* the compile propagate unchanged, exactly like the
+        thread tier.
+        """
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=1, mp_context=self.mp_context
+                )
+            pool = self._pool
+            try:
+                future = pool.submit(
+                    _execute_in_process, self.compile_fn, request, circuit, key
+                )
+            except BrokenProcessPool as exc:
+                self._discard_pool(pool)
+                raise WorkerCrashed(f"worker pool broken: {exc}") from None
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            self.kill()
+            raise JobTimeout(
+                f"compile exceeded its {timeout:.3f}s deadline; "
+                "worker process recycled"
+            ) from None
+        except BrokenProcessPool as exc:
+            with self._lock:
+                self._discard_pool(pool)
+            raise WorkerCrashed(
+                f"worker process died mid-compile: {exc}"
+            ) from None
+
+    def kill(self) -> None:
+        """Terminate the lane's worker process (cancellation/timeout).
+
+        The in-flight future (if any) fails with ``BrokenProcessPool``;
+        the next ``run`` builds a fresh pool.
+        """
+        with self._lock:
+            pool = self._pool
+            if pool is None:
+                return
+            # Private-attribute access is deliberate: ProcessPoolExecutor
+            # offers no public way to stop a running call, and letting
+            # an abandoned compile burn a core to completion defeats
+            # cancellation.  Guarded so a stdlib layout change degrades
+            # to "result discarded" instead of crashing the server.
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    process.terminate()
+                except OSError:  # pragma: no cover — already gone
+                    pass
+            self._discard_pool(pool)
+
+    def shutdown(self) -> None:
+        """Dispose of the pool at scheduler shutdown (idempotent)."""
+        with self._lock:
+            pool = self._pool
+            self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop ``pool`` (lock held by caller or irrelevant) and count
+        the restart the next ``run`` will perform."""
+        if self._pool is pool:
+            self._pool = None
+            self.restarts += 1
+        pool.shutdown(wait=False, cancel_futures=True)

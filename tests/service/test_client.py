@@ -1,0 +1,134 @@
+"""ServiceClient polling discipline: capped exponential backoff and
+the server-directed ``Retry-After`` override.
+
+No server here — ``job``/``healthz`` are monkeypatched and
+``time.sleep`` is recorded, so the schedule itself is under test (the
+end-to-end paths live in ``test_server.py``)."""
+
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceClientError
+
+
+@pytest.fixture()
+def sleeps(monkeypatch):
+    """Record every sleep the client takes (without actually sleeping)."""
+    recorded = []
+    monkeypatch.setattr(
+        "repro.service.client.time.sleep", lambda s: recorded.append(s)
+    )
+    return recorded
+
+
+@pytest.fixture()
+def client():
+    return ServiceClient("http://127.0.0.1:1")  # never actually dialled
+
+
+class TestBackoffSchedule:
+    def test_poll_intervals_double_up_to_the_cap(
+        self, client, monkeypatch, sleeps
+    ):
+        """The fixed-50ms hammering is gone: polls start fast and decay
+        to one request per POLL_MAX_INTERVAL."""
+        snapshots = iter(
+            [{"state": "running"}] * 9 + [{"state": "done", "id": "job-1"}]
+        )
+        monkeypatch.setattr(
+            client, "job", lambda job_id: next(snapshots)
+        )
+        reply = client.wait_for_job("job-1", timeout=60)
+        assert reply["state"] == "done"
+        assert sleeps[:4] == [0.025, 0.05, 0.1, 0.2]  # doubling
+        assert max(sleeps) <= client.POLL_MAX_INTERVAL
+        assert sleeps[-1] == client.POLL_MAX_INTERVAL  # capped, not growing
+
+    def test_retry_after_overrides_the_local_schedule(
+        self, client, monkeypatch, sleeps
+    ):
+        """A 429'd poll waits exactly what the server asked for, then
+        resumes polling (the backoff state machine is not reset)."""
+        responses = iter(
+            [
+                ServiceClientError("throttled", status=429, retry_after=7.0),
+                {"state": "running"},
+                {"state": "done", "id": "job-2"},
+            ]
+        )
+
+        def poll(job_id):
+            item = next(responses)
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+        monkeypatch.setattr(client, "job", poll)
+        reply = client.wait_for_job("job-2", timeout=60)
+        assert reply["state"] == "done"
+        assert sleeps[0] == 7.0  # the server's number, not 0.025
+        assert sleeps[1] == 0.05  # schedule already advanced one doubling
+
+    def test_non_429_errors_propagate_immediately(
+        self, client, monkeypatch, sleeps
+    ):
+        def poll(job_id):
+            raise ServiceClientError("gone", status=404)
+
+        monkeypatch.setattr(client, "job", poll)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.wait_for_job("job-3", timeout=60)
+        assert excinfo.value.status == 404
+        assert sleeps == []  # no retry loop on a hard error
+
+    def test_terminal_states_stop_polling(self, client, monkeypatch, sleeps):
+        for state in ("done", "failed", "cancelled"):
+            monkeypatch.setattr(
+                client, "job", lambda job_id, s=state: {"state": s}
+            )
+            assert client.wait_for_job("job-4")["state"] == state
+        assert sleeps == []
+
+    def test_sleep_never_overshoots_the_deadline(self, client, monkeypatch):
+        """Backoff clamps to the remaining budget instead of sleeping
+        past the caller's timeout."""
+        recorded = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda s: recorded.append(s)
+        )
+        deadline = time.monotonic() + 0.5
+        nxt = client._backoff_sleep(2.0, deadline, retry_after=99.0)
+        assert recorded[0] <= 0.5
+        assert nxt == client.POLL_MAX_INTERVAL
+
+    def test_wait_until_healthy_backs_off_then_succeeds(
+        self, client, monkeypatch, sleeps
+    ):
+        attempts = iter(
+            [
+                ServiceClientError("refused"),
+                ServiceClientError("refused"),
+                {"status": "ok"},
+            ]
+        )
+
+        def healthz():
+            item = next(attempts)
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+        monkeypatch.setattr(client, "healthz", healthz)
+        assert client.wait_until_healthy(timeout=30)["status"] == "ok"
+        assert sleeps == [0.025, 0.05]
+
+    def test_timeout_raises_with_context(self, client, monkeypatch, sleeps):
+        monkeypatch.setattr(client, "job", lambda job_id: {"state": "queued"})
+        fake_now = [0.0]
+        monkeypatch.setattr(
+            "repro.service.client.time.monotonic",
+            lambda: fake_now.__setitem__(0, fake_now[0] + 0.3) or fake_now[0],
+        )
+        with pytest.raises(ServiceClientError, match="did not finish"):
+            client.wait_for_job("job-5", timeout=1.0)

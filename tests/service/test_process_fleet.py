@@ -1,0 +1,200 @@
+"""Process-worker fleet: parallelism tier, crash isolation, timeouts,
+cancellation of running jobs, and lane recovery.
+
+The helpers jobs run are module-level functions so they pickle under
+every multiprocessing start method — CI runs this module under both
+``fork`` and ``spawn`` via ``REPRO_MP_START_METHOD``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.service.request import CompileRequest
+from repro.service.scheduler import CoalescingScheduler
+from repro.service.store import ResultStore, StoredResult
+from repro.service.workers import WorkerLane, resolve_mp_context
+
+QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0], q[3];
+cx q[1], q[2];
+measure q -> c;
+"""
+
+#: Seed values the helper compile functions interpret as directives.
+CRASH_SEED = 666
+#: Seeds >= this sleep (seed - SLEEP_BASE) / 100 seconds before returning.
+SLEEP_BASE = 1000
+
+
+def request(seed: int = 0) -> CompileRequest:
+    return CompileRequest.from_payload(
+        {"qasm": QASM, "seed": seed, "trials": 1}
+    )
+
+
+def scripted_compile(req, circuit=None, key=None) -> StoredResult:
+    """Picklable compile stand-in: the seed scripts the behaviour
+    (hard process death for CRASH_SEED, a sleep for SLEEP_BASE+n)."""
+    if req.seed == CRASH_SEED:
+        os._exit(13)  # simulates OOM-kill/segfault: no exception, no cleanup
+    if req.seed >= SLEEP_BASE:
+        time.sleep((req.seed - SLEEP_BASE) / 100.0)
+    return StoredResult(
+        key=key or req.fingerprint(),
+        routed_qasm=f"OPENQASM 2.0;\n// seed {req.seed} pid {os.getpid()}\n",
+        request=req.summary(),
+    )
+
+
+@pytest.fixture()
+def fleet():
+    scheduler = CoalescingScheduler(
+        store=ResultStore(),
+        workers=2,
+        compile_fn=scripted_compile,
+        execution="process",
+    )
+    yield scheduler
+    scheduler.shutdown()
+
+
+def wait_for_state(job, state: str, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if job.state == state:
+            return
+        time.sleep(0.005)
+    raise AssertionError(f"{job.id} never reached {state!r} (is {job.state})")
+
+
+class TestProcessExecution:
+    def test_real_compile_end_to_end(self):
+        """The production path: execute_request in a worker process,
+        result shipped back as a StoredResult."""
+        scheduler = CoalescingScheduler(
+            store=ResultStore(), workers=1, execution="process"
+        )
+        try:
+            job = scheduler.wait(scheduler.submit(request()), timeout=120)
+            assert job.state == "done"
+            assert job.result.routed_qasm.startswith("OPENQASM")
+            assert job.result.metrics["g_ori"] > 0
+            assert scheduler.stats()["execution"] == "process"
+        finally:
+            scheduler.shutdown()
+
+    def test_jobs_run_outside_the_server_process(self, fleet):
+        job = fleet.wait(fleet.submit(request(1)), timeout=60)
+        pid = int(job.result.routed_qasm.rsplit("pid", 1)[1])
+        assert pid != os.getpid()
+
+    def test_coalescing_and_store_contracts_survive_process_dispatch(
+        self, fleet
+    ):
+        first = fleet.wait(fleet.submit(request(2)), timeout=60)
+        assert not first.cached
+        second = fleet.submit(request(2))
+        assert second.cached  # store-first answering, byte-identical path
+        assert second.result.key == first.result.key
+        assert fleet.stats()["executions"] == 1
+
+
+class TestCrashIsolation:
+    def test_crashed_worker_fails_job_and_pool_recovers(self, fleet):
+        crash = fleet.submit(request(CRASH_SEED))
+        fleet.wait(crash, timeout=60)
+        assert crash.state == "failed"
+        assert crash.error_kind == "crash"
+        assert "died" in crash.error or "broken" in crash.error
+        # The fleet recovered: the same scheduler still executes.
+        after = fleet.wait(fleet.submit(request(3)), timeout=60)
+        assert after.state == "done"
+        stats = fleet.stats()
+        assert stats["worker_crashes"] == 1
+        assert stats["lane_restarts"] >= 1
+
+    def test_sibling_jobs_unaffected_by_crash(self, fleet):
+        """One worker process dying must fail exactly its own job —
+        lane-per-dispatcher isolation, unlike a shared pool where one
+        crash breaks every queued future."""
+        jobs = [
+            fleet.submit(request(CRASH_SEED)),
+            fleet.submit(request(SLEEP_BASE + 20)),  # 0.2s sibling
+            fleet.submit(request(4)),
+            fleet.submit(request(5)),
+        ]
+        for job in jobs:
+            fleet.wait(job, timeout=60)
+        assert jobs[0].state == "failed"
+        assert [job.state for job in jobs[1:]] == ["done"] * 3
+        assert fleet.stats()["worker_crashes"] == 1
+
+
+class TestTimeoutsAndCancellation:
+    def test_execution_timeout_recycles_the_worker(self, fleet):
+        slow = fleet.submit(request(SLEEP_BASE + 1000), timeout=0.3)  # 10s job
+        fleet.wait(slow, timeout=30)
+        assert slow.state == "failed"
+        assert slow.error_kind == "timeout"
+        assert fleet.stats()["timeouts"] == 1
+        # The lane rebuilt: new jobs still execute.
+        after = fleet.wait(fleet.submit(request(6)), timeout=60)
+        assert after.state == "done"
+        assert fleet.stats()["lane_restarts"] >= 1
+
+    def test_cancel_running_job_terminates_the_process(self, fleet):
+        slow = fleet.submit(request(SLEEP_BASE + 1500))  # 15s job
+        wait_for_state(slow, "running")
+        cancelled = fleet.cancel(slow.id)
+        assert cancelled is slow
+        fleet.wait(slow, timeout=30)
+        assert slow.state == "cancelled"
+        assert slow.event.is_set()
+        # Cancellation must not poison the lane for the next job.
+        after = fleet.wait(fleet.submit(request(7)), timeout=60)
+        assert after.state == "done"
+        assert fleet.stats()["cancelled"] == 1
+
+
+class TestWorkerLane:
+    def test_lane_runs_and_restarts_after_kill(self):
+        lane = WorkerLane(scripted_compile, resolve_mp_context())
+        try:
+            result = lane.run(request(8), None, "lane-key")
+            assert result.key == "lane-key"
+            lane.kill()
+            assert lane.restarts == 1
+            again = lane.run(request(9), None, "lane-key-2")
+            assert again.key == "lane-key-2"
+        finally:
+            lane.shutdown()
+
+    def test_compile_exceptions_propagate_unchanged(self):
+        """A Python exception inside the compile is a job failure, not
+        a crash: it pickles back and the pool stays healthy."""
+        scheduler = CoalescingScheduler(
+            store=ResultStore(),
+            workers=1,
+            compile_fn=_raising_compile,
+            execution="process",
+        )
+        try:
+            job = scheduler.submit(request(10))
+            scheduler.wait(job, timeout=60)
+            assert job.state == "failed"
+            assert job.error_kind == "error"
+            assert "scripted failure" in job.error
+            assert scheduler.stats()["worker_crashes"] == 0
+            assert scheduler.stats()["lane_restarts"] == 0
+        finally:
+            scheduler.shutdown()
+
+
+def _raising_compile(req, circuit=None, key=None):
+    raise ValueError("scripted failure inside the worker")

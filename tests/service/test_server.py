@@ -7,6 +7,7 @@ second pipeline execution, and the output is hardware-compliant.
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -314,6 +315,137 @@ class TestKeepAliveHygiene:
         expected = devices_mod.device_catalog()
         assert all(r == expected for r in results)
         assert len(expected) == len(devices_mod.DEVICE_BUILDERS)
+
+
+class TestBackpressureHTTP:
+    """429 + Retry-After, DELETE /jobs/<id>, and 504 timeout mapping,
+    exercised against a deliberately congested one-worker scheduler."""
+
+    @pytest.fixture()
+    def congested(self):
+        from repro.service import CoalescingScheduler
+
+        release = threading.Event()
+
+        def gated_compile(request, circuit=None, key=None):
+            from repro.service.request import execute_request
+
+            release.wait(timeout=30)
+            return execute_request(request, circuit=circuit, key=key)
+
+        scheduler = CoalescingScheduler(
+            store=ResultStore(),
+            workers=1,
+            compile_fn=gated_compile,
+            max_queue_depth=1,
+        )
+        server = build_server(port=0, scheduler=scheduler)
+        start_in_thread(server)
+        client = ServiceClient(serve_url(server), timeout=60)
+        client.wait_until_healthy()
+        try:
+            yield client, scheduler, release
+        finally:
+            release.set()
+            shutdown_service(server)
+
+    def _occupy_worker(self, client):
+        """Start one running job (seed 100) so the queue is the only
+        remaining capacity, and return its id."""
+        ack = client.compile(QASM, trials=1, seed=100, wait=False)
+        for _ in range(500):
+            if client.job(ack["job_id"])["state"] == "running":
+                return ack["job_id"]
+            time.sleep(0.01)
+        raise AssertionError("blocker never started running")
+
+    def test_full_queue_is_429_with_retry_after(self, congested):
+        client, scheduler, release = congested
+        running = self._occupy_worker(client)
+        queued = client.compile(QASM, trials=1, seed=101, wait=False)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.compile(QASM, trials=1, seed=102, wait=False)
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after >= 1  # header made the round trip
+        assert "queue is full" in str(excinfo.value)
+        assert client.stats()["scheduler"]["rejected"] == 1
+        # A duplicate of in-flight work coalesces instead of bouncing.
+        dup = client.compile(QASM, trials=1, seed=101, wait=False)
+        assert dup["job_id"] == queued["job_id"]
+        release.set()
+        assert client.wait_for_job(running)["state"] == "done"
+        assert client.wait_for_job(queued["job_id"])["state"] == "done"
+
+    def test_delete_cancels_queued_job(self, congested):
+        client, scheduler, release = congested
+        self._occupy_worker(client)
+        queued = client.compile(QASM, trials=1, seed=103, wait=False)
+        reply = client.cancel_job(queued["job_id"])
+        assert reply["cancelled"] is True
+        assert reply["state"] == "cancelled"
+        # A status poll (GET) still answers 200 with the state visible.
+        snapshot = client.job(queued["job_id"])
+        assert snapshot["state"] == "cancelled"
+        # DELETE is idempotent: cancelling again reports the same state.
+        again = client.cancel_job(queued["job_id"])
+        assert again["cancelled"] is True
+
+    def test_delete_running_thread_job_is_409(self, congested):
+        client, scheduler, release = congested
+        running = self._occupy_worker(client)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.cancel_job(running)
+        assert excinfo.value.status == 409
+        assert "cancel" in str(excinfo.value)
+        release.set()
+        assert client.wait_for_job(running)["state"] == "done"
+
+    def test_delete_unknown_job_is_404(self, congested):
+        client, _, _ = congested
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.cancel_job("job-424242")
+        assert excinfo.value.status == 404
+
+    def test_per_request_timeout_maps_to_504(self, congested):
+        """A job whose deadline lapses while queued behind the blocker
+        comes back as 504 once the worker reaches (and expires) it."""
+        client, scheduler, release = congested
+        self._occupy_worker(client)
+        outcomes = []
+
+        def post():
+            try:
+                outcomes.append(
+                    client._request(
+                        "POST",
+                        "/compile",
+                        {"qasm": QASM, "trials": 1, "seed": 104,
+                         "wait": True, "timeout": 0.05},
+                    )
+                )
+            except ServiceClientError as exc:
+                outcomes.append(exc)
+
+        poster = threading.Thread(target=post)
+        poster.start()
+        time.sleep(0.3)  # let the 0.05s deadline lapse in the queue
+        release.set()
+        poster.join(timeout=60)
+        assert not poster.is_alive()
+        assert isinstance(outcomes[0], ServiceClientError)
+        assert outcomes[0].status == 504
+        assert "timed out" in str(outcomes[0])
+
+    def test_invalid_timeout_is_400(self, congested):
+        client, _, _ = congested
+        with pytest.raises(ServiceClientError) as excinfo:
+            client._request(
+                "POST",
+                "/compile",
+                {"qasm": QASM, "timeout": -3},
+            )
+        assert excinfo.value.status == 400
+        assert "timeout" in str(excinfo.value)
 
 
 class TestConcurrentClients:

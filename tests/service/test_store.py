@@ -1,4 +1,9 @@
-"""ResultStore: two-tier lookup, persistence, LRU, atomicity, counters."""
+"""ResultStore: two-tier lookup, persistence, LRU, atomicity, counters.
+
+Also covers :class:`ShardedResultStore` — N plain stores behind one
+facade, sharded by fingerprint prefix, with the same on-disk layout as
+an unsharded store (restart-compatible in both directions and across
+shard counts)."""
 
 import json
 import os
@@ -7,7 +12,7 @@ import threading
 import pytest
 
 from repro.exceptions import ReproError
-from repro.service.store import ResultStore, StoredResult
+from repro.service.store import ResultStore, ShardedResultStore, StoredResult
 
 
 def entry(key: str, qasm: str = "OPENQASM 2.0;\n") -> StoredResult:
@@ -143,6 +148,88 @@ class TestDiskTier:
         for i in range(3):
             store.put(entry(f"key{i}"))
         assert store.stats()["disk_entries"] == 3
+
+
+class TestShardedStore:
+    KEYS = [f"{i:08x}{'0' * 56}" for i in range(32)]  # spread over shards
+
+    def test_routing_is_stable_and_total(self):
+        store = ShardedResultStore(num_shards=4)
+        for key in self.KEYS:
+            store.put(entry(key))
+            assert store._shard(key) is store._shard(key)
+            assert store.get(key) is not None
+            assert store.contains(key)
+        by_shard = [s.stats()["puts"] for s in store._shards]
+        assert sum(by_shard) == len(self.KEYS)
+        assert sum(1 for n in by_shard if n > 0) > 1  # actually spread
+
+    def test_non_hex_keys_still_route(self):
+        store = ShardedResultStore(num_shards=4)
+        store.put(entry("not-hex-at-all"))
+        assert store.get("not-hex-at-all") is not None
+        empty = ShardedResultStore(num_shards=4)
+        assert empty.get("") is None  # crc32 fallback, no crash
+
+    def test_restart_consistency_across_shard_counts(self, tmp_path):
+        """The acceptance case: entries written under one shard count
+        (or none) read back under any other — the key determines the
+        path, the shard map is memory-only."""
+        root = str(tmp_path / "store")
+        writer = ShardedResultStore(root=root, num_shards=8)
+        for key in self.KEYS[:6]:
+            writer.put(entry(key, qasm=f"// {key}\n"))
+        ResultStore(root=root).put(entry("deadbeef"))  # unsharded writer
+        for reader in (
+            ShardedResultStore(root=root, num_shards=8),   # same count
+            ShardedResultStore(root=root, num_shards=3),   # different
+            ShardedResultStore(root=root, num_shards=1),   # degenerate
+            ResultStore(root=root),                        # unsharded
+        ):
+            for key in self.KEYS[:6]:
+                got = reader.get(key)
+                assert got is not None
+                assert got.routed_qasm == f"// {key}\n"
+            assert reader.get("deadbeef") is not None
+
+    def test_stats_aggregate_and_count_disk_once(self, tmp_path):
+        store = ShardedResultStore(root=str(tmp_path / "s"), num_shards=4)
+        for key in self.KEYS[:5]:
+            store.put(entry(key))
+        store.get(self.KEYS[0])
+        store.get("f" * 64)  # miss
+        stats = store.stats()
+        assert stats["shards"] == 4
+        assert stats["puts"] == 5
+        assert stats["memory_hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["persistent"]
+        assert stats["disk_entries"] == 5  # shared tree counted once
+
+    def test_total_memory_bound_split_across_shards(self):
+        store = ShardedResultStore(max_memory_entries=8, num_shards=4)
+        for key in self.KEYS:
+            store.put(entry(key))
+        # ceil(8/4) = 2 per shard: the facade never holds more than
+        # num_shards * per_shard entries in memory.
+        assert store.stats()["memory_entries"] <= 8
+        assert all(
+            len(shard._memory) <= 2 for shard in store._shards
+        )
+
+    def test_clear_memory_falls_back_to_disk(self, tmp_path):
+        store = ShardedResultStore(root=str(tmp_path / "s"), num_shards=4)
+        store.put(entry(self.KEYS[0]))
+        store.clear_memory()
+        assert store.stats()["memory_entries"] == 0
+        assert store.get(self.KEYS[0]) is not None
+        assert store.stats()["disk_hits"] == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ReproError, match="num_shards"):
+            ShardedResultStore(num_shards=0)
+        with pytest.raises(ReproError, match="max_memory_entries"):
+            ShardedResultStore(max_memory_entries=0)
 
 
 class TestConcurrency:
