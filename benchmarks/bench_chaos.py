@@ -1,0 +1,495 @@
+#!/usr/bin/env python
+"""Chaos benchmark: seeded fault injection against the live service.
+
+Three gates, each driving real code paths (no mocks):
+
+**Determinism gate** — two fault plans built from the same seed must
+produce byte-identical injection schedules over a fixed token stream,
+and a different seed must diverge.  Replayability is what makes a
+chaos failure debuggable: re-run with the seed from the report and the
+same faults fire at the same points.
+
+**Scrub gate** — a store tree with scripted damage (bit rot, a
+tampered document, an orphaned artifact, a leftover tmp file) must be
+fully diagnosed by ``ResultStore.scrub``, repaired into quarantine,
+and verify clean afterwards.
+
+**Chaos soak** — a baseline traffic phase measures clean p99, then a
+chaos phase replays mixed hot/cold traffic against a ``repro serve``
+subprocess running under ``REPRO_FAULT_PLAN`` (worker crashes, torn
+store writes, slow dispatches, dropped connections) and is SIGKILLed
+mid-stream.  Gates: every pre-kill request resolves terminally exactly
+once with a known outcome; the store survives kill-and-restart (scrub
+repairs any torn entries, then verifies clean); a restarted server
+serves the old fingerprints from disk; chaos p99 stays within a
+bounded multiple of baseline p99.
+
+Run:  PYTHONPATH=src python benchmarks/bench_chaos.py [--smoke]
+CI runs ``--smoke``; the default run uses a larger stream and writes
+``BENCH_chaos.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import queue
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench_circuits import build_benchmark, suite
+from repro.qasm import emit_qasm
+from repro.service.client import (
+    ServiceClient,
+    ServiceClientError,
+    find_free_port,
+)
+from repro.service.faults import FAULT_PLAN_ENV, FaultPlan
+from repro.service.store import ResultStore, StoredResult
+
+#: Chaos p99 may not exceed ``P99_FACTOR * baseline_p99 + P99_SLACK``.
+#: Generous on purpose: the gate catches pathological stalls (a lost
+#: retry, an unbounded backoff), not ordinary retry overhead.
+P99_FACTOR = 10.0
+P99_SLACK_SECONDS = 5.0
+
+#: The seeded fault plan the soak's chaos phase runs under.  Worker
+#: crashes are the headline (exercising the crash-retry ladder and, at
+#: p^3, the occasional poison quarantine); the rest spread damage
+#: across the store, scheduler, and HTTP seams.
+CHAOS_PLAN = {
+    "seed": 20190413,
+    "rules": [
+        {"site": "worker.execute", "kind": "crash", "probability": 0.15},
+        {"site": "worker.execute", "kind": "slow", "param": 0.05,
+         "probability": 0.10},
+        {"site": "scheduler.dispatch", "kind": "slow", "param": 0.02,
+         "probability": 0.10},
+        {"site": "store.write", "kind": "torn_artifact",
+         "probability": 0.08},
+        {"site": "http.connection", "kind": "drop", "probability": 0.05},
+    ],
+}
+
+#: Failure kinds a chaos-phase job may legitimately end with.  Anything
+#: else (or a job with no terminal state at all) fails the gate.
+ACCEPTED_ERROR_KINDS = {"crash", "poison", "timeout", "shutdown"}
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+# ----------------------------------------------------------------------
+# Gate 1: deterministic replay
+# ----------------------------------------------------------------------
+
+
+def schedule(plan: FaultPlan, tokens: List[str]) -> List[str]:
+    """The plan's full injection schedule over a fixed token stream,
+    as comparable strings."""
+    fired = []
+    for site in ("worker.execute", "store.write", "scheduler.dispatch"):
+        for token in tokens:
+            rule = plan.decide(site, token=token)
+            fired.append(
+                f"{site}|{token}|{rule.kind if rule else '-'}"
+            )
+    return fired
+
+
+def gate_determinism(report: dict) -> None:
+    spec = dict(CHAOS_PLAN)
+    tokens = [f"{key:064x}#a{attempt}"
+              for key in range(50) for attempt in range(3)]
+    one = schedule(FaultPlan.from_spec(spec), tokens)
+    two = schedule(FaultPlan.from_spec(spec), tokens)
+    check(one == two, "same seed produced different fault schedules")
+    fired = [line for line in one if not line.endswith("|-")]
+    check(fired != [], "chaos plan never fired over 150 tokens")
+    other = schedule(
+        FaultPlan.from_spec({**spec, "seed": spec["seed"] + 1}), tokens
+    )
+    check(one != other, "changing the seed changed nothing")
+    report["determinism"] = {
+        "tokens": len(tokens),
+        "fired": len(fired),
+        "seed": spec["seed"],
+    }
+    print(
+        f"  determinism    {len(fired)}/{len(one)} decisions fired, "
+        "replay byte-identical   ok"
+    )
+
+
+# ----------------------------------------------------------------------
+# Gate 2: scrub vs a scripted corrupted tree
+# ----------------------------------------------------------------------
+
+
+def gate_scrub(report: dict) -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-scrub-") as root:
+        store = ResultStore(root=root)
+        keys = [f"{i:064x}" for i in range(6)]
+        for key in keys:
+            store.put(StoredResult(
+                key=key,
+                routed_qasm=f"OPENQASM 2.0;\n// entry {key[:8]}\n",
+                metrics={"g_add": 1},
+            ))
+        # Scripted damage: flip a bit, falsify a metric, orphan an
+        # artifact, drop a tmp file.
+        rot = os.path.join(root, keys[1][:2], keys[1] + ".qasm")
+        with open(rot, "r+") as handle:
+            handle.seek(12)
+            handle.write("X")
+        doc_path = os.path.join(root, keys[2][:2], keys[2] + ".json")
+        with open(doc_path) as handle:
+            document = json.load(handle)
+        document["metrics"]["g_add"] = 999
+        with open(doc_path, "w") as handle:
+            json.dump(document, handle)
+        os.makedirs(os.path.join(root, "ff"), exist_ok=True)
+        with open(os.path.join(root, "ff", "f" * 64 + ".qasm"), "w") as f:
+            f.write("orphan")
+        with open(os.path.join(root, keys[0][:2], "x.tmp"), "w") as f:
+            f.write("partial")
+
+        found = store.scrub(repair=False)
+        check(found["scanned"] == 6, f"scanned {found['scanned']}/6")
+        check(found["corrupt"] == 2,
+              f"detected {found['corrupt']}/2 corrupt entries")
+        check(found["orphaned_artifacts"] == 1, "missed the orphan")
+        check(found["tmp_files"] == 1, "missed the tmp file")
+
+        # Repair quarantines the 2 corrupt entries AND the orphan.
+        repaired = store.scrub(repair=True)
+        check(repaired["quarantined"] == 3,
+              f"quarantined {repaired['quarantined']}/3")
+        clean = store.scrub(repair=False)
+        check(clean["corrupt"] == 0, "tree still corrupt after repair")
+        check(clean["ok"] == 4, f"{clean['ok']}/4 healthy survivors")
+    report["scrub"] = {
+        "seeded": 6, "corrupt": found["corrupt"],
+        "quarantined": repaired["quarantined"], "survivors": clean["ok"],
+    }
+    print(
+        "  scrub          2/2 corrupt found, 3 quarantined (incl. "
+        "orphan), 4 survivors verified   ok"
+    )
+
+
+# ----------------------------------------------------------------------
+# Gate 3: chaos soak against a live server
+# ----------------------------------------------------------------------
+
+
+def launch_server(
+    port: int, store_dir: str, fault_plan: Optional[dict]
+) -> subprocess.Popen:
+    env = dict(os.environ)
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(repo, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    if fault_plan is not None:
+        env[FAULT_PLAN_ENV] = json.dumps(fault_plan)
+    else:
+        env.pop(FAULT_PLAN_ENV, None)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(port),
+            "--store-dir", store_dir,
+            "--workers", "2",
+            "--execution", "process",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def build_corpus(smoke: bool) -> List[Tuple[str, str]]:
+    corpus = []
+    names = [s.name for s in suite("small")][: 2 if smoke else 4]
+    for name in names:
+        corpus.append((name, emit_qasm(build_benchmark(name))))
+    return corpus
+
+
+def build_stream(
+    corpus: List[Tuple[str, str]],
+    total: int,
+    rng: random.Random,
+    cold_base: int,
+) -> List[Tuple[str, str, int]]:
+    """(label, qasm, seed) stream: 50% hot repeats of seed 0 (store
+    hits + coalescing under fire), 50% fresh fingerprints."""
+    stream = []
+    cold_seed = cold_base
+    for _ in range(total):
+        label, qasm = corpus[rng.randrange(len(corpus))]
+        if rng.random() < 0.5:
+            stream.append((label, qasm, 0))
+        else:
+            stream.append((label, qasm, cold_seed))
+            cold_seed += 1
+    return stream
+
+
+class Outcome:
+    """One request's terminal observation, for the exactly-once gate."""
+
+    __slots__ = ("latency", "state", "error_kind", "transport_error")
+
+    def __init__(self, latency, state, error_kind, transport_error):
+        self.latency = latency
+        self.state = state
+        self.error_kind = error_kind
+        self.transport_error = transport_error
+
+
+def drive_stream(
+    base_url: str,
+    stream: List[Tuple[str, str, int]],
+    num_clients: int,
+    kill_after: Optional[int] = None,
+    server: Optional[subprocess.Popen] = None,
+) -> List[Outcome]:
+    """Replay ``stream`` with ``num_clients`` threads; if
+    ``kill_after`` is set, SIGKILL ``server`` once that many requests
+    have resolved (the remaining requests then see transport errors,
+    which the soak accounts separately)."""
+    work: "queue.Queue" = queue.Queue()
+    for item in stream:
+        work.put(item)
+    outcomes: List[Outcome] = []
+    lock = threading.Lock()
+    killed = threading.Event()
+
+    def record(outcome: Outcome) -> None:
+        with lock:
+            outcomes.append(outcome)
+            if (
+                kill_after is not None
+                and len(outcomes) >= kill_after
+                and not killed.is_set()
+            ):
+                killed.set()
+                os.kill(server.pid, signal.SIGKILL)
+
+    def drive() -> None:
+        client = ServiceClient(base_url, timeout=300)
+        while True:
+            try:
+                _, qasm, seed = work.get_nowait()
+            except queue.Empty:
+                return
+            started = time.perf_counter()
+            try:
+                reply = client.compile(qasm, seed=seed, trials=1)
+            except ServiceClientError:
+                record(Outcome(
+                    time.perf_counter() - started, None, None, True
+                ))
+                continue
+            record(Outcome(
+                time.perf_counter() - started,
+                reply.get("state"),
+                reply.get("error_kind"),
+                False,
+            ))
+
+    threads = [
+        threading.Thread(target=drive, name=f"chaos-{i}")
+        for i in range(num_clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return outcomes
+
+
+def gate_soak(smoke: bool, report: dict) -> None:
+    corpus = build_corpus(smoke)
+    n_baseline = 10 if smoke else 30
+    n_chaos = 16 if smoke else 60
+    num_clients = 3 if smoke else 6
+    rng = random.Random(7)
+    store_root = tempfile.TemporaryDirectory(prefix="repro-chaos-store-")
+    store_dir = store_root.name
+    try:
+        # Phase 0 — clean baseline for the p99 yardstick.
+        port = find_free_port()
+        server = launch_server(port, store_dir, fault_plan=None)
+        try:
+            base_url = f"http://127.0.0.1:{port}"
+            ServiceClient(base_url).wait_until_healthy(timeout=30)
+            baseline = drive_stream(
+                base_url,
+                build_stream(corpus, n_baseline, rng, cold_base=1000),
+                num_clients,
+            )
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
+        check(
+            all(o.state == "done" for o in baseline),
+            "baseline phase had failures — fix the service, not chaos",
+        )
+        base_p99 = percentile(
+            sorted(o.latency for o in baseline), 0.99
+        )
+
+        # Phase 1 — chaos traffic, SIGKILL mid-stream.
+        port = find_free_port()
+        server = launch_server(port, store_dir, fault_plan=CHAOS_PLAN)
+        base_url = f"http://127.0.0.1:{port}"
+        ServiceClient(base_url).wait_until_healthy(timeout=30)
+        chaos_stream = build_stream(corpus, n_chaos, rng, cold_base=5000)
+        outcomes = drive_stream(
+            base_url,
+            chaos_stream,
+            num_clients,
+            kill_after=int(n_chaos * 0.6),
+            server=server,
+        )
+        server.wait(timeout=10)
+
+        # Exactly-once accounting: every request resolved exactly one
+        # way — done, a known failure kind, or a transport error from
+        # the kill.  Nothing lost, nothing double-counted.
+        check(
+            len(outcomes) == len(chaos_stream),
+            f"lost jobs: {len(outcomes)}/{len(chaos_stream)} resolved",
+        )
+        done = [o for o in outcomes if o.state == "done"]
+        failed = [o for o in outcomes if o.state == "failed"]
+        transport = [o for o in outcomes if o.transport_error]
+        check(
+            len(done) + len(failed) + len(transport) == len(outcomes),
+            "request resolved with an unknown terminal state",
+        )
+        unknown = [
+            o.error_kind for o in failed
+            if o.error_kind not in ACCEPTED_ERROR_KINDS
+        ]
+        check(unknown == [], f"unexpected failure kinds: {unknown}")
+        check(done != [], "chaos phase completed nothing")
+
+        # p99 inflation gate, over requests that got real answers
+        # before the kill.
+        chaos_p99 = percentile(sorted(o.latency for o in done), 0.99)
+        bound = P99_FACTOR * base_p99 + P99_SLACK_SECONDS
+        check(
+            chaos_p99 <= bound,
+            f"chaos p99 {chaos_p99:.2f}s exceeds bound {bound:.2f}s "
+            f"(baseline p99 {base_p99:.2f}s)",
+        )
+
+        # Store integrity after kill -9: recovery plus a repair scrub
+        # must leave a verifiably clean tree (torn writes from the
+        # kill and injected torn artifacts land in quarantine).
+        store = ResultStore(root=store_dir)  # runs startup recovery
+        repair = store.scrub(repair=True)
+        verify = store.scrub(repair=False)
+        check(
+            verify["corrupt"] == 0,
+            f"store still corrupt after kill + repair: {verify}",
+        )
+
+        # Phase 2 — restart clean over the same store: hot
+        # fingerprints must come back from disk.
+        port = find_free_port()
+        server = launch_server(port, store_dir, fault_plan=None)
+        try:
+            base_url = f"http://127.0.0.1:{port}"
+            client = ServiceClient(base_url)
+            client.wait_until_healthy(timeout=30)
+            label, qasm = corpus[0]
+            reply = client.compile(qasm, seed=0, trials=1)
+            check(
+                reply["state"] == "done",
+                "restarted server failed the hot request",
+            )
+            health = client.healthz()
+            check(
+                health["status"] == "ok",
+                f"restarted server unhealthy: {health}",
+            )
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
+    finally:
+        store_root.cleanup()
+
+    report["soak"] = {
+        "baseline_requests": n_baseline,
+        "chaos_requests": n_chaos,
+        "clients": num_clients,
+        "fault_seed": CHAOS_PLAN["seed"],
+        "done": len(done),
+        "failed": len(failed),
+        "transport_errors_after_kill": len(transport),
+        "failure_kinds": sorted({o.error_kind for o in failed}),
+        "baseline_p99_s": round(base_p99, 3),
+        "chaos_p99_s": round(chaos_p99, 3),
+        "p99_bound_s": round(bound, 3),
+        "scrub_after_kill": {
+            "quarantined": repair["quarantined"],
+            "survivors": verify["ok"],
+        },
+    }
+    print(
+        f"  soak           {len(done)} done / {len(failed)} failed "
+        f"({', '.join(sorted({str(o.error_kind) for o in failed})) or 'none'})"
+        f" / {len(transport)} post-kill transport   "
+        f"p99 {chaos_p99:.2f}s <= {bound:.2f}s   "
+        f"store clean after kill ({verify['ok']} entries)   ok"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small stream (seconds-long CI step)",
+    )
+    parser.add_argument("--output", help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    print("chaos gates (seeded fault injection, real serve subprocess):")
+    report: dict = {"plan": CHAOS_PLAN}
+    gate_determinism(report)
+    gate_scrub(report)
+    gate_soak(args.smoke, report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=1)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,8 @@ Commands:
   the routed output.
 - ``devices`` — list built-in devices with their key properties (the
   same catalog the service's ``GET /devices`` returns).
+- ``store scrub`` — verify a persistent result store's checksums and
+  report (or, with ``--repair``, quarantine) corrupt entries.
 - ``draw`` — render a QASM circuit as ASCII art.
 - ``table2`` / ``fig8`` / ``scaling`` — forward to the experiment
   harnesses (same flags as their ``python -m repro.analysis.*`` entry
@@ -164,13 +166,32 @@ def _cmd_devices(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.engine.cache import cache_stats
     from repro.service import build_server, serve_url, shutdown_service
+    from repro.service.faults import FaultPlan, activate
     from repro.service.store import ShardedResultStore
 
+    # Chaos runs export REPRO_FAULT_PLAN; activating it eagerly (rather
+    # than on the first seam hit) surfaces a malformed plan at startup
+    # and prints the seed so the run is attributable.
+    plan = FaultPlan.from_env()
+    if plan is not None:
+        activate(plan)
+        print(
+            f"FAULT INJECTION ACTIVE: seed={plan.seed} "
+            f"rules={len(plan.rules)} (from $REPRO_FAULT_PLAN)",
+            file=sys.stderr,
+            flush=True,
+        )
     store = ShardedResultStore(
         root=args.store_dir or None,
         max_memory_entries=args.memory_entries,
         num_shards=args.store_shards,
     )
+    if store.last_recovery and any(store.last_recovery.values()):
+        print(
+            f"store recovery: {store.last_recovery}",
+            file=sys.stderr,
+            flush=True,
+        )
     server = build_server(
         host=args.host,
         port=args.port,
@@ -181,6 +202,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         mp_start_method=args.mp_start_method,
         max_queue_depth=args.queue_limit or None,  # 0 -> unbounded
         default_timeout=args.timeout,
+        degrade=not args.no_degrade,
     )
     tier = args.store_dir if args.store_dir else "memory-only"
     print(
@@ -199,6 +221,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"store        : {store.stats()}", file=sys.stderr)
             print(f"engine cache : {cache_stats()}", file=sys.stderr)
         shutdown_service(server)
+    return 0
+
+
+def _cmd_store_scrub(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.service.store import ResultStore
+
+    if not os.path.isdir(args.store_dir):
+        print(f"no store at {args.store_dir}", file=sys.stderr)
+        return 2
+    # recover=False: scrub IS the audit — don't mutate anything before
+    # it unless --repair asked for it.
+    store = ResultStore(root=args.store_dir, recover=False)
+    report = store.scrub(repair=args.repair)
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=1))
+    else:
+        print(
+            f"scrub {report['root']}: {report['scanned']} scanned, "
+            f"{report['ok']} ok, {report['corrupt']} corrupt, "
+            f"{report['quarantined']} quarantined, "
+            f"{report['version_mismatch']} version-mismatch, "
+            f"{report['orphaned_artifacts']} orphaned artifacts, "
+            f"{report['tmp_files']} tmp files"
+        )
+        for problem in report["problems"]:
+            print(f"  {problem['key'][:16]}: {problem['problem']}")
+    # Report-only mode exits non-zero when it found corruption so CI
+    # and cron wrappers can alert; --repair already acted on it.
+    if report["corrupt"] and not args.repair:
+        return 1
     return 0
 
 
@@ -417,12 +473,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-store shard count (fingerprint-prefix sharding)",
     )
     serve_p.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="disable graceful degradation (by default the server falls "
+        "back to the 'fast' preset under queue pressure or repeated "
+        "worker loss, stamping degraded=true on affected results)",
+    )
+    serve_p.add_argument(
         "-v",
         "--verbose",
         action="store_true",
         help="log requests and print store/engine-cache stats on shutdown",
     )
     serve_p.set_defaults(handler=_cmd_serve)
+
+    store_p = sub.add_parser(
+        "store", help="inspect/repair a persistent result store"
+    )
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    scrub_p = store_sub.add_parser(
+        "scrub",
+        help="verify every stored entry's checksums; optionally "
+        "quarantine corrupt entries",
+    )
+    scrub_p.add_argument(
+        "store_dir",
+        nargs="?",
+        default=".repro-store",
+        help="result-store directory (default: .repro-store)",
+    )
+    scrub_p.add_argument(
+        "--repair",
+        action="store_true",
+        help="move corrupt entries into the store's quarantine/ subtree "
+        "and clean tmp droppings (default: report only)",
+    )
+    scrub_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the scrub report as JSON",
+    )
+    scrub_p.set_defaults(handler=_cmd_store_scrub)
 
     submit_p = sub.add_parser(
         "submit", help="POST a QASM file to a running repro service"

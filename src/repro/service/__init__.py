@@ -26,6 +26,10 @@ entirely on the standard library:
 - :mod:`repro.service.client` — :class:`ServiceClient` and helpers for
   the CLI (``repro serve`` / ``repro submit``), examples, benchmarks,
   and CI.
+- :mod:`repro.service.faults` — seeded deterministic
+  :class:`FaultPlan` injection (worker crash/hang, store bit-rot and
+  torn writes, slow dispatch, dropped connections) activated via
+  ``REPRO_FAULT_PLAN``; off by default, zero overhead when disabled.
 
 Quickstart::
 
@@ -45,6 +49,16 @@ from repro.service.client import (
     ServiceClientError,
     find_free_port,
 )
+from repro.service.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    activate,
+    active_plan,
+    deactivate,
+    maybe_inject,
+)
 from repro.service.request import CompileRequest, RequestError, execute_request
 from repro.service.scheduler import CoalescingScheduler, Job
 from repro.service.server import (
@@ -56,12 +70,21 @@ from repro.service.server import (
 from repro.service.store import ResultStore, ShardedResultStore, StoredResult
 from repro.service.workers import (
     JobTimeout,
+    LaneStartupError,
     QueueFullError,
     WorkerCrashed,
     WorkerLane,
 )
 
 __all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "maybe_inject",
     "CompileRequest",
     "RequestError",
     "execute_request",
@@ -72,6 +95,7 @@ __all__ = [
     "Job",
     "WorkerLane",
     "WorkerCrashed",
+    "LaneStartupError",
     "JobTimeout",
     "QueueFullError",
     "build_server",

@@ -10,11 +10,12 @@ status and the server's ``error`` message.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.exceptions import ReproError
 
@@ -24,7 +25,9 @@ class ServiceClientError(ReproError):
 
     ``retry_after`` carries the server's ``Retry-After`` header
     (seconds) on 429 responses, ``None`` otherwise — polling helpers
-    honour it instead of their own backoff schedule.
+    honour it instead of their own backoff schedule.  ``attempts`` is
+    how many transport attempts were made before giving up (> 1 when
+    connection-level retries were exhausted).
     """
 
     def __init__(
@@ -32,9 +35,11 @@ class ServiceClientError(ReproError):
         message: str,
         status: int = 0,
         retry_after: Optional[float] = None,
+        attempts: int = 1,
     ) -> None:
         self.status = status
         self.retry_after = retry_after
+        self.attempts = attempts
         super().__init__(message)
 
 
@@ -53,6 +58,17 @@ class ServiceClient:
             needed).
         timeout: per-request socket timeout in seconds.
     """
+
+    #: Connection-level retry policy: every service request is
+    #: content-addressed (a re-submitted compile coalesces or hits the
+    #: store; polls and lookups are pure reads), so retrying on a
+    #: dropped/refused connection is always safe.  Capped jittered
+    #: exponential backoff, bounded both by attempt count and by a
+    #: total time budget.
+    CONNECT_ATTEMPTS = 4
+    CONNECT_BACKOFF_BASE = 0.05
+    CONNECT_BACKOFF_MAX = 1.0
+    CONNECT_RETRY_BUDGET = 5.0
 
     def __init__(self, base_url: str, timeout: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
@@ -74,34 +90,59 @@ class ServiceClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            url, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        budget_deadline = time.monotonic() + self.CONNECT_RETRY_BUDGET
+        attempt = 0
+        while True:
+            attempt += 1
+            request = urllib.request.Request(
+                url, data=data, headers=headers, method=method
+            )
             try:
-                body = json.loads(exc.read().decode("utf-8"))
-                message = body.get("error") or json.dumps(body)
-            except Exception:  # noqa: BLE001 — best-effort body decode
-                message = exc.reason
-            retry_after = None
-            header = exc.headers.get("Retry-After") if exc.headers else None
-            if header is not None:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as resp:
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                # The server answered: its verdict is final (4xx/5xx
+                # are never transport flakes) — no retry.
                 try:
-                    retry_after = float(header)
-                except ValueError:
-                    retry_after = None
-            raise ServiceClientError(
-                f"{method} {path} -> {exc.code}: {message}",
-                status=exc.code,
-                retry_after=retry_after,
-            ) from None
-        except (urllib.error.URLError, OSError) as exc:
-            raise ServiceClientError(
-                f"{method} {path} failed: {exc}"
-            ) from None
+                    body = json.loads(exc.read().decode("utf-8"))
+                    message = body.get("error") or json.dumps(body)
+                except Exception:  # noqa: BLE001 — best-effort body decode
+                    message = exc.reason
+                retry_after = None
+                header = (
+                    exc.headers.get("Retry-After") if exc.headers else None
+                )
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = None
+                raise ServiceClientError(
+                    f"{method} {path} -> {exc.code}: {message}",
+                    status=exc.code,
+                    retry_after=retry_after,
+                    attempts=attempt,
+                ) from None
+            except (urllib.error.URLError, OSError) as exc:
+                # Connection-level failure (refused, reset, dropped
+                # mid-response): retry with jittered backoff until the
+                # attempt cap or the time budget runs out.
+                delay = min(
+                    self.CONNECT_BACKOFF_BASE * (2 ** (attempt - 1)),
+                    self.CONNECT_BACKOFF_MAX,
+                ) * (0.5 + random.random() / 2)
+                if (
+                    attempt >= self.CONNECT_ATTEMPTS
+                    or time.monotonic() + delay >= budget_deadline
+                ):
+                    raise ServiceClientError(
+                        f"{method} {path} failed after {attempt} "
+                        f"attempt(s): {exc}",
+                        attempts=attempt,
+                    ) from None
+                time.sleep(delay)
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -197,23 +238,40 @@ class ServiceClient:
             time.sleep(min(delay, remaining))
         return min(interval * 2, self.POLL_MAX_INTERVAL)
 
-    def wait_until_healthy(self, timeout: float = 15.0) -> Dict[str, object]:
-        """Poll ``/healthz`` until the server answers (startup races),
-        with capped exponential backoff; honours ``Retry-After``."""
+    def wait_until_healthy(
+        self,
+        timeout: float = 15.0,
+        accept: Sequence[str] = ("ok", "degraded"),
+    ) -> Dict[str, object]:
+        """Poll ``/healthz`` until the server reports an acceptable
+        health state, with capped exponential backoff.
+
+        ``accept`` lists the states to settle for: the default accepts
+        a *degraded* server (it still serves traffic, just on cheaper
+        presets); pass ``("ok",)`` to insist on full health.  A
+        ``draining`` server (503) and connection errors both keep
+        polling until ``timeout``.  Honours ``Retry-After``.
+        """
         deadline = time.monotonic() + timeout
         interval = self.POLL_INITIAL_INTERVAL
-        last_error: Optional[ServiceClientError] = None
+        last: Optional[str] = None
         while time.monotonic() < deadline:
             try:
-                return self.healthz()
+                reply = self.healthz()
             except ServiceClientError as exc:
-                last_error = exc
+                last = str(exc)
                 interval = self._backoff_sleep(
                     interval, deadline, exc.retry_after
                 )
+                continue
+            status = reply.get("status")
+            if status in accept:
+                return reply
+            last = f"status {status!r} (accepting {list(accept)})"
+            interval = self._backoff_sleep(interval, deadline)
         raise ServiceClientError(
             f"server at {self.base_url} not healthy within {timeout}s "
-            f"(last error: {last_error})"
+            f"(last: {last})"
         )
 
     def wait_for_job(

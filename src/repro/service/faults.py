@@ -1,0 +1,378 @@
+"""Deterministic fault injection for the serving stack.
+
+Every failure mode the service claims to survive — worker crashes,
+bit-rot in the store, torn writes, dropped connections, slow dispatch —
+should be a *reproducible test*, not an incident report.  This module
+provides the one switchboard the whole stack consults: a seeded
+:class:`FaultPlan` whose decisions are a pure function of
+``(seed, site, token)``, so the identical seed replays the identical
+fault schedule byte-for-byte regardless of thread or process
+interleaving.
+
+Injection sites (the four seams of the service):
+
+- ``worker.execute`` — inside the worker, before the compile runs
+  (kinds: ``crash`` — hard process death on the process tier, a
+  :class:`~repro.service.workers.WorkerCrashed` on the thread tier;
+  ``hang`` — sleep ``param`` seconds, default effectively forever;
+  ``slow`` — sleep ``param`` seconds then proceed).
+- ``store.write`` — in :meth:`ResultStore.put`'s disk path (kinds:
+  ``write_error`` — raise :class:`OSError`; ``torn_artifact`` — persist
+  a truncated artifact under a checksum of the full one, so the read
+  path must catch it).
+- ``store.read`` — before a disk read (kind: ``bit_rot`` — physically
+  flip one byte of the on-disk artifact; the store's checksum
+  verification must quarantine it).
+- ``scheduler.dispatch`` — as a dispatcher picks up a job (kinds:
+  ``slow`` — sleep ``param``; ``crash`` — synthesize a
+  :class:`WorkerCrashed`, exercising retry/poison logic without a real
+  process death).
+- ``http.connection`` — as a request reaches a handler (kinds:
+  ``drop`` — close the connection without a response; ``slow`` — sleep
+  ``param`` before handling).
+
+Activation: :func:`activate` installs a plan process-wide;
+:data:`FAULT_PLAN_ENV` (``REPRO_FAULT_PLAN``, a JSON spec) activates
+one lazily on first use — which is how worker *processes* (fork or
+spawn) and ``repro serve`` subprocesses inherit the chaos schedule.
+Disabled is the default and costs one ``None`` check per seam.
+
+Determinism: keyed sites (worker/store/dispatch) decide by hashing
+``(seed, site, kind, token)`` — order- and timing-independent.  The
+token is the request fingerprint (plus the attempt number at the
+worker seam, so an injected crash can be *transient*: attempt 1
+crashes, the retry's different token passes).  Unkeyed sites (HTTP
+connections have no fingerprint yet) draw from a per-site
+``random.Random(seed ^ hash(site))`` sequence: the n-th connection
+fault is reproducible even though which client thread absorbs it is
+not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+
+#: Environment variable holding a JSON fault-plan spec (see
+#: :meth:`FaultPlan.from_spec`).  Read lazily on the first seam hit, so
+#: worker subprocesses and ``repro serve`` inherit the plan for free.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Injection sites and the fault kinds each one understands.
+SITE_WORKER = "worker.execute"
+SITE_STORE_WRITE = "store.write"
+SITE_STORE_READ = "store.read"
+SITE_DISPATCH = "scheduler.dispatch"
+SITE_HTTP = "http.connection"
+
+SITE_KINDS: Dict[str, Tuple[str, ...]] = {
+    SITE_WORKER: ("crash", "hang", "slow"),
+    SITE_STORE_WRITE: ("write_error", "torn_artifact"),
+    SITE_STORE_READ: ("bit_rot",),
+    SITE_DISPATCH: ("slow", "crash"),
+    SITE_HTTP: ("drop", "slow"),
+}
+
+
+class FaultPlanError(ReproError):
+    """A malformed fault-plan spec (unknown site/kind, bad probability)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One (site, kind) injection with its firing probability.
+
+    Attributes:
+        site: injection seam (a :data:`SITE_KINDS` key).
+        kind: fault flavour the seam understands.
+        probability: chance in [0, 1] each decision fires.
+        param: kind-specific knob (seconds for ``slow``/``hang``).
+        match: substring the token must contain (`""` matches all) —
+            lets a plan target one fingerprint as a poison pill.
+        max_fires: lifetime cap on firings (``None`` = unbounded);
+            bounds chaos so a soak always converges.
+    """
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    param: float = 0.0
+    match: str = ""
+    max_fires: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.site not in SITE_KINDS:
+            raise FaultPlanError(
+                f"unknown fault site {self.site!r}; "
+                f"available: {sorted(SITE_KINDS)}"
+            )
+        if self.kind not in SITE_KINDS[self.site]:
+            raise FaultPlanError(
+                f"site {self.site!r} has no fault kind {self.kind!r}; "
+                f"available: {list(SITE_KINDS[self.site])}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"probability must be in [0, 1], got {self.probability!r}"
+            )
+
+
+def _hash_unit(seed: int, site: str, kind: str, token: str) -> float:
+    """A deterministic draw in [0, 1) from the decision's identity."""
+    digest = hashlib.sha256(
+        f"{seed}|{site}|{kind}|{token}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of injected faults.
+
+    Thread-safe; decisions for keyed sites are pure functions of
+    ``(seed, site, kind, token)``, so two plans with the same seed and
+    rules produce the identical schedule in any call order.
+    """
+
+    def __init__(self, seed: int = 0, rules: Sequence[FaultRule] = ()) -> None:
+        self.seed = int(seed)
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self._lock = threading.Lock()
+        self._fired: Dict[Tuple[str, str], int] = {}
+        self._rule_fires: Dict[int, int] = {}
+        self._site_rngs: Dict[str, random.Random] = {}
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def decide(self, site: str, token: Optional[str] = None) -> Optional[FaultRule]:
+        """The fault to inject at ``site`` for ``token``, if any.
+
+        First matching rule wins.  Keyed decisions hash; unkeyed ones
+        draw from the site's seeded RNG sequence.  Fire counters (and
+        ``max_fires`` caps) update under the plan's lock.
+        """
+        for index, rule in enumerate(self.rules):
+            if rule.site != site:
+                continue
+            if rule.match and (token is None or rule.match not in token):
+                continue
+            if token is not None:
+                draw = _hash_unit(self.seed, site, rule.kind, token)
+            else:
+                with self._lock:
+                    rng = self._site_rngs.get(site)
+                    if rng is None:
+                        rng = random.Random(
+                            f"{self.seed}|{site}".encode("utf-8")
+                        )
+                        self._site_rngs[site] = rng
+                    draw = rng.random()
+            if draw >= rule.probability:
+                continue
+            with self._lock:
+                if (
+                    rule.max_fires is not None
+                    and self._rule_fires.get(index, 0) >= rule.max_fires
+                ):
+                    continue
+                self._rule_fires[index] = self._rule_fires.get(index, 0) + 1
+                key = (site, rule.kind)
+                self._fired[key] = self._fired.get(key, 0) + 1
+            return rule
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection / wire format
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Fire counters (surfaced on ``GET /stats`` as ``faults``)."""
+        with self._lock:
+            fired = {
+                f"{site}:{kind}": count
+                for (site, kind), count in sorted(self._fired.items())
+            }
+            total = sum(self._fired.values())
+        return {
+            "seed": self.seed,
+            "rules": len(self.rules),
+            "fired_total": total,
+            "fired": fired,
+        }
+
+    def to_spec(self) -> Dict[str, object]:
+        """JSON-safe spec, round-trippable through :meth:`from_spec`."""
+        rules: List[Dict[str, object]] = []
+        for rule in self.rules:
+            item: Dict[str, object] = {
+                "site": rule.site,
+                "kind": rule.kind,
+                "probability": rule.probability,
+            }
+            if rule.param:
+                item["param"] = rule.param
+            if rule.match:
+                item["match"] = rule.match
+            if rule.max_fires is not None:
+                item["max_fires"] = rule.max_fires
+            rules.append(item)
+        return {"seed": self.seed, "rules": rules}
+
+    @classmethod
+    def from_spec(cls, spec: object) -> "FaultPlan":
+        """Build a plan from a decoded JSON spec::
+
+            {"seed": 7, "rules": [
+                {"site": "worker.execute", "kind": "crash",
+                 "probability": 0.1},
+                {"site": "store.read", "kind": "bit_rot",
+                 "probability": 0.2, "max_fires": 5}]}
+        """
+        if not isinstance(spec, dict):
+            raise FaultPlanError(
+                f"fault plan spec must be a JSON object, got "
+                f"{type(spec).__name__}"
+            )
+        raw_rules = spec.get("rules", [])
+        if not isinstance(raw_rules, list):
+            raise FaultPlanError("fault plan 'rules' must be a list")
+        rules = []
+        for raw in raw_rules:
+            if not isinstance(raw, dict):
+                raise FaultPlanError("each fault rule must be a JSON object")
+            unknown = sorted(
+                set(raw)
+                - {"site", "kind", "probability", "param", "match", "max_fires"}
+            )
+            if unknown:
+                raise FaultPlanError(f"unknown fault rule field(s) {unknown}")
+            try:
+                rules.append(
+                    FaultRule(
+                        site=str(raw.get("site", "")),
+                        kind=str(raw.get("kind", "")),
+                        probability=float(raw.get("probability", 1.0)),
+                        param=float(raw.get("param", 0.0)),
+                        match=str(raw.get("match", "")),
+                        max_fires=(
+                            int(raw["max_fires"])
+                            if raw.get("max_fires") is not None
+                            else None
+                        ),
+                    )
+                )
+            except (TypeError, ValueError) as exc:
+                raise FaultPlanError(f"bad fault rule {raw!r}: {exc}") from None
+        try:
+            seed = int(spec.get("seed", 0))
+        except (TypeError, ValueError):
+            raise FaultPlanError(
+                f"fault plan 'seed' must be an integer, got {spec.get('seed')!r}"
+            ) from None
+        return cls(seed=seed, rules=rules)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan described by :data:`FAULT_PLAN_ENV`, or ``None``."""
+        raw = os.environ.get(FAULT_PLAN_ENV)
+        if not raw:
+            return None
+        try:
+            spec = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(
+                f"${FAULT_PLAN_ENV} is not valid JSON: {exc}"
+            ) from None
+        return cls.from_spec(spec)
+
+
+# ----------------------------------------------------------------------
+# Process-wide activation
+# ----------------------------------------------------------------------
+
+#: Sentinel: the environment has not been consulted yet.  After the
+#: first seam hit this becomes either a plan or ``None``, so the
+#: disabled fast path is a single identity check.
+_UNRESOLVED = object()
+_active: object = _UNRESOLVED
+_activation_lock = threading.Lock()
+
+
+def _reinit_locks_after_fork() -> None:
+    """Replace this module's locks in a freshly forked child.
+
+    A ``fork``-context worker process copies only the forking thread;
+    if any *other* parent thread held :data:`_activation_lock` (lazy
+    env resolution) or the active plan's counter lock (a firing
+    ``decide``) at fork time, the child inherits those locks
+    permanently acquired and its first ``maybe_inject`` deadlocks —
+    observed as a worker process that is alive but never executes its
+    job.  The child is single-threaded at this point, so fresh locks
+    are safe; the data they guard is consistent because CPython forks
+    with the GIL held.
+    """
+    global _activation_lock
+    _activation_lock = threading.Lock()
+    active = _active
+    if isinstance(active, FaultPlan):
+        active._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # not on every platform
+    os.register_at_fork(after_in_child=_reinit_locks_after_fork)
+
+
+def activate(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` process-wide (tests, ``repro serve``)."""
+    global _active
+    with _activation_lock:
+        _active = plan
+    return plan
+
+
+def deactivate() -> None:
+    """Remove any active plan *and* stop consulting the environment."""
+    global _active
+    with _activation_lock:
+        _active = None
+
+
+def reset() -> None:
+    """Forget activation state so the env var is consulted again
+    (test hygiene between cases that monkeypatch the environment)."""
+    global _active
+    with _activation_lock:
+        _active = _UNRESOLVED
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The live plan: explicit activation first, then the env var."""
+    global _active
+    plan = _active
+    if plan is _UNRESOLVED:
+        with _activation_lock:
+            if _active is _UNRESOLVED:
+                _active = FaultPlan.from_env()
+            plan = _active
+    return plan  # type: ignore[return-value]
+
+
+def maybe_inject(site: str, token: Optional[str] = None) -> Optional[FaultRule]:
+    """The seam call: ``None`` (and near-zero cost) unless a plan is
+    active and decides to fire at this site for this token."""
+    plan = _active
+    if plan is None:
+        return None
+    if plan is _UNRESOLVED:
+        plan = active_plan()
+        if plan is None:
+            return None
+    return plan.decide(site, token)  # type: ignore[union-attr]

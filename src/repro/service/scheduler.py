@@ -36,6 +36,29 @@ Production backpressure: ``max_queue_depth`` bounds admission — a full
 queue rejects with :class:`~repro.service.workers.QueueFullError`
 (mapped to HTTP 429 + ``Retry-After`` by the server) instead of
 queueing unboundedly.
+
+Self-healing (the robustness tier):
+
+- **retry-on-crash** — a job whose worker process dies is requeued up
+  to ``crash_retries`` times (transient OOM kills and chaos-injected
+  crashes recover without the client noticing);
+- **poison-job quarantine** — a fingerprint that has killed
+  ``poison_threshold`` workers is quarantined: its job fails with
+  ``error_kind: "poison"`` and later submissions of the same
+  fingerprint fail fast instead of grinding lanes down one by one;
+- **lane supervision** — each dispatcher backs off exponentially after
+  consecutive crashes, with a circuit breaker that takes the lane out
+  of rotation for ``breaker_cooldown`` seconds once
+  ``breaker_threshold`` consecutive crashes accumulate (half-open: the
+  next job is the probe);
+- **graceful degradation** (opt-in ``degrade=True``; ``repro serve``
+  enables it) — under sustained queue pressure or repeated lane loss,
+  presets in :data:`DEGRADE_PRESET_MAP` fall back to the cheaper
+  ``fast`` pipeline, stamped ``degraded: true`` in the job snapshot
+  and result properties; degraded artifacts are *never* written to
+  the content-addressed store (a later non-degraded request must not
+  be served a degraded artifact).  :meth:`CoalescingScheduler.health`
+  reports ``ok | degraded | draining`` for ``GET /healthz``.
 """
 
 from __future__ import annotations
@@ -45,17 +68,20 @@ import itertools
 import sys
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exceptions import ReproError
+from repro.service import faults
 from repro.service.request import CompileRequest, execute_request
 from repro.service.store import ResultStore, StoredResult
 from repro.service.workers import (
     JobTimeout,
+    LaneStartupError,
     QueueFullError,
     WorkerCrashed,
     WorkerLane,
+    apply_worker_fault,
     resolve_mp_context,
 )
 
@@ -72,9 +98,28 @@ EXECUTION_MODES = ("thread", "process")
 #: Completed/failed jobs retained for ``GET /jobs/<id>`` lookups.
 MAX_FINISHED_JOBS = 512
 
-#: ``Retry-After`` estimates are clamped into this range (seconds).
-MIN_RETRY_AFTER = 1.0
-MAX_RETRY_AFTER = 120.0
+#: ``Retry-After`` estimates are clamped into this range (seconds) —
+#: wide enough to be honest about a deep queue, narrow enough that a
+#: client is never told to go away for minutes on a hiccup.
+MIN_RETRY_AFTER = 0.05
+MAX_RETRY_AFTER = 60.0
+
+#: Per-job drain estimate used before any job has completed (the
+#: cold-start case: the EWMA has no samples yet).
+COLD_START_EXEC_ESTIMATE = 0.5
+
+#: Health states served by ``GET /healthz``.
+HEALTH_OK = "ok"
+HEALTH_DEGRADED = "degraded"
+HEALTH_DRAINING = "draining"
+
+#: Presets that may fall back to a cheaper preset under degradation.
+#: ``directed_device`` is deliberately absent: degrading it would drop
+#: direction legalization and break the compliance contract.
+DEGRADE_PRESET_MAP: Dict[str, str] = {
+    "paper_default": "fast",
+    "best_effort": "fast",
+}
 
 # Heap entries are ``[neg_priority, seq, job, alive]`` — lists, not
 # tuples, so a priority escalation can mark the old entry dead in
@@ -109,9 +154,14 @@ class Job:
     finished_at: Optional[float] = None
     error: Optional[str] = None
     #: Machine-readable failure class: ``"timeout"``, ``"crash"``,
+    #: ``"poison"`` (fingerprint quarantined after repeated crashes),
     #: ``"shutdown"``, or ``"error"`` (plain compile exception).
     error_kind: Optional[str] = None
     result: Optional[StoredResult] = None
+    #: Crash-retry attempt this job is on (0 = first dispatch).
+    attempt: int = 0
+    #: True when the job executed on a degraded (cheaper) preset.
+    degraded: bool = False
     #: Effective timeout (seconds) and its monotonic deadline; the
     #: deadline covers queue wait *and* execution, and coalescing
     #: keeps the most generous waiter's deadline.
@@ -148,6 +198,10 @@ class Job:
         }
         if self.timeout_seconds is not None:
             snap["timeout_seconds"] = self.timeout_seconds
+        if self.attempt:
+            snap["attempts"] = self.attempt + 1
+        if self.degraded:
+            snap["degraded"] = True
         if self.error is not None:
             snap["error"] = self.error
         if self.error_kind is not None:
@@ -155,6 +209,61 @@ class Job:
         if self.state == DONE and self.result is not None:
             snap["result"] = self.result.to_payload()
         return snap
+
+
+class LaneSupervisor:
+    """Restart policy for one dispatcher's lane.
+
+    Tracks consecutive crash-class failures.  Each failure earns an
+    exponentially growing backoff (``backoff_base * 2**(n-1)``, capped
+    at ``backoff_max``); once ``breaker_threshold`` consecutive
+    failures accumulate the breaker *opens* — the lane sits out
+    ``breaker_cooldown`` seconds, then half-opens (the next job is the
+    probe; success closes the breaker, another crash re-opens it).
+    The dispatcher thread owns its supervisor, so no locking is needed
+    for the failure bookkeeping; snapshots read racily for stats.
+    """
+
+    def __init__(
+        self,
+        backoff_base: float = 0.05,
+        backoff_max: float = 5.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
+    ) -> None:
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.consecutive_failures = 0
+        self.breaker_trips = 0
+        self.breaker_open = False
+
+    def record_failure(self) -> float:
+        """Count one lane loss; returns how long the lane sits out."""
+        self.consecutive_failures += 1
+        if (
+            self.breaker_threshold > 0
+            and self.consecutive_failures >= self.breaker_threshold
+        ):
+            self.breaker_trips += 1
+            self.breaker_open = True
+            return self.breaker_cooldown
+        return min(
+            self.backoff_base * (2 ** (self.consecutive_failures - 1)),
+            self.backoff_max,
+        )
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.breaker_open = False
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "consecutive_failures": self.consecutive_failures,
+            "breaker": "open" if self.breaker_open else "closed",
+            "breaker_trips": self.breaker_trips,
+        }
 
 
 class CoalescingScheduler:
@@ -187,6 +296,23 @@ class CoalescingScheduler:
         join_timeout: total seconds ``shutdown(wait=True)`` spends
             joining dispatchers before declaring them hung and failing
             their jobs.
+        crash_retries: times a crash-failed job is requeued before
+            giving up (transient crashes recover invisibly).
+        poison_threshold: worker crashes a single fingerprint may cause
+            before it is quarantined as a poison job (fails fast with
+            ``error_kind: "poison"`` on this and later submissions).
+        restart_backoff_base / restart_backoff_max: exponential lane
+            sit-out after consecutive crashes (seconds).
+        breaker_threshold / breaker_cooldown: consecutive crashes that
+            open a lane's circuit breaker, and how long it stays open.
+        degrade: enable graceful degradation (``repro serve`` turns
+            this on; library default is off so embedded schedulers
+            never silently change what they compile).
+        degrade_queue_threshold: queued jobs at/above which degraded
+            mode engages; defaults to 3/4 of ``max_queue_depth`` when
+            bounded, else disabled.
+        degrade_crash_threshold: consecutive fleet-wide crashes
+            at/above which degraded mode engages.
     """
 
     def __init__(
@@ -199,6 +325,15 @@ class CoalescingScheduler:
         max_queue_depth: Optional[int] = None,
         default_timeout: Optional[float] = None,
         join_timeout: float = 30.0,
+        crash_retries: int = 2,
+        poison_threshold: int = 3,
+        restart_backoff_base: float = 0.05,
+        restart_backoff_max: float = 5.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
+        degrade: bool = False,
+        degrade_queue_threshold: Optional[int] = None,
+        degrade_crash_threshold: int = 3,
     ) -> None:
         if workers < 1:
             raise ReproError("CoalescingScheduler needs workers >= 1")
@@ -209,6 +344,10 @@ class CoalescingScheduler:
             )
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ReproError("max_queue_depth must be >= 1 (or None)")
+        if crash_retries < 0:
+            raise ReproError("crash_retries must be >= 0")
+        if poison_threshold < 1:
+            raise ReproError("poison_threshold must be >= 1")
         self.store = store if store is not None else ResultStore()
         self.compile_fn = compile_fn
         self.workers = workers
@@ -216,6 +355,13 @@ class CoalescingScheduler:
         self.max_queue_depth = max_queue_depth
         self.default_timeout = default_timeout
         self.join_timeout = join_timeout
+        self.crash_retries = crash_retries
+        self.poison_threshold = poison_threshold
+        self.degrade_enabled = degrade
+        if degrade_queue_threshold is None and max_queue_depth is not None:
+            degrade_queue_threshold = max(1, (3 * max_queue_depth) // 4)
+        self.degrade_queue_threshold = degrade_queue_threshold
+        self.degrade_crash_threshold = degrade_crash_threshold
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._heap: List[list] = []
@@ -239,11 +385,25 @@ class CoalescingScheduler:
         self._worker_crashes = 0
         self._rejected = 0
         self._store_put_failures = 0
+        self._retries = 0
+        self._degraded_executions = 0
+        self._poisoned_failures = 0
+        self._consecutive_crashes = 0
+        #: key -> crash count so far (cleared on success/quarantine).
+        self._crash_counts: Dict[str, int] = {}
+        #: key -> crash count at quarantine time (the poison list).
+        self._poisoned: Dict[str, int] = {}
+        #: Interrupts supervisor backoff/breaker waits at shutdown.
+        self._stop_event = threading.Event()
         #: EWMA of execution wall time, feeding Retry-After estimates.
         self._avg_exec_seconds: Optional[float] = None
         #: Per-preset pass-timing aggregation harvested from each
         #: executed result's PropertySet: preset -> pass -> [calls, sec].
         self._pass_timings: Dict[str, Dict[str, List[float]]] = {}
+        # Resolve any env-configured fault plan now, while the process
+        # is still effectively single-threaded — not lazily from a
+        # dispatcher racing the first worker fork.
+        faults.active_plan()
         if execution == "process":
             context = resolve_mp_context(mp_start_method)
             self._lanes: List[Optional[WorkerLane]] = [
@@ -251,14 +411,25 @@ class CoalescingScheduler:
             ]
         else:
             self._lanes = [None] * workers
+        self._supervisors = [
+            LaneSupervisor(
+                backoff_base=restart_backoff_base,
+                backoff_max=restart_backoff_max,
+                breaker_threshold=breaker_threshold,
+                breaker_cooldown=breaker_cooldown,
+            )
+            for _ in range(workers)
+        ]
         self._threads = [
             threading.Thread(
                 target=self._worker,
-                args=(lane,),
+                args=(lane, supervisor),
                 name=f"repro-compile-{i}",
                 daemon=True,
             )
-            for i, lane in enumerate(self._lanes)
+            for i, (lane, supervisor) in enumerate(
+                zip(self._lanes, self._supervisors)
+            )
         ]
         for thread in self._threads:
             thread.start()
@@ -294,6 +465,21 @@ class CoalescingScheduler:
         effective_timeout = timeout if timeout is not None else self.default_timeout
         with self._lock:
             self._submitted += 1
+            poisoned = self._poisoned.get(key)
+            if poisoned is not None:
+                # Poison-job quarantine: this fingerprint has already
+                # killed enough workers; fail fast instead of feeding
+                # it another lane.
+                self._poisoned_failures += 1
+                job = self._new_job(key, request, priority)
+                job.error = (
+                    f"fingerprint {key[:12]} is quarantined as a poison "
+                    f"job ({poisoned} worker crashes); refusing to "
+                    "schedule it again"
+                )
+                job.error_kind = "poison"
+                self._finish(job, FAILED)
+                return job
             inflight = self._inflight.get(key)
             if inflight is not None:
                 self._coalesce_onto(inflight, priority, effective_timeout)
@@ -418,9 +604,17 @@ class CoalescingScheduler:
         """Seconds a 429'd client should wait; lock held.
 
         Queue drain time at the recent average execution cost, spread
-        across the worker fleet, clamped to a sane range.
+        across the worker fleet, clamped into
+        [:data:`MIN_RETRY_AFTER`, :data:`MAX_RETRY_AFTER`].  Before
+        any job has completed (cold start, no EWMA samples) each
+        queued job is assumed to cost
+        :data:`COLD_START_EXEC_ESTIMATE` seconds.
         """
-        per_job = self._avg_exec_seconds or MIN_RETRY_AFTER
+        per_job = (
+            self._avg_exec_seconds
+            if self._avg_exec_seconds is not None
+            else COLD_START_EXEC_ESTIMATE
+        )
         estimate = (self._queued / max(self.workers, 1)) * per_job
         return min(max(estimate, MIN_RETRY_AFTER), MAX_RETRY_AFTER)
 
@@ -517,7 +711,9 @@ class CoalescingScheduler:
                 job.lane = lane
                 return job
 
-    def _worker(self, lane: Optional[WorkerLane]) -> None:
+    def _worker(
+        self, lane: Optional[WorkerLane], supervisor: LaneSupervisor
+    ) -> None:
         while True:
             job = self._next_job(lane)
             if job is None:
@@ -525,60 +721,166 @@ class CoalescingScheduler:
             remaining = None
             if job.deadline is not None:
                 remaining = max(job.deadline - time.monotonic(), 0.001)
+            # The fault token folds in the attempt number so injected
+            # crashes are transient: the retry's token differs.
+            token = f"{job.key}#a{job.attempt}"
+            exec_request, degraded = self._dispatch_request(job)
             started = time.perf_counter()
             try:
+                rule = faults.maybe_inject(faults.SITE_DISPATCH, token=token)
+                if rule is not None:
+                    if rule.kind == "slow":
+                        time.sleep(rule.param)
+                    elif rule.kind == "crash":
+                        raise WorkerCrashed(
+                            f"injected dispatch crash (token {token!r})"
+                        )
                 if lane is not None:
                     result = lane.run(
-                        job.request, job.circuit, job.key, timeout=remaining
+                        exec_request,
+                        job.circuit,
+                        job.key,
+                        timeout=remaining,
+                        fault_token=token,
                     )
                 else:
+                    apply_worker_fault(token, hard=False)
                     result = self.compile_fn(
-                        job.request, circuit=job.circuit, key=job.key
+                        exec_request, circuit=job.circuit, key=job.key
                     )
             except BaseException as exc:  # noqa: BLE001 — job carries it
-                with self._lock:
-                    job.lane = None
-                    self._inflight.pop(job.key, None)
-                    if job.cancel_requested:
-                        job.error = "cancelled while running"
-                        job.error_kind = "cancelled"
-                        self._finish(job, CANCELLED)
-                    elif isinstance(exc, JobTimeout):
-                        self._timeouts += 1
-                        job.error = f"{type(exc).__name__}: {exc}"
-                        job.error_kind = "timeout"
-                        self._finish(job, FAILED)
-                    elif isinstance(exc, WorkerCrashed):
-                        self._worker_crashes += 1
-                        job.error = f"{type(exc).__name__}: {exc}"
-                        job.error_kind = "crash"
-                        self._finish(job, FAILED)
-                    else:
-                        job.error = f"{type(exc).__name__}: {exc}"
-                        job.error_kind = "error"
-                        self._finish(job, FAILED)
+                delay = self._handle_dispatch_failure(job, exc, supervisor)
+                if delay > 0.0:
+                    # Lane supervision: sit out the backoff (or the
+                    # breaker cooldown), interruptibly so shutdown
+                    # never waits on a cooling lane.
+                    self._stop_event.wait(delay)
                 continue
-            try:
-                self.store.put(result)
-            except OSError:
-                # The compile succeeded; a full or read-only store must
-                # degrade to serving uncached results, not fail jobs.
-                with self._lock:
-                    self._store_put_failures += 1
+            supervisor.record_success()
+            if degraded:
+                job.degraded = True
+                result.properties = dict(result.properties)
+                result.properties["degraded"] = True
+                result.properties["degraded_from"] = job.request.pipeline
+            if not degraded:
+                # Degraded artifacts never reach the content-addressed
+                # store: the key promises the *requested* pipeline, and
+                # a healthy-mode repeat must recompile, not get served
+                # the cheap fallback forever.
+                try:
+                    self.store.put(result)
+                except OSError:
+                    # The compile succeeded; a full or read-only store
+                    # must degrade to serving uncached results, not
+                    # fail jobs.
+                    with self._lock:
+                        self._store_put_failures += 1
             duration = time.perf_counter() - started
             with self._lock:
                 self._executions += 1
+                if degraded:
+                    self._degraded_executions += 1
+                self._consecutive_crashes = 0
+                self._crash_counts.pop(job.key, None)
                 if self._avg_exec_seconds is None:
                     self._avg_exec_seconds = duration
                 else:
                     self._avg_exec_seconds = (
                         0.8 * self._avg_exec_seconds + 0.2 * duration
                     )
-                self._harvest_timings(job.request.pipeline, result)
+                self._harvest_timings(exec_request.pipeline, result)
                 job.lane = None
                 job.result = result
                 self._inflight.pop(job.key, None)
                 self._finish(job, DONE)
+
+    def _dispatch_request(self, job: Job) -> tuple:
+        """(request to execute, degraded?) — the degradation decision,
+        made at dispatch time so pressure is measured when the job
+        actually runs, not when it was queued."""
+        if self.degrade_enabled:
+            fallback = DEGRADE_PRESET_MAP.get(job.request.pipeline)
+            if fallback is not None:
+                with self._lock:
+                    pressured = not self._shutdown and self._pressure_locked()
+                if pressured:
+                    return replace(job.request, pipeline=fallback), True
+        return job.request, False
+
+    def _handle_dispatch_failure(
+        self, job: Job, exc: BaseException, supervisor: LaneSupervisor
+    ) -> float:
+        """Classify a dispatch exception; returns the lane's sit-out
+        seconds (0 for failures that aren't lane losses).
+
+        Crash-class failures walk the self-healing ladder: requeue up
+        to ``crash_retries`` times; a fingerprint reaching
+        ``poison_threshold`` total crashes is quarantined and fails
+        with ``error_kind: "poison"``.
+        """
+        delay = 0.0
+        with self._lock:
+            job.lane = None
+            if job.cancel_requested:
+                self._inflight.pop(job.key, None)
+                job.error = "cancelled while running"
+                job.error_kind = "cancelled"
+                self._finish(job, CANCELLED)
+            elif isinstance(exc, JobTimeout):
+                self._inflight.pop(job.key, None)
+                self._timeouts += 1
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.error_kind = "timeout"
+                self._finish(job, FAILED)
+            elif isinstance(exc, WorkerCrashed):
+                self._worker_crashes += 1
+                self._consecutive_crashes += 1
+                delay = supervisor.record_failure()
+                if isinstance(exc, LaneStartupError):
+                    # The lane's worker never came up — a sick lane,
+                    # not a killer job.  Retry like a crash, but never
+                    # charge the fingerprint's poison count: the job's
+                    # code was never reached.
+                    crashes = self._crash_counts.get(job.key, 0)
+                else:
+                    crashes = self._crash_counts.get(job.key, 0) + 1
+                    self._crash_counts[job.key] = crashes
+                if crashes >= self.poison_threshold:
+                    self._poisoned[job.key] = crashes
+                    self._crash_counts.pop(job.key, None)
+                    self._inflight.pop(job.key, None)
+                    job.error = (
+                        f"poison job: fingerprint {job.key[:12]} crashed "
+                        f"{crashes} worker process(es); quarantined"
+                    )
+                    job.error_kind = "poison"
+                    self._finish(job, FAILED)
+                elif job.attempt < self.crash_retries and not self._shutdown:
+                    self._retries += 1
+                    self._requeue_locked(job)
+                else:
+                    self._inflight.pop(job.key, None)
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.error_kind = "crash"
+                    self._finish(job, FAILED)
+            else:
+                self._inflight.pop(job.key, None)
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.error_kind = "error"
+                self._finish(job, FAILED)
+        return delay
+
+    def _requeue_locked(self, job: Job) -> None:
+        """Put a crash-retried job back on the queue; lock held.  The
+        job stays in the in-flight table (waiters keep their handle),
+        keeps its priority and deadline, and bumps its attempt."""
+        job.attempt += 1
+        job.state = QUEUED
+        job.started_at = None
+        job.entry = [-job.priority, next(self._seq), job, True]
+        heapq.heappush(self._heap, job.entry)
+        self._queued += 1
+        self._not_empty.notify()
 
     def _finish(self, job: Job, state: str) -> None:
         """Terminal transition + finished-job retention; lock held.
@@ -612,12 +914,56 @@ class CoalescingScheduler:
     # Introspection / shutdown
     # ------------------------------------------------------------------
 
+    def _pressure_locked(self) -> bool:
+        """Is the fleet under enough pressure to degrade?  Lock held.
+
+        True on repeated lane loss (``degrade_crash_threshold``
+        consecutive fleet-wide crashes, or any open circuit breaker)
+        or sustained queue pressure (``degrade_queue_threshold``
+        queued jobs)."""
+        if (
+            self.degrade_crash_threshold > 0
+            and self._consecutive_crashes >= self.degrade_crash_threshold
+        ):
+            return True
+        if any(s.breaker_open for s in self._supervisors):
+            return True
+        if (
+            self.degrade_queue_threshold is not None
+            and self._queued >= self.degrade_queue_threshold
+        ):
+            return True
+        return False
+
+    def _health_locked(self) -> str:
+        if self._shutdown:
+            return HEALTH_DRAINING
+        if self.degrade_enabled and self._pressure_locked():
+            return HEALTH_DEGRADED
+        return HEALTH_OK
+
+    def health(self) -> str:
+        """``ok`` | ``degraded`` | ``draining`` (for ``GET /healthz``)."""
+        with self._lock:
+            return self._health_locked()
+
+    def lane_pids(self) -> List[int]:
+        """Live worker-process PIDs across all lanes (empty on the
+        thread tier); after ``shutdown`` this must drain to empty —
+        the no-orphaned-workers assertion chaos tests lean on."""
+        pids: List[int] = []
+        for lane in self._lanes:
+            if lane is not None:
+                pids.extend(lane.pids())
+        return pids
+
     def stats(self) -> Dict[str, object]:
         """Counter snapshot for ``GET /stats``."""
         with self._lock:
             return {
                 "workers": self.workers,
                 "execution": self.execution,
+                "health": self._health_locked(),
                 "submitted": self._submitted,
                 "store_answered": self._store_answered,
                 "coalesced": self._coalesced,
@@ -627,6 +973,15 @@ class CoalescingScheduler:
                 "cancelled": self._cancelled,
                 "timeouts": self._timeouts,
                 "worker_crashes": self._worker_crashes,
+                "retries": self._retries,
+                "poisoned": len(self._poisoned),
+                "poisoned_failures": self._poisoned_failures,
+                "degraded_executions": self._degraded_executions,
+                "consecutive_crashes": self._consecutive_crashes,
+                "breaker_trips": sum(
+                    s.breaker_trips for s in self._supervisors
+                ),
+                "lanes": [s.snapshot() for s in self._supervisors],
                 "rejected": self._rejected,
                 "store_put_failures": self._store_put_failures,
                 "queue_depth": self._queued,
@@ -665,6 +1020,9 @@ class CoalescingScheduler:
         with self._not_empty:
             self._shutdown = True
             self._not_empty.notify_all()
+        # Wake any lane sitting out a supervision backoff or breaker
+        # cooldown — shutdown must never wait on a cooling lane.
+        self._stop_event.set()
         unjoined: List[str] = []
         if wait:
             deadline = time.monotonic() + self.join_timeout

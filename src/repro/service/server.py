@@ -18,7 +18,10 @@ store.  Endpoints:
   process terminated (the lane rebuilds).
 - ``GET /devices`` — the device registry, via the same
   :func:`~repro.hardware.devices.device_catalog` the CLI prints.
-- ``GET /healthz`` — liveness (also reports uptime and queue depth).
+- ``GET /healthz`` — health: ``status`` is ``ok``, ``degraded``
+  (serving, but under enough pressure that degradable presets fall
+  back to ``fast``), or ``draining`` (shutting down; the only state
+  answered with a 503).  Also reports uptime and queue depth.
 - ``GET /stats`` — store counters, scheduler counters (including
   per-preset pass timings aggregated from result PropertySets), and
   the engine cache's :func:`~repro.engine.cache.cache_stats`.
@@ -49,8 +52,13 @@ from typing import Dict, List, Optional, Tuple
 from repro.engine.cache import cache_stats
 from repro.exceptions import ReproError
 from repro.hardware.devices import device_catalog
+from repro.service import faults
 from repro.service.request import CompileRequest
-from repro.service.scheduler import CoalescingScheduler, Job
+from repro.service.scheduler import (
+    HEALTH_DRAINING,
+    CoalescingScheduler,
+    Job,
+)
 from repro.service.store import ResultStore
 from repro.service.workers import QueueFullError
 
@@ -201,16 +209,36 @@ class ServiceHandler(BaseHTTPRequestHandler):
             raise ReproError("field 'timeout' must be > 0 seconds")
         return timeout
 
+    def _connection_fault(self) -> bool:
+        """The ``http.connection`` injection seam; True means the
+        request was swallowed (connection dropped with no response,
+        exactly what a mid-request network partition looks like)."""
+        rule = faults.maybe_inject(faults.SITE_HTTP)
+        if rule is None:
+            return False
+        if rule.kind == "drop":
+            self.close_connection = True
+            return True
+        if rule.kind == "slow":
+            time.sleep(rule.param)
+        return False
+
     # -- routes --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         self.state.count_request()
+        if self._connection_fault():
+            return
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
+            health = self.state.scheduler.health()
+            # Draining is the only 503: degraded still serves traffic
+            # (at reduced quality), so load balancers keep routing to
+            # it; a draining server is on its way out.
             self._send_json(
-                200,
+                200 if health != HEALTH_DRAINING else 503,
                 {
-                    "status": "ok",
+                    "status": health,
                     "uptime_seconds": round(self.state.uptime(), 3),
                     "queue_depth": self.state.scheduler.stats()["queue_depth"],
                 },
@@ -231,6 +259,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         self.state.count_request()
+        if self._connection_fault():
+            return
         path = self.path.split("?", 1)[0].rstrip("/")
         try:
             if path == "/compile":
@@ -257,6 +287,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:  # noqa: N802 — http.server API
         self.state.count_request()
+        if self._connection_fault():
+            return
         path = self.path.split("?", 1)[0].rstrip("/")
         if not path.startswith("/jobs/"):
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
@@ -370,13 +402,17 @@ class ServiceHandler(BaseHTTPRequestHandler):
         return 200, snapshot
 
     def _stats_payload(self) -> Dict[str, object]:
-        return {
+        payload = {
             "uptime_seconds": round(self.state.uptime(), 3),
             "requests_served": self.state.requests_served,
             "store": self.state.store.stats(),
             "scheduler": self.state.scheduler.stats(),
             "engine_cache": cache_stats(),
         }
+        plan = faults.active_plan()
+        if plan is not None:
+            payload["faults"] = plan.stats()
+        return payload
 
 
 def build_server(
@@ -390,6 +426,7 @@ def build_server(
     mp_start_method: Optional[str] = None,
     max_queue_depth: Optional[int] = None,
     default_timeout: Optional[float] = None,
+    degrade: bool = False,
 ) -> ThreadingHTTPServer:
     """Construct (but do not start) a service instance.
 
@@ -415,6 +452,7 @@ def build_server(
             mp_start_method=mp_start_method,
             max_queue_depth=max_queue_depth,
             default_timeout=default_timeout,
+            degrade=degrade,
         )
     )
     server = ThreadingHTTPServer((host, port), ServiceHandler)

@@ -10,17 +10,30 @@ Two tiers, one key space (the request fingerprint from
   result, sharded two hex characters deep so a million entries don't
   land in one directory.
 
-Writes are atomic (tempfile in the target directory + ``os.replace``),
-so a crashed or concurrent writer can never leave a half-written entry
-a reader would see; the QASM artifact is replaced *before* the JSON
-document, so a visible metadata document always points at a complete
-artifact.  Disk hits are promoted into the memory tier.  All counters
-(memory/disk hits, misses, evictions, puts) are served by
-:meth:`ResultStore.stats` and surfaced on ``GET /stats``.
+Writes are atomic *and durable*: tempfile in the target directory,
+``fsync`` of the file, ``os.replace``, then ``fsync`` of the directory
+— a crashed writer (or a SIGKILL mid-chaos-run) can never leave a
+visible metadata document pointing at a missing or torn artifact.  The
+QASM artifact is replaced *before* the JSON document, so a readable
+document always has a complete artifact beside it.
+
+Integrity: every document carries ``artifact_sha256`` (over the QASM
+text) and ``document_sha256`` (over the canonical JSON of everything
+else).  The read path verifies both; an entry that fails — bit-rot,
+torn write, truncation — is moved to a ``quarantine/`` subtree (never
+silently dropped, never served) and counted in ``stats()``.
+:meth:`ResultStore.recover` runs a cheap structural scan at startup
+(tmp droppings, metadata orphaned from its artifact) and
+:meth:`ResultStore.scrub` verifies a whole tree checksum-by-checksum —
+that's the ``repro store scrub`` CLI verb.  Disk hits are promoted
+into the memory tier.  All counters (memory/disk hits, misses,
+evictions, puts, quarantined) are served by :meth:`ResultStore.stats`
+and surfaced on ``GET /stats``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -28,13 +41,18 @@ import threading
 import zlib
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.exceptions import ReproError
+from repro.service import faults
 
 #: Schema tag written into every metadata document; bumped if the
-#: on-disk layout ever changes incompatibly.
-STORE_VERSION = 1
+#: on-disk layout ever changes incompatibly.  Version 2 added the
+#: ``artifact_sha256`` / ``document_sha256`` integrity checksums.
+STORE_VERSION = 2
+
+#: Subdirectory (under the store root) receiving corrupt entries.
+QUARANTINE_DIR = "quarantine"
 
 
 @dataclass
@@ -65,6 +83,27 @@ class StoredResult:
         return asdict(self)
 
 
+def artifact_checksum(text: str) -> str:
+    """sha256 hex of an artifact's text (UTF-8)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def document_checksum(document: Dict[str, object]) -> str:
+    """sha256 hex of a metadata document's canonical JSON form.
+
+    Computed over everything except the ``document_sha256`` field
+    itself, with sorted keys — independent of field order and of the
+    pretty-printing the file was written with.
+    """
+    stripped = {
+        name: value
+        for name, value in document.items()
+        if name != "document_sha256"
+    }
+    canonical = json.dumps(stripped, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 class ResultStore:
     """Two-tier (memory LRU over disk) content-addressed result store.
 
@@ -73,12 +112,16 @@ class ResultStore:
             entirely (memory-only store, used by throwaway servers and
             tests that don't exercise persistence).
         max_memory_entries: LRU bound of the in-memory tier.
+        recover: run the startup recovery scan over ``root`` (cheap,
+            structural only — see :meth:`recover`).  Disabled by
+            sharded wrappers so N shards over one tree scan it once.
     """
 
     def __init__(
         self,
         root: Optional[str] = None,
         max_memory_entries: int = 128,
+        recover: bool = True,
     ) -> None:
         if max_memory_entries < 1:
             raise ReproError("ResultStore needs max_memory_entries >= 1")
@@ -91,8 +134,12 @@ class ResultStore:
         self._misses = 0
         self._evictions = 0
         self._puts = 0
+        self._quarantined = 0
+        self.last_recovery: Optional[Dict[str, int]] = None
         if root is not None:
             os.makedirs(root, exist_ok=True)
+            if recover:
+                self.last_recovery = self.recover()
 
     # ------------------------------------------------------------------
     # Paths
@@ -113,7 +160,11 @@ class ResultStore:
     # ------------------------------------------------------------------
 
     def get(self, key: str) -> Optional[StoredResult]:
-        """Look ``key`` up: memory first, then disk (with promotion)."""
+        """Look ``key`` up: memory first, then disk (with promotion).
+
+        A disk entry that fails integrity verification is quarantined
+        and reported as a miss — a corrupt artifact is never served.
+        """
         with self._lock:
             entry = self._memory.get(key)
             if entry is not None:
@@ -141,15 +192,13 @@ class ResultStore:
         paths = self._paths(key)
         if paths is None:
             return None
-        try:
-            with open(paths["json"], encoding="utf-8") as handle:
-                document = json.load(handle)
-            with open(paths["qasm"], encoding="utf-8") as handle:
-                qasm = handle.read()
-        except (OSError, json.JSONDecodeError):
+        rule = faults.maybe_inject(faults.SITE_STORE_READ, token=key)
+        if rule is not None and rule.kind == "bit_rot":
+            _flip_one_byte(paths["qasm"])
+        loaded = self._load_verified(key, paths, quarantine=True)
+        if loaded is None:
             return None
-        if document.get("store_version") != STORE_VERSION:
-            return None
+        document, qasm = loaded
         return StoredResult(
             key=key,
             routed_qasm=qasm,
@@ -159,6 +208,86 @@ class ResultStore:
             compile_seconds=document.get("compile_seconds", 0.0),
             created_at=document.get("created_at", 0.0),
         )
+
+    def _load_verified(
+        self, key: str, paths: Dict[str, str], quarantine: bool
+    ) -> Optional[tuple]:
+        """Read + fully verify one disk entry.
+
+        Returns ``(document, qasm)`` on success, ``None`` on a plain
+        miss (no entry, or a foreign ``store_version`` left for a
+        future migration), and ``None`` after quarantining on any
+        integrity failure.  The version check runs *before* the
+        checksum check, so an old-format document is a miss, not
+        corruption.
+        """
+        try:
+            with open(paths["json"], encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            if quarantine:
+                self._quarantine(key, paths, "metadata document unreadable")
+            return None
+        if not isinstance(document, dict):
+            if quarantine:
+                self._quarantine(key, paths, "metadata document not an object")
+            return None
+        if document.get("store_version") != STORE_VERSION:
+            return None
+        expected_doc = document.get("document_sha256")
+        if expected_doc != document_checksum(document):
+            if quarantine:
+                self._quarantine(key, paths, "document checksum mismatch")
+            return None
+        try:
+            with open(paths["qasm"], encoding="utf-8") as handle:
+                qasm = handle.read()
+        except (OSError, UnicodeDecodeError):
+            if quarantine:
+                self._quarantine(key, paths, "artifact missing or unreadable")
+            return None
+        if document.get("artifact_sha256") != artifact_checksum(qasm):
+            if quarantine:
+                self._quarantine(key, paths, "artifact checksum mismatch")
+            return None
+        return document, qasm
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+
+    def _quarantine(self, key: str, paths: Dict[str, str], reason: str) -> None:
+        """Move a corrupt entry's files under ``quarantine/`` for
+        post-mortem instead of deleting or (worse) serving them."""
+        if self.root is None:
+            return
+        qdir = os.path.join(self.root, QUARANTINE_DIR, key[:2])
+        try:
+            os.makedirs(qdir, exist_ok=True)
+        except OSError:
+            return
+        for kind in ("json", "qasm"):
+            source = paths.get(kind)
+            if source is None:
+                continue
+            try:
+                os.replace(
+                    source, os.path.join(qdir, os.path.basename(source))
+                )
+            except OSError:
+                pass  # half-present entries quarantine what exists
+        try:
+            with open(
+                os.path.join(qdir, f"{key}.reason.txt"), "w", encoding="utf-8"
+            ) as handle:
+                handle.write(reason + "\n")
+        except OSError:
+            pass
+        with self._lock:
+            self._quarantined += 1
+            self._memory.pop(key, None)
 
     # ------------------------------------------------------------------
     # Write path
@@ -185,30 +314,206 @@ class ResultStore:
         paths = self._paths(entry.key)
         if paths is None:
             return
+        artifact_text = entry.routed_qasm
+        rule = faults.maybe_inject(faults.SITE_STORE_WRITE, token=entry.key)
+        if rule is not None:
+            if rule.kind == "write_error":
+                raise OSError(
+                    f"injected store write failure for {entry.key[:12]}"
+                )
+            if rule.kind == "torn_artifact":
+                # Checksums cover the *full* artifact; persisting a
+                # truncated one forces the read path to catch it.
+                artifact_text = artifact_text[: max(1, len(artifact_text) // 2)]
         os.makedirs(paths["shard"], exist_ok=True)
         document = entry.to_payload()
         document.pop("routed_qasm")  # lives in the sibling .qasm artifact
         document["store_version"] = STORE_VERSION
+        document["artifact_sha256"] = artifact_checksum(entry.routed_qasm)
+        document["document_sha256"] = document_checksum(document)
         # Artifact first, metadata second: a reader that can see the
         # JSON document is guaranteed a complete QASM file beside it.
-        self._atomic_write(paths["shard"], paths["qasm"], entry.routed_qasm)
+        self._atomic_write(paths["shard"], paths["qasm"], artifact_text)
         self._atomic_write(
             paths["shard"], paths["json"], json.dumps(document, indent=1)
         )
 
     @staticmethod
     def _atomic_write(directory: str, path: str, text: str) -> None:
+        """Atomic *and durable* replace: fsync the temp file before the
+        rename and the directory after it, so a power cut or SIGKILL
+        cannot surface a metadata file whose bytes never hit disk."""
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_path, path)
+            _fsync_directory(directory)
         except BaseException:
             try:
                 os.unlink(tmp_path)
             except OSError:
                 pass
             raise
+
+    # ------------------------------------------------------------------
+    # Recovery / scrub
+    # ------------------------------------------------------------------
+
+    def recover(self) -> Dict[str, int]:
+        """Cheap structural startup scan of the persistent tier.
+
+        Removes tempfile droppings from interrupted writes and
+        quarantines metadata documents orphaned from their artifact (a
+        torn pair the artifact-first write order should make
+        impossible, but bit-rot and operators happen).  Structural
+        only — no file is read, so startup stays O(entries) directory
+        I/O; full checksum verification is :meth:`scrub`'s job.
+        """
+        report = {"tmp_removed": 0, "orphaned_metadata": 0}
+        if self.root is None:
+            return report
+        for shard_path, names in self._iter_shards():
+            present = set(names)
+            for name in names:
+                path = os.path.join(shard_path, name)
+                if name.endswith(".tmp"):
+                    try:
+                        os.unlink(path)
+                        report["tmp_removed"] += 1
+                    except OSError:
+                        pass
+                elif name.endswith(".json"):
+                    key = name[: -len(".json")]
+                    if f"{key}.qasm" not in present:
+                        paths = self._paths(key)
+                        if paths is not None:
+                            self._quarantine(
+                                key, paths, "metadata without artifact"
+                            )
+                            report["orphaned_metadata"] += 1
+        return report
+
+    def scrub(self, repair: bool = False) -> Dict[str, object]:
+        """Verify every disk entry checksum-by-checksum.
+
+        With ``repair=True`` corrupt entries are quarantined (and tmp
+        droppings removed); with ``repair=False`` the tree is left
+        untouched and only reported on.  Returns a report::
+
+            {"scanned": int, "ok": int, "corrupt": int,
+             "quarantined": int, "version_mismatch": int,
+             "orphaned_artifacts": int, "tmp_files": int,
+             "problems": [{"key": ..., "problem": ...}, ...]}
+
+        Powers the ``repro store scrub`` CLI verb; works on any tree a
+        :class:`ResultStore` or :class:`ShardedResultStore` wrote (the
+        layout is identical).
+        """
+        report: Dict[str, object] = {
+            "root": self.root,
+            "scanned": 0,
+            "ok": 0,
+            "corrupt": 0,
+            "quarantined": 0,
+            "version_mismatch": 0,
+            "orphaned_artifacts": 0,
+            "tmp_files": 0,
+            "problems": [],
+        }
+        if self.root is None:
+            return report
+        problems: List[Dict[str, str]] = report["problems"]  # type: ignore
+        for shard_path, names in self._iter_shards():
+            present = set(names)
+            for name in sorted(names):
+                path = os.path.join(shard_path, name)
+                if name.endswith(".tmp"):
+                    report["tmp_files"] += 1
+                    if repair:
+                        try:
+                            os.unlink(path)
+                        except OSError:
+                            pass
+                    continue
+                if name.endswith(".qasm"):
+                    key = name[: -len(".qasm")]
+                    if f"{key}.json" not in present:
+                        report["orphaned_artifacts"] += 1
+                        problems.append(
+                            {"key": key, "problem": "artifact without metadata"}
+                        )
+                        if repair:
+                            paths = {"qasm": path}
+                            self._quarantine(
+                                key, paths, "artifact without metadata"
+                            )
+                            report["quarantined"] += 1
+                    continue
+                if not name.endswith(".json"):
+                    continue
+                key = name[: -len(".json")]
+                report["scanned"] += 1
+                paths = self._paths(key)
+                assert paths is not None
+                problem = self._verify_entry(key, paths)
+                if problem is None:
+                    report["ok"] += 1
+                elif problem == "version mismatch":
+                    report["version_mismatch"] += 1
+                    problems.append({"key": key, "problem": problem})
+                else:
+                    report["corrupt"] += 1
+                    problems.append({"key": key, "problem": problem})
+                    if repair:
+                        self._quarantine(key, paths, problem)
+                        report["quarantined"] += 1
+        return report
+
+    def _verify_entry(self, key: str, paths: Dict[str, str]) -> Optional[str]:
+        """Full integrity verdict for one entry: ``None`` when clean,
+        else a human-readable problem string.  Never mutates the tree."""
+        try:
+            with open(paths["json"], encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            return "metadata document missing"
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return "metadata document unreadable"
+        if not isinstance(document, dict):
+            return "metadata document not an object"
+        if document.get("store_version") != STORE_VERSION:
+            return "version mismatch"
+        if document.get("document_sha256") != document_checksum(document):
+            return "document checksum mismatch"
+        try:
+            with open(paths["qasm"], encoding="utf-8") as handle:
+                qasm = handle.read()
+        except (OSError, UnicodeDecodeError):
+            return "artifact missing or unreadable"
+        if document.get("artifact_sha256") != artifact_checksum(qasm):
+            return "artifact checksum mismatch"
+        return None
+
+    def _iter_shards(self):
+        """Yield ``(shard_path, entry_names)`` for every shard dir,
+        skipping the quarantine subtree."""
+        if self.root is None:
+            return
+        try:
+            shards = sorted(os.scandir(self.root), key=lambda e: e.name)
+        except OSError:
+            return
+        for shard in shards:
+            if not shard.is_dir() or shard.name == QUARANTINE_DIR:
+                continue
+            try:
+                names = [entry.name for entry in os.scandir(shard.path)]
+            except OSError:
+                continue
+            yield shard.path, names
 
     # ------------------------------------------------------------------
     # Introspection / maintenance
@@ -229,6 +534,7 @@ class ResultStore:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "puts": self._puts,
+                "quarantined": self._quarantined,
                 "memory_entries": len(self._memory),
                 "persistent": self.root is not None,
                 "root": self.root,
@@ -240,23 +546,46 @@ class ResultStore:
         if self.root is None:
             return 0
         count = 0
-        try:
-            with os.scandir(self.root) as shards:
-                for shard in shards:
-                    if not shard.is_dir():
-                        continue
-                    with os.scandir(shard.path) as entries:
-                        count += sum(
-                            1 for e in entries if e.name.endswith(".json")
-                        )
-        except OSError:
-            return 0
+        for _shard_path, names in self._iter_shards():
+            count += sum(1 for name in names if name.endswith(".json"))
         return count
 
     def clear_memory(self) -> None:
         """Drop the memory tier only (persistence-path test hook)."""
         with self._lock:
             self._memory.clear()
+
+
+def _fsync_directory(directory: str) -> None:
+    """Durably record a rename in its directory (no-op where a
+    directory cannot be opened, e.g. some network filesystems)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _flip_one_byte(path: str) -> None:
+    """Physically corrupt one byte of ``path`` (bit-rot injection).
+
+    Deliberately *not* atomic — real rot isn't.  A missing or empty
+    file is left alone (nothing to rot)."""
+    try:
+        with open(path, "r+b") as handle:
+            data = handle.read()
+            if not data:
+                return
+            position = len(data) // 2
+            handle.seek(position)
+            handle.write(bytes([data[position] ^ 0xFF]))
+    except OSError:
+        pass
 
 
 class ShardedResultStore:
@@ -293,10 +622,15 @@ class ShardedResultStore:
         self.num_shards = num_shards
         self.max_memory_entries = max_memory_entries
         per_shard = max(1, -(-max_memory_entries // num_shards))
+        # Shards share one tree: the startup recovery scan runs once
+        # (first shard), not once per shard.
         self._shards = [
-            ResultStore(root=root, max_memory_entries=per_shard)
-            for _ in range(num_shards)
+            ResultStore(
+                root=root, max_memory_entries=per_shard, recover=(i == 0)
+            )
+            for i in range(num_shards)
         ]
+        self.last_recovery = self._shards[0].last_recovery
 
     def _shard(self, key: str) -> ResultStore:
         """Shard owning ``key``: its leading fingerprint hex, with a
@@ -320,6 +654,18 @@ class ShardedResultStore:
         for shard in self._shards:
             shard.clear_memory()
 
+    def recover(self) -> Dict[str, int]:
+        """One structural scan of the shared tree (see
+        :meth:`ResultStore.recover`)."""
+        report = self._shards[0].recover()
+        self.last_recovery = report
+        return report
+
+    def scrub(self, repair: bool = False) -> Dict[str, object]:
+        """One full-tree verification pass (all shards share the tree;
+        see :meth:`ResultStore.scrub`)."""
+        return self._shards[0].scrub(repair=repair)
+
     def stats(self) -> Dict[str, object]:
         """Aggregated counters, same shape as :meth:`ResultStore.stats`
         plus ``shards``; the disk walk runs once (all shards share the
@@ -330,6 +676,7 @@ class ShardedResultStore:
             "misses": 0,
             "evictions": 0,
             "puts": 0,
+            "quarantined": 0,
             "memory_entries": 0,
         }
         for shard in self._shards:
@@ -339,6 +686,7 @@ class ShardedResultStore:
                 totals["misses"] += shard._misses
                 totals["evictions"] += shard._evictions
                 totals["puts"] += shard._puts
+                totals["quarantined"] += shard._quarantined
                 totals["memory_entries"] += len(shard._memory)
         totals["hits"] = totals["memory_hits"] + totals["disk_hits"]
         totals["persistent"] = self.root is not None

@@ -1,0 +1,284 @@
+"""Fault-injection switchboard: determinism, activation, spec wire
+format, and the store/scheduler/client robustness behaviours it powers.
+
+Chaos is only useful if it is *reproducible*: most tests here assert
+that the same seed yields the same fault schedule, then that each seam
+reacts to its injected failure the way the robustness tier promises.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.service import faults
+from repro.service.faults import (
+    FAULT_PLAN_ENV,
+    SITE_DISPATCH,
+    SITE_HTTP,
+    SITE_STORE_READ,
+    SITE_STORE_WRITE,
+    SITE_WORKER,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_activation(monkeypatch):
+    """Every test starts with no active plan and no env plan, and
+    leaves the process the same way."""
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestDeterminism:
+    def test_keyed_decisions_are_a_pure_function_of_seed_and_token(self):
+        rules = [FaultRule(SITE_WORKER, "crash", probability=0.5)]
+        first = FaultPlan(seed=42, rules=rules)
+        second = FaultPlan(seed=42, rules=rules)
+        tokens = [f"k{i:03d}#a0" for i in range(200)]
+        schedule_a = [first.decide(SITE_WORKER, t) is not None for t in tokens]
+        schedule_b = [
+            second.decide(SITE_WORKER, t) is not None for t in tokens
+        ]
+        assert schedule_a == schedule_b
+        assert any(schedule_a) and not all(schedule_a)  # p=0.5 actually draws
+
+    def test_call_order_does_not_change_keyed_decisions(self):
+        rules = [FaultRule(SITE_WORKER, "crash", probability=0.3)]
+        forward = FaultPlan(seed=7, rules=rules)
+        backward = FaultPlan(seed=7, rules=rules)
+        tokens = [f"tok{i}" for i in range(64)]
+        by_token_fwd = {
+            t: forward.decide(SITE_WORKER, t) is not None for t in tokens
+        }
+        by_token_bwd = {
+            t: backward.decide(SITE_WORKER, t) is not None
+            for t in reversed(tokens)
+        }
+        assert by_token_fwd == by_token_bwd
+
+    def test_different_seeds_differ(self):
+        rules = [FaultRule(SITE_WORKER, "crash", probability=0.5)]
+        tokens = [f"k{i}" for i in range(100)]
+        a = [
+            FaultPlan(seed=1, rules=rules).decide(SITE_WORKER, t) is not None
+            for t in tokens
+        ]
+        b = [
+            FaultPlan(seed=2, rules=rules).decide(SITE_WORKER, t) is not None
+            for t in tokens
+        ]
+        assert a != b
+
+    def test_unkeyed_site_replays_the_same_sequence(self):
+        rules = [FaultRule(SITE_HTTP, "drop", probability=0.4)]
+        a = FaultPlan(seed=9, rules=rules)
+        b = FaultPlan(seed=9, rules=rules)
+        seq_a = [a.decide(SITE_HTTP) is not None for _ in range(50)]
+        seq_b = [b.decide(SITE_HTTP) is not None for _ in range(50)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_attempt_number_makes_crashes_transient(self):
+        """The scheduler tokens are ``<key>#a<attempt>``: a fingerprint
+        whose first attempt draws a crash gets an independent draw on
+        retry, so p<1 crashes cannot all be permanent."""
+        plan = FaultPlan(
+            seed=3, rules=[FaultRule(SITE_WORKER, "crash", probability=0.5)]
+        )
+        outcomes = {
+            key: [
+                plan.decide(SITE_WORKER, f"{key}#a{attempt}") is not None
+                for attempt in range(3)
+            ]
+            for key in (f"f{i:02d}" for i in range(40))
+        }
+        recovered = [
+            o for o in outcomes.values() if o[0] and not all(o)
+        ]
+        assert recovered  # some first-attempt crashes pass on retry
+
+
+class TestRulesAndCaps:
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(
+            seed=0,
+            rules=[
+                FaultRule(SITE_WORKER, "slow", probability=1.0, param=0.5),
+                FaultRule(SITE_WORKER, "crash", probability=1.0),
+            ],
+        )
+        rule = plan.decide(SITE_WORKER, "any")
+        assert rule is not None and rule.kind == "slow"
+
+    def test_match_targets_one_fingerprint(self):
+        plan = FaultPlan(
+            seed=0,
+            rules=[
+                FaultRule(
+                    SITE_WORKER, "crash", probability=1.0, match="poisonous"
+                )
+            ],
+        )
+        assert plan.decide(SITE_WORKER, "poisonous-key#a0") is not None
+        assert plan.decide(SITE_WORKER, "healthy-key#a0") is None
+        assert plan.decide(SITE_WORKER, None) is None  # no token, no match
+
+    def test_max_fires_caps_lifetime_firings(self):
+        plan = FaultPlan(
+            seed=0,
+            rules=[FaultRule(SITE_HTTP, "drop", probability=1.0, max_fires=3)],
+        )
+        fired = sum(plan.decide(SITE_HTTP) is not None for _ in range(10))
+        assert fired == 3
+        assert plan.stats()["fired_total"] == 3
+
+    def test_max_fires_is_thread_safe(self):
+        plan = FaultPlan(
+            seed=0,
+            rules=[
+                FaultRule(SITE_WORKER, "crash", probability=1.0, max_fires=10)
+            ],
+        )
+        hits = []
+
+        def hammer(base: int) -> None:
+            for i in range(50):
+                if plan.decide(SITE_WORKER, f"t{base}-{i}") is not None:
+                    hits.append(1)
+
+        threads = [
+            threading.Thread(target=hammer, args=(b,)) for b in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(hits) == 10
+
+    def test_stats_shape(self):
+        plan = FaultPlan(
+            seed=5, rules=[FaultRule(SITE_WORKER, "crash", probability=1.0)]
+        )
+        plan.decide(SITE_WORKER, "x")
+        stats = plan.stats()
+        assert stats["seed"] == 5
+        assert stats["rules"] == 1
+        assert stats["fired"] == {f"{SITE_WORKER}:crash": 1}
+
+
+class TestSpecAndValidation:
+    def test_spec_round_trip(self):
+        plan = FaultPlan(
+            seed=11,
+            rules=[
+                FaultRule(SITE_WORKER, "crash", probability=0.25),
+                FaultRule(
+                    SITE_STORE_READ, "bit_rot", probability=0.1, max_fires=5
+                ),
+                FaultRule(SITE_DISPATCH, "slow", probability=1.0, param=0.2),
+                FaultRule(
+                    SITE_STORE_WRITE,
+                    "torn_artifact",
+                    probability=1.0,
+                    match="abcd",
+                ),
+            ],
+        )
+        clone = FaultPlan.from_spec(plan.to_spec())
+        assert clone.seed == plan.seed
+        assert clone.rules == plan.rules
+        # And survives a real JSON round trip (the env-var wire form).
+        again = FaultPlan.from_spec(json.loads(json.dumps(plan.to_spec())))
+        assert again.rules == plan.rules
+
+    @pytest.mark.parametrize(
+        "spec, message",
+        [
+            ([], "JSON object"),
+            ({"rules": {}}, "must be a list"),
+            ({"rules": ["x"]}, "JSON object"),
+            ({"seed": "nope"}, "seed"),
+            ({"rules": [{"site": "bogus.site", "kind": "crash"}]}, "site"),
+            ({"rules": [{"site": SITE_WORKER, "kind": "bit_rot"}]}, "kind"),
+            (
+                {
+                    "rules": [
+                        {
+                            "site": SITE_WORKER,
+                            "kind": "crash",
+                            "probability": 1.5,
+                        }
+                    ]
+                },
+                "probability",
+            ),
+            (
+                {"rules": [{"site": SITE_WORKER, "kind": "crash", "oops": 1}]},
+                "unknown fault rule field",
+            ),
+        ],
+    )
+    def test_malformed_specs_raise(self, spec, message):
+        with pytest.raises(FaultPlanError, match=message):
+            FaultPlan.from_spec(spec)
+
+
+class TestActivation:
+    def test_disabled_is_the_default(self):
+        assert faults.maybe_inject(SITE_WORKER, token="x") is None
+        assert faults.active_plan() is None
+
+    def test_explicit_activation(self):
+        plan = FaultPlan(
+            seed=0, rules=[FaultRule(SITE_WORKER, "crash", probability=1.0)]
+        )
+        faults.activate(plan)
+        rule = faults.maybe_inject(SITE_WORKER, token="x")
+        assert rule is not None and rule.kind == "crash"
+        faults.deactivate()
+        assert faults.maybe_inject(SITE_WORKER, token="x") is None
+
+    def test_env_activation_is_lazy(self, monkeypatch):
+        spec = {
+            "seed": 77,
+            "rules": [
+                {"site": SITE_WORKER, "kind": "crash", "probability": 1.0}
+            ],
+        }
+        monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps(spec))
+        faults.reset()  # forget the fixture's resolution
+        rule = faults.maybe_inject(SITE_WORKER, token="x")
+        assert rule is not None
+        assert faults.active_plan().seed == 77
+
+    def test_env_plan_malformed_raises(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "{not json")
+        faults.reset()
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            faults.maybe_inject(SITE_WORKER, token="x")
+
+    def test_deactivate_beats_env(self, monkeypatch):
+        monkeypatch.setenv(
+            FAULT_PLAN_ENV,
+            json.dumps(
+                {
+                    "rules": [
+                        {
+                            "site": SITE_WORKER,
+                            "kind": "crash",
+                            "probability": 1.0,
+                        }
+                    ]
+                }
+            ),
+        )
+        faults.reset()
+        faults.deactivate()
+        assert faults.maybe_inject(SITE_WORKER, token="x") is None

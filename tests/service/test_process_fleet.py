@@ -107,17 +107,29 @@ class TestProcessExecution:
 
 class TestCrashIsolation:
     def test_crashed_worker_fails_job_and_pool_recovers(self, fleet):
+        """A fingerprint that kills every worker it touches walks the
+        whole self-healing ladder: crash -> retry -> retry -> poison
+        quarantine (crash_retries=2 dispatches land exactly on the
+        poison_threshold=3 crash count)."""
         crash = fleet.submit(request(CRASH_SEED))
         fleet.wait(crash, timeout=60)
         assert crash.state == "failed"
-        assert crash.error_kind == "crash"
-        assert "died" in crash.error or "broken" in crash.error
+        assert crash.error_kind == "poison"
+        assert "quarantined" in crash.error
         # The fleet recovered: the same scheduler still executes.
         after = fleet.wait(fleet.submit(request(3)), timeout=60)
         assert after.state == "done"
         stats = fleet.stats()
-        assert stats["worker_crashes"] == 1
+        assert stats["worker_crashes"] == 3
+        assert stats["retries"] == 2
+        assert stats["poisoned"] == 1
         assert stats["lane_restarts"] >= 1
+        # Resubmitting a quarantined fingerprint fails fast — no worker
+        # process is fed to it again.
+        again = fleet.submit(request(CRASH_SEED))
+        assert again.state == "failed"
+        assert again.error_kind == "poison"
+        assert fleet.stats()["worker_crashes"] == 3
 
     def test_sibling_jobs_unaffected_by_crash(self, fleet):
         """One worker process dying must fail exactly its own job —
@@ -132,8 +144,9 @@ class TestCrashIsolation:
         for job in jobs:
             fleet.wait(job, timeout=60)
         assert jobs[0].state == "failed"
+        assert jobs[0].error_kind == "poison"
         assert [job.state for job in jobs[1:]] == ["done"] * 3
-        assert fleet.stats()["worker_crashes"] == 1
+        assert fleet.stats()["worker_crashes"] == 3
 
 
 class TestTimeoutsAndCancellation:

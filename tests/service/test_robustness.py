@@ -1,0 +1,842 @@
+"""Robustness tier: store integrity + quarantine, self-healing
+scheduler (crash retry, poison quarantine, supervision, degradation),
+hardened client transport, Retry-After clamping, the ``repro store
+scrub`` CLI verb, and shutdown hygiene under chaos.
+"""
+
+import io
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import faults
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.faults import (
+    FAULT_PLAN_ENV,
+    SITE_DISPATCH,
+    SITE_STORE_WRITE,
+    SITE_WORKER,
+    FaultPlan,
+    FaultRule,
+)
+from repro.service.request import CompileRequest
+from repro.service.scheduler import (
+    COLD_START_EXEC_ESTIMATE,
+    MAX_RETRY_AFTER,
+    MIN_RETRY_AFTER,
+    CoalescingScheduler,
+    LaneSupervisor,
+)
+from repro.service.store import (
+    QUARANTINE_DIR,
+    ResultStore,
+    ShardedResultStore,
+    StoredResult,
+)
+
+QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0], q[3];
+cx q[1], q[2];
+measure q -> c;
+"""
+
+
+def request(seed: int = 0, pipeline: str = "paper_default") -> CompileRequest:
+    return CompileRequest.from_payload(
+        {"qasm": QASM, "seed": seed, "trials": 1, "pipeline": pipeline}
+    )
+
+
+def entry(key: str, qasm: str = "OPENQASM 2.0;\n// artifact\n") -> StoredResult:
+    return StoredResult(
+        key=key,
+        routed_qasm=qasm,
+        metrics={"g_add": 3},
+        request={"device": "ibm_q20_tokyo"},
+        compile_seconds=0.1,
+        created_at=100.0,
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+# ----------------------------------------------------------------------
+# Store integrity
+# ----------------------------------------------------------------------
+
+
+class TestStoreIntegrity:
+    def test_bit_rot_is_quarantined_not_served(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(root=str(root))
+        store.put(entry("abcd" * 16))
+        key = "abcd" * 16
+        qasm_path = root / "ab" / f"{key}.qasm"
+        data = bytearray(qasm_path.read_bytes())
+        # One flipped bit, ASCII-preserving so the file still decodes
+        # and the failure is the checksum, not a codec error.
+        data[len(data) // 2] ^= 0x01
+        qasm_path.write_bytes(bytes(data))
+        store.clear_memory()
+        assert store.get(key) is None  # never served corrupt
+        assert store.stats()["quarantined"] == 1
+        qdir = root / QUARANTINE_DIR / "ab"
+        assert (qdir / f"{key}.qasm").exists()
+        assert (qdir / f"{key}.json").exists()
+        assert "artifact checksum" in (
+            (qdir / f"{key}.reason.txt").read_text()
+        )
+        # The shard no longer holds the corpse; a re-put repopulates.
+        assert not qasm_path.exists()
+        store.put(entry(key))
+        store.clear_memory()
+        assert store.get(key) is not None
+
+    def test_tampered_document_is_quarantined(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(root=str(root))
+        store.put(entry("beef" * 16))
+        path = root / "be" / ("beef" * 16 + ".json")
+        document = json.loads(path.read_text())
+        document["metrics"]["g_add"] = 0  # falsified metric
+        path.write_text(json.dumps(document))
+        store.clear_memory()
+        assert store.get("beef" * 16) is None
+        assert store.stats()["quarantined"] == 1
+
+    def test_injected_torn_write_is_caught_on_read(self, tmp_path):
+        faults.activate(
+            FaultPlan(
+                seed=0,
+                rules=[
+                    FaultRule(
+                        SITE_STORE_WRITE, "torn_artifact", probability=1.0
+                    )
+                ],
+            )
+        )
+        store = ResultStore(root=str(tmp_path / "store"))
+        store.put(entry("feed" * 16))
+        faults.deactivate()
+        store.clear_memory()
+        assert store.get("feed" * 16) is None
+        assert store.stats()["quarantined"] == 1
+
+    def test_injected_write_error_raises_oserror(self, tmp_path):
+        faults.activate(
+            FaultPlan(
+                seed=0,
+                rules=[
+                    FaultRule(SITE_STORE_WRITE, "write_error", probability=1.0)
+                ],
+            )
+        )
+        store = ResultStore(root=str(tmp_path / "store"))
+        with pytest.raises(OSError, match="injected store write"):
+            store.put(entry("dead" * 16))
+
+    def test_injected_bit_rot_on_read_path(self, tmp_path):
+        store = ResultStore(root=str(tmp_path / "store"))
+        store.put(entry("cafe" * 16))
+        store.clear_memory()
+        faults.activate(
+            FaultPlan(
+                seed=0,
+                rules=[
+                    FaultRule(
+                        faults.SITE_STORE_READ, "bit_rot", probability=1.0
+                    )
+                ],
+            )
+        )
+        assert store.get("cafe" * 16) is None
+        assert store.stats()["quarantined"] == 1
+
+    def test_recover_cleans_tmp_and_orphaned_metadata(self, tmp_path):
+        root = tmp_path / "store"
+        seed = ResultStore(root=str(root))
+        seed.put(entry("aaaa" * 16))
+        # Simulate an interrupted writer: a tmp dropping and a metadata
+        # document whose artifact never made it.
+        (root / "aa" / "leftover.tmp").write_text("partial")
+        (root / "bb").mkdir()
+        (root / "bb" / ("bbbb" * 16 + ".json")).write_text("{}")
+        store = ResultStore(root=str(root))
+        assert store.last_recovery == {
+            "tmp_removed": 1,
+            "orphaned_metadata": 1,
+        }
+        assert not (root / "aa" / "leftover.tmp").exists()
+        assert not (root / "bb" / ("bbbb" * 16 + ".json")).exists()
+        assert (
+            root / QUARANTINE_DIR / "bb" / ("bbbb" * 16 + ".json")
+        ).exists()
+        # The healthy entry survived recovery untouched.
+        assert store.get("aaaa" * 16) is not None
+
+    def test_scrub_reports_then_repairs(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(root=str(root))
+        for i in range(3):
+            store.put(entry(f"{i}{i}{i}{i}" * 16))
+        victim = root / "11" / ("1111" * 16 + ".qasm")
+        victim.write_text("OPENQASM 2.0;\n// tampered\n")
+        # Report-only: counts the damage, touches nothing.
+        report = store.scrub(repair=False)
+        assert report["scanned"] == 3
+        assert report["ok"] == 2
+        assert report["corrupt"] == 1
+        assert report["quarantined"] == 0
+        assert report["problems"] == [
+            {"key": "1111" * 16, "problem": "artifact checksum mismatch"}
+        ]
+        assert victim.exists()
+        # Repair: the corrupt entry moves to quarantine.
+        repaired = store.scrub(repair=True)
+        assert repaired["corrupt"] == 1
+        assert repaired["quarantined"] == 1
+        assert not victim.exists()
+        clean = store.scrub(repair=False)
+        assert clean["scanned"] == 2 and clean["corrupt"] == 0
+
+    def test_scrub_counts_orphans_tmp_and_version_mismatch(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(root=str(root))
+        store.put(entry("2222" * 16))
+        (root / "22" / "junk.tmp").write_text("x")
+        (root / "33").mkdir()
+        (root / "33" / ("3333" * 16 + ".qasm")).write_text("orphan")
+        path = root / "22" / ("2222" * 16 + ".json")
+        document = json.loads(path.read_text())
+        document["store_version"] = 999
+        path.write_text(json.dumps(document))
+        report = store.scrub(repair=False)
+        assert report["tmp_files"] == 1
+        assert report["orphaned_artifacts"] == 1
+        assert report["version_mismatch"] == 1
+        assert report["corrupt"] == 0  # a foreign version is not rot
+
+    def test_sharded_store_delegates_scrub_and_recover(self, tmp_path):
+        root = str(tmp_path / "store")
+        sharded = ShardedResultStore(root=root, num_shards=4)
+        for i in range(4):
+            sharded.put(entry(f"{i:064x}"))
+        report = sharded.scrub()
+        assert report["scanned"] == 4 and report["corrupt"] == 0
+        assert sharded.recover() == {"tmp_removed": 0, "orphaned_metadata": 0}
+        assert sharded.last_recovery["tmp_removed"] == 0
+        assert sharded.stats()["quarantined"] == 0
+
+
+# ----------------------------------------------------------------------
+# Self-healing scheduler
+# ----------------------------------------------------------------------
+
+
+def counting_compile_factory():
+    calls = []
+
+    def compile_fn(req, circuit=None, key=None):
+        calls.append(req.pipeline)
+        return StoredResult(
+            key=key,
+            routed_qasm=f"OPENQASM 2.0;\n// {req.pipeline}\n",
+            properties={"pass_timings": []},
+            request=req.summary(),
+        )
+
+    return compile_fn, calls
+
+
+class TestSelfHealing:
+    def test_transient_crash_recovers_via_retry(self):
+        req = request(1)
+        key = req.fingerprint()
+        # Crash attempt 0 only: the retry's token (#a1) never matches.
+        faults.activate(
+            FaultPlan(
+                seed=0,
+                rules=[
+                    FaultRule(
+                        SITE_DISPATCH,
+                        "crash",
+                        probability=1.0,
+                        match=f"{key}#a0",
+                    )
+                ],
+            )
+        )
+        compile_fn, calls = counting_compile_factory()
+        scheduler = CoalescingScheduler(
+            store=ResultStore(), workers=1, compile_fn=compile_fn
+        )
+        try:
+            job = scheduler.wait(scheduler.submit(req), timeout=30)
+            assert job.state == "done"
+            assert job.snapshot()["attempts"] == 2
+            assert len(calls) == 1  # crashed before reaching the compile
+            stats = scheduler.stats()
+            assert stats["retries"] == 1
+            assert stats["worker_crashes"] == 1
+            assert stats["poisoned"] == 0
+            assert stats["consecutive_crashes"] == 0  # reset on success
+        finally:
+            scheduler.shutdown()
+
+    def test_poison_quarantine_and_fail_fast(self):
+        req = request(2)
+        key = req.fingerprint()
+        faults.activate(
+            FaultPlan(
+                seed=0,
+                rules=[
+                    FaultRule(
+                        SITE_DISPATCH, "crash", probability=1.0, match=key
+                    )
+                ],
+            )
+        )
+        compile_fn, calls = counting_compile_factory()
+        scheduler = CoalescingScheduler(
+            store=ResultStore(),
+            workers=1,
+            compile_fn=compile_fn,
+            crash_retries=2,
+            poison_threshold=3,
+        )
+        try:
+            job = scheduler.wait(scheduler.submit(req), timeout=30)
+            assert job.state == "failed"
+            assert job.error_kind == "poison"
+            assert calls == []  # never survived to the compile
+            # Fail-fast on resubmission: no further crash is risked.
+            again = scheduler.submit(req)
+            assert again.state == "failed"
+            assert again.error_kind == "poison"
+            assert "refusing" in again.error
+            stats = scheduler.stats()
+            assert stats["worker_crashes"] == 3
+            assert stats["poisoned"] == 1
+            assert stats["poisoned_failures"] == 1
+            # A healthy sibling fingerprint is unaffected.
+            ok = scheduler.wait(scheduler.submit(request(3)), timeout=30)
+            assert ok.state == "done"
+        finally:
+            scheduler.shutdown()
+
+    def test_supervisor_backoff_ladder_and_breaker(self):
+        supervisor = LaneSupervisor(
+            backoff_base=0.1,
+            backoff_max=1.0,
+            breaker_threshold=3,
+            breaker_cooldown=7.5,
+        )
+        assert supervisor.record_failure() == pytest.approx(0.1)
+        assert supervisor.record_failure() == pytest.approx(0.2)
+        # Third consecutive failure trips the breaker.
+        assert supervisor.record_failure() == pytest.approx(7.5)
+        assert supervisor.breaker_open
+        assert supervisor.breaker_trips == 1
+        snap = supervisor.snapshot()
+        assert snap["breaker"] == "open"
+        assert snap["consecutive_failures"] == 3
+        supervisor.record_success()
+        assert not supervisor.breaker_open
+        assert supervisor.consecutive_failures == 0
+        # The ladder caps at backoff_max before the breaker re-trips.
+        supervisor.breaker_threshold = 10
+        for _ in range(8):
+            delay = supervisor.record_failure()
+        assert delay == pytest.approx(1.0)
+
+    def test_crash_retries_zero_fails_on_first_crash(self):
+        req = request(4)
+        faults.activate(
+            FaultPlan(
+                seed=0,
+                rules=[
+                    FaultRule(
+                        SITE_DISPATCH,
+                        "crash",
+                        probability=1.0,
+                        match=req.fingerprint(),
+                    )
+                ],
+            )
+        )
+        compile_fn, _ = counting_compile_factory()
+        scheduler = CoalescingScheduler(
+            store=ResultStore(),
+            workers=1,
+            compile_fn=compile_fn,
+            crash_retries=0,
+            poison_threshold=5,
+        )
+        try:
+            job = scheduler.wait(scheduler.submit(req), timeout=30)
+            assert job.state == "failed"
+            assert job.error_kind == "crash"
+            assert scheduler.stats()["retries"] == 0
+        finally:
+            scheduler.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation + health
+# ----------------------------------------------------------------------
+
+
+class GatedCompiler:
+    """Compile stand-in whose first job blocks until released, so the
+    test can pile up a queue behind it (deterministic pressure)."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.calls = []
+        self._lock = threading.Lock()
+
+    def __call__(self, req, circuit=None, key=None):
+        with self._lock:
+            first = not self.calls
+            self.calls.append(req.pipeline)
+        if first:
+            self.gate.wait(30)
+        return StoredResult(
+            key=key,
+            routed_qasm=f"OPENQASM 2.0;\n// {req.pipeline}\n",
+            properties={"pass_timings": []},
+            request=req.summary(),
+        )
+
+
+class TestDegradation:
+    def test_queue_pressure_degrades_and_recovers(self):
+        compiler = GatedCompiler()
+        store = ResultStore()
+        scheduler = CoalescingScheduler(
+            store=store,
+            workers=1,
+            compile_fn=compiler,
+            degrade=True,
+            degrade_queue_threshold=1,
+        )
+        try:
+            blocker = scheduler.submit(request(100))
+            queued = [scheduler.submit(request(seed)) for seed in (101, 102)]
+            # Pressure is visible while the queue is backed up.
+            deadline = time.monotonic() + 5
+            while scheduler.health() != "degraded":
+                assert time.monotonic() < deadline, "never became degraded"
+                time.sleep(0.01)
+            compiler.gate.set()
+            for job in (blocker, *queued):
+                scheduler.wait(job, timeout=30)
+            degraded = [job for job in queued if job.degraded]
+            assert degraded, "queue pressure never degraded a dispatch"
+            for job in degraded:
+                assert job.state == "done"
+                assert job.snapshot()["degraded"] is True
+                assert job.result.properties["degraded"] is True
+                assert (
+                    job.result.properties["degraded_from"] == "paper_default"
+                )
+                # Degraded artifacts are never persisted: the key
+                # promises the requested pipeline, not the fallback.
+                assert store.get(job.key) is None
+            assert "fast" in compiler.calls
+            # The blocker itself may also have been degraded (it can be
+            # dispatched after the queue already backed up) — count all.
+            all_degraded = [
+                job for job in (blocker, *queued) if job.degraded
+            ]
+            assert scheduler.stats()["degraded_executions"] == len(
+                all_degraded
+            )
+            # Pressure gone -> healthy again.
+            assert scheduler.health() == "ok"
+        finally:
+            compiler.gate.set()
+            scheduler.shutdown()
+
+    def test_degrade_off_by_default(self):
+        compiler = GatedCompiler()
+        scheduler = CoalescingScheduler(
+            store=ResultStore(),
+            workers=1,
+            compile_fn=compiler,
+            degrade_queue_threshold=1,  # pressure defined, degrade off
+        )
+        try:
+            blocker = scheduler.submit(request(200))
+            queued = scheduler.submit(request(201))
+            assert scheduler.health() == "ok"  # pressured but not degraded
+            compiler.gate.set()
+            for job in (blocker, queued):
+                scheduler.wait(job, timeout=30)
+            assert not queued.degraded
+            assert compiler.calls == ["paper_default", "paper_default"]
+        finally:
+            compiler.gate.set()
+            scheduler.shutdown()
+
+    def test_non_degradable_preset_is_never_downgraded(self):
+        compiler = GatedCompiler()
+        scheduler = CoalescingScheduler(
+            store=ResultStore(),
+            workers=1,
+            compile_fn=compiler,
+            degrade=True,
+            degrade_queue_threshold=1,
+        )
+        try:
+            # Every job is 'fast' — the preset with no cheaper
+            # fallback — so nothing may ever be downgraded, no matter
+            # when pressure is sampled.
+            blocker = scheduler.submit(request(300, pipeline="fast"))
+            queued = [
+                scheduler.submit(request(seed, pipeline="fast"))
+                for seed in (301, 302)
+            ]
+            compiler.gate.set()
+            for job in (blocker, *queued):
+                scheduler.wait(job, timeout=30)
+            assert all(not job.degraded for job in (blocker, *queued))
+            assert scheduler.stats()["degraded_executions"] == 0
+        finally:
+            compiler.gate.set()
+            scheduler.shutdown()
+
+    def test_draining_health_after_shutdown(self):
+        scheduler = CoalescingScheduler(store=ResultStore(), workers=1)
+        assert scheduler.health() == "ok"
+        scheduler.shutdown()
+        assert scheduler.health() == "draining"
+
+
+# ----------------------------------------------------------------------
+# Retry-After estimates
+# ----------------------------------------------------------------------
+
+
+class TestRetryAfterEstimate:
+    @pytest.fixture()
+    def scheduler(self):
+        scheduler = CoalescingScheduler(store=ResultStore(), workers=2)
+        yield scheduler
+        scheduler.shutdown()
+
+    def test_cold_start_uses_flat_estimate(self, scheduler):
+        """Before any job completes the EWMA is empty; the estimate
+        must not collapse to 0 (a thundering-herd retry storm)."""
+        scheduler._queued = 4
+        estimate = scheduler._retry_after_estimate()
+        assert estimate == pytest.approx(
+            (4 / 2) * COLD_START_EXEC_ESTIMATE
+        )
+
+    def test_clamped_to_floor(self, scheduler):
+        scheduler._queued = 1
+        scheduler._avg_exec_seconds = 1e-6
+        assert scheduler._retry_after_estimate() == MIN_RETRY_AFTER
+
+    def test_clamped_to_ceiling(self, scheduler):
+        scheduler._queued = 10_000
+        scheduler._avg_exec_seconds = 30.0
+        assert scheduler._retry_after_estimate() == MAX_RETRY_AFTER
+
+
+# ----------------------------------------------------------------------
+# Client transport retries
+# ----------------------------------------------------------------------
+
+
+class FakeResponse:
+    def __init__(self, payload):
+        self._payload = json.dumps(payload).encode("utf-8")
+
+    def read(self):
+        return self._payload
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+class TestClientRetries:
+    @pytest.fixture()
+    def fast_client(self, monkeypatch):
+        monkeypatch.setattr(ServiceClient, "CONNECT_BACKOFF_BASE", 0.001)
+        monkeypatch.setattr(ServiceClient, "CONNECT_BACKOFF_MAX", 0.002)
+        return ServiceClient("http://127.0.0.1:1")
+
+    def test_connection_errors_retry_until_success(
+        self, monkeypatch, fast_client
+    ):
+        attempts = []
+
+        def flaky(request, timeout=None):
+            attempts.append(request.full_url)
+            if len(attempts) < 3:
+                raise urllib.error.URLError(OSError(111, "refused"))
+            return FakeResponse({"status": "ok"})
+
+        monkeypatch.setattr(urllib.request, "urlopen", flaky)
+        assert fast_client.healthz() == {"status": "ok"}
+        assert len(attempts) == 3
+
+    def test_exhausted_retries_surface_attempt_count(
+        self, monkeypatch, fast_client
+    ):
+        calls = []
+
+        def refused(request, timeout=None):
+            calls.append(1)
+            raise urllib.error.URLError(OSError(111, "refused"))
+
+        monkeypatch.setattr(urllib.request, "urlopen", refused)
+        with pytest.raises(ServiceClientError, match="4 attempt"):
+            fast_client.healthz()
+        assert len(calls) == ServiceClient.CONNECT_ATTEMPTS
+        try:
+            fast_client.healthz()
+        except ServiceClientError as exc:
+            assert exc.attempts == ServiceClient.CONNECT_ATTEMPTS
+
+    def test_http_errors_are_never_retried(self, monkeypatch, fast_client):
+        """A 4xx/5xx is the server's verdict, not a transport flake —
+        retrying it would double-submit on a 500."""
+        calls = []
+
+        def rejecting(request, timeout=None):
+            calls.append(1)
+            raise urllib.error.HTTPError(
+                request.full_url,
+                400,
+                "bad request",
+                {},
+                io.BytesIO(b'{"error": "scripted rejection"}'),
+            )
+
+        monkeypatch.setattr(urllib.request, "urlopen", rejecting)
+        with pytest.raises(ServiceClientError, match="scripted rejection"):
+            fast_client.healthz()
+        assert len(calls) == 1
+        try:
+            fast_client.healthz()
+        except ServiceClientError as exc:
+            assert exc.status == 400
+            assert exc.attempts == 1
+
+    def test_retry_budget_caps_total_wait(self, monkeypatch):
+        monkeypatch.setattr(ServiceClient, "CONNECT_ATTEMPTS", 1000)
+        monkeypatch.setattr(ServiceClient, "CONNECT_RETRY_BUDGET", 0.05)
+        monkeypatch.setattr(ServiceClient, "CONNECT_BACKOFF_BASE", 0.02)
+        client = ServiceClient("http://127.0.0.1:1")
+
+        def refused(request, timeout=None):
+            raise urllib.error.URLError(OSError(111, "refused"))
+
+        monkeypatch.setattr(urllib.request, "urlopen", refused)
+        started = time.monotonic()
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.healthz()
+        assert time.monotonic() - started < 2.0
+        assert excinfo.value.attempts < 1000
+
+
+# ----------------------------------------------------------------------
+# CLI: repro store scrub
+# ----------------------------------------------------------------------
+
+
+class TestStoreScrubCLI:
+    def build_store(self, tmp_path, corrupt: bool):
+        root = tmp_path / "cli-store"
+        store = ResultStore(root=str(root))
+        for i in range(3):
+            store.put(entry(f"{i}{i}{i}{i}" * 16))
+        if corrupt:
+            (root / "11" / ("1111" * 16 + ".qasm")).write_text("// rotted\n")
+        return root
+
+    def test_report_only_exits_nonzero_on_corruption(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = self.build_store(tmp_path, corrupt=True)
+        assert main(["store", "scrub", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out
+        assert "artifact checksum mismatch" in out
+        # Report-only never mutates the tree.
+        assert not (root / QUARANTINE_DIR).exists()
+
+    def test_repair_quarantines_and_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = self.build_store(tmp_path, corrupt=True)
+        assert main(["store", "scrub", str(root), "--repair"]) == 0
+        assert (root / QUARANTINE_DIR).exists()
+        # The tree is clean now: report-only agrees.
+        assert main(["store", "scrub", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "0 corrupt" in out.splitlines()[-1]
+
+    def test_json_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = self.build_store(tmp_path, corrupt=False)
+        assert main(["store", "scrub", str(root), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["scanned"] == 3
+        assert report["corrupt"] == 0
+
+    def test_missing_store_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["store", "scrub", str(tmp_path / "absent")]) == 2
+        assert "no store" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Lane startup watchdog
+# ----------------------------------------------------------------------
+
+
+def _wedged_initializer(event) -> None:
+    """Stand-in for a worker stuck in fork bootstrap: never signals."""
+    time.sleep(60.0)
+
+
+class TestLaneStartupWatchdog:
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="needs the fork start method",
+    )
+    def test_silent_worker_is_recycled_not_waited_on(self, monkeypatch):
+        """A worker that never finishes bootstrap (the fork-with-
+        threads deadlock) must surface as LaneStartupError within
+        ready_timeout, with the wedged process terminated."""
+        import multiprocessing
+
+        from repro.service import workers as workers_module
+        from repro.service.workers import LaneStartupError, WorkerLane
+
+        # Patch the initializer to one that never signals readiness.
+        # Fork children inherit the patched module by memory copy, so
+        # this simulates a wedged bootstrap without relying on a race.
+        monkeypatch.setattr(
+            workers_module, "_signal_ready", _wedged_initializer
+        )
+        lane = WorkerLane(
+            compile_fn=quick_compile,
+            mp_context=multiprocessing.get_context("fork"),
+            ready_timeout=0.5,
+        )
+        try:
+            started = time.monotonic()
+            with pytest.raises(LaneStartupError, match="failed to start"):
+                lane.run(request(800), None, "k" * 64)
+            assert time.monotonic() - started < 10.0
+            assert lane.restarts == 1
+            deadline = time.monotonic() + 5
+            while lane.pids():
+                assert time.monotonic() < deadline, "wedged worker survived"
+                time.sleep(0.05)
+        finally:
+            lane.shutdown()
+
+    def test_healthy_worker_confirms_once_and_runs(self):
+        from repro.service.workers import WorkerLane
+
+        lane = WorkerLane(compile_fn=quick_compile, ready_timeout=20.0)
+        try:
+            first = lane.run(request(801), None, "a" * 64)
+            assert lane._ready_confirmed
+            second = lane.run(request(802), None, "b" * 64)
+            assert first.routed_qasm != second.routed_qasm
+            assert lane.restarts == 0
+        finally:
+            lane.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Shutdown hygiene under chaos (process tier)
+# ----------------------------------------------------------------------
+
+
+def quick_compile(req, circuit=None, key=None):
+    """Picklable trivial compile for the shutdown-chaos test."""
+    return StoredResult(
+        key=key or req.fingerprint(),
+        routed_qasm=f"OPENQASM 2.0;\n// seed {req.seed} pid {os.getpid()}\n",
+        request=req.summary(),
+    )
+
+
+class TestShutdownDuringChaos:
+    def test_shutdown_fails_pending_jobs_and_leaves_no_orphans(
+        self, monkeypatch
+    ):
+        """``shutdown(wait=True)`` while every worker hangs on an
+        injected fault: pending jobs resolve with ``error_kind:
+        "shutdown"``, nothing waits forever, and no worker process
+        outlives the scheduler."""
+        plan = {
+            "seed": 1,
+            "rules": [
+                {
+                    "site": SITE_WORKER,
+                    "kind": "hang",
+                    "param": 30.0,
+                    "probability": 1.0,
+                }
+            ],
+        }
+        # Via the environment so spawn-started workers inherit it too.
+        monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps(plan))
+        faults.reset()
+        scheduler = CoalescingScheduler(
+            store=ResultStore(),
+            workers=1,
+            compile_fn=quick_compile,
+            execution="process",
+            join_timeout=1.5,
+        )
+        jobs = [scheduler.submit(request(seed)) for seed in (900, 901, 902)]
+        deadline = time.monotonic() + 10
+        while jobs[0].state != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        scheduler.shutdown(wait=True)
+        for job in jobs:
+            assert job.finished, f"{job.id} still {job.state} after shutdown"
+            assert job.event.is_set()
+        # Whatever was never dispatched must carry the shutdown marker.
+        shutdown_failed = [j for j in jobs if j.error_kind == "shutdown"]
+        assert shutdown_failed, "no job failed with error_kind 'shutdown'"
+        for job in jobs:
+            assert job.error_kind in ("shutdown", "crash")
+        # No orphaned worker processes: every lane PID is gone.
+        deadline = time.monotonic() + 10
+        while scheduler.lane_pids():
+            assert (
+                time.monotonic() < deadline
+            ), f"orphaned workers: {scheduler.lane_pids()}"
+            time.sleep(0.05)

@@ -12,7 +12,12 @@ import threading
 import pytest
 
 from repro.exceptions import ReproError
-from repro.service.store import ResultStore, ShardedResultStore, StoredResult
+from repro.service.store import (
+    STORE_VERSION,
+    ResultStore,
+    ShardedResultStore,
+    StoredResult,
+)
 
 
 def entry(key: str, qasm: str = "OPENQASM 2.0;\n") -> StoredResult:
@@ -109,7 +114,10 @@ class TestDiskTier:
         assert (shard / "abcd1234.qasm").exists()
         document = json.loads((shard / "abcd1234.json").read_text())
         assert "routed_qasm" not in document  # artifact lives beside it
-        assert document["store_version"] == 1
+        assert document["store_version"] == STORE_VERSION
+        # Version 2 documents carry both integrity checksums.
+        assert len(document["artifact_sha256"]) == 64
+        assert len(document["document_sha256"]) == 64
 
     def test_no_tmp_droppings(self, tmp_path):
         root = tmp_path / "store"
