@@ -45,8 +45,23 @@ from array import array
 from bisect import bisect_left, insort
 from typing import List, Set
 
+import numpy as np
+
 from repro.circuits.circuit import QuantumCircuit
 from repro.exceptions import CircuitError
+
+#: Below this many gates a ready batch is executed with the scalar
+#: per-gate loop even when numpy is in play — same results either way
+#: (the bulk path reproduces the scalar decrement/release order), the
+#: threshold only dodges array-dispatch overhead on narrow fronts.
+_BULK_MIN_GATES = 8
+
+
+def _intc_view(buf: array) -> np.ndarray:
+    """Zero-copy numpy view of an ``array('i')`` (empty-safe)."""
+    if not len(buf):
+        return np.zeros(0, dtype=np.intc)
+    return np.frombuffer(buf, dtype=np.intc)
 
 
 class FlatDag:
@@ -104,6 +119,11 @@ class FlatDag:
         "succs",
         "roots",
         "routable",
+        "qubit_a_np",
+        "qubit_b_np",
+        "succ_off_np",
+        "succ_np",
+        "_indegree_arr",
         "_zero_bytes",
         "_zero_ints",
     )
@@ -183,6 +203,18 @@ class FlatDag:
         self.pred_off = pred_off
         self.pred = array("i", [p for lst in pred_lists for p in lst])
 
+        # Numpy mirrors for the router's batched paths: per-node operand
+        # arrays drive the vectorised ready scan, the CSR successor
+        # views (``succ_np`` zero-copy over the array('i') storage,
+        # offsets widened to intp for index arithmetic) drive the bulk
+        # pred-count decrement.  Shared read-only like everything else
+        # on a FlatDag.
+        self.qubit_a_np = np.array(qubit_a, dtype=np.intp)
+        self.qubit_b_np = np.array(qubit_b, dtype=np.intp)
+        self.succ_off_np = _intc_view(self.succ_off).astype(np.intp)
+        self.succ_np = _intc_view(self.succ)
+        self._indegree_arr = array("i", indegree)
+
         # Shared zero-fill sources for O(n) frontier resets: slice
         # assignment from these never allocates per reset.
         self._zero_bytes = bytes(num_nodes)
@@ -240,6 +272,7 @@ class FrontierState:
     __slots__ = (
         "dag",
         "remaining",
+        "_remaining_np",
         "executed",
         "front",
         "_front_sorted",
@@ -250,12 +283,19 @@ class FrontierState:
         "_virt_epoch",
         "_epoch",
         "_queue",
+        "track_front_log",
+        "front_log",
     )
 
     def __init__(self, dag: FlatDag) -> None:
         self.dag = dag
         n = dag.num_nodes
-        self.remaining: List[int] = list(dag.indegree)
+        # ``remaining`` lives in an array('i') so the bulk execute path
+        # can decrement through ``_remaining_np`` — a zero-copy numpy
+        # view of the *same* memory (no sync step; scalar and bulk
+        # writes see each other immediately).
+        self.remaining = array("i", dag.indegree)
+        self._remaining_np = _intc_view(self.remaining)
         self.executed = bytearray(n)
         self.front: Set[int] = set()
         self._front_sorted: List[int] = []
@@ -266,6 +306,10 @@ class FrontierState:
         self._virt_epoch: List[int] = [0] * n
         self._epoch = 0
         self._queue: List[int] = [0] * n
+        # Opt-in journal of front-layer insertions (vector router's
+        # incremental ready-check; see :meth:`drain_front_log`).
+        self.track_front_log = False
+        self.front_log: List[int] = []
         self._seed_roots()
 
     def reset(self) -> None:
@@ -276,7 +320,7 @@ class FrontierState:
         fresh frontiers (a property test pins this down).
         """
         dag = self.dag
-        self.remaining[:] = dag.indegree
+        self.remaining[:] = dag._indegree_arr
         self.executed[:] = dag._zero_bytes
         self.front.clear()
         self._front_sorted.clear()
@@ -285,6 +329,7 @@ class FrontierState:
         self.num_executed = 0
         self._epoch = 0
         self._virt_epoch[:] = dag._zero_ints
+        self.front_log.clear()
         self._seed_roots()
 
     def _seed_roots(self) -> None:
@@ -295,6 +340,8 @@ class FrontierState:
         if self.dag.two_qubit[index]:
             self.front.add(index)
             insort(self._front_sorted, index)
+            if self.track_front_log:
+                self.front_log.append(index)
         else:
             self._ready_other.append(index)
 
@@ -304,6 +351,22 @@ class FrontierState:
     def done(self) -> bool:
         """True when every gate has been executed."""
         return self.num_executed == self.dag.num_nodes
+
+    def drain_front_log(self) -> List[int]:
+        """Return (and forget) front insertions since the last drain.
+
+        Only populated while ``track_front_log`` is set.  The vector
+        router uses this for an O(1) per-step ready-check: a stuck
+        front gate can only become executable if one of its qubits was
+        just SWAPped or if it just entered the front — so scanning the
+        whole front every iteration is redundant.
+        """
+        log = self.front_log
+        if not log:
+            return log
+        drained = log[:]
+        log.clear()
+        return drained
 
     def front_list(self) -> List[int]:
         """The front layer, ascending — cached, never re-sorted.
@@ -349,9 +412,54 @@ class FrontierState:
         exactly what the router's ready scan produces (it filters
         :meth:`front_list`), so the per-gate membership bookkeeping of
         :meth:`execute_front_gate` is hoisted out of the hot path.
+
+        Wide batches take the bulk numpy path: one gather over the CSR
+        successor arrays, one ``np.subtract.at`` pred-count decrement,
+        and released nodes classified in the exact order the scalar
+        loop would have (a node releases when its count hits zero, i.e.
+        at its *last* occurrence in the batch's successor stream).
         """
         front = self.front
         fs = self._front_sorted
+        if len(indices) >= _BULK_MIN_GATES:
+            executed = self.executed
+            for index in indices:
+                front.remove(index)
+                if executed[index]:
+                    raise CircuitError(f"node {index} already executed")
+                executed[index] = 1
+            if len(indices) == len(fs):
+                fs.clear()
+            else:
+                dropped = set(indices)
+                fs[:] = [x for x in fs if x not in dropped]
+            self.num_executed += len(indices)
+            dag = self.dag
+            off = dag.succ_off_np
+            idx = np.fromiter(indices, dtype=np.intp, count=len(indices))
+            starts = off[idx]
+            counts = off[idx + 1] - starts
+            total = int(counts.sum())
+            if not total:
+                return
+            # CSR expansion of the batch's successor stream (gate order,
+            # ascending successors within a gate — the scalar order).
+            reps = np.repeat(np.arange(len(idx)), counts)
+            shift = np.cumsum(counts) - counts
+            pos = np.arange(total) - shift[reps] + starts[reps]
+            sucs = dag.succ_np[pos]
+            rem = self._remaining_np
+            np.subtract.at(rem, sucs, 1)
+            rel = sucs[rem[sucs] == 0]
+            if len(rel):
+                # Dedup to last occurrence, keeping stream order: the
+                # scalar loop classifies a node at the decrement that
+                # zeroes its count, which is its last occurrence.
+                uniq, first_in_rev = np.unique(rel[::-1], return_index=True)
+                classify = self._classify
+                for s in uniq[np.argsort(-first_in_rev)].tolist():
+                    classify(s)
+            return
         execute = self._execute
         for index in indices:
             front.remove(index)

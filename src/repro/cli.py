@@ -26,9 +26,11 @@ the multi-trial engine (:mod:`repro.engine`): ``--pipeline`` selects a
 named preset, ``--noise-aware`` / ``--bridge`` /
 ``--legalize-directions`` compose extension passes onto it,
 ``--trials`` sets the best-of-K seed pool, ``--jobs`` fans trials
-across worker processes, ``--objective`` picks the winner metric, and
-``--verbose`` prints the per-pass timing breakdown recorded in the
-result's property set.
+across worker processes, ``--executor ensemble`` routes all trials in
+lockstep through the batched vector kernel instead, ``--scorer``
+selects the scoring implementation, ``--objective`` picks the winner
+metric, and ``--verbose`` prints the per-pass timing breakdown
+recorded in the result's property set.
 """
 
 from __future__ import annotations
@@ -107,8 +109,12 @@ def _cmd_map(args: argparse.Namespace) -> int:
             else IBM_Q20_TOKYO_NOISE
         )
     # The pipeline upgrades executor=None to the serial engine when a
-    # non-default objective needs it; the CLI only decides pool width.
-    executor = "process" if args.jobs > 1 else None
+    # non-default objective needs it; with --executor auto the CLI only
+    # decides pool width, otherwise the user's choice passes through.
+    if args.executor == "auto":
+        executor = "process" if args.jobs > 1 else None
+    else:
+        executor = args.executor
     result = pipeline.run(
         circuit,
         device,
@@ -383,9 +389,18 @@ def build_parser() -> argparse.ArgumentParser:
     map_p.add_argument(
         "--scorer",
         default="auto",
-        choices=("auto", "fast", "reference"),
+        choices=("auto", "vector", "fast", "reference"),
         help="candidate-SWAP scoring implementation (auto reads "
-        "$REPRO_SCORER, defaulting to the fast delta scorer)",
+        "$REPRO_SCORER, defaulting to the batched numpy vector scorer)",
+    )
+    map_p.add_argument(
+        "--executor",
+        default="auto",
+        choices=("auto", "serial", "process", "ensemble"),
+        help="trial fan-out strategy: serial loop, process pool sized "
+        "by --jobs, or the trial-major lockstep ensemble that routes "
+        "every seed through one batched vector kernel (auto picks "
+        "process when --jobs > 1, else lets the pipeline decide)",
     )
     map_p.add_argument("--delta", type=float, default=0.001)
     map_p.add_argument("--extended-set", type=int, default=20)

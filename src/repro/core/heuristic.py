@@ -19,6 +19,8 @@ import os
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.circuits.gates import Gate
 from repro.exceptions import MappingError
 
@@ -26,7 +28,7 @@ from repro.exceptions import MappingError
 MODES = ("basic", "lookahead", "decay")
 
 #: Concrete scorer implementations (see :func:`resolve_scorer`).
-SCORERS = ("fast", "reference")
+SCORERS = ("vector", "fast", "reference")
 
 #: Environment knob consulted when ``HeuristicConfig.scorer == "auto"``.
 SCORER_ENV_VAR = "REPRO_SCORER"
@@ -54,14 +56,16 @@ class HeuristicConfig:
             the term vanishes; with a noise-weighted matrix it makes
             the router pay for executing 3 CNOTs on a noisy coupler
             (see :mod:`repro.extensions.noise_aware`).
-        scorer: candidate-SWAP scoring implementation.  ``"fast"`` is
-            the flat-array delta scorer (:mod:`repro.core.scoring`,
+        scorer: candidate-SWAP scoring implementation.  ``"vector"``
+            scores every candidate of a step in one batched numpy
+            kernel over the flat distance buffer; ``"fast"`` is the
+            scalar flat-array delta scorer (:mod:`repro.core.scoring`,
             ``O(deg)`` per candidate); ``"reference"`` recomputes the
             full Eq. 2 sum per candidate exactly as written in the
-            paper.  Both produce identical routed circuits (the
+            paper.  All three produce identical routed circuits (the
             differential suite enforces it).  The default ``"auto"``
             reads the ``REPRO_SCORER`` environment variable and falls
-            back to ``"fast"``.
+            back to ``"vector"``.
     """
 
     mode: str = "decay"
@@ -109,10 +113,10 @@ def resolve_scorer(value: str) -> str:
 
     ``"auto"`` consults the ``REPRO_SCORER`` environment variable
     (read at resolution time, so tests and profiling sessions can flip
-    it per process) and defaults to ``"fast"``.
+    it per process) and defaults to ``"vector"``.
     """
     if value == "auto":
-        value = os.environ.get(SCORER_ENV_VAR, "").strip().lower() or "fast"
+        value = os.environ.get(SCORER_ENV_VAR, "").strip().lower() or "vector"
     if value not in SCORERS:
         raise MappingError(
             f"unknown scorer {value!r}; choose from {SCORERS} "
@@ -156,6 +160,50 @@ class DecayTracker:
     def reset(self) -> None:
         """Forget all decay (called on reset interval and gate execution)."""
         self.values = [1.0] * len(self.values)
+        self._steps = 0
+
+
+class DecayArray:
+    """Numpy-backed :class:`DecayTracker` for the vector scorer.
+
+    Same semantics, same float arithmetic (IEEE double either way), but
+    ``values`` is an ``np.ndarray`` so the batched kernel can gather
+    ``max(decay(q1), decay(q2))`` for every candidate in one op.  The
+    backing buffer may be passed in (the trial ensemble hands each
+    trial a row view of its ``(K, n)`` decay matrix).
+    """
+
+    __slots__ = ("delta", "reset_interval", "values", "_steps")
+
+    def __init__(
+        self,
+        num_qubits: int,
+        delta: float,
+        reset_interval: int,
+        values: "np.ndarray" = None,
+    ) -> None:
+        self.delta = delta
+        self.reset_interval = reset_interval
+        if values is None:
+            values = np.ones(num_qubits)
+        else:
+            values.fill(1.0)
+        self.values = values
+        self._steps = 0
+
+    def factor(self, q1: int, q2: int) -> float:
+        v = self.values
+        return v[q1] if v[q1] >= v[q2] else v[q2]
+
+    def record_swap(self, q1: int, q2: int) -> None:
+        self.values[q1] += self.delta
+        self.values[q2] += self.delta
+        self._steps += 1
+        if self._steps >= self.reset_interval:
+            self.reset()
+
+    def reset(self) -> None:
+        self.values.fill(1.0)
         self._steps = 0
 
 

@@ -11,19 +11,32 @@ SWAPs that associate with at least one qubit in the front layer are the
 candidate SWAPs"), i.e. ``O(N)`` candidates instead of the ``O(exp(N))``
 mapping combinations of the A* baseline.
 
-Candidate scoring has two interchangeable implementations (selected via
-:attr:`HeuristicConfig.scorer` or the ``REPRO_SCORER`` environment
-variable, default ``fast``):
+Candidate scoring has three interchangeable implementations (selected
+via :attr:`HeuristicConfig.scorer` or the ``REPRO_SCORER`` environment
+variable, default ``vector``):
 
-- ``fast`` — the flat-array delta scorer of :mod:`repro.core.scoring`:
-  per-step base sums over ``F``/``E`` plus an ``O(deg)`` adjustment of
-  only the terms touching the two swapped qubits.
+- ``vector`` — batched numpy kernel (:class:`~repro.core.scoring.
+  VectorBlock`): every step scores *all* device edges with a fixed
+  sequence of array ops over device-constant index tables, masking
+  non-candidates to ``+inf``.  The routing loop runs as a generator
+  (:meth:`SabreRouter._route_vector`) that yields at each scoring
+  step; solo runs drive it with a one-row block, and the trial
+  ensemble (:mod:`repro.engine.ensemble`) drives K generators in
+  lockstep against one K-row block so a whole fleet of trials shares
+  each kernel call.  Narrow fronts are scored by a scalar delta loop
+  inside the generator (numpy dispatch would dominate), so small
+  circuits never pay array overhead.
+- ``fast`` — the scalar flat-array delta scorer of
+  :mod:`repro.core.scoring`: per-step base sums over ``F``/``E`` plus
+  an ``O(deg)`` adjustment of only the terms touching the two swapped
+  qubits.
 - ``reference`` — the paper-literal path: temporarily apply the SWAP and
   recompute the full Eq. 2 sum (:func:`repro.core.heuristic.score_layout`).
 
-Both walk the same sorted candidate list and therefore produce identical
-winner sets, identical tie-breaks, and identical routed circuits for
-identical seeds — the differential test suite enforces this.
+All three walk the same sorted candidate order and therefore produce
+identical winner sets, identical tie-breaks, and identical routed
+circuits for identical seeds — the differential test suite enforces
+this.
 
 The traversal itself runs over the compile-once flat IR of
 :mod:`repro.circuits.flatdag`: :meth:`SabreRouter.run` accepts either a
@@ -43,23 +56,36 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
 
+import numpy as np
+
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.depth import _DIRECTIVE_NAMES as _DEPTH_SKIP
 from repro.circuits.flatdag import FlatDag, FrontierState
 from repro.circuits.gates import Gate, remap_gate, swap_gate
 from repro.core.heuristic import (
+    DecayArray,
     DecayTracker,
     HeuristicConfig,
     resolve_scorer,
     score_layout,
 )
 from repro.core.layout import Layout
-from repro.core.scoring import FlatDistance, RouterState
+from repro.core.scoring import (
+    SCORE_EPSILON,
+    FlatDistance,
+    RouterState,
+    VectorBlock,
+    VectorDevice,
+)
 from repro.exceptions import MappingError
 from repro.hardware.coupling import CouplingGraph
 from repro.hardware.distance import bfs_flat_distance
 
 #: Scores within this tolerance are considered tied (random tie-break).
-_SCORE_EPSILON = 1e-9
+_SCORE_EPSILON = SCORE_EPSILON
+
+#: Shared row tuple for the solo vector driver (avoids a per-step alloc).
+_SOLO_ROWS = (0,)
 
 
 @dataclass
@@ -130,6 +156,35 @@ class RoutingResult:
         return state
 
 
+@dataclass
+class SearchTrace:
+    """Record of one no-emission routing traversal (search mode).
+
+    The layout-search phases of the trial ensemble never consume the
+    routed circuits of losing traversals — only each trial's winning
+    forward traversal is turned into a real circuit, by replaying its
+    SWAP decisions (:meth:`SabreRouter._replay`).  A trace therefore
+    carries just the selection key (``num_swaps``, ``depth``), the SWAP
+    record that makes the traversal mechanically reproducible, and the
+    layout endpoints.
+
+    ``depth`` equals ``circuit_depth(replayed.circuit)`` by
+    construction: the search maintains the same per-wire ASAP counters
+    over the gates it *would* have emitted.  ``escapes`` marks spans of
+    ``swaps`` applied by the livelock hatch back-to-back (the replay
+    must not run its ready scan inside such a span, mirroring the
+    search loop's behaviour).
+    """
+
+    initial_layout: Layout
+    final_layout: Layout
+    num_swaps: int
+    depth: int
+    swaps: List[Tuple[int, int]]
+    escapes: List[Tuple[int, int]] = field(default_factory=list)
+    num_forced_escapes: int = 0
+
+
 class SabreRouter:
     """One-traversal SWAP-based heuristic search (Algorithm 1).
 
@@ -182,8 +237,8 @@ class SabreRouter:
         # the flat buffer, so the fast path never pays the O(N^2) copy.
         self._dist_nested: Optional[List[List[float]]] = None
         self.scorer = resolve_scorer(self.config.scorer)
-        if self.scorer == "fast" and not self.flat_dist.symmetric:
-            # The delta scorer skips gates between the two swapped
+        if self.scorer in ("fast", "vector") and not self.flat_dist.symmetric:
+            # The delta scorers skip gates between the two swapped
             # qubits, which is only exact for symmetric matrices (all
             # in-repo matrices are).  Fall back rather than mis-score.
             self.scorer = "reference"
@@ -196,9 +251,21 @@ class SabreRouter:
         #: Adjacency as sets for the O(1) executability test in the
         #: main loop (bypasses CouplingGraph's bounds-checked API).
         self._adjacency: List[Set[int]] = [set(nbs) for nbs in self.neighbors]
+        if self.scorer == "vector":
+            #: Device-constant kernel tables, shared read-only by every
+            #: run's VectorBlock.
+            self._vdev: Optional[VectorDevice] = VectorDevice(
+                self.flat_dist, self.neighbors
+            )
+        else:
+            self._vdev = None
         if stall_limit is None:
             stall_limit = max(64, 16 * coupling.diameter())
         self.stall_limit = stall_limit
+        #: Interned SWAP gates keyed ``pa * N + pb``: the router emits
+        #: the same few hundred physical SWAPs millions of times per
+        #: layout sweep, and Gate is immutable, so sharing is safe.
+        self._swap_cache: dict = {}
         #: Test seam: when set, called once per SWAP selection with the
         #: list of best-scoring (qa, qb) pairs *before* the tie-break.
         self.on_winner_set: Optional[
@@ -278,18 +345,24 @@ class SabreRouter:
                     "build one FrontierState per FlatDag and reuse it"
                 )
             frontier.reset()
-        decay = DecayTracker(
-            n_physical, self.config.decay_delta, self.config.decay_reset_interval
-        )
+        if self.scorer == "vector":
+            return self._drive_solo(ir, layout, rng, frontier)
         # The reference path regenerates candidates from scratch and
         # rescores in full, so it gets no state to maintain — keeping
         # its timings an honest baseline.
-        fast = self.scorer == "fast"
-        state = (
+        decay = DecayTracker(
+            n_physical,
+            self.config.decay_delta,
+            self.config.decay_reset_interval,
+        )
+        state: Optional[RouterState] = (
             RouterState(
-                self.flat_dist, self.neighbors, self.config, buf=self._buf_list
+                self.flat_dist,
+                self.neighbors,
+                self.config,
+                buf=self._buf_list,
             )
-            if fast
+            if self.scorer == "fast"
             else None
         )
 
@@ -339,7 +412,13 @@ class SabreRouter:
                 front_dirty = True
                 continue
             if stall >= self.stall_limit:
-                self._escape(frontier, layout, out, swap_positions, state)
+                self._escape(
+                    frontier,
+                    layout,
+                    lambda qa, qb: self._apply_swap(
+                        qa, qb, layout, out, swap_positions, state
+                    ),
+                )
                 num_escapes += 1
                 stall = 0
                 decay.reset()
@@ -354,7 +433,7 @@ class SabreRouter:
                 ext_nodes = (
                     frontier.extended_nodes(ext_size) if uses_lookahead else []
                 )
-                if fast:
+                if state is not None:
                     state.set_front(
                         [pairs[i] for i in front_nodes],
                         [pairs[i] for i in ext_nodes],
@@ -377,6 +456,471 @@ class SabreRouter:
             num_swaps=len(swap_positions),
             swap_positions=swap_positions,
             num_forced_escapes=num_escapes,
+        )
+
+    # ------------------------------------------------------------------
+    # Vector path: generator traversal + drivers
+    # ------------------------------------------------------------------
+
+    def _drive_solo(
+        self,
+        ir: FlatDag,
+        layout: Layout,
+        rng: random.Random,
+        frontier: FrontierState,
+    ) -> RoutingResult:
+        """Drive one vector-scorer traversal with a one-row block."""
+        block = VectorBlock(
+            self._vdev, self.neighbors, self.config, self._buf_list, rows=1
+        )
+        decay = DecayArray(
+            self.coupling.num_qubits,
+            self.config.decay_delta,
+            self.config.decay_reset_interval,
+            values=block.dv[0],
+        )
+        gen = self._route_vector(ir, layout, rng, frontier, block, 0, decay)
+        rngs = (rng,)
+        try:
+            gen.send(None)
+            while True:
+                gen.send(
+                    block.score_rows(
+                        _SOLO_ROWS,
+                        rngs,
+                        emit_sets=self.on_winner_set is not None,
+                    )[0]
+                )
+        except StopIteration as stop:
+            return stop.value
+
+    def _route_vector(
+        self,
+        ir: FlatDag,
+        layout: Layout,
+        rng: random.Random,
+        frontier: FrontierState,
+        block: VectorBlock,
+        row: int,
+        decay: DecayArray,
+        emitting: bool = True,
+    ):
+        """One routing traversal as a generator (vector scorer).
+
+        Structurally the same loop as :meth:`run`'s scalar body, but
+        candidate scoring on wide fronts happens *outside*: the
+        generator yields its block row index whenever it needs a
+        kernel-scored step and receives the winner triples back via
+        ``send``.  Narrow fronts are scored inline (scalar loop).  The
+        driver owns the kernel call — :meth:`_drive_solo` scores one
+        row at a time, the trial ensemble scores every stuck trial's
+        row in a single call.  Returns (via ``StopIteration.value``)
+        the same :class:`RoutingResult` as :meth:`run`.
+
+        With ``emitting=False`` the traversal runs in *search mode*: no
+        output circuit is built at all.  The loop makes the identical
+        SWAP decisions (same scoring, same RNG stream) but tracks only
+        what traversal selection needs — the SWAP count, a per-wire
+        ASAP depth mirror of the circuit it would have emitted, and the
+        SWAP record itself — returning a :class:`SearchTrace`.  The
+        trial ensemble routes every search traversal this way and
+        replays only each trial's winner (:meth:`_replay`) into a real,
+        byte-identical circuit.
+        """
+        initial = layout.copy()
+        num_escapes = 0
+        stall = 0
+        l2p = layout.l2p
+        p2l = layout.p2l
+        gates = ir.gates
+        pairs = ir.pairs
+        qubit_a = ir.qubit_a
+        qubit_b = ir.qubit_b
+        qa_np = ir.qubit_a_np
+        qb_np = ir.qubit_b_np
+        adjacency = self._adjacency
+        uses_lookahead = self.config.uses_lookahead
+        uses_decay = self.config.uses_decay
+        ext_size = self.config.extended_set_size
+        narrow = block.narrow
+        block.bind_layout(row, l2p)
+        record_swap = decay.record_swap
+        note_chosen = block.note_chosen
+        drain_nonrouting = frontier.drain_nonrouting
+        # Row mirrors of the block, pre-bound for the inlined
+        # ``VectorBlock.on_swap`` in ``apply_swap`` below (the method
+        # body is replicated here — this path runs every SWAP of every
+        # trial, and the per-call attribute walk was measurable).
+        nd = block.device.n
+        b_pl = block.pl[row]
+        b_l2 = block.l2p[row]
+        b_pfq = block.pfq[row]
+        b_hm = block.hm[row]
+
+        # Incremental ready-check state: ``fgate`` maps each logical
+        # qubit to its (unique) front gate; ``check`` holds the only
+        # gates that could have become executable since the last scan —
+        # gates whose qubit was just SWAPped plus fresh front entries.
+        fgate: dict = {}
+        check: List[int] = []
+
+        if emitting:
+            out = QuantumCircuit(
+                self.coupling.num_qubits,
+                f"{ir.name}_routed",
+                max(ir.num_clbits, 1),
+            )
+            swap_positions: List[int] = []
+            emit = out.append_unchecked
+            swap_cache = self._swap_cache
+
+            def apply_swap(qa: int, qb: int) -> None:
+                pa = l2p[qa]
+                pb = l2p[qb]
+                swap_positions.append(out.num_gates)
+                key = pa * nd + pb
+                g = swap_cache.get(key)
+                if g is None:
+                    g = swap_cache[key] = swap_gate(pa, pb)
+                emit(g)
+                l2p[qa] = pb
+                l2p[qb] = pa
+                p2l[pa] = qb
+                p2l[pb] = qa
+                b_pl[pa] = qb
+                b_pl[pb] = qa
+                b_l2[qa] = pb
+                b_l2[qb] = pa
+                if not narrow[row]:
+                    x = b_pfq[qa]
+                    y = b_pfq[qb]
+                    b_pl[nd + pb] = b_l2[x] if x >= 0 else -1
+                    b_pl[nd + pa] = b_l2[y] if y >= 0 else -1
+                    if x >= 0:
+                        b_pl[nd + b_l2[x]] = pb
+                    if y >= 0:
+                        b_pl[nd + b_l2[y]] = pa
+                    ax = x >= 0
+                    bx = y >= 0
+                    if ax != bx:
+                        if ax:
+                            b_hm[pa] = False
+                            b_hm[pb] = True
+                        else:
+                            b_hm[pb] = False
+                            b_hm[pa] = True
+                g1 = fgate.get(qa)
+                if g1 is not None:
+                    check.append(g1)
+                g2 = fgate.get(qb)
+                if g2 is not None and g2 is not g1:
+                    check.append(g2)
+
+            def flush() -> None:
+                for index in drain_nonrouting():
+                    emit(remap_gate(gates[index], l2p))
+
+        else:
+            # Search mode: per-wire ASAP counters stand in for the
+            # circuit (``circuit_depth`` over the same gate stream),
+            # and the decision record makes the traversal replayable.
+            wire = [0] * self.coupling.num_qubits
+            rec: List[Tuple[int, int]] = []
+            rec_push = rec.append
+            escapes: List[Tuple[int, int]] = []
+
+            def apply_swap(qa: int, qb: int) -> None:
+                pa = l2p[qa]
+                pb = l2p[qb]
+                rec_push((qa, qb))
+                wa = wire[pa]
+                wb = wire[pb]
+                end = (wa if wa >= wb else wb) + 1
+                wire[pa] = end
+                wire[pb] = end
+                l2p[qa] = pb
+                l2p[qb] = pa
+                p2l[pa] = qb
+                p2l[pb] = qa
+                b_pl[pa] = qb
+                b_pl[pb] = qa
+                b_l2[qa] = pb
+                b_l2[qb] = pa
+                if not narrow[row]:
+                    x = b_pfq[qa]
+                    y = b_pfq[qb]
+                    b_pl[nd + pb] = b_l2[x] if x >= 0 else -1
+                    b_pl[nd + pa] = b_l2[y] if y >= 0 else -1
+                    if x >= 0:
+                        b_pl[nd + b_l2[x]] = pb
+                    if y >= 0:
+                        b_pl[nd + b_l2[y]] = pa
+                    ax = x >= 0
+                    bx = y >= 0
+                    if ax != bx:
+                        if ax:
+                            b_hm[pa] = False
+                            b_hm[pb] = True
+                        else:
+                            b_hm[pb] = False
+                            b_hm[pa] = True
+                g1 = fgate.get(qa)
+                if g1 is not None:
+                    check.append(g1)
+                g2 = fgate.get(qb)
+                if g2 is not None and g2 is not g1:
+                    check.append(g2)
+
+            def flush() -> None:
+                for index in drain_nonrouting():
+                    g = gates[index]
+                    if g.name in _DEPTH_SKIP:
+                        continue
+                    qs = g.qubits
+                    if len(qs) == 1:
+                        wire[l2p[qs[0]]] += 1
+                    elif qs:
+                        end = max(wire[l2p[q]] for q in qs) + 1
+                        for q in qs:
+                            wire[l2p[q]] = end
+
+        flush()
+        frontier.track_front_log = True
+        frontier.front_log.clear()
+        for index in frontier.front_list():
+            fgate[qubit_a[index]] = index
+            fgate[qubit_b[index]] = index
+        check.extend(frontier.front_list())
+        front_dirty = True
+        while not frontier.done:
+            if check:
+                if len(check) > 1:
+                    ready = [
+                        index
+                        for index in sorted(set(check))
+                        if l2p[qubit_b[index]] in adjacency[l2p[qubit_a[index]]]
+                    ]
+                else:
+                    index = check[0]
+                    ready = (
+                        [index]
+                        if l2p[qubit_b[index]] in adjacency[l2p[qubit_a[index]]]
+                        else []
+                    )
+                check.clear()
+            else:
+                ready = []
+            if ready:
+                frontier.execute_front_batch(ready)
+                if emitting:
+                    for index in ready:
+                        emit(remap_gate(gates[index], l2p))
+                        del fgate[qubit_a[index]]
+                        del fgate[qubit_b[index]]
+                else:
+                    for index in ready:
+                        qa = qubit_a[index]
+                        qb = qubit_b[index]
+                        pa = l2p[qa]
+                        pb = l2p[qb]
+                        wa = wire[pa]
+                        wb = wire[pb]
+                        end = (wa if wa >= wb else wb) + 1
+                        wire[pa] = end
+                        wire[pb] = end
+                        del fgate[qa]
+                        del fgate[qb]
+                flush()
+                released = frontier.drain_front_log()
+                for index in released:
+                    fgate[qubit_a[index]] = index
+                    fgate[qubit_b[index]] = index
+                check.extend(released)
+                decay.reset()
+                stall = 0
+                front_dirty = True
+                continue
+            if stall >= self.stall_limit:
+                if emitting:
+                    self._escape(frontier, layout, apply_swap)
+                else:
+                    span = len(rec)
+                    self._escape(frontier, layout, apply_swap)
+                    escapes.append((span, len(rec) - span))
+                note_chosen(row)
+                num_escapes += 1
+                stall = 0
+                decay.reset()
+                front_dirty = True
+                continue
+            if front_dirty:
+                front_nodes = frontier.front_list()
+                ext_nodes = (
+                    frontier.extended_nodes(ext_size) if uses_lookahead else []
+                )
+                block.set_front(
+                    row, front_nodes, ext_nodes, qa_np, qb_np, pairs, l2p
+                )
+                front_dirty = False
+            if narrow[row]:
+                best = block.score_scalar(
+                    row, l2p, p2l, decay.values, uses_decay
+                )
+                if self.on_winner_set is not None:
+                    self.on_winner_set([(qa, qb) for qa, qb, _ in best])
+                qa, qb, eidx = (
+                    best[0] if len(best) == 1 else rng.choice(best)
+                )
+            else:
+                # Kernel-scored step: _choose already folded the
+                # winning lane's deltas into the row's running sums.
+                qa, qb, eidx, wset = yield row
+                if wset is not None:
+                    self.on_winner_set(wset)
+            apply_swap(qa, qb)
+            record_swap(qa, qb)
+            stall += 1
+
+        frontier.track_front_log = False
+        if not emitting:
+            return SearchTrace(
+                initial_layout=initial,
+                final_layout=layout,
+                num_swaps=len(rec),
+                depth=max(wire) if wire else 0,
+                swaps=rec,
+                escapes=escapes,
+                num_forced_escapes=num_escapes,
+            )
+        return RoutingResult(
+            circuit=out,
+            initial_layout=initial,
+            final_layout=layout,
+            num_swaps=len(swap_positions),
+            swap_positions=swap_positions,
+            num_forced_escapes=num_escapes,
+        )
+
+    def _replay(
+        self,
+        ir: FlatDag,
+        layout: Layout,
+        frontier: FrontierState,
+        trace: SearchTrace,
+    ) -> RoutingResult:
+        """Re-emit a recorded search traversal as a real circuit.
+
+        Purely mechanical: no scoring, no RNG, no decay — the SWAP
+        sequence in ``trace`` *is* the decision stream, and the ready
+        scan between SWAPs reproduces exactly where the search loop
+        executed gates (same layouts, same frontier evolution).  The
+        result is byte-identical to what the traversal would have
+        emitted with ``emitting=True``.  ``frontier`` must be freshly
+        reset over ``ir``; ``layout`` must equal
+        ``trace.initial_layout`` (pass a copy).
+        """
+        out = QuantumCircuit(
+            self.coupling.num_qubits, f"{ir.name}_routed", max(ir.num_clbits, 1)
+        )
+        swap_positions: List[int] = []
+        initial = layout.copy()
+        l2p = layout.l2p
+        p2l = layout.p2l
+        emit = out.append_unchecked
+        gates = ir.gates
+        qubit_a = ir.qubit_a
+        qubit_b = ir.qubit_b
+        adjacency = self._adjacency
+        swap_cache = self._swap_cache
+        nd = self.coupling.num_qubits
+        swaps = trace.swaps
+        esc = dict(trace.escapes)
+        drain_nonrouting = frontier.drain_nonrouting
+        fgate: dict = {}
+        check: List[int] = []
+
+        def apply_swap(qa: int, qb: int) -> None:
+            pa = l2p[qa]
+            pb = l2p[qb]
+            swap_positions.append(out.num_gates)
+            key = pa * nd + pb
+            g = swap_cache.get(key)
+            if g is None:
+                g = swap_cache[key] = swap_gate(pa, pb)
+            emit(g)
+            l2p[qa] = pb
+            l2p[qb] = pa
+            p2l[pa] = qb
+            p2l[pb] = qa
+            g1 = fgate.get(qa)
+            if g1 is not None:
+                check.append(g1)
+            g2 = fgate.get(qb)
+            if g2 is not None and g2 is not g1:
+                check.append(g2)
+
+        for index in drain_nonrouting():
+            emit(remap_gate(gates[index], l2p))
+        frontier.track_front_log = True
+        frontier.front_log.clear()
+        for index in frontier.front_list():
+            fgate[qubit_a[index]] = index
+            fgate[qubit_b[index]] = index
+        check.extend(frontier.front_list())
+        si = 0
+        while not frontier.done:
+            if check:
+                if len(check) > 1:
+                    ready = [
+                        index
+                        for index in sorted(set(check))
+                        if l2p[qubit_b[index]] in adjacency[l2p[qubit_a[index]]]
+                    ]
+                else:
+                    index = check[0]
+                    ready = (
+                        [index]
+                        if l2p[qubit_b[index]] in adjacency[l2p[qubit_a[index]]]
+                        else []
+                    )
+                check.clear()
+            else:
+                ready = []
+            if ready:
+                frontier.execute_front_batch(ready)
+                for index in ready:
+                    emit(remap_gate(gates[index], l2p))
+                    del fgate[qubit_a[index]]
+                    del fgate[qubit_b[index]]
+                for index in drain_nonrouting():
+                    emit(remap_gate(gates[index], l2p))
+                released = frontier.drain_front_log()
+                for index in released:
+                    fgate[qubit_a[index]] = index
+                    fgate[qubit_b[index]] = index
+                check.extend(released)
+                continue
+            span = esc.get(si)
+            if span:
+                # A livelock-escape span: the search applied these
+                # SWAPs back-to-back without re-scanning for ready
+                # gates, so the replay must too.
+                for _ in range(span):
+                    qa, qb = swaps[si]
+                    si += 1
+                    apply_swap(qa, qb)
+            else:
+                qa, qb = swaps[si]
+                si += 1
+                apply_swap(qa, qb)
+        frontier.track_front_log = False
+        return RoutingResult(
+            circuit=out,
+            initial_layout=initial,
+            final_layout=layout,
+            num_swaps=len(swap_positions),
+            swap_positions=swap_positions,
+            num_forced_escapes=trace.num_forced_escapes,
         )
 
     # ------------------------------------------------------------------
@@ -553,9 +1097,7 @@ class SabreRouter:
         self,
         frontier: FrontierState,
         layout: Layout,
-        out: QuantumCircuit,
-        swap_positions: List[int],
-        state: Optional[RouterState],
+        apply_swap: Callable[[int, int], None],
     ) -> int:
         """Livelock escape: force-route the closest front gate.
 
@@ -563,7 +1105,9 @@ class SabreRouter:
         SWAPping the first qubit along it until the pair is adjacent.
         Guarantees the next ready-front scan succeeds for that gate, so
         overall termination is unconditional.  Distance ties resolve to
-        the lowest node id (the front list is ascending).
+        the lowest node id (the front list is ascending).  ``apply_swap``
+        is the caller's swap applicator (the scalar and vector paths
+        maintain different state, so the escape stays path-agnostic).
         """
         l2p = layout.l2p
         buf = self.flat_dist.buf
@@ -582,6 +1126,6 @@ class SabreRouter:
         # gate itself (after each swap, pi(a) advances one hop).
         for hop in path[1:-1]:
             qb = layout.logical(hop)
-            self._apply_swap(a, qb, layout, out, swap_positions, state)
+            apply_swap(a, qb)
             swaps += 1
         return swaps

@@ -34,6 +34,7 @@ from repro.engine.cache import (
     get_cached_device,
     get_distance_matrix,
     get_flat_dag,
+    get_flat_dag_pair,
     get_flat_distance_matrix,
 )
 from repro.engine.trials import (
@@ -60,6 +61,7 @@ __all__ = [
     "get_cached_device",
     "get_distance_matrix",
     "get_flat_dag",
+    "get_flat_dag_pair",
     "get_flat_distance_matrix",
     "EXECUTORS",
     "OBJECTIVES",

@@ -35,7 +35,13 @@ from repro.exceptions import ReproError
 from repro.hardware.coupling import CouplingGraph
 
 #: Executor names accepted by :func:`run_trials` / ``compile_many``.
-EXECUTORS = ("serial", "process")
+#: ``"ensemble"`` routes all trials in lockstep through one batched
+#: vector-scorer kernel (:mod:`repro.engine.ensemble`); it produces
+#: the serial executor's exact per-seed results and silently falls
+#: back to ``"serial"`` for configurations it cannot reproduce
+#: (non-vector scorer, asymmetric distances, embedding/baseline/noise
+#: pipelines).
+EXECUTORS = ("serial", "process", "ensemble")
 
 #: Depth weight of the ``weighted`` objective: ``g_add + W * d_out``.
 DEFAULT_DEPTH_WEIGHT = 0.5
@@ -258,6 +264,59 @@ def run_trials(
         # contiguous buffer pickles far smaller than a list-of-lists
         # when trials fan out across a process pool.
         distance = get_flat_distance_matrix(coupling)
+
+    if executor == "ensemble":
+        from repro.engine.ensemble import (
+            decompose_like_pipeline,
+            ensemble_eligible,
+            ensemble_layout_search,
+        )
+
+        if ensemble_eligible(pipeline, config, distance):
+            from repro.pipeline.runner import get_pipeline
+
+            searches = ensemble_layout_search(
+                coupling,
+                decompose_like_pipeline(circuit),
+                seeds,
+                config=config,
+                num_traversals=num_traversals,
+                distance=distance,
+            )
+            pipe = get_pipeline(pipeline)
+            # Re-enter the per-trial pipeline with the search result
+            # precomputed: decomposition, metrics, and any post-routing
+            # passes run exactly as on the serial path, so each trial's
+            # MappingResult matches the serial executor's byte for byte
+            # (the layout-search pass adopts the injected record).
+            results = [
+                pipe.run(
+                    circuit,
+                    coupling,
+                    config=config,
+                    seed=seed,
+                    num_trials=1,
+                    num_traversals=num_traversals,
+                    distance=distance,
+                    executor=None,
+                    layout_search=search,
+                )
+                for seed, search in zip(seeds, searches)
+            ]
+            trials = [
+                TrialResult(
+                    seed=seed,
+                    result=result,
+                    value=objective_value(result, objective),
+                )
+                for seed, result in zip(seeds, results)
+            ]
+            return TrialsOutcome(
+                trials=trials,
+                winner_index=select_winner(trials),
+                objective=objective,
+            )
+        executor = "serial"
 
     payloads = [
         (circuit, coupling, config, seed, num_traversals, distance, pipeline)

@@ -143,6 +143,14 @@ class SabreLayoutPass(TransformPass):
     def run(self, context: CompilationContext) -> None:
         if context.routing is not None or context.initial_layout is not None:
             return
+        if context.layout_search is not None:
+            # A precomputed search record (the trial ensemble's
+            # re-entry seam, see Pipeline.run): adopt it exactly as if
+            # the direct search below had produced it.
+            best = context.layout_search
+            context.routing = context.raw_routing = best.routing
+            context.initial_layout = best.initial_layout
+            return
         if (
             context.executor is None
             and context.objective != "g_add"

@@ -116,6 +116,16 @@ PRESETS: Dict[str, PresetSpec] = {
         {"num_trials": 1, "num_traversals": 1},
         "single-trial single-traversal (lowest latency)",
     ),
+    # The paper flow with its best-of-K restarts routed as one
+    # trial-major lockstep batch (repro.engine.ensemble): identical
+    # per-seed results to paper_default, one shared scoring kernel per
+    # step across all trials.  Falls back to serial trials when the
+    # configuration is not vector-scorable.
+    "ensemble": (
+        _paper_passes,
+        {"executor": "ensemble"},
+        "best-of-K trials routed in lockstep through one batched kernel",
+    ),
     # Try to *prove* a zero-SWAP mapping first (subgraph embedding);
     # fall through to the full search when none exists.
     "best_effort": (

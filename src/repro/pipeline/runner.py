@@ -102,14 +102,22 @@ class Pipeline:
         executor: Optional[str] = None,
         jobs: Optional[int] = None,
         noise: Optional[NoiseModel] = None,
+        layout_search: Optional[object] = None,
     ) -> MappingResult:
         """Execute every pass over a fresh context; return the result.
 
         Parameters mirror :func:`repro.core.compiler.compile_circuit`;
         ``None`` means "preset default, else the paper's value".
-        ``noise`` feeds noise-aware passes.  The returned
-        :class:`MappingResult` carries the run's property set
-        (``result.properties``) including per-pass timings.
+        ``noise`` feeds noise-aware passes.  ``layout_search`` injects
+        a precomputed bidirectional-search record
+        (:class:`~repro.core.bidirectional.BidirectionalResult`): the
+        layout-search pass adopts its routing instead of searching —
+        the re-entry seam of the trial ensemble
+        (:mod:`repro.engine.ensemble`), which batch-routes K trials
+        and then replays each through its pipeline for decomposition,
+        post-passes, and metrics.  The returned :class:`MappingResult`
+        carries the run's property set (``result.properties``)
+        including per-pass timings.
         """
         coupling.require_connected()
         if circuit.num_qubits > coupling.num_qubits:
@@ -131,6 +139,7 @@ class Pipeline:
             jobs=self._default("jobs", jobs, None),
             noise=noise,
             initial_layout=initial_layout,
+            layout_search=layout_search,
             distance=distance,
             properties=PropertySet(),
         )

@@ -1,11 +1,13 @@
-"""Differential suite: fast delta scorer vs reference scorer.
+"""Differential suite: vector / fast scorers vs reference scorer.
 
-The fast path (flat-array delta scoring, incremental candidate cache)
-must be *observationally identical* to the paper-literal reference
-path: same per-step winner sets, same tie-break draws, and therefore
-bit-for-bit identical routed circuits for identical seeds — across all
-heuristic modes, the noise-aware penalty path, and the livelock escape
-hatch.
+Both optimized paths — the scalar fast delta scorer (flat-array delta
+scoring, incremental candidate cache) and the batched numpy vector
+scorer — must be *observationally identical* to the paper-literal
+reference path: same per-step winner sets, same tie-break draws, and
+therefore bit-for-bit identical routed circuits for identical seeds —
+across all heuristic modes, the noise-aware penalty path, and the
+livelock escape hatch.  The trial-major lockstep ensemble executor
+must in turn reproduce the serial executor's per-seed results exactly.
 """
 
 import pytest
@@ -19,6 +21,7 @@ from repro.core import (
     compile_circuit,
 )
 from repro.core.heuristic import SCORER_ENV_VAR, resolve_scorer
+from repro.engine import run_trials
 from repro.exceptions import MappingError
 from repro.extensions.noise_aware import noise_weighted_distance
 from repro.hardware import (
@@ -30,26 +33,31 @@ from repro.hardware import (
 
 MODES = ["basic", "lookahead", "decay"]
 
+SCORERS = ("vector", "fast", "reference")
 
-def _run_both(device, circuit, mode="decay", seed=0, layout_seed=1, **cfg):
+
+def _run_all(device, circuit, mode="decay", seed=0, layout_seed=1, **cfg):
     layout = Layout.random(device.num_qubits, seed=layout_seed)
     results = {}
-    for scorer in ("fast", "reference"):
+    for scorer in SCORERS:
         router = SabreRouter(
             device,
             config=HeuristicConfig(mode=mode, scorer=scorer, **cfg),
             seed=seed,
         )
         results[scorer] = router.run(circuit, initial_layout=layout)
-    return results["fast"], results["reference"]
+    return results
 
 
-def _assert_identical(fast, reference):
-    assert fast.circuit == reference.circuit
-    assert fast.swap_positions == reference.swap_positions
-    assert fast.initial_layout == reference.initial_layout
-    assert fast.final_layout == reference.final_layout
-    assert fast.num_forced_escapes == reference.num_forced_escapes
+def _assert_identical(results):
+    reference = results["reference"]
+    for scorer in ("vector", "fast"):
+        result = results[scorer]
+        assert result.circuit == reference.circuit
+        assert result.swap_positions == reference.swap_positions
+        assert result.initial_layout == reference.initial_layout
+        assert result.final_layout == reference.final_layout
+        assert result.num_forced_escapes == reference.num_forced_escapes
 
 
 class TestIdenticalRouting:
@@ -57,13 +65,13 @@ class TestIdenticalRouting:
     @pytest.mark.parametrize("seed", [0, 7, 13])
     def test_all_modes_tokyo(self, tokyo, mode, seed):
         circuit = random_circuit(20, 150, seed=seed, two_qubit_fraction=0.8)
-        _assert_identical(*_run_both(tokyo, circuit, mode=mode, seed=seed))
+        _assert_identical(_run_all(tokyo, circuit, mode=mode, seed=seed))
 
     @pytest.mark.parametrize("mode", MODES)
     def test_all_modes_grid(self, mode):
         device = grid_device(5, 5)
         circuit = random_circuit(25, 200, seed=3, two_qubit_fraction=0.7)
-        _assert_identical(*_run_both(device, circuit, mode=mode))
+        _assert_identical(_run_all(device, circuit, mode=mode))
 
     @pytest.mark.parametrize("device_builder", [
         lambda: line_device(8),
@@ -75,7 +83,7 @@ class TestIdenticalRouting:
         circuit = random_circuit(
             device.num_qubits, 120, seed=5, two_qubit_fraction=0.9
         )
-        _assert_identical(*_run_both(device, circuit))
+        _assert_identical(_run_all(device, circuit))
 
     def test_noise_aware_penalty_path(self, tokyo):
         """Weighted (non-integer) distance matrix + swap_cost_penalty."""
@@ -84,7 +92,7 @@ class TestIdenticalRouting:
         circuit = random_circuit(20, 150, seed=11, two_qubit_fraction=0.8)
         layout = Layout.random(20, seed=2)
         results = {}
-        for scorer in ("fast", "reference"):
+        for scorer in SCORERS:
             router = SabreRouter(
                 tokyo,
                 config=HeuristicConfig(scorer=scorer, swap_cost_penalty=1.0),
@@ -92,15 +100,15 @@ class TestIdenticalRouting:
                 distance=distance,
             )
             results[scorer] = router.run(circuit, initial_layout=layout)
-        _assert_identical(results["fast"], results["reference"])
+        _assert_identical(results)
 
     def test_escape_hatch_path(self):
-        """Pathological stall_limit forces the escape hatch in both."""
+        """Pathological stall_limit forces the escape hatch in all."""
         device = ring_device(8)
         circuit = random_circuit(8, 80, seed=0, two_qubit_fraction=1.0)
         layout = Layout.random(8, seed=6)
         results = {}
-        for scorer in ("fast", "reference"):
+        for scorer in SCORERS:
             router = SabreRouter(
                 device,
                 config=HeuristicConfig(mode="basic", scorer=scorer),
@@ -108,19 +116,26 @@ class TestIdenticalRouting:
                 stall_limit=2,
             )
             results[scorer] = router.run(circuit, initial_layout=layout)
-        assert results["fast"].num_forced_escapes > 0
-        _assert_identical(results["fast"], results["reference"])
+        assert results["reference"].num_forced_escapes > 0
+        _assert_identical(results)
 
     def test_bidirectional_search_identical(self, tokyo):
         circuit = random_circuit(16, 100, seed=9, two_qubit_fraction=0.7)
         outputs = {}
-        for scorer in ("fast", "reference"):
+        for scorer in SCORERS:
             searcher = SabreLayout(
                 tokyo, config=HeuristicConfig(scorer=scorer), seed=0
             )
             outputs[scorer] = searcher.run(circuit)
-        assert outputs["fast"].routing.circuit == outputs["reference"].routing.circuit
-        assert outputs["fast"].initial_layout == outputs["reference"].initial_layout
+        for scorer in ("vector", "fast"):
+            assert (
+                outputs[scorer].routing.circuit
+                == outputs["reference"].routing.circuit
+            )
+            assert (
+                outputs[scorer].initial_layout
+                == outputs["reference"].initial_layout
+            )
 
     def test_compile_circuit_identical(self, tokyo):
         circuit = random_circuit(12, 80, seed=21, two_qubit_fraction=0.7)
@@ -132,12 +147,14 @@ class TestIdenticalRouting:
                 seed=0,
                 num_trials=2,
             )
-            for scorer in ("fast", "reference")
+            for scorer in SCORERS
         }
-        assert (
-            results["fast"].routing.circuit == results["reference"].routing.circuit
-        )
-        assert results["fast"].num_swaps == results["reference"].num_swaps
+        for scorer in ("vector", "fast"):
+            assert (
+                results[scorer].routing.circuit
+                == results["reference"].routing.circuit
+            )
+            assert results[scorer].num_swaps == results["reference"].num_swaps
 
 
 class TestWinnerSets:
@@ -148,7 +165,7 @@ class TestWinnerSets:
         circuit = random_circuit(20, 120, seed=17, two_qubit_fraction=0.8)
         layout = Layout.random(20, seed=3)
         traces = {}
-        for scorer in ("fast", "reference"):
+        for scorer in SCORERS:
             router = SabreRouter(
                 tokyo, config=HeuristicConfig(mode=mode, scorer=scorer), seed=0
             )
@@ -159,7 +176,78 @@ class TestWinnerSets:
             router.run(circuit, initial_layout=layout)
             traces[scorer] = steps
         assert traces["fast"] == traces["reference"]
-        assert len(traces["fast"]) > 0
+        assert traces["vector"] == traces["reference"]
+        assert len(traces["reference"]) > 0
+
+
+class TestEnsembleIdentity:
+    """The lockstep ensemble executor vs the serial executor: same
+    seeds in, byte-identical per-trial circuits out — including the
+    multi-traversal search-mode sweep, whose winning forward traversal
+    is replayed from a recorded SWAP trace rather than emitted live."""
+
+    @pytest.mark.parametrize("num_traversals", [1, 3])
+    @pytest.mark.parametrize("mode", MODES)
+    def test_per_seed_identity(self, mode, num_traversals):
+        device = grid_device(4, 4)
+        circuit = random_circuit(16, 150, seed=23, two_qubit_fraction=0.8)
+        seeds = [5, 6, 7]
+        outcomes = {}
+        for scorer, executor in (
+            ("vector", "ensemble"),
+            ("fast", "serial"),
+        ):
+            outcomes[executor] = run_trials(
+                circuit,
+                device,
+                seeds=seeds,
+                config=HeuristicConfig(mode=mode, scorer=scorer),
+                num_traversals=num_traversals,
+                executor=executor,
+            )
+        ens, ser = outcomes["ensemble"], outcomes["serial"]
+        assert ens.trial_swaps == ser.trial_swaps
+        assert ens.winner_index == ser.winner_index
+        for a, b in zip(ens.trials, ser.trials):
+            assert a.result.routing.circuit == b.result.routing.circuit
+            assert a.result.initial_layout == b.result.initial_layout
+
+    def test_replay_handles_directives(self):
+        """Measure/reset/barrier directives ride through the no-emit
+        search mode: SearchTrace's depth counter skips them exactly as
+        ``circuit_depth`` does, so the replayed winner still matches
+        the serial path byte for byte."""
+        from repro.circuits import QuantumCircuit
+
+        device = grid_device(3, 3)
+        base = random_circuit(9, 90, seed=31, two_qubit_fraction=0.8)
+        circuit = QuantumCircuit(9, "directives")
+        for i, gate in enumerate(base.gates):
+            circuit.append(gate)
+            if i % 20 == 10:
+                circuit.barrier()
+            if i % 25 == 5:
+                circuit.measure(i % 9)
+        seeds = [1, 2, 3, 4]
+        ens = run_trials(
+            circuit,
+            device,
+            seeds=seeds,
+            config=HeuristicConfig(scorer="vector"),
+            num_traversals=3,
+            executor="ensemble",
+        )
+        ser = run_trials(
+            circuit,
+            device,
+            seeds=seeds,
+            config=HeuristicConfig(scorer="fast"),
+            num_traversals=3,
+            executor="serial",
+        )
+        assert ens.trial_swaps == ser.trial_swaps
+        for a, b in zip(ens.trials, ser.trials):
+            assert a.result.routing.circuit == b.result.routing.circuit
 
 
 class TestScorerSelection:
@@ -168,9 +256,14 @@ class TestScorerSelection:
         router = SabreRouter(line5, config=HeuristicConfig(scorer="auto"))
         assert router.scorer == "reference"
 
-    def test_env_knob_default_fast(self, monkeypatch, line5):
+    def test_env_knob_default_vector(self, monkeypatch, line5):
         monkeypatch.delenv(SCORER_ENV_VAR, raising=False)
         router = SabreRouter(line5)
+        assert router.scorer == "vector"
+
+    def test_env_knob_fast(self, monkeypatch, line5):
+        monkeypatch.setenv(SCORER_ENV_VAR, "fast")
+        router = SabreRouter(line5, config=HeuristicConfig(scorer="auto"))
         assert router.scorer == "fast"
 
     def test_explicit_config_beats_env(self, monkeypatch, line5):

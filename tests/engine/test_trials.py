@@ -153,4 +153,4 @@ class TestValidation:
             run_trials(workload, grid3x3, seeds=[0], executor="thread")
 
     def test_executor_registry(self):
-        assert EXECUTORS == ("serial", "process")
+        assert EXECUTORS == ("serial", "process", "ensemble")

@@ -1,15 +1,24 @@
-"""Property tests: delta scorer == reference scorer, step by step."""
+"""Property tests: vector / fast scorers == reference scorer, step by
+step — plus the lockstep ensemble executor == the serial executor,
+seed by seed."""
 
 from hypothesis import given, settings, strategies as st
 
 from repro.circuits import random_circuit
 from repro.core import HeuristicConfig, Layout, SabreRouter
-from repro.hardware import grid_device, ring_device
+from repro.engine import run_trials
+from repro.extensions.noise_aware import noise_weighted_distance
+from repro.hardware import NoiseModel, grid_device, ring_device
+
+SCORERS = ("vector", "fast", "reference")
 
 
-def _winner_trace(device, circuit, layout, mode, scorer, seed):
+def _winner_trace(device, circuit, layout, mode, scorer, seed, distance=None):
     router = SabreRouter(
-        device, config=HeuristicConfig(mode=mode, scorer=scorer), seed=seed
+        device,
+        config=HeuristicConfig(mode=mode, scorer=scorer),
+        seed=seed,
+        distance=distance,
     )
     steps = []
     router.on_winner_set = lambda best: steps.append(list(best))
@@ -27,22 +36,68 @@ def _winner_trace(device, circuit, layout, mode, scorer, seed):
 def test_winner_sets_and_circuits_identical(
     circuit_seed, layout_seed, tie_seed, mode
 ):
-    """For any circuit/layout/tie-break seed and any heuristic mode, the
-    fast scorer's per-step winner sets — the complete set of best-scoring
-    SWAPs *before* the random tie-break — equal the reference scorer's,
-    and the routed circuits are bit-for-bit identical."""
+    """For any circuit/layout/tie-break seed and any heuristic mode,
+    the vector and fast scorers' per-step winner sets — the complete
+    set of best-scoring SWAPs *before* the random tie-break — equal the
+    reference scorer's, and the routed circuits are bit-for-bit
+    identical."""
     device = grid_device(3, 3)
     circuit = random_circuit(9, 40, seed=circuit_seed, two_qubit_fraction=0.8)
     layout = Layout.random(9, seed=layout_seed)
-    fast_steps, fast = _winner_trace(
-        device, circuit, layout, mode, "fast", tie_seed
-    )
-    ref_steps, ref = _winner_trace(
-        device, circuit, layout, mode, "reference", tie_seed
-    )
-    assert fast_steps == ref_steps
-    assert fast.circuit == ref.circuit
-    assert fast.final_layout == ref.final_layout
+    traces = {
+        scorer: _winner_trace(device, circuit, layout, mode, scorer, tie_seed)
+        for scorer in SCORERS
+    }
+    ref_steps, ref = traces["reference"]
+    for scorer in ("vector", "fast"):
+        steps, result = traces[scorer]
+        assert steps == ref_steps
+        assert result.circuit == ref.circuit
+        assert result.final_layout == ref.final_layout
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    circuit_seed=st.integers(min_value=0, max_value=10_000),
+    layout_seed=st.integers(min_value=0, max_value=10_000),
+    asymmetric=st.booleans(),
+    weighted=st.booleans(),
+)
+def test_winner_sets_identical_under_distance_matrices(
+    circuit_seed, layout_seed, asymmetric, weighted
+):
+    """Scorer equivalence holds under noise-weighted (non-integer)
+    symmetric matrices; asymmetric matrices make both optimized
+    scorers fall back to the reference scorer (the escape hatch), so
+    equality is preserved trivially — either way the routed circuits
+    match."""
+    device = grid_device(3, 3)
+    distance = None
+    if weighted:
+        noise = NoiseModel(edge_errors={(0, 1): 0.2, (4, 5): 0.1})
+        distance = [
+            list(row) for row in noise_weighted_distance(device, noise)
+        ]
+    if asymmetric:
+        if distance is None:
+            distance = [
+                list(row)
+                for row in noise_weighted_distance(device, NoiseModel())
+            ]
+        distance[0][3] += 0.25  # break symmetry => reference fallback
+    circuit = random_circuit(9, 30, seed=circuit_seed, two_qubit_fraction=0.8)
+    layout = Layout.random(9, seed=layout_seed)
+    traces = {
+        scorer: _winner_trace(
+            device, circuit, layout, "decay", scorer, 0, distance=distance
+        )
+        for scorer in SCORERS
+    }
+    ref_steps, ref = traces["reference"]
+    for scorer in ("vector", "fast"):
+        steps, result = traces[scorer]
+        assert steps == ref_steps
+        assert result.circuit == ref.circuit
 
 
 @settings(max_examples=10, deadline=None)
@@ -56,7 +111,7 @@ def test_escape_hatch_identical(circuit_seed, stall_limit):
     circuit = random_circuit(6, 30, seed=circuit_seed, two_qubit_fraction=1.0)
     layout = Layout.trivial(6)
     results = {}
-    for scorer in ("fast", "reference"):
+    for scorer in SCORERS:
         router = SabreRouter(
             device,
             config=HeuristicConfig(mode="basic", scorer=scorer),
@@ -64,8 +119,47 @@ def test_escape_hatch_identical(circuit_seed, stall_limit):
             stall_limit=stall_limit,
         )
         results[scorer] = router.run(circuit, initial_layout=layout)
-    assert results["fast"].circuit == results["reference"].circuit
-    assert (
-        results["fast"].num_forced_escapes
-        == results["reference"].num_forced_escapes
+    for scorer in ("vector", "fast"):
+        assert results[scorer].circuit == results["reference"].circuit
+        assert (
+            results[scorer].num_forced_escapes
+            == results["reference"].num_forced_escapes
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    circuit_seed=st.integers(min_value=0, max_value=10_000),
+    seed_base=st.integers(min_value=0, max_value=1_000),
+    num_traversals=st.sampled_from([1, 3]),
+    mode=st.sampled_from(["basic", "lookahead", "decay"]),
+)
+def test_ensemble_matches_serial_per_seed(
+    circuit_seed, seed_base, num_traversals, mode
+):
+    """For any seed list, the trial-major lockstep ensemble produces
+    byte-identical per-trial circuits to the serial executor — and
+    hence the same best-of-K winner."""
+    device = grid_device(3, 3)
+    circuit = random_circuit(9, 40, seed=circuit_seed, two_qubit_fraction=0.8)
+    seeds = [seed_base, seed_base + 1, seed_base + 2]
+    ens = run_trials(
+        circuit,
+        device,
+        seeds=seeds,
+        config=HeuristicConfig(mode=mode, scorer="vector"),
+        num_traversals=num_traversals,
+        executor="ensemble",
     )
+    ser = run_trials(
+        circuit,
+        device,
+        seeds=seeds,
+        config=HeuristicConfig(mode=mode, scorer="fast"),
+        num_traversals=num_traversals,
+        executor="serial",
+    )
+    assert ens.trial_swaps == ser.trial_swaps
+    assert ens.winner_index == ser.winner_index
+    for a, b in zip(ens.trials, ser.trials):
+        assert a.result.routing.circuit == b.result.routing.circuit

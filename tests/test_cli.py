@@ -72,6 +72,38 @@ class TestMapCommand:
         )
         assert code == 0
 
+    @pytest.mark.parametrize("scorer", ["vector", "fast", "reference"])
+    def test_map_scorer_flag(self, qasm_file, capsys, scorer):
+        code = main(
+            ["map", qasm_file, "--trials", "1", "--scorer", scorer]
+        )
+        assert code == 0
+
+    def test_map_ensemble_executor_matches_serial(
+        self, qasm_file, tmp_path, capsys
+    ):
+        """--executor ensemble must produce the same routed program as
+        the serial executor for the same seed pool."""
+        outputs = {}
+        for executor in ("serial", "ensemble"):
+            out = str(tmp_path / f"{executor}.qasm")
+            code = main(
+                [
+                    "map",
+                    qasm_file,
+                    "--trials",
+                    "3",
+                    "--executor",
+                    executor,
+                    "-o",
+                    out,
+                ]
+            )
+            assert code == 0
+            with open(out) as handle:
+                outputs[executor] = handle.read()
+        assert outputs["ensemble"] == outputs["serial"]
+
     def test_map_bare_noise_aware_preset(self, qasm_file, capsys):
         # The preset must be usable without the --noise-aware flag: the
         # CLI supplies the chip-average model whenever the resolved
