@@ -361,11 +361,29 @@ def run_replay(smoke: bool, report: dict) -> None:
             f"p99 {row['p99_ms']:8.2f} ms   "
             f"executions {row['executions']}   ok"
         )
+    # The multi-trial executor a `repro serve --trial-jobs 2` lane would
+    # pick for this corpus's requests, with its shard plan.  Computed
+    # from the request alone (never this host's core count), so the
+    # recorded choice is what any deployment granting 2 cores per
+    # compile would make — metadata for reading the numbers, not a
+    # measurement.
+    from repro.engine.shared import plan_shards
+    from repro.service.request import CompileRequest, trial_executor_decision
+
+    probe = CompileRequest(qasm=corpus[0][1])
+    decision = trial_executor_decision(probe, 2)
+    trial_executor = None
+    if decision is not None:
+        trial_executor = decision.as_properties()
+        trial_executor["shard_plan"] = plan_shards(
+            list(range(decision.num_seeds)), decision.jobs
+        )
     report["replay"] = {
         "cpu_count": os.cpu_count(),
         "hot_fraction": HOT_FRACTION,
         "corpus": [label for label, _ in corpus],
         "tiers": tiers,
+        "trial_executor_at_jobs2": trial_executor,
         "note": (
             "process-tier throughput gains over thread-tier require "
             "multiple cores; cpu_count above says how many this host had"

@@ -27,10 +27,11 @@ named preset, ``--noise-aware`` / ``--bridge`` /
 ``--legalize-directions`` compose extension passes onto it,
 ``--trials`` sets the best-of-K seed pool, ``--jobs`` fans trials
 across worker processes, ``--executor ensemble`` routes all trials in
-lockstep through the batched vector kernel instead, ``--scorer``
+lockstep through the batched vector kernel, ``--executor hybrid``
+shards the seeds across ship-once ensemble workers, ``--scorer``
 selects the scoring implementation, ``--objective`` picks the winner
-metric, and ``--verbose`` prints the per-pass timing breakdown
-recorded in the result's property set.
+metric, and ``--verbose`` prints the executor-decision report and the
+per-pass timing breakdown recorded in the result's property set.
 """
 
 from __future__ import annotations
@@ -110,9 +111,12 @@ def _cmd_map(args: argparse.Namespace) -> int:
         )
     # The pipeline upgrades executor=None to the serial engine when a
     # non-default objective needs it; with --executor auto the CLI only
-    # decides pool width, otherwise the user's choice passes through.
+    # decides pool width, otherwise the user's choice passes through
+    # ("engine-auto" hands the full decision to the engine chooser).
     if args.executor == "auto":
         executor = "process" if args.jobs > 1 else None
+    elif args.executor == "engine-auto":
+        executor = "auto"
     else:
         executor = args.executor
     result = pipeline.run(
@@ -133,6 +137,29 @@ def _cmd_map(args: argparse.Namespace) -> int:
     print(result.summary(), file=sys.stderr)
     if args.verbose:
         print(f"pipeline     : {pipeline.name}", file=sys.stderr)
+        props = result.properties
+        if "engine.executor" in props:
+            # Executor-decision report: what the trial engine actually
+            # ran (after auto resolution or a downgrade) and how the
+            # hybrid executor sharded the seeds.
+            effective = props["engine.executor"]
+            requested = props.get("engine.requested_executor", effective)
+            line = f"executor     : {effective}"
+            if requested != effective:
+                line += f" (requested {requested})"
+            shard_plan = props.get("engine.shard_plan")
+            if shard_plan:
+                sizes = "+".join(str(len(shard)) for shard in shard_plan)
+                line += f", shards {sizes} across {len(shard_plan)} workers"
+            print(line, file=sys.stderr)
+            reason = props.get("engine.downgrade_reason")
+            if reason:
+                print(f"  downgrade  : {reason}", file=sys.stderr)
+        else:
+            print(
+                "executor     : direct search (no trial engine)",
+                file=sys.stderr,
+            )
         print(result.properties.timing_report(), file=sys.stderr)
     if args.optimize:
         print(
@@ -209,12 +236,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.queue_limit or None,  # 0 -> unbounded
         default_timeout=args.timeout,
         degrade=not args.no_degrade,
+        trial_jobs=args.trial_jobs or None,  # 0 -> serial sweeps
     )
     tier = args.store_dir if args.store_dir else "memory-only"
     print(
         f"repro service on {serve_url(server)} "
         f"(workers={args.workers} [{args.execution}], store={tier}, "
-        f"queue-limit={args.queue_limit})",
+        f"queue-limit={args.queue_limit}, "
+        f"trial-jobs={args.trial_jobs or 'serial'})",
         file=sys.stderr,
         flush=True,
     )
@@ -396,11 +425,14 @@ def build_parser() -> argparse.ArgumentParser:
     map_p.add_argument(
         "--executor",
         default="auto",
-        choices=("auto", "serial", "process", "ensemble"),
+        choices=("auto", "serial", "process", "ensemble", "hybrid", "engine-auto"),
         help="trial fan-out strategy: serial loop, process pool sized "
-        "by --jobs, or the trial-major lockstep ensemble that routes "
-        "every seed through one batched vector kernel (auto picks "
-        "process when --jobs > 1, else lets the pipeline decide)",
+        "by --jobs, the trial-major lockstep ensemble that routes "
+        "every seed through one batched vector kernel, or hybrid — "
+        "seed shards each running the ensemble in its own ship-once "
+        "worker process (--jobs workers).  auto picks process when "
+        "--jobs > 1, else lets the pipeline decide; engine-auto hands "
+        "the choice to the engine's K x cores x eligibility chooser",
     )
     map_p.add_argument("--delta", type=float, default=0.001)
     map_p.add_argument("--extended-set", type=int, default=20)
@@ -469,6 +501,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="default per-request deadline in seconds, queue wait + "
         "execution (requests may carry their own 'timeout')",
+    )
+    serve_p.add_argument(
+        "--trial-jobs",
+        type=int,
+        default=0,
+        help="cores granted to each compile's best-of-K trial sweep "
+        "(sharded hybrid ensembles when > 1; 0 keeps the classic "
+        "serial in-worker sweep).  Engine executors rank winners by "
+        "the request objective with earliest-seed ties, so do not mix "
+        "this flag on and off against one shared store",
     )
     serve_p.add_argument(
         "--store-dir",

@@ -12,7 +12,12 @@ package supplies those three layers:
   (:class:`~repro.circuits.flatdag.FlatDag`, keyed on the circuit's
   gate-content fingerprint) so repeated trials never re-lower.
 - :mod:`repro.engine.trials` — best-of-K seeded trials with a
-  configurable objective, under a serial or process-pool executor.
+  configurable objective, under serial, process, lockstep-ensemble,
+  or hybrid (sharded ensembles × ship-once worker pool) executors.
+- :mod:`repro.engine.shared` — the hybrid executor's machinery: shard
+  planning, the automatic executor chooser, and the ship-once
+  shared-state layer (fingerprint-keyed worker caches, shared-memory
+  distance tables).
 - :mod:`repro.engine.batch` — ``compile_many``: fan a whole suite's
   (circuit, seed) jobs across workers and reduce to per-circuit
   winners.
@@ -48,6 +53,11 @@ from repro.engine.trials import (
     select_winner,
 )
 from repro.engine.batch import BatchReport, CircuitReport, compile_many
+from repro.engine.shared import (
+    ExecutorDecision,
+    choose_executor,
+    plan_shards,
+)
 
 __all__ = [
     "CacheInfo",
@@ -74,4 +84,7 @@ __all__ = [
     "BatchReport",
     "CircuitReport",
     "compile_many",
+    "ExecutorDecision",
+    "choose_executor",
+    "plan_shards",
 ]

@@ -29,9 +29,11 @@ from repro.core.heuristic import HeuristicConfig
 from repro.core.result import MappingResult
 from repro.engine.cache import get_flat_distance_matrix
 from repro.engine.trials import (
+    EXECUTORS,
     OBJECTIVES,
     TrialResult,
     _run_one_trial,
+    run_trials,
     select_winner,
 )
 from repro.exceptions import ReproError
@@ -121,6 +123,7 @@ class BatchReport:
     jobs: int
     reports: List[CircuitReport]
     wall_seconds: float
+    executor: str = "auto"
 
     @property
     def total_added_gates(self) -> int:
@@ -130,6 +133,7 @@ class BatchReport:
         lines = [
             f"device={self.device_name} circuits={len(self.reports)} "
             f"trials={self.num_trials} jobs={self.jobs} "
+            f"executor={self.executor} "
             f"objective={self.objective} wall={self.wall_seconds:.2f}s",
         ]
         for report in self.reports:
@@ -151,6 +155,7 @@ def compile_many(
     num_traversals: int = 3,
     keep_results: bool = True,
     pipeline: str = "paper_default",
+    executor: str = "auto",
 ) -> BatchReport:
     """Compile every circuit best-of-``num_trials`` across ``jobs`` workers.
 
@@ -161,7 +166,8 @@ def compile_many(
         seed: base seed; all circuits share the same seed pool so runs
             are reproducible and circuits are comparable across runs.
         jobs: ``1`` compiles in-process; ``>1`` fans trial jobs across a
-            :class:`~concurrent.futures.ProcessPoolExecutor`.
+            :class:`~concurrent.futures.ProcessPoolExecutor` (or sizes
+            the per-circuit sweep for ``executor="hybrid"``).
         objective: winner-selection metric (see
             :data:`repro.engine.trials.OBJECTIVES`).  Only the metric
             objectives are supported here: pooled batch workers ship
@@ -174,6 +180,14 @@ def compile_many(
             (disable to shed memory on very large suites).
         pipeline: pass-pipeline preset each trial executes (shipped to
             workers by name, like every other payload field).
+        executor: ``"auto"`` keeps the classic batch behaviour (the
+            trial-flattened metrics pool when ``jobs > 1``, else the
+            in-process loop).  ``"serial"``/``"process"`` force those
+            paths, and ``"ensemble"``/``"hybrid"`` run each circuit's
+            sweep through :func:`repro.engine.trials.run_trials` on the
+            lockstep kernel (single-process or sharded across a
+            ship-once worker pool) — per-seed results identical to
+            serial, with the full per-trial swap lists on each report.
 
     Returns:
         :class:`BatchReport` with one :class:`CircuitReport` per input
@@ -182,7 +196,14 @@ def compile_many(
     if num_trials < 1:
         raise ReproError("compile_many needs num_trials >= 1")
     if jobs < 1:
-        raise ReproError("compile_many needs jobs >= 1")
+        raise ValueError(
+            f"compile_many needs jobs >= 1, got {jobs!r}"
+        )
+    if executor != "auto" and executor not in EXECUTORS:
+        raise ReproError(
+            f"unknown executor {executor!r}; available: "
+            f"{['auto'] + [e for e in EXECUTORS if e != 'auto']}"
+        )
     objective_fn = OBJECTIVES.get(objective)
     if objective_fn is None:
         raise ReproError(
@@ -191,6 +212,12 @@ def compile_many(
     start = time.perf_counter()
     distance = get_flat_distance_matrix(coupling)
     seeds = [seed + t for t in range(num_trials)]
+    if executor in ("ensemble", "hybrid"):
+        return _compile_many_engine(
+            circuits, coupling, seeds, jobs, objective, objective_fn,
+            config, num_traversals, keep_results, pipeline, executor,
+            distance, start,
+        )
     payloads = [
         (circuit, coupling, config, s, num_traversals, distance, pipeline)
         for circuit in circuits
@@ -211,7 +238,7 @@ def compile_many(
         return per_circuit, winner_indices
 
     winner_results: List[Optional[MappingResult]] = [None] * len(circuits)
-    if jobs > 1 and len(payloads) > 1:
+    if executor != "serial" and jobs > 1 and len(payloads) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             flat = list(pool.map(_metrics_worker, payloads))
             per_circuit, winner_indices = pick_winners(flat)
@@ -262,4 +289,73 @@ def compile_many(
         jobs=jobs,
         reports=reports,
         wall_seconds=time.perf_counter() - start,
+        executor=executor,
+    )
+
+
+def _compile_many_engine(
+    circuits: Sequence[QuantumCircuit],
+    coupling: CouplingGraph,
+    seeds: Sequence[int],
+    jobs: int,
+    objective: str,
+    objective_fn,
+    config: Optional[HeuristicConfig],
+    num_traversals: int,
+    keep_results: bool,
+    pipeline: str,
+    executor: str,
+    distance,
+    start: float,
+) -> BatchReport:
+    """The ensemble/hybrid batch path: one lockstep sweep per circuit.
+
+    Per-circuit rather than trial-flattened — the lockstep kernel *is*
+    the batching within a circuit, and the hybrid executor's shards
+    provide the cross-core fan-out.  Worth it for sweeps of heavy
+    circuits; for many tiny circuits the classic trial-flattened pool
+    amortises better (pass ``executor="auto"``).
+    """
+    reports: List[CircuitReport] = []
+    effective = executor
+    for circuit in circuits:
+        outcome = run_trials(
+            circuit,
+            coupling,
+            seeds,
+            config=config,
+            num_traversals=num_traversals,
+            objective=objective,
+            executor=executor,
+            jobs=jobs if executor == "hybrid" else None,
+            distance=distance,
+            pipeline=pipeline,
+        )
+        effective = outcome.executor
+        winner = outcome.winner
+        reports.append(
+            CircuitReport(
+                name=circuit.name,
+                num_qubits=circuit.num_qubits,
+                original_gates=winner.result.original_gates,
+                added_gates=winner.result.added_gates,
+                num_swaps=winner.result.num_swaps,
+                routed_depth=winner.result.routed_depth,
+                winning_seed=winner.seed,
+                objective_value=winner.value,
+                trial_seconds=sum(
+                    t.result.runtime_seconds for t in outcome.trials
+                ),
+                trial_swaps=[t.result.num_swaps for t in outcome.trials],
+                result=winner.result if keep_results else None,
+            )
+        )
+    return BatchReport(
+        device_name=coupling.name,
+        objective=objective,
+        num_trials=len(seeds),
+        jobs=jobs,
+        reports=reports,
+        wall_seconds=time.perf_counter() - start,
+        executor=effective,
     )

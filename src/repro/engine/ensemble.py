@@ -111,6 +111,57 @@ def ensemble_eligible(
     return has_search
 
 
+def run_ensemble_trials(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    seeds: Sequence[int],
+    config: Optional[HeuristicConfig] = None,
+    num_traversals: int = 3,
+    distance: Optional[
+        Union[FlatDistance, Sequence[Sequence[float]]]
+    ] = None,
+    pipeline: str = "paper_default",
+) -> List["object"]:
+    """One full :class:`~repro.core.result.MappingResult` per seed, via
+    the lockstep ensemble.
+
+    Runs :func:`ensemble_layout_search` over the decomposed circuit,
+    then re-enters the per-trial pipeline with each search result
+    precomputed: decomposition, metrics, and any post-routing passes
+    run exactly as on the serial path, so each trial's result matches
+    the serial executor's byte for byte (the layout-search pass adopts
+    the injected record).  Shared by ``executor="ensemble"`` (in
+    process) and the hybrid executor's shard workers
+    (:mod:`repro.engine.shared`) — callers gate on
+    :func:`ensemble_eligible` first.
+    """
+    from repro.pipeline.runner import get_pipeline
+
+    searches = ensemble_layout_search(
+        coupling,
+        decompose_like_pipeline(circuit),
+        seeds,
+        config=config,
+        num_traversals=num_traversals,
+        distance=distance,
+    )
+    pipe = get_pipeline(pipeline)
+    return [
+        pipe.run(
+            circuit,
+            coupling,
+            config=config,
+            seed=seed,
+            num_trials=1,
+            num_traversals=num_traversals,
+            distance=distance,
+            executor=None,
+            layout_search=search,
+        )
+        for seed, search in zip(seeds, searches)
+    ]
+
+
 def ensemble_layout_search(
     coupling: CouplingGraph,
     circuit: QuantumCircuit,

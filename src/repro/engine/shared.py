@@ -1,0 +1,464 @@
+"""Ship-once shared state for multi-process trial sweeps.
+
+The plain process executor of :mod:`repro.engine.trials` pickles the
+full ``(circuit, coupling, config, distance, pipeline)`` payload for
+every one of the K trials even though only the seed differs, and the
+single-core lockstep ensemble (:mod:`repro.engine.ensemble`) never
+leaves its process.  This module composes the two wins:
+
+- **Shard planning** (:func:`plan_shards`): partition the K seeds into
+  P contiguous, balanced shards.  Trials are seed-independent, so any
+  partition produces the exact per-seed results of the serial sweep —
+  concatenating shard results in order restores the full seed order
+  and :func:`repro.engine.trials.select_winner` stays the single
+  reducer.
+- **An executor chooser** (:func:`choose_executor`): the
+  K × cores × ensemble-eligibility decision table behind
+  ``executor="auto"`` — serial for one trial, the in-process lockstep
+  ensemble on one core, sharded hybrid ensembles across cores, and the
+  per-trial process pool for ensemble-ineligible configurations.
+- **The ship-once layer** (:class:`SweepSpec` / :func:`run_hybrid_sweep`):
+  one :class:`~concurrent.futures.ProcessPoolExecutor` whose
+  *initializer* installs the sweep's immutable inputs — circuit,
+  coupling, config, pipeline name — into a fingerprint-keyed
+  worker-side cache exactly once per worker.  The distance matrix
+  travels through :class:`multiprocessing.shared_memory.SharedMemory`,
+  so even on large devices the workers map the parent's table
+  zero-copy instead of unpickling their own.  After the initializer
+  runs, each shard submission carries only ``(fingerprint, seeds)``.
+
+Fingerprints reuse :mod:`repro.engine.cache`'s content addresses
+(:func:`~repro.engine.cache.circuit_fingerprint` /
+:func:`~repro.engine.cache.coupling_fingerprint`), and every worker
+pre-seeds its process-local engine cache with the shipped distance so
+no code path ever repeats the Floyd-Warshall step.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.heuristic import HeuristicConfig
+from repro.core.result import MappingResult
+from repro.core.scoring import FlatDistance
+from repro.engine.cache import circuit_fingerprint, coupling_fingerprint
+from repro.exceptions import ReproError
+from repro.hardware.coupling import CouplingGraph
+
+#: Environment knob selecting the multiprocessing start method for the
+#: hybrid pool — the same variable the service worker tier honours
+#: (:data:`repro.service.workers.MP_START_METHOD_ENV`), so one setting
+#: governs every process boundary in a deployment.
+MP_START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+
+# ----------------------------------------------------------------------
+# Shard planning and executor choice
+# ----------------------------------------------------------------------
+
+
+def plan_shards(seeds: Sequence[int], num_shards: int) -> List[List[int]]:
+    """Partition ``seeds`` into at most ``num_shards`` contiguous shards.
+
+    Balanced to within one seed (the first ``K % P`` shards take the
+    extra), never more shards than seeds, order-preserving — so
+    concatenating per-shard results restores the original seed order.
+    """
+    if not seeds:
+        raise ReproError("plan_shards needs at least one seed")
+    if num_shards < 1:
+        raise ValueError(
+            f"num_shards must be a positive integer, got {num_shards!r}"
+        )
+    seeds = list(seeds)
+    count = min(num_shards, len(seeds))
+    base, extra = divmod(len(seeds), count)
+    shards: List[List[int]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        shards.append(seeds[start : start + size])
+        start += size
+    return shards
+
+
+@dataclass(frozen=True)
+class ExecutorDecision:
+    """One resolved ``executor="auto"`` choice, with its rationale."""
+
+    executor: str
+    jobs: int
+    num_seeds: int
+    cores: int
+    eligible: bool
+    reason: str
+
+    def as_properties(self) -> Dict[str, object]:
+        """JSON-safe summary for reports and benchmark metadata."""
+        return {
+            "executor": self.executor,
+            "jobs": self.jobs,
+            "num_seeds": self.num_seeds,
+            "cores": self.cores,
+            "ensemble_eligible": self.eligible,
+            "reason": self.reason,
+        }
+
+
+def choose_executor(
+    num_seeds: int,
+    cores: Optional[int] = None,
+    eligible: bool = True,
+    jobs: Optional[int] = None,
+) -> ExecutorDecision:
+    """The automatic K × cores × eligibility executor decision.
+
+    ==========  =======  ==========  ===========================
+    trials (K)  workers  eligible?   choice
+    ==========  =======  ==========  ===========================
+    1           any      any         serial
+    >1          1        yes         ensemble (in-process)
+    >1          >1       yes         hybrid (sharded ensembles)
+    >1          >1       no          process (per-trial pool)
+    >1          1        no          serial
+    ==========  =======  ==========  ===========================
+
+    ``cores`` defaults to the host's CPU count; ``jobs`` (explicit
+    pool width) overrides the ``min(K, cores)`` sizing.  Deterministic
+    in its inputs — callers that need host-independent choices pass
+    ``cores`` explicitly.
+    """
+    if num_seeds < 1:
+        raise ValueError(f"num_seeds must be >= 1, got {num_seeds!r}")
+    if jobs is not None and (isinstance(jobs, bool) or jobs < 1):
+        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
+    cores = cores if cores is not None else os.cpu_count() or 1
+    width = jobs if jobs is not None else max(1, min(num_seeds, cores))
+    if num_seeds == 1:
+        return ExecutorDecision(
+            "serial", 1, num_seeds, cores, eligible,
+            "a single trial has nothing to fan out",
+        )
+    if eligible:
+        if width > 1:
+            return ExecutorDecision(
+                "hybrid", width, num_seeds, cores, eligible,
+                f"{num_seeds} ensemble-eligible trials across {width} "
+                "workers: sharded lockstep ensembles",
+            )
+        return ExecutorDecision(
+            "ensemble", 1, num_seeds, cores, eligible,
+            "one worker: the in-process lockstep ensemble is the "
+            "fastest single-core sweep",
+        )
+    if width > 1:
+        return ExecutorDecision(
+            "process", width, num_seeds, cores, eligible,
+            "ensemble-ineligible configuration: per-trial process pool",
+        )
+    return ExecutorDecision(
+        "serial", 1, num_seeds, cores, eligible,
+        "one worker and no lockstep kernel: plain serial sweep",
+    )
+
+
+# ----------------------------------------------------------------------
+# Ship-once sweep state
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _DistanceHandle:
+    """How one sweep's distance matrix reaches the workers.
+
+    ``shm_name`` names a :class:`~multiprocessing.shared_memory.
+    SharedMemory` block the workers attach zero-copy; ``raw`` is the
+    pickled-bytes fallback for hosts where shared memory is
+    unavailable.  Exactly one of the two is set.
+    """
+
+    n: int
+    symmetric: bool
+    shm_name: Optional[str] = None
+    raw: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Everything immutable a hybrid sweep ships to each worker, once.
+
+    Crosses the process boundary exactly once per worker (via the pool
+    initializer); afterwards shard submissions reference it by
+    ``fingerprint`` only.
+    """
+
+    fingerprint: str
+    circuit: QuantumCircuit
+    coupling: CouplingGraph
+    config: Optional[HeuristicConfig]
+    num_traversals: int
+    pipeline: str
+    eligible: bool
+    distance: _DistanceHandle
+
+
+def sweep_fingerprint(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    config: Optional[HeuristicConfig],
+    num_traversals: int,
+    pipeline: str,
+    distance: FlatDistance,
+) -> str:
+    """Content address of one sweep's shared state (sha256 hex digest).
+
+    Built from the engine cache's circuit/coupling fingerprints plus
+    every knob that changes a trial's output, and a digest of the
+    actual distance buffer (callers may pass custom matrices that the
+    coupling fingerprint alone cannot distinguish).
+    """
+    distance_digest = hashlib.sha256(distance.buf.tobytes()).hexdigest()
+    parts = (
+        "repro-hybrid-sweep-v1",
+        circuit_fingerprint(circuit),
+        coupling_fingerprint(coupling),
+        repr(config),
+        num_traversals,
+        pipeline,
+        distance.n,
+        distance.symmetric,
+        distance_digest,
+    )
+    return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class _WorkerSweep:
+    """One installed sweep in a worker process."""
+
+    spec: SweepSpec
+    distance: FlatDistance
+    shm: Optional[object] = None  # keeps the mapping alive
+
+
+#: Worker-process sweep cache, keyed by sweep fingerprint.  Installed
+#: by the pool initializer; shard submissions only ever look up.
+_WORKER_SWEEPS: Dict[str, _WorkerSweep] = {}
+
+
+def _attach_distance(handle: _DistanceHandle):
+    """Materialise a worker-side FlatDistance from its transport handle.
+
+    Shared-memory blocks attach zero-copy: the worker's ``FlatDistance``
+    wraps a ``memoryview`` of the parent's table cast to doubles —
+    ``len``, indexing, and ``numpy.frombuffer`` all work on it, so both
+    the vector and fast scorers consume it unchanged.
+    """
+    if handle.shm_name is not None:
+        from multiprocessing import shared_memory
+
+        # Attaching re-registers the segment with the resource tracker
+        # (Python < 3.13 has no ``track=False``), but pool workers share
+        # the parent's tracker process and registration is
+        # set-idempotent there, so the parent's single ``unlink`` still
+        # unregisters exactly once.  Workers never close or unlink: they
+        # exit via ``os._exit`` when the pool shuts down, and the
+        # parent owns the segment's lifecycle.
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+        size = handle.n * handle.n * 8
+        view = shm.buf[:size].cast("d")
+        return FlatDistance(handle.n, view, handle.symmetric), shm
+    if handle.raw is None:  # pragma: no cover — constructor invariant
+        raise ReproError("distance handle carries neither shm nor bytes")
+    from array import array
+
+    buf = array("d")
+    buf.frombytes(handle.raw)
+    return FlatDistance(handle.n, buf, handle.symmetric), None
+
+
+def _install_sweep(spec: SweepSpec) -> None:
+    """Idempotently install one sweep's shared state in this worker."""
+    if spec.fingerprint in _WORKER_SWEEPS:
+        return
+    distance, shm = _attach_distance(spec.distance)
+    # Pre-seed the process-local engine cache: any path in this worker
+    # that resolves the device's distance itself now hits instead of
+    # re-running Floyd-Warshall.
+    from repro.engine.cache import GLOBAL_CACHE
+
+    GLOBAL_CACHE.seed_flat_distance(spec.coupling, distance)
+    _WORKER_SWEEPS[spec.fingerprint] = _WorkerSweep(
+        spec=spec, distance=distance, shm=shm
+    )
+
+
+def _init_sweep_worker(spec: SweepSpec) -> None:
+    """Pool initializer: the one crossing of the heavy payload."""
+    _install_sweep(spec)
+
+
+def _run_sweep_shard(
+    fingerprint: str, seeds: Tuple[int, ...]
+) -> List[MappingResult]:
+    """Worker entry point: run one shard of seeds against installed state.
+
+    The submission payload is exactly ``(fingerprint, seeds)`` — no
+    circuit, coupling, config, or distance ever rides along.
+    """
+    sweep = _WORKER_SWEEPS.get(fingerprint)
+    if sweep is None:
+        raise ReproError(
+            f"hybrid worker has no sweep {fingerprint[:12]}…; the pool "
+            "initializer did not run (or ran for a different sweep)"
+        )
+    spec = sweep.spec
+    if spec.eligible:
+        from repro.engine.ensemble import run_ensemble_trials
+
+        return run_ensemble_trials(
+            spec.circuit,
+            spec.coupling,
+            seeds,
+            config=spec.config,
+            num_traversals=spec.num_traversals,
+            distance=sweep.distance,
+            pipeline=spec.pipeline,
+        )
+    # Ensemble-ineligible configurations still benefit from the
+    # ship-once layer: per-seed serial trials against the installed
+    # state, byte-identical to the serial executor.
+    from repro.engine.trials import _run_one_trial
+
+    return [
+        _run_one_trial(
+            spec.circuit,
+            spec.coupling,
+            spec.config,
+            seed,
+            spec.num_traversals,
+            sweep.distance,
+            spec.pipeline,
+        )
+        for seed in seeds
+    ]
+
+
+def _mp_context():
+    """The hybrid pool's start-method context (honours the service's
+    ``REPRO_MP_START_METHOD`` knob; platform default otherwise)."""
+    method = os.environ.get(MP_START_METHOD_ENV, "").strip().lower()
+    if method:
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:
+            pass
+    return multiprocessing.get_context()
+
+
+def build_sweep_spec(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    config: Optional[HeuristicConfig],
+    num_traversals: int,
+    pipeline: str,
+    distance: FlatDistance,
+    eligible: bool,
+    use_shared_memory: bool = True,
+) -> Tuple[SweepSpec, Optional[object]]:
+    """Build one sweep's ship-once spec; returns ``(spec, shm_or_None)``.
+
+    The caller owns the returned shared-memory block (close + unlink
+    after the pool is done); ``None`` means the distance travels as
+    bytes inside the spec instead.
+    """
+    raw = distance.buf.tobytes()
+    handle = None
+    shm = None
+    if use_shared_memory:
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=len(raw))
+            shm.buf[: len(raw)] = raw
+            handle = _DistanceHandle(
+                distance.n, distance.symmetric, shm_name=shm.name
+            )
+        except Exception:
+            shm = None
+    if handle is None:
+        handle = _DistanceHandle(distance.n, distance.symmetric, raw=raw)
+    spec = SweepSpec(
+        fingerprint=sweep_fingerprint(
+            circuit, coupling, config, num_traversals, pipeline, distance
+        ),
+        circuit=circuit,
+        coupling=coupling,
+        config=config,
+        num_traversals=num_traversals,
+        pipeline=pipeline,
+        eligible=eligible,
+        distance=handle,
+    )
+    return spec, shm
+
+
+def run_hybrid_sweep(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    shards: Sequence[Sequence[int]],
+    config: Optional[HeuristicConfig] = None,
+    num_traversals: int = 3,
+    distance: Optional[FlatDistance] = None,
+    pipeline: str = "paper_default",
+    eligible: bool = True,
+) -> List[MappingResult]:
+    """Run pre-planned seed shards across a ship-once worker pool.
+
+    One worker per shard; each worker's initializer installs the sweep
+    spec (heavy payload crosses once), then every shard submission is
+    just ``(fingerprint, seeds)``.  Results come back concatenated in
+    seed order — per-seed byte-identical to the serial executor, so
+    the caller's winner selection is unchanged.
+
+    Raises whatever the pool raises (``BrokenProcessPool``, ``OSError``)
+    — callers downgrade to the in-process ensemble or serial sweep.
+    """
+    if not shards or not any(shards):
+        raise ReproError("run_hybrid_sweep needs at least one shard of seeds")
+    if distance is None:
+        from repro.engine.cache import get_flat_distance_matrix
+
+        distance = get_flat_distance_matrix(coupling)
+    elif not isinstance(distance, FlatDistance):
+        distance = FlatDistance.from_matrix(distance)
+    spec, shm = build_sweep_spec(
+        circuit, coupling, config, num_traversals, pipeline, distance,
+        eligible,
+    )
+    try:
+        with ProcessPoolExecutor(
+            max_workers=len(shards),
+            mp_context=_mp_context(),
+            initializer=_init_sweep_worker,
+            initargs=(spec,),
+        ) as pool:
+            futures = [
+                pool.submit(_run_sweep_shard, spec.fingerprint, tuple(shard))
+                for shard in shards
+            ]
+            shard_results = [future.result() for future in futures]
+    finally:
+        if shm is not None:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+    return [result for shard in shard_results for result in shard]

@@ -1,4 +1,4 @@
-"""Best-of-K seeded compilation trials (serial or process-parallel).
+"""Best-of-K seeded compilation trials (serial, process, ensemble, hybrid).
 
 SABRE's output quality is seed-dependent: the initial mapping is random
 and equal-score SWAPs tie-break randomly (paper §IV-A, §IV-C2).
@@ -23,9 +23,12 @@ matter how many trials it executes.
 
 from __future__ import annotations
 
+import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.heuristic import HeuristicConfig
@@ -36,12 +39,17 @@ from repro.hardware.coupling import CouplingGraph
 
 #: Executor names accepted by :func:`run_trials` / ``compile_many``.
 #: ``"ensemble"`` routes all trials in lockstep through one batched
-#: vector-scorer kernel (:mod:`repro.engine.ensemble`); it produces
-#: the serial executor's exact per-seed results and silently falls
-#: back to ``"serial"`` for configurations it cannot reproduce
-#: (non-vector scorer, asymmetric distances, embedding/baseline/noise
-#: pipelines).
-EXECUTORS = ("serial", "process", "ensemble")
+#: vector-scorer kernel (:mod:`repro.engine.ensemble`); ``"hybrid"``
+#: shards the seed list across worker processes, each running the
+#: lockstep ensemble against ship-once shared state
+#: (:mod:`repro.engine.shared`); ``"auto"`` resolves the best of the
+#: four from K, core count, and ensemble eligibility
+#: (:func:`repro.engine.shared.choose_executor`).  Every executor
+#: produces the serial executor's exact per-seed results; when a
+#: requested executor cannot serve a configuration it downgrades,
+#: records the effective executor on :class:`TrialsOutcome`, and warns
+#: once per downgrade kind.
+EXECUTORS = ("serial", "process", "ensemble", "hybrid", "auto")
 
 #: Depth weight of the ``weighted`` objective: ``g_add + W * d_out``.
 DEFAULT_DEPTH_WEIGHT = 0.5
@@ -124,11 +132,25 @@ class TrialsOutcome:
         trials: per-seed results, in seed-list order.
         winner_index: index into ``trials`` of the selected winner.
         objective: the objective name that ranked them.
+        requested_executor: the executor the caller asked for.
+        executor: the executor that actually ran — differs from
+            ``requested_executor`` after an ``"auto"`` resolution or a
+            downgrade (single seed, ineligible configuration, broken
+            worker pool).
+        shard_plan: the hybrid executor's seed shards (one list per
+            worker), ``None`` for every other executor.
+        downgrade_reason: why the requested executor could not run,
+            ``None`` when it did (``"auto"`` resolution is a choice,
+            not a downgrade).
     """
 
     trials: List[TrialResult]
     winner_index: int
     objective: str
+    requested_executor: str = "serial"
+    executor: str = "serial"
+    shard_plan: Optional[List[List[int]]] = None
+    downgrade_reason: Optional[str] = None
 
     @property
     def winner(self) -> TrialResult:
@@ -204,6 +226,27 @@ def _worker(
     return _run_one_trial(*payload)
 
 
+#: Downgrade kinds already warned about this process (warn once each,
+#: not once per sweep — a service replaying thousands of ineligible
+#: requests should not drown its log).
+_DOWNGRADES_WARNED: Set[Tuple[str, str]] = set()
+
+
+def _note_downgrade(requested: str, effective: str, reason: str) -> str:
+    """Record (and warn once per kind about) an executor downgrade."""
+    key = (requested, effective)
+    if key not in _DOWNGRADES_WARNED:
+        _DOWNGRADES_WARNED.add(key)
+        warnings.warn(
+            f"run_trials: requested executor {requested!r} ran as "
+            f"{effective!r} — {reason} (warned once per downgrade kind; "
+            "the effective executor is recorded on every TrialsOutcome)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return reason
+
+
 def run_trials(
     circuit: QuantumCircuit,
     coupling: CouplingGraph,
@@ -228,10 +271,18 @@ def run_trials(
             ``"weighted"`` (``g_add + 0.5 * d_out``), or
             ``"property:<key>"`` to rank by a value the trial pipeline
             recorded in its PropertySet.
-        executor: ``"serial"`` or ``"process"``
-            (:class:`~concurrent.futures.ProcessPoolExecutor`).
-        jobs: worker count for the process executor (default: as many
-            as trials, capped at the machine's core count).
+        executor: one of :data:`EXECUTORS` — ``"serial"``,
+            ``"process"`` (per-trial
+            :class:`~concurrent.futures.ProcessPoolExecutor`),
+            ``"ensemble"`` (single-process lockstep kernel),
+            ``"hybrid"`` (seed shards × lockstep ensembles across a
+            ship-once worker pool), or ``"auto"`` (chooser over K,
+            cores, and eligibility).  All produce identical per-seed
+            results; the one that actually ran is recorded on the
+            outcome.
+        jobs: worker count for the process/hybrid executors (default:
+            as many as trials, capped at the machine's core count).
+            Must be a positive integer when given.
         distance: precomputed distance matrix.  Computed once through
             the engine cache when omitted and shipped to every worker,
             so a pool run never repeats the Floyd-Warshall step.
@@ -251,6 +302,11 @@ def run_trials(
         raise ReproError(
             f"unknown executor {executor!r}; available: {list(EXECUTORS)}"
         )
+    if jobs is not None and (isinstance(jobs, bool) or jobs < 1):
+        raise ValueError(
+            f"jobs must be a positive integer, got {jobs!r}; omit it to "
+            "size the worker pool automatically"
+        )
     if (
         objective not in OBJECTIVES
         and not objective.startswith(PROPERTY_OBJECTIVE_PREFIX)
@@ -265,80 +321,129 @@ def run_trials(
         # when trials fan out across a process pool.
         distance = get_flat_distance_matrix(coupling)
 
-    if executor == "ensemble":
-        from repro.engine.ensemble import (
-            decompose_like_pipeline,
-            ensemble_eligible,
-            ensemble_layout_search,
+    requested = executor
+    downgrade_reason: Optional[str] = None
+    shard_plan: Optional[List[List[int]]] = None
+
+    def _finish(
+        results: Sequence[MappingResult], effective: str
+    ) -> TrialsOutcome:
+        trials = [
+            TrialResult(
+                seed=seed,
+                result=result,
+                value=objective_value(result, objective),
+            )
+            for seed, result in zip(seeds, results)
+        ]
+        return TrialsOutcome(
+            trials=trials,
+            winner_index=select_winner(trials),
+            objective=objective,
+            requested_executor=requested,
+            executor=effective,
+            shard_plan=shard_plan,
+            downgrade_reason=downgrade_reason,
         )
 
-        if ensemble_eligible(pipeline, config, distance):
-            from repro.pipeline.runner import get_pipeline
+    def _eligible() -> bool:
+        from repro.engine.ensemble import ensemble_eligible
 
-            searches = ensemble_layout_search(
+        return ensemble_eligible(pipeline, config, distance)
+
+    if executor == "auto":
+        from repro.engine.shared import choose_executor
+
+        # A choice, not a downgrade: "auto" promises nothing beyond
+        # "the fastest executor for this sweep on this host".
+        executor = choose_executor(
+            len(seeds), eligible=_eligible(), jobs=jobs
+        ).executor
+
+    if executor == "hybrid":
+        from repro.engine.shared import plan_shards, run_hybrid_sweep
+
+        if len(seeds) == 1:
+            executor = "serial"
+            downgrade_reason = _note_downgrade(
+                requested, "serial", "a single seed has nothing to shard"
+            )
+        else:
+            width = (
+                jobs
+                if jobs is not None
+                else max(1, min(len(seeds), os.cpu_count() or 1))
+            )
+            eligible = _eligible()
+            shard_plan = plan_shards(list(seeds), width)
+            try:
+                results = run_hybrid_sweep(
+                    circuit,
+                    coupling,
+                    shard_plan,
+                    config=config,
+                    num_traversals=num_traversals,
+                    distance=distance,
+                    pipeline=pipeline,
+                    eligible=eligible,
+                )
+                return _finish(results, "hybrid")
+            except (BrokenProcessPool, OSError) as exc:
+                shard_plan = None
+                executor = "ensemble" if eligible else "serial"
+                downgrade_reason = _note_downgrade(
+                    requested, executor,
+                    f"hybrid worker pool unavailable ({exc})",
+                )
+
+    if executor == "ensemble":
+        from repro.engine.ensemble import ensemble_eligible, run_ensemble_trials
+
+        if ensemble_eligible(pipeline, config, distance):
+            results = run_ensemble_trials(
+                circuit,
                 coupling,
-                decompose_like_pipeline(circuit),
                 seeds,
                 config=config,
                 num_traversals=num_traversals,
                 distance=distance,
+                pipeline=pipeline,
             )
-            pipe = get_pipeline(pipeline)
-            # Re-enter the per-trial pipeline with the search result
-            # precomputed: decomposition, metrics, and any post-routing
-            # passes run exactly as on the serial path, so each trial's
-            # MappingResult matches the serial executor's byte for byte
-            # (the layout-search pass adopts the injected record).
-            results = [
-                pipe.run(
-                    circuit,
-                    coupling,
-                    config=config,
-                    seed=seed,
-                    num_trials=1,
-                    num_traversals=num_traversals,
-                    distance=distance,
-                    executor=None,
-                    layout_search=search,
-                )
-                for seed, search in zip(seeds, searches)
-            ]
-            trials = [
-                TrialResult(
-                    seed=seed,
-                    result=result,
-                    value=objective_value(result, objective),
-                )
-                for seed, result in zip(seeds, results)
-            ]
-            return TrialsOutcome(
-                trials=trials,
-                winner_index=select_winner(trials),
-                objective=objective,
-            )
+            return _finish(results, "ensemble")
         executor = "serial"
+        if requested != "auto":
+            downgrade_reason = _note_downgrade(
+                requested, "serial",
+                "ensemble-ineligible configuration (non-vector scorer, "
+                "asymmetric distance matrix, or a pipeline whose routing "
+                "stage is not the plain layout search)",
+            )
 
     payloads = [
         (circuit, coupling, config, seed, num_traversals, distance, pipeline)
         for seed in seeds
     ]
-    if executor == "process" and len(seeds) > 1:
-        import os
+    if executor == "process":
+        if len(seeds) == 1:
+            downgrade_reason = _note_downgrade(
+                requested, "serial",
+                "a single seed has nothing to parallelise",
+            )
+        else:
+            max_workers = (
+                jobs
+                if jobs is not None
+                else min(len(seeds), os.cpu_count() or 1)
+            )
+            try:
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    results = list(pool.map(_worker, payloads))
+                return _finish(results, "process")
+            except (BrokenProcessPool, OSError) as exc:
+                downgrade_reason = _note_downgrade(
+                    requested, "serial",
+                    f"worker pool unavailable ({exc})",
+                )
 
-        max_workers = (
-            jobs if jobs and jobs > 0 else min(len(seeds), os.cpu_count() or 1)
-        )
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(_worker, payloads))
-    else:
-        results = [_run_one_trial(*p) for p in payloads]
-
-    trials = [
-        TrialResult(
-            seed=seed, result=result, value=objective_value(result, objective)
-        )
-        for seed, result in zip(seeds, results)
-    ]
-    return TrialsOutcome(
-        trials=trials, winner_index=select_winner(trials), objective=objective
-    )
+    results = [_run_one_trial(*p) for p in payloads]
+    return _finish(results, "serial")

@@ -209,6 +209,21 @@ class SabreLayoutPass(TransformPass):
         }
         context.properties["engine.trial_swaps"] = outcome.trial_swaps
         context.properties["engine.winning_seed"] = outcome.winner.seed
+        # The executor-decision report: which fan-out strategy actually
+        # ran (after "auto" resolution or a downgrade), and the hybrid
+        # executor's seed shards.  Surfaced by ``repro map --verbose``.
+        context.properties["engine.executor"] = outcome.executor
+        context.properties["engine.requested_executor"] = (
+            outcome.requested_executor
+        )
+        if outcome.shard_plan is not None:
+            context.properties["engine.shard_plan"] = [
+                list(shard) for shard in outcome.shard_plan
+            ]
+        if outcome.downgrade_reason:
+            context.properties["engine.downgrade_reason"] = (
+                outcome.downgrade_reason
+            )
 
 
 class SabreRoutePass(TransformPass):

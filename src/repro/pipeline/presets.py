@@ -126,6 +126,21 @@ PRESETS: Dict[str, PresetSpec] = {
         {"executor": "ensemble"},
         "best-of-K trials routed in lockstep through one batched kernel",
     ),
+    # Multi-core sweep: seed shards × lockstep ensembles over a
+    # ship-once worker pool (repro.engine.shared); same per-seed
+    # results as the paper pipeline, sized to the host's cores.
+    "hybrid": (
+        _paper_passes,
+        {"executor": "hybrid"},
+        "best-of-K trials sharded across ship-once ensemble workers",
+    ),
+    # Let the engine pick serial/ensemble/hybrid/process per sweep
+    # from K, the core count, and ensemble eligibility.
+    "sweep_auto": (
+        _paper_passes,
+        {"executor": "auto"},
+        "best-of-K trials on the automatically chosen executor",
+    ),
     # Try to *prove* a zero-SWAP mapping first (subgraph embedding);
     # fall through to the full search when none exists.
     "best_effort": (

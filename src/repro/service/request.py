@@ -225,18 +225,58 @@ class CompileRequest:
         return HeuristicConfig(**dict(self.config))
 
 
+def trial_executor_decision(request: CompileRequest, trial_jobs: int):
+    """The multi-trial executor a lane with ``trial_jobs`` cores runs.
+
+    Returns an :class:`~repro.engine.shared.ExecutorDecision`, or
+    ``None`` when the request's effective trial count is 1 (nothing to
+    fan out — the default serial path stays).  Deterministic in the
+    request and ``trial_jobs`` (the host's core count is deliberately
+    *not* consulted), so every lane of every replica makes the same
+    choice for the same request.
+    """
+    from repro.engine.ensemble import ensemble_eligible
+    from repro.engine.shared import choose_executor
+    from repro.pipeline.runner import get_pipeline
+
+    pipe = get_pipeline(request.pipeline)
+    num_trials = request.num_trials
+    if num_trials is None:
+        num_trials = pipe.defaults.get("num_trials", 5)
+    if num_trials is None or num_trials <= 1:
+        return None
+    eligible = ensemble_eligible(
+        request.pipeline, request.heuristic_config(), None
+    )
+    return choose_executor(
+        num_trials, cores=trial_jobs, eligible=eligible
+    )
+
+
 def execute_request(
     request: CompileRequest,
     circuit: Optional[QuantumCircuit] = None,
     key: Optional[str] = None,
+    trial_jobs: Optional[int] = None,
 ):
     """Run one request through its pipeline; return a StoredResult.
 
-    This is the only place the service actually compiles.  Requests run
-    on the serial engine path (``executor=None``): the scheduler's
-    worker pool already provides request-level concurrency, and nesting
-    a process pool inside every worker thread would oversubscribe the
-    host for no quality gain.
+    This is the only place the service actually compiles.  By default
+    requests run on the serial engine path (``executor=None``): the
+    scheduler's worker pool already provides request-level concurrency,
+    and nesting a process pool inside every worker thread would
+    oversubscribe the host for no quality gain.
+
+    ``trial_jobs`` is the opt-in multi-core sweep knob (``repro serve
+    --trial-jobs N``): it grants each compile that many cores for its
+    best-of-K fan-out, routed through the engine's executor chooser
+    (hybrid sharded ensembles when eligible and ``N > 1``).  Note the
+    engine executors rank trial winners by the request's objective
+    with earliest-seed ties, whereas the default in-search path ranks
+    by ``(num_swaps, depth)`` — all engine executors agree with each
+    other, so results stay deterministic for a given ``trial_jobs``
+    setting, but a deployment should not mix ``trial_jobs`` on and off
+    against one shared store.
 
     ``circuit`` and ``key`` accept the parse and fingerprint the
     scheduler already performed at submission, so a scheduled compile
@@ -250,6 +290,13 @@ def execute_request(
     if circuit is None:
         circuit = request.parsed_circuit()
     coupling = get_cached_device(request.device)
+    executor = None
+    jobs = None
+    if trial_jobs is not None and trial_jobs >= 1:
+        decision = trial_executor_decision(request, trial_jobs)
+        if decision is not None:
+            executor = decision.executor
+            jobs = decision.jobs
     result = get_pipeline(request.pipeline).run(
         circuit,
         coupling,
@@ -258,7 +305,8 @@ def execute_request(
         num_trials=request.num_trials,
         num_traversals=request.num_traversals,
         objective=request.objective,
-        executor=None,
+        executor=executor,
+        jobs=jobs,
     )
     routed = result.physical_circuit(decompose_swaps=True)
     return StoredResult(

@@ -334,6 +334,7 @@ class CoalescingScheduler:
         degrade: bool = False,
         degrade_queue_threshold: Optional[int] = None,
         degrade_crash_threshold: int = 3,
+        trial_jobs: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ReproError("CoalescingScheduler needs workers >= 1")
@@ -344,12 +345,22 @@ class CoalescingScheduler:
             )
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ReproError("max_queue_depth must be >= 1 (or None)")
+        if trial_jobs is not None and trial_jobs < 1:
+            raise ValueError(
+                f"trial_jobs must be a positive integer, got {trial_jobs!r}"
+            )
         if crash_retries < 0:
             raise ReproError("crash_retries must be >= 0")
         if poison_threshold < 1:
             raise ReproError("poison_threshold must be >= 1")
         self.store = store if store is not None else ResultStore()
         self.compile_fn = compile_fn
+        #: Opt-in multi-core trial sweeps: cores granted to each
+        #: compile's best-of-K fan-out (the hybrid/ensemble engine
+        #: path).  ``None`` keeps the classic serial in-worker sweep.
+        #: When set, ``compile_fn`` must accept a ``trial_jobs`` kwarg
+        #: (the production ``execute_request`` does).
+        self.trial_jobs = trial_jobs
         self.workers = workers
         self.execution = execution
         self.max_queue_depth = max_queue_depth
@@ -407,7 +418,8 @@ class CoalescingScheduler:
         if execution == "process":
             context = resolve_mp_context(mp_start_method)
             self._lanes: List[Optional[WorkerLane]] = [
-                WorkerLane(compile_fn, context) for _ in range(workers)
+                WorkerLane(compile_fn, context, trial_jobs=trial_jobs)
+                for _ in range(workers)
             ]
         else:
             self._lanes = [None] * workers
@@ -745,9 +757,17 @@ class CoalescingScheduler:
                     )
                 else:
                     apply_worker_fault(token, hard=False)
-                    result = self.compile_fn(
-                        exec_request, circuit=job.circuit, key=job.key
-                    )
+                    if self.trial_jobs is None:
+                        result = self.compile_fn(
+                            exec_request, circuit=job.circuit, key=job.key
+                        )
+                    else:
+                        result = self.compile_fn(
+                            exec_request,
+                            circuit=job.circuit,
+                            key=job.key,
+                            trial_jobs=self.trial_jobs,
+                        )
             except BaseException as exc:  # noqa: BLE001 — job carries it
                 delay = self._handle_dispatch_failure(job, exc, supervisor)
                 if delay > 0.0:

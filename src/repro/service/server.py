@@ -427,6 +427,7 @@ def build_server(
     max_queue_depth: Optional[int] = None,
     default_timeout: Optional[float] = None,
     degrade: bool = False,
+    trial_jobs: Optional[int] = None,
 ) -> ThreadingHTTPServer:
     """Construct (but do not start) a service instance.
 
@@ -453,6 +454,7 @@ def build_server(
             max_queue_depth=max_queue_depth,
             default_timeout=default_timeout,
             degrade=degrade,
+            trial_jobs=trial_jobs,
         )
     )
     server = ThreadingHTTPServer((host, port), ServiceHandler)

@@ -201,7 +201,7 @@ def _fail_pending_futures(pool: ProcessPoolExecutor, reason: str) -> None:
 
 
 def _execute_in_process(compile_fn: Callable, request, circuit, key,
-                        fault_token=None):
+                        fault_token=None, trial_jobs=None):
     """Worker-process entry point (module-level so it pickles).
 
     ``compile_fn`` travels by reference (production:
@@ -210,9 +210,15 @@ def _execute_in_process(compile_fn: Callable, request, circuit, key,
     hands its in-process executor.  ``fault_token`` keys the
     ``worker.execute`` injection seam; fault plans reach spawned
     workers via the ``REPRO_FAULT_PLAN`` environment variable.
+    ``trial_jobs`` (the lane's multi-core sweep grant) is forwarded
+    only when set, so injected ``compile_fn`` stand-ins without the
+    parameter keep working on default-configured lanes.
     """
     apply_worker_fault(fault_token, hard=True)
-    return compile_fn(request, circuit=circuit, key=key)
+    if trial_jobs is None:
+        return compile_fn(request, circuit=circuit, key=key)
+    return compile_fn(request, circuit=circuit, key=key,
+                      trial_jobs=trial_jobs)
 
 
 class WorkerLane:
@@ -231,8 +237,12 @@ class WorkerLane:
         compile_fn: Callable,
         mp_context: Optional[multiprocessing.context.BaseContext] = None,
         ready_timeout: float = WORKER_READY_TIMEOUT,
+        trial_jobs: Optional[int] = None,
     ) -> None:
         self.compile_fn = compile_fn
+        #: Cores granted to each compile's best-of-K trial fan-out
+        #: (``None`` keeps the serial in-worker sweep).
+        self.trial_jobs = trial_jobs
         self.mp_context = (
             mp_context if mp_context is not None else resolve_mp_context()
         )
@@ -291,6 +301,7 @@ class WorkerLane:
                         circuit,
                         key,
                         fault_token,
+                        self.trial_jobs,
                     )
                 except BrokenProcessPool as exc:
                     self._discard_pool(pool)

@@ -212,6 +212,64 @@ class TestEnsembleIdentity:
             assert a.result.routing.circuit == b.result.routing.circuit
             assert a.result.initial_layout == b.result.initial_layout
 
+    @pytest.mark.parametrize("num_traversals", [1, 3])
+    @pytest.mark.parametrize("scorer", ["vector", "fast"])
+    def test_hybrid_per_seed_identity(self, scorer, num_traversals):
+        """The sharded hybrid executor vs serial, across scorers: the
+        vector scorer shards run lockstep ensembles, the fast scorer
+        (ensemble-ineligible) shards run per-seed serial trials — both
+        against ship-once worker state, both byte-identical."""
+        device = grid_device(4, 4)
+        circuit = random_circuit(16, 120, seed=29, two_qubit_fraction=0.8)
+        seeds = [5, 6, 7, 8, 9]
+        config = HeuristicConfig(scorer=scorer)
+        hyb = run_trials(
+            circuit, device, seeds=seeds, config=config,
+            num_traversals=num_traversals, executor="hybrid", jobs=2,
+        )
+        ser = run_trials(
+            circuit, device, seeds=seeds, config=config,
+            num_traversals=num_traversals, executor="serial",
+        )
+        assert hyb.executor == "hybrid"
+        assert hyb.shard_plan == [[5, 6, 7], [8, 9]]
+        assert hyb.trial_swaps == ser.trial_swaps
+        assert hyb.winner_index == ser.winner_index
+        for a, b in zip(hyb.trials, ser.trials):
+            assert a.result.routing.circuit == b.result.routing.circuit
+            assert a.result.initial_layout == b.result.initial_layout
+            assert a.result.final_layout == b.result.final_layout
+
+    def test_hybrid_replay_handles_directives(self):
+        """Multi-traversal directive replay inside hybrid shard workers
+        matches the serial path byte for byte (same contract the
+        in-process ensemble already satisfies)."""
+        from repro.circuits import QuantumCircuit
+
+        device = grid_device(3, 3)
+        base = random_circuit(9, 90, seed=31, two_qubit_fraction=0.8)
+        circuit = QuantumCircuit(9, "directives")
+        for i, gate in enumerate(base.gates):
+            circuit.append(gate)
+            if i % 20 == 10:
+                circuit.barrier()
+            if i % 25 == 5:
+                circuit.measure(i % 9)
+        seeds = [1, 2, 3, 4]
+        hyb = run_trials(
+            circuit, device, seeds=seeds,
+            config=HeuristicConfig(scorer="vector"),
+            num_traversals=3, executor="hybrid", jobs=2,
+        )
+        ser = run_trials(
+            circuit, device, seeds=seeds,
+            config=HeuristicConfig(scorer="fast"),
+            num_traversals=3, executor="serial",
+        )
+        assert hyb.trial_swaps == ser.trial_swaps
+        for a, b in zip(hyb.trials, ser.trials):
+            assert a.result.routing.circuit == b.result.routing.circuit
+
     def test_replay_handles_directives(self):
         """Measure/reset/barrier directives ride through the no-emit
         search mode: SearchTrace's depth counter skips them exactly as

@@ -60,8 +60,10 @@ class TestCompileMany:
         circuits = [random_circuit(4, 5, seed=0)]
         with pytest.raises(ReproError, match="num_trials"):
             compile_many(circuits, grid3x3, num_trials=0)
-        with pytest.raises(ReproError, match="jobs"):
+        with pytest.raises(ValueError, match="jobs"):
             compile_many(circuits, grid3x3, jobs=0)
+        with pytest.raises(ReproError, match="executor"):
+            compile_many(circuits, grid3x3, executor="warp")
         with pytest.raises(ReproError, match="objective"):
             compile_many(circuits, grid3x3, objective="speed")
 

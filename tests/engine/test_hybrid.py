@@ -1,0 +1,367 @@
+"""Tests for the hybrid executor's machinery (repro.engine.shared):
+shard planning, the automatic executor chooser, the ship-once
+shared-state layer, and executor downgrade reporting."""
+
+import warnings
+
+import pytest
+
+from repro.circuits import random_circuit
+from repro.core.heuristic import HeuristicConfig
+from repro.engine import GLOBAL_CACHE, run_trials
+from repro.engine.cache import get_flat_distance_matrix
+from repro.engine.shared import (
+    ExecutorDecision,
+    SweepSpec,
+    _install_sweep,
+    _run_sweep_shard,
+    _WORKER_SWEEPS,
+    build_sweep_spec,
+    choose_executor,
+    plan_shards,
+    run_hybrid_sweep,
+    sweep_fingerprint,
+)
+from repro.engine.trials import _DOWNGRADES_WARNED
+from repro.exceptions import ReproError
+from repro.hardware import grid_device
+
+
+@pytest.fixture
+def device():
+    return grid_device(3, 3)
+
+
+@pytest.fixture
+def workload():
+    return random_circuit(9, 60, seed=11, two_qubit_fraction=0.7)
+
+
+class TestPlanShards:
+    def test_even_split(self):
+        assert plan_shards([0, 1, 2, 3], 2) == [[0, 1], [2, 3]]
+
+    def test_k_not_divisible_by_p(self):
+        # The first K % P shards take the extra seed.
+        assert plan_shards([0, 1, 2, 3, 4], 2) == [[0, 1, 2], [3, 4]]
+        assert plan_shards(list(range(7)), 3) == [[0, 1, 2], [3, 4], [5, 6]]
+
+    def test_k_smaller_than_p(self):
+        # Never more shards than seeds.
+        assert plan_shards([4, 5], 8) == [[4], [5]]
+
+    def test_p_equals_one(self):
+        assert plan_shards([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_order_preserved(self):
+        seeds = [9, 3, 7, 1, 5]
+        shards = plan_shards(seeds, 2)
+        assert [s for shard in shards for s in shard] == seeds
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="seed"):
+            plan_shards([], 2)
+        with pytest.raises(ValueError, match="num_shards"):
+            plan_shards([1], 0)
+
+
+class TestChooseExecutor:
+    def test_single_seed_is_serial(self):
+        assert choose_executor(1, cores=8).executor == "serial"
+
+    def test_eligible_multicore_is_hybrid(self):
+        decision = choose_executor(6, cores=4, eligible=True)
+        assert decision.executor == "hybrid"
+        assert decision.jobs == 4
+
+    def test_eligible_single_core_is_ensemble(self):
+        assert choose_executor(6, cores=1, eligible=True).executor == "ensemble"
+
+    def test_ineligible_multicore_is_process(self):
+        assert choose_executor(6, cores=4, eligible=False).executor == "process"
+
+    def test_ineligible_single_core_is_serial(self):
+        assert choose_executor(6, cores=1, eligible=False).executor == "serial"
+
+    def test_jobs_overrides_core_sizing(self):
+        decision = choose_executor(8, cores=1, eligible=True, jobs=3)
+        assert decision.executor == "hybrid"
+        assert decision.jobs == 3
+
+    def test_width_capped_by_seed_count(self):
+        assert choose_executor(2, cores=16, eligible=True).jobs == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_seeds"):
+            choose_executor(0)
+        with pytest.raises(ValueError, match="jobs"):
+            choose_executor(4, jobs=0)
+
+    def test_as_properties_is_json_safe(self):
+        import json
+
+        props = choose_executor(4, cores=2).as_properties()
+        assert json.loads(json.dumps(props)) == props
+        assert props["executor"] == "hybrid"
+
+
+class TestShipOnce:
+    def test_submission_payload_is_fingerprint_and_seeds_only(
+        self, device, workload
+    ):
+        """After the initializer ships the spec, a shard submission
+        carries no circuit/coupling/distance payload — the worker entry
+        point takes exactly (fingerprint, seeds)."""
+        distance = get_flat_distance_matrix(device)
+        spec, shm = build_sweep_spec(
+            workload, device, None, 3, "paper_default", distance, True
+        )
+        try:
+            _install_sweep(spec)  # simulate the pool initializer
+            results = _run_sweep_shard(spec.fingerprint, (0, 1))
+            assert len(results) == 2
+        finally:
+            _WORKER_SWEEPS.pop(spec.fingerprint, None)
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+        serial = run_trials(workload, device, [0, 1], executor="serial")
+        for result, trial in zip(results, serial.trials):
+            assert result.routing.circuit == trial.result.routing.circuit
+
+    def test_unknown_fingerprint_rejected(self):
+        with pytest.raises(ReproError, match="no sweep"):
+            _run_sweep_shard("deadbeef" * 8, (0,))
+
+    def test_install_is_idempotent(self, device, workload):
+        distance = get_flat_distance_matrix(device)
+        spec, shm = build_sweep_spec(
+            workload, device, None, 3, "paper_default", distance, True,
+            use_shared_memory=False,
+        )
+        assert shm is None  # bytes fallback requested
+        try:
+            _install_sweep(spec)
+            first = _WORKER_SWEEPS[spec.fingerprint]
+            _install_sweep(spec)
+            assert _WORKER_SWEEPS[spec.fingerprint] is first
+        finally:
+            _WORKER_SWEEPS.pop(spec.fingerprint, None)
+
+    def test_bytes_fallback_matches_shared_memory(self, device, workload):
+        """Hosts without usable shared memory ship the distance as
+        bytes; the sweep's results must not depend on the transport."""
+        shards = [[0, 1], [2]]
+        distance = get_flat_distance_matrix(device)
+        via_shm = run_hybrid_sweep(
+            workload, device, shards, distance=distance
+        )
+        spec, shm = build_sweep_spec(
+            workload, device, None, 3, "paper_default", distance, True,
+            use_shared_memory=False,
+        )
+        try:
+            _install_sweep(spec)
+            via_bytes = [
+                r
+                for shard in shards
+                for r in _run_sweep_shard(spec.fingerprint, tuple(shard))
+            ]
+        finally:
+            _WORKER_SWEEPS.pop(spec.fingerprint, None)
+        for a, b in zip(via_shm, via_bytes):
+            assert a.routing.circuit == b.routing.circuit
+
+    def test_fingerprint_distinguishes_knobs(self, device, workload):
+        distance = get_flat_distance_matrix(device)
+        base = sweep_fingerprint(
+            workload, device, None, 3, "paper_default", distance
+        )
+        assert base != sweep_fingerprint(
+            workload, device, None, 1, "paper_default", distance
+        )
+        assert base != sweep_fingerprint(
+            workload, device, HeuristicConfig(mode="basic"), 3,
+            "paper_default", distance,
+        )
+        assert base == sweep_fingerprint(
+            workload, device, None, 3, "paper_default", distance
+        )
+
+    def test_worker_cache_preseeded(self, device, workload):
+        """The initializer seeds the worker's engine cache with the
+        shipped distance, so in-worker resolution hits, never
+        recomputes."""
+        distance = get_flat_distance_matrix(device)
+        fresh_device = grid_device(3, 3)
+        spec, shm = build_sweep_spec(
+            workload, fresh_device, None, 3, "paper_default", distance,
+            True, use_shared_memory=False,
+        )
+        try:
+            _install_sweep(spec)
+            # Same structural fingerprint -> the seeded entry answers.
+            before = GLOBAL_CACHE.stats()["misses"]
+            resolved = get_flat_distance_matrix(fresh_device)
+            assert GLOBAL_CACHE.stats()["misses"] == before
+            assert resolved.buf == distance.buf
+        finally:
+            _WORKER_SWEEPS.pop(spec.fingerprint, None)
+
+    def test_seed_flat_distance_first_store_wins(self, device):
+        flat = get_flat_distance_matrix(device)
+        # Already cached by the fetch above -> seeding is a no-op.
+        assert GLOBAL_CACHE.seed_flat_distance(device, flat) is False
+
+
+class TestHybridExecutor:
+    def test_shard_boundary_sweep(self, device, workload):
+        """K not divisible by P, K < P, and P = 1 all reduce to the
+        serial executor's per-seed results."""
+        serial = run_trials(workload, device, [0, 1, 2, 3, 4])
+        for jobs, expected_plan in (
+            (2, [[0, 1, 2], [3, 4]]),   # K % P != 0
+            (8, [[0], [1], [2], [3], [4]]),  # K < P
+            (1, [[0, 1, 2, 3, 4]]),     # P = 1
+        ):
+            hyb = run_trials(
+                workload, device, [0, 1, 2, 3, 4],
+                executor="hybrid", jobs=jobs,
+            )
+            assert hyb.shard_plan == expected_plan
+            assert hyb.trial_swaps == serial.trial_swaps
+            assert hyb.winner_index == serial.winner_index
+            for a, b in zip(hyb.trials, serial.trials):
+                assert a.result.routing.circuit == b.result.routing.circuit
+
+    def test_outcome_records_executor(self, device, workload):
+        hyb = run_trials(
+            workload, device, [0, 1], executor="hybrid", jobs=2
+        )
+        assert hyb.requested_executor == "hybrid"
+        assert hyb.executor == "hybrid"
+        assert hyb.downgrade_reason is None
+        serial = run_trials(workload, device, [0, 1])
+        assert serial.requested_executor == "serial"
+        assert serial.executor == "serial"
+        assert serial.shard_plan is None
+
+    def test_single_seed_downgrades_with_warning(self, device, workload):
+        _DOWNGRADES_WARNED.clear()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            outcome = run_trials(
+                workload, device, [3], executor="hybrid", jobs=2
+            )
+            # Warned once per downgrade kind, not once per sweep.
+            again = run_trials(
+                workload, device, [3], executor="hybrid", jobs=2
+            )
+        assert outcome.executor == "serial"
+        assert outcome.requested_executor == "hybrid"
+        assert "single seed" in outcome.downgrade_reason
+        assert again.downgrade_reason == outcome.downgrade_reason
+        downgrades = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(downgrades) == 1
+
+    def test_ensemble_downgrade_recorded(self, device, workload):
+        _DOWNGRADES_WARNED.clear()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            outcome = run_trials(
+                workload, device, [0, 1],
+                config=HeuristicConfig(scorer="fast"),
+                executor="ensemble",
+            )
+        assert outcome.executor == "serial"
+        assert outcome.requested_executor == "ensemble"
+        assert "ineligible" in outcome.downgrade_reason
+        assert any(
+            issubclass(w.category, RuntimeWarning) for w in caught
+        )
+
+    def test_jobs_validation(self, device, workload):
+        with pytest.raises(ValueError, match="jobs"):
+            run_trials(workload, device, [0, 1], jobs=0)
+        with pytest.raises(ValueError, match="jobs"):
+            run_trials(
+                workload, device, [0, 1], executor="hybrid", jobs=-2
+            )
+
+    def test_auto_resolves_on_this_host(self, device, workload):
+        outcome = run_trials(workload, device, [0, 1, 2], executor="auto")
+        assert outcome.requested_executor == "auto"
+        # Whatever the host's core count picked, per-seed results match
+        # serial and no downgrade is recorded (a choice is not one).
+        assert outcome.executor in ("serial", "ensemble", "hybrid", "process")
+        assert outcome.downgrade_reason is None
+        serial = run_trials(workload, device, [0, 1, 2])
+        assert outcome.trial_swaps == serial.trial_swaps
+
+
+class TestServiceTrialJobs:
+    def test_execute_request_engine_paths_agree(self, workload):
+        from repro.qasm import emit_qasm
+        from repro.service.request import (
+            CompileRequest,
+            execute_request,
+            trial_executor_decision,
+        )
+
+        request = CompileRequest(
+            qasm=emit_qasm(workload), device="ibm_q20_tokyo", num_trials=4
+        )
+        decision = trial_executor_decision(request, 2)
+        assert isinstance(decision, ExecutorDecision)
+        assert decision.executor == "hybrid"
+        hybrid = execute_request(request, trial_jobs=2)
+        ensemble = execute_request(request, trial_jobs=1)
+        assert hybrid.routed_qasm == ensemble.routed_qasm
+        drop_walltime = lambda m: {k: v for k, v in m.items() if k != "t_sec"}
+        assert drop_walltime(hybrid.metrics) == drop_walltime(ensemble.metrics)
+        assert hybrid.properties.get("engine.executor") == "hybrid"
+        assert ensemble.properties.get("engine.executor") == "ensemble"
+
+    def test_single_trial_requests_stay_on_default_path(self, workload):
+        from repro.qasm import emit_qasm
+        from repro.service.request import (
+            CompileRequest,
+            execute_request,
+            trial_executor_decision,
+        )
+
+        request = CompileRequest(
+            qasm=emit_qasm(workload), device="ibm_q20_tokyo", num_trials=1
+        )
+        assert trial_executor_decision(request, 4) is None
+        plain = execute_request(request)
+        granted = execute_request(request, trial_jobs=4)
+        assert plain.routed_qasm == granted.routed_qasm
+
+    def test_scheduler_thread_tier_forwards_trial_jobs(self, workload):
+        from repro.qasm import emit_qasm
+        from repro.service.request import CompileRequest
+        from repro.service.scheduler import CoalescingScheduler
+        from repro.service.store import ResultStore
+
+        request = CompileRequest(
+            qasm=emit_qasm(workload), device="ibm_q20_tokyo", num_trials=3
+        )
+        scheduler = CoalescingScheduler(
+            store=ResultStore(), workers=1, trial_jobs=2
+        )
+        try:
+            job = scheduler.wait(scheduler.submit(request), timeout=120.0)
+        finally:
+            scheduler.shutdown()
+        assert job.result is not None
+        assert job.result.properties.get("engine.executor") == "hybrid"
+
+    def test_scheduler_rejects_bad_trial_jobs(self):
+        from repro.service.scheduler import CoalescingScheduler
+        from repro.service.store import ResultStore
+
+        with pytest.raises(ValueError, match="trial_jobs"):
+            CoalescingScheduler(store=ResultStore(), workers=1, trial_jobs=0)

@@ -96,6 +96,11 @@ class TestExecutors:
         )
         assert len(outcome.trials) == 1
         assert outcome.winner.seed == 7
+        # The downgrade is no longer silent: the outcome records the
+        # executor that actually ran, and why.
+        assert outcome.requested_executor == "process"
+        assert outcome.executor == "serial"
+        assert outcome.downgrade_reason is not None
 
 
 class TestObjectives:
@@ -153,4 +158,6 @@ class TestValidation:
             run_trials(workload, grid3x3, seeds=[0], executor="thread")
 
     def test_executor_registry(self):
-        assert EXECUTORS == ("serial", "process", "ensemble")
+        assert EXECUTORS == (
+            "serial", "process", "ensemble", "hybrid", "auto"
+        )
