@@ -43,6 +43,7 @@ from repro.bench_circuits import build_benchmark, suite
 from repro.hardware import get_device
 from repro.qasm import emit_qasm, parse_qasm
 from repro.service.client import ServiceClient, find_free_port
+from repro.telemetry.metrics import LATENCY_BUCKETS_SECONDS, histogram_payload
 from repro.verify import is_hardware_compliant
 
 #: Warm (store-hit) latency must be below this fraction of cold latency.
@@ -323,6 +324,11 @@ def replay(
         f"{execution}: {scheduler['executions']} executions for "
         f"{unique} unique requests — store/coalescing dedup broken",
     )
+    # The latency distribution exports through the same histogram
+    # definition (bucket bounds + quantile estimator) the live service
+    # publishes on /metrics — a Prometheus query over the running tier
+    # and this report's numbers agree bucket-for-bucket.
+    latency_hist = histogram_payload(latencies, LATENCY_BUCKETS_SECONDS)
     return {
         "requests": len(stream),
         "clients": num_clients,
@@ -331,6 +337,7 @@ def replay(
         "p50_ms": round(percentile(ordered, 0.50) * 1e3, 2),
         "p95_ms": round(percentile(ordered, 0.95) * 1e3, 2),
         "p99_ms": round(percentile(ordered, 0.99) * 1e3, 2),
+        "latency_histogram": latency_hist,
         "cached_replies": cached_count[0],
         "executions": scheduler["executions"],
         "coalesced": scheduler["coalesced"],

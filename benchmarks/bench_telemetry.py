@@ -1,0 +1,405 @@
+#!/usr/bin/env python
+"""Telemetry overhead gate: instrumentation must be free when off.
+
+The telemetry layer (:mod:`repro.telemetry`) promises two things this
+benchmark holds it to:
+
+1. **Disabled mode is within noise.**  Every instrumentation site costs
+   one thread-local read when no tracer is active.  Part one
+   microbenchmarks the disabled primitives (``span()``,
+   ``active_router_profiler()``) and multiplies the per-call cost by
+   the span-site count of a real compile — the product must be far
+   below the compile's own run-to-run noise.  Part two measures the
+   end-to-end compile with telemetry disabled twice, interleaved, and
+   reports the spread as the noise floor the per-site budget is
+   compared against.
+
+2. **Traced mode costs < 5%.**  With a live tracer (every pipeline
+   pass opens a span), median compile latency may exceed the
+   disabled-mode median by at most ``MAX_TRACED_OVERHEAD`` (5%), with
+   an absolute floor so micro-second jitter on small circuits cannot
+   fail the gate spuriously.  Router *profiling* (``"profile": true``)
+   additionally times every scoring-kernel call, which inherently
+   costs two clock reads per SWAP decision — it is opt-in per request,
+   so its overhead is reported (and loosely bounded) rather than held
+   to the 5% always-on budget.
+
+Run:  PYTHONPATH=src python benchmarks/bench_telemetry.py [--smoke]
+CI runs ``--smoke`` (fewer repeats, smaller circuit); the default
+writes ``BENCH_telemetry.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuits.random_circuits import random_circuit
+from repro.hardware.devices import get_device
+from repro.pipeline.runner import Pipeline
+from repro.service.client import ServiceClient, find_free_port
+from repro.telemetry.profile import active_router_profiler, profiled_routing
+from repro.telemetry.trace import Tracer, span, tracing
+
+#: Traced-mode median latency may exceed disabled-mode median by at
+#: most this fraction.
+MAX_TRACED_OVERHEAD = 0.05
+
+#: Loose bound on the opt-in router-profiling mode (per-request knob,
+#: not an always-on surface): catches a pathological regression, not
+#: the inherent two-clock-reads-per-SWAP cost.
+MAX_PROFILED_OVERHEAD = 0.50
+
+#: Absolute slack for the traced gate: overhead below this many
+#: milliseconds passes regardless of the ratio (protects small/smoke
+#: circuits, where 5% is single-digit microseconds of pure jitter).
+TRACED_SLACK_SECONDS = 0.010
+
+#: A disabled ``span()`` call must cost less than this (it is one
+#: thread-local read returning a shared no-op handle; measured cost is
+#: ~100 ns even on slow CI hosts).
+MAX_DISABLED_SPAN_SECONDS = 5e-6
+
+#: Span sites opened per compile (request + pipeline + one per pass +
+#: headroom); used to project total disabled-site cost per compile.
+SPAN_SITES_PER_COMPILE = 32
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def time_per_call(fn, calls: int) -> float:
+    started = time.perf_counter()
+    for _ in range(calls):
+        fn()
+    return (time.perf_counter() - started) / calls
+
+
+def bench_disabled_primitives(smoke: bool) -> Dict[str, float]:
+    calls = 20_000 if smoke else 200_000
+    # Outside any tracing() activation both primitives take their
+    # short-circuit path.
+    span_cost = time_per_call(lambda: span("bench"), calls)
+    profiler_cost = time_per_call(active_router_profiler, calls)
+    with tracing(None):
+        span_cost_scoped = time_per_call(lambda: span("bench"), calls)
+    return {
+        "calls": calls,
+        "span_ns": round(span_cost * 1e9, 1),
+        "span_ns_null_activation": round(span_cost_scoped * 1e9, 1),
+        "profiler_check_ns": round(profiler_cost * 1e9, 1),
+        "max_span_ns": MAX_DISABLED_SPAN_SECONDS * 1e9,
+        "_span_cost": span_cost,
+    }
+
+
+def compile_times(run, repeats: int) -> List[float]:
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        times.append(time.perf_counter() - started)
+    return times
+
+
+def bench_compile_overhead(smoke: bool) -> Dict[str, object]:
+    qubits, gates = (12, 120) if smoke else (16, 400)
+    repeats = 5 if smoke else 15
+    circuit = random_circuit(qubits, gates, seed=7, two_qubit_fraction=0.7)
+    device = get_device("ibm_q20_tokyo")
+    pipeline = Pipeline("paper_default")
+
+    def run():
+        return pipeline.run(circuit, device, seed=0, num_trials=2,
+                            num_traversals=1)
+
+    def run_traced():
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("bench.compile"):
+                run()
+        return tracer
+
+    def run_profiled():
+        tracer = Tracer()
+        with tracing(tracer):
+            with profiled_routing():
+                with span("bench.compile"):
+                    run()
+        return tracer
+
+    run()  # warm caches (device, IR, preset singleton)
+    # Interleave the two disabled-mode series so drift (turbo, thermal,
+    # neighbours) lands on both equally: their gap is the noise floor.
+    off_a: List[float] = []
+    off_b: List[float] = []
+    traced: List[float] = []
+    profiled: List[float] = []
+    for _ in range(repeats):
+        off_a.extend(compile_times(run, 1))
+        traced.extend(compile_times(run_traced, 1))
+        profiled.extend(compile_times(run_profiled, 1))
+        off_b.extend(compile_times(run, 1))
+    baseline = statistics.median(off_a + off_b)
+    noise = abs(statistics.median(off_a) - statistics.median(off_b))
+    traced_median = statistics.median(traced)
+    profiled_median = statistics.median(profiled)
+    overhead = traced_median - baseline
+    profiled_overhead = profiled_median - baseline
+    return {
+        "circuit": f"rand{qubits}x{gates}",
+        "repeats_per_mode": len(off_a) + len(off_b),
+        "disabled_median_ms": round(baseline * 1e3, 3),
+        "disabled_noise_ms": round(noise * 1e3, 3),
+        "traced_median_ms": round(traced_median * 1e3, 3),
+        "traced_overhead_ms": round(overhead * 1e3, 3),
+        "traced_overhead_pct": round(100.0 * overhead / baseline, 2)
+        if baseline
+        else 0.0,
+        "profiled_median_ms": round(profiled_median * 1e3, 3),
+        "profiled_overhead_ms": round(profiled_overhead * 1e3, 3),
+        "profiled_overhead_pct": round(
+            100.0 * profiled_overhead / baseline, 2
+        )
+        if baseline
+        else 0.0,
+        "_baseline": baseline,
+        "_overhead": overhead,
+        "_profiled_overhead": profiled_overhead,
+    }
+
+
+# ----------------------------------------------------------------------
+# Part 3: live serve scrape (real `repro serve` subprocess)
+# ----------------------------------------------------------------------
+
+SCRAPE_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+h q[0];
+cx q[0], q[4];
+cx q[1], q[3];
+ccx q[0], q[2], q[4];
+measure q -> c;
+"""
+
+#: Exposition sample line: metric name, optional label set, value.
+SAMPLE_LINE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$")
+
+#: Series the scrape must contain after one compile.
+CORE_SERIES = (
+    "repro_http_requests_total",
+    "repro_uptime_seconds",
+    "repro_store_hits_total",
+    "repro_scheduler_executions_total",
+    "repro_scheduler_queue_depth",
+    "repro_engine_cache_hits_total",
+    'repro_queue_wait_seconds_bucket{le="+Inf"}',
+    "repro_execute_seconds_sum",
+    "repro_pass_executions_total",
+)
+
+#: Spans a traced+profiled compile must record end-to-end.
+CORE_SPANS = (
+    "http.request", "job.execute", "request.execute", "pipeline.run",
+    "router.profile",
+)
+
+
+def bench_serve_scrape() -> Dict[str, object]:
+    """Boot the real server, compile with tracing, scrape everything.
+
+    Gates: ``GET /metrics`` parses as text exposition 0.0.4 and
+    contains every core series; ``GET /trace/<job>`` has the full
+    span timeline; ``--log-json`` emits one JSON object per stderr
+    line.
+    """
+    port = find_free_port()
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = os.path.join(repo, "src") + (
+        os.pathsep + existing if existing else ""
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-telem-") as root:
+        log_path = os.path.join(root, "serve.log")
+        with open(log_path, "wb") as log:
+            process = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "serve",
+                    "--port", str(port),
+                    "--store-dir", os.path.join(root, "store"),
+                    "--workers", "1",
+                    "--execution", "thread",
+                    "--log-json",
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=log,
+            )
+            try:
+                client = ServiceClient(
+                    f"http://127.0.0.1:{port}", timeout=60
+                )
+                client.wait_until_healthy(timeout=30)
+                reply = client._request(
+                    "POST", "/compile",
+                    {"qasm": SCRAPE_QASM, "trials": 1, "wait": True,
+                     "profile": True},
+                )
+                check(reply.get("state") == "done", "compile did not finish")
+                check(bool(reply.get("trace_id")), "no trace_id on reply")
+
+                trace = client._request("GET", f"/trace/{reply['id']}")
+                names = {s["name"] for s in trace["spans"]}
+                for required in CORE_SPANS:
+                    check(required in names, f"trace missing span {required}")
+
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics", timeout=30
+                ) as resp:
+                    content_type = resp.headers.get("Content-Type", "")
+                    text = resp.read().decode("utf-8")
+                check(
+                    "version=0.0.4" in content_type,
+                    f"unexpected /metrics content type {content_type!r}",
+                )
+                samples = 0
+                for line in text.splitlines():
+                    if not line or line.startswith("#"):
+                        continue
+                    check(
+                        SAMPLE_LINE.match(line) is not None,
+                        f"unparseable exposition line {line!r}",
+                    )
+                    samples += 1
+                for series in CORE_SERIES:
+                    check(series in text, f"/metrics missing {series}")
+            finally:
+                process.terminate()
+                process.wait(timeout=30)
+        with open(log_path, "r") as handle:
+            log_lines = [line for line in handle if line.strip()]
+        check(bool(log_lines), "--log-json produced no stderr lines")
+        for line in log_lines:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                check(False, f"--log-json line is not JSON: {line!r}")
+            check(
+                "message" in record and "ts" in record,
+                f"--log-json record missing message/ts: {line!r}",
+            )
+        return {
+            "metric_samples": samples,
+            "trace_spans": len(trace["spans"]),
+            "log_json_lines": len(log_lines),
+        }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer repeats + smaller circuit (seconds-long CI step)",
+    )
+    parser.add_argument("--output", help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    print("disabled-mode primitives:")
+    prims = bench_disabled_primitives(args.smoke)
+    span_cost = prims.pop("_span_cost")
+    print(
+        f"  span() no-tracer      {prims['span_ns']:8.1f} ns/call"
+        f"   (limit {prims['max_span_ns']:.0f} ns)"
+    )
+    print(
+        f"  profiler check        {prims['profiler_check_ns']:8.1f} ns/call"
+    )
+    check(
+        span_cost < MAX_DISABLED_SPAN_SECONDS,
+        f"disabled span() costs {span_cost * 1e9:.0f} ns/call "
+        f"(limit {MAX_DISABLED_SPAN_SECONDS * 1e9:.0f})",
+    )
+
+    print("end-to-end compile (pipeline.run, paper_default):")
+    compile_report = bench_compile_overhead(args.smoke)
+    baseline = compile_report.pop("_baseline")
+    overhead = compile_report.pop("_overhead")
+    profiled_overhead = compile_report.pop("_profiled_overhead")
+    print(
+        f"  disabled   median {compile_report['disabled_median_ms']:9.3f} ms"
+        f"   (noise floor {compile_report['disabled_noise_ms']:.3f} ms)"
+    )
+    print(
+        f"  traced     median {compile_report['traced_median_ms']:9.3f} ms"
+        f"   ({compile_report['traced_overhead_ms']:+.3f} ms, "
+        f"{compile_report['traced_overhead_pct']:+.2f}%)"
+    )
+    print(
+        f"  profiled   median {compile_report['profiled_median_ms']:9.3f} ms"
+        f"   ({compile_report['profiled_overhead_ms']:+.3f} ms, "
+        f"{compile_report['profiled_overhead_pct']:+.2f}%, opt-in)"
+    )
+    # Disabled-mode gate: the projected all-sites cost per compile must
+    # sit far below the compile's own run-to-run noise — "within noise"
+    # by construction, independent of scheduler jitter on this host.
+    site_budget = span_cost * SPAN_SITES_PER_COMPILE
+    check(
+        site_budget < max(0.10 * baseline, 1e-4),
+        f"projected disabled-site cost {site_budget * 1e6:.1f} us/compile "
+        f"is not negligible against a {baseline * 1e3:.2f} ms compile",
+    )
+    check(
+        overhead < max(MAX_TRACED_OVERHEAD * baseline, TRACED_SLACK_SECONDS),
+        f"traced overhead {overhead * 1e3:.3f} ms exceeds "
+        f"{MAX_TRACED_OVERHEAD:.0%} of {baseline * 1e3:.2f} ms "
+        f"(+{TRACED_SLACK_SECONDS * 1e3:.0f} ms slack)",
+    )
+    check(
+        profiled_overhead
+        < max(MAX_PROFILED_OVERHEAD * baseline, TRACED_SLACK_SECONDS),
+        f"profiled overhead {profiled_overhead * 1e3:.3f} ms exceeds "
+        f"{MAX_PROFILED_OVERHEAD:.0%} of {baseline * 1e3:.2f} ms — "
+        "the opt-in profiler has regressed pathologically",
+    )
+    compile_report["site_budget_us"] = round(site_budget * 1e6, 2)
+    print("telemetry overhead gates: ok")
+
+    print("live scrape (real `repro serve --log-json` subprocess):")
+    scrape_report = bench_serve_scrape()
+    print(
+        f"  /metrics {scrape_report['metric_samples']} samples parsed, "
+        f"/trace {scrape_report['trace_spans']} spans, "
+        f"{scrape_report['log_json_lines']} JSON log lines"
+    )
+    print("serve scrape gates: ok")
+
+    report = {
+        "primitives": prims,
+        "compile": compile_report,
+        "serve_scrape": scrape_report,
+    }
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=1)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -119,22 +119,48 @@ def _cmd_map(args: argparse.Namespace) -> int:
         executor = "auto"
     else:
         executor = args.executor
-    result = pipeline.run(
-        circuit,
-        device,
-        config=config,
-        seed=args.seed,
-        num_trials=args.trials,
-        num_traversals=args.traversals,
-        objective=args.objective,
-        executor=executor,
-        jobs=args.jobs,
-        noise=noise,
-    )
+    def _run():
+        return pipeline.run(
+            circuit,
+            device,
+            config=config,
+            seed=args.seed,
+            num_trials=args.trials,
+            num_traversals=args.traversals,
+            objective=args.objective,
+            executor=executor,
+            jobs=args.jobs,
+            noise=noise,
+        )
+
+    trace_tree = None
+    if args.trace:
+        import time as time_mod
+
+        from repro.telemetry.profile import profiled_routing
+        from repro.telemetry.trace import Tracer, render_span_tree, tracing
+
+        tracer = Tracer()
+        with tracing(tracer):
+            with profiled_routing() as profiler:
+                result = _run()
+            if not profiler.empty:
+                tracer.add_raw(
+                    "router.profile",
+                    None,
+                    start=time_mod.time(),
+                    wall_seconds=profiler.kernel_seconds,
+                    attrs=profiler.to_dict(),
+                )
+        trace_tree = render_span_tree(tracer.export())
+    else:
+        result = _run()
     physical = result.physical_circuit(decompose_swaps=not args.keep_swaps)
     if args.optimize:
         physical = optimize_circuit(physical)
     print(result.summary(), file=sys.stderr)
+    if trace_tree is not None:
+        print(trace_tree, file=sys.stderr)
     if args.verbose:
         print(f"pipeline     : {pipeline.name}", file=sys.stderr)
         props = result.properties
@@ -197,10 +223,26 @@ def _cmd_devices(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.engine.cache import cache_stats
+    import json
+    import time
+
     from repro.service import build_server, serve_url, shutdown_service
     from repro.service.faults import FaultPlan, activate
     from repro.service.store import ShardedResultStore
+
+    def log(message: str, **fields: object) -> None:
+        """Operator log line; one JSON object per line under --log-json."""
+        if args.log_json:
+            record = {
+                "ts": round(time.time(), 6),
+                "level": "info",
+                "logger": "repro.serve",
+                "message": message,
+            }
+            record.update(fields)
+            print(json.dumps(record), file=sys.stderr, flush=True)
+        else:
+            print(message, file=sys.stderr, flush=True)
 
     # Chaos runs export REPRO_FAULT_PLAN; activating it eagerly (rather
     # than on the first seam hit) surfaces a malformed plan at startup
@@ -208,11 +250,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     plan = FaultPlan.from_env()
     if plan is not None:
         activate(plan)
-        print(
+        log(
             f"FAULT INJECTION ACTIVE: seed={plan.seed} "
             f"rules={len(plan.rules)} (from $REPRO_FAULT_PLAN)",
-            file=sys.stderr,
-            flush=True,
+            seed=plan.seed,
+            rules=len(plan.rules),
         )
     store = ShardedResultStore(
         root=args.store_dir or None,
@@ -220,10 +262,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_shards=args.store_shards,
     )
     if store.last_recovery and any(store.last_recovery.values()):
-        print(
+        log(
             f"store recovery: {store.last_recovery}",
-            file=sys.stderr,
-            flush=True,
+            recovery=store.last_recovery,
         )
     server = build_server(
         host=args.host,
@@ -237,24 +278,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout=args.timeout,
         degrade=not args.no_degrade,
         trial_jobs=args.trial_jobs or None,  # 0 -> serial sweeps
+        log_json=args.log_json,
     )
     tier = args.store_dir if args.store_dir else "memory-only"
-    print(
+    log(
         f"repro service on {serve_url(server)} "
         f"(workers={args.workers} [{args.execution}], store={tier}, "
         f"queue-limit={args.queue_limit}, "
         f"trial-jobs={args.trial_jobs or 'serial'})",
-        file=sys.stderr,
-        flush=True,
+        url=serve_url(server),
+        workers=args.workers,
+        execution=args.execution,
     )
     try:
         server.serve_forever(poll_interval=0.2)
     except KeyboardInterrupt:
         pass
     finally:
-        if args.verbose:
-            print(f"store        : {store.stats()}", file=sys.stderr)
-            print(f"engine cache : {cache_stats()}", file=sys.stderr)
+        if args.verbose or args.log_json:
+            # Same snapshot function as GET /stats and /metrics — the
+            # shutdown report can never drift from the live endpoints.
+            snapshot = server.state.snapshot()
+            if args.log_json:
+                log("shutdown stats", stats=snapshot)
+            else:
+                for section in ("store", "scheduler", "engine_cache", "faults"):
+                    if section in snapshot:
+                        print(
+                            f"{section:12s} : {snapshot[section]}",
+                            file=sys.stderr,
+                        )
         shutdown_service(server)
     return 0
 
@@ -447,6 +500,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run peephole optimization on the routed circuit",
     )
+    map_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the per-pass span tree (wall + cpu time per "
+        "pipeline pass, router kernel/step aggregates) to stderr",
+    )
     map_p.set_defaults(handler=_cmd_map)
 
     dev_p = sub.add_parser("devices", help="list built-in devices")
@@ -540,7 +599,14 @@ def build_parser() -> argparse.ArgumentParser:
         "-v",
         "--verbose",
         action="store_true",
-        help="log requests and print store/engine-cache stats on shutdown",
+        help="log requests and print the service stats snapshot "
+        "(same payload as GET /stats) on shutdown",
+    )
+    serve_p.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one JSON object per log line (request logs and the "
+        "shutdown stats snapshot) for log pipelines",
     )
     serve_p.set_defaults(handler=_cmd_serve)
 

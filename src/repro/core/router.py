@@ -53,6 +53,7 @@ perf baseline.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
 
@@ -78,6 +79,7 @@ from repro.core.scoring import (
     VectorDevice,
 )
 from repro.exceptions import MappingError
+from repro.telemetry.profile import active_router_profiler
 from repro.hardware.coupling import CouplingGraph
 from repro.hardware.distance import bfs_flat_distance
 
@@ -393,6 +395,9 @@ class SabreRouter:
         front_gates: List[Gate] = []
         extended: List[Gate] = []
         front_dirty = True
+        # Checked once per traversal, not once per SWAP: disabled-mode
+        # cost is a single thread-local read for the whole run.
+        profiler = active_router_profiler()
         while not frontier.done:
             # Execute every front-layer gate whose operands are coupled
             # (Algorithm 1 lines 8-16).  The cached ascending front
@@ -445,7 +450,7 @@ class SabreRouter:
                 front_dirty = False
             self._insert_best_swap(
                 frontier, layout, out, swap_positions, decay, rng,
-                front_gates, extended, state,
+                front_gates, extended, state, profiler,
             )
             stall += 1
 
@@ -481,16 +486,30 @@ class SabreRouter:
         )
         gen = self._route_vector(ir, layout, rng, frontier, block, 0, decay)
         rngs = (rng,)
+        profiler = active_router_profiler()
         try:
             gen.send(None)
-            while True:
-                gen.send(
-                    block.score_rows(
-                        _SOLO_ROWS,
-                        rngs,
-                        emit_sets=self.on_winner_set is not None,
+            if profiler is None:
+                while True:
+                    gen.send(
+                        block.score_rows(
+                            _SOLO_ROWS,
+                            rngs,
+                            emit_sets=self.on_winner_set is not None,
+                        )[0]
+                    )
+            else:
+                # Profiled driver: time every kernel call, and force
+                # winner-set emission so the generator sees tie sizes
+                # (it guards the user seam being unset itself).
+                perf = time.perf_counter
+                while True:
+                    t0 = perf()
+                    scored = block.score_rows(
+                        _SOLO_ROWS, rngs, emit_sets=True
                     )[0]
-                )
+                    profiler.add_kernel(perf() - t0)
+                    gen.send(scored)
         except StopIteration as stop:
             return stop.value
 
@@ -530,6 +549,10 @@ class SabreRouter:
         initial = layout.copy()
         num_escapes = 0
         stall = 0
+        # Generator bodies run on the *driver's* thread (first send), so
+        # this reads the driver's thread-local profiler — once per
+        # traversal, shared by every kernel-scored step below.
+        profiler = active_router_profiler()
         l2p = layout.l2p
         p2l = layout.p2l
         gates = ir.gates
@@ -763,9 +786,17 @@ class SabreRouter:
                 )
                 front_dirty = False
             if narrow[row]:
-                best = block.score_scalar(
-                    row, l2p, p2l, decay.values, uses_decay
-                )
+                if profiler is None:
+                    best = block.score_scalar(
+                        row, l2p, p2l, decay.values, uses_decay
+                    )
+                else:
+                    t0 = time.perf_counter()
+                    best = block.score_scalar(
+                        row, l2p, p2l, decay.values, uses_decay
+                    )
+                    profiler.add_kernel(time.perf_counter() - t0)
+                    profiler.record_step(-1, len(best))
                 if self.on_winner_set is not None:
                     self.on_winner_set([(qa, qb) for qa, qb, _ in best])
                 qa, qb, eidx = (
@@ -776,7 +807,15 @@ class SabreRouter:
                 # winning lane's deltas into the row's running sums.
                 qa, qb, eidx, wset = yield row
                 if wset is not None:
-                    self.on_winner_set(wset)
+                    # ``wset`` arrives when the driver asked for winner
+                    # sets — for the test seam, the profiler, or both;
+                    # each consumer is guarded independently.
+                    if profiler is not None:
+                        profiler.record_step(
+                            int(getattr(block, "_lane_c", -1)), len(wset)
+                        )
+                    if self.on_winner_set is not None:
+                        self.on_winner_set(wset)
             apply_swap(qa, qb)
             record_swap(qa, qb)
             stall += 1
@@ -970,6 +1009,7 @@ class SabreRouter:
         front_gates: List[Gate],
         extended: List[Gate],
         state: Optional[RouterState],
+        profiler=None,
     ) -> None:
         """Score all candidate SWAPs and apply the best one (lines 17-25)."""
         p2l = layout.p2l
@@ -999,7 +1039,8 @@ class SabreRouter:
             # the same constant for every such candidate (delta_e == 0.0
             # keeps the float arithmetic identical to the general form).
             ext_const = weight * (sum_e + 0.0) / len_e if len_e else 0.0
-            for pa, pb in state.candidates():
+            cands = state.candidates()
+            for pa, pb in cands:
                 qa = p2l[pa]
                 qb = p2l[pb]
                 row_a = pa * n
@@ -1051,7 +1092,8 @@ class SabreRouter:
             # rescoring per candidate.  This is the bench baseline and
             # the differential-testing oracle.
             dist = self.dist
-            for pa, pb in self._swap_candidates(frontier, layout):
+            cands = self._swap_candidates(frontier, layout)
+            for pa, pb in cands:
                 qa, qb = p2l[pa], p2l[pb]
                 layout.swap_logical(qa, qb)
                 score = score_layout(front_gates, extended, l2p, dist, config)
@@ -1069,6 +1111,8 @@ class SabreRouter:
             raise MappingError(
                 "no SWAP candidates found; is the coupling graph connected?"
             )
+        if profiler is not None:
+            profiler.record_step(len(cands), len(best))
         if self.on_winner_set is not None:
             self.on_winner_set(best)
         qa, qb = best[0] if len(best) == 1 else rng.choice(best)

@@ -31,6 +31,7 @@ serial executor (same results, no lockstep speedup).
 from __future__ import annotations
 
 import random
+import time
 from typing import List, Optional, Sequence, Union
 
 from repro.circuits.circuit import QuantumCircuit
@@ -45,6 +46,7 @@ from repro.core.router import SabreRouter
 from repro.core.scoring import FlatDistance, VectorBlock
 from repro.exceptions import MappingError, ReproError
 from repro.hardware.coupling import CouplingGraph
+from repro.telemetry.profile import active_router_profiler
 
 
 def decompose_like_pipeline(circuit: QuantumCircuit) -> QuantumCircuit:
@@ -294,8 +296,18 @@ def ensemble_layout_search(
                 pending.append(t)
             except StopIteration as stop:
                 results[t] = stop.value
+        profiler = active_router_profiler()
         while pending:
-            scored = block.score_rows(pending, rngs, emit_sets=False)
+            if profiler is None:
+                scored = block.score_rows(pending, rngs, emit_sets=False)
+            else:
+                t0 = time.perf_counter()
+                scored = block.score_rows(pending, rngs, emit_sets=False)
+                profiler.add_kernel(time.perf_counter() - t0)
+                # One batched call advances every stuck trial one step;
+                # the compacted candidate-lane count covers the whole
+                # batch, and tie sizes are unavailable (emit_sets off).
+                profiler.record_step(int(getattr(block, "_lane_c", -1)), 0)
             advanced: List[int] = []
             for t in pending:
                 try:

@@ -305,12 +305,17 @@ def _init_sweep_worker(spec: SweepSpec) -> None:
 
 
 def _run_sweep_shard(
-    fingerprint: str, seeds: Tuple[int, ...]
-) -> List[MappingResult]:
+    fingerprint: str, seeds: Tuple[int, ...], trace_ctx=None
+):
     """Worker entry point: run one shard of seeds against installed state.
 
     The submission payload is exactly ``(fingerprint, seeds)`` — no
     circuit, coupling, config, or distance ever rides along.
+    ``trace_ctx`` (``(trace_id, parent_span_id, profile?)``) is the
+    traced-request extension: when set, the shard records a
+    ``shard.sweep`` span (plus per-trial pipeline spans and, with
+    ``profile``, router-step aggregates) and the return value becomes
+    ``(results, serialized_span_batch)`` instead of the bare list.
     """
     sweep = _WORKER_SWEEPS.get(fingerprint)
     if sweep is None:
@@ -318,6 +323,39 @@ def _run_sweep_shard(
             f"hybrid worker has no sweep {fingerprint[:12]}…; the pool "
             "initializer did not run (or ran for a different sweep)"
         )
+    if trace_ctx is None:
+        return _execute_shard(sweep, seeds)
+    import time as _time
+
+    from repro.telemetry.profile import profiled_routing
+    from repro.telemetry.trace import Tracer, span, tracing
+
+    trace_id, parent_id, profile = trace_ctx
+    tracer = Tracer(trace_id)
+    with tracing(tracer, parent_id=parent_id):
+        with span("shard.sweep") as shard_span:
+            shard_span.set("pid", os.getpid())
+            shard_span.set("seeds", len(seeds))
+            if profile:
+                with profiled_routing() as profiler:
+                    results = _execute_shard(sweep, seeds)
+                if not profiler.empty:
+                    tracer.add_raw(
+                        "router.profile",
+                        shard_span.span_id,
+                        start=_time.time(),
+                        wall_seconds=profiler.kernel_seconds,
+                        attrs=profiler.to_dict(),
+                    )
+            else:
+                results = _execute_shard(sweep, seeds)
+    return results, tracer.export()
+
+
+def _execute_shard(
+    sweep: _WorkerSweep, seeds: Tuple[int, ...]
+) -> List[MappingResult]:
+    """The shard's actual trial sweep (shared by both trace modes)."""
     spec = sweep.spec
     if spec.eligible:
         from repro.engine.ensemble import run_ensemble_trials
@@ -442,6 +480,19 @@ def run_hybrid_sweep(
         circuit, coupling, config, num_traversals, pipeline, distance,
         eligible,
     )
+    # Traced request?  Ship the trace context into every shard so the
+    # shard's spans (and router-profile aggregates) parent under this
+    # sweep; untraced requests pass None and shards return bare lists.
+    from repro.telemetry.profile import active_router_profiler
+    from repro.telemetry.trace import current_span_id, current_tracer
+
+    tracer = current_tracer()
+    profiler = active_router_profiler()
+    trace_ctx = None
+    if tracer is not None:
+        trace_ctx = (
+            tracer.trace_id, current_span_id(), profiler is not None
+        )
     try:
         with ProcessPoolExecutor(
             max_workers=len(shards),
@@ -450,10 +501,29 @@ def run_hybrid_sweep(
             initargs=(spec,),
         ) as pool:
             futures = [
-                pool.submit(_run_sweep_shard, spec.fingerprint, tuple(shard))
+                pool.submit(
+                    _run_sweep_shard, spec.fingerprint, tuple(shard),
+                    trace_ctx,
+                )
                 for shard in shards
             ]
-            shard_results = [future.result() for future in futures]
+            outcomes = [future.result() for future in futures]
+        if trace_ctx is None:
+            shard_results = outcomes
+        else:
+            shard_results = []
+            for results, spans in outcomes:
+                shard_results.append(results)
+                tracer.add_spans(spans)
+                if profiler is not None:
+                    # Fold the shards' router aggregates into the
+                    # parent's profiler so the top-level router.profile
+                    # span covers the whole sweep.
+                    for span_dict in spans:
+                        if span_dict.get("name") == "router.profile":
+                            profiler.merge_dict(
+                                span_dict.get("attrs") or {}
+                            )
     finally:
         if shm is not None:
             shm.close()

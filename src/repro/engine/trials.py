@@ -325,6 +325,19 @@ def run_trials(
     downgrade_reason: Optional[str] = None
     shard_plan: Optional[List[List[int]]] = None
 
+    # Traced requests get one "engine.trials" span covering the whole
+    # sweep (recorded at _finish time, when the effective executor is
+    # known); untraced runs skip even the clock reads.
+    from repro.telemetry.trace import current_span_id, current_tracer
+
+    tracer = current_tracer()
+    if tracer is not None:
+        import time as _time
+
+        trace_parent = current_span_id()
+        started_wall = _time.time()
+        started_perf = _time.perf_counter()
+
     def _finish(
         results: Sequence[MappingResult], effective: str
     ) -> TrialsOutcome:
@@ -336,6 +349,18 @@ def run_trials(
             )
             for seed, result in zip(seeds, results)
         ]
+        if tracer is not None:
+            tracer.add_raw(
+                "engine.trials",
+                trace_parent,
+                start=started_wall,
+                wall_seconds=_time.perf_counter() - started_perf,
+                attrs={
+                    "executor": effective,
+                    "requested": requested,
+                    "seeds": len(seeds),
+                },
+            )
         return TrialsOutcome(
             trials=trials,
             winner_index=select_winner(trials),

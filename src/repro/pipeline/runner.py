@@ -28,6 +28,7 @@ from repro.hardware.coupling import CouplingGraph
 from repro.hardware.noise import NoiseModel
 from repro.pipeline.base import Pass
 from repro.pipeline.context import CompilationContext, PropertySet
+from repro.telemetry.trace import span
 
 
 class Pipeline:
@@ -144,20 +145,25 @@ class Pipeline:
             properties=PropertySet(),
         )
         context.properties["pipeline.name"] = self.name
-        for pass_ in self.passes:
-            before = None
-            if pass_.is_analysis:
-                before = self._program_state(context)
-            started = time.perf_counter()
-            pass_.run(context)
-            context.properties.record_timing(
-                pass_.name, time.perf_counter() - started
-            )
-            if before is not None and before != self._program_state(context):
-                raise ReproError(
-                    f"analysis pass {pass_.name!r} mutated the program "
-                    "state; rewrite passes must subclass TransformPass"
+        with span("pipeline.run") as pipeline_span:
+            pipeline_span.set("preset", self.name)
+            for pass_ in self.passes:
+                before = None
+                if pass_.is_analysis:
+                    before = self._program_state(context)
+                started = time.perf_counter()
+                with span(f"pass.{pass_.name}"):
+                    pass_.run(context)
+                context.properties.record_timing(
+                    pass_.name, time.perf_counter() - started
                 )
+                if before is not None and before != self._program_state(
+                    context
+                ):
+                    raise ReproError(
+                        f"analysis pass {pass_.name!r} mutated the program "
+                        "state; rewrite passes must subclass TransformPass"
+                    )
         if context.result is None:
             raise ReproError(
                 f"pipeline {self.name!r} produced no MappingResult; "

@@ -94,12 +94,15 @@ class CompileRequest:
             raise RequestError(
                 f"request body must be a JSON object, got {type(payload).__name__}"
             )
-        # ``priority`` and ``timeout`` are scheduling knobs consumed by
-        # the HTTP layer (they never reach the fingerprint); accepted
+        # ``priority``/``timeout`` (scheduling) and ``trace``/``profile``
+        # (telemetry) are knobs consumed by the HTTP layer — they are
+        # never dataclass fields, so they can never leak into the
+        # fingerprint and split the content-addressed store; accepted
         # here so batch items carrying them validate cleanly.
         known = {
             "qasm", "device", "pipeline", "seed", "trials", "traversals",
-            "objective", "config", "priority", "timeout",
+            "objective", "config", "priority", "timeout", "trace",
+            "profile",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -285,6 +288,7 @@ def execute_request(
     """
     from repro.pipeline.runner import get_pipeline
     from repro.service.store import StoredResult
+    from repro.telemetry.trace import span
 
     started = time.perf_counter()
     if circuit is None:
@@ -297,18 +301,21 @@ def execute_request(
         if decision is not None:
             executor = decision.executor
             jobs = decision.jobs
-    result = get_pipeline(request.pipeline).run(
-        circuit,
-        coupling,
-        config=request.heuristic_config(),
-        seed=request.seed,
-        num_trials=request.num_trials,
-        num_traversals=request.num_traversals,
-        objective=request.objective,
-        executor=executor,
-        jobs=jobs,
-    )
-    routed = result.physical_circuit(decompose_swaps=True)
+    with span("request.execute") as exec_span:
+        exec_span.set("device", request.device)
+        exec_span.set("pipeline", request.pipeline)
+        result = get_pipeline(request.pipeline).run(
+            circuit,
+            coupling,
+            config=request.heuristic_config(),
+            seed=request.seed,
+            num_trials=request.num_trials,
+            num_traversals=request.num_traversals,
+            objective=request.objective,
+            executor=executor,
+            jobs=jobs,
+        )
+        routed = result.physical_circuit(decompose_swaps=True)
     return StoredResult(
         key=key if key is not None else request.fingerprint(circuit),
         routed_qasm=emit_qasm(routed),

@@ -84,6 +84,9 @@ from repro.service.workers import (
     apply_worker_fault,
     resolve_mp_context,
 )
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.profile import profiled_routing
+from repro.telemetry.trace import Tracer, span, tracing
 
 #: Job lifecycle states (strings so snapshots are JSON-native).
 QUEUED = "queued"
@@ -168,6 +171,14 @@ class Job:
     timeout_seconds: Optional[float] = None
     deadline: Optional[float] = None
     cancel_requested: bool = False
+    #: Tracing (optional): the tracer collecting this job's spans, the
+    #: span id the execution spans parent under (the submitter's HTTP
+    #: span), and whether router profiling was requested.  Carried by
+    #: the job so the dispatcher thread — and, via serialized context,
+    #: the worker process — can contribute spans to the right trace.
+    tracer: Optional[Tracer] = field(default=None, repr=False)
+    trace_parent: Optional[str] = None
+    profile: bool = False
     event: threading.Event = field(default_factory=threading.Event)
     #: Scheduler internals: the live heap entry while queued, and the
     #: lane executing the job while running (process tier only).
@@ -411,6 +422,18 @@ class CoalescingScheduler:
         #: Per-preset pass-timing aggregation harvested from each
         #: executed result's PropertySet: preset -> pass -> [calls, sec].
         self._pass_timings: Dict[str, Dict[str, List[float]]] = {}
+        #: Latency histograms, observed unconditionally (a bisect plus
+        #: two adds under a small lock) so the series exist whether or
+        #: not anything scrapes them; the server registers them on its
+        #: metrics registry for ``GET /metrics``.
+        self.queue_wait_hist = Histogram(
+            "repro_queue_wait_seconds",
+            "Seconds jobs spent queued before first dispatch",
+        )
+        self.execute_hist = Histogram(
+            "repro_execute_seconds",
+            "Wall seconds per successful compile execution",
+        )
         # Resolve any env-configured fault plan now, while the process
         # is still effectively single-threaded — not lazily from a
         # dispatcher racing the first worker fork.
@@ -455,6 +478,9 @@ class CoalescingScheduler:
         request: CompileRequest,
         priority: int = 0,
         timeout: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
+        trace_parent: Optional[str] = None,
+        profile: bool = False,
     ) -> Job:
         """Submit one request; returns its (possibly shared) job.
 
@@ -467,6 +493,15 @@ class CoalescingScheduler:
         the HTTP layer maps to 429 + ``Retry-After``).  QASM parse
         errors surface here, synchronously — a request that cannot be
         fingerprinted is rejected before it can occupy a worker.
+
+        ``tracer`` / ``trace_parent`` / ``profile`` attach trace
+        collection to a *fresh* job: the dispatcher (and, across the
+        process boundary, the worker) records queue-wait, execution,
+        pipeline-pass, and — with ``profile`` — router-step spans into
+        the tracer, parented under ``trace_parent``.  A submission that
+        coalesces onto an existing job keeps that job's tracer (first
+        submitter wins); store-answered jobs execute nothing, so their
+        trace is just the submitter's own spans.
         """
         if self._shutdown:
             raise ReproError("scheduler is shut down")
@@ -530,6 +565,9 @@ class CoalescingScheduler:
                 )
             job = self._new_job(key, request, priority)
             job.circuit = circuit
+            job.tracer = tracer
+            job.trace_parent = trace_parent
+            job.profile = profile
             job.timeout_seconds = effective_timeout
             if effective_timeout is not None:
                 job.deadline = time.monotonic() + effective_timeout
@@ -730,6 +768,21 @@ class CoalescingScheduler:
             job = self._next_job(lane)
             if job is None:
                 return
+            if job.attempt == 0:
+                # First dispatch only: a retry's "wait" would include
+                # the failed execution and lie about queue pressure.
+                wait = max(
+                    (job.started_at or job.created_at) - job.created_at, 0.0
+                )
+                self.queue_wait_hist.observe(wait)
+                if job.tracer is not None:
+                    job.tracer.add_raw(
+                        "queue.wait",
+                        job.trace_parent,
+                        start=job.created_at,
+                        wall_seconds=wait,
+                        attrs={"priority": job.priority},
+                    )
             remaining = None
             if job.deadline is not None:
                 remaining = max(job.deadline - time.monotonic(), 0.001)
@@ -748,26 +801,12 @@ class CoalescingScheduler:
                             f"injected dispatch crash (token {token!r})"
                         )
                 if lane is not None:
-                    result = lane.run(
-                        exec_request,
-                        job.circuit,
-                        job.key,
-                        timeout=remaining,
-                        fault_token=token,
+                    result = self._run_on_lane(
+                        lane, job, exec_request, remaining, token
                     )
                 else:
                     apply_worker_fault(token, hard=False)
-                    if self.trial_jobs is None:
-                        result = self.compile_fn(
-                            exec_request, circuit=job.circuit, key=job.key
-                        )
-                    else:
-                        result = self.compile_fn(
-                            exec_request,
-                            circuit=job.circuit,
-                            key=job.key,
-                            trial_jobs=self.trial_jobs,
-                        )
+                    result = self._run_inline(job, exec_request)
             except BaseException as exc:  # noqa: BLE001 — job carries it
                 delay = self._handle_dispatch_failure(job, exc, supervisor)
                 if delay > 0.0:
@@ -796,6 +835,7 @@ class CoalescingScheduler:
                     with self._lock:
                         self._store_put_failures += 1
             duration = time.perf_counter() - started
+            self.execute_hist.observe(duration)
             with self._lock:
                 self._executions += 1
                 if degraded:
@@ -813,6 +853,80 @@ class CoalescingScheduler:
                 job.result = result
                 self._inflight.pop(job.key, None)
                 self._finish(job, DONE)
+
+    def _run_on_lane(
+        self,
+        lane: WorkerLane,
+        job: Job,
+        exec_request: CompileRequest,
+        remaining: Optional[float],
+        token: str,
+    ) -> StoredResult:
+        """Process-tier execution, with trace context shipped across
+        the boundary when the job is traced: the lane call carries
+        ``(trace_id, parent span id, profile?)`` in and the worker's
+        serialized span batch comes back alongside the result."""
+        tracer = job.tracer
+        if tracer is None:
+            return lane.run(
+                exec_request,
+                job.circuit,
+                job.key,
+                timeout=remaining,
+                fault_token=token,
+            )
+        with tracer.start_span(
+            "job.execute", parent_id=job.trace_parent
+        ) as exec_span:
+            exec_span.set("tier", "process").set("attempt", job.attempt)
+            result, worker_spans = lane.run(
+                exec_request,
+                job.circuit,
+                job.key,
+                timeout=remaining,
+                fault_token=token,
+                trace_ctx=(tracer.trace_id, exec_span.span_id, job.profile),
+            )
+        tracer.add_spans(worker_spans)
+        return result
+
+    def _run_inline(
+        self, job: Job, exec_request: CompileRequest
+    ) -> StoredResult:
+        """Thread-tier execution on the dispatcher thread itself,
+        activating the job's tracer (and profiler) around the call."""
+        kwargs: Dict[str, object] = {}
+        if self.trial_jobs is not None:
+            # Injected test compile_fns may not accept the kwarg, so it
+            # is only passed when the multi-core sweep is configured.
+            kwargs["trial_jobs"] = self.trial_jobs
+        tracer = job.tracer
+        if tracer is None:
+            return self.compile_fn(
+                exec_request, circuit=job.circuit, key=job.key, **kwargs
+            )
+        with tracing(tracer, parent_id=job.trace_parent):
+            with span("job.execute") as exec_span:
+                exec_span.set("tier", "thread").set("attempt", job.attempt)
+                if not job.profile:
+                    return self.compile_fn(
+                        exec_request, circuit=job.circuit, key=job.key,
+                        **kwargs,
+                    )
+                with profiled_routing() as profiler:
+                    result = self.compile_fn(
+                        exec_request, circuit=job.circuit, key=job.key,
+                        **kwargs,
+                    )
+                if not profiler.empty:
+                    tracer.add_raw(
+                        "router.profile",
+                        exec_span.span_id,
+                        start=time.time(),
+                        wall_seconds=profiler.kernel_seconds,
+                        attrs=profiler.to_dict(),
+                    )
+                return result
 
     def _dispatch_request(self, job: Job) -> tuple:
         """(request to execute, degraded?) — the degradation decision,
@@ -966,6 +1080,13 @@ class CoalescingScheduler:
         """``ok`` | ``degraded`` | ``draining`` (for ``GET /healthz``)."""
         with self._lock:
             return self._health_locked()
+
+    def queue_depth(self) -> int:
+        """Live queued-job count — the cheap accessor ``/healthz``
+        reads instead of assembling the full :meth:`stats` payload
+        (which walks the pass-timing aggregation on every call)."""
+        with self._lock:
+            return self._queued
 
     def lane_pids(self) -> List[int]:
         """Live worker-process PIDs across all lanes (empty on the

@@ -24,7 +24,18 @@ store.  Endpoints:
   answered with a 503).  Also reports uptime and queue depth.
 - ``GET /stats`` — store counters, scheduler counters (including
   per-preset pass timings aggregated from result PropertySets), and
-  the engine cache's :func:`~repro.engine.cache.cache_stats`.
+  the engine cache's :func:`~repro.engine.cache.cache_stats`; one
+  :func:`~repro.telemetry.snapshot.service_snapshot` shared with the
+  CLI's shutdown report.
+- ``GET /metrics`` — the same numbers as Prometheus text exposition
+  (format 0.0.4), rendered at scrape time from the live objects plus
+  the scheduler's queue-wait/execute latency histograms.
+- ``GET /trace/<job_id>`` — the span timeline of a job submitted with
+  ``"trace": true`` (or ``"profile": true``, which also turns on the
+  router profiling aggregates): JSON span batch covering HTTP
+  handling, queue wait, worker-lane execution, and every pipeline
+  pass, with cross-process spans stitched under the submit-side
+  parent.  Retention is bounded (oldest traces evicted first).
 
 Backpressure contract: when the scheduler's admission queue is full,
 ``POST /compile`` / ``POST /batch`` return **429** with a
@@ -49,7 +60,6 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
-from repro.engine.cache import cache_stats
 from repro.exceptions import ReproError
 from repro.hardware.devices import device_catalog
 from repro.service import faults
@@ -61,6 +71,12 @@ from repro.service.scheduler import (
 )
 from repro.service.store import ResultStore
 from repro.service.workers import QueueFullError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.snapshot import (
+    register_service_collectors,
+    service_snapshot,
+)
+from repro.telemetry.trace import TraceStore, Tracer, span, tracing
 
 #: Largest request body accepted, in bytes (a Table II-scale QASM file
 #: is tens of KB; this guards the server against accidental uploads).
@@ -78,13 +94,30 @@ class ServiceState:
         store: ResultStore,
         scheduler: CoalescingScheduler,
         verbose: bool = False,
+        log_json: bool = False,
+        max_traces: int = 128,
     ) -> None:
         self.store = store
         self.scheduler = scheduler
         self.verbose = verbose
+        self.log_json = log_json
         self.started_at = time.time()
         self.requests_served = 0
         self._lock = threading.Lock()
+        self.traces = TraceStore(max_traces=max_traces)
+        # One registry per server instance (tests build many servers
+        # per process; a process-global registry would cross streams).
+        # The scheduler's latency histograms are live instruments; the
+        # rest of the exposition renders from stats() snapshots at
+        # scrape time, so /stats and /metrics can never disagree.
+        self.registry = MetricsRegistry()
+        for hist in (
+            getattr(scheduler, "queue_wait_hist", None),
+            getattr(scheduler, "execute_hist", None),
+        ):
+            if hist is not None:
+                self.registry.register(hist)
+        register_service_collectors(self.registry, self.snapshot)
 
     def count_request(self) -> None:
         with self._lock:
@@ -92,6 +125,16 @@ class ServiceState:
 
     def uptime(self) -> float:
         return time.time() - self.started_at
+
+    def snapshot(self) -> Dict[str, object]:
+        """The one stats snapshot behind ``GET /stats``, ``/metrics``,
+        and the CLI's shutdown report."""
+        return service_snapshot(
+            self.store,
+            self.scheduler,
+            uptime_seconds=self.uptime(),
+            requests_served=self.requests_served,
+        )
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -107,7 +150,24 @@ class ServiceHandler(BaseHTTPRequestHandler):
         return self.server.state  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if self.state.verbose:
+        state = self.state
+        if state.log_json:
+            import sys
+
+            print(
+                json.dumps(
+                    {
+                        "ts": round(time.time(), 6),
+                        "level": "info",
+                        "logger": "repro.service",
+                        "client": self.client_address[0],
+                        "message": format % args,
+                    }
+                ),
+                file=sys.stderr,
+                flush=True,
+            )
+        elif state.verbose:
             import sys
 
             print(
@@ -234,19 +294,44 @@ class ServiceHandler(BaseHTTPRequestHandler):
             health = self.state.scheduler.health()
             # Draining is the only 503: degraded still serves traffic
             # (at reduced quality), so load balancers keep routing to
-            # it; a draining server is on its way out.
+            # it; a draining server is on its way out.  Health checks
+            # fire constantly, so this reads the cheap queue-depth
+            # accessor instead of building a full stats() snapshot.
             self._send_json(
                 200 if health != HEALTH_DRAINING else 503,
                 {
                     "status": health,
                     "uptime_seconds": round(self.state.uptime(), 3),
-                    "queue_depth": self.state.scheduler.stats()["queue_depth"],
+                    "queue_depth": self.state.scheduler.queue_depth(),
                 },
             )
         elif path == "/devices":
             self._send_json(200, {"devices": device_catalog()})
         elif path == "/stats":
-            self._send_json(200, self._stats_payload())
+            self._send_json(200, self.state.snapshot())
+        elif path == "/metrics":
+            body = self.state.registry.render().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path.startswith("/trace/"):
+            job_id = path[len("/trace/"):]
+            trace = self.state.traces.get(job_id)
+            if trace is None:
+                self._send_json(
+                    404,
+                    {
+                        "error": f"no trace for job {job_id!r}; submit "
+                        "with \"trace\": true (traces are evicted "
+                        "oldest-first)"
+                    },
+                )
+            else:
+                self._send_json(200, trace)
         elif path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
             job = self.state.scheduler.job(job_id)
@@ -319,19 +404,58 @@ class ServiceHandler(BaseHTTPRequestHandler):
         wait = True
         priority = 0
         timeout = None
+        trace = False
+        profile = False
         if isinstance(payload, dict):
             wait = bool(payload.pop("wait", True))
             priority = self._coerce_priority(payload.pop("priority", 0))
             timeout = self._coerce_timeout(payload.pop("timeout", None))
+            # ``profile`` implies ``trace`` — the router aggregates
+            # land as a span, so there must be a trace to carry them.
+            profile = bool(payload.pop("profile", False))
+            trace = bool(payload.pop("trace", False)) or profile
         request = CompileRequest.from_payload(payload)
-        job = self.state.scheduler.submit(
-            request, priority=priority, timeout=timeout
-        )
-        if not wait:
-            self._send_json(202, {"job_id": job.id, "state": job.state})
+        if not trace:
+            job = self.state.scheduler.submit(
+                request, priority=priority, timeout=timeout
+            )
+            if not wait:
+                self._send_json(202, {"job_id": job.id, "state": job.state})
+                return
+            job.wait()
+            status, body = self._job_response(job)
+            self._send_json(status, body)
             return
-        job.wait()
+        tracer = Tracer()
+        with tracing(tracer):
+            with tracer.start_span("http.request") as root:
+                root.set("path", "/compile").set("priority", priority)
+                job = self.state.scheduler.submit(
+                    request,
+                    priority=priority,
+                    timeout=timeout,
+                    tracer=tracer,
+                    trace_parent=root.span_id,
+                    profile=profile,
+                )
+                # Registered at submission: the trace endpoint shows a
+                # fire-and-forget job's spans as they land.
+                self.state.traces.put(job.id, tracer)
+                if not wait:
+                    self._send_json(
+                        202,
+                        {
+                            "job_id": job.id,
+                            "state": job.state,
+                            "trace_id": tracer.trace_id,
+                        },
+                    )
+                    return
+                with span("job.wait") as wait_span:
+                    job.wait()
+                    wait_span.set("state", job.state)
         status, body = self._job_response(job)
+        body["trace_id"] = tracer.trace_id
         self._send_json(status, body)
 
     def _handle_batch(self) -> None:
@@ -401,20 +525,6 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return 504 if job.error_kind == "timeout" else 500, snapshot
         return 200, snapshot
 
-    def _stats_payload(self) -> Dict[str, object]:
-        payload = {
-            "uptime_seconds": round(self.state.uptime(), 3),
-            "requests_served": self.state.requests_served,
-            "store": self.state.store.stats(),
-            "scheduler": self.state.scheduler.stats(),
-            "engine_cache": cache_stats(),
-        }
-        plan = faults.active_plan()
-        if plan is not None:
-            payload["faults"] = plan.stats()
-        return payload
-
-
 def build_server(
     host: str = "127.0.0.1",
     port: int = 0,
@@ -428,6 +538,7 @@ def build_server(
     default_timeout: Optional[float] = None,
     degrade: bool = False,
     trial_jobs: Optional[int] = None,
+    log_json: bool = False,
 ) -> ThreadingHTTPServer:
     """Construct (but do not start) a service instance.
 
@@ -460,7 +571,7 @@ def build_server(
     server = ThreadingHTTPServer((host, port), ServiceHandler)
     server.daemon_threads = True
     server.state = ServiceState(  # type: ignore[attr-defined]
-        store=store, scheduler=scheduler, verbose=verbose
+        store=store, scheduler=scheduler, verbose=verbose, log_json=log_json
     )
     return server
 

@@ -201,7 +201,7 @@ def _fail_pending_futures(pool: ProcessPoolExecutor, reason: str) -> None:
 
 
 def _execute_in_process(compile_fn: Callable, request, circuit, key,
-                        fault_token=None, trial_jobs=None):
+                        fault_token=None, trial_jobs=None, trace_ctx=None):
     """Worker-process entry point (module-level so it pickles).
 
     ``compile_fn`` travels by reference (production:
@@ -213,12 +213,51 @@ def _execute_in_process(compile_fn: Callable, request, circuit, key,
     ``trial_jobs`` (the lane's multi-core sweep grant) is forwarded
     only when set, so injected ``compile_fn`` stand-ins without the
     parameter keep working on default-configured lanes.
+
+    ``trace_ctx`` — ``(trace_id, parent_span_id, profile?)`` — carries
+    trace collection across the process boundary.  When set, the
+    worker builds its own tracer, records a ``worker.compile`` span
+    (and, with ``profile``, router-step aggregates) plus every
+    pipeline-pass span under the scheduler's parent span, and the
+    return value becomes ``(result, serialized_span_batch)``.  When
+    ``None`` (the untraced fast path and every pre-telemetry caller)
+    the return value is the bare result, unchanged.
     """
     apply_worker_fault(fault_token, hard=True)
-    if trial_jobs is None:
-        return compile_fn(request, circuit=circuit, key=key)
-    return compile_fn(request, circuit=circuit, key=key,
-                      trial_jobs=trial_jobs)
+    if trace_ctx is None:
+        if trial_jobs is None:
+            return compile_fn(request, circuit=circuit, key=key)
+        return compile_fn(request, circuit=circuit, key=key,
+                          trial_jobs=trial_jobs)
+    from repro.telemetry.profile import profiled_routing
+    from repro.telemetry.trace import Tracer, span, tracing
+
+    trace_id, parent_id, profile = trace_ctx
+    tracer = Tracer(trace_id)
+    with tracing(tracer, parent_id=parent_id):
+        with span("worker.compile") as compile_span:
+            compile_span.set("pid", os.getpid())
+            if profile:
+                with profiled_routing() as profiler:
+                    if trial_jobs is None:
+                        result = compile_fn(request, circuit=circuit, key=key)
+                    else:
+                        result = compile_fn(request, circuit=circuit,
+                                            key=key, trial_jobs=trial_jobs)
+                if not profiler.empty:
+                    tracer.add_raw(
+                        "router.profile",
+                        compile_span.span_id,
+                        start=time.time(),
+                        wall_seconds=profiler.kernel_seconds,
+                        attrs=profiler.to_dict(),
+                    )
+            elif trial_jobs is None:
+                result = compile_fn(request, circuit=circuit, key=key)
+            else:
+                result = compile_fn(request, circuit=circuit, key=key,
+                                    trial_jobs=trial_jobs)
+    return result, tracer.export()
 
 
 class WorkerLane:
@@ -263,6 +302,7 @@ class WorkerLane:
         key,
         timeout: Optional[float] = None,
         fault_token: Optional[str] = None,
+        trace_ctx=None,
     ):
         """Execute one job in the lane's process; block for the result.
 
@@ -272,6 +312,11 @@ class WorkerLane:
         *inside* the compile propagate unchanged, exactly like the
         thread tier.  ``fault_token`` keys the in-worker injection
         seam (chaos testing; ``None`` outside fault runs).
+
+        ``trace_ctx`` (``(trace_id, parent_span_id, profile?)``) ships
+        trace collection into the worker; when set, the return value
+        is ``(result, serialized_span_batch)`` — see
+        :func:`_execute_in_process`.
         """
         with self._lock:
             fresh = self._pool is None or not self._ready_confirmed
@@ -302,6 +347,7 @@ class WorkerLane:
                         key,
                         fault_token,
                         self.trial_jobs,
+                        trace_ctx,
                     )
                 except BrokenProcessPool as exc:
                     self._discard_pool(pool)

@@ -1,0 +1,358 @@
+"""Metrics registry: counters, gauges, histograms, Prometheus text.
+
+Stdlib-only and deliberately small.  Three instrument kinds cover the
+service's needs:
+
+- :class:`Counter` — monotonically increasing totals (``_total``).
+- :class:`Gauge` — point-in-time values (queue depth, uptime).
+- :class:`Histogram` — fixed-bucket latency distributions rendered as
+  the standard ``_bucket{le=...}`` / ``_sum`` / ``_count`` series.
+
+A :class:`MetricsRegistry` owns instruments *and* collectors.  A
+collector is a callable returning ``[(name, type, help, samples)]``
+rendered fresh at scrape time — how the service exports the counters
+that already live behind ``store.stats()`` / ``scheduler.stats()`` /
+``cache_stats()`` without duplicating their bookkeeping (those
+``stats()`` dicts stay the single source of truth; ``GET /metrics``
+is a view over them, not a second set of counters to keep in sync).
+
+The latency bucket ladder (:data:`LATENCY_BUCKETS_SECONDS`) is shared
+with ``benchmarks/bench_service.py``: both the live endpoint and the
+offline benchmark report quantiles from the *same* histogram
+definition, via :func:`bucket_quantile`.
+
+Registries are instantiable (one per :class:`~repro.service.server.
+ServiceState`), never process-global — tests build dozens of servers
+per session and their series must not bleed into each other.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: The one latency bucket ladder every repro histogram uses (seconds).
+#: Shared by the live ``/metrics`` endpoint and the service benchmark's
+#: replay report so their quantile estimates come from one definition.
+LATENCY_BUCKETS_SECONDS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: A collector yields (name, metric_type, help, samples); each sample
+#: is ``(label_suffix, value)`` where the suffix is either ``""`` or a
+#: rendered label set like ``'{preset="fast"}'``.
+CollectorSeries = Tuple[str, str, str, List[Tuple[str, float]]]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integers stay integral, inf is +Inf."""
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def escape_label_value(value: object) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def format_labels(labels: Dict[str, object]) -> str:
+    """Render ``{key="value",...}`` (empty string for no labels)."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:  # noqa: A002
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def collect(self) -> CollectorSeries:
+        return (self.name, "counter", self.help, [("", self._value)])
+
+
+class Gauge:
+    """A point-in-time value; ``set`` directly or via a callback."""
+
+    __slots__ = ("name", "help", "_value", "_fn", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._fn = fn
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def collect(self) -> CollectorSeries:
+        return (self.name, "gauge", self.help, [("", self.value)])
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative buckets + sum + count).
+
+    ``observe`` is a bisect plus two adds under a lock — cheap enough
+    to live on the scheduler's dispatch path unconditionally, so the
+    latency series exist whether or not anything ever scrapes them.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count",
+                 "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002
+        buckets: Sequence[float] = LATENCY_BUCKETS_SECONDS,
+    ) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.name = name
+        self.help = help
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        self._counts = [0] * len(bounds)  # per-bucket (non-cumulative)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            if index < len(self._counts):
+                self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> Tuple[List[int], float, int]:
+        """(per-bucket counts, sum, count) — a consistent copy."""
+        with self._lock:
+            return list(self._counts), self._sum, self._count
+
+    def collect(self) -> CollectorSeries:
+        counts, total, count = self.snapshot()
+        samples: List[Tuple[str, float]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.buckets, counts):
+            cumulative += bucket_count
+            samples.append(
+                (f'_bucket{{le="{_format_value(bound)}"}}', cumulative)
+            )
+        samples.append(('_bucket{le="+Inf"}', count))
+        samples.append(("_sum", total))
+        samples.append(("_count", count))
+        return (self.name, "histogram", self.help, samples)
+
+
+def histogram_payload(
+    values: Iterable[float],
+    buckets: Sequence[float] = LATENCY_BUCKETS_SECONDS,
+) -> Dict[str, object]:
+    """JSON-safe histogram export for benchmark reports.
+
+    The shape ``bench_service.py`` writes into ``BENCH_service.json``:
+    cumulative bucket counts keyed by upper bound (plus ``+Inf``),
+    ``sum``/``count``, and bucket-estimated p50/p95/p99 via
+    :func:`bucket_quantile` — the same numbers a Prometheus query over
+    the live ``/metrics`` histogram would produce.
+    """
+    hist = Histogram("_", buckets=buckets)
+    for value in values:
+        hist.observe(value)
+    counts, total, count = hist.snapshot()
+    cumulative: Dict[str, int] = {}
+    running = 0
+    for bound, bucket_count in zip(hist.buckets, counts):
+        running += bucket_count
+        cumulative[_format_value(bound)] = running
+    cumulative["+Inf"] = count
+    return {
+        "buckets_le": cumulative,
+        "sum": total,
+        "count": count,
+        "p50_ms": bucket_quantile(hist.buckets, counts, count, 0.50) * 1000.0,
+        "p95_ms": bucket_quantile(hist.buckets, counts, count, 0.95) * 1000.0,
+        "p99_ms": bucket_quantile(hist.buckets, counts, count, 0.99) * 1000.0,
+    }
+
+
+def bucket_quantile(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    q: float,
+) -> float:
+    """Quantile estimate from per-bucket counts (linear interpolation
+    inside the containing bucket, Prometheus ``histogram_quantile``
+    style).  ``counts`` are non-cumulative, aligned with ``bounds``;
+    observations above the last bound clamp to it."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    if count <= 0:
+        return 0.0
+    rank = q * count
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= rank and bucket_count:
+            lower = bounds[index - 1] if index else 0.0
+            upper = bounds[index]
+            fraction = (rank - previous) / bucket_count
+            return lower + (upper - lower) * fraction
+    return float(bounds[-1])
+
+
+class MetricsRegistry:
+    """Instruments plus scrape-time collectors, rendered as exposition.
+
+    ``register`` adopts an instrument (its ``collect()`` feeds the
+    render); ``add_collector`` adds a zero-state callable producing
+    series from live objects (the ``stats()`` absorption path).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: List[object] = []
+        self._collectors: List[Callable[[], List[CollectorSeries]]] = []
+        self._lock = threading.Lock()
+
+    def register(self, instrument):
+        with self._lock:
+            self._instruments.append(instrument)
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:  # noqa: A002
+        return self.register(Counter(name, help))
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        return self.register(Gauge(name, help, fn=fn))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002
+        buckets: Sequence[float] = LATENCY_BUCKETS_SECONDS,
+    ) -> Histogram:
+        return self.register(Histogram(name, help, buckets))
+
+    def add_collector(
+        self, collector: Callable[[], List[CollectorSeries]]
+    ) -> None:
+        with self._lock:
+            self._collectors.append(collector)
+
+    def collect(self) -> List[CollectorSeries]:
+        with self._lock:
+            instruments = list(self._instruments)
+            collectors = list(self._collectors)
+        series = [instrument.collect() for instrument in instruments]
+        for collector in collectors:
+            series.extend(collector())
+        return series
+
+    def render(self) -> str:
+        """Prometheus text exposition (format version 0.0.4)."""
+        lines: List[str] = []
+        for name, metric_type, help_text, samples in self.collect():
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {metric_type}")
+            for suffix, value in samples:
+                lines.append(f"{name}{suffix} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def stats_series(
+    prefix: str,
+    stats: Dict[str, object],
+    counters: Sequence[str],
+    gauges: Sequence[str] = (),
+    help_prefix: str = "",
+) -> List[CollectorSeries]:
+    """Series from a ``stats()`` dict: listed keys become metrics.
+
+    Missing keys are skipped (a thread-tier scheduler has no lane
+    counters, a memory-only store no disk entries) rather than
+    exported as zeros that lie.
+    """
+    series: List[CollectorSeries] = []
+    for key in counters:
+        value = stats.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            series.append((
+                f"{prefix}_{key}_total",
+                "counter",
+                f"{help_prefix}{key.replace('_', ' ')} (total)",
+                [("", float(value))],
+            ))
+    for key in gauges:
+        value = stats.get(key)
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, (int, float)):
+            series.append((
+                f"{prefix}_{key}",
+                "gauge",
+                f"{help_prefix}{key.replace('_', ' ')}",
+                [("", float(value))],
+            ))
+    return series

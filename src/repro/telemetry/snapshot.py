@@ -1,0 +1,172 @@
+"""The one service-stats assembly, shared by every surface.
+
+``GET /stats``, the ``serve -v`` shutdown report, and the
+``GET /metrics`` collectors previously each hand-rolled the same
+store/scheduler/engine-cache merge; :func:`service_snapshot` is now
+the single source of that payload, and :func:`snapshot_series` turns
+one into Prometheus series (so the scrape can never drift from the
+JSON endpoint — both render the same dict).
+
+Imports of :mod:`repro.service` / :mod:`repro.engine` happen inside
+the functions: the telemetry package stays importable from the hot
+layers (router, scheduler) without dragging the service stack in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.telemetry.metrics import (
+    CollectorSeries,
+    MetricsRegistry,
+    format_labels,
+    stats_series,
+)
+
+#: ``store.stats()`` keys exported as counters / gauges.
+STORE_COUNTERS = (
+    "memory_hits", "disk_hits", "hits", "misses", "evictions", "puts",
+    "quarantined",
+)
+STORE_GAUGES = ("memory_entries", "disk_entries", "shards", "persistent")
+
+#: ``scheduler.stats()`` keys exported as counters / gauges.
+SCHEDULER_COUNTERS = (
+    "submitted", "store_answered", "coalesced", "executions", "completed",
+    "failed", "cancelled", "timeouts", "worker_crashes", "retries",
+    "poisoned", "poisoned_failures", "degraded_executions", "breaker_trips",
+    "rejected", "store_put_failures", "lane_restarts",
+)
+SCHEDULER_GAUGES = (
+    "workers", "queue_depth", "max_queue_depth", "inflight",
+    "consecutive_crashes", "avg_exec_seconds",
+)
+
+#: ``cache_stats()`` keys exported as counters / gauges.
+ENGINE_CACHE_COUNTERS = ("hits", "misses")
+ENGINE_CACHE_GAUGES = ("matrix_entries", "device_entries", "dag_entries")
+
+
+def service_snapshot(
+    store,
+    scheduler,
+    uptime_seconds: Optional[float] = None,
+    requests_served: Optional[int] = None,
+) -> Dict[str, object]:
+    """The ``GET /stats`` payload (also the ``serve -v`` report body).
+
+    ``store`` / ``scheduler`` may be ``None`` (the CLI report after a
+    partial startup failure); their sections are then omitted.
+    """
+    from repro.engine.cache import cache_stats
+    from repro.service import faults
+
+    payload: Dict[str, object] = {}
+    if uptime_seconds is not None:
+        payload["uptime_seconds"] = round(uptime_seconds, 3)
+    if requests_served is not None:
+        payload["requests_served"] = requests_served
+    if store is not None:
+        payload["store"] = store.stats()
+    if scheduler is not None:
+        payload["scheduler"] = scheduler.stats()
+    payload["engine_cache"] = cache_stats()
+    plan = faults.active_plan()
+    if plan is not None:
+        payload["faults"] = plan.stats()
+    return payload
+
+
+def snapshot_series(snapshot: Dict[str, object]) -> List[CollectorSeries]:
+    """Prometheus series from a :func:`service_snapshot` payload."""
+    series: List[CollectorSeries] = []
+    requests = snapshot.get("requests_served")
+    if isinstance(requests, (int, float)):
+        series.append((
+            "repro_http_requests_total", "counter",
+            "HTTP requests handled (all endpoints)",
+            [("", float(requests))],
+        ))
+    uptime = snapshot.get("uptime_seconds")
+    if isinstance(uptime, (int, float)):
+        series.append((
+            "repro_uptime_seconds", "gauge",
+            "Seconds since the service started",
+            [("", float(uptime))],
+        ))
+    store = snapshot.get("store")
+    if isinstance(store, dict):
+        series.extend(stats_series(
+            "repro_store", store, STORE_COUNTERS, STORE_GAUGES,
+            help_prefix="Result store ",
+        ))
+    sched = snapshot.get("scheduler")
+    if isinstance(sched, dict):
+        series.extend(stats_series(
+            "repro_scheduler", sched, SCHEDULER_COUNTERS, SCHEDULER_GAUGES,
+            help_prefix="Scheduler ",
+        ))
+        health = sched.get("health")
+        if isinstance(health, str):
+            series.append((
+                "repro_scheduler_health", "gauge",
+                "Scheduler health (1 for the current state's series)",
+                [
+                    (format_labels({"state": state}), float(state == health))
+                    for state in ("ok", "degraded", "draining")
+                ],
+            ))
+        series.extend(_pass_timing_series(sched.get("pass_timings")))
+    cache = snapshot.get("engine_cache")
+    if isinstance(cache, dict):
+        series.extend(stats_series(
+            "repro_engine_cache", cache,
+            ENGINE_CACHE_COUNTERS, ENGINE_CACHE_GAUGES,
+            help_prefix="Engine cache ",
+        ))
+    faults_stats = snapshot.get("faults")
+    if isinstance(faults_stats, dict):
+        fired = faults_stats.get("fired_total")
+        if isinstance(fired, (int, float)):
+            series.append((
+                "repro_faults_fired_total", "counter",
+                "Injected faults fired (all sites)",
+                [("", float(fired))],
+            ))
+    return series
+
+
+def _pass_timing_series(pass_timings: object) -> List[CollectorSeries]:
+    """``{preset: {pass: {calls, seconds}}}`` -> two labeled series."""
+    if not isinstance(pass_timings, dict) or not pass_timings:
+        return []
+    executions: List = []
+    seconds: List = []
+    for preset, per_pass in sorted(pass_timings.items()):
+        if not isinstance(per_pass, dict):
+            continue
+        for name, timing in sorted(per_pass.items()):
+            labels = format_labels({"preset": preset, "pass": name})
+            executions.append((labels, float(timing.get("calls", 0))))
+            seconds.append((labels, float(timing.get("seconds", 0.0))))
+    if not executions:
+        return []
+    return [
+        (
+            "repro_pass_executions_total", "counter",
+            "Pipeline pass executions by preset and pass", executions,
+        ),
+        (
+            "repro_pass_seconds_total", "counter",
+            "Cumulative wall seconds in each pipeline pass", seconds,
+        ),
+    ]
+
+
+def register_service_collectors(
+    registry: MetricsRegistry,
+    snapshot_fn: Callable[[], Dict[str, object]],
+) -> None:
+    """Expose a live snapshot function on a registry: every scrape
+    calls ``snapshot_fn()`` fresh and renders its series."""
+    registry.add_collector(lambda: snapshot_series(snapshot_fn()))

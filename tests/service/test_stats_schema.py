@@ -1,0 +1,150 @@
+"""GET /stats payload schema: the contract dashboards scrape.
+
+The payload is assembled by ``repro.telemetry.snapshot.
+service_snapshot`` and shared verbatim with the ``serve -v`` shutdown
+report and the ``/metrics`` collectors, so schema drift here breaks
+three surfaces at once.  Covers both execution tiers and the
+fault-injection section (present only while a plan is active).
+"""
+
+import pytest
+
+from repro.service import (
+    ResultStore,
+    ServiceClient,
+    build_server,
+    faults,
+    serve_url,
+    shutdown_service,
+    start_in_thread,
+)
+from repro.service.faults import (
+    FAULT_PLAN_ENV,
+    SITE_WORKER,
+    FaultPlan,
+    FaultRule,
+)
+from repro.telemetry.snapshot import service_snapshot
+
+QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0], q[3];
+cx q[1], q[2];
+measure q -> c;
+"""
+
+#: Keys every store section must carry (both memory-only and
+#: persistent stores report these).
+STORE_KEYS = {"hits", "misses", "puts", "evictions", "memory_entries"}
+
+#: Keys every scheduler section must carry, regardless of tier.
+SCHEDULER_KEYS = {
+    "submitted", "executions", "completed", "failed", "queue_depth",
+    "workers", "health", "execution",
+}
+
+ENGINE_CACHE_KEYS = {"hits", "misses"}
+
+
+@pytest.fixture(autouse=True)
+def clean_activation(monkeypatch):
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture(params=["thread", "process"])
+def service(request, tmp_path):
+    store = ResultStore(root=str(tmp_path / "store"))
+    server = build_server(
+        port=0, store=store, workers=2, execution=request.param
+    )
+    start_in_thread(server)
+    client = ServiceClient(serve_url(server), timeout=60)
+    client.wait_until_healthy()
+    try:
+        yield client, request.param
+    finally:
+        shutdown_service(server)
+
+
+class TestStatsSchema:
+    def test_sections_and_keys_by_tier(self, service):
+        client, tier = service
+        client.compile(QASM, trials=1)
+        stats = client.stats()
+        assert set(stats) >= {
+            "uptime_seconds", "requests_served", "store", "scheduler",
+            "engine_cache",
+        }
+        assert "faults" not in stats  # no plan active
+        assert stats["uptime_seconds"] >= 0.0
+        assert stats["requests_served"] >= 1
+        assert STORE_KEYS <= set(stats["store"])
+        assert SCHEDULER_KEYS <= set(stats["scheduler"])
+        assert ENGINE_CACHE_KEYS <= set(stats["engine_cache"])
+        assert stats["scheduler"]["execution"] == tier
+        assert stats["scheduler"]["executions"] == 1
+        if tier == "process":
+            # The process tier additionally reports per-lane health.
+            assert stats["scheduler"]["lanes"]
+            assert stats["scheduler"]["lane_restarts"] == 0
+
+    def test_faults_section_present_only_when_active(self, service):
+        client, _ = service
+        plan = FaultPlan(
+            seed=7,
+            rules=[FaultRule(SITE_WORKER, "crash", probability=0.0)],
+        )
+        faults.activate(plan)
+        try:
+            stats = client.stats()
+        finally:
+            faults.deactivate()
+        assert set(stats["faults"]) == {
+            "seed", "rules", "fired_total", "fired",
+        }
+        assert stats["faults"]["seed"] == 7
+        assert stats["faults"]["rules"] == 1
+        assert client.stats().get("faults") is None  # deactivated again
+
+    def test_snapshot_function_matches_endpoint(self, service):
+        """/stats is service_snapshot() verbatim — same sections, and
+        the monotonic counters agree (gauges like uptime may tick)."""
+        client, _ = service
+        client.compile(QASM, trials=1)
+        stats = client.stats()
+        direct = service_snapshot(None, None)
+        assert ENGINE_CACHE_KEYS <= set(direct["engine_cache"])
+        assert "store" not in direct  # None sections omitted
+        assert "scheduler" not in direct
+        assert stats["store"]["puts"] == 1
+        assert stats["scheduler"]["store_answered"] == 0
+
+
+class TestShutdownReportSharing:
+    def test_server_state_snapshot_is_the_stats_payload(self, tmp_path):
+        """ServiceState.snapshot() (the serve -v shutdown report body)
+        and GET /stats return the same structure."""
+        store = ResultStore(root=str(tmp_path / "store"))
+        server = build_server(port=0, store=store, workers=1)
+        start_in_thread(server)
+        client = ServiceClient(serve_url(server), timeout=60)
+        client.wait_until_healthy()
+        try:
+            client.compile(QASM, trials=1)
+            endpoint = client.stats()
+            local = server.state.snapshot()
+        finally:
+            shutdown_service(server)
+        assert set(local) == set(endpoint)
+        for section in ("store", "scheduler", "engine_cache"):
+            assert set(local[section]) == set(endpoint[section])
+        assert (
+            local["scheduler"]["executions"]
+            == endpoint["scheduler"]["executions"]
+        )

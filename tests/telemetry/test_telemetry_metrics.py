@@ -1,0 +1,134 @@
+"""Metrics registry: instruments, exposition rendering, and the
+bucket-quantile math shared with the benchmark reports."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS_SECONDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_quantile,
+    escape_label_value,
+    histogram_payload,
+    stats_series,
+)
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        counter = Counter("jobs_total", "help text")
+        counter.inc()
+        counter.inc(4)
+        name, kind, help_text, samples = counter.collect()
+        assert (name, kind, help_text) == ("jobs_total", "counter", "help text")
+        assert samples == [("", 5)]
+
+    def test_counter_rejects_negative_increment(self):
+        counter = Counter("jobs_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_callback(self):
+        gauge = Gauge("depth")
+        gauge.set(7)
+        assert gauge.collect()[3] == [("", 7)]
+        live = Gauge("live", fn=lambda: 41 + 1)
+        assert live.collect()[3] == [("", 42)]
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        hist = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        _, kind, _, samples = hist.collect()
+        assert kind == "histogram"
+        rendered = dict(samples)
+        assert rendered['_bucket{le="0.1"}'] == 1
+        assert rendered['_bucket{le="1"}'] == 3
+        assert rendered['_bucket{le="10"}'] == 4
+        assert rendered['_bucket{le="+Inf"}'] == 5
+        assert rendered["_count"] == 5
+        assert rendered["_sum"] == pytest.approx(56.05)
+
+    def test_histogram_snapshot_is_noncumulative(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0):
+            hist.observe(value)
+        counts, total, count = hist.snapshot()
+        assert counts == [1, 1]  # 3.0 overflows past the last bound
+        assert count == 3
+        assert total == pytest.approx(5.0)
+
+
+class TestQuantiles:
+    def test_bucket_quantile_interpolates(self):
+        bounds = (1.0, 2.0, 4.0)
+        counts = [10, 10, 0]
+        assert bucket_quantile(bounds, counts, 20, 0.5) == pytest.approx(1.0)
+        assert bucket_quantile(bounds, counts, 20, 0.75) == pytest.approx(1.5)
+
+    def test_bucket_quantile_empty_and_bounds(self):
+        assert bucket_quantile((1.0,), [0], 0, 0.5) == 0.0
+        with pytest.raises(ValueError):
+            bucket_quantile((1.0,), [1], 1, 1.5)
+
+    def test_histogram_payload_shape(self):
+        payload = histogram_payload([0.002, 0.004, 0.2], (0.001, 0.005, 1.0))
+        assert payload["count"] == 3
+        assert payload["sum"] == pytest.approx(0.206)
+        assert payload["buckets_le"]["+Inf"] == 3
+        assert payload["buckets_le"]["0.005"] == 2
+        assert 0.0 < payload["p50_ms"] <= 5.0
+        assert payload["p99_ms"] >= payload["p50_ms"]
+
+    def test_payload_default_buckets_match_live_definition(self):
+        payload = histogram_payload([0.01])
+        assert len(payload["buckets_le"]) == len(LATENCY_BUCKETS_SECONDS) + 1
+
+
+class TestRegistry:
+    def test_render_exposition(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_jobs_total", "jobs")
+        counter.inc(3)
+        registry.gauge("repro_depth", "queue depth", fn=lambda: 2)
+        text = registry.render()
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "repro_jobs_total 3" in text
+        assert "# HELP repro_depth queue depth" in text
+        assert "repro_depth 2" in text
+
+    def test_collectors_run_at_scrape_time(self):
+        registry = MetricsRegistry()
+        state = {"value": 1}
+        registry.add_collector(
+            lambda: [("live_value", "gauge", "", [("", state["value"])])]
+        )
+        assert "live_value 1" in registry.render()
+        state["value"] = 9
+        assert "live_value 9" in registry.render()
+
+    def test_registries_are_independent(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("only_in_a").inc()
+        assert "only_in_a" in a.render()
+        assert "only_in_a" not in b.render()
+
+
+class TestStatsSeries:
+    def test_counters_and_gauges_split(self):
+        series = stats_series(
+            "repro_store",
+            {"hits": 3, "entries": 7, "missing": None},
+            counters=("hits", "absent"),
+            gauges=("entries",),
+        )
+        names = {name: samples for name, _, _, samples in series}
+        assert names["repro_store_hits_total"] == [("", 3)]
+        assert names["repro_store_entries"] == [("", 7)]
+        assert "repro_store_absent_total" not in names
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'

@@ -1,0 +1,108 @@
+"""Router profiler: aggregate semantics, merging, and scoping."""
+
+import threading
+
+from repro.telemetry.profile import (
+    RouterProfiler,
+    active_router_profiler,
+    profiled_routing,
+)
+
+
+class TestRecordStep:
+    def test_aggregates_candidates_and_ties(self):
+        prof = RouterProfiler()
+        prof.record_step(4, 2)
+        prof.record_step(10, 1)
+        assert prof.steps == 2
+        assert prof.candidates_total == 14
+        assert prof.candidates_max == 10
+        assert prof.tie_total == 3
+        assert prof.tie_max == 2
+
+    def test_negative_candidates_skip_candidate_stats(self):
+        prof = RouterProfiler()
+        prof.record_step(-1, 3)
+        assert prof.steps == 1
+        assert prof.candidates_total == 0
+        assert prof.candidates_max == 0
+        assert prof.tie_total == 3
+
+    def test_zero_tie_skips_tie_stats(self):
+        prof = RouterProfiler()
+        prof.record_step(5, 0)
+        assert prof.steps == 1
+        assert prof.tie_total == 0
+        assert prof.tie_max == 0
+
+    def test_add_kernel(self):
+        prof = RouterProfiler()
+        prof.add_kernel(0.25)
+        prof.add_kernel(0.5)
+        assert prof.kernel_calls == 2
+        assert prof.kernel_seconds == 0.75
+
+    def test_empty_property(self):
+        prof = RouterProfiler()
+        assert prof.empty
+        prof.record_step(-1, 0)
+        assert not prof.empty
+
+
+class TestMerge:
+    def test_merge_sums_and_maxes(self):
+        a = RouterProfiler()
+        a.record_step(4, 2)
+        a.add_kernel(0.1)
+        b = RouterProfiler()
+        b.record_step(9, 5)
+        b.add_kernel(0.2)
+        a.merge(b)
+        assert a.steps == 2
+        assert a.candidates_total == 13
+        assert a.candidates_max == 9
+        assert a.tie_max == 5
+        assert a.kernel_calls == 2
+        assert abs(a.kernel_seconds - 0.3) < 1e-12
+
+    def test_merge_dict_round_trips(self):
+        source = RouterProfiler()
+        source.record_step(6, 3)
+        source.add_kernel(0.125)
+        target = RouterProfiler()
+        target.merge_dict(source.to_dict())
+        assert target.to_dict() == source.to_dict()
+
+    def test_to_dict_means_only_with_steps(self):
+        prof = RouterProfiler()
+        assert "candidates_mean" not in prof.to_dict()
+        prof.record_step(4, 2)
+        payload = prof.to_dict()
+        assert payload["candidates_mean"] == 4.0
+        assert payload["tie_mean"] == 2.0
+
+
+class TestScoping:
+    def test_disabled_by_default(self):
+        assert active_router_profiler() is None
+
+    def test_activation_and_restore(self):
+        with profiled_routing() as prof:
+            assert active_router_profiler() is prof
+            inner = RouterProfiler()
+            with profiled_routing(inner):
+                assert active_router_profiler() is inner
+            assert active_router_profiler() is prof
+        assert active_router_profiler() is None
+
+    def test_activation_is_thread_local(self):
+        seen = {}
+
+        def other_thread():
+            seen["profiler"] = active_router_profiler()
+
+        with profiled_routing():
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert seen["profiler"] is None
